@@ -1,0 +1,621 @@
+//! The arena tape: nodes, ops, forward construction and reverse sweep.
+
+use crate::surrogate::Surrogate;
+use skipper_memprof::{record_op, Category, CategoryGuard, OpKind};
+use skipper_tensor::{
+    avg_pool2d, avg_pool2d_backward, conv2d, conv2d_backward_input, conv2d_backward_weight,
+    matmul, matmul_nt, matmul_tn, Conv2dSpec, Tensor,
+};
+
+/// Handle to a node in a [`Graph`].
+///
+/// A `Var` is only meaningful with the graph that created it; using it with
+/// another graph panics (indices are bounds-checked) or yields nonsense.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Var(usize);
+
+impl Var {
+    /// Arena index of this variable.
+    pub fn index(self) -> usize {
+        self.0
+    }
+}
+
+#[derive(Debug, Clone)]
+enum Op {
+    /// External input (weights, checkpoint states, spike inputs).
+    Leaf,
+    /// `a + b`.
+    Add(Var, Var),
+    /// `a + s·b`.
+    AddScaled(Var, Var, f32),
+    /// `a + s·c` where `c` is a constant tensor outside the graph
+    /// (used for the detached membrane reset term).
+    AddScaledConst(Var),
+    /// `s·a`.
+    Scale(Var, f32),
+    /// Hadamard product `a ⊙ b`.
+    Mul(Var, Var),
+    /// Dense layer `x[B,I] · w[O,I]ᵀ (+ b[O])`.
+    Linear {
+        x: Var,
+        w: Var,
+        b: Option<Var>,
+    },
+    /// 2-D convolution.
+    Conv2d {
+        x: Var,
+        w: Var,
+        b: Option<Var>,
+        spec: Conv2dSpec,
+    },
+    /// Non-overlapping average pooling with window `k`.
+    AvgPool {
+        x: Var,
+        k: usize,
+    },
+    /// Shape view; gradient reshapes back.
+    Reshape(Var),
+    /// Heaviside firing with a surrogate backward.
+    Spike {
+        u: Var,
+        theta: f32,
+        surrogate: Surrogate,
+    },
+    /// `x ⊙ mask` with a fixed binary mask (dropout; mask is pre-scaled).
+    MaskMul(Var),
+    /// `max(0, x)` — used by the ANN pre-training mode of hybrid training.
+    Relu(Var),
+}
+
+#[derive(Debug)]
+struct Node {
+    value: Tensor,
+    grad: Option<Tensor>,
+    op: Op,
+    /// Constant payload for ops that need one (reset tensors, masks).
+    aux: Option<Tensor>,
+    requires_grad: bool,
+}
+
+/// A define-by-run autodiff tape.
+///
+/// Nodes are created in topological order by the forward-building methods;
+/// [`Graph::backward`] sweeps them once in reverse. Node output tensors are
+/// the "stored activations" of the paper — they stay alive until the graph
+/// is dropped, which is exactly the lifetime autograd frameworks give them.
+#[derive(Debug, Default)]
+pub struct Graph {
+    nodes: Vec<Node>,
+}
+
+impl Graph {
+    /// Empty graph.
+    pub fn new() -> Graph {
+        Graph::default()
+    }
+
+    /// Number of nodes currently on the tape.
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Whether the tape is empty.
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+
+    /// Total bytes held by node values (the live activation footprint of
+    /// this graph, excluding gradients).
+    pub fn activation_bytes(&self) -> u64 {
+        self.nodes.iter().map(|n| n.value.byte_size()).sum()
+    }
+
+    fn push(&mut self, value: Tensor, op: Op, aux: Option<Tensor>, requires_grad: bool) -> Var {
+        self.nodes.push(Node {
+            value,
+            grad: None,
+            op,
+            aux,
+            requires_grad,
+        });
+        Var(self.nodes.len() - 1)
+    }
+
+    fn requires(&self, v: Var) -> bool {
+        self.nodes[v.0].requires_grad
+    }
+
+    // ------------------------------------------------------------------
+    // Forward construction
+    // ------------------------------------------------------------------
+
+    /// Insert an external tensor. `requires_grad` marks it as a gradient
+    /// sink (weights, checkpoint boundary states).
+    pub fn leaf(&mut self, value: Tensor, requires_grad: bool) -> Var {
+        self.push(value, Op::Leaf, None, requires_grad)
+    }
+
+    /// `a + b` (elementwise).
+    pub fn add(&mut self, a: Var, b: Var) -> Var {
+        let value = self.value(a).add(self.value(b));
+        let rg = self.requires(a) || self.requires(b);
+        self.push(value, Op::Add(a, b), None, rg)
+    }
+
+    /// `a + s·b` (elementwise).
+    pub fn add_scaled(&mut self, a: Var, b: Var, s: f32) -> Var {
+        let value = self.value(a).add_scaled(self.value(b), s);
+        let rg = self.requires(a) || self.requires(b);
+        self.push(value, Op::AddScaled(a, b, s), None, rg)
+    }
+
+    /// `a + s·c` with constant `c`: the value uses `c`, the gradient
+    /// ignores it. This is the *detached* reset term `U − θ·o_{t-1}` of the
+    /// paper's Eq. 1/2.
+    pub fn add_scaled_const(&mut self, a: Var, c: &Tensor, s: f32) -> Var {
+        let value = self.value(a).add_scaled(c, s);
+        let rg = self.requires(a);
+        self.push(value, Op::AddScaledConst(a), None, rg)
+    }
+
+    /// `s·a`.
+    pub fn scale(&mut self, a: Var, s: f32) -> Var {
+        let value = self.value(a).scale(s);
+        let rg = self.requires(a);
+        self.push(value, Op::Scale(a, s), None, rg)
+    }
+
+    /// `a ⊙ b` (elementwise).
+    pub fn mul(&mut self, a: Var, b: Var) -> Var {
+        let value = self.value(a).mul(self.value(b));
+        let rg = self.requires(a) || self.requires(b);
+        self.push(value, Op::Mul(a, b), None, rg)
+    }
+
+    /// Dense layer: `x[B,I] · w[O,I]ᵀ + b`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if shapes are inconsistent.
+    pub fn linear(&mut self, x: Var, w: Var, b: Option<Var>) -> Var {
+        let mut out = matmul_nt(self.value(x), self.value(w));
+        if let Some(b) = b {
+            let bias = self.value(b).clone();
+            let (rows, cols) = out.shape().as_2d();
+            assert_eq!(bias.numel(), cols, "bias length vs output features");
+            let od = out.data_mut();
+            for r in 0..rows {
+                for (c, &bv) in bias.data().iter().enumerate() {
+                    od[r * cols + c] += bv;
+                }
+            }
+        }
+        let rg = self.requires(x) || self.requires(w) || b.is_some_and(|b| self.requires(b));
+        self.push(out, Op::Linear { x, w, b }, None, rg)
+    }
+
+    /// 2-D convolution (see [`skipper_tensor::conv2d`]).
+    pub fn conv2d(&mut self, x: Var, w: Var, b: Option<Var>, spec: Conv2dSpec) -> Var {
+        let bias = b.map(|b| self.value(b).clone());
+        let out = conv2d(self.value(x), self.value(w), bias.as_ref(), spec);
+        let rg = self.requires(x) || self.requires(w) || b.is_some_and(|b| self.requires(b));
+        self.push(out, Op::Conv2d { x, w, b, spec }, None, rg)
+    }
+
+    /// Non-overlapping average pooling.
+    pub fn avg_pool2d(&mut self, x: Var, k: usize) -> Var {
+        let out = avg_pool2d(self.value(x), k);
+        let rg = self.requires(x);
+        self.push(out, Op::AvgPool { x, k }, None, rg)
+    }
+
+    /// Shape view over the same elements.
+    pub fn reshape(&mut self, x: Var, shape: impl Into<skipper_tensor::Shape>) -> Var {
+        let out = self.value(x).reshape(shape);
+        let rg = self.requires(x);
+        self.push(out, Op::Reshape(x), None, rg)
+    }
+
+    /// Spike generation `o = H(u − θ)` with surrogate backward
+    /// `∂o/∂u := σ′(u − θ)`.
+    pub fn spike(&mut self, u: Var, theta: f32, surrogate: Surrogate) -> Var {
+        let value = self.value(u).map(|x| if x >= theta { 1.0 } else { 0.0 });
+        let rg = self.requires(u);
+        self.push(
+            value,
+            Op::Spike {
+                u,
+                theta,
+                surrogate,
+            },
+            None,
+            rg,
+        )
+    }
+
+    /// Rectified linear unit `max(0, x)`.
+    pub fn relu(&mut self, x: Var) -> Var {
+        let value = self.value(x).map(|v| v.max(0.0));
+        let rg = self.requires(x);
+        self.push(value, Op::Relu(x), None, rg)
+    }
+
+    /// Multiply by a fixed (pre-scaled) mask — dropout and similar.
+    pub fn mask_mul(&mut self, x: Var, mask: Tensor) -> Var {
+        let value = self.value(x).mul(&mask);
+        let rg = self.requires(x);
+        self.push(value, Op::MaskMul(x), Some(mask), rg)
+    }
+
+    // ------------------------------------------------------------------
+    // Values and gradients
+    // ------------------------------------------------------------------
+
+    /// The forward value of `v`.
+    pub fn value(&self, v: Var) -> &Tensor {
+        &self.nodes[v.0].value
+    }
+
+    /// The accumulated gradient of `v`, if any flowed into it.
+    pub fn grad(&self, v: Var) -> Option<&Tensor> {
+        self.nodes[v.0].grad.as_ref()
+    }
+
+    /// Remove and return the gradient of `v`.
+    pub fn take_grad(&mut self, v: Var) -> Option<Tensor> {
+        self.nodes[v.0].grad.take()
+    }
+
+    /// Accumulate an externally supplied gradient into `v` (checkpoint
+    /// boundary gradients, analytic loss gradients).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `grad`'s shape differs from the node value's.
+    pub fn seed_grad(&mut self, v: Var, grad: Tensor) {
+        assert_eq!(
+            grad.shape(),
+            self.value(v).shape(),
+            "seed gradient shape mismatch at node {}",
+            v.0
+        );
+        self.accumulate(v, grad);
+    }
+
+    fn accumulate(&mut self, v: Var, grad: Tensor) {
+        let node = &mut self.nodes[v.0];
+        match node.grad.as_mut() {
+            Some(g) => g.add_assign(&grad),
+            None => node.grad = Some(grad),
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Backward
+    // ------------------------------------------------------------------
+
+    /// Propagate all seeded gradients through the tape, in reverse
+    /// topological (creation) order. Gradients land on every node with
+    /// `requires_grad`; read them with [`Graph::grad`]/[`Graph::take_grad`].
+    pub fn backward(&mut self) {
+        let _cat = CategoryGuard::new(Category::Activations);
+        for i in (0..self.nodes.len()).rev() {
+            if !self.nodes[i].requires_grad {
+                self.nodes[i].grad = None;
+                continue;
+            }
+            let Some(g) = self.nodes[i].grad.clone() else {
+                continue;
+            };
+            let op = self.nodes[i].op.clone();
+            match op {
+                Op::Leaf => {}
+                Op::Add(a, b) => {
+                    if self.requires(a) {
+                        self.accumulate(a, g.clone());
+                    }
+                    if self.requires(b) {
+                        self.accumulate(b, g);
+                    }
+                }
+                Op::AddScaled(a, b, s) => {
+                    if self.requires(a) {
+                        self.accumulate(a, g.clone());
+                    }
+                    if self.requires(b) {
+                        self.accumulate(b, g.scale(s));
+                    }
+                }
+                Op::AddScaledConst(a) => {
+                    if self.requires(a) {
+                        self.accumulate(a, g);
+                    }
+                }
+                Op::Scale(a, s) => {
+                    if self.requires(a) {
+                        self.accumulate(a, g.scale(s));
+                    }
+                }
+                Op::Mul(a, b) => {
+                    if self.requires(a) {
+                        let ga = g.mul(self.value(b));
+                        self.accumulate(a, ga);
+                    }
+                    if self.requires(b) {
+                        let gb = g.mul(self.value(a));
+                        self.accumulate(b, gb);
+                    }
+                }
+                Op::Linear { x, w, b } => {
+                    if self.requires(x) {
+                        let gx = matmul(&g, self.value(w)); // [B,O]·[O,I]
+                        self.accumulate(x, gx);
+                    }
+                    if self.requires(w) {
+                        let gw = matmul_tn(&g, self.value(x)); // [B,O]ᵀ·[B,I]
+                        self.accumulate(w, gw);
+                    }
+                    if let Some(b) = b {
+                        if self.requires(b) {
+                            let gb = column_sums(&g);
+                            self.accumulate(b, gb);
+                        }
+                    }
+                }
+                Op::Conv2d { x, w, b, spec } => {
+                    if self.requires(x) {
+                        let shape = self.value(x).shape().dims().to_vec();
+                        let gx = conv2d_backward_input(&g, &shape, self.value(w), spec);
+                        self.accumulate(x, gx);
+                    }
+                    let need_w = self.requires(w);
+                    let need_b = b.is_some_and(|b| self.requires(b));
+                    if need_w || need_b {
+                        let wshape = self.value(w).shape().dims().to_vec();
+                        let (gw, gb) = conv2d_backward_weight(&g, self.value(x), &wshape, spec);
+                        if need_w {
+                            self.accumulate(w, gw);
+                        }
+                        if let (Some(b), true) = (b, need_b) {
+                            self.accumulate(b, gb);
+                        }
+                    }
+                }
+                Op::AvgPool { x, k } => {
+                    if self.requires(x) {
+                        let shape = self.value(x).shape().dims().to_vec();
+                        let gx = avg_pool2d_backward(&g, &shape, k);
+                        self.accumulate(x, gx);
+                    }
+                }
+                Op::Reshape(x) => {
+                    if self.requires(x) {
+                        let shape = self.value(x).shape().clone();
+                        self.accumulate(x, g.reshape(shape));
+                    }
+                }
+                Op::Spike {
+                    u,
+                    theta,
+                    surrogate,
+                } => {
+                    if self.requires(u) {
+                        record_op(
+                            OpKind::Elementwise,
+                            2.0 * g.numel() as f64,
+                            3.0 * g.byte_size() as f64,
+                        );
+                        let uval = self.value(u).clone();
+                        let data: Vec<f32> = g
+                            .data()
+                            .iter()
+                            .zip(uval.data())
+                            .map(|(&gv, &uv)| gv * surrogate.derivative(uv - theta))
+                            .collect();
+                        let gu = Tensor::from_vec(data, uval.shape().clone());
+                        self.accumulate(u, gu);
+                    }
+                }
+                Op::MaskMul(x) => {
+                    if self.requires(x) {
+                        let mask = self.nodes[i].aux.as_ref().expect("mask present").clone();
+                        self.accumulate(x, g.mul(&mask));
+                    }
+                }
+                Op::Relu(x) => {
+                    if self.requires(x) {
+                        let xval = self.value(x).clone();
+                        let data: Vec<f32> = g
+                            .data()
+                            .iter()
+                            .zip(xval.data())
+                            .map(|(&gv, &xv)| if xv > 0.0 { gv } else { 0.0 })
+                            .collect();
+                        self.accumulate(x, Tensor::from_vec(data, xval.shape().clone()));
+                    }
+                }
+            }
+            // Interior gradients are no longer needed once propagated; free
+            // them eagerly, as autograd frameworks do.
+            if !matches!(self.nodes[i].op, Op::Leaf) {
+                self.nodes[i].grad = None;
+            }
+        }
+    }
+}
+
+/// Sum each column of a `[R,C]` tensor into a `[C]` vector.
+fn column_sums(t: &Tensor) -> Tensor {
+    let (rows, cols) = t.shape().as_2d();
+    record_op(OpKind::Reduce, t.numel() as f64, t.byte_size() as f64);
+    let mut out = Tensor::zeros([cols]);
+    let od = out.data_mut();
+    for r in 0..rows {
+        let row = &t.data()[r * cols..(r + 1) * cols];
+        for (o, &v) in od.iter_mut().zip(row) {
+            *o += v;
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use skipper_tensor::XorShiftRng;
+
+    #[test]
+    fn add_and_scale_chain() {
+        let mut g = Graph::new();
+        let a = g.leaf(Tensor::from_vec(vec![1.0, 2.0], [2]), true);
+        let b = g.leaf(Tensor::from_vec(vec![3.0, 4.0], [2]), true);
+        let c = g.add(a, b);
+        let d = g.scale(c, 2.0);
+        assert_eq!(g.value(d).data(), &[8.0, 12.0]);
+        g.seed_grad(d, Tensor::ones([2]));
+        g.backward();
+        assert_eq!(g.grad(a).unwrap().data(), &[2.0, 2.0]);
+        assert_eq!(g.grad(b).unwrap().data(), &[2.0, 2.0]);
+    }
+
+    #[test]
+    fn fan_out_accumulates() {
+        // y = x + x should give dy/dx = 2.
+        let mut g = Graph::new();
+        let x = g.leaf(Tensor::from_vec(vec![5.0], [1]), true);
+        let y = g.add(x, x);
+        g.seed_grad(y, Tensor::ones([1]));
+        g.backward();
+        assert_eq!(g.grad(x).unwrap().data(), &[2.0]);
+    }
+
+    #[test]
+    fn mul_product_rule() {
+        let mut g = Graph::new();
+        let a = g.leaf(Tensor::from_vec(vec![3.0], [1]), true);
+        let b = g.leaf(Tensor::from_vec(vec![4.0], [1]), true);
+        let c = g.mul(a, b);
+        g.seed_grad(c, Tensor::ones([1]));
+        g.backward();
+        assert_eq!(g.grad(a).unwrap().data(), &[4.0]);
+        assert_eq!(g.grad(b).unwrap().data(), &[3.0]);
+    }
+
+    #[test]
+    fn detached_const_blocks_gradient() {
+        let mut g = Graph::new();
+        let a = g.leaf(Tensor::from_vec(vec![1.0], [1]), true);
+        let c = Tensor::from_vec(vec![10.0], [1]);
+        let y = g.add_scaled_const(a, &c, -0.5);
+        assert_eq!(g.value(y).data(), &[-4.0]);
+        g.seed_grad(y, Tensor::from_vec(vec![2.0], [1]));
+        g.backward();
+        assert_eq!(g.grad(a).unwrap().data(), &[2.0], "grad passes through a only");
+    }
+
+    #[test]
+    fn linear_gradients_match_manual() {
+        // x[1,2]·w[1,2]ᵀ + b: out = x·w + b
+        let mut g = Graph::new();
+        let x = g.leaf(Tensor::from_vec(vec![2.0, 3.0], [1, 2]), true);
+        let w = g.leaf(Tensor::from_vec(vec![5.0, 7.0], [1, 2]), true);
+        let b = g.leaf(Tensor::from_vec(vec![1.0], [1]), true);
+        let y = g.linear(x, w, Some(b));
+        assert_eq!(g.value(y).data(), &[2.0 * 5.0 + 3.0 * 7.0 + 1.0]);
+        g.seed_grad(y, Tensor::ones([1, 1]));
+        g.backward();
+        assert_eq!(g.grad(x).unwrap().data(), &[5.0, 7.0]);
+        assert_eq!(g.grad(w).unwrap().data(), &[2.0, 3.0]);
+        assert_eq!(g.grad(b).unwrap().data(), &[1.0]);
+    }
+
+    #[test]
+    fn spike_forward_is_binary_and_backward_is_surrogate() {
+        let mut g = Graph::new();
+        let u = g.leaf(Tensor::from_vec(vec![0.2, 0.9, 1.4, 2.5], [4]), true);
+        let o = g.spike(u, 1.0, Surrogate::default_triangle());
+        assert_eq!(g.value(o).data(), &[0.0, 0.0, 1.0, 1.0]);
+        g.seed_grad(o, Tensor::ones([4]));
+        g.backward();
+        let gu = g.grad(u).unwrap();
+        // triangle derivative at u-θ = -0.8, -0.1, 0.4, 1.5
+        let expect = [0.2f32, 0.9, 0.6, 0.0];
+        for (a, e) in gu.data().iter().zip(expect) {
+            assert!((a - e).abs() < 1e-5, "{a} vs {e}");
+        }
+    }
+
+    #[test]
+    fn seed_grad_into_interior_node_adds_paths() {
+        // z = 2y, with an extra seed on y: dL/dx must include both.
+        let mut g = Graph::new();
+        let x = g.leaf(Tensor::from_vec(vec![1.0], [1]), true);
+        let y = g.scale(x, 3.0);
+        let z = g.scale(y, 2.0);
+        g.seed_grad(z, Tensor::ones([1]));
+        g.seed_grad(y, Tensor::ones([1])); // boundary-style injection
+        g.backward();
+        // dz/dx = 6, plus seeded dy/dx = 3 → 9.
+        assert_eq!(g.grad(x).unwrap().data(), &[9.0]);
+    }
+
+    #[test]
+    fn no_requires_grad_prunes_propagation() {
+        let mut g = Graph::new();
+        let x = g.leaf(Tensor::from_vec(vec![1.0], [1]), false);
+        let y = g.scale(x, 2.0);
+        g.seed_grad(y, Tensor::ones([1]));
+        g.backward();
+        assert!(g.grad(x).is_none());
+    }
+
+    #[test]
+    fn reshape_routes_gradient_back() {
+        let mut g = Graph::new();
+        let x = g.leaf(Tensor::ones([2, 3]), true);
+        let y = g.reshape(x, [6]);
+        g.seed_grad(y, Tensor::from_fn([6], |i| i as f32));
+        g.backward();
+        let gx = g.grad(x).unwrap();
+        assert_eq!(gx.shape().dims(), &[2, 3]);
+        assert_eq!(gx.data(), &[0.0, 1.0, 2.0, 3.0, 4.0, 5.0]);
+    }
+
+    #[test]
+    fn mask_mul_applies_mask_both_ways() {
+        let mut g = Graph::new();
+        let x = g.leaf(Tensor::from_vec(vec![1.0, 2.0], [2]), true);
+        let mask = Tensor::from_vec(vec![0.0, 2.0], [2]);
+        let y = g.mask_mul(x, mask);
+        assert_eq!(g.value(y).data(), &[0.0, 4.0]);
+        g.seed_grad(y, Tensor::ones([2]));
+        g.backward();
+        assert_eq!(g.grad(x).unwrap().data(), &[0.0, 2.0]);
+    }
+
+    #[test]
+    fn activation_bytes_counts_node_values() {
+        let mut g = Graph::new();
+        let x = g.leaf(Tensor::zeros([10]), true);
+        let _y = g.scale(x, 1.0);
+        assert_eq!(g.activation_bytes(), 2 * 40);
+    }
+
+    #[test]
+    fn conv_and_pool_nodes_run_end_to_end() {
+        let mut rng = XorShiftRng::new(3);
+        let mut g = Graph::new();
+        let x = g.leaf(Tensor::randn([1, 2, 4, 4], &mut rng), false);
+        let w = g.leaf(Tensor::randn([3, 2, 3, 3], &mut rng), true);
+        let b = g.leaf(Tensor::zeros([3]), true);
+        let c = g.conv2d(x, w, Some(b), Conv2dSpec::padded(1));
+        let p = g.avg_pool2d(c, 2);
+        let f = g.reshape(p, [1, 3 * 2 * 2]);
+        g.seed_grad(f, Tensor::ones([1, 12]));
+        g.backward();
+        assert!(g.grad(w).is_some());
+        assert!(g.grad(b).is_some());
+        assert_eq!(g.grad(w).unwrap().shape().dims(), &[3, 2, 3, 3]);
+    }
+}

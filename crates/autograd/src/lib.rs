@@ -1,0 +1,48 @@
+//! Define-by-run reverse-mode automatic differentiation for SNN-BPTT.
+//!
+//! This crate stands in for the slice of PyTorch autograd that the Skipper
+//! paper (MICRO 2022) builds on. The central type is [`Graph`], an arena
+//! tape: every forward op appends a node holding its output tensor (the
+//! "stored activation") and, on [`Graph::backward`], gradients flow through
+//! the nodes in reverse creation order.
+//!
+//! Three properties matter for reproducing the paper:
+//!
+//! 1. **Activations live exactly as long as the graph.** Node values are
+//!    the saved activations; dropping the `Graph` frees them, so the memory
+//!    tracker sees precisely what a framework's autograd would allocate and
+//!    release. Baseline BPTT keeps one graph for all `T` timesteps;
+//!    checkpointed training builds and drops one small graph per time
+//!    segment.
+//! 2. **Seed-gradient injection.** [`Graph::seed_grad`] accumulates an
+//!    external gradient into any node, which is how a later time segment
+//!    hands `∂L/∂U`, `∂L/∂o` across a checkpoint boundary, and how the
+//!    analytically computed loss gradient enters at the readout.
+//! 3. **Surrogate spike gradients.** [`Graph::spike`] implements the
+//!    non-differentiable Heaviside firing function with a
+//!    [`Surrogate`] derivative on the backward pass (Neftci et al. 2019),
+//!    and the membrane reset uses the *detached* previous spikes, matching
+//!    the paper's "the reset term is not taken into account for the
+//!    gradient computation".
+//!
+//! # Example
+//!
+//! ```
+//! use skipper_autograd::Graph;
+//! use skipper_tensor::Tensor;
+//!
+//! let mut g = Graph::new();
+//! let x = g.leaf(Tensor::from_vec(vec![2.0], [1]), true);
+//! let y = g.scale(x, 3.0); // y = 3x
+//! let z = g.mul(y, y); // z = 9x²; dz/dx = 18x = 36
+//! g.seed_grad(z, Tensor::ones([1]));
+//! g.backward();
+//! assert_eq!(g.grad(x).unwrap().data(), &[36.0]);
+//! ```
+
+pub mod gradcheck;
+pub mod graph;
+pub mod surrogate;
+
+pub use graph::{Graph, Var};
+pub use surrogate::Surrogate;

@@ -1,0 +1,125 @@
+//! Property tests: tape gradients agree with finite differences on
+//! randomly composed graphs of smooth ops.
+
+use proptest::prelude::*;
+use skipper_autograd::{gradcheck::gradcheck, Graph, Var};
+use skipper_tensor::{Tensor, XorShiftRng};
+
+/// One randomly chosen smooth op applied to the running value (and
+/// sometimes a second input).
+#[derive(Debug, Clone, Copy)]
+enum RandomOp {
+    Scale(i8),
+    AddInput,
+    MulInput,
+    AddScaled(i8),
+}
+
+fn apply(op: RandomOp, g: &mut Graph, cur: Var, other: Var) -> Var {
+    match op {
+        RandomOp::Scale(s) => g.scale(cur, s as f32 / 3.0 + 0.1),
+        RandomOp::AddInput => g.add(cur, other),
+        RandomOp::MulInput => g.mul(cur, other),
+        RandomOp::AddScaled(s) => g.add_scaled(cur, other, s as f32 / 4.0),
+    }
+}
+
+fn op_strategy() -> impl Strategy<Value = RandomOp> {
+    prop_oneof![
+        (-6i8..6).prop_map(RandomOp::Scale),
+        Just(RandomOp::AddInput),
+        Just(RandomOp::MulInput),
+        (-6i8..6).prop_map(RandomOp::AddScaled),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 24, ..ProptestConfig::default() })]
+
+    /// Chains of random elementwise ops gradcheck against central
+    /// differences.
+    #[test]
+    fn random_elementwise_chains_gradcheck(
+        ops in prop::collection::vec(op_strategy(), 1..6),
+        seed in 0u64..10_000,
+    ) {
+        let mut rng = XorShiftRng::new(seed);
+        let x = Tensor::randn([4], &mut rng);
+        let y = Tensor::randn([4], &mut rng);
+        let result = gradcheck(
+            &[x, y],
+            |g, v| {
+                let mut cur = v[0];
+                for &op in &ops {
+                    cur = apply(op, g, cur, v[1]);
+                }
+                cur
+            },
+            1e-3,
+            5e-2,
+        );
+        prop_assert!(result.is_ok(), "{:?} with ops {ops:?}", result.err());
+    }
+
+    /// Linear layers inside arbitrary smooth chains gradcheck too.
+    #[test]
+    fn linear_in_chain_gradchecks(
+        pre_scale in -3.0f32..3.0,
+        post_scale in -3.0f32..3.0,
+        seed in 0u64..10_000,
+    ) {
+        prop_assume!(pre_scale.abs() > 0.05 && post_scale.abs() > 0.05);
+        let mut rng = XorShiftRng::new(seed);
+        let x = Tensor::randn([2, 3], &mut rng);
+        let w = Tensor::randn([4, 3], &mut rng);
+        let b = Tensor::randn([4], &mut rng);
+        let result = gradcheck(
+            &[x, w, b],
+            |g, v| {
+                let s = g.scale(v[0], pre_scale);
+                let lin = g.linear(s, v[1], Some(v[2]));
+                g.scale(lin, post_scale)
+            },
+            1e-2,
+            5e-2,
+        );
+        prop_assert!(result.is_ok(), "{:?}", result.err());
+    }
+
+    /// Seeding a gradient twice accumulates exactly (linearity of the
+    /// backward pass).
+    #[test]
+    fn backward_is_linear_in_seeds(seed in 0u64..10_000, s in 0.1f32..4.0) {
+        let mut rng = XorShiftRng::new(seed);
+        let value = Tensor::randn([5], &mut rng);
+
+        let grad_with_seed = |scale: f32| -> Tensor {
+            let mut g = Graph::new();
+            let x = g.leaf(value.clone(), true);
+            let y = g.scale(x, 2.5);
+            let z = g.mul(y, y);
+            g.seed_grad(z, Tensor::full([5], scale));
+            g.backward();
+            g.grad(x).unwrap().clone()
+        };
+        let g1 = grad_with_seed(1.0);
+        let gs = grad_with_seed(s);
+        prop_assert!(gs.allclose(&g1.scale(s), 1e-3 * (1.0 + s)));
+    }
+
+    /// Pruned subgraphs (requires_grad = false) never receive gradients,
+    /// whatever the graph shape.
+    #[test]
+    fn no_grad_leaves_stay_clean(seed in 0u64..10_000) {
+        let mut rng = XorShiftRng::new(seed);
+        let mut g = Graph::new();
+        let frozen = g.leaf(Tensor::randn([3], &mut rng), false);
+        let live = g.leaf(Tensor::randn([3], &mut rng), true);
+        let a = g.mul(frozen, live);
+        let b = g.add(a, frozen);
+        g.seed_grad(b, Tensor::ones([3]));
+        g.backward();
+        prop_assert!(g.grad(frozen).is_none());
+        prop_assert!(g.grad(live).is_some());
+    }
+}

@@ -1,0 +1,63 @@
+//! Criterion micro-benchmarks of the compute substrate: the kernels whose
+//! cost model feeds the paper-shape latency projections.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use skipper_snn::{lif_step_infer, Encoder, LifConfig, PoissonEncoder};
+use skipper_tensor::{avg_pool2d, conv2d, matmul, Conv2dSpec, Tensor, XorShiftRng};
+
+fn bench_matmul(c: &mut Criterion) {
+    let mut group = c.benchmark_group("matmul");
+    let mut rng = XorShiftRng::new(1);
+    for n in [32usize, 64, 128] {
+        let a = Tensor::randn([n, n], &mut rng);
+        let b = Tensor::randn([n, n], &mut rng);
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |bch, _| {
+            bch.iter(|| matmul(&a, &b))
+        });
+    }
+    group.finish();
+}
+
+fn bench_conv2d(c: &mut Criterion) {
+    let mut group = c.benchmark_group("conv2d_3x3_pad1");
+    let mut rng = XorShiftRng::new(2);
+    for (b, ch, hw) in [(4usize, 8usize, 16usize), (8, 16, 16), (8, 32, 32)] {
+        let input = Tensor::randn([b, ch, hw, hw], &mut rng);
+        let weight = Tensor::randn([ch, ch, 3, 3], &mut rng);
+        let id = format!("b{b}_c{ch}_{hw}x{hw}");
+        group.bench_function(BenchmarkId::from_parameter(id), |bch| {
+            bch.iter(|| conv2d(&input, &weight, None, Conv2dSpec::padded(1)))
+        });
+    }
+    group.finish();
+}
+
+fn bench_pool_and_lif(c: &mut Criterion) {
+    let mut rng = XorShiftRng::new(3);
+    let x = Tensor::randn([8, 32, 16, 16], &mut rng);
+    c.bench_function("avg_pool2d_2x2", |b| b.iter(|| avg_pool2d(&x, 2)));
+
+    let cfg = LifConfig::default();
+    let current = Tensor::randn([8, 32, 16, 16], &mut rng);
+    let mem = Tensor::randn([8, 32, 16, 16], &mut rng);
+    let prev = Tensor::rand([8, 32, 16, 16], &mut rng).map(|v| (v > 0.8) as i32 as f32);
+    c.bench_function("lif_step_infer_64k_neurons", |b| {
+        b.iter(|| lif_step_infer(&cfg, &current, &mem, &prev))
+    });
+}
+
+fn bench_poisson_encode(c: &mut Criterion) {
+    let mut rng = XorShiftRng::new(4);
+    let frames = Tensor::rand([8, 3, 16, 16], &mut rng);
+    let encoder = PoissonEncoder::default();
+    c.bench_function("poisson_encode_T16", |b| {
+        b.iter(|| encoder.encode(&frames, 16, &mut rng))
+    });
+}
+
+criterion_group! {
+    name = kernels;
+    config = Criterion::default().sample_size(20);
+    targets = bench_matmul, bench_conv2d, bench_pool_and_lif, bench_poisson_encode
+}
+criterion_main!(kernels);

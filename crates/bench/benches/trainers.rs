@@ -1,0 +1,54 @@
+//! Criterion benchmarks of one full training iteration per method — the
+//! end-to-end costs behind Figs. 7 and 10: checkpointing should cost ~4/3
+//! of baseline, Skipper less than baseline.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use skipper_core::{Method, TrainSession};
+use skipper_snn::{custom_net, ModelConfig, Sgd};
+use skipper_tensor::{Tensor, XorShiftRng};
+
+fn iteration_bench(c: &mut Criterion) {
+    let timesteps = 24usize;
+    let mut rng = XorShiftRng::new(5);
+    let inputs: Vec<Tensor> = (0..timesteps)
+        .map(|_| Tensor::rand([4, 3, 12, 12], &mut rng).map(|x| (x > 0.6) as i32 as f32))
+        .collect();
+    let labels = vec![0usize, 1, 2, 3];
+    let methods = [
+        ("bptt", Method::Bptt),
+        ("checkpointed_c4", Method::Checkpointed { checkpoints: 4 }),
+        (
+            "skipper_c4_p50",
+            Method::Skipper {
+                checkpoints: 4,
+                percentile: 50.0,
+            },
+        ),
+        ("tbptt_w6", Method::Tbptt { window: 6 }),
+        (
+            "tbptt_lbp_w6",
+            Method::TbpttLbp {
+                window: 6,
+                taps: vec![1, 2],
+            },
+        ),
+    ];
+    let mut group = c.benchmark_group("train_iteration_customnet_t24_b4");
+    group.sample_size(10);
+    for (name, method) in methods {
+        group.bench_function(BenchmarkId::from_parameter(name), |b| {
+            let net = custom_net(&ModelConfig {
+                input_hw: 12,
+                width_mult: 0.25,
+                ..ModelConfig::default()
+            });
+            let mut session =
+                TrainSession::new(net, Box::new(Sgd::new(1e-4)), method.clone(), timesteps);
+            b.iter(|| session.train_batch(&inputs, &labels));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(trainers, iteration_bench);
+criterion_main!(trainers);

@@ -1,0 +1,18 @@
+use skipper_bench::{Workload, WorkloadKind};
+use skipper_snn::StepCtx;
+use skipper_tensor::XorShiftRng;
+fn main() {
+    let w = Workload::build(WorkloadKind::Vgg11Cifar100);
+    let mut rng = XorShiftRng::new(1);
+    let (inputs, _) = w.train.first_batch(4, w.timesteps, &mut rng);
+    let mut state = w.net.init_state(4);
+    let mut sums = vec![0.0f64; w.net.state_shapes().len()];
+    for (t, inp) in inputs.iter().enumerate() {
+        let _ = w.net.step_infer(inp, &mut state, &StepCtx::eval(t));
+        for (i, s) in state.spikes.iter().enumerate() { sums[i] += s.sum(); }
+    }
+    for (i, (s, shape)) in sums.iter().zip(w.net.state_shapes()).enumerate() {
+        let n: usize = shape.iter().product();
+        println!("layer {i} {:?}: rate {:.4}", shape, s / (n as f64 * 4.0 * w.timesteps as f64));
+    }
+}

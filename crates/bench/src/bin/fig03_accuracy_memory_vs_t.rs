@@ -1,0 +1,62 @@
+//! Paper Fig. 3(a,b): test accuracy and GPU memory vs timesteps for
+//! VGG5+CIFAR10 and ResNet20+CIFAR10 under baseline BPTT.
+//!
+//! Expected shape: accuracy improves (then saturates) with more timesteps;
+//! memory grows linearly with T.
+
+use skipper_bench::{fit, quick_mode, Report, Workload, WorkloadKind};
+use skipper_core::{Method, TrainSession};
+use skipper_memprof::{reset_peaks, snapshot};
+use skipper_snn::Adam;
+
+fn main() {
+    let mut report = Report::new("fig03_accuracy_memory_vs_t");
+    let quick = quick_mode();
+    let epochs = if quick { 1 } else { 3 };
+    for kind in [WorkloadKind::Vgg5Cifar10, WorkloadKind::Resnet20Cifar10] {
+        let probe = Workload::build(kind);
+        let sweep: Vec<usize> = if quick {
+            vec![probe.timesteps / 4, probe.timesteps / 2]
+        } else {
+            vec![
+                probe.timesteps / 8,
+                probe.timesteps / 4,
+                probe.timesteps / 2,
+                probe.timesteps * 3 / 4,
+                probe.timesteps,
+            ]
+        };
+        report.line(format!(
+            "== {} (scaled from paper T={} B={}) — baseline BPTT ==",
+            probe.name, probe.paper.timesteps, probe.paper.batch
+        ));
+        report.line(format!(
+            "{:>6} {:>10} {:>14}",
+            "T", "test acc", "peak tensor mem"
+        ));
+        let mut series = Vec::new();
+        for &t in &sweep {
+            let w = Workload::build(kind);
+            let mut session =
+                TrainSession::new(w.net, Box::new(Adam::new(2e-3)), Method::Bptt, t);
+            reset_peaks();
+            let r = fit(&mut session, &w.train, &w.test, epochs, w.batch, 42);
+            let peak = snapshot().total_peak();
+            report.line(format!(
+                "{t:>6} {:>9.1}% {:>10.2} MiB",
+                100.0 * r.final_val_acc(),
+                peak as f64 / (1 << 20) as f64
+            ));
+            series.push(serde_json::json!({
+                "t": t,
+                "test_acc": r.final_val_acc(),
+                "peak_bytes": peak,
+            }));
+        }
+        report.json(probe.name, series);
+        report.blank();
+    }
+    report.line("Expected shape (paper Fig. 3a,b): accuracy rises with T while");
+    report.line("memory grows linearly in T.");
+    report.save();
+}

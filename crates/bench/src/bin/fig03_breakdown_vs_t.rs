@@ -1,0 +1,72 @@
+//! Paper Fig. 3(c,d): breakdown of GPU tensor memory by category vs
+//! timesteps, for VGG5 and ResNet20 at fixed batch size, baseline BPTT.
+//!
+//! Expected shape: the activation share grows with T and dominates
+//! (60–95 % in the paper).
+
+use skipper_bench::{measure, MeasureConfig, Report, Workload, WorkloadKind};
+use skipper_core::{Method, TrainSession};
+use skipper_memprof::{Category, DeviceModel};
+use skipper_snn::Adam;
+
+fn main() {
+    let mut report = Report::new("fig03_breakdown_vs_t");
+    let device = DeviceModel::a100_80gb();
+    let cats = [
+        Category::Activations,
+        Category::Input,
+        Category::Weights,
+        Category::WeightGrads,
+        Category::OptimizerState,
+    ];
+    for kind in [WorkloadKind::Vgg5Cifar10, WorkloadKind::Resnet20Cifar10] {
+        let probe = Workload::build_for_measurement(kind);
+        report.line(format!(
+            "== {} — tensor memory breakdown vs T (B={}) ==",
+            probe.name, probe.batch
+        ));
+        let mut header = format!("{:>6}", "T");
+        for c in cats {
+            header += &format!(" {:>14}", c.label());
+        }
+        report.line(header);
+        let sweep = [
+            probe.timesteps / 4,
+            probe.timesteps / 2,
+            probe.timesteps * 3 / 4,
+            probe.timesteps,
+        ];
+        let mut series = Vec::new();
+        for &t in &sweep {
+            let w = Workload::build_for_measurement(kind);
+            let mut session =
+                TrainSession::new(w.net, Box::new(Adam::new(1e-3)), Method::Bptt, t);
+            let m = measure(
+                &mut session,
+                &w.train,
+                &MeasureConfig {
+                    iterations: 2,
+                    warmup: 1,
+                    batch: w.batch,
+                    timesteps: t,
+                },
+                &device,
+            );
+            let total: u64 = cats.iter().map(|&c| m.peak(c)).sum();
+            let mut row = format!("{t:>6}");
+            let mut frac = serde_json::Map::new();
+            for c in cats {
+                let pct = 100.0 * m.peak(c) as f64 / total.max(1) as f64;
+                row += &format!(" {pct:>13.1}%");
+                frac.insert(c.label().to_owned(), serde_json::json!(pct));
+            }
+            report.line(row);
+            series.push(serde_json::json!({"t": t, "percent": frac, "total_bytes": total}));
+        }
+        report.json(probe.name, series);
+        report.blank();
+    }
+    report.line("Expected shape (paper Fig. 3c,d): activations dominate and their");
+    report.line("share grows with T (paper: 60%-95%).");
+    report.save();
+}

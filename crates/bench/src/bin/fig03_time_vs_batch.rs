@@ -1,0 +1,72 @@
+//! Paper Fig. 3(e,f): time per training epoch and GPU memory vs batch
+//! size, for VGG5 and ResNet20 under baseline BPTT.
+//!
+//! Expected shape: per-epoch modeled device time falls steeply with batch
+//! size (launch-overhead amortisation — the paper reports ~5x from B=32 to
+//! B=512) while memory grows linearly in B.
+
+use skipper_bench::{human_bytes, measure, quick_mode, MeasureConfig, Report, Workload, WorkloadKind};
+use skipper_core::{Method, TrainSession};
+use skipper_memprof::DeviceModel;
+use skipper_snn::Adam;
+
+fn main() {
+    let mut report = Report::new("fig03_time_vs_batch");
+    let device = DeviceModel::a100_80gb();
+    let epoch_samples = 512usize; // fixed sample budget per epoch
+    for kind in [WorkloadKind::Vgg5Cifar10, WorkloadKind::Resnet20Cifar10] {
+        let probe = Workload::build_for_measurement(kind);
+        let batches: Vec<usize> = if quick_mode() {
+            vec![2, 8]
+        } else {
+            vec![2, 4, 8, 16, 32]
+        };
+        report.line(format!(
+            "== {} — epoch time & memory vs batch size (T={}) ==",
+            probe.name, probe.timesteps
+        ));
+        report.line(format!(
+            "{:>6} {:>16} {:>16} {:>14}",
+            "B", "epoch (modeled)", "epoch (wall)", "tensor peak"
+        ));
+        let mut series = Vec::new();
+        for &b in &batches {
+            let w = Workload::build_for_measurement(kind);
+            let mut session = TrainSession::new(
+                w.net,
+                Box::new(Adam::new(1e-3)),
+                Method::Bptt,
+                w.timesteps,
+            );
+            let m = measure(
+                &mut session,
+                &w.train,
+                &MeasureConfig {
+                    iterations: 2,
+                    warmup: 1,
+                    batch: b,
+                    timesteps: w.timesteps,
+                },
+                &device,
+            );
+            let iters = epoch_samples.div_ceil(b) as f64;
+            report.line(format!(
+                "{b:>6} {:>14.2} s {:>14.2} s {:>14}",
+                m.modeled_s * iters,
+                m.wall_s * iters,
+                human_bytes(m.tensor_peak)
+            ));
+            series.push(serde_json::json!({
+                "batch": b,
+                "epoch_modeled_s": m.modeled_s * iters,
+                "epoch_wall_s": m.wall_s * iters,
+                "tensor_peak": m.tensor_peak,
+            }));
+        }
+        report.json(probe.name, series);
+        report.blank();
+    }
+    report.line("Expected shape (paper Fig. 3e,f): modeled epoch time drops");
+    report.line("several-fold as B grows; memory scales linearly with B.");
+    report.save();
+}

@@ -1,0 +1,83 @@
+//! Paper Fig. 10: computational overhead of checkpointing, Skipper and
+//! TBPTT relative to baseline BPTT, vs batch size, for the four sweep
+//! workloads.
+//!
+//! Expected shape: plain checkpointing sits ~+30 % above baseline;
+//! Skipper goes *below* baseline (negative overhead, down to −40 % in the
+//! paper); TBPTT is also below baseline but pays for it in accuracy
+//! (Table I).
+
+use skipper_bench::{measure, quick_mode, MeasureConfig, Report, Workload, WorkloadKind};
+use skipper_core::{Method, TrainSession};
+use skipper_memprof::DeviceModel;
+use skipper_snn::Adam;
+
+fn main() {
+    let mut report = Report::new("fig10_overhead_vs_batch");
+    let device = DeviceModel::a100_80gb();
+    let kinds: &[WorkloadKind] = if quick_mode() {
+        &[WorkloadKind::Vgg5Cifar10]
+    } else {
+        &WorkloadKind::SWEEPS
+    };
+    for &kind in kinds {
+        let probe = Workload::build_for_measurement(kind);
+        let t = probe.timesteps;
+        let batches: Vec<usize> = if quick_mode() {
+            vec![4]
+        } else {
+            vec![2, 4, 8, 16]
+        };
+        let methods = [
+            Method::Checkpointed {
+                checkpoints: probe.checkpoints,
+            },
+            Method::Skipper {
+                checkpoints: probe.checkpoints,
+                percentile: probe.percentile,
+            },
+            Method::Tbptt { window: probe.trw },
+        ];
+        report.line(format!(
+            "== {} — modeled time overhead vs baseline (T={t}) ==",
+            probe.name
+        ));
+        let mut header = format!("{:>6}", "B");
+        for m in &methods {
+            header += &format!(" {:>16}", m.label());
+        }
+        report.line(header);
+        let mut series = Vec::new();
+        for &b in &batches {
+            let mcfg = MeasureConfig {
+                iterations: 2,
+                warmup: 1,
+                batch: b,
+                timesteps: t,
+            };
+            let base = {
+                let w = Workload::build_for_measurement(kind);
+                let mut s = TrainSession::new(w.net, Box::new(Adam::new(1e-3)), Method::Bptt, t);
+                measure(&mut s, &w.train, &mcfg, &device).modeled_s
+            };
+            let mut row = format!("{b:>6}");
+            let mut entry = serde_json::Map::new();
+            entry.insert("batch".into(), serde_json::json!(b));
+            for m in &methods {
+                let w = Workload::build_for_measurement(kind);
+                let mut s = TrainSession::new(w.net, Box::new(Adam::new(1e-3)), m.clone(), t);
+                let time = measure(&mut s, &w.train, &mcfg, &device).modeled_s;
+                let overhead = 100.0 * (time - base) / base;
+                row += &format!(" {overhead:>+15.1}%");
+                entry.insert(m.label(), serde_json::json!(overhead / 100.0));
+            }
+            report.line(row);
+            series.push(serde_json::Value::Object(entry));
+        }
+        report.json(probe.name, series);
+        report.blank();
+    }
+    report.line("Expected shape (paper Fig. 10): checkpointing ~+30%; skipper");
+    report.line("negative overhead (faster than baseline); TBPTT also fast.");
+    report.save();
+}

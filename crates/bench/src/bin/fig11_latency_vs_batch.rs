@@ -1,0 +1,86 @@
+//! Paper Fig. 11: end-to-end training latency per epoch vs batch size,
+//! with each bar annotated by its memory consumption — under a constant
+//! memory budget, Skipper fits larger batches and finishes epochs sooner.
+//!
+//! Expected shape: for every method latency falls with B; at the *same*
+//! memory budget Skipper reaches a larger B than checkpointing, which
+//! reaches a larger B than baseline (paper: up to 52 % lower latency).
+
+use skipper_bench::{human_bytes, measure, quick_mode, MeasureConfig, Report, Workload, WorkloadKind};
+use skipper_core::{Method, TrainSession};
+use skipper_memprof::DeviceModel;
+use skipper_snn::Adam;
+
+fn main() {
+    let mut report = Report::new("fig11_latency_vs_batch");
+    let device = DeviceModel::a100_80gb();
+    let epoch_samples = 512usize;
+    let kinds: &[WorkloadKind] = if quick_mode() {
+        &[WorkloadKind::Vgg5Cifar10]
+    } else {
+        &WorkloadKind::SWEEPS
+    };
+    for &kind in kinds {
+        let probe = Workload::build_for_measurement(kind);
+        let t = probe.timesteps;
+        let methods = [
+            Method::Bptt,
+            Method::Checkpointed {
+                checkpoints: probe.checkpoints,
+            },
+            Method::Skipper {
+                checkpoints: probe.checkpoints,
+                percentile: probe.percentile,
+            },
+        ];
+        let batches: Vec<usize> = if quick_mode() {
+            vec![4]
+        } else {
+            vec![2, 4, 8, 16]
+        };
+        report.line(format!(
+            "== {} — epoch latency (modeled) and memory vs B (T={t}) ==",
+            probe.name
+        ));
+        let mut series = Vec::new();
+        for m in &methods {
+            report.line(format!("-- {} --", m.label()));
+            report.line(format!(
+                "{:>6} {:>14} {:>16}",
+                "B", "epoch latency", "overall memory"
+            ));
+            for &b in &batches {
+                let w = Workload::build_for_measurement(kind);
+                let mut s = TrainSession::new(w.net, Box::new(Adam::new(1e-3)), m.clone(), t);
+                let meas = measure(
+                    &mut s,
+                    &w.train,
+                    &MeasureConfig {
+                        iterations: 2,
+                        warmup: 1,
+                        batch: b,
+                        timesteps: t,
+                    },
+                    &device,
+                );
+                let iters = epoch_samples.div_ceil(b) as f64;
+                report.line(format!(
+                    "{b:>6} {:>12.2} s {:>16}",
+                    meas.modeled_s * iters,
+                    human_bytes(meas.overall_bytes)
+                ));
+                series.push(serde_json::json!({
+                    "method": m.label(),
+                    "batch": b,
+                    "epoch_s": meas.modeled_s * iters,
+                    "overall_bytes": meas.overall_bytes,
+                }));
+            }
+        }
+        report.json(probe.name, series);
+        report.blank();
+    }
+    report.line("Expected shape (paper Fig. 11): at any fixed memory budget the");
+    report.line("skipper column reaches the largest batch and lowest epoch latency.");
+    report.save();
+}

@@ -1,0 +1,79 @@
+//! Paper Fig. 12: overall GPU memory consumption vs batch size for
+//! baseline BPTT, checkpointing, Skipper and TBPTT, on the four sweep
+//! workloads.
+//!
+//! Expected shape: baseline highest and growing fastest with B;
+//! checkpointing 2–4x lower; Skipper another 1.2–1.7x below that; TBPTT
+//! comparable to checkpointing.
+
+use skipper_bench::{human_bytes, measure, quick_mode, MeasureConfig, Report, Workload, WorkloadKind};
+use skipper_core::TrainSession;
+use skipper_memprof::DeviceModel;
+use skipper_snn::Adam;
+
+fn main() {
+    let mut report = Report::new("fig12_memory_vs_batch");
+    let device = DeviceModel::a100_80gb();
+    let kinds: &[WorkloadKind] = if quick_mode() {
+        &[WorkloadKind::Vgg5Cifar10]
+    } else {
+        &WorkloadKind::SWEEPS
+    };
+    for &kind in kinds {
+        let probe = Workload::build_for_measurement(kind);
+        let t = probe.timesteps;
+        let methods = probe.methods();
+        let batches: Vec<usize> = if quick_mode() {
+            vec![4]
+        } else {
+            vec![2, 4, 8, 16]
+        };
+        report.line(format!(
+            "== {} — peak tensor memory vs batch size (T={t}) ==",
+            probe.name
+        ));
+        report.line("   (overall = tensor + cache + 600 MiB context; see JSON)");
+        let mut header = format!("{:>6}", "B");
+        for m in &methods {
+            header += &format!(" {:>16}", m.label());
+        }
+        report.line(header);
+        let mut series = Vec::new();
+        for &b in &batches {
+            let mut row = format!("{b:>6}");
+            let mut entry = serde_json::Map::new();
+            entry.insert("batch".into(), serde_json::json!(b));
+            for m in &methods {
+                let w = Workload::build_for_measurement(kind);
+                let mut s = TrainSession::new(w.net, Box::new(Adam::new(1e-3)), m.clone(), t);
+                let meas = measure(
+                    &mut s,
+                    &w.train,
+                    &MeasureConfig {
+                        iterations: 2,
+                        warmup: 1,
+                        batch: b,
+                        timesteps: t,
+                    },
+                    &device,
+                );
+                row += &format!(" {:>16}", human_bytes(meas.tensor_peak));
+                entry.insert(
+                    m.label(),
+                    serde_json::json!({
+                        "tensor_peak": meas.tensor_peak,
+                        "overall_bytes": meas.overall_bytes,
+                    }),
+                );
+            }
+            report.line(row);
+            series.push(serde_json::Value::Object(entry));
+        }
+        report.json(probe.name, series);
+        report.blank();
+    }
+    report.line("Expected shape (paper Fig. 12): baseline >> checkpointed ≈ TBPTT");
+    report.line("> skipper, with the gap widening as B grows (paper: 1.7x-3.7x");
+    report.line("for checkpointing, a further 1.2x-1.7x for skipper).");
+    report.save();
+}

@@ -1,0 +1,176 @@
+//! Paper Fig. 14: peak GPU memory (log scale) vs timesteps for VGG11 and
+//! ResNet20 under baseline / checkpointing / Skipper, including the
+//! extrapolated out-of-memory bars.
+//!
+//! Small horizons are *measured*; large horizons use the analytic model
+//! (validated against the tracker in the integration tests) — exactly the
+//! paper's own methodology for its patterned bars.
+//!
+//! Expected shape: baseline linear in T and first to hit the 80 GiB wall;
+//! checkpointing scales to ~4.5x the baseline's maximum T; Skipper to
+//! ~9x.
+
+use skipper_bench::{human_bytes, measure, quick_mode, MeasureConfig, Report, Workload, WorkloadKind};
+use skipper_core::{AnalyticModel, Method, TrainSession};
+use skipper_memprof::DeviceModel;
+use skipper_snn::{resnet20, vgg11, ModelConfig, SpikingNetwork};
+use skipper_core::max_skippable_percentile;
+
+fn paper_scale_net(kind: WorkloadKind) -> SpikingNetwork {
+    // Full-width networks at CIFAR resolution for the analytic projection.
+    match kind {
+        WorkloadKind::Vgg11Cifar100 => vgg11(&ModelConfig {
+            input_hw: 32,
+            num_classes: 100,
+            width_mult: 1.0,
+            ..ModelConfig::default()
+        }),
+        _ => resnet20(&ModelConfig {
+            input_hw: 32,
+            num_classes: 10,
+            width_mult: 1.0,
+            ..ModelConfig::default()
+        }),
+    }
+}
+
+fn main() {
+    let mut report = Report::new("fig14_memory_vs_timesteps");
+    let device = DeviceModel::a100_80gb();
+    for (kind, c, p, paper_ts) in [
+        (
+            WorkloadKind::Vgg11Cifar100,
+            5usize,
+            50.0f32,
+            vec![100usize, 200, 300, 500, 900, 1000, 1500, 1800],
+        ),
+        (
+            WorkloadKind::Resnet20Cifar10,
+            5,
+            52.0,
+            vec![200, 300, 500, 900, 1000, 2500, 2800],
+        ),
+    ] {
+        let probe = Workload::build_for_measurement(kind);
+        // -------- measured, scaled --------
+        report.line(format!(
+            "== {} — MEASURED at laptop scale (B={}) ==",
+            probe.name, probe.batch
+        ));
+        report.line(format!(
+            "{:>6} {:>14} {:>14} {:>14}",
+            "T", "baseline", probe.methods()[1].label(), probe.methods()[2].label()
+        ));
+        let t_sweep: Vec<usize> = if quick_mode() {
+            vec![probe.timesteps / 2]
+        } else {
+            vec![probe.timesteps / 2, probe.timesteps]
+        };
+        let mut measured = Vec::new();
+        for &t in &t_sweep {
+            let mut row = format!("{t:>6}");
+            let mut entry = serde_json::Map::new();
+            entry.insert("t".into(), serde_json::json!(t));
+            let layers = probe.net.spiking_layer_count();
+            let cc = probe.checkpoints.min(t / layers.max(1)).max(1);
+            let pp = probe
+                .percentile
+                .min((max_skippable_percentile(t, cc, layers) - 1.0).max(0.0));
+            for m in [
+                Method::Bptt,
+                Method::Checkpointed { checkpoints: cc },
+                Method::Skipper {
+                    checkpoints: cc,
+                    percentile: pp,
+                },
+            ] {
+                let w = Workload::build_for_measurement(kind);
+                let mut s = TrainSession::new(w.net, Box::new(Adam::new(1e-3)), m.clone(), t);
+                let meas = measure(
+                    &mut s,
+                    &w.train,
+                    &MeasureConfig {
+                        iterations: 2,
+                        warmup: 1,
+                        batch: probe.batch,
+                        timesteps: t,
+                    },
+                    &device,
+                );
+                row += &format!(" {:>14}", human_bytes(meas.tensor_peak));
+                entry.insert(m.label(), serde_json::json!(meas.tensor_peak));
+            }
+            report.line(row);
+            measured.push(serde_json::Value::Object(entry));
+        }
+        report.json(format!("{}_measured", probe.name), measured);
+
+        // -------- analytic, paper scale --------
+        let net = paper_scale_net(kind);
+        let model = AnalyticModel::new(&net);
+        let batch = 128usize;
+        report.blank();
+        report.line(format!(
+            "== {} — ANALYTIC at paper scale (width 1.0, 32x32, B={batch}) ==",
+            probe.name
+        ));
+        report.line(format!(
+            "{:>6} {:>14} {:>14} {:>14}",
+            "T", "baseline", format!("C={c}"), format!("C={c} & p={p:.0}")
+        ));
+        let mut analytic = Vec::new();
+        for &t in &paper_ts {
+            let mut row = format!("{t:>6}");
+            let mut entry = serde_json::Map::new();
+            entry.insert("t".into(), serde_json::json!(t));
+            for m in [
+                Method::Bptt,
+                Method::Checkpointed { checkpoints: c },
+                Method::Skipper {
+                    checkpoints: c,
+                    percentile: p,
+                },
+            ] {
+                let bytes = model.breakdown(&m, t, batch).total();
+                let marker = if device.fits(bytes) { ' ' } else { '*' };
+                row += &format!(" {:>13}{marker}", human_bytes(bytes));
+                entry.insert(m.label(), serde_json::json!(bytes));
+            }
+            report.line(row);
+            analytic.push(serde_json::Value::Object(entry));
+        }
+        report.json(format!("{}_analytic", probe.name), analytic);
+        // Maximum horizon ratios.
+        let t_max = |m: &Method| {
+            let mut best = 0usize;
+            let mut t = 50;
+            while t <= 50_000 {
+                if device.fits(model.breakdown(m, t, batch).total()) {
+                    best = t;
+                } else {
+                    break;
+                }
+                t += 50;
+            }
+            best
+        };
+        let tb = t_max(&Method::Bptt);
+        let tc = t_max(&Method::Checkpointed { checkpoints: c });
+        let ts = t_max(&Method::Skipper {
+            checkpoints: c,
+            percentile: p,
+        });
+        report.line(format!(
+            "  T_max: baseline {tb}, checkpointed {tc} ({:.1}x), skipper {ts} ({:.1}x)",
+            tc as f64 / tb.max(1) as f64,
+            ts as f64 / tb.max(1) as f64
+        ));
+        report.line("  (* = exceeds the 80 GiB A100: the paper's patterned bars)");
+        report.blank();
+    }
+    report.line("Expected shape (paper Fig. 14): baseline grows linearly and OOMs");
+    report.line("first; checkpointing reaches ~3-4.5x its T_max; skipper ~9x.");
+    report.save();
+}
+
+use skipper_snn::Adam;

@@ -1,0 +1,83 @@
+//! Within-iteration activation-memory timelines (supplementary figure).
+//!
+//! The defining picture of the paper's mechanism, reconstructed from the
+//! allocation event log of one real training iteration per method:
+//!
+//! * baseline BPTT — one big sawtooth (ramp over the whole forward pass,
+//!   drain during backward);
+//! * checkpointed — `C` small humps, one per re-executed segment;
+//! * Skipper — the same humps, flattened by the skipped timesteps.
+
+use skipper_bench::{human_bytes, quick_mode, Report, Workload, WorkloadKind};
+use skipper_core::{Method, TrainSession};
+use skipper_memprof::{
+    downsample, enable_event_log, sparkline, take_events, timeline_from_events, Category,
+};
+use skipper_snn::Adam;
+use skipper_tensor::XorShiftRng;
+
+fn main() {
+    let mut report = Report::new("memory_timeline");
+    let kind = WorkloadKind::Vgg5Cifar10;
+    let probe = Workload::build_for_measurement(kind);
+    let t = if quick_mode() {
+        probe.timesteps / 2
+    } else {
+        probe.timesteps
+    };
+    let width = 72usize;
+    report.line(format!(
+        "Activation memory over one training iteration — {} (T={t}, B={})",
+        probe.name, probe.batch
+    ));
+    report.blank();
+    let methods = [
+        Method::Bptt,
+        Method::Checkpointed {
+            checkpoints: probe.checkpoints,
+        },
+        Method::Skipper {
+            checkpoints: probe.checkpoints,
+            percentile: probe.percentile,
+        },
+    ];
+    let mut series = Vec::new();
+    for m in &methods {
+        let w = Workload::build_for_measurement(kind);
+        let mut session = TrainSession::new(w.net, Box::new(Adam::new(1e-3)), m.clone(), t);
+        let mut rng = XorShiftRng::new(1);
+        let (inputs, labels) = w.train.first_batch(probe.batch, t, &mut rng);
+        // Warm-up so persistent buffers exist, then record one iteration.
+        let _ = session.train_batch(&inputs, &labels);
+        enable_event_log();
+        let _ = session.train_batch(&inputs, &labels);
+        let events = take_events();
+        let tl = timeline_from_events(&events);
+        let peak = tl
+            .iter()
+            .map(|p| p.live(Category::Activations))
+            .max()
+            .unwrap_or(0);
+        let small = downsample(&tl, width);
+        report.line(format!(
+            "{:<14} peak {:>10}  ({} allocation events)",
+            m.label(),
+            human_bytes(peak),
+            events.len()
+        ));
+        report.line(format!("  {}", sparkline(&small, Category::Activations)));
+        report.blank();
+        series.push(serde_json::json!({
+            "method": m.label(),
+            "peak_bytes": peak,
+            "curve": small
+                .iter()
+                .map(|p| p.live(Category::Activations))
+                .collect::<Vec<_>>(),
+        }));
+    }
+    report.json("timelines", series);
+    report.line("Expected shape: one tall sawtooth for baseline; C low humps for");
+    report.line("checkpointing; flattened humps for skipper.");
+    report.save();
+}

@@ -1,0 +1,93 @@
+//! Paper Table I: test accuracy of the five workloads under the four
+//! training techniques (baseline BPTT, checkpointed, Skipper, TBPTT).
+//!
+//! Expected shape: checkpointing matches baseline exactly (same
+//! gradients); Skipper stays within noise of baseline; TBPTT matches on
+//! shallow networks but falls behind on the deep ones (the paper's VGG11
+//! drops ~9 %).
+
+use skipper_bench::{fit, quick_mode, Report, Workload, WorkloadKind};
+use skipper_core::{Method, TrainSession};
+use skipper_snn::Adam;
+
+fn main() {
+    let mut report = Report::new("table1_accuracy");
+    let quick = quick_mode();
+    // Per-workload epoch budgets: heavier networks get fewer epochs (the
+    // hybrid ANN pre-initialisation gives them a head start, as in the
+    // paper's 20-epoch fine-tuning).
+    let epochs_for = |kind: WorkloadKind| -> usize {
+        if quick {
+            return 1;
+        }
+        match kind {
+            WorkloadKind::Resnet20Cifar10 => 3,
+            WorkloadKind::Vgg11Cifar100 => 6,
+            _ => 8,
+        }
+    };
+    let kinds: &[WorkloadKind] = if quick {
+        &[WorkloadKind::Vgg5Cifar10, WorkloadKind::CustomNetNmnist]
+    } else {
+        &WorkloadKind::TABLE1
+    };
+    report.line("Table I (scaled): test accuracy on synthetic data".to_string());
+    report.line(format!(
+        "{:<20} {:>10} {:>12} {:>14} {:>12} {:>8}",
+        "workload", "baseline", "checkpointed", "skipper", "TBPTT", "chance"
+    ));
+    let mut rows = Vec::new();
+    for &kind in kinds {
+        let epochs = epochs_for(kind);
+        let probe = Workload::build(kind);
+        let t = probe.timesteps;
+        let methods = [
+            Method::Bptt,
+            Method::Checkpointed {
+                checkpoints: probe.checkpoints,
+            },
+            Method::Skipper {
+                checkpoints: probe.checkpoints,
+                percentile: probe.percentile,
+            },
+            Method::Tbptt { window: probe.trw },
+        ];
+        let mut accs = Vec::new();
+        for method in &methods {
+            let w = Workload::build(kind);
+            method.validate(&w.net, t).expect("valid method");
+            let mut session =
+                TrainSession::new(w.net, Box::new(Adam::new(2e-3)), method.clone(), t);
+            let r = fit(&mut session, &w.train, &w.test, epochs, w.batch, 42);
+            accs.push(r.final_val_acc());
+        }
+        let chance = 1.0 / probe.train.num_classes() as f64;
+        report.line(format!(
+            "{:<20} {:>9.1}% {:>11.1}% {:>8.1}% (p={:.0}) {:>11.1}% {:>7.1}%",
+            probe.name,
+            100.0 * accs[0],
+            100.0 * accs[1],
+            100.0 * accs[2],
+            probe.percentile,
+            100.0 * accs[3],
+            100.0 * chance,
+        ));
+        rows.push(serde_json::json!({
+            "workload": probe.name,
+            "baseline": accs[0],
+            "checkpointed": accs[1],
+            "skipper": accs[2],
+            "tbptt": accs[3],
+            "checkpoints": probe.checkpoints,
+            "percentile": probe.percentile,
+            "trw": probe.trw,
+            "timesteps": t,
+        }));
+    }
+    report.json("rows", rows);
+    report.blank();
+    report.line("Expected shape (paper Table I): checkpointed == baseline;");
+    report.line("skipper within noise of baseline even at high p; TBPTT");
+    report.line("competitive on shallow nets, weaker on the deep ones.");
+    report.save();
+}

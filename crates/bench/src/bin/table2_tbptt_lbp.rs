@@ -1,0 +1,80 @@
+//! Paper Table II: checkpointing and Skipper vs TBPTT-LBP (Guo et al.
+//! \[28\]) on AlexNet+CIFAR10 at T=20 — accuracy and memory.
+//!
+//! Expected shape: all four configurations land at similar accuracy;
+//! checkpointing/Skipper match or beat TBPTT-LBP's memory, and enlarging
+//! the LBP truncation window costs memory without buying accuracy.
+
+use skipper_bench::{fit, human_bytes, measure, quick_mode, MeasureConfig, Report, Workload, WorkloadKind};
+use skipper_core::{Method, TrainSession};
+use skipper_memprof::DeviceModel;
+use skipper_snn::Adam;
+
+fn main() {
+    let mut report = Report::new("table2_tbptt_lbp");
+    let device = DeviceModel::a100_80gb();
+    let epochs = if quick_mode() { 1 } else { 4 };
+    let probe = Workload::build(WorkloadKind::AlexnetCifar10);
+    let t = probe.timesteps; // 20, as in the paper
+    // AlexNet modules: 5 ConvLif, Flatten, 2 LinearLif, Output.
+    // Paper attaches local classifiers at layers 4 and 8 → module taps 2, 5.
+    let taps = vec![2usize, 5];
+    let configs = [
+        Method::TbpttLbp {
+            window: 10,
+            taps: taps.clone(),
+        },
+        Method::TbpttLbp {
+            window: 20,
+            taps: taps.clone(),
+        },
+        Method::Checkpointed { checkpoints: 2 },
+        Method::Skipper {
+            checkpoints: 2,
+            percentile: 20.0,
+        },
+    ];
+    report.line(format!(
+        "AlexNet+CIFAR10 (scaled), T={t}, B={}, {epochs} epochs",
+        probe.batch
+    ));
+    report.line(format!(
+        "{:<22} {:>10} {:>14}",
+        "config", "accuracy", "overall mem"
+    ));
+    let mut rows = Vec::new();
+    for m in &configs {
+        let w = Workload::build(WorkloadKind::AlexnetCifar10);
+        m.validate(&w.net, t).expect("valid config");
+        let mut session = TrainSession::new(w.net, Box::new(Adam::new(2e-3)), m.clone(), t);
+        let r = fit(&mut session, &w.train, &w.test, epochs, w.batch, 21);
+        let meas = measure(
+            &mut session,
+            &w.train,
+            &MeasureConfig {
+                iterations: 2,
+                warmup: 0,
+                batch: probe.batch,
+                timesteps: t,
+            },
+            &device,
+        );
+        report.line(format!(
+            "{:<22} {:>9.1}% {:>14}",
+            m.label(),
+            100.0 * r.final_val_acc(),
+            human_bytes(meas.overall_bytes)
+        ));
+        rows.push(serde_json::json!({
+            "config": m.label(),
+            "accuracy": r.final_val_acc(),
+            "overall_bytes": meas.overall_bytes,
+        }));
+    }
+    report.json("rows", rows);
+    report.blank();
+    report.line("Expected shape (paper Table II): similar accuracy everywhere;");
+    report.line("LBP trW=20 costs more memory than trW=10 without gaining");
+    report.line("accuracy; C=2 and C=2&p=20 match it at equal or lower memory.");
+    report.save();
+}

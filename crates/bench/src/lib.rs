@@ -1,0 +1,26 @@
+//! Shared harness for the per-figure/per-table benchmark binaries.
+//!
+//! Every table and figure of the paper's evaluation (Section VII) has a
+//! binary under `src/bin/` that regenerates its rows/series at laptop
+//! scale. This library holds what they share:
+//!
+//! * [`workloads`] — the paper's five workload pairings (network x
+//!   dataset) at scaled width/resolution, with the paper's original
+//!   parameters attached for reference;
+//! * [`measure`](fn@measure) — run a [`TrainSession`] for a few instrumented
+//!   iterations and collect exactly what the paper measures (wall time,
+//!   modeled device time, per-category peak tensor bytes, caching
+//!   allocator statistics, overall device occupancy);
+//! * [`report`] — uniform text + JSON output into `results/`.
+//!
+//! [`TrainSession`]: skipper_core::TrainSession
+
+pub mod measure;
+pub mod report;
+pub mod train;
+pub mod workloads;
+
+pub use measure::{human_bytes, measure, DataSource, MeasureConfig, Measurement};
+pub use report::Report;
+pub use train::{evaluate, fit, quick_mode, FitResult};
+pub use workloads::{paper_methods, Workload, WorkloadKind};

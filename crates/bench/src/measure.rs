@@ -1,0 +1,257 @@
+//! Instrumented measurement of training iterations.
+
+use skipper_core::{BatchStats, TrainSession};
+use skipper_data::{event_batch, BatchIter, EventDataset, ImageDataset};
+use skipper_memprof::{
+    enable_event_log, reset_peaks, take_events, AllocStats, CachingAllocator, Category,
+    DeviceModel, LatencyModel,
+};
+use skipper_snn::{Encoder, PoissonEncoder};
+use skipper_tensor::{Tensor, XorShiftRng};
+
+/// A dataset wrapped for uniform spike-batch production.
+pub enum DataSource {
+    /// Frame data, Poisson rate-encoded on the fly.
+    Images {
+        /// The frames.
+        dataset: ImageDataset,
+        /// The encoder applied per batch.
+        encoder: PoissonEncoder,
+    },
+    /// Event data, binned into polarity frames.
+    Events(EventDataset),
+}
+
+impl DataSource {
+    /// Wrap frames with the default Poisson encoder.
+    pub fn images(dataset: ImageDataset) -> DataSource {
+        DataSource::Images {
+            dataset,
+            encoder: PoissonEncoder::default(),
+        }
+    }
+
+    /// Wrap event streams.
+    pub fn events(dataset: EventDataset) -> DataSource {
+        DataSource::Events(dataset)
+    }
+
+    /// Number of samples.
+    pub fn len(&self) -> usize {
+        match self {
+            DataSource::Images { dataset, .. } => dataset.len(),
+            DataSource::Events(d) => d.len(),
+        }
+    }
+
+    /// Whether the source is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Number of classes.
+    pub fn num_classes(&self) -> usize {
+        match self {
+            DataSource::Images { dataset, .. } => dataset.num_classes(),
+            DataSource::Events(d) => d.num_classes(),
+        }
+    }
+
+    /// Spike sequence + labels for the samples at `indices`.
+    pub fn batch(
+        &self,
+        indices: &[usize],
+        timesteps: usize,
+        rng: &mut XorShiftRng,
+    ) -> (Vec<Tensor>, Vec<usize>) {
+        match self {
+            DataSource::Images { dataset, encoder } => {
+                let (frames, labels) = dataset.batch(indices);
+                (encoder.encode(&frames, timesteps, rng), labels)
+            }
+            DataSource::Events(d) => event_batch(d, indices, timesteps),
+        }
+    }
+
+    /// A batch of the first `batch_size` samples wrapped for quick
+    /// measurement loops (cycling when the dataset is small).
+    pub fn first_batch(
+        &self,
+        batch_size: usize,
+        timesteps: usize,
+        rng: &mut XorShiftRng,
+    ) -> (Vec<Tensor>, Vec<usize>) {
+        let indices: Vec<usize> = (0..batch_size).map(|i| i % self.len()).collect();
+        self.batch(&indices, timesteps, rng)
+    }
+
+    /// Shuffled epoch iterator.
+    pub fn epoch(&self, batch_size: usize, seed: u64) -> BatchIter {
+        BatchIter::new_drop_last(self.len(), batch_size, seed)
+    }
+}
+
+/// How to measure.
+#[derive(Debug, Clone, Copy)]
+pub struct MeasureConfig {
+    /// Instrumented iterations (after warm-up).
+    pub iterations: usize,
+    /// Warm-up iterations (excluded from the averages; lets allocator and
+    /// parameter state settle, like the paper's "after a warm start").
+    pub warmup: usize,
+    /// Batch size.
+    pub batch: usize,
+    /// Simulation horizon.
+    pub timesteps: usize,
+}
+
+impl Default for MeasureConfig {
+    fn default() -> Self {
+        MeasureConfig {
+            iterations: 3,
+            warmup: 1,
+            batch: 8,
+            timesteps: 20,
+        }
+    }
+}
+
+/// What one measurement run produced (means over the instrumented
+/// iterations; peaks are maxima).
+#[derive(Debug, Clone)]
+pub struct Measurement {
+    /// Mean wall-clock seconds per iteration (real CPU execution).
+    pub wall_s: f64,
+    /// Mean modeled device seconds per iteration.
+    pub modeled_s: f64,
+    /// Peak coincident tensor bytes.
+    pub tensor_peak: u64,
+    /// Peak bytes per category.
+    pub peaks: Vec<(Category, u64)>,
+    /// Caching-allocator statistics over the instrumented window.
+    pub alloc: AllocStats,
+    /// `nvidia-smi`-style overall bytes: context + reserved.
+    pub overall_bytes: u64,
+    /// Mean loss.
+    pub loss: f64,
+    /// Mean accuracy over the instrumented iterations.
+    pub accuracy: f64,
+    /// Total timesteps skipped.
+    pub skipped: usize,
+    /// Total timesteps recomputed.
+    pub recomputed: usize,
+    /// Mean kernel FLOPs per iteration.
+    pub flops: f64,
+}
+
+impl Measurement {
+    /// Peak bytes of one category.
+    pub fn peak(&self, category: Category) -> u64 {
+        self.peaks
+            .iter()
+            .find(|(c, _)| *c == category)
+            .map(|(_, b)| *b)
+            .unwrap_or(0)
+    }
+}
+
+/// Run `cfg.warmup + cfg.iterations` training iterations of `session` on
+/// repeated batches from `source`, measuring under `device`'s latency and
+/// context models.
+pub fn measure(
+    session: &mut TrainSession,
+    source: &DataSource,
+    cfg: &MeasureConfig,
+    device: &DeviceModel,
+) -> Measurement {
+    let latency = LatencyModel::new(device.clone());
+    let mut rng = XorShiftRng::new(0xBEEF);
+    // Warm-up (not instrumented).
+    for _ in 0..cfg.warmup {
+        let (inputs, labels) = source.first_batch(cfg.batch, cfg.timesteps, &mut rng);
+        let _ = session.train_batch(&inputs, &labels);
+    }
+    reset_peaks();
+    enable_event_log();
+    let mut batches: Vec<BatchStats> = Vec::with_capacity(cfg.iterations);
+    for _ in 0..cfg.iterations {
+        let (inputs, labels) = source.first_batch(cfg.batch, cfg.timesteps, &mut rng);
+        batches.push(session.train_batch(&inputs, &labels));
+    }
+    let events = take_events();
+    let alloc = CachingAllocator::replay(&events);
+    let n = cfg.iterations as f64;
+    let snap = batches
+        .last()
+        .map(|b| b.mem)
+        .expect("at least one iteration");
+    // Persistent bytes (weights, grads, optimizer) + per-iteration peak
+    // reserve drive the nvidia-smi number.
+    let overall = device.overall_bytes(alloc.reserved);
+    Measurement {
+        wall_s: batches.iter().map(|b| b.wall.as_secs_f64()).sum::<f64>() / n,
+        modeled_s: batches
+            .iter()
+            .map(|b| b.modeled_time_s(&latency))
+            .sum::<f64>()
+            / n,
+        tensor_peak: batches.iter().map(|b| b.peak_bytes()).max().unwrap_or(0),
+        peaks: Category::ALL.iter().map(|&c| (c, snap.peak(c))).collect(),
+        alloc,
+        overall_bytes: overall,
+        loss: batches.iter().map(|b| b.loss).sum::<f64>() / n,
+        accuracy: batches.iter().map(|b| b.accuracy()).sum::<f64>() / n,
+        skipped: batches.iter().map(|b| b.skipped_steps).sum(),
+        recomputed: batches.iter().map(|b| b.recomputed_steps).sum(),
+        flops: batches.iter().map(|b| b.ops.total_flops()).sum::<f64>() / n,
+    }
+}
+
+/// Format bytes as MiB/GiB with sensible precision.
+pub fn human_bytes(bytes: u64) -> String {
+    let gib = bytes as f64 / (1u64 << 30) as f64;
+    if gib >= 1.0 {
+        format!("{gib:.2} GiB")
+    } else {
+        format!("{:.1} MiB", bytes as f64 / (1u64 << 20) as f64)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::workloads::{Workload, WorkloadKind};
+    use skipper_core::Method;
+    use skipper_snn::Adam;
+
+    #[test]
+    fn measure_produces_consistent_numbers() {
+        let w = Workload::build(WorkloadKind::CustomNetNmnist);
+        let mut session = skipper_core::TrainSession::new(
+            w.net,
+            Box::new(Adam::new(1e-3)),
+            Method::Checkpointed { checkpoints: 3 },
+            12,
+        );
+        let cfg = MeasureConfig {
+            iterations: 2,
+            warmup: 1,
+            batch: 4,
+            timesteps: 12,
+        };
+        let m = measure(&mut session, &w.train, &cfg, &DeviceModel::a100_80gb());
+        assert!(m.wall_s > 0.0);
+        assert!(m.modeled_s > 0.0);
+        assert!(m.tensor_peak > 0);
+        assert!(m.alloc.reserved >= m.alloc.peak_allocated);
+        assert!(m.overall_bytes > m.alloc.reserved);
+        assert!(m.peak(Category::Activations) > 0);
+        assert!(m.flops > 0.0);
+    }
+
+    #[test]
+    fn human_bytes_formats() {
+        assert_eq!(human_bytes(512 << 20), "512.0 MiB");
+        assert_eq!(human_bytes(3 << 30), "3.00 GiB");
+    }
+}

@@ -1,0 +1,435 @@
+//! Temporal activation checkpointing (paper Section V) and Skipper's
+//! time-skipping on top of it (Section VI).
+//!
+//! One iteration runs in two phases, mirroring the paper's Figs. 5 and 6:
+//!
+//! * **Phase A — first forward pass, no grad.** The network is stepped with
+//!   [`SpikingNetwork::step_infer`]; intermediate activations die
+//!   immediately. At each of the `C` segment boundaries the neuron state
+//!   `(U, o)` is checkpointed (a cheap shared-storage clone that keeps the
+//!   boundary tensors alive); the SAM records `s_t` per timestep; the
+//!   readout logits accumulate into a plain tensor; the loss and its
+//!   analytic gradient are computed once at the end.
+//!
+//! * **Phase B — segment-wise backward, most recent segment first.** For
+//!   each segment `c = C−1 … 0` a fresh tape is built from checkpoint `c`
+//!   (membrane leaves marked as gradient sinks). With Skipper, the
+//!   segment's Spike-Sum-Threshold `SST_c` (Eq. 5) is computed first and
+//!   timesteps with `s_t < SST_c` are **not re-executed at all** — the
+//!   membrane state flows directly from the last computed step, yielding a
+//!   shallower tape (less memory *and* less compute, Eq. 6). The segment's
+//!   logit contributions are seeded with `∂L/∂logits`, the boundary
+//!   membrane gradients handed back by segment `c+1` are seeded into the
+//!   segment's final membrane variables, `backward()` runs, weight
+//!   gradients are harvested (accumulating across segments, Eq. 2), the
+//!   new boundary gradients are read off the leaf membranes, and the tape
+//!   is dropped — releasing the segment's activation memory.
+//!
+//! Because the membrane reset is detached (Section III-B), `∂L/∂U` is the
+//! *only* gradient crossing a boundary; spikes cross as values.
+
+use crate::bptt::StepResult;
+use crate::method::segment_bounds;
+use crate::sam::{SamMetric, SkipPolicy, SpikeActivityMonitor};
+use skipper_autograd::Graph;
+use skipper_memprof::{Category, CategoryGuard};
+use skipper_snn::{
+    softmax_cross_entropy, NetworkState, ParamBinder, SpikingNetwork, StepCtx, TapedState,
+};
+use skipper_tensor::Tensor;
+
+/// One checkpointed (or, with `percentile > 0`, Skipper) iteration using
+/// the paper's spike-activity policy and metric.
+///
+/// # Panics
+///
+/// Panics if `checkpoints` is zero or exceeds `inputs.len()`.
+pub(crate) fn checkpointed_step(
+    net: &mut SpikingNetwork,
+    inputs: &[Tensor],
+    labels: &[usize],
+    iter_seed: u64,
+    checkpoints: usize,
+    percentile: f32,
+) -> StepResult {
+    checkpointed_step_with(
+        net,
+        inputs,
+        labels,
+        iter_seed,
+        checkpoints,
+        percentile,
+        SamMetric::SpikeSum,
+        SkipPolicy::SpikeActivity,
+    )
+}
+
+/// [`checkpointed_step`] with an explicit activity metric and skip policy
+/// (used by the SAM ablations; see [`crate::sam`]).
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn checkpointed_step_with(
+    net: &mut SpikingNetwork,
+    inputs: &[Tensor],
+    labels: &[usize],
+    iter_seed: u64,
+    checkpoints: usize,
+    percentile: f32,
+    metric: SamMetric,
+    policy: SkipPolicy,
+) -> StepResult {
+    let timesteps = inputs.len();
+    let batch = inputs[0].shape()[0];
+    let bounds = segment_bounds(timesteps, checkpoints);
+
+    // ---------------- Phase A: gradient-free forward ----------------
+    let mut state = net.init_state(batch);
+    let mut ckpts: Vec<NetworkState> = Vec::with_capacity(checkpoints);
+    let mut sam = SpikeActivityMonitor::new(timesteps);
+    let mut logits: Option<Tensor> = None;
+    {
+        let _cat = CategoryGuard::new(Category::Activations);
+        let mut next_boundary = 0usize;
+        for (t, input) in inputs.iter().enumerate() {
+            if next_boundary < checkpoints && t == bounds[next_boundary] {
+                ckpts.push(state.clone());
+                next_boundary += 1;
+            }
+            let ctx = StepCtx {
+                iter_seed,
+                t,
+                train: true,
+            };
+            let out = net.step_infer(input, &mut state, &ctx);
+            // Record the configured activity statistic (the plain spike sum
+            // is already computed by the step; others read the state).
+            sam.record(match metric {
+                SamMetric::SpikeSum => out.spike_sum,
+                other => other.measure(&state),
+            });
+            match logits.as_mut() {
+                Some(l) => l.add_assign(&out.logits),
+                None => logits = Some(out.logits),
+            }
+        }
+    }
+    let mut logits = logits.expect("at least one timestep");
+    logits.scale_assign(1.0 / timesteps as f32); // time-averaged readout
+    let loss = softmax_cross_entropy(&logits, labels);
+    let per_step_grad = loss.dlogits.scale(1.0 / timesteps as f32);
+    // The live state of phase A is no longer needed; free it before the
+    // backward phase (as autograd would).
+    drop(state);
+    drop(logits);
+
+    // ---------------- Phase B: segment-wise backward ----------------
+    let mut boundary_grads: Option<Vec<Tensor>> = None;
+    let mut recomputed = 0usize;
+    let mut skipped = 0usize;
+    for c in (0..checkpoints).rev() {
+        let (start, end) = (bounds[c], bounds[c + 1]);
+        let skip_step: Box<dyn Fn(usize) -> bool> = match policy {
+            SkipPolicy::SpikeActivity => {
+                let sst = sam.threshold(start, end, percentile);
+                let sam = sam.clone();
+                Box::new(move |t| !sam.recompute(t, sst))
+            }
+            SkipPolicy::Random => {
+                // Uniformly drop ~p% of the segment, deterministic per
+                // (iteration, segment).
+                let len = end - start;
+                let want = ((percentile as f64 / 100.0) * len as f64).floor() as usize;
+                let mut rng = skipper_tensor::XorShiftRng::new(
+                    iter_seed.wrapping_mul(0x9E37_79B9_7F4A_7C15) ^ (c as u64 + 1),
+                );
+                let mut order: Vec<usize> = (start..end).collect();
+                for i in (1..len).rev() {
+                    let j = rng.next_below(i + 1);
+                    order.swap(i, j);
+                }
+                let dropped: std::collections::HashSet<usize> =
+                    order.into_iter().take(want).collect();
+                Box::new(move |t| dropped.contains(&t))
+            }
+        };
+        let mut g = Graph::new();
+        let mut binder = ParamBinder::new(net.params());
+        let mut tstate = TapedState::from_state(&mut g, &ckpts[c], true);
+        let mut logit_vars = Vec::new();
+        for t in start..end {
+            if skip_step(t) {
+                skipped += 1;
+                continue;
+            }
+            recomputed += 1;
+            let ctx = StepCtx {
+                iter_seed,
+                t,
+                train: true,
+            };
+            let out = net.step_taped(&mut g, &mut binder, &inputs[t], &mut tstate, &ctx);
+            logit_vars.push(out.logits);
+        }
+        // Seed the loss gradient into every recomputed timestep's readout
+        // contribution (∂L/∂logits_t = ∂L/∂logits · 1/T, since the readout
+        // averages over time).
+        for &v in &logit_vars {
+            g.seed_grad(v, per_step_grad.clone());
+        }
+        // Seed the boundary gradients from the later segment into this
+        // segment's final membrane variables.
+        if let Some(grads) = boundary_grads.take() {
+            for (&var, grad) in tstate.mems.iter().zip(grads) {
+                g.seed_grad(var, grad);
+            }
+        }
+        g.backward();
+        // New boundary gradients: ∂L/∂U at this segment's start.
+        let grads: Vec<Tensor> = tstate
+            .initial_mems
+            .iter()
+            .map(|&v| {
+                g.take_grad(v)
+                    .unwrap_or_else(|| Tensor::zeros(g.value(v).shape().clone()))
+            })
+            .collect();
+        boundary_grads = Some(grads);
+        binder.harvest(&mut g, net.params_mut());
+        // Dropping `g` releases this segment's activations.
+    }
+    StepResult {
+        loss: loss.loss,
+        correct: loss.correct,
+        recomputed_steps: recomputed,
+        skipped_steps: skipped,
+        sam,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::bptt::bptt_step;
+    use skipper_snn::{custom_net, lenet5, ModelConfig};
+    use skipper_tensor::XorShiftRng;
+
+    fn setup(seed: u64) -> (SpikingNetwork, Vec<Tensor>, Vec<usize>) {
+        let net = custom_net(&ModelConfig {
+            input_hw: 8,
+            width_mult: 0.25,
+            ..ModelConfig::default()
+        });
+        let mut rng = XorShiftRng::new(seed);
+        let inputs: Vec<Tensor> = (0..12)
+            .map(|_| Tensor::rand([2, 3, 8, 8], &mut rng).map(|x| (x > 0.6) as i32 as f32))
+            .collect();
+        (net, inputs, vec![2, 7])
+    }
+
+    /// The key correctness theorem: with p = 0, checkpointed gradients are
+    /// identical to baseline BPTT up to float roundoff.
+    #[test]
+    fn checkpointed_gradients_match_bptt() {
+        let (mut a, inputs, labels) = setup(80);
+        let (mut b, _, _) = setup(80);
+        let ra = bptt_step(&mut a, &inputs, &labels, 3);
+        for c in [1usize, 2, 3, 4] {
+            let (mut bc, _, _) = setup(80);
+            let rc = checkpointed_step(&mut bc, &inputs, &labels, 3, c, 0.0);
+            assert!((ra.loss - rc.loss).abs() < 1e-9, "loss differs at C={c}");
+            for (pa, pc) in a.params().iter().zip(bc.params().iter()) {
+                let diff = pa.grad().max_abs_diff(pc.grad());
+                assert!(diff < 2e-4, "grad {} differs by {diff} at C={c}", pa.name());
+            }
+        }
+        // Also sanity: C=1 equals a full no-skip recompute of BPTT.
+        let r1 = checkpointed_step(&mut b, &inputs, &labels, 3, 1, 0.0);
+        assert_eq!(r1.recomputed_steps, 12);
+        assert_eq!(ra.recomputed_steps, 12);
+    }
+
+    #[test]
+    fn skipper_skips_and_still_learns_direction() {
+        let (mut net, inputs, labels) = setup(81);
+        let r = checkpointed_step(&mut net, &inputs, &labels, 9, 2, 50.0);
+        assert!(r.skipped_steps > 0, "p=50 must skip timesteps");
+        assert_eq!(r.skipped_steps + r.recomputed_steps, 12);
+        let grad_norm: f64 = net
+            .params()
+            .iter()
+            .map(|p| p.grad().map(|x| x * x).sum())
+            .sum();
+        assert!(grad_norm > 0.0);
+    }
+
+    #[test]
+    fn skipper_p0_equals_plain_checkpointing() {
+        let (mut a, inputs, labels) = setup(82);
+        let (mut b, _, _) = setup(82);
+        let ra = checkpointed_step(&mut a, &inputs, &labels, 4, 3, 0.0);
+        let rb = checkpointed_step(&mut b, &inputs, &labels, 4, 3, 0.0);
+        assert_eq!(ra.loss, rb.loss);
+        for (pa, pb) in a.params().iter().zip(b.params().iter()) {
+            assert_eq!(pa.grad().data(), pb.grad().data());
+        }
+    }
+
+    #[test]
+    fn loss_is_exact_regardless_of_skipping() {
+        // Skipping only approximates the backward pass; the reported loss
+        // comes from the full first forward pass and must match baseline.
+        let (mut a, inputs, labels) = setup(83);
+        let (mut b, _, _) = setup(83);
+        let ra = bptt_step(&mut a, &inputs, &labels, 9);
+        let rb = checkpointed_step(&mut b, &inputs, &labels, 9, 2, 60.0);
+        assert!((ra.loss - rb.loss).abs() < 1e-9);
+        assert_eq!(ra.correct, rb.correct);
+    }
+
+    #[test]
+    fn peak_memory_shrinks_with_checkpointing() {
+        use skipper_memprof as mp;
+        let (mut net, inputs, labels) = setup(84);
+        mp::reset_peaks();
+        let _ = bptt_step(&mut net, &inputs, &labels, 1);
+        let base = mp::snapshot().peak(mp::Category::Activations);
+        mp::reset_peaks();
+        let _ = checkpointed_step(&mut net, &inputs, &labels, 1, 4, 0.0);
+        let ckpt = mp::snapshot().peak(mp::Category::Activations);
+        assert!(
+            (ckpt as f64) < 0.7 * base as f64,
+            "checkpointed peak {ckpt} not well below baseline {base}"
+        );
+    }
+
+    #[test]
+    fn random_policy_skips_the_exact_fraction() {
+        use crate::sam::{SamMetric, SkipPolicy};
+        let (mut net, inputs, labels) = setup(86);
+        let r = checkpointed_step_with(
+            &mut net,
+            &inputs,
+            &labels,
+            3,
+            2,
+            50.0,
+            SamMetric::SpikeSum,
+            SkipPolicy::Random,
+        );
+        // Two segments of 6, floor(0.5·6) = 3 dropped each.
+        assert_eq!(r.skipped_steps, 6);
+        assert_eq!(r.recomputed_steps, 6);
+    }
+
+    #[test]
+    fn random_policy_is_deterministic_per_iteration() {
+        use crate::sam::{SamMetric, SkipPolicy};
+        let (mut a, inputs, labels) = setup(87);
+        let (mut b, _, _) = setup(87);
+        let run = |net: &mut SpikingNetwork| {
+            checkpointed_step_with(
+                net,
+                &inputs,
+                &labels,
+                9,
+                3,
+                40.0,
+                SamMetric::SpikeSum,
+                SkipPolicy::Random,
+            )
+        };
+        let ra = run(&mut a);
+        let rb = run(&mut b);
+        assert_eq!(ra.loss, rb.loss);
+        for (pa, pb) in a.params().iter().zip(b.params().iter()) {
+            assert_eq!(pa.grad().data(), pb.grad().data());
+        }
+    }
+
+    #[test]
+    fn alternative_sam_metrics_still_train() {
+        use crate::sam::{SamMetric, SkipPolicy};
+        for metric in [SamMetric::NeuronNormalized, SamMetric::MembraneL2] {
+            let (mut net, inputs, labels) = setup(88);
+            let r = checkpointed_step_with(
+                &mut net,
+                &inputs,
+                &labels,
+                5,
+                2,
+                50.0,
+                metric,
+                SkipPolicy::SpikeActivity,
+            );
+            assert!(r.loss.is_finite());
+            assert!(r.skipped_steps > 0, "{metric} must skip something");
+            let grad_norm: f64 = net
+                .params()
+                .iter()
+                .map(|p| p.grad().map(|x| x * x).sum())
+                .sum();
+            assert!(grad_norm > 0.0);
+        }
+    }
+
+    #[test]
+    fn different_metrics_can_choose_different_steps() {
+        use crate::sam::{SamMetric, SkipPolicy};
+        // Gradients under different monitors usually differ (they threshold
+        // different statistics). The metrics are correlated, so any single
+        // batch may coincide — require a difference on at least one of
+        // several batches.
+        let mut any_diff = false;
+        for seed in 89..95u64 {
+            let (mut a, inputs, labels) = setup(seed);
+            let (mut b, _, _) = setup(seed);
+            let _ = checkpointed_step_with(
+                &mut a, &inputs, &labels, seed, 2, 50.0,
+                SamMetric::SpikeSum, SkipPolicy::SpikeActivity,
+            );
+            let _ = checkpointed_step_with(
+                &mut b, &inputs, &labels, seed, 2, 50.0,
+                SamMetric::MembraneL2, SkipPolicy::SpikeActivity,
+            );
+            let diff: f32 = a
+                .params()
+                .iter()
+                .zip(b.params().iter())
+                .map(|(pa, pb)| pa.grad().max_abs_diff(pb.grad()))
+                .fold(0.0, f32::max);
+            if diff > 0.0 {
+                any_diff = true;
+                break;
+            }
+        }
+        assert!(any_diff, "metrics never selected different steps");
+    }
+
+    #[test]
+    fn skipper_peak_memory_below_plain_checkpointing() {
+        use skipper_memprof as mp;
+        // LeNet-style deeper net, longer horizon for clearer separation.
+        let net_cfg = ModelConfig {
+            input_hw: 16,
+            in_channels: 2,
+            width_mult: 0.25,
+            ..ModelConfig::default()
+        };
+        let mut rng = XorShiftRng::new(85);
+        let inputs: Vec<Tensor> = (0..24)
+            .map(|_| Tensor::rand([2, 2, 16, 16], &mut rng).map(|x| (x > 0.7) as i32 as f32))
+            .collect();
+        let labels = vec![0, 1];
+        let mut a = lenet5(&net_cfg);
+        mp::reset_peaks();
+        let _ = checkpointed_step(&mut a, &inputs, &labels, 1, 2, 0.0);
+        let plain = mp::snapshot().peak(mp::Category::Activations);
+        let mut b = lenet5(&net_cfg);
+        mp::reset_peaks();
+        let _ = checkpointed_step(&mut b, &inputs, &labels, 1, 2, 50.0);
+        let skipped = mp::snapshot().peak(mp::Category::Activations);
+        assert!(
+            (skipped as f64) < 0.85 * plain as f64,
+            "skipper peak {skipped} not below checkpointing peak {plain}"
+        );
+    }
+}

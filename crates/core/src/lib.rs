@@ -1,0 +1,79 @@
+//! The Skipper paper's contribution: memory-efficient SNN-BPTT training.
+//!
+//! This crate implements, on top of the `skipper-snn` substrate, every
+//! training regime the paper evaluates (Sections V–VII):
+//!
+//! * [`bptt`] — **baseline SNN-BPTT**: one autodiff graph spans all `T`
+//!   timesteps; activation memory grows as `O(T)`.
+//! * [`checkpoint`] — **temporal activation checkpointing** (Section V):
+//!   a gradient-free first forward pass saves the neuron state at `C`
+//!   boundaries; the backward pass re-executes one `T/C` segment at a time
+//!   on a short-lived tape, handing `∂L/∂U` across boundaries. Memory is
+//!   `O(T/C) + O(C)`, minimised at `C = √T` (Eq. 3), at the price of one
+//!   extra forward pass (~33 %).
+//! * also in [`checkpoint`] — **Skipper** (Section VI): the Spike Activity
+//!   Monitor ([`sam`]) records `s_t = Σ_l sum(o_t^l)` during the first
+//!   pass; before re-executing a segment, the Spike-Sum-Threshold
+//!   `SST_c = percentile({s_t}_c, p)` is formed and every timestep with
+//!   `s_t < SST_c` is skipped outright — a shallower recomputed graph that
+//!   removes the checkpointing overhead *and* shrinks memory further
+//!   (Eq. 6), with the `(1 − p/100)·T/C ≥ L_n` bound of Eq. 7.
+//! * [`tbptt`] — **truncated BPTT** (Section III-C): per-window graphs with
+//!   detached boundaries, the classic comparison point.
+//! * [`lbp`] — **TBPTT-LBP** (Guo et al. \[28\]): temporal truncation plus
+//!   locally supervised blocks with auxiliary classifiers, the related-work
+//!   baseline of Table II / Fig. 16.
+//!
+//! [`runner::TrainSession`] wraps any of these behind one API and measures
+//! what the paper measures: per-category peak tensor bytes, allocator
+//! events, kernel logs (for the GPU latency model) and wall time.
+//! [`analytic`] projects the same memory quantities from shapes alone, for
+//! the configurations the paper itself extrapolates (Figs. 4 and 14).
+//!
+//! # Quickstart
+//!
+//! ```
+//! use skipper_core::{Method, TrainSession};
+//! use skipper_snn::{custom_net, Adam, ModelConfig, PoissonEncoder, Encoder};
+//! use skipper_tensor::{Tensor, XorShiftRng};
+//!
+//! let net = custom_net(&ModelConfig {
+//!     input_hw: 8,
+//!     width_mult: 0.25,
+//!     ..ModelConfig::default()
+//! });
+//! let mut session = TrainSession::new(
+//!     net,
+//!     Box::new(Adam::new(1e-3)),
+//!     Method::Skipper { checkpoints: 2, percentile: 30.0 },
+//!     8, // timesteps
+//! );
+//! let mut rng = XorShiftRng::new(1);
+//! let frames = Tensor::rand([4, 3, 8, 8], &mut rng);
+//! let spikes = PoissonEncoder::default().encode(&frames, 8, &mut rng);
+//! let stats = session.train_batch(&spikes, &[0, 1, 2, 3]);
+//! assert!(stats.loss.is_finite());
+//! assert!(stats.skipped_steps > 0);
+//! ```
+
+pub mod analytic;
+pub mod bptt;
+pub mod checkpoint;
+pub mod lbp;
+pub mod method;
+pub mod planner;
+pub mod runner;
+pub mod sam;
+pub mod stats;
+pub mod tbptt;
+
+pub use analytic::{AnalyticBreakdown, AnalyticModel};
+pub use lbp::LocalClassifiers;
+pub use method::{Method, MethodError};
+pub use planner::Planner;
+pub use runner::TrainSession;
+pub use sam::{
+    max_checkpoints, max_skippable_percentile, percentile, SamMetric, SkipPolicy,
+    SpikeActivityMonitor,
+};
+pub use stats::{BatchStats, EpochStats};

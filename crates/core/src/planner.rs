@@ -1,0 +1,159 @@
+//! Capacity planning: what fits on a device?
+//!
+//! The paper's capacity results — "an order of magnitude higher timesteps
+//! at constant memory" (Fig. 14), "B=64 instead of B=8 on the Jetson"
+//! (Fig. 15), "more simultaneous trainings for hyper-parameter search"
+//! (Section IV) — are all instances of one question: given a device and a
+//! training method, how far does the memory budget stretch? This module
+//! answers it on top of the validated [`AnalyticModel`].
+
+use crate::analytic::AnalyticModel;
+use crate::method::Method;
+use skipper_memprof::DeviceModel;
+
+/// Capacity planner for one network on one device.
+#[derive(Debug, Clone, Copy)]
+pub struct Planner<'a> {
+    model: AnalyticModel<'a>,
+    device: &'a DeviceModel,
+}
+
+impl<'a> Planner<'a> {
+    /// Plan for `model`'s network on `device`.
+    pub fn new(model: AnalyticModel<'a>, device: &'a DeviceModel) -> Planner<'a> {
+        Planner { model, device }
+    }
+
+    /// Whether one training instance fits.
+    pub fn fits(&self, method: &Method, timesteps: usize, batch: usize) -> bool {
+        self.device
+            .fits(self.model.breakdown(method, timesteps, batch).total())
+    }
+
+    /// Largest batch size that fits at horizon `timesteps`
+    /// (0 if even B=1 does not fit). Searched up to `limit`.
+    pub fn max_batch(&self, method: &Method, timesteps: usize, limit: usize) -> usize {
+        // Memory is monotone in B: binary search.
+        let (mut lo, mut hi) = (0usize, limit.max(1));
+        if self.fits(method, timesteps, hi) {
+            return hi;
+        }
+        while lo + 1 < hi {
+            let mid = lo + (hi - lo) / 2;
+            if self.fits(method, timesteps, mid) {
+                lo = mid;
+            } else {
+                hi = mid;
+            }
+        }
+        lo
+    }
+
+    /// Largest horizon that fits at batch `batch` (0 if T=1 does not fit).
+    /// Searched up to `limit`.
+    pub fn max_timesteps(&self, method: &Method, batch: usize, limit: usize) -> usize {
+        let (mut lo, mut hi) = (0usize, limit.max(1));
+        if self.fits(method, hi, batch) {
+            return hi;
+        }
+        while lo + 1 < hi {
+            let mid = lo + (hi - lo) / 2;
+            if self.fits(method, mid, batch) {
+                lo = mid;
+            } else {
+                hi = mid;
+            }
+        }
+        lo
+    }
+
+    /// How many independent training instances of this configuration fit
+    /// side by side (hyper-parameter search; each instance pays its own
+    /// tensors, the context is paid once).
+    pub fn concurrent_instances(&self, method: &Method, timesteps: usize, batch: usize) -> usize {
+        let per = self.model.breakdown(method, timesteps, batch).total().max(1);
+        (self.device.usable_bytes() / per) as usize
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use skipper_snn::{vgg5, ModelConfig, SpikingNetwork};
+
+    fn net() -> SpikingNetwork {
+        vgg5(&ModelConfig::default()) // full width, 32x32
+    }
+
+    fn nano_plan(net: &SpikingNetwork) -> (Planner<'_>, &'static DeviceModel) {
+        // Leak a device for the test lifetime (cheap, test-only).
+        let device: &'static DeviceModel = Box::leak(Box::new(DeviceModel::jetson_nano()));
+        (Planner::new(AnalyticModel::new(net), device), device)
+    }
+
+    #[test]
+    fn max_batch_is_the_fit_boundary() {
+        let net = net();
+        let (p, _) = nano_plan(&net);
+        let b = p.max_batch(&Method::Bptt, 100, 512);
+        assert!(b > 0, "something must fit");
+        assert!(p.fits(&Method::Bptt, 100, b));
+        assert!(!p.fits(&Method::Bptt, 100, b + 1));
+    }
+
+    #[test]
+    fn methods_order_capacity_as_the_paper_says() {
+        let net = net();
+        let (p, _) = nano_plan(&net);
+        let base = p.max_batch(&Method::Bptt, 100, 1024);
+        let ck = p.max_batch(&Method::Checkpointed { checkpoints: 4 }, 100, 1024);
+        let sk = p.max_batch(
+            &Method::Skipper {
+                checkpoints: 4,
+                percentile: 70.0,
+            },
+            100,
+            1024,
+        );
+        assert!(base < ck && ck < sk, "B_max: {base} < {ck} < {sk}");
+        let t_base = p.max_timesteps(&Method::Bptt, 32, 100_000);
+        let t_sk = p.max_timesteps(
+            &Method::Skipper {
+                checkpoints: 4,
+                percentile: 70.0,
+            },
+            32,
+            100_000,
+        );
+        assert!(t_sk > 4 * t_base, "T_max: {t_base} vs {t_sk}");
+    }
+
+    #[test]
+    fn concurrency_scales_inversely_with_instance_size() {
+        let net = net();
+        let (p, _) = nano_plan(&net);
+        let big = p.concurrent_instances(&Method::Bptt, 100, 8);
+        let small = p.concurrent_instances(
+            &Method::Skipper {
+                checkpoints: 4,
+                percentile: 70.0,
+            },
+            100,
+            8,
+        );
+        assert!(small > big);
+    }
+
+    #[test]
+    fn zero_when_nothing_fits() {
+        let net = net();
+        let tiny: &'static DeviceModel = Box::leak(Box::new(DeviceModel {
+            capacity_bytes: 1 << 20,
+            context_bytes: 1 << 19,
+            ..DeviceModel::a100_80gb()
+        }));
+        let p = Planner::new(AnalyticModel::new(&net), tiny);
+        assert_eq!(p.max_batch(&Method::Bptt, 100, 512), 0);
+        assert_eq!(p.concurrent_instances(&Method::Bptt, 100, 8), 0);
+    }
+}

@@ -1,0 +1,334 @@
+//! [`TrainSession`]: one façade over all training methods, with the
+//! measurement harness wrapped around every iteration.
+
+use crate::bptt::bptt_step;
+use crate::checkpoint::{checkpointed_step, checkpointed_step_with};
+use crate::lbp::{lbp_step, LocalClassifiers};
+use crate::method::Method;
+use crate::sam::{SamMetric, SkipPolicy};
+use crate::stats::BatchStats;
+use crate::tbptt::tbptt_step;
+use skipper_memprof::{reset_peaks, snapshot, take_op_log};
+use skipper_snn::{
+    softmax_cross_entropy, Optimizer, SpikingNetwork, StepCtx,
+};
+use skipper_tensor::Tensor;
+use std::time::Instant;
+
+/// A network + optimizer + training method, instrumented like the paper's
+/// testbed: every [`train_batch`] resets the peak counters, drains the
+/// kernel log, runs the method-specific step and the optimizer update, and
+/// returns a [`BatchStats`] carrying loss/accuracy, wall time, peak
+/// per-category memory and the kernel log for the GPU latency model.
+///
+/// [`train_batch`]: TrainSession::train_batch
+pub struct TrainSession {
+    net: SpikingNetwork,
+    optimizer: Box<dyn Optimizer>,
+    aux_optimizer: Option<Box<dyn Optimizer>>,
+    aux: Option<LocalClassifiers>,
+    method: Method,
+    timesteps: usize,
+    iteration: u64,
+    sam_metric: SamMetric,
+    skip_policy: SkipPolicy,
+}
+
+impl std::fmt::Debug for TrainSession {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("TrainSession")
+            .field("net", &self.net.name())
+            .field("method", &self.method)
+            .field("timesteps", &self.timesteps)
+            .field("iteration", &self.iteration)
+            .field("lr", &self.optimizer.learning_rate())
+            .finish()
+    }
+}
+
+impl TrainSession {
+    /// Create a session. For [`Method::TbpttLbp`] the auxiliary
+    /// classifiers are built immediately (and trained with SGD at the main
+    /// optimizer's learning rate unless [`set_aux_optimizer`] is called).
+    ///
+    /// [`set_aux_optimizer`]: TrainSession::set_aux_optimizer
+    pub fn new(
+        net: SpikingNetwork,
+        optimizer: Box<dyn Optimizer>,
+        method: Method,
+        timesteps: usize,
+    ) -> TrainSession {
+        let aux = match &method {
+            Method::TbpttLbp { taps, .. } => Some(LocalClassifiers::new(
+                &net,
+                taps,
+                net.num_classes(),
+                0xA0A0,
+            )),
+            _ => None,
+        };
+        let aux_optimizer: Option<Box<dyn Optimizer>> = aux
+            .as_ref()
+            .map(|_| Box::new(skipper_snn::Adam::new(optimizer.learning_rate())) as Box<dyn Optimizer>);
+        TrainSession {
+            net,
+            optimizer,
+            aux_optimizer,
+            aux,
+            method,
+            timesteps,
+            iteration: 0,
+            sam_metric: SamMetric::default(),
+            skip_policy: SkipPolicy::default(),
+        }
+    }
+
+    /// Choose the activity statistic Skipper thresholds on (default: the
+    /// paper's spike sum; see [`SamMetric`]).
+    pub fn set_sam_metric(&mut self, metric: SamMetric) {
+        self.sam_metric = metric;
+    }
+
+    /// Choose how Skipper selects the skipped timesteps (default: the
+    /// paper's SAM/SST policy; [`SkipPolicy::Random`] is the temporal-
+    /// dropout ablation).
+    pub fn set_skip_policy(&mut self, policy: SkipPolicy) {
+        self.skip_policy = policy;
+    }
+
+    /// The wrapped network.
+    pub fn net(&self) -> &SpikingNetwork {
+        &self.net
+    }
+
+    /// Mutable network access (e.g. for schedules or surgery).
+    pub fn net_mut(&mut self) -> &mut SpikingNetwork {
+        &mut self.net
+    }
+
+    /// Dismantle the session, returning the trained network.
+    pub fn into_net(self) -> SpikingNetwork {
+        self.net
+    }
+
+    /// The training method.
+    pub fn method(&self) -> &Method {
+        &self.method
+    }
+
+    /// Switch the method between iterations (used by sweep harnesses).
+    pub fn set_method(&mut self, method: Method) {
+        if let Method::TbpttLbp { taps, .. } = &method {
+            let rebuild = self
+                .aux
+                .as_ref()
+                .map_or(true, |aux| aux.taps() != taps.as_slice());
+            if rebuild {
+                self.aux = Some(LocalClassifiers::new(
+                    &self.net,
+                    taps,
+                    self.net.num_classes(),
+                    0xA0A0,
+                ));
+                self.aux_optimizer = Some(Box::new(skipper_snn::Adam::new(
+                    self.optimizer.learning_rate(),
+                )));
+            }
+        }
+        self.method = method;
+    }
+
+    /// The simulation horizon `T`.
+    pub fn timesteps(&self) -> usize {
+        self.timesteps
+    }
+
+    /// Replace the optimizer of the auxiliary (LBP) classifiers.
+    pub fn set_aux_optimizer(&mut self, optimizer: Box<dyn Optimizer>) {
+        self.aux_optimizer = Some(optimizer);
+    }
+
+    /// Iterations run so far.
+    pub fn iteration(&self) -> u64 {
+        self.iteration
+    }
+
+    /// Train on one batch: `inputs` is the spike sequence (length `T`,
+    /// elements `[B,C,H,W]`), `labels` one class per sample.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `inputs.len()` differs from the session's `timesteps`, or
+    /// if the method configuration is structurally impossible (e.g.
+    /// `C > T`).
+    pub fn train_batch(&mut self, inputs: &[Tensor], labels: &[usize]) -> BatchStats {
+        assert_eq!(inputs.len(), self.timesteps, "input horizon vs session T");
+        let batch_size = inputs[0].shape()[0];
+        self.iteration += 1;
+        let iter_seed = self.iteration;
+        reset_peaks();
+        take_op_log(); // drop kernels logged outside the iteration
+        let start = Instant::now();
+        let result = match self.method.clone() {
+            Method::Bptt => bptt_step(&mut self.net, inputs, labels, iter_seed),
+            Method::Checkpointed { checkpoints } => {
+                checkpointed_step(&mut self.net, inputs, labels, iter_seed, checkpoints, 0.0)
+            }
+            Method::Skipper {
+                checkpoints,
+                percentile,
+            } => checkpointed_step_with(
+                &mut self.net,
+                inputs,
+                labels,
+                iter_seed,
+                checkpoints,
+                percentile,
+                self.sam_metric,
+                self.skip_policy,
+            ),
+            Method::Tbptt { window } => {
+                tbptt_step(&mut self.net, inputs, labels, iter_seed, window)
+            }
+            Method::TbpttLbp { window, .. } => {
+                let aux = self.aux.as_mut().expect("aux classifiers built in new()");
+                lbp_step(&mut self.net, aux, inputs, labels, iter_seed, window)
+            }
+        };
+        self.optimizer.step(self.net.params_mut());
+        self.net.params_mut().zero_grads();
+        if let (Some(aux), Some(opt)) = (self.aux.as_mut(), self.aux_optimizer.as_mut()) {
+            opt.step(aux.store_mut());
+            aux.store_mut().zero_grads();
+        }
+        let wall = start.elapsed();
+        BatchStats {
+            loss: result.loss,
+            correct: result.correct,
+            batch_size,
+            timesteps: self.timesteps,
+            recomputed_steps: result.recomputed_steps,
+            skipped_steps: result.skipped_steps,
+            wall,
+            mem: snapshot(),
+            ops: take_op_log(),
+        }
+    }
+
+    /// Evaluate one batch (plain forward, no dropout, no gradients).
+    /// Returns `(mean loss, correct)`.
+    pub fn eval_batch(&self, inputs: &[Tensor], labels: &[usize]) -> (f64, usize) {
+        let batch = inputs[0].shape()[0];
+        let mut state = self.net.init_state(batch);
+        let mut logits: Option<Tensor> = None;
+        for (t, input) in inputs.iter().enumerate() {
+            let out = self.net.step_infer(input, &mut state, &StepCtx::eval(t));
+            match logits.as_mut() {
+                Some(l) => l.add_assign(&out.logits),
+                None => logits = Some(out.logits),
+            }
+        }
+        let mut logits = logits.expect("T ≥ 1");
+        logits.scale_assign(1.0 / inputs.len() as f32); // time-averaged readout
+        let loss = softmax_cross_entropy(&logits, labels);
+        (loss.loss, loss.correct)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use skipper_snn::{custom_net, Adam, Encoder, ModelConfig, PoissonEncoder};
+    use skipper_tensor::XorShiftRng;
+
+    fn session(method: Method) -> TrainSession {
+        let net = custom_net(&ModelConfig {
+            input_hw: 8,
+            width_mult: 0.25,
+            ..ModelConfig::default()
+        });
+        TrainSession::new(net, Box::new(Adam::new(1e-3)), method, 8)
+    }
+
+    fn batch(seed: u64) -> (Vec<Tensor>, Vec<usize>) {
+        let mut rng = XorShiftRng::new(seed);
+        let frames = Tensor::rand([4, 3, 8, 8], &mut rng);
+        let spikes = PoissonEncoder::default().encode(&frames, 8, &mut rng);
+        (spikes, vec![0, 1, 2, 3])
+    }
+
+    #[test]
+    fn every_method_trains_a_batch() {
+        let methods = [
+            Method::Bptt,
+            Method::Checkpointed { checkpoints: 2 },
+            Method::Skipper {
+                checkpoints: 2,
+                percentile: 25.0,
+            },
+            Method::Tbptt { window: 4 },
+            Method::TbpttLbp {
+                window: 4,
+                taps: vec![1, 2],
+            },
+        ];
+        for method in methods {
+            let mut s = session(method.clone());
+            let (inputs, labels) = batch(1);
+            let stats = s.train_batch(&inputs, &labels);
+            assert!(stats.loss.is_finite(), "{method} loss");
+            assert!(!stats.ops.is_empty(), "{method} must log kernels");
+            assert!(stats.peak_bytes() > 0);
+            assert_eq!(stats.batch_size, 4);
+        }
+    }
+
+    #[test]
+    fn optimizer_changes_weights() {
+        let mut s = session(Method::Bptt);
+        let before: Vec<f32> = s.net().params().iter().next().unwrap().value().data().to_vec();
+        let (inputs, labels) = batch(2);
+        s.train_batch(&inputs, &labels);
+        let after = s.net().params().iter().next().unwrap().value();
+        assert_ne!(before.as_slice(), after.data());
+    }
+
+    #[test]
+    fn training_reduces_loss_on_a_fixed_batch() {
+        let mut s = session(Method::Skipper {
+            checkpoints: 2,
+            percentile: 25.0,
+        });
+        let (inputs, labels) = batch(3);
+        let first = s.train_batch(&inputs, &labels).loss;
+        for _ in 0..14 {
+            s.train_batch(&inputs, &labels);
+        }
+        let last = s.train_batch(&inputs, &labels).loss;
+        assert!(
+            last < first,
+            "loss should fall on a memorisable batch: {first} → {last}"
+        );
+    }
+
+    #[test]
+    fn eval_batch_runs_without_gradients() {
+        let s = session(Method::Bptt);
+        let (inputs, labels) = batch(4);
+        let (loss, correct) = s.eval_batch(&inputs, &labels);
+        assert!(loss.is_finite());
+        assert!(correct <= labels.len());
+    }
+
+    #[test]
+    fn skipper_stats_report_skips() {
+        let mut s = session(Method::Skipper {
+            checkpoints: 2,
+            percentile: 50.0,
+        });
+        let (inputs, labels) = batch(5);
+        let stats = s.train_batch(&inputs, &labels);
+        assert!(stats.skipped_steps > 0);
+        assert_eq!(stats.skipped_steps + stats.recomputed_steps, 8);
+    }
+}

@@ -1,0 +1,151 @@
+//! Edge cases and failure-injection for the training methods: degenerate
+//! horizons, silent networks, batch size one, and extreme configurations
+//! must run to completion (or fail loudly), never corrupt state.
+
+use skipper_core::{Method, TrainSession};
+use skipper_snn::{custom_net, set_threshold, Adam, LifConfig, ModelConfig, SpikingNetwork};
+use skipper_tensor::{Tensor, XorShiftRng};
+
+fn net() -> SpikingNetwork {
+    custom_net(&ModelConfig {
+        input_hw: 8,
+        width_mult: 0.25,
+        ..ModelConfig::default()
+    })
+}
+
+fn inputs(t: usize, batch: usize) -> Vec<Tensor> {
+    let mut rng = XorShiftRng::new(7);
+    (0..t)
+        .map(|_| Tensor::rand([batch, 3, 8, 8], &mut rng).map(|x| (x > 0.5) as i32 as f32))
+        .collect()
+}
+
+#[test]
+fn batch_size_one_works_for_every_method() {
+    for method in [
+        Method::Bptt,
+        Method::Checkpointed { checkpoints: 2 },
+        Method::Skipper {
+            checkpoints: 2,
+            percentile: 30.0,
+        },
+        Method::Tbptt { window: 3 },
+        Method::TbpttLbp {
+            window: 3,
+            taps: vec![1],
+        },
+    ] {
+        let mut s = TrainSession::new(net(), Box::new(Adam::new(1e-3)), method.clone(), 6);
+        let stats = s.train_batch(&inputs(6, 1), &[3]);
+        assert!(stats.loss.is_finite(), "{method}");
+        assert_eq!(stats.batch_size, 1);
+    }
+}
+
+#[test]
+fn single_timestep_horizon_works() {
+    for method in [Method::Bptt, Method::Checkpointed { checkpoints: 1 }] {
+        let mut s = TrainSession::new(net(), Box::new(Adam::new(1e-3)), method.clone(), 1);
+        let stats = s.train_batch(&inputs(1, 2), &[0, 1]);
+        assert!(stats.loss.is_finite(), "{method}");
+        assert_eq!(stats.recomputed_steps, 1);
+    }
+}
+
+#[test]
+fn c_equals_t_runs_even_though_eq7_flags_it() {
+    // One-timestep segments are structurally fine (the paper's constraint
+    // is about information flow quality, not mechanics).
+    let t = 6;
+    let method = Method::Checkpointed { checkpoints: t };
+    assert!(method.validate(&net(), t).is_err(), "Eq. 7 flags it");
+    let mut s = TrainSession::new(net(), Box::new(Adam::new(1e-3)), method, t);
+    let stats = s.train_batch(&inputs(t, 2), &[0, 1]);
+    assert!(stats.loss.is_finite());
+}
+
+#[test]
+fn tbptt_window_one_is_valid() {
+    let mut s = TrainSession::new(net(), Box::new(Adam::new(1e-3)), Method::Tbptt { window: 1 }, 5);
+    let stats = s.train_batch(&inputs(5, 2), &[0, 1]);
+    assert!(stats.loss.is_finite());
+}
+
+#[test]
+fn completely_silent_network_still_trains_readout() {
+    // A threshold far above any reachable potential silences every layer:
+    // loss must stay finite (uniform softmax) and weight gradients must be
+    // zero everywhere except the readout bias path.
+    let mut n = net();
+    for l in 0..n.spiking_layer_count() {
+        set_threshold(&mut n, l, 1e6);
+    }
+    let mut s = TrainSession::new(n, Box::new(Adam::new(1e-3)), Method::Bptt, 6);
+    let stats = s.train_batch(&inputs(6, 2), &[0, 1]);
+    assert!(stats.loss.is_finite());
+    assert!((stats.loss - (10.0f64).ln()).abs() < 0.2, "≈ uniform CE");
+}
+
+#[test]
+fn skipper_at_percentile_just_below_100_does_not_panic() {
+    let mut s = TrainSession::new(
+        net(),
+        Box::new(Adam::new(1e-3)),
+        Method::Skipper {
+            checkpoints: 1,
+            percentile: 99.9,
+        },
+        8,
+    );
+    let stats = s.train_batch(&inputs(8, 2), &[0, 1]);
+    // Nearly everything skipped; at least one step survives per segment
+    // (the percentile threshold keeps the maximum).
+    assert!(stats.recomputed_steps >= 1);
+    assert!(stats.loss.is_finite());
+}
+
+#[test]
+#[should_panic(expected = "input horizon vs session T")]
+fn wrong_horizon_is_rejected() {
+    let mut s = TrainSession::new(net(), Box::new(Adam::new(1e-3)), Method::Bptt, 10);
+    let _ = s.train_batch(&inputs(5, 2), &[0, 1]);
+}
+
+#[test]
+fn constant_input_trains_without_nan_for_many_iterations() {
+    // Degenerate data (all-ones spikes) with a high learning rate must not
+    // produce NaNs: the surrogate keeps gradients bounded.
+    let ones: Vec<Tensor> = (0..6).map(|_| Tensor::ones([2, 3, 8, 8])).collect();
+    let mut s = TrainSession::new(
+        net(),
+        Box::new(Adam::new(0.05)),
+        Method::Skipper {
+            checkpoints: 2,
+            percentile: 30.0,
+        },
+        6,
+    );
+    for _ in 0..10 {
+        let stats = s.train_batch(&ones, &[0, 1]);
+        assert!(stats.loss.is_finite());
+    }
+    for p in s.net().params().iter() {
+        assert!(p.value().data().iter().all(|v| v.is_finite()), "{}", p.name());
+    }
+}
+
+#[test]
+fn leakless_and_leaky_configs_both_run() {
+    for leak in [0.0f32, 0.5, 0.999] {
+        let n = custom_net(&ModelConfig {
+            input_hw: 8,
+            width_mult: 0.25,
+            lif: LifConfig::with_leak(leak),
+            ..ModelConfig::default()
+        });
+        let mut s = TrainSession::new(n, Box::new(Adam::new(1e-3)), Method::Bptt, 4);
+        let stats = s.train_batch(&inputs(4, 2), &[0, 1]);
+        assert!(stats.loss.is_finite(), "leak {leak}");
+    }
+}

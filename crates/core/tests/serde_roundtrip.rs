@@ -1,0 +1,77 @@
+//! Serialization contracts: configs and measurement records must survive
+//! JSON round-trips (the bench harness persists them under `results/`).
+
+use skipper_core::{BatchStats, Method, SamMetric, SkipPolicy, TrainSession};
+use skipper_snn::{custom_net, Adam, ModelConfig};
+use skipper_tensor::{Tensor, XorShiftRng};
+
+#[test]
+fn method_json_roundtrip() {
+    let methods = vec![
+        Method::Bptt,
+        Method::Checkpointed { checkpoints: 7 },
+        Method::Skipper {
+            checkpoints: 5,
+            percentile: 52.5,
+        },
+        Method::Tbptt { window: 25 },
+        Method::TbpttLbp {
+            window: 10,
+            taps: vec![2, 5],
+        },
+    ];
+    for m in methods {
+        let json = serde_json::to_string(&m).unwrap();
+        let back: Method = serde_json::from_str(&json).unwrap();
+        assert_eq!(m, back, "{json}");
+    }
+}
+
+#[test]
+fn sam_enums_json_roundtrip() {
+    for m in [
+        SamMetric::SpikeSum,
+        SamMetric::NeuronNormalized,
+        SamMetric::MembraneL2,
+    ] {
+        let back: SamMetric =
+            serde_json::from_str(&serde_json::to_string(&m).unwrap()).unwrap();
+        assert_eq!(m, back);
+    }
+    for p in [SkipPolicy::SpikeActivity, SkipPolicy::Random] {
+        let back: SkipPolicy =
+            serde_json::from_str(&serde_json::to_string(&p).unwrap()).unwrap();
+        assert_eq!(p, back);
+    }
+}
+
+#[test]
+fn batch_stats_serialize_with_all_measurements() {
+    let net = custom_net(&ModelConfig {
+        input_hw: 8,
+        width_mult: 0.25,
+        ..ModelConfig::default()
+    });
+    let mut session = TrainSession::new(
+        net,
+        Box::new(Adam::new(1e-3)),
+        Method::Skipper {
+            checkpoints: 2,
+            percentile: 40.0,
+        },
+        6,
+    );
+    let mut rng = XorShiftRng::new(1);
+    let inputs: Vec<Tensor> = (0..6)
+        .map(|_| Tensor::rand([2, 3, 8, 8], &mut rng).map(|x| (x > 0.5) as i32 as f32))
+        .collect();
+    let stats = session.train_batch(&inputs, &[0, 1]);
+    let json = serde_json::to_value(&stats).unwrap();
+    assert!(json["loss"].is_number());
+    assert_eq!(json["batch_size"], 2);
+    assert!(json["mem"].is_object() || json["mem"].is_array() || !json["mem"].is_null());
+    let back: BatchStats = serde_json::from_value(json).unwrap();
+    assert_eq!(back.timesteps, stats.timesteps);
+    assert_eq!(back.skipped_steps, stats.skipped_steps);
+    assert!((back.loss - stats.loss).abs() < 1e-12);
+}

@@ -1,0 +1,220 @@
+//! Training-time data augmentation.
+//!
+//! Standard CIFAR-style augmentation for frames (shift-with-padding and
+//! horizontal flip) and event-native augmentation for DVS streams
+//! (temporal jitter, event dropout, horizontal flip) — the usual recipe
+//! for from-scratch SNN training on small datasets.
+
+use crate::events::{Event, EventStream};
+use skipper_memprof::{Category, CategoryGuard};
+use skipper_tensor::{Tensor, XorShiftRng};
+
+/// Frame augmentation parameters.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ImageAugment {
+    /// Maximum shift in pixels (padded with zeros).
+    pub max_shift: usize,
+    /// Probability of a horizontal flip.
+    pub flip_prob: f32,
+}
+
+impl Default for ImageAugment {
+    fn default() -> Self {
+        ImageAugment {
+            max_shift: 2,
+            flip_prob: 0.5,
+        }
+    }
+}
+
+impl ImageAugment {
+    /// Augment a `[B,C,H,W]` batch (each sample independently).
+    pub fn apply(&self, batch: &Tensor, rng: &mut XorShiftRng) -> Tensor {
+        let _cat = CategoryGuard::new(Category::Input);
+        let (b, c, h, w) = batch.shape().as_4d();
+        let src = batch.data();
+        let mut out = vec![0.0f32; src.len()];
+        for bi in 0..b {
+            let (dx, dy) = if self.max_shift > 0 {
+                let span = 2 * self.max_shift + 1;
+                (
+                    rng.next_below(span) as isize - self.max_shift as isize,
+                    rng.next_below(span) as isize - self.max_shift as isize,
+                )
+            } else {
+                (0, 0)
+            };
+            let flip = rng.next_f32() < self.flip_prob;
+            for ci in 0..c {
+                let plane = (bi * c + ci) * h * w;
+                for y in 0..h {
+                    let sy = y as isize + dy;
+                    if sy < 0 || sy >= h as isize {
+                        continue; // zero padding
+                    }
+                    for x in 0..w {
+                        let sx0 = if flip { w - 1 - x } else { x };
+                        let sx = sx0 as isize + dx;
+                        if sx < 0 || sx >= w as isize {
+                            continue;
+                        }
+                        out[plane + y * w + x] = src[plane + sy as usize * w + sx as usize];
+                    }
+                }
+            }
+        }
+        Tensor::from_vec(out, batch.shape().clone())
+    }
+}
+
+/// Event-stream augmentation parameters.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct EventAugment {
+    /// Maximum absolute temporal jitter per event, in microsteps.
+    pub time_jitter: u32,
+    /// Probability of dropping each event.
+    pub drop_prob: f32,
+    /// Probability of mirroring the stream horizontally.
+    pub flip_prob: f32,
+}
+
+impl Default for EventAugment {
+    fn default() -> Self {
+        EventAugment {
+            time_jitter: 2,
+            drop_prob: 0.05,
+            flip_prob: 0.5,
+        }
+    }
+}
+
+impl EventAugment {
+    /// Augment one stream (events stay sorted by timestamp).
+    pub fn apply(&self, stream: &EventStream, rng: &mut XorShiftRng) -> EventStream {
+        let flip = rng.next_f32() < self.flip_prob;
+        let hw = stream.hw as u16;
+        let mut events: Vec<Event> = Vec::with_capacity(stream.events.len());
+        for e in &stream.events {
+            if rng.next_f32() < self.drop_prob {
+                continue;
+            }
+            let jitter = if self.time_jitter > 0 {
+                rng.next_below((2 * self.time_jitter + 1) as usize) as i64
+                    - self.time_jitter as i64
+            } else {
+                0
+            };
+            let t = (e.t as i64 + jitter).clamp(0, stream.duration.saturating_sub(1) as i64) as u32;
+            events.push(Event {
+                x: if flip { hw - 1 - e.x } else { e.x },
+                y: e.y,
+                polarity: e.polarity,
+                t,
+            });
+        }
+        events.sort_by_key(|e| e.t);
+        EventStream {
+            events,
+            hw: stream.hw,
+            duration: stream.duration,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn checkerboard() -> Tensor {
+        Tensor::from_fn([1, 1, 4, 4], |i| ((i / 4 + i % 4) % 2) as f32)
+    }
+
+    #[test]
+    fn zero_config_is_identity() {
+        let aug = ImageAugment {
+            max_shift: 0,
+            flip_prob: 0.0,
+        };
+        let img = checkerboard();
+        let mut rng = XorShiftRng::new(1);
+        assert_eq!(aug.apply(&img, &mut rng).data(), img.data());
+    }
+
+    #[test]
+    fn shift_pads_with_zeros_and_preserves_mass_bound() {
+        let aug = ImageAugment {
+            max_shift: 2,
+            flip_prob: 0.0,
+        };
+        let img = Tensor::ones([2, 1, 4, 4]);
+        let mut rng = XorShiftRng::new(2);
+        for _ in 0..10 {
+            let out = aug.apply(&img, &mut rng);
+            assert!(out.sum() <= img.sum() + 1e-6, "shifting cannot add mass");
+            assert!(out.data().iter().all(|&v| v == 0.0 || v == 1.0));
+        }
+    }
+
+    #[test]
+    fn flip_reverses_rows() {
+        let aug = ImageAugment {
+            max_shift: 0,
+            flip_prob: 1.0,
+        };
+        let img = Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0], [1, 1, 1, 4]);
+        let mut rng = XorShiftRng::new(3);
+        let out = aug.apply(&img, &mut rng);
+        assert_eq!(out.data(), &[4.0, 3.0, 2.0, 1.0]);
+    }
+
+    fn tiny_stream() -> EventStream {
+        EventStream {
+            events: vec![
+                Event { x: 0, y: 1, polarity: true, t: 5 },
+                Event { x: 3, y: 2, polarity: false, t: 9 },
+            ],
+            hw: 4,
+            duration: 16,
+        }
+    }
+
+    #[test]
+    fn event_augment_preserves_bounds_and_order() {
+        let aug = EventAugment::default();
+        let mut rng = XorShiftRng::new(4);
+        for _ in 0..20 {
+            let out = aug.apply(&tiny_stream(), &mut rng);
+            let mut prev = 0u32;
+            for e in &out.events {
+                assert!(e.t < out.duration);
+                assert!((e.x as usize) < out.hw && (e.y as usize) < out.hw);
+                assert!(e.t >= prev);
+                prev = e.t;
+            }
+        }
+    }
+
+    #[test]
+    fn event_flip_mirrors_x() {
+        let aug = EventAugment {
+            time_jitter: 0,
+            drop_prob: 0.0,
+            flip_prob: 1.0,
+        };
+        let mut rng = XorShiftRng::new(5);
+        let out = aug.apply(&tiny_stream(), &mut rng);
+        assert_eq!(out.events[0].x, 3); // 4-1-0
+        assert_eq!(out.events[1].x, 0); // 4-1-3
+    }
+
+    #[test]
+    fn drop_prob_one_removes_everything() {
+        let aug = EventAugment {
+            time_jitter: 0,
+            drop_prob: 1.0,
+            flip_prob: 0.0,
+        };
+        let mut rng = XorShiftRng::new(6);
+        assert!(aug.apply(&tiny_stream(), &mut rng).events.is_empty());
+    }
+}

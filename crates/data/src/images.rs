@@ -1,0 +1,286 @@
+//! Synthetic frame datasets ("synthetic CIFAR-10/100").
+//!
+//! Each class gets a smooth random prototype built from a handful of 2-D
+//! sinusoids; a sample is its class prototype with a random sub-pixel
+//! amplitude, a spatial shift and pixel noise, clamped to `[0, 1]` so it
+//! can be Poisson rate-encoded exactly like the paper encodes CIFAR.
+
+use skipper_memprof::{Category, CategoryGuard};
+use skipper_tensor::{Tensor, XorShiftRng};
+
+/// Configuration of a synthetic image dataset.
+#[derive(Debug, Clone)]
+pub struct SynthImageConfig {
+    /// Image height = width.
+    pub hw: usize,
+    /// Channels (3 ≈ CIFAR).
+    pub channels: usize,
+    /// Number of classes (10 ≈ CIFAR-10, 100 ≈ CIFAR-100).
+    pub num_classes: usize,
+    /// Training samples per class.
+    pub train_per_class: usize,
+    /// Test samples per class.
+    pub test_per_class: usize,
+    /// Pixel noise amplitude.
+    pub noise: f32,
+    /// Maximum spatial shift in pixels.
+    pub max_shift: usize,
+    /// Generator seed.
+    pub seed: u64,
+}
+
+impl Default for SynthImageConfig {
+    fn default() -> Self {
+        SynthImageConfig {
+            hw: 16,
+            channels: 3,
+            num_classes: 10,
+            train_per_class: 32,
+            test_per_class: 8,
+            noise: 0.08,
+            max_shift: 1,
+            seed: 7,
+        }
+    }
+}
+
+/// A labelled set of frames.
+#[derive(Debug, Clone)]
+pub struct ImageDataset {
+    images: Vec<Tensor>,
+    labels: Vec<usize>,
+    num_classes: usize,
+}
+
+impl ImageDataset {
+    /// Number of samples.
+    pub fn len(&self) -> usize {
+        self.images.len()
+    }
+
+    /// Whether the dataset is empty.
+    pub fn is_empty(&self) -> bool {
+        self.images.is_empty()
+    }
+
+    /// Number of classes.
+    pub fn num_classes(&self) -> usize {
+        self.num_classes
+    }
+
+    /// Sample `i` as `(image [C,H,W], label)`.
+    pub fn sample(&self, i: usize) -> (&Tensor, usize) {
+        (&self.images[i], self.labels[i])
+    }
+
+    /// Stack samples `indices` into a `[B,C,H,W]` batch (+ labels).
+    ///
+    /// The batch tensor is booked under [`Category::Input`].
+    pub fn batch(&self, indices: &[usize]) -> (Tensor, Vec<usize>) {
+        let _cat = CategoryGuard::new(Category::Input);
+        let (c, h, w) = {
+            let s = self.images[indices[0]].shape();
+            (s[0], s[1], s[2])
+        };
+        let per = c * h * w;
+        let mut data = Vec::with_capacity(indices.len() * per);
+        let mut labels = Vec::with_capacity(indices.len());
+        for &i in indices {
+            data.extend_from_slice(self.images[i].data());
+            labels.push(self.labels[i]);
+        }
+        (
+            Tensor::from_vec(data, [indices.len(), c, h, w]),
+            labels,
+        )
+    }
+}
+
+fn prototype(cfg: &SynthImageConfig, rng: &mut XorShiftRng) -> Vec<f32> {
+    let hw = cfg.hw;
+    let mut img = vec![0.0f32; cfg.channels * hw * hw];
+    for c in 0..cfg.channels {
+        // 3 random sinusoid components per channel.
+        let comps: Vec<(f32, f32, f32, f32)> = (0..3)
+            .map(|_| {
+                (
+                    rng.next_f32() * 1.5 + 0.5,          // fx
+                    rng.next_f32() * 1.5 + 0.5,          // fy
+                    rng.next_f32() * std::f32::consts::TAU, // phase
+                    rng.next_f32() * 0.5 + 0.2,          // amp
+                )
+            })
+            .collect();
+        for y in 0..hw {
+            for x in 0..hw {
+                let mut v = 0.5f32;
+                for &(fx, fy, ph, amp) in &comps {
+                    let arg = (x as f32 / hw as f32) * fx * std::f32::consts::TAU
+                        + (y as f32 / hw as f32) * fy * std::f32::consts::TAU
+                        + ph;
+                    v += amp * arg.sin() * 0.5;
+                }
+                img[(c * hw + y) * hw + x] = v.clamp(0.0, 1.0);
+            }
+        }
+    }
+    img
+}
+
+fn jittered(
+    proto: &[f32],
+    cfg: &SynthImageConfig,
+    rng: &mut XorShiftRng,
+) -> Tensor {
+    let hw = cfg.hw;
+    let shift = cfg.max_shift as isize;
+    let dx = if shift > 0 {
+        rng.next_below((2 * shift + 1) as usize) as isize - shift
+    } else {
+        0
+    };
+    let dy = if shift > 0 {
+        rng.next_below((2 * shift + 1) as usize) as isize - shift
+    } else {
+        0
+    };
+    let amp = 0.9 + 0.2 * rng.next_f32();
+    let mut data = vec![0.0f32; proto.len()];
+    for c in 0..cfg.channels {
+        for y in 0..hw {
+            for x in 0..hw {
+                let sy = (y as isize + dy).rem_euclid(hw as isize) as usize;
+                let sx = (x as isize + dx).rem_euclid(hw as isize) as usize;
+                let v = proto[(c * hw + sy) * hw + sx] * amp
+                    + cfg.noise * (rng.next_f32() - 0.5) * 2.0;
+                data[(c * hw + y) * hw + x] = v.clamp(0.0, 1.0);
+            }
+        }
+    }
+    Tensor::from_vec(data, [cfg.channels, cfg.hw, cfg.hw])
+}
+
+/// Generate a `(train, test)` pair of synthetic image datasets.
+///
+/// Train and test samples share class prototypes but use disjoint
+/// jitter/noise streams, so generalisation is meaningful.
+pub fn synth_cifar(cfg: &SynthImageConfig) -> (ImageDataset, ImageDataset) {
+    let mut proto_rng = XorShiftRng::new(cfg.seed);
+    let protos: Vec<Vec<f32>> = (0..cfg.num_classes)
+        .map(|_| prototype(cfg, &mut proto_rng))
+        .collect();
+    let make = |per_class: usize, salt: u64| {
+        let mut images = Vec::with_capacity(per_class * cfg.num_classes);
+        let mut labels = Vec::with_capacity(per_class * cfg.num_classes);
+        for (class, proto) in protos.iter().enumerate() {
+            let mut rng = XorShiftRng::new(
+                cfg.seed ^ salt ^ ((class as u64 + 1).wrapping_mul(0x9E37_79B9_7F4A_7C15)),
+            );
+            for _ in 0..per_class {
+                images.push(jittered(proto, cfg, &mut rng));
+                labels.push(class);
+            }
+        }
+        ImageDataset {
+            images,
+            labels,
+            num_classes: cfg.num_classes,
+        }
+    };
+    (
+        make(cfg.train_per_class, 0xAAAA),
+        make(cfg.test_per_class, 0x5555),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sizes_and_labels() {
+        let cfg = SynthImageConfig {
+            num_classes: 4,
+            train_per_class: 5,
+            test_per_class: 2,
+            ..SynthImageConfig::default()
+        };
+        let (train, test) = synth_cifar(&cfg);
+        assert_eq!(train.len(), 20);
+        assert_eq!(test.len(), 8);
+        assert_eq!(train.num_classes(), 4);
+        let (img, label) = train.sample(6);
+        assert_eq!(img.shape().dims(), &[3, 16, 16]);
+        assert_eq!(label, 1);
+    }
+
+    #[test]
+    fn pixels_in_unit_range() {
+        let (train, _) = synth_cifar(&SynthImageConfig::default());
+        for i in 0..train.len() {
+            let (img, _) = train.sample(i);
+            assert!(img.data().iter().all(|&v| (0.0..=1.0).contains(&v)));
+        }
+    }
+
+    #[test]
+    fn classes_are_separable_by_prototype_distance() {
+        // Same-class samples must be closer to each other than to other
+        // classes on average — the property that makes accuracy meaningful.
+        let cfg = SynthImageConfig {
+            num_classes: 3,
+            train_per_class: 6,
+            ..SynthImageConfig::default()
+        };
+        let (train, _) = synth_cifar(&cfg);
+        let dist = |a: &Tensor, b: &Tensor| -> f64 {
+            a.data()
+                .iter()
+                .zip(b.data())
+                .map(|(&x, &y)| ((x - y) as f64).powi(2))
+                .sum()
+        };
+        let (mut intra, mut inter, mut ni, mut nx) = (0.0, 0.0, 0, 0);
+        for i in 0..train.len() {
+            for j in (i + 1)..train.len() {
+                let d = dist(train.sample(i).0, train.sample(j).0);
+                if train.sample(i).1 == train.sample(j).1 {
+                    intra += d;
+                    ni += 1;
+                } else {
+                    inter += d;
+                    nx += 1;
+                }
+            }
+        }
+        assert!(intra / ni as f64 * 1.5 < inter / nx as f64);
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let cfg = SynthImageConfig::default();
+        let (a, _) = synth_cifar(&cfg);
+        let (b, _) = synth_cifar(&cfg);
+        assert_eq!(a.sample(3).0.data(), b.sample(3).0.data());
+    }
+
+    #[test]
+    fn train_and_test_differ() {
+        let (train, test) = synth_cifar(&SynthImageConfig::default());
+        assert_ne!(train.sample(0).0.data(), test.sample(0).0.data());
+    }
+
+    #[test]
+    fn batch_stacks_and_books_input() {
+        use skipper_memprof as mp;
+        let (train, _) = synth_cifar(&SynthImageConfig::default());
+        mp::reset_all();
+        let (batch, labels) = train.batch(&[0, 10, 20]);
+        assert_eq!(batch.shape().dims(), &[3, 3, 16, 16]);
+        assert_eq!(labels.len(), 3);
+        assert_eq!(
+            mp::snapshot().live(mp::Category::Input),
+            batch.byte_size()
+        );
+    }
+}

@@ -1,0 +1,220 @@
+//! Event-dataset file I/O.
+//!
+//! A compact binary container for labelled event streams, in the spirit of
+//! the AEDAT files that DVS cameras record: a magic header, per-recording
+//! metadata (label, resolution, duration) and packed 8-byte events
+//! `(x: u16, y: u16, polarity+reserved: u16, t packed into the low 16 bits
+//! of a u16 pair)`. Lets synthetic datasets be generated once and shared,
+//! and gives downstream users an ingestion path for their own recordings.
+
+use crate::events::{Event, EventDataset, EventStream};
+use std::io::{self, Read, Write};
+use std::path::Path;
+
+/// File magic: "SKEVT" + version 1.
+const MAGIC: &[u8; 6] = b"SKEVT\x01";
+
+fn write_u32(w: &mut impl Write, v: u32) -> io::Result<()> {
+    w.write_all(&v.to_le_bytes())
+}
+
+fn read_u32(r: &mut impl Read) -> io::Result<u32> {
+    let mut b = [0u8; 4];
+    r.read_exact(&mut b)?;
+    Ok(u32::from_le_bytes(b))
+}
+
+fn write_u16(w: &mut impl Write, v: u16) -> io::Result<()> {
+    w.write_all(&v.to_le_bytes())
+}
+
+fn read_u16(r: &mut impl Read) -> io::Result<u16> {
+    let mut b = [0u8; 2];
+    r.read_exact(&mut b)?;
+    Ok(u16::from_le_bytes(b))
+}
+
+/// Serialize `dataset` to `writer`.
+///
+/// # Errors
+///
+/// Propagates I/O errors.
+pub fn write_events(dataset: &EventDataset, writer: &mut impl Write) -> io::Result<()> {
+    writer.write_all(MAGIC)?;
+    write_u32(writer, dataset.len() as u32)?;
+    write_u32(writer, dataset.num_classes() as u32)?;
+    write_u32(writer, dataset.hw() as u32)?;
+    for i in 0..dataset.len() {
+        let (stream, label) = dataset.sample(i);
+        write_u32(writer, label as u32)?;
+        write_u32(writer, stream.duration)?;
+        write_u32(writer, stream.events.len() as u32)?;
+        for e in &stream.events {
+            write_u16(writer, e.x)?;
+            write_u16(writer, e.y)?;
+            write_u16(writer, u16::from(e.polarity))?;
+            // t as u32 split little-endian across two u16 writes.
+            write_u16(writer, (e.t & 0xFFFF) as u16)?;
+            write_u16(writer, (e.t >> 16) as u16)?;
+        }
+    }
+    Ok(())
+}
+
+/// Deserialize a dataset from `reader`.
+///
+/// # Errors
+///
+/// Fails on I/O errors, a bad magic header, or malformed records.
+pub fn read_events(reader: &mut impl Read) -> io::Result<EventDataset> {
+    let mut magic = [0u8; 6];
+    reader.read_exact(&mut magic)?;
+    if &magic != MAGIC {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            "not a skipper event file (bad magic)",
+        ));
+    }
+    let count = read_u32(reader)? as usize;
+    let num_classes = read_u32(reader)? as usize;
+    let hw = read_u32(reader)? as usize;
+    if num_classes == 0 || hw == 0 || hw > 4096 || count > 1 << 24 {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            "implausible event-file header",
+        ));
+    }
+    let mut streams = Vec::with_capacity(count);
+    let mut labels = Vec::with_capacity(count);
+    for _ in 0..count {
+        let label = read_u32(reader)? as usize;
+        if label >= num_classes {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                format!("label {label} out of range for {num_classes} classes"),
+            ));
+        }
+        let duration = read_u32(reader)?;
+        let n_events = read_u32(reader)? as usize;
+        if n_events > 1 << 26 {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                "implausible event count",
+            ));
+        }
+        let mut events = Vec::with_capacity(n_events);
+        for _ in 0..n_events {
+            let x = read_u16(reader)?;
+            let y = read_u16(reader)?;
+            let polarity = read_u16(reader)? != 0;
+            let lo = read_u16(reader)? as u32;
+            let hi = read_u16(reader)? as u32;
+            let t = lo | (hi << 16);
+            if (x as usize) >= hw || (y as usize) >= hw || t >= duration.max(1) {
+                return Err(io::Error::new(
+                    io::ErrorKind::InvalidData,
+                    "event outside sensor/duration bounds",
+                ));
+            }
+            events.push(Event { x, y, polarity, t });
+        }
+        streams.push(EventStream {
+            events,
+            hw,
+            duration,
+        });
+        labels.push(label);
+    }
+    Ok(EventDataset::from_parts(streams, labels, num_classes, hw))
+}
+
+/// Save a dataset to the file at `path`.
+///
+/// # Errors
+///
+/// Propagates file-creation and write errors.
+pub fn save_events(dataset: &EventDataset, path: impl AsRef<Path>) -> io::Result<()> {
+    let mut f = io::BufWriter::new(std::fs::File::create(path)?);
+    write_events(dataset, &mut f)?;
+    f.flush()
+}
+
+/// Load a dataset from the file at `path`.
+///
+/// # Errors
+///
+/// See [`read_events`].
+pub fn load_events(path: impl AsRef<Path>) -> io::Result<EventDataset> {
+    read_events(&mut io::BufReader::new(std::fs::File::open(path)?))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::events::{synth_dvs_gesture, SynthEventConfig};
+
+    fn tiny() -> EventDataset {
+        synth_dvs_gesture(&SynthEventConfig {
+            train_per_class: 1,
+            test_per_class: 1,
+            ..SynthEventConfig::default()
+        })
+        .0
+    }
+
+    #[test]
+    fn roundtrip_preserves_everything() {
+        let ds = tiny();
+        let mut buf = Vec::new();
+        write_events(&ds, &mut buf).unwrap();
+        let back = read_events(&mut buf.as_slice()).unwrap();
+        assert_eq!(back.len(), ds.len());
+        assert_eq!(back.num_classes(), ds.num_classes());
+        assert_eq!(back.hw(), ds.hw());
+        for i in 0..ds.len() {
+            let (a, la) = ds.sample(i);
+            let (b, lb) = back.sample(i);
+            assert_eq!(la, lb);
+            assert_eq!(a.duration, b.duration);
+            assert_eq!(a.events, b.events);
+        }
+    }
+
+    #[test]
+    fn file_roundtrip() {
+        let dir = std::env::temp_dir().join("skipper_events_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("ds.skevt");
+        let ds = tiny();
+        save_events(&ds, &path).unwrap();
+        let back = load_events(&path).unwrap();
+        assert_eq!(back.len(), ds.len());
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn bad_magic_rejected() {
+        let err = read_events(&mut &b"NOPE!!rest"[..]).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+    }
+
+    #[test]
+    fn truncation_rejected() {
+        let ds = tiny();
+        let mut buf = Vec::new();
+        write_events(&ds, &mut buf).unwrap();
+        buf.truncate(buf.len() - 5);
+        assert!(read_events(&mut buf.as_slice()).is_err());
+    }
+
+    #[test]
+    fn corrupt_label_rejected() {
+        let ds = tiny();
+        let mut buf = Vec::new();
+        write_events(&ds, &mut buf).unwrap();
+        // The first label lives right after the 18-byte header.
+        buf[18] = 0xFF;
+        let err = read_events(&mut buf.as_slice()).unwrap_err();
+        assert!(err.to_string().contains("out of range"), "{err}");
+    }
+}

@@ -1,0 +1,106 @@
+//! Deterministic shuffled batch iteration.
+
+use skipper_tensor::XorShiftRng;
+
+/// Yields shuffled index batches over a dataset of `len` samples.
+///
+/// The shuffle is a Fisher–Yates permutation seeded per epoch, so runs are
+/// reproducible and every epoch sees a different order.
+///
+/// ```
+/// use skipper_data::BatchIter;
+/// let batches: Vec<Vec<usize>> = BatchIter::new(10, 4, 1).collect();
+/// assert_eq!(batches.len(), 3); // 4 + 4 + 2
+/// let mut all: Vec<usize> = batches.concat();
+/// all.sort_unstable();
+/// assert_eq!(all, (0..10).collect::<Vec<_>>());
+/// ```
+#[derive(Debug)]
+pub struct BatchIter {
+    order: Vec<usize>,
+    batch_size: usize,
+    cursor: usize,
+}
+
+impl BatchIter {
+    /// Batches of `batch_size` over `len` samples, shuffled by `seed`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `batch_size` is zero.
+    pub fn new(len: usize, batch_size: usize, seed: u64) -> BatchIter {
+        assert!(batch_size > 0, "batch size must be positive");
+        let mut order: Vec<usize> = (0..len).collect();
+        let mut rng = XorShiftRng::new(seed.wrapping_add(0x5DEECE66D));
+        for i in (1..len).rev() {
+            let j = rng.next_below(i + 1);
+            order.swap(i, j);
+        }
+        BatchIter {
+            order,
+            batch_size,
+            cursor: 0,
+        }
+    }
+
+    /// Like [`BatchIter::new`] but drops the final partial batch (constant
+    /// batch shapes, as the paper's timing sweeps require).
+    pub fn new_drop_last(len: usize, batch_size: usize, seed: u64) -> BatchIter {
+        let mut it = BatchIter::new(len, batch_size, seed);
+        let full = len / batch_size * batch_size;
+        it.order.truncate(full);
+        it
+    }
+}
+
+impl Iterator for BatchIter {
+    type Item = Vec<usize>;
+
+    fn next(&mut self) -> Option<Vec<usize>> {
+        if self.cursor >= self.order.len() {
+            return None;
+        }
+        let end = (self.cursor + self.batch_size).min(self.order.len());
+        let batch = self.order[self.cursor..end].to_vec();
+        self.cursor = end;
+        Some(batch)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn covers_all_indices_once() {
+        let mut seen: Vec<usize> = BatchIter::new(23, 5, 9).flatten().collect();
+        seen.sort_unstable();
+        assert_eq!(seen, (0..23).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn different_seeds_shuffle_differently() {
+        let a: Vec<usize> = BatchIter::new(50, 50, 1).flatten().collect();
+        let b: Vec<usize> = BatchIter::new(50, 50, 2).flatten().collect();
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn same_seed_is_reproducible() {
+        let a: Vec<Vec<usize>> = BatchIter::new(17, 4, 3).collect();
+        let b: Vec<Vec<usize>> = BatchIter::new(17, 4, 3).collect();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn drop_last_keeps_only_full_batches() {
+        let batches: Vec<Vec<usize>> = BatchIter::new_drop_last(10, 4, 1).collect();
+        assert_eq!(batches.len(), 2);
+        assert!(batches.iter().all(|b| b.len() == 4));
+    }
+
+    #[test]
+    fn empty_dataset_yields_nothing() {
+        assert_eq!(BatchIter::new(0, 4, 1).count(), 0);
+    }
+}

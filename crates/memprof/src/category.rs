@@ -1,0 +1,116 @@
+//! Tensor-memory categories matching the breakdowns of Figs. 3(c,d) and 4(a)
+//! of the paper.
+
+use serde::{Deserialize, Serialize};
+
+/// The role a tensor plays during training.
+///
+/// The paper's motivation figures (Figs. 3(c,d), 4(a)) break device tensor
+/// memory down into *input*, *model (weights)*, *activations*, *optimizer*
+/// (weight gradients + gradient moments + non-trainable parameters) and
+/// *others*. We keep weight gradients separate from the optimizer moments so
+/// that both the paper's coarse grouping and a finer one can be reported.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum Category {
+    /// Time-dependent neural state: membrane potentials, spikes, synaptic
+    /// currents and everything else saved for the backward pass.
+    Activations,
+    /// The (spike-encoded) network input sequence and labels.
+    Input,
+    /// Trainable parameters.
+    Weights,
+    /// Gradients of the trainable parameters.
+    WeightGrads,
+    /// Optimizer state (Adam moments, momentum buffers, …).
+    OptimizerState,
+    /// Short-lived kernel workspaces (im2col buffers and the like).
+    Workspace,
+    /// Anything not covered above.
+    Other,
+}
+
+impl Category {
+    /// Number of distinct categories.
+    pub const COUNT: usize = 7;
+
+    /// All categories, in a fixed display order.
+    pub const ALL: [Category; Category::COUNT] = [
+        Category::Activations,
+        Category::Input,
+        Category::Weights,
+        Category::WeightGrads,
+        Category::OptimizerState,
+        Category::Workspace,
+        Category::Other,
+    ];
+
+    /// Dense index used by the tracker's per-category arrays.
+    #[inline]
+    pub fn index(self) -> usize {
+        match self {
+            Category::Activations => 0,
+            Category::Input => 1,
+            Category::Weights => 2,
+            Category::WeightGrads => 3,
+            Category::OptimizerState => 4,
+            Category::Workspace => 5,
+            Category::Other => 6,
+        }
+    }
+
+    /// Short label used in figure/table output.
+    pub fn label(self) -> &'static str {
+        match self {
+            Category::Activations => "activations",
+            Category::Input => "input",
+            Category::Weights => "weights",
+            Category::WeightGrads => "wt gradients",
+            Category::OptimizerState => "optimizer",
+            Category::Workspace => "workspace",
+            Category::Other => "others",
+        }
+    }
+}
+
+impl Default for Category {
+    fn default() -> Self {
+        Category::Other
+    }
+}
+
+impl std::fmt::Display for Category {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn indices_are_dense_and_unique() {
+        let mut seen = [false; Category::COUNT];
+        for c in Category::ALL {
+            let i = c.index();
+            assert!(i < Category::COUNT);
+            assert!(!seen[i], "duplicate index for {c:?}");
+            seen[i] = true;
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+
+    #[test]
+    fn labels_are_nonempty_and_distinct() {
+        let mut labels: Vec<_> = Category::ALL.iter().map(|c| c.label()).collect();
+        labels.sort_unstable();
+        labels.dedup();
+        assert_eq!(labels.len(), Category::COUNT);
+        assert!(labels.iter().all(|l| !l.is_empty()));
+    }
+
+    #[test]
+    fn display_matches_label() {
+        assert_eq!(Category::Activations.to_string(), "activations");
+    }
+}

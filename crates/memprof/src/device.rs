@@ -1,0 +1,150 @@
+//! Device presets for the platforms the paper evaluates on.
+//!
+//! The paper measures on NVIDIA A100-80GB servers (Section VII) and on a
+//! 4 GiB Jetson Nano (Section VII-H, Fig. 15, where the ~2 GiB CUDA context
+//! forces swap to be configured). A [`DeviceModel`] carries everything the
+//! memory and latency models need: capacity, context constant, peak compute
+//! and bandwidth, and kernel launch overhead.
+
+use serde::{Deserialize, Serialize};
+
+/// Hardware parameters of a (simulated) accelerator.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DeviceModel {
+    /// Human-readable name shown in reports.
+    pub name: String,
+    /// Total device memory in bytes.
+    pub capacity_bytes: u64,
+    /// Memory consumed by the driver/runtime context before any tensor is
+    /// allocated (the "CUDA context" share of Fig. 13).
+    pub context_bytes: u64,
+    /// Peak single-precision throughput, FLOP/s.
+    pub peak_flops: f64,
+    /// Peak memory bandwidth, bytes/s.
+    pub mem_bandwidth: f64,
+    /// Fixed per-kernel launch overhead, seconds.
+    pub launch_overhead_s: f64,
+}
+
+impl DeviceModel {
+    /// NVIDIA A100-80GB (SXM): 19.5 TFLOP/s fp32, ~2 TB/s HBM2e.
+    pub fn a100_80gb() -> DeviceModel {
+        DeviceModel {
+            name: "A100-80GB".to_owned(),
+            capacity_bytes: 80 * (1 << 30),
+            context_bytes: 600 * (1 << 20),
+            peak_flops: 19.5e12,
+            mem_bandwidth: 2.0e12,
+            launch_overhead_s: 5e-6,
+        }
+    }
+
+    /// NVIDIA Jetson Nano 4GB: 472 GFLOP/s fp16-ish, 25.6 GB/s LPDDR4.
+    ///
+    /// The context on the Nano is disproportionately large (~2 GiB of the
+    /// 4 GiB unified memory), which is why the paper adds 4 GiB of swap; we
+    /// model the swap by extending the capacity and leaving the context at
+    /// 2 GiB.
+    pub fn jetson_nano() -> DeviceModel {
+        DeviceModel {
+            name: "Jetson-Nano".to_owned(),
+            capacity_bytes: 8 * (1 << 30), // 4 GiB unified + 4 GiB swap
+            context_bytes: 2 * (1 << 30),
+            peak_flops: 472e9,
+            mem_bandwidth: 25.6e9,
+            launch_overhead_s: 12e-6,
+        }
+    }
+
+    /// Memory left for tensors and cache after the context.
+    pub fn usable_bytes(&self) -> u64 {
+        self.capacity_bytes.saturating_sub(self.context_bytes)
+    }
+
+    /// Overall device occupancy as `nvidia-smi` would report it:
+    /// context + reserved allocator bytes.
+    pub fn overall_bytes(&self, reserved_bytes: u64) -> u64 {
+        self.context_bytes + reserved_bytes
+    }
+
+    /// Whether a workload needing `reserved_bytes` beyond the context fits.
+    pub fn fits(&self, reserved_bytes: u64) -> bool {
+        reserved_bytes <= self.usable_bytes()
+    }
+
+    /// Modeled execution time of one kernel doing `flops` floating point
+    /// operations over `bytes` of memory traffic (roofline with launch
+    /// overhead).
+    pub fn kernel_time_s(&self, flops: f64, bytes: f64) -> f64 {
+        let compute = flops / self.peak_flops;
+        let memory = bytes / self.mem_bandwidth;
+        self.launch_overhead_s + compute.max(memory)
+    }
+}
+
+impl Default for DeviceModel {
+    fn default() -> Self {
+        DeviceModel::a100_80gb()
+    }
+}
+
+impl std::fmt::Display for DeviceModel {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{} ({:.0} GiB, ctx {:.1} GiB)",
+            self.name,
+            self.capacity_bytes as f64 / (1u64 << 30) as f64,
+            self.context_bytes as f64 / (1u64 << 30) as f64,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn a100_capacity_and_fit() {
+        let d = DeviceModel::a100_80gb();
+        assert!(d.fits(70 * (1 << 30)));
+        assert!(!d.fits(81 * (1 << 30)));
+        assert_eq!(d.overall_bytes(1 << 30), d.context_bytes + (1 << 30));
+    }
+
+    #[test]
+    fn nano_has_huge_context_share() {
+        let d = DeviceModel::jetson_nano();
+        assert!(d.context_bytes * 2 >= d.capacity_bytes / 2);
+        assert!(d.usable_bytes() < d.capacity_bytes);
+    }
+
+    #[test]
+    fn kernel_time_is_roofline_shaped() {
+        let d = DeviceModel::a100_80gb();
+        // Tiny kernel: launch overhead dominates.
+        let tiny = d.kernel_time_s(1e3, 1e3);
+        assert!((tiny - d.launch_overhead_s).abs() / d.launch_overhead_s < 0.01);
+        // Compute-bound kernel.
+        let big = d.kernel_time_s(1e12, 1e6);
+        assert!(big > 0.04 && big < 0.06);
+        // Bandwidth-bound kernel.
+        let bw = d.kernel_time_s(1e6, 1e12);
+        assert!(bw > 0.4 && bw < 0.6);
+    }
+
+    #[test]
+    fn larger_batches_amortise_launch_overhead() {
+        // The per-sample time of a batched kernel must fall with batch size:
+        // this is the mechanism behind the paper's Fig. 3(e,f).
+        let d = DeviceModel::a100_80gb();
+        let per_sample = |b: f64| d.kernel_time_s(b * 1e6, b * 1e4) / b;
+        assert!(per_sample(256.0) < per_sample(32.0));
+        assert!(per_sample(32.0) < per_sample(1.0));
+    }
+
+    #[test]
+    fn display_mentions_name() {
+        assert!(DeviceModel::a100_80gb().to_string().contains("A100"));
+    }
+}

@@ -1,0 +1,112 @@
+//! Data-parallel training cost model (paper Fig. 4(b)).
+//!
+//! The paper trains ResNet34 on ImageNet in a data-parallel regime on four
+//! A100s and reports per-GPU memory and time-to-train against batch size.
+//! This module models that setting: each device holds the full parameter /
+//! optimizer state plus the activations of its batch shard, computes its
+//! shard independently, and synchronises gradients with a ring all-reduce
+//! (`2·(n−1)/n · param_bytes` traffic per device per step).
+
+use crate::device::DeviceModel;
+use serde::{Deserialize, Serialize};
+
+/// A homogeneous group of `n` devices connected by `interconnect_bw`
+/// (bytes/s per link, e.g. NVLink ≈ 300 GB/s effective).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DataParallelModel {
+    /// Per-device model.
+    pub device: DeviceModel,
+    /// Number of devices.
+    pub n_devices: usize,
+    /// Effective per-device interconnect bandwidth, bytes/s.
+    pub interconnect_bw: f64,
+}
+
+/// Cost of one data-parallel training step.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ParallelStepCost {
+    /// Modeled compute time of the shard on one device, seconds.
+    pub compute_s: f64,
+    /// Modeled all-reduce time, seconds.
+    pub allreduce_s: f64,
+    /// Per-device memory: parameters + optimizer + shard activations, bytes.
+    pub per_device_bytes: u64,
+}
+
+impl ParallelStepCost {
+    /// Total step time (compute and communication serialized; a conservative
+    /// non-overlapping schedule).
+    pub fn total_s(&self) -> f64 {
+        self.compute_s + self.allreduce_s
+    }
+}
+
+impl DataParallelModel {
+    /// Four A100s over NVLink, the paper's Fig. 4(b) configuration.
+    pub fn four_a100() -> DataParallelModel {
+        DataParallelModel {
+            device: DeviceModel::a100_80gb(),
+            n_devices: 4,
+            interconnect_bw: 300e9,
+        }
+    }
+
+    /// Model one optimizer step.
+    ///
+    /// * `shard_compute_s` — modeled single-device time for the local batch
+    ///   shard (from [`LatencyModel`](crate::latency::LatencyModel));
+    /// * `param_bytes` — size of the gradient buffer to all-reduce;
+    /// * `resident_bytes` — parameters + optimizer + persistent buffers;
+    /// * `shard_activation_bytes` — peak activations for the local shard.
+    pub fn step(
+        &self,
+        shard_compute_s: f64,
+        param_bytes: u64,
+        resident_bytes: u64,
+        shard_activation_bytes: u64,
+    ) -> ParallelStepCost {
+        let n = self.n_devices.max(1) as f64;
+        let allreduce_bytes = 2.0 * (n - 1.0) / n * param_bytes as f64;
+        ParallelStepCost {
+            compute_s: shard_compute_s,
+            allreduce_s: allreduce_bytes / self.interconnect_bw,
+            per_device_bytes: resident_bytes + shard_activation_bytes,
+        }
+    }
+
+    /// Whether the per-device footprint fits each device.
+    pub fn fits(&self, cost: &ParallelStepCost) -> bool {
+        self.device.fits(cost.per_device_bytes)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn allreduce_scales_with_params_not_devices_much() {
+        let m = DataParallelModel::four_a100();
+        let a = m.step(1.0, 100 << 20, 1 << 30, 1 << 30);
+        let b = m.step(1.0, 200 << 20, 1 << 30, 1 << 30);
+        assert!(b.allreduce_s > 1.9 * a.allreduce_s);
+    }
+
+    #[test]
+    fn single_device_has_no_allreduce() {
+        let mut m = DataParallelModel::four_a100();
+        m.n_devices = 1;
+        let c = m.step(1.0, 100 << 20, 0, 0);
+        assert_eq!(c.allreduce_s, 0.0);
+        assert!((c.total_s() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn memory_fit_respects_capacity() {
+        let m = DataParallelModel::four_a100();
+        let ok = m.step(1.0, 1 << 20, 10 << 30, 10 << 30);
+        assert!(m.fits(&ok));
+        let too_big = m.step(1.0, 1 << 20, 50 << 30, 40 << 30);
+        assert!(!m.fits(&too_big));
+    }
+}

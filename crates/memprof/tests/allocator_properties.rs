@@ -1,0 +1,85 @@
+//! Property tests of the caching-allocator model: invariants that hold for
+//! any interleaving of allocations and frees.
+
+use proptest::prelude::*;
+use skipper_memprof::alloc_model::round_size;
+use skipper_memprof::tracker::AllocEvent;
+use skipper_memprof::{CachingAllocator, Category};
+
+/// Turn a script of sizes into a well-formed alloc/free event stream:
+/// every allocation is freed in a random (index-scrambled) order unless
+/// `leak` keeps it alive.
+fn event_stream(sizes: &[u32], free_order: &[usize], leaked: usize) -> Vec<AllocEvent> {
+    let mut events: Vec<AllocEvent> = sizes
+        .iter()
+        .enumerate()
+        .map(|(id, &bytes)| AllocEvent {
+            id: id as u64,
+            bytes: bytes as u64,
+            is_alloc: true,
+            category: Category::Other,
+        })
+        .collect();
+    let mut order: Vec<usize> = (0..sizes.len()).collect();
+    let len = order.len();
+    for (i, &swap) in free_order.iter().enumerate() {
+        if i < len {
+            order.swap(i, swap % len);
+        }
+    }
+    for &id in order.iter().skip(leaked) {
+        events.push(AllocEvent {
+            id: id as u64,
+            bytes: sizes[id] as u64,
+            is_alloc: false,
+            category: Category::Other,
+        });
+    }
+    events
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 64, ..ProptestConfig::default() })]
+
+    /// reserved ≥ peak_allocated ≥ live, and rounding is monotone.
+    #[test]
+    fn allocator_invariants(
+        sizes in prop::collection::vec(1u32..4_000_000, 1..40),
+        free_order in prop::collection::vec(0usize..40, 0..40),
+        leaked in 0usize..5,
+    ) {
+        let events = event_stream(&sizes, &free_order, leaked.min(sizes.len()));
+        let stats = CachingAllocator::replay(&events);
+        prop_assert!(stats.reserved >= stats.peak_allocated);
+        prop_assert!(stats.peak_allocated >= stats.live_allocated);
+        // Peak covers at least the largest single rounded request.
+        let biggest = sizes.iter().map(|&s| round_size(s as u64)).max().unwrap();
+        prop_assert!(stats.peak_allocated >= biggest);
+        // Hits + misses = allocations.
+        prop_assert_eq!(stats.cache_hits + stats.cache_misses, sizes.len() as u64);
+    }
+
+    /// Sequential (alloc, free) pairs of one size never grow the
+    /// reservation beyond the first block: the cache must always hit.
+    #[test]
+    fn repeated_same_size_is_fully_cached(size in 1u32..2_000_000, repeats in 1usize..20) {
+        let mut events = Vec::new();
+        for id in 0..repeats as u64 {
+            events.push(AllocEvent { id, bytes: size as u64, is_alloc: true, category: Category::Other });
+            events.push(AllocEvent { id, bytes: size as u64, is_alloc: false, category: Category::Other });
+        }
+        let stats = CachingAllocator::replay(&events);
+        prop_assert_eq!(stats.reserved, round_size(size as u64));
+        prop_assert_eq!(stats.cache_misses, 1);
+    }
+
+    /// Rounding is monotone, idempotent and never shrinks.
+    #[test]
+    fn rounding_laws(a in 0u64..100_000_000, b in 0u64..100_000_000) {
+        prop_assert!(round_size(a) >= a);
+        prop_assert_eq!(round_size(round_size(a)), round_size(a));
+        if a <= b {
+            prop_assert!(round_size(a) <= round_size(b));
+        }
+    }
+}

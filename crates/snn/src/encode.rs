@@ -1,0 +1,208 @@
+//! Input encoders: frames → spike-tensor sequences.
+//!
+//! The paper converts CIFAR-10/100 frames to spikes with Poisson rate
+//! encoding (Section VII) and feeds DVS/N-MNIST event data as binned spike
+//! frames (binning lives in `skipper-data`, next to the event generators).
+//! Encoded sequences are booked under [`Category::Input`] — the "input"
+//! share of the paper's memory breakdowns.
+//!
+//! [`Category::Input`]: skipper_memprof::Category::Input
+
+use skipper_memprof::{Category, CategoryGuard};
+use skipper_tensor::{Tensor, XorShiftRng};
+
+/// Anything that turns a batch of frames `[B,C,H,W]` into `T` spike
+/// tensors of the same shape.
+pub trait Encoder {
+    /// Encode `frames` into a length-`timesteps` spike sequence.
+    fn encode(&self, frames: &Tensor, timesteps: usize, rng: &mut XorShiftRng) -> Vec<Tensor>;
+}
+
+/// Poisson rate encoding: pixel intensity `x ∈ [0,1]` fires each timestep
+/// with probability `gain·x` (independent across time).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PoissonEncoder {
+    /// Firing-probability multiplier.
+    pub gain: f32,
+}
+
+impl Default for PoissonEncoder {
+    fn default() -> Self {
+        PoissonEncoder { gain: 1.0 }
+    }
+}
+
+impl Encoder for PoissonEncoder {
+    fn encode(&self, frames: &Tensor, timesteps: usize, rng: &mut XorShiftRng) -> Vec<Tensor> {
+        let _cat = CategoryGuard::new(Category::Input);
+        let src = frames.data();
+        (0..timesteps)
+            .map(|_| {
+                let data = src
+                    .iter()
+                    .map(|&x| {
+                        let p = (self.gain * x).clamp(0.0, 1.0);
+                        if rng.next_f32() < p {
+                            1.0
+                        } else {
+                            0.0
+                        }
+                    })
+                    .collect();
+                Tensor::from_vec(data, frames.shape().clone())
+            })
+            .collect()
+    }
+}
+
+/// Time-to-first-spike (latency) encoding: each pixel fires exactly once,
+/// earlier for brighter values; zero pixels never fire.
+///
+/// Latency codes are the sparsest rate-free alternative in the SNN
+/// literature; they exercise the time-skipping machinery with a very
+/// different temporal activity profile (activity concentrated early).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LatencyEncoder {
+    /// Fraction of the horizon used for the code (the rest stays silent).
+    pub window: f32,
+}
+
+impl Default for LatencyEncoder {
+    fn default() -> Self {
+        LatencyEncoder { window: 1.0 }
+    }
+}
+
+impl Encoder for LatencyEncoder {
+    fn encode(&self, frames: &Tensor, timesteps: usize, _rng: &mut XorShiftRng) -> Vec<Tensor> {
+        let _cat = CategoryGuard::new(Category::Input);
+        let horizon = ((timesteps as f32 * self.window.clamp(0.0, 1.0)) as usize).max(1);
+        let src = frames.data();
+        // fire_time = (1 - x)·(horizon-1), brighter → earlier.
+        let fire: Vec<Option<usize>> = src
+            .iter()
+            .map(|&x| {
+                if x <= 0.0 {
+                    None
+                } else {
+                    Some(((1.0 - x.clamp(0.0, 1.0)) * (horizon - 1) as f32).round() as usize)
+                }
+            })
+            .collect();
+        (0..timesteps)
+            .map(|t| {
+                let data = fire
+                    .iter()
+                    .map(|&f| if f == Some(t) { 1.0 } else { 0.0 })
+                    .collect();
+                Tensor::from_vec(data, frames.shape().clone())
+            })
+            .collect()
+    }
+}
+
+/// Repeats the analog frame at every timestep (direct-input coding; cheap
+/// shared storage, useful for tests and constant-current experiments).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct RepeatEncoder;
+
+impl Encoder for RepeatEncoder {
+    fn encode(&self, frames: &Tensor, timesteps: usize, _rng: &mut XorShiftRng) -> Vec<Tensor> {
+        let _cat = CategoryGuard::new(Category::Input);
+        let owned = frames.deep_clone();
+        (0..timesteps).map(|_| owned.clone()).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn poisson_rate_tracks_intensity() {
+        let frames = Tensor::from_vec(vec![0.0, 0.25, 0.75, 1.0], [1, 1, 2, 2]);
+        let mut rng = XorShiftRng::new(50);
+        let seq = PoissonEncoder::default().encode(&frames, 2000, &mut rng);
+        assert_eq!(seq.len(), 2000);
+        let mut counts = [0.0f64; 4];
+        for t in &seq {
+            for (c, &v) in counts.iter_mut().zip(t.data()) {
+                assert!(v == 0.0 || v == 1.0, "spikes are binary");
+                *c += v as f64;
+            }
+        }
+        let rates: Vec<f64> = counts.iter().map(|c| c / 2000.0).collect();
+        assert_eq!(rates[0], 0.0);
+        assert!((rates[1] - 0.25).abs() < 0.05);
+        assert!((rates[2] - 0.75).abs() < 0.05);
+        assert!((rates[3] - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn gain_clamps_probability() {
+        let frames = Tensor::full([1, 1, 1, 1], 0.9);
+        let mut rng = XorShiftRng::new(51);
+        let seq = PoissonEncoder { gain: 5.0 }.encode(&frames, 100, &mut rng);
+        assert!(seq.iter().all(|t| t.data()[0] == 1.0));
+    }
+
+    #[test]
+    fn repeat_encoder_shares_storage() {
+        let frames = Tensor::ones([1, 1, 2, 2]);
+        let mut rng = XorShiftRng::new(52);
+        let seq = RepeatEncoder.encode(&frames, 5, &mut rng);
+        assert!(seq[0].shares_storage(&seq[4]));
+        assert_eq!(seq[0].data(), frames.data());
+    }
+
+    #[test]
+    fn latency_encoder_fires_once_brighter_earlier() {
+        let frames = Tensor::from_vec(vec![1.0, 0.5, 0.0], [1, 1, 1, 3]);
+        let mut rng = XorShiftRng::new(54);
+        let seq = LatencyEncoder::default().encode(&frames, 10, &mut rng);
+        let mut fire_times = [None::<usize>; 3];
+        let mut totals = [0u32; 3];
+        for (t, frame) in seq.iter().enumerate() {
+            for (i, &v) in frame.data().iter().enumerate() {
+                if v == 1.0 {
+                    totals[i] += 1;
+                    fire_times[i].get_or_insert(t);
+                }
+            }
+        }
+        assert_eq!(totals, [1, 1, 0], "each nonzero pixel fires exactly once");
+        assert!(fire_times[0].unwrap() < fire_times[1].unwrap(), "brighter first");
+        assert_eq!(fire_times[0].unwrap(), 0);
+    }
+
+    #[test]
+    fn latency_window_confines_activity() {
+        let frames = Tensor::from_vec(vec![0.1], [1, 1, 1, 1]);
+        let mut rng = XorShiftRng::new(55);
+        let seq = LatencyEncoder { window: 0.5 }.encode(&frames, 20, &mut rng);
+        let last_active = seq
+            .iter()
+            .enumerate()
+            .filter(|(_, f)| f.sum() > 0.0)
+            .map(|(t, _)| t)
+            .max()
+            .unwrap();
+        assert!(last_active < 10, "activity confined to the first half");
+    }
+
+    #[test]
+    fn encoded_input_booked_under_input_category() {
+        use skipper_memprof as mp;
+        mp::reset_all();
+        let frames = Tensor::ones([1, 1, 4, 4]);
+        let mut rng = XorShiftRng::new(53);
+        let seq = PoissonEncoder::default().encode(&frames, 3, &mut rng);
+        assert_eq!(
+            mp::snapshot().live(mp::Category::Input),
+            3 * 16 * 4,
+            "3 timesteps x 16 px x 4 B"
+        );
+        drop(seq);
+        drop(frames);
+    }
+}

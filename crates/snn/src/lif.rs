@@ -1,0 +1,180 @@
+//! The discrete-time leaky-integrate-and-fire neuron (paper Eq. 1).
+//!
+//! ```text
+//! U_t^l = λ·U_{t-1}^l + I_t^l − θ·o_{t-1}^l        (membrane update)
+//! o_t^l = H(U_t^l − θ)                             (firing)
+//! ```
+//!
+//! where `I_t^l = W^l · o_t^{l-1}` is the synaptic current computed by a
+//! [`Conv2dLayer`](crate::layers::Conv2dLayer) or
+//! [`LinearLayer`](crate::layers::LinearLayer). Two properties follow the
+//! paper exactly:
+//!
+//! * the **reset term is detached**: `−θ·o_{t-1}` uses the previous spikes
+//!   as a constant, so no gradient flows through it ("the reset term is not
+//!   taken into account for the gradient computation", Section III-B);
+//! * consequently the *only* gradient path across timesteps is the leaky
+//!   membrane `λ·U_{t-1}`, which is why checkpoint boundaries only need to
+//!   exchange `∂L/∂U`.
+
+use skipper_autograd::{Graph, Surrogate, Var};
+use skipper_tensor::Tensor;
+
+/// Parameters of a LIF neuron population.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LifConfig {
+    /// Membrane leak `λ` (< 1).
+    pub leak: f32,
+    /// Firing threshold `θ`.
+    pub threshold: f32,
+    /// Surrogate derivative used on the backward pass.
+    pub surrogate: Surrogate,
+}
+
+impl Default for LifConfig {
+    fn default() -> Self {
+        LifConfig {
+            leak: 0.9,
+            threshold: 1.0,
+            surrogate: Surrogate::default_triangle(),
+        }
+    }
+}
+
+impl LifConfig {
+    /// Config with a given leak, default threshold/surrogate.
+    pub fn with_leak(leak: f32) -> LifConfig {
+        LifConfig {
+            leak,
+            ..LifConfig::default()
+        }
+    }
+}
+
+/// One plain (gradient-free) LIF step.
+///
+/// Returns `(U_t, o_t)` given the synaptic current `I_t`, previous membrane
+/// `U_{t-1}` and previous spikes `o_{t-1}` (all of the same shape).
+pub fn lif_step_infer(
+    cfg: &LifConfig,
+    current: &Tensor,
+    mem: &Tensor,
+    prev_spike: &Tensor,
+) -> (Tensor, Tensor) {
+    let u = current
+        .add_scaled(mem, cfg.leak)
+        .add_scaled(prev_spike, -cfg.threshold);
+    let threshold = cfg.threshold;
+    let o = u.map(move |x| if x >= threshold { 1.0 } else { 0.0 });
+    (u, o)
+}
+
+/// One taped LIF step on graph `g`.
+///
+/// `current` and `mem` are graph variables; `prev_spike` is the previous
+/// spike **value** (detached, per the paper). Returns `(U_t, o_t)` as
+/// variables. Three nodes are appended: the leak-accumulate, the reset,
+/// and the spike.
+pub fn lif_step_taped(
+    g: &mut Graph,
+    cfg: &LifConfig,
+    current: Var,
+    mem: Var,
+    prev_spike: &Tensor,
+) -> (Var, Var) {
+    let pre = g.add_scaled(current, mem, cfg.leak);
+    let u = g.add_scaled_const(pre, prev_spike, -cfg.threshold);
+    let o = g.spike(u, cfg.threshold, cfg.surrogate);
+    (u, o)
+}
+
+/// Graph nodes appended by [`lif_step_taped`] (used by the cost model).
+pub const TAPED_NODES_PER_LIF: u64 = 3;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(v: &[f32]) -> Tensor {
+        Tensor::from_vec(v.to_vec(), v.len())
+    }
+
+    #[test]
+    fn integrates_leaks_and_fires() {
+        let cfg = LifConfig {
+            leak: 0.5,
+            threshold: 1.0,
+            surrogate: Surrogate::default_triangle(),
+        };
+        let zero = t(&[0.0]);
+        // Step 1: I=0.8 → U=0.8, no spike.
+        let (u1, o1) = lif_step_infer(&cfg, &t(&[0.8]), &zero, &zero);
+        assert_eq!(u1.data(), &[0.8]);
+        assert_eq!(o1.data(), &[0.0]);
+        // Step 2: U = 0.5·0.8 + 0.8 = 1.2 ≥ θ → spike.
+        let (u2, o2) = lif_step_infer(&cfg, &t(&[0.8]), &u1, &o1);
+        assert!((u2.data()[0] - 1.2).abs() < 1e-6);
+        assert_eq!(o2.data(), &[1.0]);
+        // Step 3: reset subtracts θ: U = 0.5·1.2 + 0.8 − 1.0 = 0.4.
+        let (u3, o3) = lif_step_infer(&cfg, &t(&[0.8]), &u2, &o2);
+        assert!((u3.data()[0] - 0.4).abs() < 1e-6);
+        assert_eq!(o3.data(), &[0.0]);
+    }
+
+    #[test]
+    fn silent_neuron_decays_to_zero() {
+        let cfg = LifConfig::with_leak(0.5);
+        let mut mem = t(&[0.8]);
+        let mut spike = t(&[0.0]);
+        for _ in 0..20 {
+            let (u, o) = lif_step_infer(&cfg, &t(&[0.0]), &mem, &spike);
+            mem = u;
+            spike = o;
+        }
+        assert!(mem.data()[0].abs() < 1e-5);
+    }
+
+    #[test]
+    fn taped_matches_infer() {
+        let cfg = LifConfig::default();
+        let current = t(&[0.3, 1.5, 0.9]);
+        let mem = t(&[0.5, 0.2, 0.8]);
+        let prev = t(&[0.0, 1.0, 0.0]);
+        let (ui, oi) = lif_step_infer(&cfg, &current, &mem, &prev);
+        let mut g = Graph::new();
+        let cv = g.leaf(current.clone(), false);
+        let mv = g.leaf(mem.clone(), true);
+        let (ut, ot) = lif_step_taped(&mut g, &cfg, cv, mv, &prev);
+        assert!(g.value(ut).allclose(&ui, 1e-6));
+        assert!(g.value(ot).allclose(&oi, 1e-6));
+    }
+
+    #[test]
+    fn gradient_flows_through_membrane_not_reset() {
+        let cfg = LifConfig {
+            leak: 0.7,
+            threshold: 1.0,
+            surrogate: Surrogate::default_triangle(),
+        };
+        let mut g = Graph::new();
+        let current = g.leaf(t(&[0.5]), true);
+        let mem = g.leaf(t(&[0.6]), true);
+        let prev = t(&[1.0]); // previous spike, reset active
+        let (u, _o) = lif_step_taped(&mut g, &cfg, current, mem, &prev);
+        g.seed_grad(u, t(&[1.0]));
+        g.backward();
+        // dU/dI = 1, dU/dU_prev = λ; reset contributes nothing.
+        assert_eq!(g.grad(current).unwrap().data(), &[1.0]);
+        assert!((g.grad(mem).unwrap().data()[0] - 0.7).abs() < 1e-6);
+    }
+
+    #[test]
+    fn taped_node_count_constant_is_accurate() {
+        let mut g = Graph::new();
+        let c = g.leaf(t(&[0.0]), false);
+        let m = g.leaf(t(&[0.0]), false);
+        let before = g.len();
+        lif_step_taped(&mut g, &LifConfig::default(), c, m, &t(&[0.0]));
+        assert_eq!(g.len() - before, TAPED_NODES_PER_LIF as usize);
+    }
+}

@@ -1,0 +1,184 @@
+//! Classification metrics beyond plain accuracy.
+
+use skipper_tensor::Tensor;
+
+/// A confusion matrix over `k` classes.
+///
+/// Rows are true labels, columns predictions.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ConfusionMatrix {
+    k: usize,
+    counts: Vec<u64>,
+}
+
+impl ConfusionMatrix {
+    /// Empty matrix for `k` classes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k` is zero.
+    pub fn new(k: usize) -> ConfusionMatrix {
+        assert!(k > 0, "need at least one class");
+        ConfusionMatrix {
+            k,
+            counts: vec![0; k * k],
+        }
+    }
+
+    /// Number of classes.
+    pub fn num_classes(&self) -> usize {
+        self.k
+    }
+
+    /// Record one `(truth, prediction)` pair.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either index is out of range.
+    pub fn record(&mut self, truth: usize, prediction: usize) {
+        assert!(truth < self.k && prediction < self.k, "class out of range");
+        self.counts[truth * self.k + prediction] += 1;
+    }
+
+    /// Record a batch of logits `[B,K]` against labels.
+    pub fn record_logits(&mut self, logits: &Tensor, labels: &[usize]) {
+        for (pred, &truth) in logits.argmax_rows().iter().zip(labels) {
+            self.record(truth, *pred);
+        }
+    }
+
+    /// Count at `(truth, prediction)`.
+    pub fn count(&self, truth: usize, prediction: usize) -> u64 {
+        self.counts[truth * self.k + prediction]
+    }
+
+    /// Total recorded samples.
+    pub fn total(&self) -> u64 {
+        self.counts.iter().sum()
+    }
+
+    /// Overall accuracy.
+    pub fn accuracy(&self) -> f64 {
+        let total = self.total();
+        if total == 0 {
+            return 0.0;
+        }
+        let correct: u64 = (0..self.k).map(|i| self.count(i, i)).sum();
+        correct as f64 / total as f64
+    }
+
+    /// Per-class recall (`None` for classes never seen).
+    pub fn recall(&self, class: usize) -> Option<f64> {
+        let row: u64 = (0..self.k).map(|j| self.count(class, j)).sum();
+        (row > 0).then(|| self.count(class, class) as f64 / row as f64)
+    }
+
+    /// Per-class precision (`None` for classes never predicted).
+    pub fn precision(&self, class: usize) -> Option<f64> {
+        let col: u64 = (0..self.k).map(|i| self.count(i, class)).sum();
+        (col > 0).then(|| self.count(class, class) as f64 / col as f64)
+    }
+
+    /// Macro-averaged F1 over classes with defined precision and recall.
+    pub fn macro_f1(&self) -> f64 {
+        let mut sum = 0.0;
+        let mut n = 0usize;
+        for c in 0..self.k {
+            if let (Some(p), Some(r)) = (self.precision(c), self.recall(c)) {
+                if p + r > 0.0 {
+                    sum += 2.0 * p * r / (p + r);
+                }
+                n += 1;
+            }
+        }
+        if n == 0 {
+            0.0
+        } else {
+            sum / n as f64
+        }
+    }
+}
+
+/// Fraction of rows whose label is among the `k` largest logits.
+///
+/// # Panics
+///
+/// Panics if shapes disagree or `k` is zero.
+pub fn top_k_accuracy(logits: &Tensor, labels: &[usize], k: usize) -> f64 {
+    assert!(k > 0, "k must be positive");
+    let (rows, cols) = logits.shape().as_2d();
+    assert_eq!(rows, labels.len(), "one label per row");
+    let k = k.min(cols);
+    let mut hits = 0usize;
+    for (r, &label) in labels.iter().enumerate() {
+        let row = &logits.data()[r * cols..(r + 1) * cols];
+        let label_score = row[label];
+        let better = row.iter().filter(|&&v| v > label_score).count();
+        if better < k {
+            hits += 1;
+        }
+    }
+    hits as f64 / rows.max(1) as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn confusion_counts_and_accuracy() {
+        let mut m = ConfusionMatrix::new(3);
+        m.record(0, 0);
+        m.record(0, 1);
+        m.record(1, 1);
+        m.record(2, 2);
+        assert_eq!(m.total(), 4);
+        assert_eq!(m.count(0, 1), 1);
+        assert_eq!(m.accuracy(), 0.75);
+    }
+
+    #[test]
+    fn precision_recall_f1() {
+        let mut m = ConfusionMatrix::new(2);
+        // class 0: 3 true, 2 recalled; predictions of 0: 2 correct + 1 wrong.
+        m.record(0, 0);
+        m.record(0, 0);
+        m.record(0, 1);
+        m.record(1, 0);
+        m.record(1, 1);
+        assert!((m.recall(0).unwrap() - 2.0 / 3.0).abs() < 1e-9);
+        assert!((m.precision(0).unwrap() - 2.0 / 3.0).abs() < 1e-9);
+        assert!(m.macro_f1() > 0.5 && m.macro_f1() < 1.0);
+    }
+
+    #[test]
+    fn unseen_class_has_no_recall() {
+        let mut m = ConfusionMatrix::new(3);
+        m.record(0, 0);
+        assert!(m.recall(2).is_none());
+        assert!(m.precision(1).is_none());
+    }
+
+    #[test]
+    fn record_logits_uses_argmax() {
+        let mut m = ConfusionMatrix::new(2);
+        let logits = Tensor::from_vec(vec![0.9, 0.1, 0.2, 0.8], [2, 2]);
+        m.record_logits(&logits, &[0, 0]);
+        assert_eq!(m.count(0, 0), 1);
+        assert_eq!(m.count(0, 1), 1);
+    }
+
+    #[test]
+    fn top_k_bounds_and_known_case() {
+        let logits = Tensor::from_vec(vec![0.5, 0.3, 0.2, 0.4, 0.6, 0.3], [2, 3]);
+        // Row 0 label 1: rank 2 → in top-2 but not top-1.
+        // Row 1 label 2: rank 3 → only in top-3.
+        assert_eq!(top_k_accuracy(&logits, &[1, 2], 1), 0.0);
+        assert_eq!(top_k_accuracy(&logits, &[1, 2], 2), 0.5);
+        assert_eq!(top_k_accuracy(&logits, &[1, 2], 3), 1.0);
+        // k=1 agrees with the confusion-matrix accuracy.
+        let mut m = ConfusionMatrix::new(3);
+        m.record_logits(&logits, &[1, 2]);
+        assert_eq!(top_k_accuracy(&logits, &[1, 2], 1), m.accuracy());
+    }
+}

@@ -1,0 +1,216 @@
+//! Optimizers over a [`ParamStore`].
+//!
+//! The paper trains everything with Adam (Section VII); its first/second
+//! moments are why the "optimizer" share of the memory breakdowns is 2x
+//! the weight size. Moments and momentum buffers are booked under
+//! [`Category::OptimizerState`].
+//!
+//! [`Category::OptimizerState`]: skipper_memprof::Category::OptimizerState
+
+use crate::params::ParamStore;
+use skipper_memprof::{record_op, Category, CategoryGuard, OpKind};
+use skipper_tensor::Tensor;
+
+/// A gradient-descent update rule.
+pub trait Optimizer {
+    /// Apply one update using the gradients accumulated in `params`
+    /// (does not zero them; call [`ParamStore::zero_grads`] afterwards).
+    fn step(&mut self, params: &mut ParamStore);
+
+    /// Current learning rate.
+    fn learning_rate(&self) -> f32;
+
+    /// Change the learning rate (schedules).
+    fn set_learning_rate(&mut self, lr: f32);
+}
+
+/// Stochastic gradient descent with optional momentum.
+#[derive(Debug)]
+pub struct Sgd {
+    lr: f32,
+    momentum: f32,
+    velocity: Vec<Option<Tensor>>,
+}
+
+impl Sgd {
+    /// Plain SGD.
+    pub fn new(lr: f32) -> Sgd {
+        Sgd::with_momentum(lr, 0.0)
+    }
+
+    /// SGD with momentum `mu`.
+    pub fn with_momentum(lr: f32, momentum: f32) -> Sgd {
+        Sgd {
+            lr,
+            momentum,
+            velocity: Vec::new(),
+        }
+    }
+}
+
+impl Optimizer for Sgd {
+    fn step(&mut self, params: &mut ParamStore) {
+        self.velocity.resize_with(params.len(), || None);
+        for (i, p) in params.iter_mut().enumerate() {
+            record_op(
+                OpKind::Optimizer,
+                2.0 * p.value().numel() as f64,
+                3.0 * p.value().byte_size() as f64,
+            );
+            if self.momentum > 0.0 {
+                let v = self.velocity[i].get_or_insert_with(|| {
+                    let _c = CategoryGuard::new(Category::OptimizerState);
+                    Tensor::zeros(p.value().shape().clone())
+                });
+                v.scale_assign(self.momentum);
+                v.add_assign(p.grad());
+                let update = v.clone();
+                p.value_mut().add_scaled_assign(&update, -self.lr);
+            } else {
+                let g = p.grad().clone();
+                p.value_mut().add_scaled_assign(&g, -self.lr);
+            }
+        }
+    }
+
+    fn learning_rate(&self) -> f32 {
+        self.lr
+    }
+
+    fn set_learning_rate(&mut self, lr: f32) {
+        self.lr = lr;
+    }
+}
+
+/// Adam (Kingma & Ba, 2014), the paper's optimizer.
+#[derive(Debug)]
+pub struct Adam {
+    lr: f32,
+    beta1: f32,
+    beta2: f32,
+    eps: f32,
+    t: u64,
+    moments: Vec<Option<(Tensor, Tensor)>>,
+}
+
+impl Adam {
+    /// Adam with standard betas `(0.9, 0.999)`.
+    pub fn new(lr: f32) -> Adam {
+        Adam {
+            lr,
+            beta1: 0.9,
+            beta2: 0.999,
+            eps: 1e-8,
+            t: 0,
+            moments: Vec::new(),
+        }
+    }
+}
+
+impl Optimizer for Adam {
+    fn step(&mut self, params: &mut ParamStore) {
+        self.t += 1;
+        self.moments.resize_with(params.len(), || None);
+        let bc1 = 1.0 - self.beta1.powi(self.t as i32);
+        let bc2 = 1.0 - self.beta2.powi(self.t as i32);
+        for (i, p) in params.iter_mut().enumerate() {
+            record_op(
+                OpKind::Optimizer,
+                8.0 * p.value().numel() as f64,
+                5.0 * p.value().byte_size() as f64,
+            );
+            let (m, v) = self.moments[i].get_or_insert_with(|| {
+                let _c = CategoryGuard::new(Category::OptimizerState);
+                (
+                    Tensor::zeros(p.value().shape().clone()),
+                    Tensor::zeros(p.value().shape().clone()),
+                )
+            });
+            let g = p.grad().clone();
+            m.scale_assign(self.beta1);
+            m.add_scaled_assign(&g, 1.0 - self.beta1);
+            v.scale_assign(self.beta2);
+            let g2 = g.mul(&g);
+            v.add_scaled_assign(&g2, 1.0 - self.beta2);
+            let (lr, eps) = (self.lr, self.eps);
+            let md = m.data();
+            let vd = v.data();
+            let w = p.value_mut().data_mut();
+            for ((wi, &mi), &vi) in w.iter_mut().zip(md).zip(vd) {
+                let mhat = mi / bc1;
+                let vhat = vi / bc2;
+                *wi -= lr * mhat / (vhat.sqrt() + eps);
+            }
+        }
+    }
+
+    fn learning_rate(&self) -> f32 {
+        self.lr
+    }
+
+    fn set_learning_rate(&mut self, lr: f32) {
+        self.lr = lr;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn quadratic_store(x0: f32) -> (ParamStore, crate::params::ParamId) {
+        let mut store = ParamStore::new();
+        let id = store.add("x", Tensor::from_vec(vec![x0], [1]));
+        (store, id)
+    }
+
+    /// Minimise f(x) = x² by feeding grad = 2x.
+    fn optimise(opt: &mut dyn Optimizer, steps: usize, x0: f32) -> f32 {
+        let (mut store, id) = quadratic_store(x0);
+        for _ in 0..steps {
+            store.zero_grads();
+            let x = store.value(id).data()[0];
+            store.accumulate_grad(id, &Tensor::from_vec(vec![2.0 * x], [1]));
+            opt.step(&mut store);
+        }
+        store.value(id).data()[0]
+    }
+
+    #[test]
+    fn sgd_converges_on_quadratic() {
+        let x = optimise(&mut Sgd::new(0.1), 100, 5.0);
+        assert!(x.abs() < 1e-3, "x = {x}");
+    }
+
+    #[test]
+    fn momentum_outpaces_plain_sgd_early() {
+        let plain = optimise(&mut Sgd::new(0.02), 20, 5.0);
+        let momentum = optimise(&mut Sgd::with_momentum(0.02, 0.9), 20, 5.0);
+        assert!(momentum.abs() < plain.abs());
+    }
+
+    #[test]
+    fn adam_converges_on_quadratic() {
+        let x = optimise(&mut Adam::new(0.3), 200, 5.0);
+        assert!(x.abs() < 1e-2, "x = {x}");
+    }
+
+    #[test]
+    fn adam_moments_booked_as_optimizer_state() {
+        use skipper_memprof as mp;
+        mp::reset_all();
+        let (mut store, id) = quadratic_store(1.0);
+        let mut adam = Adam::new(0.1);
+        store.accumulate_grad(id, &Tensor::ones([1]));
+        adam.step(&mut store);
+        // Two moments of one f32 each.
+        assert_eq!(mp::snapshot().live(mp::Category::OptimizerState), 8);
+        drop((store, adam));
+    }
+
+    #[test]
+    fn learning_rate_is_adjustable() {
+        let mut opt = Adam::new(0.1);
+        opt.set_learning_rate(0.01);
+        assert_eq!(opt.learning_rate(), 0.01);
+    }
+}

@@ -1,0 +1,164 @@
+//! Learning-rate schedules and gradient clipping.
+//!
+//! The paper's training recipe (hybrid fine-tuning, Adam) conventionally
+//! pairs with a step or cosine decay; these utilities apply any schedule
+//! to any [`Optimizer`] and provide global-norm gradient clipping, which
+//! stabilises from-scratch SNN training at aggressive skip percentiles.
+
+use crate::optim::Optimizer;
+use crate::params::ParamStore;
+
+/// A learning-rate schedule: maps an epoch index to a multiplier of the
+/// base learning rate.
+pub trait LrSchedule {
+    /// Multiplier applied to the base learning rate at `epoch`.
+    fn factor(&self, epoch: usize) -> f32;
+}
+
+/// Constant learning rate.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct Constant;
+
+impl LrSchedule for Constant {
+    fn factor(&self, _epoch: usize) -> f32 {
+        1.0
+    }
+}
+
+/// Multiply by `gamma` every `every` epochs.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct StepDecay {
+    /// Epoch interval between decays.
+    pub every: usize,
+    /// Decay multiplier per step.
+    pub gamma: f32,
+}
+
+impl LrSchedule for StepDecay {
+    fn factor(&self, epoch: usize) -> f32 {
+        self.gamma.powi((epoch / self.every.max(1)) as i32)
+    }
+}
+
+/// Cosine annealing from 1 to `floor` over `total_epochs`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CosineDecay {
+    /// Horizon of the schedule.
+    pub total_epochs: usize,
+    /// Final multiplier.
+    pub floor: f32,
+}
+
+impl LrSchedule for CosineDecay {
+    fn factor(&self, epoch: usize) -> f32 {
+        let t = (epoch as f32 / self.total_epochs.max(1) as f32).min(1.0);
+        let cos = 0.5 * (1.0 + (std::f32::consts::PI * t).cos());
+        self.floor + (1.0 - self.floor) * cos
+    }
+}
+
+/// Set `optimizer`'s learning rate for `epoch` given its `base_lr`.
+pub fn apply_schedule(
+    optimizer: &mut dyn Optimizer,
+    schedule: &dyn LrSchedule,
+    base_lr: f32,
+    epoch: usize,
+) {
+    optimizer.set_learning_rate(base_lr * schedule.factor(epoch));
+}
+
+/// Clip the global gradient norm of `params` to `max_norm`. Returns the
+/// pre-clip norm.
+///
+/// # Panics
+///
+/// Panics if `max_norm` is not positive.
+pub fn clip_grad_norm(params: &mut ParamStore, max_norm: f32) -> f32 {
+    assert!(max_norm > 0.0, "max_norm must be positive");
+    let mut sq = 0.0f64;
+    for p in params.iter() {
+        sq += p.grad().data().iter().map(|&g| (g as f64) * (g as f64)).sum::<f64>();
+    }
+    let norm = sq.sqrt() as f32;
+    if norm > max_norm {
+        let scale = max_norm / norm;
+        for p in params.iter_mut() {
+            p.grad_mut().scale_assign(scale);
+        }
+    }
+    norm
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::optim::Sgd;
+    use skipper_tensor::Tensor;
+
+    #[test]
+    fn constant_is_one() {
+        assert_eq!(Constant.factor(0), 1.0);
+        assert_eq!(Constant.factor(100), 1.0);
+    }
+
+    #[test]
+    fn step_decay_halves_on_schedule() {
+        let s = StepDecay {
+            every: 10,
+            gamma: 0.5,
+        };
+        assert_eq!(s.factor(0), 1.0);
+        assert_eq!(s.factor(9), 1.0);
+        assert_eq!(s.factor(10), 0.5);
+        assert_eq!(s.factor(25), 0.25);
+    }
+
+    #[test]
+    fn cosine_decays_monotonically_to_floor() {
+        let s = CosineDecay {
+            total_epochs: 20,
+            floor: 0.1,
+        };
+        assert!((s.factor(0) - 1.0).abs() < 1e-6);
+        assert!((s.factor(20) - 0.1).abs() < 1e-6);
+        assert!((s.factor(30) - 0.1).abs() < 1e-6, "clamped past horizon");
+        let mut prev = f32::INFINITY;
+        for e in 0..=20 {
+            let f = s.factor(e);
+            assert!(f <= prev + 1e-6);
+            prev = f;
+        }
+    }
+
+    #[test]
+    fn apply_schedule_updates_optimizer() {
+        let mut opt = Sgd::new(0.1);
+        apply_schedule(
+            &mut opt,
+            &StepDecay {
+                every: 5,
+                gamma: 0.1,
+            },
+            0.1,
+            5,
+        );
+        assert!((opt.learning_rate() - 0.01).abs() < 1e-8);
+    }
+
+    #[test]
+    fn clip_rescales_only_when_needed() {
+        let mut store = ParamStore::new();
+        let id = store.add("w", Tensor::zeros([2]));
+        store.accumulate_grad(id, &Tensor::from_vec(vec![3.0, 4.0], [2])); // norm 5
+        let norm = clip_grad_norm(&mut store, 1.0);
+        assert!((norm - 5.0).abs() < 1e-5);
+        let g = store.param(id).grad();
+        let clipped = (g.data()[0].powi(2) + g.data()[1].powi(2)).sqrt();
+        assert!((clipped - 1.0).abs() < 1e-5);
+        // Below the limit: untouched.
+        store.zero_grads();
+        store.accumulate_grad(id, &Tensor::from_vec(vec![0.3, 0.4], [2]));
+        clip_grad_norm(&mut store, 1.0);
+        assert_eq!(store.param(id).grad().data(), &[0.3, 0.4]);
+    }
+}

@@ -1,0 +1,304 @@
+//! Saving and loading trained parameters.
+//!
+//! A deliberately simple, self-describing binary container (no external
+//! format dependencies): a magic header, then one record per parameter —
+//! name, shape, and little-endian `f32` data. Loading matches records to
+//! the network's parameters **by name and shape**, so weights survive
+//! refactors that only reorder parameters, and mismatches fail loudly
+//! rather than silently corrupting a model.
+//!
+//! ```no_run
+//! use skipper_snn::{custom_net, ModelConfig};
+//! use skipper_snn::serialize::{load_params, save_params};
+//!
+//! # fn main() -> std::io::Result<()> {
+//! let mut net = custom_net(&ModelConfig::default());
+//! save_params(net.params(), "model.skw")?;
+//! load_params(net.params_mut(), "model.skw")?;
+//! # Ok(())
+//! # }
+//! ```
+
+use crate::params::ParamStore;
+use skipper_tensor::Tensor;
+use std::collections::HashMap;
+use std::io::{self, Read, Write};
+use std::path::Path;
+
+/// File magic: "SKPRW" + format version 1.
+const MAGIC: &[u8; 6] = b"SKPRW\x01";
+
+fn write_u32(w: &mut impl Write, v: u32) -> io::Result<()> {
+    w.write_all(&v.to_le_bytes())
+}
+
+fn read_u32(r: &mut impl Read) -> io::Result<u32> {
+    let mut buf = [0u8; 4];
+    r.read_exact(&mut buf)?;
+    Ok(u32::from_le_bytes(buf))
+}
+
+/// Serialize every parameter of `params` to `writer`.
+///
+/// # Errors
+///
+/// Propagates I/O errors from the writer.
+pub fn write_params(params: &ParamStore, writer: &mut impl Write) -> io::Result<()> {
+    writer.write_all(MAGIC)?;
+    write_u32(writer, params.len() as u32)?;
+    for p in params.iter() {
+        let name = p.name().as_bytes();
+        write_u32(writer, name.len() as u32)?;
+        writer.write_all(name)?;
+        let dims = p.value().shape().dims();
+        write_u32(writer, dims.len() as u32)?;
+        for &d in dims {
+            write_u32(writer, d as u32)?;
+        }
+        for &v in p.value().data() {
+            writer.write_all(&v.to_le_bytes())?;
+        }
+    }
+    Ok(())
+}
+
+/// One deserialized parameter record.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ParamRecord {
+    /// Parameter name (e.g. `"conv3.weight"`).
+    pub name: String,
+    /// The stored tensor.
+    pub value: Tensor,
+}
+
+/// Deserialize all parameter records from `reader`.
+///
+/// # Errors
+///
+/// Fails on I/O errors, a bad magic header, or a malformed record.
+pub fn read_params(reader: &mut impl Read) -> io::Result<Vec<ParamRecord>> {
+    let mut magic = [0u8; 6];
+    reader.read_exact(&mut magic)?;
+    if &magic != MAGIC {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            "not a skipper weight file (bad magic)",
+        ));
+    }
+    let count = read_u32(reader)? as usize;
+    let mut records = Vec::with_capacity(count);
+    for _ in 0..count {
+        let name_len = read_u32(reader)? as usize;
+        if name_len > 1 << 16 {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                "parameter name implausibly long",
+            ));
+        }
+        let mut name = vec![0u8; name_len];
+        reader.read_exact(&mut name)?;
+        let name = String::from_utf8(name)
+            .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e))?;
+        let rank = read_u32(reader)? as usize;
+        if rank > 8 {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                "tensor rank implausibly high",
+            ));
+        }
+        let mut dims = Vec::with_capacity(rank);
+        for _ in 0..rank {
+            dims.push(read_u32(reader)? as usize);
+        }
+        let numel: usize = dims.iter().product();
+        if numel > 1 << 28 {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                "tensor implausibly large",
+            ));
+        }
+        let mut bytes = vec![0u8; numel * 4];
+        reader.read_exact(&mut bytes)?;
+        let data: Vec<f32> = bytes
+            .chunks_exact(4)
+            .map(|c| f32::from_le_bytes([c[0], c[1], c[2], c[3]]))
+            .collect();
+        records.push(ParamRecord {
+            name,
+            value: Tensor::from_vec(data, dims),
+        });
+    }
+    Ok(records)
+}
+
+/// Copy `records` into `params`, matching by name.
+///
+/// # Errors
+///
+/// Fails if a parameter has no record, a record has no parameter, or a
+/// shape disagrees.
+pub fn apply_records(params: &mut ParamStore, records: Vec<ParamRecord>) -> io::Result<()> {
+    let mut by_name: HashMap<String, ParamRecord> =
+        records.into_iter().map(|r| (r.name.clone(), r)).collect();
+    for p in params.iter_mut() {
+        let record = by_name.remove(p.name()).ok_or_else(|| {
+            io::Error::new(
+                io::ErrorKind::InvalidData,
+                format!("no saved weights for parameter '{}'", p.name()),
+            )
+        })?;
+        if record.value.shape() != p.value().shape() {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                format!(
+                    "shape mismatch for '{}': saved {} vs model {}",
+                    p.name(),
+                    record.value.shape(),
+                    p.value().shape()
+                ),
+            ));
+        }
+        p.value_mut()
+            .data_mut()
+            .copy_from_slice(record.value.data());
+    }
+    if let Some(extra) = by_name.keys().next() {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            format!("saved file contains unknown parameter '{extra}'"),
+        ));
+    }
+    Ok(())
+}
+
+/// Save `params` to the file at `path`.
+///
+/// # Errors
+///
+/// Propagates file-creation and write errors.
+pub fn save_params(params: &ParamStore, path: impl AsRef<Path>) -> io::Result<()> {
+    let mut file = io::BufWriter::new(std::fs::File::create(path)?);
+    write_params(params, &mut file)?;
+    file.flush()
+}
+
+/// Load the file at `path` into `params` (matching by name and shape).
+///
+/// # Errors
+///
+/// See [`read_params`] and [`apply_records`].
+pub fn load_params(params: &mut ParamStore, path: impl AsRef<Path>) -> io::Result<()> {
+    let mut file = io::BufReader::new(std::fs::File::open(path)?);
+    let records = read_params(&mut file)?;
+    apply_records(params, records)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::models::{custom_net, ModelConfig};
+    use skipper_tensor::XorShiftRng;
+
+    fn cfg() -> ModelConfig {
+        ModelConfig {
+            input_hw: 8,
+            width_mult: 0.25,
+            ..ModelConfig::default()
+        }
+    }
+
+    #[test]
+    fn roundtrip_preserves_every_weight() {
+        let net = custom_net(&cfg());
+        let mut buf = Vec::new();
+        write_params(net.params(), &mut buf).unwrap();
+        // Load into a differently initialised twin.
+        let mut twin = custom_net(&ModelConfig { seed: 999, ..cfg() });
+        let a0 = twin.params().iter().next().unwrap().value().clone();
+        let records = read_params(&mut buf.as_slice()).unwrap();
+        apply_records(twin.params_mut(), records).unwrap();
+        for (p, q) in net.params().iter().zip(twin.params().iter()) {
+            assert_eq!(p.value().data(), q.value().data(), "{}", p.name());
+        }
+        assert_ne!(
+            a0.data(),
+            twin.params().iter().next().unwrap().value().data(),
+            "weights must actually change"
+        );
+    }
+
+    #[test]
+    fn file_roundtrip() {
+        let dir = std::env::temp_dir().join("skipper_serialize_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("model.skw");
+        let net = custom_net(&cfg());
+        save_params(net.params(), &path).unwrap();
+        let mut twin = custom_net(&ModelConfig { seed: 31337, ..cfg() });
+        load_params(twin.params_mut(), &path).unwrap();
+        for (p, q) in net.params().iter().zip(twin.params().iter()) {
+            assert_eq!(p.value().data(), q.value().data());
+        }
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn bad_magic_is_rejected() {
+        let err = read_params(&mut &b"NOTSKW\x01rest"[..]).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+    }
+
+    #[test]
+    fn truncated_file_is_rejected() {
+        let net = custom_net(&cfg());
+        let mut buf = Vec::new();
+        write_params(net.params(), &mut buf).unwrap();
+        buf.truncate(buf.len() / 2);
+        assert!(read_params(&mut buf.as_slice()).is_err());
+    }
+
+    #[test]
+    fn shape_mismatch_is_rejected() {
+        let net = custom_net(&cfg());
+        let mut buf = Vec::new();
+        write_params(net.params(), &mut buf).unwrap();
+        let records = read_params(&mut buf.as_slice()).unwrap();
+        // A wider twin has different shapes.
+        let mut wide = custom_net(&ModelConfig {
+            width_mult: 0.5,
+            ..cfg()
+        });
+        let err = apply_records(wide.params_mut(), records).unwrap_err();
+        assert!(err.to_string().contains("shape mismatch"), "{err}");
+    }
+
+    #[test]
+    fn missing_parameter_is_rejected() {
+        let net = custom_net(&cfg());
+        let mut buf = Vec::new();
+        write_params(net.params(), &mut buf).unwrap();
+        let mut records = read_params(&mut buf.as_slice()).unwrap();
+        records.pop();
+        let mut twin = custom_net(&cfg());
+        let err = apply_records(twin.params_mut(), records).unwrap_err();
+        assert!(err.to_string().contains("no saved weights"), "{err}");
+    }
+
+    #[test]
+    fn saved_model_predicts_identically() {
+        use crate::network::StepCtx;
+        let mut rng = XorShiftRng::new(8);
+        let input = Tensor::rand([1, 3, 8, 8], &mut rng);
+        let net = custom_net(&cfg());
+        let mut state = net.init_state(1);
+        let expect = net.step_infer(&input, &mut state, &StepCtx::eval(0));
+
+        let mut buf = Vec::new();
+        write_params(net.params(), &mut buf).unwrap();
+        let mut twin = custom_net(&ModelConfig { seed: 1234, ..cfg() });
+        apply_records(twin.params_mut(), read_params(&mut buf.as_slice()).unwrap()).unwrap();
+        let mut state2 = twin.init_state(1);
+        let got = twin.step_infer(&input, &mut state2, &StepCtx::eval(0));
+        assert!(got.logits.allclose(&expect.logits, 1e-6));
+    }
+}

@@ -1,0 +1,119 @@
+//! Contract tests for `SpikingNetwork`: construction validation, cost
+//! introspection consistency, and module-range execution.
+
+use skipper_snn::{
+    custom_net, vgg5, LinearLayer, Module, ModelConfig, ParamStore, SpikingNetwork, StepCtx,
+};
+use skipper_tensor::{Tensor, XorShiftRng};
+
+fn cfg() -> ModelConfig {
+    ModelConfig {
+        input_hw: 8,
+        width_mult: 0.25,
+        ..ModelConfig::default()
+    }
+}
+
+#[test]
+#[should_panic(expected = "last module must be the readout")]
+fn from_parts_requires_output_module() {
+    let store = ParamStore::new();
+    SpikingNetwork::from_parts("bad", vec![Module::Flatten], store, vec![], vec![3, 8, 8], 10);
+}
+
+#[test]
+#[should_panic(expected = "state shape per LIF unit")]
+fn from_parts_requires_state_shapes() {
+    let mut store = ParamStore::new();
+    let mut rng = XorShiftRng::new(1);
+    let readout = LinearLayer::new(&mut store, "ro", 4, 2, true, &mut rng);
+    let lin = LinearLayer::new(&mut store, "fc", 4, 4, true, &mut rng);
+    let modules = vec![
+        Module::LinearLif {
+            lin,
+            lif: skipper_snn::LifUnit {
+                cfg: Default::default(),
+                state_id: 0,
+            },
+            dropout: None,
+        },
+        Module::Output(readout),
+    ];
+    // One LIF unit but zero state shapes → panic.
+    SpikingNetwork::from_parts("bad", modules, store, vec![], vec![4], 2);
+}
+
+#[test]
+fn per_step_flops_tracks_the_op_log() {
+    use skipper_memprof::{take_op_log, OpKind};
+    let net = custom_net(&cfg());
+    let input = Tensor::ones([1, 3, 8, 8]);
+    let mut state = net.init_state(1);
+    take_op_log();
+    let _ = net.step_infer(&input, &mut state, &StepCtx::eval(0));
+    let log = take_op_log();
+    let measured: f64 = log
+        .iter()
+        .filter(|r| matches!(r.kind, OpKind::MatMul))
+        .map(|r| r.flops)
+        .sum();
+    let analytic = net.per_step_flops_per_sample();
+    // The analytic count covers conv/linear matmuls plus LIF elementwise;
+    // the measured matmul share must be within it and dominate it.
+    assert!(
+        measured <= analytic * 1.05,
+        "measured matmul {measured} vs analytic {analytic}"
+    );
+    assert!(
+        measured >= analytic * 0.5,
+        "matmuls should dominate: {measured} vs {analytic}"
+    );
+}
+
+#[test]
+fn range_execution_composes_to_full_network() {
+    let net = vgg5(&cfg());
+    let mut rng = XorShiftRng::new(9);
+    let input = Tensor::rand([2, 3, 8, 8], &mut rng).map(|x| (x > 0.5) as i32 as f32);
+    let ctx = StepCtx::eval(0);
+
+    let mut full_state = net.init_state(2);
+    let full = net.step_infer(&input, &mut full_state, &ctx);
+
+    let n = net.modules().len();
+    let split = n / 2;
+    let mut part_state = net.init_state(2);
+    let (mid, none, _) = net.step_infer_modules(input.clone(), &mut part_state, &ctx, 0..split);
+    assert!(none.is_none(), "readout is in the second half");
+    let (_, logits, _) = net.step_infer_modules(mid, &mut part_state, &ctx, split..n);
+    assert!(
+        logits.unwrap().allclose(&full.logits, 1e-5),
+        "split execution must equal full execution"
+    );
+    for (a, b) in part_state.mems.iter().zip(&full_state.mems) {
+        assert!(a.allclose(b, 1e-6));
+    }
+}
+
+#[test]
+fn state_elems_matches_init_state() {
+    let net = vgg5(&cfg());
+    let state = net.init_state(3);
+    let total: usize = state
+        .mems
+        .iter()
+        .chain(state.spikes.iter())
+        .map(|t| t.numel())
+        .sum();
+    assert_eq!(total as u64, net.state_elems_per_sample() * 3);
+}
+
+#[test]
+fn network_names_and_metadata_are_consistent() {
+    let net = custom_net(&cfg());
+    assert_eq!(net.name(), "custom-net");
+    assert_eq!(net.input_shape(), &[3, 8, 8]);
+    assert_eq!(net.num_classes(), 10);
+    assert_eq!(net.state_shapes().len(), net.spiking_layer_count());
+    assert!(net.per_step_graph_elems_per_sample() > 0);
+}

@@ -1,0 +1,452 @@
+//! 2-D convolution kernels (im2col + GEMM), NCHW layout.
+//!
+//! The forward pass lowers the whole batch to one `[K, B·L]` column matrix
+//! (`K = C_in·kh·kw`, `L = H_out·W_out`) and performs a single GEMM against
+//! the `[C_out, K]` weight matrix — the standard GPU lowering, which keeps
+//! the FLOP accounting identical to what the latency model expects. The
+//! column workspace is booked under [`Category::Workspace`] so it shows up
+//! in the right bucket of the memory breakdowns.
+//!
+//! [`Category::Workspace`]: skipper_memprof::Category::Workspace
+
+use crate::matmul::{matmul, matmul_nt, matmul_tn};
+use crate::tensor::Tensor;
+use skipper_memprof::{record_op, Category, CategoryGuard, OpKind};
+
+/// Stride and zero-padding of a convolution.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Conv2dSpec {
+    /// Step between output positions.
+    pub stride: usize,
+    /// Zero padding added on every border.
+    pub padding: usize,
+}
+
+impl Default for Conv2dSpec {
+    fn default() -> Self {
+        Conv2dSpec {
+            stride: 1,
+            padding: 0,
+        }
+    }
+}
+
+impl Conv2dSpec {
+    /// Unit stride with `padding`.
+    pub fn padded(padding: usize) -> Conv2dSpec {
+        Conv2dSpec { stride: 1, padding }
+    }
+
+    /// Output extent along one spatial dimension.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the kernel does not fit the padded input.
+    pub fn out_dim(&self, input: usize, kernel: usize) -> usize {
+        let padded = input + 2 * self.padding;
+        assert!(
+            padded >= kernel,
+            "kernel {kernel} larger than padded input {padded}"
+        );
+        (padded - kernel) / self.stride + 1
+    }
+}
+
+fn unpack(input: &Tensor, weight: &Tensor, spec: Conv2dSpec) -> ConvDims {
+    let (b, cin, h, w) = input.shape().as_4d();
+    let (cout, cin_w, kh, kw) = weight.shape().as_4d();
+    assert_eq!(
+        cin, cin_w,
+        "conv2d channels: input {} vs weight {}",
+        input.shape(),
+        weight.shape()
+    );
+    ConvDims {
+        b,
+        cin,
+        h,
+        w,
+        cout,
+        kh,
+        kw,
+        ho: spec.out_dim(h, kh),
+        wo: spec.out_dim(w, kw),
+        spec,
+    }
+}
+
+#[derive(Debug, Clone, Copy)]
+struct ConvDims {
+    b: usize,
+    cin: usize,
+    h: usize,
+    w: usize,
+    cout: usize,
+    kh: usize,
+    kw: usize,
+    ho: usize,
+    wo: usize,
+    spec: Conv2dSpec,
+}
+
+impl ConvDims {
+    fn k(&self) -> usize {
+        self.cin * self.kh * self.kw
+    }
+    fn l(&self) -> usize {
+        self.ho * self.wo
+    }
+}
+
+/// Lower `input` to the `[K, B·L]` column matrix.
+fn im2col(input: &Tensor, d: &ConvDims) -> Tensor {
+    let _ws = CategoryGuard::new(Category::Workspace);
+    let (k, l, bl) = (d.k(), d.l(), d.b * d.l());
+    let mut cols = Tensor::zeros([k, bl]);
+    record_op(OpKind::Copy, 0.0, (k * bl * 4) as f64);
+    let src = input.data();
+    let dst = cols.data_mut();
+    let (stride, pad) = (d.spec.stride, d.spec.padding);
+    for c in 0..d.cin {
+        for ki in 0..d.kh {
+            for kj in 0..d.kw {
+                let row = (c * d.kh + ki) * d.kw + kj;
+                let dst_row = &mut dst[row * bl..(row + 1) * bl];
+                for b in 0..d.b {
+                    let src_plane = &src[(b * d.cin + c) * d.h * d.w..];
+                    for oh in 0..d.ho {
+                        let ih = (oh * stride + ki) as isize - pad as isize;
+                        if ih < 0 || ih >= d.h as isize {
+                            continue; // stays zero
+                        }
+                        let src_row = &src_plane[ih as usize * d.w..];
+                        let out_base = b * l + oh * d.wo;
+                        for ow in 0..d.wo {
+                            let iw = (ow * stride + kj) as isize - pad as isize;
+                            if iw < 0 || iw >= d.w as isize {
+                                continue;
+                            }
+                            dst_row[out_base + ow] = src_row[iw as usize];
+                        }
+                    }
+                }
+            }
+        }
+    }
+    cols
+}
+
+/// Scatter-add the `[K, B·L]` column gradient back to input layout.
+fn col2im(cols: &Tensor, d: &ConvDims) -> Tensor {
+    let (k, l, bl) = (d.k(), d.l(), d.b * d.l());
+    assert_eq!(cols.shape().dims(), &[k, bl]);
+    let mut grad_input = Tensor::zeros([d.b, d.cin, d.h, d.w]);
+    record_op(OpKind::Copy, (k * bl) as f64, (k * bl * 4) as f64);
+    let src = cols.data();
+    let dst = grad_input.data_mut();
+    let (stride, pad) = (d.spec.stride, d.spec.padding);
+    for c in 0..d.cin {
+        for ki in 0..d.kh {
+            for kj in 0..d.kw {
+                let row = (c * d.kh + ki) * d.kw + kj;
+                let src_row = &src[row * bl..(row + 1) * bl];
+                for b in 0..d.b {
+                    let dst_base = (b * d.cin + c) * d.h * d.w;
+                    for oh in 0..d.ho {
+                        let ih = (oh * stride + ki) as isize - pad as isize;
+                        if ih < 0 || ih >= d.h as isize {
+                            continue;
+                        }
+                        let src_base = b * l + oh * d.wo;
+                        for ow in 0..d.wo {
+                            let iw = (ow * stride + kj) as isize - pad as isize;
+                            if iw < 0 || iw >= d.w as isize {
+                                continue;
+                            }
+                            dst[dst_base + ih as usize * d.w + iw as usize] +=
+                                src_row[src_base + ow];
+                        }
+                    }
+                }
+            }
+        }
+    }
+    grad_input
+}
+
+/// Permute `[B,C,L]`-flat data to `[C, B·L]` (or back with `invert`).
+fn permute_bcl_cbl(src: &[f32], b: usize, c: usize, l: usize, invert: bool) -> Vec<f32> {
+    let mut out = vec![0.0f32; b * c * l];
+    for bi in 0..b {
+        for ci in 0..c {
+            for li in 0..l {
+                let bcl = (bi * c + ci) * l + li;
+                let cbl = ci * (b * l) + bi * l + li;
+                if invert {
+                    out[bcl] = src[cbl];
+                } else {
+                    out[cbl] = src[bcl];
+                }
+            }
+        }
+    }
+    out
+}
+
+/// Convolution forward: `input [B,Cin,H,W] ⋆ weight [Cout,Cin,kh,kw]
+/// (+ bias [Cout]) → [B,Cout,Ho,Wo]`.
+///
+/// # Panics
+///
+/// Panics on rank or channel mismatches, or if the kernel exceeds the
+/// padded input.
+pub fn conv2d(input: &Tensor, weight: &Tensor, bias: Option<&Tensor>, spec: Conv2dSpec) -> Tensor {
+    let d = unpack(input, weight, spec);
+    let cols = im2col(input, &d);
+    let wmat = weight.reshape([d.cout, d.k()]);
+    let out_mat = matmul(&wmat, &cols); // [Cout, B·L]
+    record_op(OpKind::Conv, 0.0, out_mat.byte_size() as f64);
+    let mut data = permute_bcl_cbl(out_mat.data(), d.b, d.cout, d.l(), true);
+    if let Some(bias) = bias {
+        assert_eq!(bias.numel(), d.cout, "bias length vs out channels");
+        let bdata = bias.data();
+        let l = d.l();
+        for bi in 0..d.b {
+            for (ci, &bv) in bdata.iter().enumerate() {
+                let base = (bi * d.cout + ci) * l;
+                for v in &mut data[base..base + l] {
+                    *v += bv;
+                }
+            }
+        }
+    }
+    Tensor::from_vec(data, [d.b, d.cout, d.ho, d.wo])
+}
+
+/// Gradient of the convolution with respect to its input.
+///
+/// `grad_output` has the forward output's shape `[B,Cout,Ho,Wo]`.
+///
+/// # Panics
+///
+/// Panics if `grad_output`'s shape is inconsistent with
+/// `input_shape`/`weight`/`spec`.
+pub fn conv2d_backward_input(
+    grad_output: &Tensor,
+    input_shape: &[usize],
+    weight: &Tensor,
+    spec: Conv2dSpec,
+) -> Tensor {
+    let probe = Tensor::zeros(input_shape);
+    let d = unpack(&probe, weight, spec);
+    drop(probe);
+    assert_eq!(
+        grad_output.shape().dims(),
+        &[d.b, d.cout, d.ho, d.wo],
+        "grad_output shape mismatch"
+    );
+    let _ws = CategoryGuard::new(Category::Workspace);
+    let grad_mat = Tensor::from_vec(
+        permute_bcl_cbl(grad_output.data(), d.b, d.cout, d.l(), false),
+        [d.cout, d.b * d.l()],
+    );
+    let wmat = weight.reshape([d.cout, d.k()]);
+    let col_grad = matmul_tn(&wmat, &grad_mat); // [K, B·L]
+    col2im(&col_grad, &d)
+}
+
+/// Gradients of the convolution with respect to weight and bias.
+///
+/// Returns `(grad_weight, grad_bias)`; `grad_bias` is the per-channel sum
+/// of `grad_output`.
+pub fn conv2d_backward_weight(
+    grad_output: &Tensor,
+    input: &Tensor,
+    weight_shape: &[usize],
+    spec: Conv2dSpec,
+) -> (Tensor, Tensor) {
+    let probe = Tensor::zeros(weight_shape);
+    let d = unpack(input, &probe, spec);
+    drop(probe);
+    assert_eq!(
+        grad_output.shape().dims(),
+        &[d.b, d.cout, d.ho, d.wo],
+        "grad_output shape mismatch"
+    );
+    let cols = im2col(input, &d);
+    let grad_mat = {
+        let _ws = CategoryGuard::new(Category::Workspace);
+        Tensor::from_vec(
+            permute_bcl_cbl(grad_output.data(), d.b, d.cout, d.l(), false),
+            [d.cout, d.b * d.l()],
+        )
+    };
+    let grad_w = matmul_nt(&grad_mat, &cols).reshape([d.cout, d.cin, d.kh, d.kw]);
+    // Bias gradient: sum grad_output over batch and spatial dims.
+    let mut grad_b = Tensor::zeros([d.cout]);
+    record_op(
+        OpKind::Reduce,
+        grad_output.numel() as f64,
+        grad_output.byte_size() as f64,
+    );
+    {
+        let gb = grad_b.data_mut();
+        let go = grad_output.data();
+        let l = d.l();
+        for bi in 0..d.b {
+            for ci in 0..d.cout {
+                let base = (bi * d.cout + ci) * l;
+                gb[ci] += go[base..base + l].iter().sum::<f32>();
+            }
+        }
+    }
+    (grad_w, grad_b)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::random::XorShiftRng;
+
+    /// Direct (quadruple-loop) reference convolution.
+    fn naive_conv(input: &Tensor, weight: &Tensor, bias: Option<&Tensor>, spec: Conv2dSpec) -> Tensor {
+        let d = unpack(input, weight, spec);
+        let mut out = Tensor::zeros([d.b, d.cout, d.ho, d.wo]);
+        for b in 0..d.b {
+            for co in 0..d.cout {
+                for oh in 0..d.ho {
+                    for ow in 0..d.wo {
+                        let mut acc = bias.map_or(0.0, |t| t.data()[co]);
+                        for ci in 0..d.cin {
+                            for ki in 0..d.kh {
+                                for kj in 0..d.kw {
+                                    let ih = (oh * spec.stride + ki) as isize - spec.padding as isize;
+                                    let iw = (ow * spec.stride + kj) as isize - spec.padding as isize;
+                                    if ih < 0 || iw < 0 || ih >= d.h as isize || iw >= d.w as isize {
+                                        continue;
+                                    }
+                                    acc += input.at(&[b, ci, ih as usize, iw as usize])
+                                        * weight.at(&[co, ci, ki, kj]);
+                                }
+                            }
+                        }
+                        let idx = ((b * d.cout + co) * d.ho + oh) * d.wo + ow;
+                        out.data_mut()[idx] = acc;
+                    }
+                }
+            }
+        }
+        out
+    }
+
+    #[test]
+    fn out_dim_arithmetic() {
+        let s = Conv2dSpec::padded(1);
+        assert_eq!(s.out_dim(8, 3), 8);
+        let s2 = Conv2dSpec { stride: 2, padding: 0 };
+        assert_eq!(s2.out_dim(8, 2), 4);
+    }
+
+    #[test]
+    fn forward_matches_naive() {
+        let mut rng = XorShiftRng::new(2);
+        for &(spec, hw) in &[
+            (Conv2dSpec::padded(1), 6),
+            (Conv2dSpec { stride: 2, padding: 1 }, 7),
+            (Conv2dSpec::default(), 5),
+        ] {
+            let input = Tensor::randn([2, 3, hw, hw], &mut rng);
+            let weight = Tensor::randn([4, 3, 3, 3], &mut rng);
+            let bias = Tensor::randn([4], &mut rng);
+            let fast = conv2d(&input, &weight, Some(&bias), spec);
+            let slow = naive_conv(&input, &weight, Some(&bias), spec);
+            assert!(fast.allclose(&slow, 1e-4), "spec {spec:?}");
+        }
+    }
+
+    #[test]
+    fn backward_input_matches_finite_difference() {
+        let mut rng = XorShiftRng::new(5);
+        let spec = Conv2dSpec::padded(1);
+        let input = Tensor::randn([1, 2, 4, 4], &mut rng);
+        let weight = Tensor::randn([3, 2, 3, 3], &mut rng);
+        let go = Tensor::randn([1, 3, 4, 4], &mut rng);
+        let gi = conv2d_backward_input(&go, input.shape().dims(), &weight, spec);
+
+        let eps = 1e-2f32;
+        for probe in [0usize, 7, 13, 31] {
+            let mut plus = input.deep_clone();
+            plus.data_mut()[probe] += eps;
+            let mut minus = input.deep_clone();
+            minus.data_mut()[probe] -= eps;
+            let f = |x: &Tensor| -> f64 {
+                conv2d(x, &weight, None, spec)
+                    .data()
+                    .iter()
+                    .zip(go.data())
+                    .map(|(&o, &g)| (o * g) as f64)
+                    .sum()
+            };
+            let num = ((f(&plus) - f(&minus)) / (2.0 * eps as f64)) as f32;
+            let ana = gi.data()[probe];
+            assert!(
+                (num - ana).abs() < 2e-2 * (1.0 + ana.abs()),
+                "elem {probe}: numeric {num} vs analytic {ana}"
+            );
+        }
+    }
+
+    #[test]
+    fn backward_weight_matches_finite_difference() {
+        let mut rng = XorShiftRng::new(6);
+        let spec = Conv2dSpec { stride: 2, padding: 1 };
+        let input = Tensor::randn([2, 2, 5, 5], &mut rng);
+        let weight = Tensor::randn([2, 2, 3, 3], &mut rng);
+        let out = conv2d(&input, &weight, None, spec);
+        let go = Tensor::randn(out.shape().dims(), &mut rng);
+        let (gw, gb) = conv2d_backward_weight(&go, &input, weight.shape().dims(), spec);
+
+        let eps = 1e-2f32;
+        for probe in [0usize, 5, 17, 35] {
+            let mut plus = weight.deep_clone();
+            plus.data_mut()[probe] += eps;
+            let mut minus = weight.deep_clone();
+            minus.data_mut()[probe] -= eps;
+            let f = |w: &Tensor| -> f64 {
+                conv2d(&input, w, None, spec)
+                    .data()
+                    .iter()
+                    .zip(go.data())
+                    .map(|(&o, &g)| (o * g) as f64)
+                    .sum()
+            };
+            let num = ((f(&plus) - f(&minus)) / (2.0 * eps as f64)) as f32;
+            let ana = gw.data()[probe];
+            assert!(
+                (num - ana).abs() < 2e-2 * (1.0 + ana.abs()),
+                "elem {probe}: numeric {num} vs analytic {ana}"
+            );
+        }
+        // Bias gradient is the channel-wise sum of grad_output.
+        let mut expect = vec![0.0f32; 2];
+        let l = out.numel() / (2 * 2);
+        for b in 0..2 {
+            for c in 0..2 {
+                let base = (b * 2 + c) * l;
+                expect[c] += go.data()[base..base + l].iter().sum::<f32>();
+            }
+        }
+        assert!(gb.allclose(&Tensor::from_vec(expect, [2]), 1e-4));
+    }
+
+    #[test]
+    fn workspace_is_booked_under_workspace_category() {
+        use skipper_memprof as mp;
+        mp::reset_all();
+        let input = Tensor::ones([1, 1, 4, 4]);
+        let weight = Tensor::ones([1, 1, 3, 3]);
+        mp::reset_peaks();
+        let _ = conv2d(&input, &weight, None, Conv2dSpec::default());
+        assert!(mp::snapshot().peak(mp::Category::Workspace) > 0);
+    }
+}

@@ -1,0 +1,230 @@
+//! Blocked, thread-parallel matrix products.
+//!
+//! Three variants cover a dense layer's forward pass and both backward
+//! passes without materialising transposes:
+//!
+//! * [`matmul`]    — `C[M,N] = A[M,K] · B[K,N]` (forward),
+//! * [`matmul_nt`] — `C[M,N] = A[M,K] · B[N,K]ᵀ` (grad wrt input),
+//! * [`matmul_tn`] — `C[M,N] = A[K,M]ᵀ · B[K,N]` (grad wrt weight).
+//!
+//! All record `2·M·N·K` FLOPs with the latency model and parallelise over
+//! output-row chunks with scoped threads once the work is large enough.
+
+use crate::tensor::Tensor;
+use skipper_memprof::{record_op, OpKind};
+
+/// Work (in multiply-adds) below which threading is not worth spawning.
+const PAR_THRESHOLD: usize = 1 << 17;
+
+/// Threads used for large products.
+fn thread_count() -> usize {
+    std::thread::available_parallelism()
+        .map(|n| n.get().min(8))
+        .unwrap_or(1)
+}
+
+fn record(m: usize, n: usize, k: usize) {
+    let flops = 2.0 * m as f64 * n as f64 * k as f64;
+    let bytes = 4.0 * (m * k + k * n + m * n) as f64;
+    record_op(OpKind::MatMul, flops, bytes);
+}
+
+/// Run `body(row_range, out_chunk)` over `m` rows of an `m x n` output,
+/// splitting across threads when the total work warrants it.
+fn parallel_rows(
+    out: &mut [f32],
+    m: usize,
+    n: usize,
+    work: usize,
+    body: impl Fn(std::ops::Range<usize>, &mut [f32]) + Sync,
+) {
+    let threads = if work < PAR_THRESHOLD { 1 } else { thread_count() };
+    if threads <= 1 || m < 2 {
+        body(0..m, out);
+        return;
+    }
+    let chunk_rows = m.div_ceil(threads);
+    crossbeam::scope(|scope| {
+        let mut rest = out;
+        let mut row = 0;
+        while row < m {
+            let rows_here = chunk_rows.min(m - row);
+            let (head, tail) = rest.split_at_mut(rows_here * n);
+            let range = row..row + rows_here;
+            let body = &body;
+            scope.spawn(move |_| body(range, head));
+            rest = tail;
+            row += rows_here;
+        }
+    })
+    .expect("matmul worker panicked");
+}
+
+/// `A[M,K] · B[K,N]`.
+///
+/// # Panics
+///
+/// Panics if the shapes are not rank-2 or the inner dimensions disagree.
+pub fn matmul(a: &Tensor, b: &Tensor) -> Tensor {
+    let (m, k) = a.shape().as_2d();
+    let (k2, n) = b.shape().as_2d();
+    assert_eq!(k, k2, "matmul inner dims: {} vs {}", a.shape(), b.shape());
+    record(m, n, k);
+    let mut out = Tensor::zeros([m, n]);
+    let (ad, bd) = (a.data(), b.data());
+    parallel_rows(out.data_mut(), m, n, m * n * k, |rows, chunk| {
+        for (ci, i) in rows.enumerate() {
+            let arow = &ad[i * k..(i + 1) * k];
+            let crow = &mut chunk[ci * n..(ci + 1) * n];
+            for (p, &av) in arow.iter().enumerate() {
+                if av == 0.0 {
+                    continue; // spikes are mostly zero: skip the row
+                }
+                let brow = &bd[p * n..(p + 1) * n];
+                for (c, &bv) in crow.iter_mut().zip(brow) {
+                    *c += av * bv;
+                }
+            }
+        }
+    });
+    out
+}
+
+/// `A[M,K] · B[N,K]ᵀ`.
+///
+/// # Panics
+///
+/// Panics if the shapes are not rank-2 or the `K` dimensions disagree.
+pub fn matmul_nt(a: &Tensor, b: &Tensor) -> Tensor {
+    let (m, k) = a.shape().as_2d();
+    let (n, k2) = b.shape().as_2d();
+    assert_eq!(k, k2, "matmul_nt inner dims: {} vs {}", a.shape(), b.shape());
+    record(m, n, k);
+    let mut out = Tensor::zeros([m, n]);
+    let (ad, bd) = (a.data(), b.data());
+    parallel_rows(out.data_mut(), m, n, m * n * k, |rows, chunk| {
+        for (ci, i) in rows.enumerate() {
+            let arow = &ad[i * k..(i + 1) * k];
+            let crow = &mut chunk[ci * n..(ci + 1) * n];
+            for (j, c) in crow.iter_mut().enumerate() {
+                let brow = &bd[j * k..(j + 1) * k];
+                let mut acc = 0.0f32;
+                for (&av, &bv) in arow.iter().zip(brow) {
+                    acc += av * bv;
+                }
+                *c = acc;
+            }
+        }
+    });
+    out
+}
+
+/// `A[K,M]ᵀ · B[K,N]`.
+///
+/// # Panics
+///
+/// Panics if the shapes are not rank-2 or the `K` dimensions disagree.
+pub fn matmul_tn(a: &Tensor, b: &Tensor) -> Tensor {
+    let (k, m) = a.shape().as_2d();
+    let (k2, n) = b.shape().as_2d();
+    assert_eq!(k, k2, "matmul_tn inner dims: {} vs {}", a.shape(), b.shape());
+    record(m, n, k);
+    let mut out = Tensor::zeros([m, n]);
+    let (ad, bd) = (a.data(), b.data());
+    parallel_rows(out.data_mut(), m, n, m * n * k, |rows, chunk| {
+        for (ci, i) in rows.clone().enumerate() {
+            let crow = &mut chunk[ci * n..(ci + 1) * n];
+            for p in 0..k {
+                let av = ad[p * m + i];
+                if av == 0.0 {
+                    continue;
+                }
+                let brow = &bd[p * n..(p + 1) * n];
+                for (c, &bv) in crow.iter_mut().zip(brow) {
+                    *c += av * bv;
+                }
+            }
+        }
+    });
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::random::XorShiftRng;
+
+    fn naive(a: &Tensor, b: &Tensor, ta: bool, tb: bool) -> Tensor {
+        let (ar, ac) = a.shape().as_2d();
+        let (br, bc) = b.shape().as_2d();
+        let (m, k) = if ta { (ac, ar) } else { (ar, ac) };
+        let (k2, n) = if tb { (bc, br) } else { (br, bc) };
+        assert_eq!(k, k2);
+        let mut out = Tensor::zeros([m, n]);
+        for i in 0..m {
+            for j in 0..n {
+                let mut acc = 0.0;
+                for p in 0..k {
+                    let av = if ta { a.at(&[p, i]) } else { a.at(&[i, p]) };
+                    let bv = if tb { b.at(&[j, p]) } else { b.at(&[p, j]) };
+                    acc += av * bv;
+                }
+                out.data_mut()[i * n + j] = acc;
+            }
+        }
+        out
+    }
+
+    #[test]
+    fn small_known_product() {
+        let a = Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0], [2, 2]);
+        let b = Tensor::from_vec(vec![5.0, 6.0, 7.0, 8.0], [2, 2]);
+        assert_eq!(matmul(&a, &b).data(), &[19.0, 22.0, 43.0, 50.0]);
+    }
+
+    #[test]
+    fn identity_is_neutral() {
+        let mut rng = XorShiftRng::new(1);
+        let a = Tensor::randn([5, 5], &mut rng);
+        assert!(matmul(&a, &Tensor::eye(5)).allclose(&a, 1e-6));
+        assert!(matmul(&Tensor::eye(5), &a).allclose(&a, 1e-6));
+    }
+
+    #[test]
+    fn variants_match_naive_reference() {
+        let mut rng = XorShiftRng::new(3);
+        let a = Tensor::randn([7, 5], &mut rng);
+        let b = Tensor::randn([5, 6], &mut rng);
+        assert!(matmul(&a, &b).allclose(&naive(&a, &b, false, false), 1e-4));
+
+        let bt = Tensor::randn([6, 5], &mut rng); // use as Bᵀ
+        assert!(matmul_nt(&a, &bt).allclose(&naive(&a, &bt, false, true), 1e-4));
+
+        let at = Tensor::randn([5, 7], &mut rng); // use as Aᵀ
+        assert!(matmul_tn(&at, &b).allclose(&naive(&at, &b, true, false), 1e-4));
+    }
+
+    #[test]
+    fn large_parallel_matches_naive() {
+        let mut rng = XorShiftRng::new(11);
+        let a = Tensor::randn([64, 96], &mut rng);
+        let b = Tensor::randn([96, 80], &mut rng);
+        assert!(matmul(&a, &b).allclose(&naive(&a, &b, false, false), 1e-3));
+    }
+
+    #[test]
+    #[should_panic(expected = "inner dims")]
+    fn mismatched_dims_panic() {
+        matmul(&Tensor::zeros([2, 3]), &Tensor::zeros([4, 2]));
+    }
+
+    #[test]
+    fn flops_are_recorded() {
+        skipper_memprof::take_op_log();
+        let a = Tensor::ones([4, 3]);
+        let b = Tensor::ones([3, 2]);
+        let _ = matmul(&a, &b);
+        let log = skipper_memprof::take_op_log();
+        assert!(log.total_flops() >= 2.0 * 4.0 * 3.0 * 2.0);
+    }
+}

@@ -1,0 +1,153 @@
+//! Average pooling (the pooling used by spiking CNNs, where max-pooling is
+//! ill-defined on binary spike trains).
+
+use crate::tensor::Tensor;
+use skipper_memprof::{record_op, OpKind};
+
+/// Average-pool `input [B,C,H,W]` with a `k x k` window and stride `k`
+/// (non-overlapping, the configuration used by all networks in the paper).
+///
+/// # Panics
+///
+/// Panics if `k` is zero or does not divide the spatial dimensions.
+pub fn avg_pool2d(input: &Tensor, k: usize) -> Tensor {
+    assert!(k > 0, "pool window must be positive");
+    let (b, c, h, w) = input.shape().as_4d();
+    assert!(
+        h % k == 0 && w % k == 0,
+        "pool window {k} must divide {h}x{w}"
+    );
+    let (ho, wo) = (h / k, w / k);
+    record_op(
+        OpKind::Pool,
+        input.numel() as f64,
+        (input.numel() + b * c * ho * wo) as f64 * 4.0,
+    );
+    let mut out = Tensor::zeros([b, c, ho, wo]);
+    let inv = 1.0 / (k * k) as f32;
+    let src = input.data();
+    let dst = out.data_mut();
+    for bc in 0..b * c {
+        let plane = &src[bc * h * w..(bc + 1) * h * w];
+        let dst_plane = &mut dst[bc * ho * wo..(bc + 1) * ho * wo];
+        for oh in 0..ho {
+            for ow in 0..wo {
+                let mut acc = 0.0f32;
+                for i in 0..k {
+                    let row = &plane[(oh * k + i) * w + ow * k..];
+                    for &v in &row[..k] {
+                        acc += v;
+                    }
+                }
+                dst_plane[oh * wo + ow] = acc * inv;
+            }
+        }
+    }
+    out
+}
+
+/// Gradient of [`avg_pool2d`]: spreads each output gradient uniformly over
+/// its `k x k` window.
+///
+/// # Panics
+///
+/// Panics if `grad_output`'s shape is not `input_shape` pooled by `k`.
+pub fn avg_pool2d_backward(grad_output: &Tensor, input_shape: &[usize], k: usize) -> Tensor {
+    assert_eq!(input_shape.len(), 4, "input shape must be rank 4");
+    let (b, c, h, w) = (
+        input_shape[0],
+        input_shape[1],
+        input_shape[2],
+        input_shape[3],
+    );
+    let (ho, wo) = (h / k, w / k);
+    assert_eq!(
+        grad_output.shape().dims(),
+        &[b, c, ho, wo],
+        "grad_output shape mismatch"
+    );
+    record_op(
+        OpKind::Pool,
+        grad_output.numel() as f64 * (k * k) as f64,
+        (b * c * h * w + grad_output.numel()) as f64 * 4.0,
+    );
+    let mut out = Tensor::zeros([b, c, h, w]);
+    let inv = 1.0 / (k * k) as f32;
+    let src = grad_output.data();
+    let dst = out.data_mut();
+    for bc in 0..b * c {
+        let src_plane = &src[bc * ho * wo..(bc + 1) * ho * wo];
+        let dst_plane = &mut dst[bc * h * w..(bc + 1) * h * w];
+        for oh in 0..ho {
+            for ow in 0..wo {
+                let g = src_plane[oh * wo + ow] * inv;
+                for i in 0..k {
+                    let row = &mut dst_plane[(oh * k + i) * w + ow * k..];
+                    for v in &mut row[..k] {
+                        *v = g;
+                    }
+                }
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::random::XorShiftRng;
+
+    #[test]
+    fn known_2x2_pool() {
+        let input = Tensor::from_vec((1..=16).map(|i| i as f32).collect(), [1, 1, 4, 4]);
+        let out = avg_pool2d(&input, 2);
+        assert_eq!(out.shape().dims(), &[1, 1, 2, 2]);
+        assert_eq!(out.data(), &[3.5, 5.5, 11.5, 13.5]);
+    }
+
+    #[test]
+    fn pool_of_constant_is_constant() {
+        let input = Tensor::full([2, 3, 6, 6], 2.5);
+        let out = avg_pool2d(&input, 3);
+        assert!(out.allclose(&Tensor::full([2, 3, 2, 2], 2.5), 1e-6));
+    }
+
+    #[test]
+    fn backward_distributes_uniformly() {
+        let go = Tensor::from_vec(vec![4.0], [1, 1, 1, 1]);
+        let gi = avg_pool2d_backward(&go, &[1, 1, 2, 2], 2);
+        assert_eq!(gi.data(), &[1.0, 1.0, 1.0, 1.0]);
+    }
+
+    #[test]
+    fn backward_matches_finite_difference() {
+        let mut rng = XorShiftRng::new(8);
+        let input = Tensor::randn([1, 2, 4, 4], &mut rng);
+        let go = Tensor::randn([1, 2, 2, 2], &mut rng);
+        let gi = avg_pool2d_backward(&go, input.shape().dims(), 2);
+        let f = |x: &Tensor| -> f64 {
+            avg_pool2d(x, 2)
+                .data()
+                .iter()
+                .zip(go.data())
+                .map(|(&o, &g)| (o * g) as f64)
+                .sum()
+        };
+        let eps = 1e-2f32;
+        for probe in [0usize, 5, 21, 31] {
+            let mut plus = input.deep_clone();
+            plus.data_mut()[probe] += eps;
+            let mut minus = input.deep_clone();
+            minus.data_mut()[probe] -= eps;
+            let num = ((f(&plus) - f(&minus)) / (2.0 * eps as f64)) as f32;
+            assert!((num - gi.data()[probe]).abs() < 1e-3);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "must divide")]
+    fn window_must_divide_input() {
+        avg_pool2d(&Tensor::zeros([1, 1, 5, 5]), 2);
+    }
+}

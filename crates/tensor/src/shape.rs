@@ -1,0 +1,173 @@
+//! Tensor shapes.
+
+use std::fmt;
+
+/// The dimensions of a [`Tensor`](crate::Tensor), row-major.
+///
+/// A `Shape` may have any rank, including 0 (a scalar with one element).
+///
+/// ```
+/// use skipper_tensor::Shape;
+/// let s = Shape::new([2, 3, 4]);
+/// assert_eq!(s.numel(), 24);
+/// assert_eq!(s.rank(), 3);
+/// assert_eq!(s[1], 3);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Default)]
+pub struct Shape(Vec<usize>);
+
+impl Shape {
+    /// Shape from anything convertible to a dimension list.
+    pub fn new(dims: impl Into<Shape>) -> Shape {
+        dims.into()
+    }
+
+    /// Scalar shape (rank 0, one element).
+    pub fn scalar() -> Shape {
+        Shape(Vec::new())
+    }
+
+    /// Number of dimensions.
+    pub fn rank(&self) -> usize {
+        self.0.len()
+    }
+
+    /// Total number of elements (product of dimensions; 1 for scalars).
+    pub fn numel(&self) -> usize {
+        self.0.iter().product()
+    }
+
+    /// The dimensions as a slice.
+    pub fn dims(&self) -> &[usize] {
+        &self.0
+    }
+
+    /// Row-major strides of this shape.
+    pub fn strides(&self) -> Vec<usize> {
+        let mut strides = vec![1; self.rank()];
+        for i in (0..self.rank().saturating_sub(1)).rev() {
+            strides[i] = strides[i + 1] * self.0[i + 1];
+        }
+        strides
+    }
+
+    /// Flat offset of a multi-dimensional index.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index` has the wrong rank or any coordinate is out of
+    /// bounds (debug builds only for the bounds check).
+    #[inline]
+    pub fn offset(&self, index: &[usize]) -> usize {
+        assert_eq!(index.len(), self.rank(), "index rank mismatch");
+        let mut off = 0;
+        for (d, (&i, &n)) in index.iter().zip(&self.0).enumerate() {
+            debug_assert!(i < n, "index {i} out of bounds for dim {d} of size {n}");
+            off = off * n + i;
+        }
+        off
+    }
+
+    /// Two-dimensional accessor helpers: `(rows, cols)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the rank is not 2.
+    pub fn as_2d(&self) -> (usize, usize) {
+        assert_eq!(self.rank(), 2, "expected rank-2 shape, got {self}");
+        (self.0[0], self.0[1])
+    }
+
+    /// Four-dimensional accessor: `(n, c, h, w)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the rank is not 4.
+    pub fn as_4d(&self) -> (usize, usize, usize, usize) {
+        assert_eq!(self.rank(), 4, "expected rank-4 shape, got {self}");
+        (self.0[0], self.0[1], self.0[2], self.0[3])
+    }
+}
+
+impl std::ops::Index<usize> for Shape {
+    type Output = usize;
+    fn index(&self, i: usize) -> &usize {
+        &self.0[i]
+    }
+}
+
+impl From<Vec<usize>> for Shape {
+    fn from(dims: Vec<usize>) -> Shape {
+        Shape(dims)
+    }
+}
+
+impl From<&[usize]> for Shape {
+    fn from(dims: &[usize]) -> Shape {
+        Shape(dims.to_vec())
+    }
+}
+
+impl<const N: usize> From<[usize; N]> for Shape {
+    fn from(dims: [usize; N]) -> Shape {
+        Shape(dims.to_vec())
+    }
+}
+
+impl From<usize> for Shape {
+    fn from(dim: usize) -> Shape {
+        Shape(vec![dim])
+    }
+}
+
+impl fmt::Display for Shape {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "[")?;
+        for (i, d) in self.0.iter().enumerate() {
+            if i > 0 {
+                write!(f, "x")?;
+            }
+            write!(f, "{d}")?;
+        }
+        write!(f, "]")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn numel_and_rank() {
+        assert_eq!(Shape::new([2, 3]).numel(), 6);
+        assert_eq!(Shape::scalar().numel(), 1);
+        assert_eq!(Shape::scalar().rank(), 0);
+        assert_eq!(Shape::new(5usize).dims(), &[5]);
+    }
+
+    #[test]
+    fn strides_row_major() {
+        assert_eq!(Shape::new([2, 3, 4]).strides(), vec![12, 4, 1]);
+        assert_eq!(Shape::new([7]).strides(), vec![1]);
+    }
+
+    #[test]
+    fn offset_matches_strides() {
+        let s = Shape::new([2, 3, 4]);
+        assert_eq!(s.offset(&[0, 0, 0]), 0);
+        assert_eq!(s.offset(&[1, 2, 3]), 23);
+        assert_eq!(s.offset(&[1, 0, 1]), 13);
+    }
+
+    #[test]
+    #[should_panic(expected = "rank mismatch")]
+    fn offset_rejects_wrong_rank() {
+        Shape::new([2, 2]).offset(&[1]);
+    }
+
+    #[test]
+    fn display_format() {
+        assert_eq!(Shape::new([2, 3]).to_string(), "[2x3]");
+        assert_eq!(Shape::scalar().to_string(), "[]");
+    }
+}

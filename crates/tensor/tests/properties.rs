@@ -1,0 +1,135 @@
+//! Property-based tests of the tensor kernels: algebraic identities that
+//! must hold for arbitrary shapes and values.
+
+use proptest::prelude::*;
+use skipper_tensor::{
+    avg_pool2d, avg_pool2d_backward, conv2d, matmul, matmul_nt, matmul_tn, Conv2dSpec, Tensor,
+    XorShiftRng,
+};
+
+fn tensor_strategy(numel: usize) -> impl Strategy<Value = Vec<f32>> {
+    prop::collection::vec(-10.0f32..10.0, numel)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 32, ..ProptestConfig::default() })]
+
+    /// (A·B)·C == A·(B·C) within float tolerance.
+    #[test]
+    fn matmul_is_associative(
+        m in 1usize..6, k in 1usize..6, n in 1usize..6, q in 1usize..6,
+        seed in 0u64..10_000,
+    ) {
+        let mut rng = XorShiftRng::new(seed);
+        let a = Tensor::randn([m, k], &mut rng);
+        let b = Tensor::randn([k, n], &mut rng);
+        let c = Tensor::randn([n, q], &mut rng);
+        let left = matmul(&matmul(&a, &b), &c);
+        let right = matmul(&a, &matmul(&b, &c));
+        prop_assert!(left.allclose(&right, 1e-3));
+    }
+
+    /// A·(B + C) == A·B + A·C.
+    #[test]
+    fn matmul_distributes_over_add(
+        m in 1usize..6, k in 1usize..6, n in 1usize..6,
+        seed in 0u64..10_000,
+    ) {
+        let mut rng = XorShiftRng::new(seed);
+        let a = Tensor::randn([m, k], &mut rng);
+        let b = Tensor::randn([k, n], &mut rng);
+        let c = Tensor::randn([k, n], &mut rng);
+        let left = matmul(&a, &b.add(&c));
+        let right = matmul(&a, &b).add(&matmul(&a, &c));
+        prop_assert!(left.allclose(&right, 1e-3));
+    }
+
+    /// The transpose variants agree with plain matmul on materialised
+    /// transposes.
+    #[test]
+    fn matmul_variants_consistent(
+        m in 1usize..5, k in 1usize..5, n in 1usize..5,
+        seed in 0u64..10_000,
+    ) {
+        let mut rng = XorShiftRng::new(seed);
+        let a = Tensor::randn([m, k], &mut rng);
+        let b = Tensor::randn([k, n], &mut rng);
+        // Materialise transposes by index shuffling.
+        let at = Tensor::from_fn([k, m], |i| a.at(&[i % m, i / m]));
+        let bt = Tensor::from_fn([n, k], |i| b.at(&[i % k, i / k]));
+        let plain = matmul(&a, &b);
+        prop_assert!(matmul_tn(&at, &b).allclose(&plain, 1e-4));
+        prop_assert!(matmul_nt(&a, &bt).allclose(&plain, 1e-4));
+    }
+
+    /// Convolution is linear in its input.
+    #[test]
+    fn conv_is_linear_in_input(
+        b in 1usize..3, cin in 1usize..3, cout in 1usize..3, hw in 3usize..6,
+        alpha in -3.0f32..3.0,
+        seed in 0u64..10_000,
+    ) {
+        let mut rng = XorShiftRng::new(seed);
+        let spec = Conv2dSpec::padded(1);
+        let x = Tensor::randn([b, cin, hw, hw], &mut rng);
+        let y = Tensor::randn([b, cin, hw, hw], &mut rng);
+        let w = Tensor::randn([cout, cin, 3, 3], &mut rng);
+        let lhs = conv2d(&x.add_scaled(&y, alpha), &w, None, spec);
+        let rhs = conv2d(&x, &w, None, spec).add_scaled(&conv2d(&y, &w, None, spec), alpha);
+        prop_assert!(lhs.allclose(&rhs, 1e-2));
+    }
+
+    /// Pooling preserves the mean; its backward is the adjoint (sum of
+    /// elementwise products matches on both sides: <pool(x), g> ==
+    /// <x, pool_backward(g)>).
+    #[test]
+    fn pool_backward_is_adjoint(
+        b in 1usize..3, c in 1usize..3, half in 1usize..4,
+        seed in 0u64..10_000,
+    ) {
+        let hw = half * 2;
+        let mut rng = XorShiftRng::new(seed);
+        let x = Tensor::randn([b, c, hw, hw], &mut rng);
+        let pooled = avg_pool2d(&x, 2);
+        prop_assert!((pooled.mean() - x.mean()).abs() < 1e-4);
+        let g = Tensor::randn(pooled.shape().dims(), &mut rng);
+        let gx = avg_pool2d_backward(&g, x.shape().dims(), 2);
+        let lhs: f64 = pooled.mul(&g).sum();
+        let rhs: f64 = x.mul(&gx).sum();
+        prop_assert!((lhs - rhs).abs() < 1e-2, "{lhs} vs {rhs}");
+    }
+
+    /// Reshape round-trips and preserves data.
+    #[test]
+    fn reshape_roundtrip(data in tensor_strategy(24)) {
+        let t = Tensor::from_vec(data.clone(), [2, 3, 4]);
+        let r = t.reshape([4, 6]).reshape([24]).reshape([2, 3, 4]);
+        prop_assert_eq!(r.data(), &data[..]);
+        prop_assert!(t.shares_storage(&r));
+    }
+
+    /// add/sub/scale satisfy basic vector-space laws.
+    #[test]
+    fn elementwise_vector_space_laws(
+        data_a in tensor_strategy(12),
+        data_b in tensor_strategy(12),
+        s in -5.0f32..5.0,
+    ) {
+        let a = Tensor::from_vec(data_a, [3, 4]);
+        let b = Tensor::from_vec(data_b, [3, 4]);
+        prop_assert!(a.add(&b).allclose(&b.add(&a), 1e-5));
+        prop_assert!(a.add(&b).sub(&b).allclose(&a, 1e-4));
+        prop_assert!(a.add_scaled(&b, s).allclose(&a.add(&b.scale(s)), 1e-4));
+        prop_assert!(a.scale(0.0).allclose(&Tensor::zeros([3, 4]), 0.0));
+    }
+
+    /// Copy-on-write never lets a mutation leak into a clone.
+    #[test]
+    fn cow_isolation(data in tensor_strategy(8), idx in 0usize..8, v in -9.0f32..9.0) {
+        let a = Tensor::from_vec(data.clone(), [8]);
+        let mut b = a.clone();
+        b.data_mut()[idx] = v;
+        prop_assert_eq!(a.data(), &data[..]);
+        prop_assert_eq!(b.data()[idx], v);
+    }
+}

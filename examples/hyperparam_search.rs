@@ -1,0 +1,104 @@
+//! Concurrent hyper-parameter search under a fixed memory budget — the
+//! paper's third use for the freed memory (Section IV: "to enable multiple
+//! simultaneous trainings on the GPU, often useful in hyper-parameter
+//! search/tuning").
+//!
+//! The analytic model prices one training instance per method; the budget
+//! then caps how many learning-rate candidates can run side by side.
+//! Skipper fits several times more concurrent trials, so the same sweep
+//! finishes in correspondingly fewer waves.
+//!
+//! ```text
+//! cargo run --release --example hyperparam_search
+//! ```
+
+use skipper::core::{AnalyticModel, Method, TrainSession};
+use skipper::data::{synth_cifar, BatchIter, SynthImageConfig};
+use skipper::snn::{custom_net, Adam, Encoder, ModelConfig, PoissonEncoder};
+use skipper::tensor::XorShiftRng;
+
+fn main() {
+    let timesteps = 24;
+    let batch = 8;
+    let budget_bytes: u64 = 96 << 20; // pretend the device has 96 MiB free
+    let candidates = [3e-4f32, 1e-3, 2e-3, 5e-3, 1e-2, 2e-2];
+
+    let model_cfg = ModelConfig {
+        input_hw: 12,
+        width_mult: 0.5,
+        ..ModelConfig::default()
+    };
+    let methods = [
+        Method::Bptt,
+        Method::Checkpointed { checkpoints: 4 },
+        Method::Skipper {
+            checkpoints: 4,
+            percentile: 50.0,
+        },
+    ];
+
+    println!("Hyper-parameter search: {} learning rates, memory budget {} MiB\n",
+        candidates.len(), budget_bytes >> 20);
+    println!(
+        "{:<16} {:>16} {:>18} {:>8}",
+        "method", "bytes/instance", "concurrent trials", "waves"
+    );
+    let probe = custom_net(&model_cfg);
+    let analytic = AnalyticModel::new(&probe);
+    for m in &methods {
+        let per_instance = analytic.breakdown(m, timesteps, batch).total();
+        let concurrent = (budget_bytes / per_instance.max(1)).max(1) as usize;
+        let waves = candidates.len().div_ceil(concurrent);
+        println!(
+            "{:<16} {:>12} KiB {:>18} {:>8}",
+            m.label(),
+            per_instance / 1024,
+            concurrent.min(candidates.len()),
+            waves
+        );
+    }
+
+    // Actually run the search with the skipper configuration.
+    println!("\nRunning the sweep with skipper (C=4, p=50):");
+    let (train, test) = synth_cifar(&SynthImageConfig {
+        hw: 12,
+        train_per_class: 16,
+        test_per_class: 4,
+        ..SynthImageConfig::default()
+    });
+    let encoder = PoissonEncoder::default();
+    let mut best = (0.0f64, 0.0f32);
+    for &lr in &candidates {
+        let net = custom_net(&model_cfg);
+        let mut session = TrainSession::new(
+            net,
+            Box::new(Adam::new(lr)),
+            Method::Skipper {
+                checkpoints: 4,
+                percentile: 50.0,
+            },
+            timesteps,
+        );
+        let mut rng = XorShiftRng::new(17);
+        for epoch in 0..2u64 {
+            for idx in BatchIter::new_drop_last(train.len(), batch, epoch) {
+                let (frames, labels) = train.batch(&idx);
+                let spikes = encoder.encode(&frames, timesteps, &mut rng);
+                session.train_batch(&spikes, &labels);
+            }
+        }
+        let (mut correct, mut total) = (0usize, 0usize);
+        for idx in BatchIter::new(test.len(), batch, 0) {
+            let (frames, labels) = test.batch(&idx);
+            let spikes = encoder.encode(&frames, timesteps, &mut rng);
+            correct += session.eval_batch(&spikes, &labels).1;
+            total += labels.len();
+        }
+        let acc = correct as f64 / total as f64;
+        println!("  lr {lr:<8}: test acc {:>5.1}%", 100.0 * acc);
+        if acc > best.0 {
+            best = (acc, lr);
+        }
+    }
+    println!("\nbest: lr = {} at {:.1}% test accuracy", best.1, 100.0 * best.0);
+}

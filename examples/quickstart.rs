@@ -1,0 +1,98 @@
+//! Quickstart: train one SNN three ways — baseline BPTT, activation
+//! checkpointing, and Skipper — on a synthetic CIFAR-style task, and
+//! compare accuracy, peak activation memory and wall time.
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+
+use skipper::core::{EpochStats, Method, TrainSession};
+use skipper::data::{synth_cifar, BatchIter, SynthImageConfig};
+use skipper::memprof::{Category, DeviceModel, LatencyModel};
+use skipper::snn::{custom_net, Adam, Encoder, ModelConfig, PoissonEncoder};
+use skipper::tensor::XorShiftRng;
+
+fn main() {
+    let timesteps = 24;
+    let batch_size = 8;
+    let epochs = 3;
+
+    let data_cfg = SynthImageConfig {
+        hw: 12,
+        train_per_class: 16,
+        test_per_class: 4,
+        ..SynthImageConfig::default()
+    };
+    let (train, test) = synth_cifar(&data_cfg);
+    let encoder = PoissonEncoder::default();
+
+    let methods = [
+        Method::Bptt,
+        Method::Checkpointed { checkpoints: 4 },
+        Method::Skipper {
+            checkpoints: 4,
+            percentile: 40.0,
+        },
+    ];
+
+    println!("Training custom-Net (conv3+lin1) on synthetic CIFAR-10");
+    println!("T = {timesteps}, B = {batch_size}, {epochs} epochs\n");
+    let gpu = LatencyModel::new(DeviceModel::a100_80gb());
+    println!(
+        "{:<14} {:>9} {:>9} {:>12} {:>10} {:>11} {:>9}",
+        "method", "train", "test", "act. peak", "wall", "GPU model", "skipped"
+    );
+
+    for method in methods {
+        let net = custom_net(&ModelConfig {
+            input_hw: data_cfg.hw,
+            width_mult: 0.5,
+            ..ModelConfig::default()
+        });
+        method
+            .validate(&net, timesteps)
+            .expect("method configuration is valid for this network");
+        let mut session = TrainSession::new(net, Box::new(Adam::new(2e-3)), method.clone(), timesteps);
+
+        let mut last_epoch = EpochStats::default();
+        let mut peak_act = 0u64;
+        for epoch in 0..epochs {
+            let mut stats = EpochStats::default();
+            let mut rng = XorShiftRng::new(1000 + epoch as u64);
+            for idx in BatchIter::new_drop_last(train.len(), batch_size, epoch as u64) {
+                let (frames, labels) = train.batch(&idx);
+                let spikes = encoder.encode(&frames, timesteps, &mut rng);
+                let b = session.train_batch(&spikes, &labels);
+                peak_act = peak_act.max(b.mem.peak(Category::Activations));
+                stats.absorb(&b, Some(&gpu));
+            }
+            last_epoch = stats;
+        }
+
+        // Test accuracy.
+        let mut rng = XorShiftRng::new(5);
+        let (mut correct, mut total) = (0usize, 0usize);
+        for idx in BatchIter::new(test.len(), batch_size, 0) {
+            let (frames, labels) = test.batch(&idx);
+            let spikes = encoder.encode(&frames, timesteps, &mut rng);
+            let (_, c) = session.eval_batch(&spikes, &labels);
+            correct += c;
+            total += labels.len();
+        }
+
+        println!(
+            "{:<14} {:>8.1}% {:>8.1}% {:>9} KiB {:>8.2}s {:>9.0}ms {:>8}",
+            method.label(),
+            100.0 * last_epoch.accuracy(),
+            100.0 * correct as f64 / total as f64,
+            peak_act / 1024,
+            last_epoch.wall.as_secs_f64(),
+            last_epoch.modeled_s * 1e3,
+            last_epoch.skipped_steps,
+        );
+    }
+
+    println!("\nExpected shape (paper Figs. 7/10/12): checkpointing cuts the");
+    println!("activation peak several-fold at ~30% extra time; Skipper keeps");
+    println!("the memory win, removes the overhead, and matches accuracy.");
+}

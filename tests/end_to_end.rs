@@ -1,0 +1,162 @@
+//! End-to-end behaviour: training on the synthetic datasets learns, every
+//! method runs through the full pipeline, and evaluation agrees across
+//! first-pass and taped execution.
+
+use skipper::core::{Method, TrainSession};
+use skipper::data::{synth_cifar, synth_dvs_gesture, BatchIter, SynthEventConfig, SynthImageConfig};
+use skipper::snn::{
+    calibrate_thresholds, custom_net, lenet5, Adam, Encoder, ModelConfig, PoissonEncoder,
+};
+use skipper::tensor::XorShiftRng;
+
+#[test]
+fn skipper_learns_synthetic_cifar_above_chance() {
+    let timesteps = 16;
+    let batch = 8;
+    let cfg = SynthImageConfig {
+        hw: 12,
+        num_classes: 4,
+        train_per_class: 24,
+        test_per_class: 8,
+        ..SynthImageConfig::default()
+    };
+    let (train, test) = synth_cifar(&cfg);
+    let net = custom_net(&ModelConfig {
+        input_hw: 12,
+        num_classes: 4,
+        width_mult: 0.5,
+        ..ModelConfig::default()
+    });
+    let mut session = TrainSession::new(
+        net,
+        Box::new(Adam::new(2e-3)),
+        Method::Skipper {
+            checkpoints: 2,
+            percentile: 40.0,
+        },
+        timesteps,
+    );
+    let encoder = PoissonEncoder::default();
+    let mut rng = XorShiftRng::new(3);
+    for epoch in 0..4u64 {
+        for idx in BatchIter::new_drop_last(train.len(), batch, epoch) {
+            let (frames, labels) = train.batch(&idx);
+            let spikes = encoder.encode(&frames, timesteps, &mut rng);
+            session.train_batch(&spikes, &labels);
+        }
+    }
+    let (mut correct, mut total) = (0usize, 0usize);
+    for idx in BatchIter::new(test.len(), batch, 0) {
+        let (frames, labels) = test.batch(&idx);
+        let spikes = encoder.encode(&frames, timesteps, &mut rng);
+        correct += session.eval_batch(&spikes, &labels).1;
+        total += labels.len();
+    }
+    let acc = correct as f64 / total as f64;
+    assert!(acc > 0.45, "test accuracy {acc:.2} vs chance 0.25");
+}
+
+#[test]
+fn event_pipeline_trains_after_threshold_calibration() {
+    let timesteps = 20;
+    let cfg = SynthEventConfig {
+        hw: 12,
+        train_per_class: 4,
+        test_per_class: 1,
+        ..SynthEventConfig::default()
+    };
+    let (train, _test) = synth_dvs_gesture(&cfg);
+    let mut net = lenet5(&ModelConfig {
+        input_hw: 12,
+        in_channels: 2,
+        num_classes: 11,
+        width_mult: 0.25,
+        ..ModelConfig::default()
+    });
+    let (calib, _) = skipper::data::event_batch(&train, &[0, 4, 8, 12], timesteps);
+    calibrate_thresholds(&mut net, &calib, 0.08);
+    let mut session = TrainSession::new(
+        net,
+        Box::new(Adam::new(2e-3)),
+        Method::Checkpointed { checkpoints: 4 },
+        timesteps,
+    );
+    // Compare epoch-mean losses (single-batch losses are too noisy on a
+    // 44-sample event dataset).
+    let mut epoch_means = Vec::new();
+    for epoch in 0..4u64 {
+        let mut sum = 0.0;
+        let mut n = 0usize;
+        for idx in BatchIter::new_drop_last(train.len(), 4, epoch) {
+            let (spikes, labels) = skipper::data::event_batch(&train, &idx, timesteps);
+            sum += session.train_batch(&spikes, &labels).loss;
+            n += 1;
+        }
+        epoch_means.push(sum / n as f64);
+    }
+    assert!(
+        epoch_means.last().unwrap() < epoch_means.first().unwrap(),
+        "epoch-mean loss must fall: {epoch_means:?}"
+    );
+}
+
+#[test]
+fn all_methods_share_the_full_forward_loss() {
+    // The reported loss comes from the full first forward pass, so for one
+    // identical batch at identical weights it must agree across methods
+    // whose forward is exact (BPTT, checkpointed, skipper).
+    let timesteps = 12;
+    let make = || {
+        custom_net(&ModelConfig {
+            input_hw: 8,
+            width_mult: 0.25,
+            ..ModelConfig::default()
+        })
+    };
+    let mut rng = XorShiftRng::new(5);
+    let frames = skipper::tensor::Tensor::rand([2, 3, 8, 8], &mut rng);
+    let spikes = PoissonEncoder::default().encode(&frames, timesteps, &mut rng);
+    let labels = [0usize, 1];
+    let mut losses = Vec::new();
+    for method in [
+        Method::Bptt,
+        Method::Checkpointed { checkpoints: 3 },
+        Method::Skipper {
+            checkpoints: 3,
+            percentile: 50.0,
+        },
+    ] {
+        let mut session = TrainSession::new(make(), Box::new(Adam::new(1e-3)), method, timesteps);
+        losses.push(session.train_batch(&spikes, &labels).loss);
+    }
+    assert!((losses[0] - losses[1]).abs() < 1e-9);
+    assert!((losses[0] - losses[2]).abs() < 1e-9);
+}
+
+#[test]
+fn method_switching_mid_session_works() {
+    let timesteps = 12;
+    let net = custom_net(&ModelConfig {
+        input_hw: 8,
+        width_mult: 0.25,
+        ..ModelConfig::default()
+    });
+    let mut session = TrainSession::new(net, Box::new(Adam::new(1e-3)), Method::Bptt, timesteps);
+    let mut rng = XorShiftRng::new(6);
+    let frames = skipper::tensor::Tensor::rand([2, 3, 8, 8], &mut rng);
+    let spikes = PoissonEncoder::default().encode(&frames, timesteps, &mut rng);
+    let labels = [2usize, 3];
+    let a = session.train_batch(&spikes, &labels);
+    session.set_method(Method::Skipper {
+        checkpoints: 2,
+        percentile: 40.0,
+    });
+    let b = session.train_batch(&spikes, &labels);
+    session.set_method(Method::TbpttLbp {
+        window: 6,
+        taps: vec![1, 2],
+    });
+    let c = session.train_batch(&spikes, &labels);
+    assert!(a.loss.is_finite() && b.loss.is_finite() && c.loss.is_finite());
+    assert!(b.skipped_steps > 0);
+}

@@ -1,0 +1,169 @@
+//! Cross-crate validation of the memory accounting:
+//!
+//! * the analytic model (Eqs. 3 and 6) must agree with what the byte-exact
+//!   tracker measures during real training — this is what licenses using
+//!   the analytic model for the paper-scale projections of Figs. 4 and 14;
+//! * the measured peaks must obey the paper's ordering
+//!   (skipper < checkpointed < baseline) and scaling laws.
+
+use skipper::core::{AnalyticModel, Method, TrainSession};
+use skipper::memprof::{self as mp, Category};
+use skipper::snn::{custom_net, lenet5, ModelConfig, Sgd, SpikingNetwork};
+use skipper::tensor::{Tensor, XorShiftRng};
+
+fn net() -> SpikingNetwork {
+    custom_net(&ModelConfig {
+        input_hw: 16,
+        width_mult: 0.25,
+        ..ModelConfig::default()
+    })
+}
+
+fn inputs(t: usize, batch: usize, seed: u64) -> Vec<Tensor> {
+    let mut rng = XorShiftRng::new(seed);
+    (0..t)
+        .map(|_| Tensor::rand([batch, 3, 16, 16], &mut rng).map(|x| (x > 0.5) as i32 as f32))
+        .collect()
+}
+
+/// Peak activation bytes measured while training one batch with `method`.
+fn measured_activation_peak(method: Method, t: usize, batch: usize) -> u64 {
+    let mut session = TrainSession::new(net(), Box::new(Sgd::new(1e-3)), method, t);
+    let ins = inputs(t, batch, 42);
+    let labels: Vec<usize> = (0..batch).map(|i| i % 10).collect();
+    // Warm-up so optimizer state exists, then measure.
+    let _ = session.train_batch(&ins, &labels);
+    mp::reset_peaks();
+    let stats = session.train_batch(&ins, &labels);
+    stats.mem.peak(Category::Activations)
+}
+
+#[test]
+fn analytic_model_matches_measured_bptt_peak() {
+    let (t, batch) = (12usize, 4usize);
+    let n = net();
+    let model = AnalyticModel::new(&n);
+    let predicted = model.activation_bytes(&Method::Bptt, t, batch);
+    let measured = measured_activation_peak(Method::Bptt, t, batch);
+    let ratio = measured as f64 / predicted as f64;
+    assert!(
+        (0.9..1.3).contains(&ratio),
+        "BPTT: predicted {predicted}, measured {measured}, ratio {ratio:.3}"
+    );
+}
+
+#[test]
+fn analytic_model_matches_measured_checkpointed_peak() {
+    let (t, batch) = (16usize, 4usize);
+    let n = net();
+    let model = AnalyticModel::new(&n);
+    for c in [2usize, 4] {
+        let m = Method::Checkpointed { checkpoints: c };
+        let predicted = model.activation_bytes(&m, t, batch);
+        let measured = measured_activation_peak(m, t, batch);
+        let ratio = measured as f64 / predicted as f64;
+        assert!(
+            (0.7..1.6).contains(&ratio),
+            "C={c}: predicted {predicted}, measured {measured}, ratio {ratio:.3}"
+        );
+    }
+}
+
+#[test]
+fn measured_memory_ordering_matches_paper() {
+    // skipper < checkpointed < baseline (Figs. 7/12), on a deeper net with
+    // a longer horizon for clear separation.
+    let t = 24usize;
+    let make = || {
+        lenet5(&ModelConfig {
+            input_hw: 16,
+            in_channels: 3,
+            width_mult: 0.25,
+            ..ModelConfig::default()
+        })
+    };
+    let measure = |method: Method| -> u64 {
+        let mut session = TrainSession::new(make(), Box::new(Sgd::new(1e-3)), method, t);
+        let ins = inputs(t, 2, 7);
+        let labels = vec![0usize, 1];
+        let _ = session.train_batch(&ins, &labels);
+        mp::reset_peaks();
+        session.train_batch(&ins, &labels).mem.peak(Category::Activations)
+    };
+    let base = measure(Method::Bptt);
+    let ck = measure(Method::Checkpointed { checkpoints: 4 });
+    let sk = measure(Method::Skipper {
+        checkpoints: 4,
+        percentile: 50.0,
+    });
+    assert!(ck * 2 < base, "checkpointing must save ≥2x: {ck} vs {base}");
+    assert!(sk < ck, "skipper must undercut checkpointing: {sk} vs {ck}");
+}
+
+#[test]
+fn baseline_memory_scales_linearly_with_t_and_b() {
+    let m8 = measured_activation_peak(Method::Bptt, 8, 2);
+    let m16 = measured_activation_peak(Method::Bptt, 16, 2);
+    let ratio_t = m16 as f64 / m8 as f64;
+    assert!(
+        (1.8..2.2).contains(&ratio_t),
+        "T doubling should ~double memory: {ratio_t:.2}"
+    );
+    let b2 = measured_activation_peak(Method::Bptt, 8, 2);
+    let b4 = measured_activation_peak(Method::Bptt, 8, 4);
+    let ratio_b = b4 as f64 / b2 as f64;
+    assert!(
+        (1.8..2.2).contains(&ratio_b),
+        "B doubling should ~double memory: {ratio_b:.2}"
+    );
+}
+
+#[test]
+fn skipper_compute_savings_show_in_the_op_log() {
+    let t = 16usize;
+    let flops_of = |method: Method| -> f64 {
+        let mut session = TrainSession::new(net(), Box::new(Sgd::new(1e-3)), method, t);
+        let ins = inputs(t, 2, 9);
+        let stats = session.train_batch(&ins, &[0, 1]);
+        stats.ops.total_flops()
+    };
+    let base = flops_of(Method::Bptt);
+    let ck = flops_of(Method::Checkpointed { checkpoints: 2 });
+    let sk = flops_of(Method::Skipper {
+        checkpoints: 2,
+        percentile: 60.0,
+    });
+    // Checkpointing adds one forward pass: expect roughly +25–45 %.
+    let overhead = ck / base;
+    assert!(
+        (1.15..1.55).contains(&overhead),
+        "checkpointing FLOP overhead {overhead:.2}"
+    );
+    // Skipper must fall below plain checkpointing, and below baseline.
+    assert!(sk < ck, "skipper {sk:.3e} vs checkpointed {ck:.3e}");
+    assert!(sk < base, "skipper {sk:.3e} vs baseline {base:.3e}");
+}
+
+#[test]
+fn weights_grads_and_optimizer_bytes_are_exact() {
+    let n = net();
+    let model = AnalyticModel::new(&n);
+    mp::reset_all();
+    let mut session = TrainSession::new(
+        net(),
+        Box::new(skipper::snn::Adam::new(1e-3)),
+        Method::Bptt,
+        4,
+    );
+    let ins = inputs(4, 2, 1);
+    let _ = session.train_batch(&ins, &[0, 1]);
+    let snap = mp::snapshot();
+    assert_eq!(snap.live(Category::Weights), model.weight_bytes());
+    assert_eq!(snap.live(Category::WeightGrads), model.weight_bytes());
+    // Adam: two moments per weight.
+    assert_eq!(
+        snap.live(Category::OptimizerState),
+        2 * model.weight_bytes()
+    );
+    drop(session);
+}

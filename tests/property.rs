@@ -1,0 +1,138 @@
+//! Property-based tests over the core invariants, with randomly generated
+//! networks, horizons and method parameters.
+
+use proptest::prelude::*;
+use skipper::core::{percentile, Method, TrainSession};
+use skipper::snn::{custom_net, Adam, ModelConfig, Sgd, SpikingNetwork};
+use skipper::tensor::{Tensor, XorShiftRng};
+
+fn tiny_net(seed: u64) -> SpikingNetwork {
+    custom_net(&ModelConfig {
+        input_hw: 8,
+        width_mult: 0.25,
+        seed,
+        ..ModelConfig::default()
+    })
+}
+
+fn spike_inputs(t: usize, seed: u64) -> Vec<Tensor> {
+    let mut rng = XorShiftRng::new(seed);
+    (0..t)
+        .map(|_| Tensor::rand([2, 3, 8, 8], &mut rng).map(|x| (x > 0.6) as i32 as f32))
+        .collect()
+}
+
+/// Gradients recovered from a momentum-free SGD update of one batch.
+fn grads(method: Method, t: usize, net_seed: u64, data_seed: u64) -> Vec<Vec<f32>> {
+    let net = tiny_net(net_seed);
+    let before: Vec<Vec<f32>> = net.params().iter().map(|p| p.value().data().to_vec()).collect();
+    let mut session = TrainSession::new(net, Box::new(Sgd::new(1.0)), method, t);
+    let inputs = spike_inputs(t, data_seed);
+    session.train_batch(&inputs, &[0, 1]);
+    let net = session.into_net();
+    net.params()
+        .iter()
+        .zip(before)
+        .map(|(p, b)| {
+            b.iter()
+                .zip(p.value().data())
+                .map(|(x, y)| x - y)
+                .collect()
+        })
+        .collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig {
+        cases: 8, // each case trains several networks; keep the budget sane
+        .. ProptestConfig::default()
+    })]
+
+    /// The paper's Section V invariance: checkpointing never changes the
+    /// gradient, for any admissible (T, C) and any weight initialisation.
+    #[test]
+    fn checkpointing_is_gradient_invariant(
+        t in 6usize..14,
+        c in 1usize..4,
+        net_seed in 0u64..1000,
+        data_seed in 0u64..1000,
+    ) {
+        prop_assume!(c <= t / 3); // segment ≥ L_n = 3
+        let base = grads(Method::Bptt, t, net_seed, data_seed);
+        let ck = grads(Method::Checkpointed { checkpoints: c }, t, net_seed, data_seed);
+        for (a, b) in base.iter().zip(&ck) {
+            for (x, y) in a.iter().zip(b) {
+                prop_assert!((x - y).abs() < 1e-3, "{x} vs {y}");
+            }
+        }
+    }
+
+    /// Skipper's backward never touches more timesteps than checkpointing,
+    /// and the skipped fraction approximates p.
+    #[test]
+    fn skipper_skips_roughly_p_percent(
+        t in 10usize..20,
+        p in 10f32..60.0,
+        data_seed in 0u64..1000,
+    ) {
+        let method = Method::Skipper { checkpoints: 2, percentile: p };
+        let mut session = TrainSession::new(tiny_net(1), Box::new(Adam::new(1e-3)), method, t);
+        let inputs = spike_inputs(t, data_seed);
+        let stats = session.train_batch(&inputs, &[0, 1]);
+        prop_assert_eq!(stats.skipped_steps + stats.recomputed_steps, t);
+        let frac = stats.skipped_steps as f64 / t as f64;
+        // Nearest-rank percentile over two small segments: allow slack.
+        prop_assert!((frac - p as f64 / 100.0).abs() < 0.35, "skipped {frac} vs p {p}");
+    }
+
+    /// Nearest-rank percentile is always one of the inputs and monotone
+    /// in p.
+    #[test]
+    fn percentile_properties(
+        mut values in prop::collection::vec(-1e3f64..1e3, 1..40),
+        p1 in 1f32..99.0,
+        p2 in 1f32..99.0,
+    ) {
+        let v1 = percentile(&values, p1);
+        prop_assert!(values.iter().any(|&x| x == v1), "percentile must be an element");
+        let (lo, hi) = if p1 <= p2 { (p1, p2) } else { (p2, p1) };
+        prop_assert!(percentile(&values, lo) <= percentile(&values, hi));
+        values.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        prop_assert!(v1 >= values[0] && v1 <= values[values.len() - 1]);
+    }
+
+    /// Loss reported by any exact-forward method is identical for the same
+    /// batch and weights, regardless of C.
+    #[test]
+    fn forward_loss_is_method_independent(
+        t in 6usize..12,
+        c in 1usize..4,
+        data_seed in 0u64..1000,
+    ) {
+        prop_assume!(c <= t / 3);
+        let loss_of = |m: Method| {
+            let mut s = TrainSession::new(tiny_net(9), Box::new(Adam::new(1e-3)), m, t);
+            s.train_batch(&spike_inputs(t, data_seed), &[0, 1]).loss
+        };
+        let a = loss_of(Method::Bptt);
+        let b = loss_of(Method::Checkpointed { checkpoints: c });
+        prop_assert!((a - b).abs() < 1e-9);
+    }
+
+    /// Membrane dynamics invariant: with zero input and no spikes, the
+    /// membrane decays geometrically under any leak.
+    #[test]
+    fn lif_decay_is_geometric(leak in 0.1f32..0.99, u0 in 0.01f32..0.9) {
+        use skipper::snn::{lif_step_infer, LifConfig};
+        let cfg = LifConfig { leak, threshold: 1.0, surrogate: Default::default() };
+        let zero = Tensor::zeros([1]);
+        let mut mem = Tensor::from_vec(vec![u0], [1]);
+        for k in 1..=5 {
+            let (u, o) = lif_step_infer(&cfg, &zero, &mem, &zero);
+            prop_assert_eq!(o.data()[0], 0.0);
+            let expect = u0 * leak.powi(k);
+            prop_assert!((u.data()[0] - expect).abs() < 1e-4);
+            mem = u;
+        }
+    }
+}
