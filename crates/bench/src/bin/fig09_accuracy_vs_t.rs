@@ -31,7 +31,7 @@ fn main() {
         let layers = probe.net.spiking_layer_count();
         // Scale C and p with T, respecting the Eq. 7 bound.
         let c = (t / (2 * layers)).max(1);
-        let p = (max_skippable_percentile(t, c, layers) - 10.0).max(0.0).min(70.0);
+        let p = (max_skippable_percentile(t, c, layers) - 10.0).clamp(0.0, 70.0);
         let base_acc = {
             let w = Workload::build(WorkloadKind::LenetDvsGesture);
             let mut s = TrainSession::new(w.net, Box::new(Adam::new(2e-3)), Method::Bptt, t);

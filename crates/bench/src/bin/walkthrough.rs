@@ -28,9 +28,7 @@ fn main() {
         "Walkthrough of paper Figs. 5/6 on {} (T={t}, C={c}, p={p})",
         w.name
     ));
-    report.line(format!(
-        "segments: [0,10) and [10,20); checkpoints taken at t=0 and t=10"
-    ));
+    report.line("segments: [0,10) and [10,20); checkpoints taken at t=0 and t=10".to_string());
 
     // ---- Fig. 5: plain checkpointing ----
     report.blank();
@@ -55,9 +53,7 @@ fn main() {
             stats.recomputed_steps,
             stats.mem.peak(Category::Activations) / 1024
         ));
-        report.line(format!(
-            "activation memory over the iteration (two humps = two segments):"
-        ));
+        report.line("activation memory over the iteration (two humps = two segments):".to_string());
         report.line(format!(
             "  {}",
             sparkline(&downsample(&tl, 64), Category::Activations)

@@ -56,7 +56,7 @@ pub fn fit(
     let timesteps = session.timesteps();
     let mut result = FitResult::default();
     for epoch in 0..epochs {
-        let mut rng = XorShiftRng::new(seed ^ (epoch as u64 + 1) * 0x9E37);
+        let mut rng = XorShiftRng::new(seed ^ ((epoch as u64 + 1) * 0x9E37));
         let mut stats = EpochStats::default();
         for idx in train.epoch(batch, seed.wrapping_add(epoch as u64)) {
             let (inputs, labels) = train.batch(&idx, timesteps, &mut rng);

@@ -330,8 +330,8 @@ mod tests {
     fn all_workloads_build_and_validate() {
         for kind in WorkloadKind::TABLE1 {
             let w = Workload::build(kind);
-            assert!(w.train.len() > 0, "{}", w.name);
-            assert!(w.test.len() > 0);
+            assert!(!w.train.is_empty(), "{}", w.name);
+            assert!(!w.test.is_empty());
             assert_eq!(w.net.num_classes(), w.train.num_classes());
             for m in w.methods() {
                 m.validate(&w.net, w.timesteps)

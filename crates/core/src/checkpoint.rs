@@ -155,7 +155,7 @@ pub(crate) fn checkpointed_step_with(
         let mut binder = ParamBinder::new(net.params());
         let mut tstate = TapedState::from_state(&mut g, &ckpts[c], true);
         let mut logit_vars = Vec::new();
-        for t in start..end {
+        for (t, input) in inputs.iter().enumerate().take(end).skip(start) {
             if skip_step(t) {
                 skipped += 1;
                 continue;
@@ -166,7 +166,7 @@ pub(crate) fn checkpointed_step_with(
                 t,
                 train: true,
             };
-            let out = net.step_taped(&mut g, &mut binder, &inputs[t], &mut tstate, &ctx);
+            let out = net.step_taped(&mut g, &mut binder, input, &mut tstate, &ctx);
             logit_vars.push(out.logits);
         }
         // Seed the loss gradient into every recomputed timestep's readout

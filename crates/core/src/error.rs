@@ -1,0 +1,86 @@
+//! The fault-tolerance error hierarchy of the training layer.
+//!
+//! [`SkipperError`] is what every fallible training-session operation
+//! returns: snapshot save/restore, divergence handling and the
+//! memory-budget governor. It wraps the substrate's typed errors
+//! ([`SnnError`], raw I/O) so callers can always match on *why* training
+//! could not proceed and decide between retrying, resuming from an older
+//! snapshot, or giving up.
+
+use skipper_snn::SnnError;
+use std::io;
+
+/// Errors raised by the `skipper-core` training layer.
+#[derive(Debug)]
+pub enum SkipperError {
+    /// A substrate operation (parameter container, optimizer state)
+    /// failed.
+    Snn(SnnError),
+    /// An underlying I/O operation failed.
+    Io(io::Error),
+    /// A session snapshot could not be written, read or applied; the
+    /// string says which section and why.
+    Snapshot(String),
+    /// Training diverged (non-finite loss or exploding gradients) and the
+    /// sentinels exhausted their retry budget.
+    Divergence {
+        /// Iteration at which the last failed attempt ran.
+        iteration: u64,
+        /// What was detected (NaN loss, gradient norm, …).
+        detail: String,
+    },
+    /// The method configuration is invalid for the session.
+    Config(String),
+}
+
+impl std::fmt::Display for SkipperError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SkipperError::Snn(e) => write!(f, "{e}"),
+            SkipperError::Io(e) => write!(f, "i/o error: {e}"),
+            SkipperError::Snapshot(detail) => write!(f, "snapshot error: {detail}"),
+            SkipperError::Divergence { iteration, detail } => {
+                write!(f, "training diverged at iteration {iteration}: {detail}")
+            }
+            SkipperError::Config(detail) => write!(f, "invalid configuration: {detail}"),
+        }
+    }
+}
+
+impl std::error::Error for SkipperError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            SkipperError::Snn(e) => Some(e),
+            SkipperError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<SnnError> for SkipperError {
+    fn from(e: SnnError) -> SkipperError {
+        SkipperError::Snn(e)
+    }
+}
+
+impl From<io::Error> for SkipperError {
+    fn from(e: io::Error) -> SkipperError {
+        SkipperError::Io(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn wrapping_preserves_detail() {
+        let e = SkipperError::from(SnnError::Format("record 2: CRC mismatch".into()));
+        assert!(e.to_string().contains("CRC mismatch"));
+        let d = SkipperError::Divergence {
+            iteration: 17,
+            detail: "loss is NaN".into(),
+        };
+        assert!(d.to_string().contains("iteration 17"), "{d}");
+    }
+}

@@ -59,19 +59,25 @@
 pub mod analytic;
 pub mod bptt;
 pub mod checkpoint;
+pub mod error;
+pub mod governor;
 pub mod lbp;
 pub mod method;
 pub mod planner;
+pub mod resume;
 pub mod runner;
 pub mod sam;
 pub mod stats;
 pub mod tbptt;
 
 pub use analytic::{AnalyticBreakdown, AnalyticModel};
+pub use error::SkipperError;
+pub use governor::GovernorAction;
 pub use lbp::LocalClassifiers;
 pub use method::{Method, MethodError};
 pub use planner::Planner;
-pub use runner::TrainSession;
+pub use resume::{read_snapshot, write_snapshot, SessionState};
+pub use runner::{SentinelConfig, TrainSession};
 pub use sam::{
     max_checkpoints, max_skippable_percentile, percentile, SamMetric, SkipPolicy,
     SpikeActivityMonitor,

@@ -1,0 +1,404 @@
+//! Durable training-session snapshots.
+//!
+//! A snapshot is everything needed to continue training **bit-exactly**
+//! after a crash or kill: model parameters, complete optimizer state
+//! (Adam moments, step counter, learning rate), the iteration counter that
+//! seeds every iteration's randomness, and the last Spike Activity Monitor
+//! record. Restoring into a freshly constructed same-topology session and
+//! continuing produces the identical loss trajectory the uninterrupted run
+//! would have produced.
+//!
+//! # Container format
+//!
+//! The `.sksn` container extends the `.skw` v2 conventions
+//! (see [`skipper_snn::serialize`]): a magic header (`"SKSNP"` +
+//! version), a section count, then named sections — each
+//! `name_len | name | payload_len | payload | CRC32(payload)` — and a
+//! trailing section count. Torn writes are impossible to observe because
+//! [`write_snapshot`] writes to a temporary sibling file and renames it
+//! over the target only after a successful flush; torn *reads* (bit rot,
+//! truncation) are rejected with a description of the offending section.
+//!
+//! Sections:
+//!
+//! | name         | payload                                              |
+//! |--------------|------------------------------------------------------|
+//! | `meta`       | JSON: iteration, timesteps, method, SAM config/history, optimizer scalars |
+//! | `params`     | model parameters, `.skw` v2 records                  |
+//! | `optim`      | optimizer state tensors, `.skw` v2 records           |
+//! | `aux.params` | auxiliary (LBP) classifier parameters, if any        |
+//! | `aux.optim`  | auxiliary optimizer state tensors, if any            |
+
+use crate::error::SkipperError;
+use crate::method::Method;
+use crate::sam::{SamMetric, SkipPolicy};
+use serde::{Deserialize, Serialize};
+use skipper_snn::serialize::{crc32, read_params, write_records, ParamRecord};
+use skipper_snn::OptimizerState;
+use std::io::{self, Read, Write};
+use std::path::Path;
+
+/// Snapshot file magic: "SKSNP" + version 1.
+const MAGIC: &[u8; 6] = b"SKSNP\x01";
+
+/// Complete restorable training state, decoupled from [`TrainSession`] so
+/// harnesses can inspect or rewrite it between save and resume.
+///
+/// [`TrainSession`]: crate::runner::TrainSession
+#[derive(Debug, Clone)]
+pub struct SessionState {
+    /// Iterations completed (seeds each iteration's randomness).
+    pub iteration: u64,
+    /// The session horizon `T`.
+    pub timesteps: usize,
+    /// Training method, including checkpoint/percentile knobs as possibly
+    /// adjusted by the memory governor.
+    pub method: Method,
+    /// Which activity statistic SAM thresholds on.
+    pub sam_metric: SamMetric,
+    /// How Skipper selects skipped timesteps.
+    pub skip_policy: SkipPolicy,
+    /// Per-timestep SAM sums of the last completed iteration.
+    pub sam_sums: Vec<f64>,
+    /// Model parameters.
+    pub params: Vec<ParamRecord>,
+    /// Main optimizer state.
+    pub optim: OptimizerState,
+    /// Auxiliary (LBP) classifier parameters and optimizer, if the method
+    /// uses them.
+    pub aux: Option<(Vec<ParamRecord>, OptimizerState)>,
+}
+
+/// The JSON `meta` section.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+struct MetaDoc {
+    iteration: u64,
+    timesteps: usize,
+    method: Method,
+    sam_metric: SamMetric,
+    skip_policy: SkipPolicy,
+    sam_sums: Vec<f64>,
+    optim_kind: String,
+    optim_scalars: Vec<(String, f64)>,
+    aux_kind: Option<String>,
+    aux_scalars: Option<Vec<(String, f64)>>,
+}
+
+fn write_u32(w: &mut impl Write, v: u32) -> io::Result<()> {
+    w.write_all(&v.to_le_bytes())
+}
+
+fn read_u32(r: &mut impl Read) -> io::Result<u32> {
+    let mut b = [0u8; 4];
+    r.read_exact(&mut b)?;
+    Ok(u32::from_le_bytes(b))
+}
+
+fn write_section(w: &mut impl Write, name: &str, payload: &[u8]) -> Result<(), SkipperError> {
+    write_u32(w, name.len() as u32)?;
+    w.write_all(name.as_bytes())?;
+    write_u32(w, payload.len() as u32)?;
+    w.write_all(payload)?;
+    write_u32(w, crc32(payload))?;
+    Ok(())
+}
+
+fn read_section(r: &mut impl Read) -> Result<(String, Vec<u8>), SkipperError> {
+    let name_len = read_u32(r)? as usize;
+    if name_len > 256 {
+        return Err(SkipperError::Snapshot(format!(
+            "section name implausibly long ({name_len} bytes)"
+        )));
+    }
+    let mut name = vec![0u8; name_len];
+    r.read_exact(&mut name)?;
+    let name = String::from_utf8(name)
+        .map_err(|e| SkipperError::Snapshot(format!("section name is not UTF-8: {e}")))?;
+    let payload_len = read_u32(r)? as usize;
+    if payload_len > 1 << 30 {
+        return Err(SkipperError::Snapshot(format!(
+            "section '{name}' implausibly large ({payload_len} bytes)"
+        )));
+    }
+    let mut payload = vec![0u8; payload_len];
+    r.read_exact(&mut payload)?;
+    let stored = read_u32(r)?;
+    let computed = crc32(&payload);
+    if stored != computed {
+        return Err(SkipperError::Snapshot(format!(
+            "section '{name}': CRC mismatch (stored {stored:#010x}, computed {computed:#010x})"
+        )));
+    }
+    Ok((name, payload))
+}
+
+fn records_payload<'a>(
+    records: impl IntoIterator<Item = (&'a str, &'a skipper_tensor::Tensor)>,
+) -> Result<Vec<u8>, SkipperError> {
+    let mut buf = Vec::new();
+    write_records(records, &mut buf)?;
+    Ok(buf)
+}
+
+/// Serialize `state` to `writer`.
+///
+/// # Errors
+///
+/// Propagates I/O and encoding errors.
+pub fn write_snapshot_to(state: &SessionState, writer: &mut impl Write) -> Result<(), SkipperError> {
+    let meta = MetaDoc {
+        iteration: state.iteration,
+        timesteps: state.timesteps,
+        method: state.method.clone(),
+        sam_metric: state.sam_metric,
+        skip_policy: state.skip_policy,
+        sam_sums: state.sam_sums.clone(),
+        optim_kind: state.optim.kind.clone(),
+        optim_scalars: state.optim.scalars.clone(),
+        aux_kind: state.aux.as_ref().map(|(_, o)| o.kind.clone()),
+        aux_scalars: state.aux.as_ref().map(|(_, o)| o.scalars.clone()),
+    };
+    let meta_json = serde_json::to_string(&meta)
+        .map_err(|e| SkipperError::Snapshot(format!("encoding meta: {e}")))?;
+
+    let mut sections: Vec<(&str, Vec<u8>)> = vec![
+        ("meta", meta_json.into_bytes()),
+        (
+            "params",
+            records_payload(state.params.iter().map(|r| (r.name.as_str(), &r.value)))?,
+        ),
+        (
+            "optim",
+            records_payload(state.optim.tensors.iter().map(|(n, t)| (n.as_str(), t)))?,
+        ),
+    ];
+    if let Some((aux_params, aux_optim)) = &state.aux {
+        sections.push((
+            "aux.params",
+            records_payload(aux_params.iter().map(|r| (r.name.as_str(), &r.value)))?,
+        ));
+        sections.push((
+            "aux.optim",
+            records_payload(aux_optim.tensors.iter().map(|(n, t)| (n.as_str(), t)))?,
+        ));
+    }
+
+    writer.write_all(MAGIC)?;
+    write_u32(writer, sections.len() as u32)?;
+    for (name, payload) in &sections {
+        write_section(writer, name, payload)?;
+    }
+    write_u32(writer, sections.len() as u32)?;
+    Ok(())
+}
+
+/// Atomically write `state` to the file at `path` (temporary sibling
+/// file, then rename), so a crash mid-save can never leave a truncated
+/// snapshot where a valid one is expected.
+///
+/// # Errors
+///
+/// Propagates I/O and encoding errors.
+pub fn write_snapshot(state: &SessionState, path: impl AsRef<Path>) -> Result<(), SkipperError> {
+    let path = path.as_ref();
+    let mut tmp_name = path
+        .file_name()
+        .map(|n| n.to_string_lossy().into_owned())
+        .unwrap_or_else(|| "snapshot".into());
+    tmp_name.push_str(".tmp");
+    let tmp = path.with_file_name(tmp_name);
+    let mut file = io::BufWriter::new(std::fs::File::create(&tmp)?);
+    write_snapshot_to(state, &mut file)?;
+    file.flush()?;
+    drop(file);
+    std::fs::rename(&tmp, path)?;
+    Ok(())
+}
+
+/// Deserialize a snapshot from `reader`.
+///
+/// # Errors
+///
+/// Fails descriptively on bad magic, truncation, per-section CRC
+/// mismatches, a wrong trailing section count, or malformed contents.
+pub fn read_snapshot_from(reader: &mut impl Read) -> Result<SessionState, SkipperError> {
+    let mut magic = [0u8; 6];
+    reader.read_exact(&mut magic)?;
+    if &magic != MAGIC {
+        return Err(SkipperError::Snapshot(
+            "not a skipper session snapshot (bad magic)".into(),
+        ));
+    }
+    let count = read_u32(reader)? as usize;
+    if count > 64 {
+        return Err(SkipperError::Snapshot(format!(
+            "implausible section count ({count})"
+        )));
+    }
+    let mut sections: Vec<(String, Vec<u8>)> = Vec::with_capacity(count);
+    for _ in 0..count {
+        sections.push(read_section(reader)?);
+    }
+    let trailer = read_u32(reader)? as usize;
+    if trailer != count {
+        return Err(SkipperError::Snapshot(format!(
+            "trailing section count {trailer} disagrees with header count {count} (truncated?)"
+        )));
+    }
+    let section = |name: &str| {
+        sections
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|(_, p)| p.as_slice())
+            .ok_or_else(|| SkipperError::Snapshot(format!("missing section '{name}'")))
+    };
+
+    let meta_text = std::str::from_utf8(section("meta")?)
+        .map_err(|e| SkipperError::Snapshot(format!("meta section is not UTF-8: {e}")))?;
+    let meta: MetaDoc = serde_json::from_str(meta_text)
+        .map_err(|e| SkipperError::Snapshot(format!("decoding meta: {e}")))?;
+
+    let params = read_params(&mut section("params")?)
+        .map_err(|e| SkipperError::Snapshot(format!("section 'params': {e}")))?;
+    let optim_tensors = read_params(&mut section("optim")?)
+        .map_err(|e| SkipperError::Snapshot(format!("section 'optim': {e}")))?;
+    let optim = OptimizerState {
+        kind: meta.optim_kind.clone(),
+        scalars: meta.optim_scalars.clone(),
+        tensors: optim_tensors
+            .into_iter()
+            .map(|r| (r.name, r.value))
+            .collect(),
+    };
+    let aux = match (&meta.aux_kind, &meta.aux_scalars) {
+        (Some(kind), Some(scalars)) => {
+            let aux_params = read_params(&mut section("aux.params")?)
+                .map_err(|e| SkipperError::Snapshot(format!("section 'aux.params': {e}")))?;
+            let aux_tensors = read_params(&mut section("aux.optim")?)
+                .map_err(|e| SkipperError::Snapshot(format!("section 'aux.optim': {e}")))?;
+            Some((
+                aux_params,
+                OptimizerState {
+                    kind: kind.clone(),
+                    scalars: scalars.clone(),
+                    tensors: aux_tensors
+                        .into_iter()
+                        .map(|r| (r.name, r.value))
+                        .collect(),
+                },
+            ))
+        }
+        _ => None,
+    };
+
+    Ok(SessionState {
+        iteration: meta.iteration,
+        timesteps: meta.timesteps,
+        method: meta.method,
+        sam_metric: meta.sam_metric,
+        skip_policy: meta.skip_policy,
+        sam_sums: meta.sam_sums,
+        params,
+        optim,
+        aux,
+    })
+}
+
+/// Read a snapshot from the file at `path`.
+///
+/// # Errors
+///
+/// See [`read_snapshot_from`].
+pub fn read_snapshot(path: impl AsRef<Path>) -> Result<SessionState, SkipperError> {
+    read_snapshot_from(&mut io::BufReader::new(std::fs::File::open(path)?))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use skipper_tensor::Tensor;
+
+    fn tiny_state() -> SessionState {
+        SessionState {
+            iteration: 42,
+            timesteps: 8,
+            method: Method::Skipper {
+                checkpoints: 2,
+                percentile: 25.0,
+            },
+            sam_metric: SamMetric::default(),
+            skip_policy: SkipPolicy::default(),
+            sam_sums: vec![1.5, 0.25, 3.0],
+            params: vec![ParamRecord {
+                name: "w".into(),
+                value: Tensor::from_vec(vec![1.0, -2.0, 0.5], [3]),
+            }],
+            optim: OptimizerState {
+                kind: "adam".into(),
+                scalars: vec![("lr".into(), 1e-3), ("t".into(), 42.0)],
+                tensors: vec![("m0".into(), Tensor::from_vec(vec![0.1, 0.2, 0.3], [3]))],
+            },
+            aux: None,
+        }
+    }
+
+    #[test]
+    fn snapshot_roundtrip() {
+        let state = tiny_state();
+        let mut buf = Vec::new();
+        write_snapshot_to(&state, &mut buf).unwrap();
+        let back = read_snapshot_from(&mut buf.as_slice()).unwrap();
+        assert_eq!(back.iteration, 42);
+        assert_eq!(back.timesteps, 8);
+        assert_eq!(back.method, state.method);
+        assert_eq!(back.sam_sums, state.sam_sums);
+        assert_eq!(back.params[0].value.data(), state.params[0].value.data());
+        assert_eq!(back.optim.kind, "adam");
+        assert_eq!(back.optim.scalar("t"), Some(42.0));
+        assert_eq!(back.optim.tensors[0].1.data(), &[0.1, 0.2, 0.3]);
+    }
+
+    #[test]
+    fn corrupt_section_is_rejected_with_name() {
+        let mut buf = Vec::new();
+        write_snapshot_to(&tiny_state(), &mut buf).unwrap();
+        // Flip a bit inside the meta JSON payload.
+        let at = 30;
+        buf[at] ^= 0x01;
+        let err = read_snapshot_from(&mut buf.as_slice()).unwrap_err();
+        assert!(err.to_string().contains("CRC mismatch"), "{err}");
+    }
+
+    #[test]
+    fn truncated_snapshot_is_rejected() {
+        let mut buf = Vec::new();
+        write_snapshot_to(&tiny_state(), &mut buf).unwrap();
+        for cut in [buf.len() - 1, buf.len() - 4, buf.len() / 2, 10] {
+            let mut short = buf.clone();
+            short.truncate(cut);
+            assert!(
+                read_snapshot_from(&mut short.as_slice()).is_err(),
+                "cut at {cut} must be rejected"
+            );
+        }
+    }
+
+    #[test]
+    fn bad_magic_is_rejected() {
+        let err = read_snapshot_from(&mut &b"NOTSNAPxxxx"[..]).unwrap_err();
+        assert!(err.to_string().contains("bad magic"), "{err}");
+    }
+
+    #[test]
+    fn atomic_write_leaves_no_temp_file() {
+        let dir = std::env::temp_dir().join("skipper_resume_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("session.sksn");
+        write_snapshot(&tiny_state(), &path).unwrap();
+        assert!(path.exists());
+        assert!(!path.with_file_name("session.sksn.tmp").exists());
+        let back = read_snapshot(&path).unwrap();
+        assert_eq!(back.iteration, 42);
+        std::fs::remove_file(&path).unwrap();
+    }
+}

@@ -3,17 +3,99 @@
 
 use crate::bptt::bptt_step;
 use crate::checkpoint::{checkpointed_step, checkpointed_step_with};
+use crate::error::SkipperError;
+use crate::governor::{relieve_pressure, GovernorAction};
 use crate::lbp::{lbp_step, LocalClassifiers};
 use crate::method::Method;
+use crate::resume::SessionState;
 use crate::sam::{SamMetric, SkipPolicy};
 use crate::stats::BatchStats;
 use crate::tbptt::tbptt_step;
 use skipper_memprof::{reset_peaks, snapshot, take_op_log};
+use skipper_snn::serialize::{apply_records, ParamRecord};
 use skipper_snn::{
-    softmax_cross_entropy, Optimizer, SpikingNetwork, StepCtx,
+    softmax_cross_entropy, Optimizer, OptimizerState, SpikingNetwork, StepCtx,
 };
 use skipper_tensor::Tensor;
+use std::path::Path;
 use std::time::Instant;
+
+/// Divergence-sentinel policy: what counts as a fault and how hard to try
+/// to recover before giving up.
+///
+/// With sentinels enabled (see [`TrainSession::enable_sentinels`]) every
+/// iteration's loss and gradient norm are checked *before* the optimizer
+/// applies the update. A faulty iteration is rolled back to the last known
+/// good state, the learning rate is multiplied by `lr_backoff`, and the
+/// batch is retried under a fresh iteration seed — at most `max_retries`
+/// times, after which [`SkipperError::Divergence`] is returned.
+#[derive(Debug, Clone)]
+pub struct SentinelConfig {
+    /// Gradient L2-norm above which an iteration is declared divergent.
+    pub max_grad_norm: f64,
+    /// Retries per batch before surfacing [`SkipperError::Divergence`].
+    pub max_retries: u32,
+    /// Learning-rate multiplier applied on every recovery (compounds).
+    pub lr_backoff: f32,
+}
+
+impl Default for SentinelConfig {
+    fn default() -> SentinelConfig {
+        SentinelConfig {
+            max_grad_norm: 1e6,
+            max_retries: 2,
+            lr_backoff: 0.5,
+        }
+    }
+}
+
+/// Raw (untracked) copy of optimizer state for in-memory rollback. Holding
+/// plain `Vec<f32>` instead of `Tensor`s keeps the rollback buffer out of
+/// the memory profiler, so sentinels do not perturb the measurements the
+/// harness exists to take.
+struct RawOptim {
+    kind: String,
+    scalars: Vec<(String, f64)>,
+    tensors: Vec<(String, Vec<usize>, Vec<f32>)>,
+}
+
+impl RawOptim {
+    fn capture(state: OptimizerState) -> RawOptim {
+        RawOptim {
+            kind: state.kind,
+            scalars: state.scalars,
+            tensors: state
+                .tensors
+                .into_iter()
+                .map(|(name, t)| (name, t.shape().dims().to_vec(), t.data().to_vec()))
+                .collect(),
+        }
+    }
+
+    fn to_state(&self) -> OptimizerState {
+        OptimizerState {
+            kind: self.kind.clone(),
+            scalars: self.scalars.clone(),
+            tensors: self
+                .tensors
+                .iter()
+                .map(|(name, dims, data)| {
+                    (name.clone(), Tensor::from_vec(data.clone(), dims.as_slice()))
+                })
+                .collect(),
+        }
+    }
+}
+
+/// The last known good training state, captured after each successful
+/// iteration while sentinels are enabled.
+struct RollbackState {
+    params: Vec<Vec<f32>>,
+    optim: RawOptim,
+    aux_params: Option<Vec<Vec<f32>>>,
+    aux_optim: Option<RawOptim>,
+    sam_sums: Vec<f64>,
+}
 
 /// A network + optimizer + training method, instrumented like the paper's
 /// testbed: every [`train_batch`] resets the peak counters, drains the
@@ -32,6 +114,15 @@ pub struct TrainSession {
     iteration: u64,
     sam_metric: SamMetric,
     skip_policy: SkipPolicy,
+    /// Per-timestep SAM sums of the last completed iteration (snapshotted
+    /// so a resumed session knows the activity history).
+    last_sam_sums: Vec<f64>,
+    sentinel: Option<SentinelConfig>,
+    last_good: Option<RollbackState>,
+    /// Fault injection: force the loss to NaN at this iteration.
+    poison_loss_at: Option<u64>,
+    mem_budget: Option<u64>,
+    governor_log: Vec<GovernorAction>,
 }
 
 impl std::fmt::Debug for TrainSession {
@@ -80,6 +171,12 @@ impl TrainSession {
             iteration: 0,
             sam_metric: SamMetric::default(),
             skip_policy: SkipPolicy::default(),
+            last_sam_sums: Vec::new(),
+            sentinel: None,
+            last_good: None,
+            poison_loss_at: None,
+            mem_budget: None,
+            governor_log: Vec::new(),
         }
     }
 
@@ -122,7 +219,7 @@ impl TrainSession {
             let rebuild = self
                 .aux
                 .as_ref()
-                .map_or(true, |aux| aux.taps() != taps.as_slice());
+                .is_none_or(|aux| aux.taps() != taps.as_slice());
             if rebuild {
                 self.aux = Some(LocalClassifiers::new(
                     &self.net,
@@ -158,61 +255,359 @@ impl TrainSession {
     ///
     /// # Panics
     ///
-    /// Panics if `inputs.len()` differs from the session's `timesteps`, or
-    /// if the method configuration is structurally impossible (e.g.
-    /// `C > T`).
+    /// Panics if `inputs.len()` differs from the session's `timesteps`, if
+    /// the method configuration is structurally impossible (e.g. `C > T`),
+    /// or if training diverges beyond the sentinels' retry budget — use
+    /// [`try_train_batch`] to handle divergence as a typed error instead.
+    ///
+    /// [`try_train_batch`]: TrainSession::try_train_batch
     pub fn train_batch(&mut self, inputs: &[Tensor], labels: &[usize]) -> BatchStats {
+        self.try_train_batch(inputs, labels)
+            .unwrap_or_else(|e| panic!("unrecoverable training fault: {e}"))
+    }
+
+    /// Like [`train_batch`], but surfaces unrecoverable faults as
+    /// [`SkipperError`] instead of panicking.
+    ///
+    /// With sentinels enabled (see [`enable_sentinels`]) a divergent
+    /// iteration — non-finite loss or a gradient L2-norm above the
+    /// configured limit — is detected **before** the optimizer applies the
+    /// update. The session rolls back to the last known good state, backs
+    /// the learning rate off, and retries the batch under a fresh
+    /// iteration seed. Recoveries that happened on the way to a successful
+    /// iteration are reported in [`BatchStats::recoveries`]; once the
+    /// retry budget is exhausted [`SkipperError::Divergence`] is returned
+    /// with the session left at the last good state (gradients zeroed).
+    ///
+    /// [`train_batch`]: TrainSession::train_batch
+    /// [`enable_sentinels`]: TrainSession::enable_sentinels
+    pub fn try_train_batch(
+        &mut self,
+        inputs: &[Tensor],
+        labels: &[usize],
+    ) -> Result<BatchStats, SkipperError> {
         assert_eq!(inputs.len(), self.timesteps, "input horizon vs session T");
         let batch_size = inputs[0].shape()[0];
-        self.iteration += 1;
-        let iter_seed = self.iteration;
-        reset_peaks();
-        take_op_log(); // drop kernels logged outside the iteration
-        let start = Instant::now();
-        let result = match self.method.clone() {
-            Method::Bptt => bptt_step(&mut self.net, inputs, labels, iter_seed),
-            Method::Checkpointed { checkpoints } => {
-                checkpointed_step(&mut self.net, inputs, labels, iter_seed, checkpoints, 0.0)
+        let mut recoveries: u32 = 0;
+        loop {
+            self.iteration += 1;
+            let iter_seed = self.iteration;
+            reset_peaks();
+            take_op_log(); // drop kernels logged outside the iteration
+            let start = Instant::now();
+            let mut result = match self.method.clone() {
+                Method::Bptt => bptt_step(&mut self.net, inputs, labels, iter_seed),
+                Method::Checkpointed { checkpoints } => {
+                    checkpointed_step(&mut self.net, inputs, labels, iter_seed, checkpoints, 0.0)
+                }
+                Method::Skipper {
+                    checkpoints,
+                    percentile,
+                } => checkpointed_step_with(
+                    &mut self.net,
+                    inputs,
+                    labels,
+                    iter_seed,
+                    checkpoints,
+                    percentile,
+                    self.sam_metric,
+                    self.skip_policy,
+                ),
+                Method::Tbptt { window } => {
+                    tbptt_step(&mut self.net, inputs, labels, iter_seed, window)
+                }
+                Method::TbpttLbp { window, .. } => {
+                    let aux = self.aux.as_mut().expect("aux classifiers built in new()");
+                    lbp_step(&mut self.net, aux, inputs, labels, iter_seed, window)
+                }
+            };
+            if self.poison_loss_at == Some(self.iteration) {
+                result.loss = f64::NAN;
             }
-            Method::Skipper {
-                checkpoints,
-                percentile,
-            } => checkpointed_step_with(
-                &mut self.net,
-                inputs,
-                labels,
-                iter_seed,
-                checkpoints,
-                percentile,
-                self.sam_metric,
-                self.skip_policy,
-            ),
-            Method::Tbptt { window } => {
-                tbptt_step(&mut self.net, inputs, labels, iter_seed, window)
+            if let Some(cfg) = self.sentinel.clone() {
+                if let Some(detail) = self.detect_fault(result.loss, cfg.max_grad_norm) {
+                    // Discard the faulty attempt's gradients; the update
+                    // was never applied, so the weights are untouched.
+                    self.net.params_mut().zero_grads();
+                    if let Some(aux) = self.aux.as_mut() {
+                        aux.store_mut().zero_grads();
+                    }
+                    if recoveries >= cfg.max_retries {
+                        self.apply_rollback();
+                        return Err(SkipperError::Divergence {
+                            iteration: self.iteration,
+                            detail,
+                        });
+                    }
+                    recoveries += 1;
+                    // Compound the backoff across retries: read the rate
+                    // before the rollback restores the captured one.
+                    let lr = self.optimizer.learning_rate() * cfg.lr_backoff;
+                    let aux_lr = self
+                        .aux_optimizer
+                        .as_ref()
+                        .map(|o| o.learning_rate() * cfg.lr_backoff);
+                    self.apply_rollback();
+                    self.optimizer.set_learning_rate(lr);
+                    if let (Some(opt), Some(lr)) = (self.aux_optimizer.as_mut(), aux_lr) {
+                        opt.set_learning_rate(lr);
+                    }
+                    continue;
+                }
             }
-            Method::TbpttLbp { window, .. } => {
-                let aux = self.aux.as_mut().expect("aux classifiers built in new()");
-                lbp_step(&mut self.net, aux, inputs, labels, iter_seed, window)
+            self.last_sam_sums = result.sam.sums().to_vec();
+            self.optimizer.step(self.net.params_mut());
+            self.net.params_mut().zero_grads();
+            if let (Some(aux), Some(opt)) = (self.aux.as_mut(), self.aux_optimizer.as_mut()) {
+                opt.step(aux.store_mut());
+                aux.store_mut().zero_grads();
             }
+            let wall = start.elapsed();
+            let stats = BatchStats {
+                loss: result.loss,
+                correct: result.correct,
+                batch_size,
+                timesteps: self.timesteps,
+                recomputed_steps: result.recomputed_steps,
+                skipped_steps: result.skipped_steps,
+                recoveries,
+                wall,
+                mem: snapshot(),
+                ops: take_op_log(),
+            };
+            if let Some(budget) = self.mem_budget {
+                if stats.peak_bytes() > budget {
+                    let layers = self.net.spiking_layer_count();
+                    if let Some(to) = relieve_pressure(&self.method, self.timesteps, layers) {
+                        self.governor_log.push(GovernorAction {
+                            iteration: self.iteration,
+                            peak_bytes: stats.peak_bytes(),
+                            budget_bytes: budget,
+                            from: self.method.clone(),
+                            to: to.clone(),
+                        });
+                        self.set_method(to);
+                    }
+                }
+            }
+            if self.sentinel.is_some() {
+                self.last_good = Some(self.capture_rollback());
+            }
+            return Ok(stats);
+        }
+    }
+
+    /// Returns a fault description if the just-computed iteration is
+    /// divergent: non-finite loss, or gradient L2-norm above `max_norm`.
+    fn detect_fault(&self, loss: f64, max_norm: f64) -> Option<String> {
+        if !loss.is_finite() {
+            return Some(format!("non-finite loss ({loss})"));
+        }
+        let norm = self.grad_norm();
+        if !norm.is_finite() || norm > max_norm {
+            return Some(format!(
+                "gradient norm {norm:.3e} exceeds limit {max_norm:.3e}"
+            ));
+        }
+        None
+    }
+
+    /// L2-norm over all model-parameter gradients.
+    fn grad_norm(&self) -> f64 {
+        let mut sum = 0.0f64;
+        for p in self.net.params().iter() {
+            for &g in p.grad().data() {
+                sum += f64::from(g) * f64::from(g);
+            }
+        }
+        sum.sqrt()
+    }
+
+    /// Capture the current weights + optimizer state as raw (untracked)
+    /// buffers for in-memory rollback.
+    fn capture_rollback(&self) -> RollbackState {
+        RollbackState {
+            params: self
+                .net
+                .params()
+                .iter()
+                .map(|p| p.value().data().to_vec())
+                .collect(),
+            optim: RawOptim::capture(self.optimizer.export_state()),
+            aux_params: self.aux.as_ref().map(|aux| {
+                aux.store()
+                    .iter()
+                    .map(|p| p.value().data().to_vec())
+                    .collect()
+            }),
+            aux_optim: self
+                .aux_optimizer
+                .as_ref()
+                .map(|o| RawOptim::capture(o.export_state())),
+            sam_sums: self.last_sam_sums.clone(),
+        }
+    }
+
+    /// Restore the last known good state, if one was captured. Without one
+    /// (fault on the very first iteration) this is a no-op — the weights
+    /// were never touched by the faulty attempt anyway.
+    fn apply_rollback(&mut self) {
+        let Some(good) = &self.last_good else { return };
+        for (p, data) in self.net.params_mut().iter_mut().zip(&good.params) {
+            p.value_mut().data_mut().copy_from_slice(data);
+        }
+        self.optimizer
+            .import_state(&good.optim.to_state())
+            .expect("rollback state was captured from this optimizer");
+        if let (Some(aux), Some(saved)) = (self.aux.as_mut(), good.aux_params.as_ref()) {
+            for (p, data) in aux.store_mut().iter_mut().zip(saved) {
+                p.value_mut().data_mut().copy_from_slice(data);
+            }
+        }
+        if let (Some(opt), Some(saved)) = (self.aux_optimizer.as_mut(), good.aux_optim.as_ref()) {
+            opt.import_state(&saved.to_state())
+                .expect("rollback state was captured from this optimizer");
+        }
+        self.last_sam_sums = good.sam_sums.clone();
+    }
+
+    /// Turn the divergence sentinels on (see [`SentinelConfig`]).
+    pub fn enable_sentinels(&mut self, cfg: SentinelConfig) {
+        self.sentinel = Some(cfg);
+    }
+
+    /// Turn the divergence sentinels off and drop the rollback buffer.
+    pub fn disable_sentinels(&mut self) {
+        self.sentinel = None;
+        self.last_good = None;
+    }
+
+    /// Fault injection for tests and resilience drills: the loss of the
+    /// given (1-based) iteration is forced to NaN after the step runs.
+    pub fn inject_loss_poison(&mut self, iteration: u64) {
+        self.poison_loss_at = Some(iteration);
+    }
+
+    /// Set (or clear) the tensor-memory budget the governor enforces.
+    /// When an iteration's peak tensor bytes exceed the budget, the method
+    /// is stepped toward the cheaper end of the paper's knobs (see
+    /// [`crate::governor`]) starting with the next iteration.
+    pub fn set_memory_budget(&mut self, bytes: Option<u64>) {
+        self.mem_budget = bytes;
+    }
+
+    /// Every adjustment the memory governor has made, oldest first.
+    pub fn governor_log(&self) -> &[GovernorAction] {
+        &self.governor_log
+    }
+
+    /// The main optimizer's current learning rate (reflects sentinel
+    /// backoffs).
+    pub fn learning_rate(&self) -> f32 {
+        self.optimizer.learning_rate()
+    }
+
+    /// Per-timestep SAM sums of the last completed iteration.
+    pub fn last_sam_sums(&self) -> &[f64] {
+        &self.last_sam_sums
+    }
+
+    /// Capture everything needed to continue this session bit-exactly:
+    /// weights, complete optimizer state, iteration counter (the seed of
+    /// every iteration's randomness), method knobs and SAM history.
+    pub fn capture_state(&self) -> SessionState {
+        let records = |store: &skipper_snn::ParamStore| -> Vec<ParamRecord> {
+            store
+                .iter()
+                .map(|p| ParamRecord {
+                    name: p.name().to_string(),
+                    value: p.value().clone(),
+                })
+                .collect()
         };
-        self.optimizer.step(self.net.params_mut());
-        self.net.params_mut().zero_grads();
-        if let (Some(aux), Some(opt)) = (self.aux.as_mut(), self.aux_optimizer.as_mut()) {
-            opt.step(aux.store_mut());
-            aux.store_mut().zero_grads();
-        }
-        let wall = start.elapsed();
-        BatchStats {
-            loss: result.loss,
-            correct: result.correct,
-            batch_size,
+        SessionState {
+            iteration: self.iteration,
             timesteps: self.timesteps,
-            recomputed_steps: result.recomputed_steps,
-            skipped_steps: result.skipped_steps,
-            wall,
-            mem: snapshot(),
-            ops: take_op_log(),
+            method: self.method.clone(),
+            sam_metric: self.sam_metric,
+            skip_policy: self.skip_policy,
+            sam_sums: self.last_sam_sums.clone(),
+            params: records(self.net.params()),
+            optim: self.optimizer.export_state(),
+            aux: match (self.aux.as_ref(), self.aux_optimizer.as_ref()) {
+                (Some(aux), Some(opt)) => Some((records(aux.store()), opt.export_state())),
+                _ => None,
+            },
         }
+    }
+
+    /// Atomically write a durable snapshot of this session to `path`
+    /// (see [`crate::resume`] for the container format).
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O and encoding errors.
+    pub fn save_snapshot(&self, path: impl AsRef<Path>) -> Result<(), SkipperError> {
+        crate::resume::write_snapshot(&self.capture_state(), path)
+    }
+
+    /// Restore `state` into this session. The session must have been built
+    /// with the same network topology, horizon `T` and optimizer kind;
+    /// continuing afterwards reproduces the uninterrupted run bit-exactly.
+    ///
+    /// # Errors
+    ///
+    /// Fails on a horizon mismatch, unknown parameters or shape
+    /// mismatches, or an optimizer-kind mismatch — without a partial
+    /// restore having been applied to the optimizer (parameter writes may
+    /// have happened; do not keep training a session whose restore
+    /// failed).
+    pub fn restore_state(&mut self, state: &SessionState) -> Result<(), SkipperError> {
+        if state.timesteps != self.timesteps {
+            return Err(SkipperError::Config(format!(
+                "snapshot horizon T={} but session was built with T={}",
+                state.timesteps, self.timesteps
+            )));
+        }
+        self.set_method(state.method.clone());
+        self.sam_metric = state.sam_metric;
+        self.skip_policy = state.skip_policy;
+        apply_records(self.net.params_mut(), state.params.clone())?;
+        self.optimizer.import_state(&state.optim)?;
+        match (&state.aux, self.aux.as_mut()) {
+            (Some((aux_params, aux_optim)), Some(aux)) => {
+                apply_records(aux.store_mut(), aux_params.clone())?;
+                self.aux_optimizer
+                    .as_mut()
+                    .expect("aux optimizer exists whenever aux classifiers do")
+                    .import_state(aux_optim)?;
+            }
+            (Some(_), None) => {
+                return Err(SkipperError::Config(
+                    "snapshot carries auxiliary classifier state but the session method has none"
+                        .into(),
+                ))
+            }
+            _ => {}
+        }
+        self.iteration = state.iteration;
+        self.last_sam_sums = state.sam_sums.clone();
+        self.last_good = None;
+        Ok(())
+    }
+
+    /// Resume from a snapshot file written by [`save_snapshot`].
+    ///
+    /// # Errors
+    ///
+    /// Fails descriptively on missing/corrupt/truncated files and on any
+    /// mismatch with this session (see [`restore_state`]).
+    ///
+    /// [`save_snapshot`]: TrainSession::save_snapshot
+    /// [`restore_state`]: TrainSession::restore_state
+    pub fn resume_from(&mut self, path: impl AsRef<Path>) -> Result<(), SkipperError> {
+        let state = crate::resume::read_snapshot(path)?;
+        self.restore_state(&state)
     }
 
     /// Evaluate one batch (plain forward, no dropout, no gradients).

@@ -20,6 +20,10 @@ pub struct BatchStats {
     pub recomputed_steps: usize,
     /// Timesteps skipped by the SAM/SST mechanism.
     pub skipped_steps: usize,
+    /// Divergences the sentinels recovered from on the way to this
+    /// (successful) iteration — zero unless sentinels are enabled and a
+    /// rollback-and-retry happened.
+    pub recoveries: u32,
     /// Wall-clock time of the iteration (real CPU execution).
     pub wall: Duration,
     /// Peak per-category tensor memory during the iteration.
@@ -124,6 +128,7 @@ mod tests {
             timesteps: 10,
             recomputed_steps: 10,
             skipped_steps: 0,
+            recoveries: 0,
             wall: Duration::from_millis(5),
             mem: snapshot(),
             ops: OpLog::new(),

@@ -1,0 +1,52 @@
+//! Typed errors for dataset file I/O.
+
+use std::io;
+
+/// Errors raised by the `skipper-data` crate's file paths.
+#[derive(Debug)]
+pub enum DataError {
+    /// An underlying I/O operation failed.
+    Io(io::Error),
+    /// The bytes are not a valid event container: bad magic, truncation
+    /// or an implausible/out-of-range field.
+    Format(String),
+}
+
+impl std::fmt::Display for DataError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            DataError::Io(e) => write!(f, "i/o error: {e}"),
+            DataError::Format(detail) => write!(f, "malformed event file: {detail}"),
+        }
+    }
+}
+
+impl std::error::Error for DataError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            DataError::Io(e) => Some(e),
+            DataError::Format(_) => None,
+        }
+    }
+}
+
+impl From<io::Error> for DataError {
+    fn from(e: io::Error) -> DataError {
+        if e.kind() == io::ErrorKind::UnexpectedEof {
+            DataError::Format("unexpected end of file (truncated?)".into())
+        } else {
+            DataError::Io(e)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn eof_becomes_format_error() {
+        let eof = io::Error::new(io::ErrorKind::UnexpectedEof, "eof");
+        assert!(matches!(DataError::from(eof), DataError::Format(_)));
+    }
+}

@@ -7,6 +7,7 @@
 //! of a u16 pair)`. Lets synthetic datasets be generated once and shared,
 //! and gives downstream users an ingestion path for their own recordings.
 
+use crate::error::DataError;
 use crate::events::{Event, EventDataset, EventStream};
 use std::io::{self, Read, Write};
 use std::path::Path;
@@ -39,7 +40,7 @@ fn read_u16(r: &mut impl Read) -> io::Result<u16> {
 /// # Errors
 ///
 /// Propagates I/O errors.
-pub fn write_events(dataset: &EventDataset, writer: &mut impl Write) -> io::Result<()> {
+pub fn write_events(dataset: &EventDataset, writer: &mut impl Write) -> Result<(), DataError> {
     writer.write_all(MAGIC)?;
     write_u32(writer, dataset.len() as u32)?;
     write_u32(writer, dataset.num_classes() as u32)?;
@@ -66,41 +67,29 @@ pub fn write_events(dataset: &EventDataset, writer: &mut impl Write) -> io::Resu
 /// # Errors
 ///
 /// Fails on I/O errors, a bad magic header, or malformed records.
-pub fn read_events(reader: &mut impl Read) -> io::Result<EventDataset> {
+pub fn read_events(reader: &mut impl Read) -> Result<EventDataset, DataError> {
     let mut magic = [0u8; 6];
     reader.read_exact(&mut magic)?;
     if &magic != MAGIC {
-        return Err(io::Error::new(
-            io::ErrorKind::InvalidData,
-            "not a skipper event file (bad magic)",
-        ));
+        return Err(DataError::Format("not a skipper event file (bad magic)".into()));
     }
     let count = read_u32(reader)? as usize;
     let num_classes = read_u32(reader)? as usize;
     let hw = read_u32(reader)? as usize;
     if num_classes == 0 || hw == 0 || hw > 4096 || count > 1 << 24 {
-        return Err(io::Error::new(
-            io::ErrorKind::InvalidData,
-            "implausible event-file header",
-        ));
+        return Err(DataError::Format("implausible event-file header".into()));
     }
     let mut streams = Vec::with_capacity(count);
     let mut labels = Vec::with_capacity(count);
     for _ in 0..count {
         let label = read_u32(reader)? as usize;
         if label >= num_classes {
-            return Err(io::Error::new(
-                io::ErrorKind::InvalidData,
-                format!("label {label} out of range for {num_classes} classes"),
-            ));
+            return Err(DataError::Format(format!("label {label} out of range for {num_classes} classes")));
         }
         let duration = read_u32(reader)?;
         let n_events = read_u32(reader)? as usize;
         if n_events > 1 << 26 {
-            return Err(io::Error::new(
-                io::ErrorKind::InvalidData,
-                "implausible event count",
-            ));
+            return Err(DataError::Format("implausible event count".into()));
         }
         let mut events = Vec::with_capacity(n_events);
         for _ in 0..n_events {
@@ -111,10 +100,7 @@ pub fn read_events(reader: &mut impl Read) -> io::Result<EventDataset> {
             let hi = read_u16(reader)? as u32;
             let t = lo | (hi << 16);
             if (x as usize) >= hw || (y as usize) >= hw || t >= duration.max(1) {
-                return Err(io::Error::new(
-                    io::ErrorKind::InvalidData,
-                    "event outside sensor/duration bounds",
-                ));
+                return Err(DataError::Format("event outside sensor/duration bounds".into()));
             }
             events.push(Event { x, y, polarity, t });
         }
@@ -130,13 +116,26 @@ pub fn read_events(reader: &mut impl Read) -> io::Result<EventDataset> {
 
 /// Save a dataset to the file at `path`.
 ///
+/// The write is atomic (temporary sibling file + rename), so an
+/// interrupted save never leaves a half-written dataset behind.
+///
 /// # Errors
 ///
 /// Propagates file-creation and write errors.
-pub fn save_events(dataset: &EventDataset, path: impl AsRef<Path>) -> io::Result<()> {
-    let mut f = io::BufWriter::new(std::fs::File::create(path)?);
+pub fn save_events(dataset: &EventDataset, path: impl AsRef<Path>) -> Result<(), DataError> {
+    let path = path.as_ref();
+    let mut tmp_name = path
+        .file_name()
+        .map(|n| n.to_string_lossy().into_owned())
+        .unwrap_or_else(|| "events".into());
+    tmp_name.push_str(".tmp");
+    let tmp = path.with_file_name(tmp_name);
+    let mut f = io::BufWriter::new(std::fs::File::create(&tmp)?);
     write_events(dataset, &mut f)?;
-    f.flush()
+    f.flush()?;
+    drop(f);
+    std::fs::rename(&tmp, path)?;
+    Ok(())
 }
 
 /// Load a dataset from the file at `path`.
@@ -144,7 +143,7 @@ pub fn save_events(dataset: &EventDataset, path: impl AsRef<Path>) -> io::Result
 /// # Errors
 ///
 /// See [`read_events`].
-pub fn load_events(path: impl AsRef<Path>) -> io::Result<EventDataset> {
+pub fn load_events(path: impl AsRef<Path>) -> Result<EventDataset, DataError> {
     read_events(&mut io::BufReader::new(std::fs::File::open(path)?))
 }
 
@@ -195,7 +194,7 @@ mod tests {
     #[test]
     fn bad_magic_rejected() {
         let err = read_events(&mut &b"NOPE!!rest"[..]).unwrap_err();
-        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+        assert!(matches!(err, DataError::Format(_)), "{err}");
     }
 
     #[test]

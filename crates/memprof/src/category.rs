@@ -11,6 +11,7 @@ use serde::{Deserialize, Serialize};
 /// *others*. We keep weight gradients separate from the optimizer moments so
 /// that both the paper's coarse grouping and a finer one can be reported.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+#[derive(Default)]
 pub enum Category {
     /// Time-dependent neural state: membrane potentials, spikes, synaptic
     /// currents and everything else saved for the backward pass.
@@ -26,6 +27,7 @@ pub enum Category {
     /// Short-lived kernel workspaces (im2col buffers and the like).
     Workspace,
     /// Anything not covered above.
+    #[default]
     Other,
 }
 
@@ -72,11 +74,6 @@ impl Category {
     }
 }
 
-impl Default for Category {
-    fn default() -> Self {
-        Category::Other
-    }
-}
 
 impl std::fmt::Display for Category {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {

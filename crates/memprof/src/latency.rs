@@ -203,8 +203,8 @@ mod tests {
             flops: 1.0,
             bytes: 1.0,
         };
-        let few: OpLog = std::iter::repeat(work).take(10).collect();
-        let many: OpLog = std::iter::repeat(work).take(1000).collect();
+        let few: OpLog = std::iter::repeat_n(work, 10).collect();
+        let many: OpLog = std::iter::repeat_n(work, 1000).collect();
         assert!(model.time_s(&many) > 50.0 * model.time_s(&few));
     }
 }

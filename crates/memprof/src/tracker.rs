@@ -252,6 +252,36 @@ pub fn reset_all() {
     TRACKER.with(|t| *t.borrow_mut() = TrackerState::default());
 }
 
+thread_local! {
+    static PRESSURE: RefCell<Vec<Registration>> = const { RefCell::new(Vec::new()) };
+}
+
+/// Book `bytes` of synthetic allocation pressure under `category` until
+/// [`release_pressure`] is called.
+///
+/// This is the deterministic fault-injection hook used to exercise
+/// memory-budget handling: the bytes count toward live and peak exactly
+/// like real tensor storage, so budget governors and tests can provoke
+/// "out of budget" conditions at a chosen iteration without allocating.
+pub fn inject_pressure(bytes: u64, category: Category) {
+    let registration = Registration::with_category(bytes, category);
+    PRESSURE.with(|p| p.borrow_mut().push(registration));
+}
+
+/// Release every synthetic registration created by [`inject_pressure`] on
+/// this thread, returning how many bytes were released.
+pub fn release_pressure() -> u64 {
+    PRESSURE.with(|p| {
+        let drained = std::mem::take(&mut *p.borrow_mut());
+        drained.iter().map(Registration::bytes).sum()
+    })
+}
+
+/// Bytes of synthetic pressure currently injected on this thread.
+pub fn injected_pressure() -> u64 {
+    PRESSURE.with(|p| p.borrow().iter().map(Registration::bytes).sum())
+}
+
 /// Start recording allocation events for the caching-allocator model.
 ///
 /// Recording stays on until [`take_events`] is called.
@@ -341,6 +371,19 @@ mod tests {
         assert!(events[0].is_alloc && !events[1].is_alloc);
         assert_eq!(events[0].id, events[1].id);
         assert_eq!(events[0].bytes, 64);
+    }
+
+    #[test]
+    fn injected_pressure_counts_until_released() {
+        reset_all();
+        inject_pressure(1 << 20, Category::Activations);
+        let s = snapshot();
+        assert_eq!(s.live(Category::Activations), 1 << 20);
+        assert_eq!(s.peak(Category::Activations), 1 << 20);
+        assert_eq!(injected_pressure(), 1 << 20);
+        assert_eq!(release_pressure(), 1 << 20);
+        assert_eq!(snapshot().live(Category::Activations), 0);
+        assert_eq!(injected_pressure(), 0);
     }
 
     #[test]

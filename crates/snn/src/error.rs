@@ -1,0 +1,77 @@
+//! Typed errors for the SNN substrate's fallible paths.
+//!
+//! Everything that touches the filesystem or parses an on-disk container
+//! returns [`SnnError`] instead of panicking, so training harnesses can
+//! distinguish an unreadable file from a corrupt one from a model that
+//! simply does not match the stored weights, and react accordingly
+//! (retry, refuse to resume, fall back to fresh initialisation, …).
+//! Panics remain only for programmer-error invariants documented on the
+//! individual functions (e.g. structurally impossible method
+//! configurations).
+
+use std::io;
+
+/// Errors raised by the `skipper-snn` crate.
+#[derive(Debug)]
+pub enum SnnError {
+    /// An underlying I/O operation failed (file missing, permission,
+    /// short read against the OS, …).
+    Io(io::Error),
+    /// The bytes are not a valid container of the expected format:
+    /// bad magic, unsupported version, truncation, CRC mismatch or an
+    /// implausible field. The string names the offending record.
+    Format(String),
+    /// The container parsed fine but does not match the model it is
+    /// being applied to (missing/unknown parameter, shape mismatch).
+    Mismatch(String),
+}
+
+impl std::fmt::Display for SnnError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SnnError::Io(e) => write!(f, "i/o error: {e}"),
+            SnnError::Format(detail) => write!(f, "malformed container: {detail}"),
+            SnnError::Mismatch(detail) => write!(f, "model mismatch: {detail}"),
+        }
+    }
+}
+
+impl std::error::Error for SnnError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            SnnError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<io::Error> for SnnError {
+    fn from(e: io::Error) -> SnnError {
+        // An unexpected EOF mid-record means the file was cut short, which
+        // callers should see as corruption, not as an OS-level failure.
+        if e.kind() == io::ErrorKind::UnexpectedEof {
+            SnnError::Format("unexpected end of file (truncated?)".into())
+        } else {
+            SnnError::Io(e)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn eof_becomes_format_error() {
+        let eof = io::Error::new(io::ErrorKind::UnexpectedEof, "eof");
+        assert!(matches!(SnnError::from(eof), SnnError::Format(_)));
+        let denied = io::Error::new(io::ErrorKind::PermissionDenied, "no");
+        assert!(matches!(SnnError::from(denied), SnnError::Io(_)));
+    }
+
+    #[test]
+    fn display_is_descriptive() {
+        let e = SnnError::Mismatch("shape mismatch for 'conv1.weight'".into());
+        assert!(e.to_string().contains("conv1.weight"));
+    }
+}

@@ -26,6 +26,7 @@
 //! * [`optim`] — SGD(+momentum) and Adam (the paper trains with Adam).
 
 pub mod ann;
+pub mod error;
 pub mod calibrate;
 pub mod encode;
 pub mod metrics;
@@ -44,7 +45,8 @@ pub use calibrate::{calibrate_thresholds, set_threshold};
 pub use encode::{Encoder, LatencyEncoder, PoissonEncoder, RepeatEncoder};
 pub use metrics::{top_k_accuracy, ConfusionMatrix};
 pub use schedule::{apply_schedule, clip_grad_norm, Constant, CosineDecay, LrSchedule, StepDecay};
-pub use serialize::{load_params, save_params};
+pub use error::SnnError;
+pub use serialize::{crc32, load_params, save_params, Crc32, ParamRecord};
 pub use layers::{Conv2dLayer, LinearLayer};
 pub use lif::{lif_step_infer, lif_step_taped, LifConfig};
 pub use loss::{softmax_cross_entropy, LossOutput};
@@ -53,5 +55,5 @@ pub use network::{
     LifUnit, Module, NetworkState, SpikingNetwork, StepCtx, StepOutput, TapedState,
     TapedStepOutput,
 };
-pub use optim::{Adam, Optimizer, Sgd};
+pub use optim::{Adam, Optimizer, OptimizerState, Sgd};
 pub use params::{ParamBinder, ParamId, ParamStore, Parameter};

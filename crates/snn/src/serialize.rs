@@ -7,11 +7,16 @@
 //! refactors that only reorder parameters, and mismatches fail loudly
 //! rather than silently corrupting a model.
 //!
+//! Format **v2** (the default for writing) appends a CRC32 to every
+//! record and a trailing record count, so torn writes, bit rot and
+//! truncation are detected with a description of *which* record is bad
+//! instead of garbage weights. v1 files (no checksums) still load.
+//!
 //! ```no_run
 //! use skipper_snn::{custom_net, ModelConfig};
 //! use skipper_snn::serialize::{load_params, save_params};
 //!
-//! # fn main() -> std::io::Result<()> {
+//! # fn main() -> Result<(), skipper_snn::SnnError> {
 //! let mut net = custom_net(&ModelConfig::default());
 //! save_params(net.params(), "model.skw")?;
 //! load_params(net.params_mut(), "model.skw")?;
@@ -19,14 +24,100 @@
 //! # }
 //! ```
 
+use crate::error::SnnError;
 use crate::params::ParamStore;
 use skipper_tensor::Tensor;
 use std::collections::HashMap;
 use std::io::{self, Read, Write};
 use std::path::Path;
 
-/// File magic: "SKPRW" + format version 1.
-const MAGIC: &[u8; 6] = b"SKPRW\x01";
+/// File magic of the legacy checksum-less format: "SKPRW" + version 1.
+const MAGIC_V1: &[u8; 6] = b"SKPRW\x01";
+
+/// File magic of the current format: "SKPRW" + version 2
+/// (per-record CRC32 + trailing record count).
+const MAGIC_V2: &[u8; 6] = b"SKPRW\x02";
+
+// ---------------------------------------------------------------------------
+// CRC32 (IEEE 802.3, reflected, polynomial 0xEDB88320)
+// ---------------------------------------------------------------------------
+
+/// Incremental CRC32 (the ubiquitous IEEE variant used by zip/png/gzip).
+#[derive(Debug, Clone)]
+pub struct Crc32 {
+    state: u32,
+}
+
+const CRC32_TABLE: [u32; 256] = {
+    let mut table = [0u32; 256];
+    let mut i = 0;
+    while i < 256 {
+        let mut c = i as u32;
+        let mut k = 0;
+        while k < 8 {
+            c = if c & 1 != 0 {
+                0xEDB8_8320 ^ (c >> 1)
+            } else {
+                c >> 1
+            };
+            k += 1;
+        }
+        table[i] = c;
+        i += 1;
+    }
+    table
+};
+
+impl Default for Crc32 {
+    fn default() -> Self {
+        Crc32::new()
+    }
+}
+
+impl Crc32 {
+    /// Fresh hasher.
+    pub fn new() -> Crc32 {
+        Crc32 { state: 0xFFFF_FFFF }
+    }
+
+    /// Absorb `bytes`.
+    pub fn update(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            let idx = ((self.state ^ u32::from(b)) & 0xFF) as usize;
+            self.state = CRC32_TABLE[idx] ^ (self.state >> 8);
+        }
+    }
+
+    /// The checksum of everything absorbed so far.
+    pub fn finish(&self) -> u32 {
+        self.state ^ 0xFFFF_FFFF
+    }
+}
+
+/// CRC32 of `bytes` in one call.
+pub fn crc32(bytes: &[u8]) -> u32 {
+    let mut h = Crc32::new();
+    h.update(bytes);
+    h.finish()
+}
+
+/// Reader adapter that hashes every byte it passes through.
+struct HashingReader<'a, R: Read> {
+    inner: &'a mut R,
+    crc: Crc32,
+}
+
+impl<R: Read> Read for HashingReader<'_, R> {
+    fn read(&mut self, buf: &mut [u8]) -> io::Result<usize> {
+        let n = self.inner.read(buf)?;
+        self.crc.update(&buf[..n]);
+        Ok(n)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Primitives
+// ---------------------------------------------------------------------------
 
 fn write_u32(w: &mut impl Write, v: u32) -> io::Result<()> {
     w.write_all(&v.to_le_bytes())
@@ -38,29 +129,69 @@ fn read_u32(r: &mut impl Read) -> io::Result<u32> {
     Ok(u32::from_le_bytes(buf))
 }
 
-/// Serialize every parameter of `params` to `writer`.
+// ---------------------------------------------------------------------------
+// Writing
+// ---------------------------------------------------------------------------
+
+/// Encode one record body (everything the per-record CRC covers).
+fn encode_record(name: &str, value: &Tensor) -> Vec<u8> {
+    let name = name.as_bytes();
+    let dims = value.shape().dims();
+    let mut body = Vec::with_capacity(8 + name.len() + 4 * dims.len() + value.byte_size() as usize);
+    body.extend_from_slice(&(name.len() as u32).to_le_bytes());
+    body.extend_from_slice(name);
+    body.extend_from_slice(&(dims.len() as u32).to_le_bytes());
+    for &d in dims {
+        body.extend_from_slice(&(d as u32).to_le_bytes());
+    }
+    for &v in value.data() {
+        body.extend_from_slice(&v.to_le_bytes());
+    }
+    body
+}
+
+/// Serialize named tensors to `writer` as a v2 container.
+///
+/// This is the general building block behind [`write_params`]; snapshot
+/// code uses it directly for optimizer moments and other named state.
 ///
 /// # Errors
 ///
 /// Propagates I/O errors from the writer.
-pub fn write_params(params: &ParamStore, writer: &mut impl Write) -> io::Result<()> {
-    writer.write_all(MAGIC)?;
-    write_u32(writer, params.len() as u32)?;
-    for p in params.iter() {
-        let name = p.name().as_bytes();
-        write_u32(writer, name.len() as u32)?;
-        writer.write_all(name)?;
-        let dims = p.value().shape().dims();
-        write_u32(writer, dims.len() as u32)?;
-        for &d in dims {
-            write_u32(writer, d as u32)?;
-        }
-        for &v in p.value().data() {
-            writer.write_all(&v.to_le_bytes())?;
-        }
+pub fn write_records<'a>(
+    records: impl IntoIterator<Item = (&'a str, &'a Tensor)>,
+    writer: &mut impl Write,
+) -> Result<(), SnnError> {
+    let records: Vec<_> = records.into_iter().collect();
+    writer.write_all(MAGIC_V2)?;
+    let count = records.len() as u32;
+    write_u32(writer, count)?;
+    for (name, value) in records {
+        let body = encode_record(name, value);
+        writer.write_all(&body)?;
+        write_u32(writer, crc32(&body))?;
     }
+    // Trailing record count: a cheap whole-file completeness check that
+    // catches files cut off cleanly between records.
+    write_u32(writer, count)?;
     Ok(())
 }
+
+/// Serialize every parameter of `params` to `writer` (format v2).
+///
+/// # Errors
+///
+/// Propagates I/O errors from the writer.
+pub fn write_params(params: &ParamStore, writer: &mut impl Write) -> Result<(), SnnError> {
+    write_records(
+        params.iter().map(|p| (p.name(), p.value())),
+        writer,
+    )
+}
+
+// ---------------------------------------------------------------------------
+// Reading
+// ---------------------------------------------------------------------------
 
 /// One deserialized parameter record.
 #[derive(Debug, Clone, PartialEq)]
@@ -71,62 +202,99 @@ pub struct ParamRecord {
     pub value: Tensor,
 }
 
-/// Deserialize all parameter records from `reader`.
+/// Read one record body (shared by v1 and v2; v2 wraps `r` in a
+/// [`HashingReader`] so the caller can verify the CRC afterwards).
+fn read_record(r: &mut impl Read, index: usize) -> Result<ParamRecord, SnnError> {
+    let name_len = read_u32(r)? as usize;
+    if name_len > 1 << 16 {
+        return Err(SnnError::Format(format!(
+            "record {index}: parameter name implausibly long ({name_len} bytes)"
+        )));
+    }
+    let mut name = vec![0u8; name_len];
+    r.read_exact(&mut name)?;
+    let name = String::from_utf8(name)
+        .map_err(|e| SnnError::Format(format!("record {index}: name is not UTF-8: {e}")))?;
+    let rank = read_u32(r)? as usize;
+    if rank > 8 {
+        return Err(SnnError::Format(format!(
+            "record {index} ('{name}'): tensor rank implausibly high ({rank})"
+        )));
+    }
+    let mut dims = Vec::with_capacity(rank);
+    for _ in 0..rank {
+        dims.push(read_u32(r)? as usize);
+    }
+    let numel: usize = dims.iter().product();
+    if numel > 1 << 28 {
+        return Err(SnnError::Format(format!(
+            "record {index} ('{name}'): tensor implausibly large ({numel} elements)"
+        )));
+    }
+    let mut bytes = vec![0u8; numel * 4];
+    r.read_exact(&mut bytes)?;
+    let data: Vec<f32> = bytes
+        .chunks_exact(4)
+        .map(|c| f32::from_le_bytes([c[0], c[1], c[2], c[3]]))
+        .collect();
+    Ok(ParamRecord {
+        name,
+        value: Tensor::from_vec(data, dims),
+    })
+}
+
+/// Deserialize all parameter records from `reader` (v1 or v2).
 ///
 /// # Errors
 ///
-/// Fails on I/O errors, a bad magic header, or a malformed record.
-pub fn read_params(reader: &mut impl Read) -> io::Result<Vec<ParamRecord>> {
+/// Fails on I/O errors, a bad magic header, truncation, a CRC mismatch
+/// (v2) or a malformed record, naming the offending record.
+pub fn read_params(reader: &mut impl Read) -> Result<Vec<ParamRecord>, SnnError> {
     let mut magic = [0u8; 6];
     reader.read_exact(&mut magic)?;
-    if &magic != MAGIC {
-        return Err(io::Error::new(
-            io::ErrorKind::InvalidData,
-            "not a skipper weight file (bad magic)",
-        ));
-    }
+    let v2 = match &magic {
+        m if m == MAGIC_V1 => false,
+        m if m == MAGIC_V2 => true,
+        _ => {
+            return Err(SnnError::Format(
+                "not a skipper weight file (bad magic)".into(),
+            ))
+        }
+    };
     let count = read_u32(reader)? as usize;
+    if count > 1 << 20 {
+        return Err(SnnError::Format(format!(
+            "implausible record count ({count})"
+        )));
+    }
     let mut records = Vec::with_capacity(count);
-    for _ in 0..count {
-        let name_len = read_u32(reader)? as usize;
-        if name_len > 1 << 16 {
-            return Err(io::Error::new(
-                io::ErrorKind::InvalidData,
-                "parameter name implausibly long",
-            ));
+    for index in 0..count {
+        if v2 {
+            let mut hashing = HashingReader {
+                inner: reader,
+                crc: Crc32::new(),
+            };
+            let record = read_record(&mut hashing, index)?;
+            let computed = hashing.crc.finish();
+            let stored = read_u32(reader)?;
+            if stored != computed {
+                return Err(SnnError::Format(format!(
+                    "record {index} ('{}'): CRC mismatch (stored {stored:#010x}, computed {computed:#010x})",
+                    record.name
+                )));
+            }
+            records.push(record);
+        } else {
+            records.push(read_record(reader, index)?);
         }
-        let mut name = vec![0u8; name_len];
-        reader.read_exact(&mut name)?;
-        let name = String::from_utf8(name)
-            .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e))?;
-        let rank = read_u32(reader)? as usize;
-        if rank > 8 {
-            return Err(io::Error::new(
-                io::ErrorKind::InvalidData,
-                "tensor rank implausibly high",
-            ));
+    }
+    if v2 {
+        let trailer = read_u32(reader)? as usize;
+        if trailer != count {
+            return Err(SnnError::Format(format!(
+                "trailing record count {trailer} disagrees with header count {count} (truncated?)"
+            )));
         }
-        let mut dims = Vec::with_capacity(rank);
-        for _ in 0..rank {
-            dims.push(read_u32(reader)? as usize);
-        }
-        let numel: usize = dims.iter().product();
-        if numel > 1 << 28 {
-            return Err(io::Error::new(
-                io::ErrorKind::InvalidData,
-                "tensor implausibly large",
-            ));
-        }
-        let mut bytes = vec![0u8; numel * 4];
-        reader.read_exact(&mut bytes)?;
-        let data: Vec<f32> = bytes
-            .chunks_exact(4)
-            .map(|c| f32::from_le_bytes([c[0], c[1], c[2], c[3]]))
-            .collect();
-        records.push(ParamRecord {
-            name,
-            value: Tensor::from_vec(data, dims),
-        });
     }
     Ok(records)
 }
@@ -137,49 +305,62 @@ pub fn read_params(reader: &mut impl Read) -> io::Result<Vec<ParamRecord>> {
 ///
 /// Fails if a parameter has no record, a record has no parameter, or a
 /// shape disagrees.
-pub fn apply_records(params: &mut ParamStore, records: Vec<ParamRecord>) -> io::Result<()> {
+pub fn apply_records(params: &mut ParamStore, records: Vec<ParamRecord>) -> Result<(), SnnError> {
     let mut by_name: HashMap<String, ParamRecord> =
         records.into_iter().map(|r| (r.name.clone(), r)).collect();
     for p in params.iter_mut() {
         let record = by_name.remove(p.name()).ok_or_else(|| {
-            io::Error::new(
-                io::ErrorKind::InvalidData,
-                format!("no saved weights for parameter '{}'", p.name()),
-            )
+            SnnError::Mismatch(format!("no saved weights for parameter '{}'", p.name()))
         })?;
         if record.value.shape() != p.value().shape() {
-            return Err(io::Error::new(
-                io::ErrorKind::InvalidData,
-                format!(
-                    "shape mismatch for '{}': saved {} vs model {}",
-                    p.name(),
-                    record.value.shape(),
-                    p.value().shape()
-                ),
-            ));
+            return Err(SnnError::Mismatch(format!(
+                "shape mismatch for '{}': saved {} vs model {}",
+                p.name(),
+                record.value.shape(),
+                p.value().shape()
+            )));
         }
         p.value_mut()
             .data_mut()
             .copy_from_slice(record.value.data());
     }
     if let Some(extra) = by_name.keys().next() {
-        return Err(io::Error::new(
-            io::ErrorKind::InvalidData,
-            format!("saved file contains unknown parameter '{extra}'"),
-        ));
+        return Err(SnnError::Mismatch(format!(
+            "saved file contains unknown parameter '{extra}'"
+        )));
     }
     Ok(())
 }
 
-/// Save `params` to the file at `path`.
+/// Save `params` to the file at `path` (format v2).
+///
+/// The write is atomic: data goes to a sibling temporary file which is
+/// renamed over `path` only after a successful flush, so an interrupted
+/// save can never leave a half-written model behind.
 ///
 /// # Errors
 ///
 /// Propagates file-creation and write errors.
-pub fn save_params(params: &ParamStore, path: impl AsRef<Path>) -> io::Result<()> {
-    let mut file = io::BufWriter::new(std::fs::File::create(path)?);
+pub fn save_params(params: &ParamStore, path: impl AsRef<Path>) -> Result<(), SnnError> {
+    let path = path.as_ref();
+    let tmp = tmp_sibling(path);
+    let mut file = io::BufWriter::new(std::fs::File::create(&tmp)?);
     write_params(params, &mut file)?;
-    file.flush()
+    file.flush()?;
+    drop(file);
+    std::fs::rename(&tmp, path)?;
+    Ok(())
+}
+
+/// A temporary sibling path for atomic writes (same directory, so the
+/// final rename never crosses filesystems).
+pub(crate) fn tmp_sibling(path: &Path) -> std::path::PathBuf {
+    let mut name = path
+        .file_name()
+        .map(|n| n.to_string_lossy().into_owned())
+        .unwrap_or_else(|| "file".into());
+    name.push_str(".tmp");
+    path.with_file_name(name)
 }
 
 /// Load the file at `path` into `params` (matching by name and shape).
@@ -187,7 +368,7 @@ pub fn save_params(params: &ParamStore, path: impl AsRef<Path>) -> io::Result<()
 /// # Errors
 ///
 /// See [`read_params`] and [`apply_records`].
-pub fn load_params(params: &mut ParamStore, path: impl AsRef<Path>) -> io::Result<()> {
+pub fn load_params(params: &mut ParamStore, path: impl AsRef<Path>) -> Result<(), SnnError> {
     let mut file = io::BufReader::new(std::fs::File::open(path)?);
     let records = read_params(&mut file)?;
     apply_records(params, records)
@@ -205,6 +386,22 @@ mod tests {
             width_mult: 0.25,
             ..ModelConfig::default()
         }
+    }
+
+    /// The legacy v1 writer, kept in tests to prove v1 files still load.
+    fn write_params_v1(params: &ParamStore, buf: &mut Vec<u8>) {
+        buf.extend_from_slice(MAGIC_V1);
+        buf.extend_from_slice(&(params.len() as u32).to_le_bytes());
+        for p in params.iter() {
+            buf.extend_from_slice(&encode_record(p.name(), p.value()));
+        }
+    }
+
+    #[test]
+    fn crc32_matches_known_vectors() {
+        // Standard check value for the IEEE CRC32.
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+        assert_eq!(crc32(b""), 0);
     }
 
     #[test]
@@ -228,6 +425,19 @@ mod tests {
     }
 
     #[test]
+    fn v1_files_still_load() {
+        let net = custom_net(&cfg());
+        let mut buf = Vec::new();
+        write_params_v1(net.params(), &mut buf);
+        let records = read_params(&mut buf.as_slice()).unwrap();
+        let mut twin = custom_net(&ModelConfig { seed: 999, ..cfg() });
+        apply_records(twin.params_mut(), records).unwrap();
+        for (p, q) in net.params().iter().zip(twin.params().iter()) {
+            assert_eq!(p.value().data(), q.value().data());
+        }
+    }
+
+    #[test]
     fn file_roundtrip() {
         let dir = std::env::temp_dir().join("skipper_serialize_test");
         std::fs::create_dir_all(&dir).unwrap();
@@ -245,7 +455,8 @@ mod tests {
     #[test]
     fn bad_magic_is_rejected() {
         let err = read_params(&mut &b"NOTSKW\x01rest"[..]).unwrap_err();
-        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+        assert!(matches!(err, SnnError::Format(_)), "{err}");
+        assert!(err.to_string().contains("bad magic"), "{err}");
     }
 
     #[test]
@@ -254,7 +465,30 @@ mod tests {
         let mut buf = Vec::new();
         write_params(net.params(), &mut buf).unwrap();
         buf.truncate(buf.len() / 2);
+        let err = read_params(&mut buf.as_slice()).unwrap_err();
+        assert!(matches!(err, SnnError::Format(_)), "{err}");
+    }
+
+    #[test]
+    fn missing_trailer_is_rejected() {
+        let net = custom_net(&cfg());
+        let mut buf = Vec::new();
+        write_params(net.params(), &mut buf).unwrap();
+        buf.truncate(buf.len() - 4); // drop the trailing count
         assert!(read_params(&mut buf.as_slice()).is_err());
+    }
+
+    #[test]
+    fn corrupt_byte_fails_crc_with_record_name() {
+        let net = custom_net(&cfg());
+        let mut buf = Vec::new();
+        write_params(net.params(), &mut buf).unwrap();
+        // Flip one bit in the middle of the first record's tensor data,
+        // far enough in to be past the header and the name.
+        let at = 60;
+        buf[at] ^= 0x40;
+        let err = read_params(&mut buf.as_slice()).unwrap_err();
+        assert!(err.to_string().contains("CRC mismatch"), "{err}");
     }
 
     #[test]
@@ -282,6 +516,18 @@ mod tests {
         let mut twin = custom_net(&cfg());
         let err = apply_records(twin.params_mut(), records).unwrap_err();
         assert!(err.to_string().contains("no saved weights"), "{err}");
+    }
+
+    #[test]
+    fn save_leaves_no_temp_file_behind(){
+        let dir = std::env::temp_dir().join("skipper_serialize_atomic");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("atomic.skw");
+        let net = custom_net(&cfg());
+        save_params(net.params(), &path).unwrap();
+        assert!(path.exists());
+        assert!(!tmp_sibling(&path).exists());
+        std::fs::remove_file(&path).unwrap();
     }
 
     #[test]

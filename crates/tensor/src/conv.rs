@@ -294,9 +294,9 @@ pub fn conv2d_backward_weight(
         let go = grad_output.data();
         let l = d.l();
         for bi in 0..d.b {
-            for ci in 0..d.cout {
+            for (ci, g) in gb.iter_mut().enumerate() {
                 let base = (bi * d.cout + ci) * l;
-                gb[ci] += go[base..base + l].iter().sum::<f32>();
+                *g += go[base..base + l].iter().sum::<f32>();
             }
         }
     }
@@ -431,9 +431,9 @@ mod tests {
         let mut expect = vec![0.0f32; 2];
         let l = out.numel() / (2 * 2);
         for b in 0..2 {
-            for c in 0..2 {
+            for (c, e) in expect.iter_mut().enumerate() {
                 let base = (b * 2 + c) * l;
-                expect[c] += go.data()[base..base + l].iter().sum::<f32>();
+                *e += go.data()[base..base + l].iter().sum::<f32>();
             }
         }
         assert!(gb.allclose(&Tensor::from_vec(expect, [2]), 1e-4));

@@ -116,9 +116,9 @@ impl Tensor {
     }
 
     /// Tensor whose flat element `i` is `f(i)`.
-    pub fn from_fn(shape: impl Into<Shape>, mut f: impl FnMut(usize) -> f32) -> Tensor {
+    pub fn from_fn(shape: impl Into<Shape>, f: impl FnMut(usize) -> f32) -> Tensor {
         let shape = shape.into();
-        let data = (0..shape.numel()).map(|i| f(i)).collect();
+        let data = (0..shape.numel()).map(f).collect();
         Tensor::from_vec(data, shape)
     }
 

@@ -94,7 +94,7 @@ proptest! {
         p2 in 1f32..99.0,
     ) {
         let v1 = percentile(&values, p1);
-        prop_assert!(values.iter().any(|&x| x == v1), "percentile must be an element");
+        prop_assert!(values.contains(&v1), "percentile must be an element");
         let (lo, hi) = if p1 <= p2 { (p1, p2) } else { (p2, p1) };
         prop_assert!(percentile(&values, lo) <= percentile(&values, hi));
         values.sort_by(|a, b| a.partial_cmp(b).unwrap());

@@ -1,0 +1,40 @@
+//! Offline stand-in for `crossbeam`, providing the `scope` API the tensor
+//! kernels use, implemented on `std::thread::scope` (std has had scoped
+//! threads since 1.63, so crossbeam's version is no longer needed here).
+
+use std::thread;
+
+/// A scope handle mirroring `crossbeam::thread::Scope`.
+pub struct Scope<'scope, 'env: 'scope> {
+    inner: &'scope thread::Scope<'scope, 'env>,
+}
+
+impl<'scope, 'env> Scope<'scope, 'env> {
+    /// Spawn a scoped thread. The closure receives a scope reference
+    /// (unused by this workspace, present for API compatibility).
+    pub fn spawn<F, T>(&self, f: F) -> thread::ScopedJoinHandle<'scope, T>
+    where
+        F: FnOnce(&Scope<'scope, 'env>) -> T + Send + 'scope,
+        T: Send + 'scope,
+    {
+        let inner = self.inner;
+        inner.spawn(move || {
+            f(&Scope { inner })
+        })
+    }
+}
+
+/// Run `f` with a scope in which threads borrowing from the environment can
+/// be spawned; all are joined before `scope` returns.
+///
+/// # Errors
+///
+/// Mirrors crossbeam's signature by returning `Result`; with std scoped
+/// threads a panicking child propagates at join, so this only ever returns
+/// `Ok` — callers' `.expect(...)` is a no-op kept for API compatibility.
+pub fn scope<'env, F, R>(f: F) -> Result<R, Box<dyn std::any::Any + Send + 'static>>
+where
+    F: for<'scope> FnOnce(&Scope<'scope, 'env>) -> R,
+{
+    Ok(thread::scope(|s| f(&Scope { inner: s })))
+}

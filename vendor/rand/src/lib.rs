@@ -1,0 +1,35 @@
+//! Offline stand-in for `rand`.
+//!
+//! The workspace's tensor crate ships its own deterministic
+//! `XorShiftRng`, so nothing here is used on hot paths; this crate only
+//! satisfies manifest references with a tiny deterministic generator.
+
+/// A deterministic xorshift generator with a `rand`-flavoured surface.
+#[derive(Debug, Clone)]
+pub struct SmallRng {
+    state: u64,
+}
+
+impl SmallRng {
+    /// Generator seeded with `seed` (zero is remapped).
+    pub fn seed_from_u64(seed: u64) -> SmallRng {
+        SmallRng {
+            state: seed ^ 0x9E37_79B9_7F4A_7C15,
+        }
+    }
+
+    /// Next raw 64-bit value.
+    pub fn next_u64(&mut self) -> u64 {
+        let mut x = self.state;
+        x ^= x << 13;
+        x ^= x >> 7;
+        x ^= x << 17;
+        self.state = x;
+        x
+    }
+
+    /// Uniform float in `[0, 1)`.
+    pub fn gen_unit(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 / (1u64 << 53) as f64
+    }
+}

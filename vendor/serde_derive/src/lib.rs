@@ -1,0 +1,349 @@
+//! `#[derive(Serialize)]` / `#[derive(Deserialize)]` for the vendored
+//! serde stand-in.
+//!
+//! Implemented without `syn`/`quote` (unavailable offline): a small
+//! hand-rolled parser extracts the item's shape — struct with named or
+//! tuple fields, or enum whose variants are unit / tuple / struct-like —
+//! and the impls are emitted as source text. Generic types and `#[serde]`
+//! attributes are not supported (the workspace uses neither); encountering
+//! them is a compile-time panic with a clear message.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+#[derive(Debug)]
+enum Shape {
+    NamedStruct(Vec<String>),
+    TupleStruct(usize),
+    UnitStruct,
+    Enum(Vec<Variant>),
+}
+
+#[derive(Debug)]
+struct Variant {
+    name: String,
+    shape: VariantShape,
+}
+
+#[derive(Debug)]
+enum VariantShape {
+    Unit,
+    Tuple(usize),
+    Named(Vec<String>),
+}
+
+struct Item {
+    name: String,
+    shape: Shape,
+}
+
+/// Split `tokens` on commas at angle-bracket depth zero. Delimited groups
+/// are single tokens, so commas inside `(...)`, `[...]`, `{...}` never
+/// surface; only `<...>` needs explicit depth counting.
+fn split_top_level_commas(tokens: &[TokenTree]) -> Vec<Vec<TokenTree>> {
+    let mut out = Vec::new();
+    let mut current = Vec::new();
+    let mut angle: i32 = 0;
+    for tt in tokens {
+        if let TokenTree::Punct(p) = tt {
+            match p.as_char() {
+                '<' => angle += 1,
+                '>' => angle -= 1,
+                ',' if angle == 0 => {
+                    out.push(std::mem::take(&mut current));
+                    continue;
+                }
+                _ => {}
+            }
+        }
+        current.push(tt.clone());
+    }
+    if !current.is_empty() {
+        out.push(current);
+    }
+    out
+}
+
+/// Skip leading outer attributes (`#[...]`, including doc comments) and
+/// visibility (`pub`, `pub(...)`), returning the rest.
+fn skip_attrs_and_vis(tokens: &[TokenTree]) -> &[TokenTree] {
+    let mut i = 0;
+    while i < tokens.len() {
+        match &tokens[i] {
+            TokenTree::Punct(p) if p.as_char() == '#' => {
+                // '#' then bracket group
+                i += 2;
+            }
+            TokenTree::Ident(id) if id.to_string() == "pub" => {
+                i += 1;
+                if let Some(TokenTree::Group(g)) = tokens.get(i) {
+                    if g.delimiter() == Delimiter::Parenthesis {
+                        i += 1;
+                    }
+                }
+            }
+            _ => break,
+        }
+    }
+    &tokens[i..]
+}
+
+/// Field names of a brace-delimited named-field body.
+fn parse_named_fields(body: &[TokenTree]) -> Vec<String> {
+    split_top_level_commas(body)
+        .into_iter()
+        .filter_map(|field| {
+            let field = skip_attrs_and_vis(&field);
+            match field.first() {
+                Some(TokenTree::Ident(id)) => Some(id.to_string()),
+                _ => None,
+            }
+        })
+        .collect()
+}
+
+fn parse_item(input: TokenStream) -> Item {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let tokens = skip_attrs_and_vis(&tokens);
+    let mut it = tokens.iter();
+    let kind = loop {
+        match it.next() {
+            Some(TokenTree::Ident(id)) => {
+                let s = id.to_string();
+                if s == "struct" || s == "enum" {
+                    break s;
+                }
+            }
+            Some(_) => continue,
+            None => panic!("serde derive: expected `struct` or `enum`"),
+        }
+    };
+    let name = match it.next() {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => panic!("serde derive: expected item name, got {other:?}"),
+    };
+    let rest: Vec<TokenTree> = it.cloned().collect();
+    if matches!(rest.first(), Some(TokenTree::Punct(p)) if p.as_char() == '<') {
+        panic!("serde derive (vendored): generic types are not supported ({name})");
+    }
+    let shape = if kind == "struct" {
+        match rest.first() {
+            None => Shape::UnitStruct,
+            Some(TokenTree::Punct(p)) if p.as_char() == ';' => Shape::UnitStruct,
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                let body: Vec<TokenTree> = g.stream().into_iter().collect();
+                Shape::NamedStruct(parse_named_fields(&body))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                let body: Vec<TokenTree> = g.stream().into_iter().collect();
+                Shape::TupleStruct(split_top_level_commas(&body).len())
+            }
+            other => panic!("serde derive: unexpected struct body {other:?}"),
+        }
+    } else {
+        let body = match rest.first() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                g.stream().into_iter().collect::<Vec<_>>()
+            }
+            other => panic!("serde derive: expected enum body, got {other:?}"),
+        };
+        let variants = split_top_level_commas(&body)
+            .into_iter()
+            .filter(|chunk| !chunk.is_empty())
+            .map(|chunk| {
+                let chunk = skip_attrs_and_vis(&chunk);
+                let name = match chunk.first() {
+                    Some(TokenTree::Ident(id)) => id.to_string(),
+                    other => panic!("serde derive: expected variant name, got {other:?}"),
+                };
+                let shape = match chunk.get(1) {
+                    Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                        let body: Vec<TokenTree> = g.stream().into_iter().collect();
+                        VariantShape::Named(parse_named_fields(&body))
+                    }
+                    Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                        let body: Vec<TokenTree> = g.stream().into_iter().collect();
+                        VariantShape::Tuple(split_top_level_commas(&body).len())
+                    }
+                    _ => VariantShape::Unit,
+                };
+                Variant { name, shape }
+            })
+            .collect();
+        Shape::Enum(variants)
+    };
+    Item {
+        name: name.clone(),
+        shape,
+    }
+}
+
+fn named_to_object(fields: &[String], access: &str) -> String {
+    let mut src = String::from("{ let mut __m = serde::Map::new();\n");
+    for f in fields {
+        src.push_str(&format!(
+            "__m.insert(String::from(\"{f}\"), serde::Serialize::serialize_value({access}{f}));\n",
+        ));
+    }
+    src.push_str("serde::Value::Object(__m) }");
+    src
+}
+
+fn named_from_object(name_path: &str, fields: &[String], map: &str) -> String {
+    let mut src = format!("{name_path} {{\n");
+    for f in fields {
+        src.push_str(&format!(
+            "{f}: serde::Deserialize::deserialize_value({map}.get(\"{f}\").unwrap_or(&serde::Value::Null))?,\n",
+        ));
+    }
+    src.push('}');
+    src
+}
+
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    let name = &item.name;
+    let body = match &item.shape {
+        Shape::UnitStruct => "serde::Value::Null".to_string(),
+        Shape::NamedStruct(fields) => named_to_object(fields, "&self."),
+        Shape::TupleStruct(1) => {
+            "serde::Serialize::serialize_value(&self.0)".to_string()
+        }
+        Shape::TupleStruct(n) => {
+            let items: Vec<String> = (0..*n)
+                .map(|i| format!("serde::Serialize::serialize_value(&self.{i})"))
+                .collect();
+            format!("serde::Value::Array(vec![{}])", items.join(", "))
+        }
+        Shape::Enum(variants) => {
+            let mut arms = String::new();
+            for v in variants {
+                let vname = &v.name;
+                match &v.shape {
+                    VariantShape::Unit => arms.push_str(&format!(
+                        "{name}::{vname} => serde::Value::String(String::from(\"{vname}\")),\n",
+                    )),
+                    VariantShape::Tuple(n) => {
+                        let binds: Vec<String> = (0..*n).map(|i| format!("__f{i}")).collect();
+                        let inner = if *n == 1 {
+                            "serde::Serialize::serialize_value(__f0)".to_string()
+                        } else {
+                            let items: Vec<String> = binds
+                                .iter()
+                                .map(|b| format!("serde::Serialize::serialize_value({b})"))
+                                .collect();
+                            format!("serde::Value::Array(vec![{}])", items.join(", "))
+                        };
+                        arms.push_str(&format!(
+                            "{name}::{vname}({binds}) => {{ let mut __m = serde::Map::new(); __m.insert(String::from(\"{vname}\"), {inner}); serde::Value::Object(__m) }}\n",
+                            binds = binds.join(", "),
+                        ));
+                    }
+                    VariantShape::Named(fields) => {
+                        let inner = named_to_object(fields, "");
+                        arms.push_str(&format!(
+                            "{name}::{vname} {{ {binds} }} => {{ let __inner = {inner}; let mut __m = serde::Map::new(); __m.insert(String::from(\"{vname}\"), __inner); serde::Value::Object(__m) }}\n",
+                            binds = fields.join(", "),
+                        ));
+                    }
+                }
+            }
+            format!("match self {{\n{arms}\n}}")
+        }
+    };
+    format!(
+        "impl serde::Serialize for {name} {{\n\
+            fn serialize_value(&self) -> serde::Value {{\n{body}\n}}\n\
+        }}"
+    )
+    .parse()
+    .expect("serde derive: generated Serialize impl must parse")
+}
+
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    let name = &item.name;
+    let body = match &item.shape {
+        Shape::UnitStruct => format!("Ok({name})"),
+        Shape::NamedStruct(fields) => {
+            let build = named_from_object(name, fields, "__m");
+            format!(
+                "let __m = __v.as_object().ok_or_else(|| serde::Error::custom(\"expected object for {name}\"))?;\nOk({build})"
+            )
+        }
+        Shape::TupleStruct(1) => format!(
+            "Ok({name}(serde::Deserialize::deserialize_value(__v)?))"
+        ),
+        Shape::TupleStruct(n) => {
+            let items: Vec<String> = (0..*n)
+                .map(|i| format!(
+                    "serde::Deserialize::deserialize_value(__a.get({i}).unwrap_or(&serde::Value::Null))?"
+                ))
+                .collect();
+            format!(
+                "let __a = __v.as_array().ok_or_else(|| serde::Error::custom(\"expected array for {name}\"))?;\nOk({name}({}))",
+                items.join(", ")
+            )
+        }
+        Shape::Enum(variants) => {
+            let mut unit_arms = String::new();
+            let mut tagged_arms = String::new();
+            for v in variants {
+                let vname = &v.name;
+                match &v.shape {
+                    VariantShape::Unit => unit_arms.push_str(&format!(
+                        "\"{vname}\" => return Ok({name}::{vname}),\n"
+                    )),
+                    VariantShape::Tuple(n) => {
+                        let build = if *n == 1 {
+                            format!(
+                                "{name}::{vname}(serde::Deserialize::deserialize_value(__inner)?)"
+                            )
+                        } else {
+                            let items: Vec<String> = (0..*n)
+                                .map(|i| format!(
+                                    "serde::Deserialize::deserialize_value(__a.get({i}).unwrap_or(&serde::Value::Null))?"
+                                ))
+                                .collect();
+                            format!(
+                                "{{ let __a = __inner.as_array().ok_or_else(|| serde::Error::custom(\"expected array for {name}::{vname}\"))?; {name}::{vname}({}) }}",
+                                items.join(", ")
+                            )
+                        };
+                        tagged_arms.push_str(&format!(
+                            "if let Some(__inner) = __m.get(\"{vname}\") {{ return Ok({build}); }}\n"
+                        ));
+                    }
+                    VariantShape::Named(fields) => {
+                        let build =
+                            named_from_object(&format!("{name}::{vname}"), fields, "__fm");
+                        tagged_arms.push_str(&format!(
+                            "if let Some(__inner) = __m.get(\"{vname}\") {{\n\
+                                let __fm = __inner.as_object().ok_or_else(|| serde::Error::custom(\"expected object for {name}::{vname}\"))?;\n\
+                                return Ok({build});\n\
+                            }}\n"
+                        ));
+                    }
+                }
+            }
+            format!(
+                "if let Some(__s) = __v.as_str() {{\n\
+                    match __s {{\n{unit_arms}\
+                        __other => return Err(serde::Error::custom(format!(\"unknown {name} variant '{{__other}}'\"))),\n\
+                    }}\n\
+                }}\n\
+                let __m = __v.as_object().ok_or_else(|| serde::Error::custom(\"expected string or object for {name}\"))?;\n\
+                {tagged_arms}\
+                Err(serde::Error::custom(\"unknown {name} variant\"))"
+            )
+        }
+    };
+    format!(
+        "impl serde::Deserialize for {name} {{\n\
+            fn deserialize_value(__v: &serde::Value) -> Result<Self, serde::Error> {{\n{body}\n}}\n\
+        }}"
+    )
+    .parse()
+    .expect("serde derive: generated Deserialize impl must parse")
+}

@@ -1,0 +1,528 @@
+//! Offline stand-in for `serde_json`, backed by the vendored `serde`
+//! value tree: a JSON writer (compact and pretty), a recursive-descent
+//! JSON parser, `to_value`/`from_value`, and a `json!` macro.
+
+pub use serde::value::{Map, Number, Value};
+
+/// Error for parse and conversion failures.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Error {
+    msg: String,
+}
+
+impl Error {
+    fn new(msg: impl Into<String>) -> Error {
+        Error { msg: msg.into() }
+    }
+}
+
+impl std::fmt::Display for Error {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.msg)
+    }
+}
+
+impl std::error::Error for Error {}
+
+impl From<serde::Error> for Error {
+    fn from(e: serde::Error) -> Error {
+        Error::new(e.to_string())
+    }
+}
+
+/// Convert any serializable value into a [`Value`] tree.
+///
+/// # Errors
+///
+/// Infallible in this implementation; the `Result` mirrors the real API.
+pub fn to_value<T: serde::Serialize>(value: T) -> Result<Value, Error> {
+    Ok(value.serialize_value())
+}
+
+/// Rebuild a `T` from a [`Value`] tree.
+///
+/// # Errors
+///
+/// Fails when the tree does not match `T`'s shape.
+pub fn from_value<T: serde::Deserialize>(value: Value) -> Result<T, Error> {
+    Ok(T::deserialize_value(&value)?)
+}
+
+/// Serialize `value` to a compact JSON string.
+///
+/// # Errors
+///
+/// Infallible in this implementation; the `Result` mirrors the real API.
+pub fn to_string<T: serde::Serialize>(value: &T) -> Result<String, Error> {
+    let mut out = String::new();
+    write_value(&value.serialize_value(), &mut out, None, 0);
+    Ok(out)
+}
+
+/// Serialize `value` to an indented JSON string.
+///
+/// # Errors
+///
+/// Infallible in this implementation; the `Result` mirrors the real API.
+pub fn to_string_pretty<T: serde::Serialize>(value: &T) -> Result<String, Error> {
+    let mut out = String::new();
+    write_value(&value.serialize_value(), &mut out, Some(2), 0);
+    Ok(out)
+}
+
+/// Parse a JSON string into a `T`.
+///
+/// # Errors
+///
+/// Fails on malformed JSON or a shape mismatch.
+pub fn from_str<T: serde::Deserialize>(s: &str) -> Result<T, Error> {
+    let mut p = Parser {
+        bytes: s.as_bytes(),
+        pos: 0,
+    };
+    p.skip_ws();
+    let v = p.parse_value()?;
+    p.skip_ws();
+    if p.pos != p.bytes.len() {
+        return Err(Error::new("trailing characters after JSON value"));
+    }
+    Ok(T::deserialize_value(&v)?)
+}
+
+fn write_escaped(s: &str, out: &mut String) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+fn write_value(v: &Value, out: &mut String, indent: Option<usize>, depth: usize) {
+    let (nl, pad, pad_in) = match indent {
+        Some(w) => (
+            "\n",
+            " ".repeat(w * depth),
+            " ".repeat(w * (depth + 1)),
+        ),
+        None => ("", String::new(), String::new()),
+    };
+    match v {
+        Value::Null => out.push_str("null"),
+        Value::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+        Value::Number(n) => out.push_str(&n.to_string()),
+        Value::String(s) => write_escaped(s, out),
+        Value::Array(items) => {
+            if items.is_empty() {
+                out.push_str("[]");
+                return;
+            }
+            out.push('[');
+            for (i, item) in items.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                out.push_str(nl);
+                out.push_str(&pad_in);
+                write_value(item, out, indent, depth + 1);
+            }
+            out.push_str(nl);
+            out.push_str(&pad);
+            out.push(']');
+        }
+        Value::Object(m) => {
+            if m.is_empty() {
+                out.push_str("{}");
+                return;
+            }
+            out.push('{');
+            for (i, (k, val)) in m.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                out.push_str(nl);
+                out.push_str(&pad_in);
+                write_escaped(k, out);
+                out.push(':');
+                if indent.is_some() {
+                    out.push(' ');
+                }
+                write_value(val, out, indent, depth + 1);
+            }
+            out.push_str(nl);
+            out.push_str(&pad);
+            out.push('}');
+        }
+    }
+}
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn skip_ws(&mut self) {
+        while let Some(b) = self.bytes.get(self.pos) {
+            if b.is_ascii_whitespace() {
+                self.pos += 1;
+            } else {
+                break;
+            }
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn expect(&mut self, b: u8) -> Result<(), Error> {
+        if self.peek() == Some(b) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(Error::new(format!(
+                "expected '{}' at byte {}",
+                b as char, self.pos
+            )))
+        }
+    }
+
+    fn eat_keyword(&mut self, kw: &str) -> bool {
+        if self.bytes[self.pos..].starts_with(kw.as_bytes()) {
+            self.pos += kw.len();
+            true
+        } else {
+            false
+        }
+    }
+
+    fn parse_value(&mut self) -> Result<Value, Error> {
+        self.skip_ws();
+        match self.peek() {
+            Some(b'n') if self.eat_keyword("null") => Ok(Value::Null),
+            Some(b't') if self.eat_keyword("true") => Ok(Value::Bool(true)),
+            Some(b'f') if self.eat_keyword("false") => Ok(Value::Bool(false)),
+            Some(b'"') => Ok(Value::String(self.parse_string()?)),
+            Some(b'[') => {
+                self.pos += 1;
+                let mut items = Vec::new();
+                self.skip_ws();
+                if self.peek() == Some(b']') {
+                    self.pos += 1;
+                    return Ok(Value::Array(items));
+                }
+                loop {
+                    items.push(self.parse_value()?);
+                    self.skip_ws();
+                    match self.peek() {
+                        Some(b',') => self.pos += 1,
+                        Some(b']') => {
+                            self.pos += 1;
+                            return Ok(Value::Array(items));
+                        }
+                        _ => return Err(Error::new("expected ',' or ']' in array")),
+                    }
+                }
+            }
+            Some(b'{') => {
+                self.pos += 1;
+                let mut map = Map::new();
+                self.skip_ws();
+                if self.peek() == Some(b'}') {
+                    self.pos += 1;
+                    return Ok(Value::Object(map));
+                }
+                loop {
+                    self.skip_ws();
+                    let key = self.parse_string()?;
+                    self.skip_ws();
+                    self.expect(b':')?;
+                    let value = self.parse_value()?;
+                    map.insert(key, value);
+                    self.skip_ws();
+                    match self.peek() {
+                        Some(b',') => self.pos += 1,
+                        Some(b'}') => {
+                            self.pos += 1;
+                            return Ok(Value::Object(map));
+                        }
+                        _ => return Err(Error::new("expected ',' or '}' in object")),
+                    }
+                }
+            }
+            Some(b) if b == b'-' || b.is_ascii_digit() => self.parse_number(),
+            other => Err(Error::new(format!(
+                "unexpected character {other:?} at byte {}",
+                self.pos
+            ))),
+        }
+    }
+
+    fn parse_string(&mut self) -> Result<String, Error> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            match self.bytes.get(self.pos) {
+                None => return Err(Error::new("unterminated string")),
+                Some(b'"') => {
+                    self.pos += 1;
+                    return Ok(out);
+                }
+                Some(b'\\') => {
+                    self.pos += 1;
+                    match self.bytes.get(self.pos) {
+                        Some(b'"') => out.push('"'),
+                        Some(b'\\') => out.push('\\'),
+                        Some(b'/') => out.push('/'),
+                        Some(b'n') => out.push('\n'),
+                        Some(b'r') => out.push('\r'),
+                        Some(b't') => out.push('\t'),
+                        Some(b'b') => out.push('\u{8}'),
+                        Some(b'f') => out.push('\u{c}'),
+                        Some(b'u') => {
+                            let hex = self
+                                .bytes
+                                .get(self.pos + 1..self.pos + 5)
+                                .ok_or_else(|| Error::new("truncated \\u escape"))?;
+                            let hex = std::str::from_utf8(hex)
+                                .map_err(|_| Error::new("bad \\u escape"))?;
+                            let code = u32::from_str_radix(hex, 16)
+                                .map_err(|_| Error::new("bad \\u escape"))?;
+                            out.push(
+                                char::from_u32(code)
+                                    .ok_or_else(|| Error::new("bad \\u code point"))?,
+                            );
+                            self.pos += 4;
+                        }
+                        _ => return Err(Error::new("bad escape sequence")),
+                    }
+                    self.pos += 1;
+                }
+                Some(_) => {
+                    // Consume one UTF-8 character (input is a &str, so the
+                    // bytes are valid UTF-8).
+                    let rest = std::str::from_utf8(&self.bytes[self.pos..])
+                        .map_err(|_| Error::new("invalid UTF-8"))?;
+                    let c = rest.chars().next().expect("non-empty checked above");
+                    out.push(c);
+                    self.pos += c.len_utf8();
+                }
+            }
+        }
+    }
+
+    fn parse_number(&mut self) -> Result<Value, Error> {
+        let start = self.pos;
+        if self.peek() == Some(b'-') {
+            self.pos += 1;
+        }
+        let mut is_float = false;
+        while let Some(b) = self.peek() {
+            match b {
+                b'0'..=b'9' => self.pos += 1,
+                b'.' | b'e' | b'E' | b'+' | b'-' => {
+                    is_float = true;
+                    self.pos += 1;
+                }
+                _ => break,
+            }
+        }
+        let text = std::str::from_utf8(&self.bytes[start..self.pos])
+            .map_err(|_| Error::new("invalid number"))?;
+        let n = if is_float {
+            Number::from_f64(text.parse::<f64>().map_err(|e| Error::new(e.to_string()))?)
+        } else if text.starts_with('-') {
+            Number::from_i64(text.parse::<i64>().map_err(|e| Error::new(e.to_string()))?)
+        } else {
+            Number::from_u64(text.parse::<u64>().map_err(|e| Error::new(e.to_string()))?)
+        };
+        Ok(Value::Number(n))
+    }
+}
+
+/// Build a [`Value`] from JSON-looking syntax, with expression
+/// interpolation for any `Serialize` value (a simplified TT-muncher in the
+/// style of the real `serde_json::json!`).
+#[macro_export]
+macro_rules! json {
+    (null) => { $crate::Value::Null };
+    ([ $($tt:tt)* ]) => { $crate::json_array!([] $($tt)*) };
+    ({ $($tt:tt)* }) => { $crate::json_object!({} $($tt)*) };
+    ($other:expr) => { $crate::to_value(&$other).expect("json! value") };
+}
+
+/// Internal helper for `json!` arrays: accumulates comma-separated
+/// elements, each of which may itself be `json!` syntax.
+#[doc(hidden)]
+#[macro_export]
+macro_rules! json_array {
+    // Finished: no more tokens.
+    ([$($elems:expr),*]) => { $crate::Value::Array(vec![$($elems),*]) };
+    // Trailing comma.
+    ([$($elems:expr),*] ,) => { $crate::json_array!([$($elems),*]) };
+    // Separator comma left behind by a nested-literal element.
+    ([$($elems:expr),*] , $($rest:tt)+) => {
+        $crate::json_array!([$($elems),*] $($rest)+)
+    };
+    // Next element is a nested array/object/null literal.
+    ([$($elems:expr),*] null $($rest:tt)*) => {
+        $crate::json_array!([$($elems,)* $crate::Value::Null] $($rest)*)
+    };
+    ([$($elems:expr),*] [ $($inner:tt)* ] $($rest:tt)*) => {
+        $crate::json_array!([$($elems,)* $crate::json!([ $($inner)* ])] $($rest)*)
+    };
+    ([$($elems:expr),*] { $($inner:tt)* } $($rest:tt)*) => {
+        $crate::json_array!([$($elems,)* $crate::json!({ $($inner)* })] $($rest)*)
+    };
+    // Next element is a general expression: munch tokens up to the next
+    // top-level comma.
+    ([$($elems:expr),*] $($rest:tt)*) => {
+        $crate::json_expr_then!(json_array_push [$($elems),*] () $($rest)*)
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! json_array_push {
+    ([$($elems:expr),*] ($($expr:tt)+) $($rest:tt)*) => {
+        $crate::json_array!([$($elems,)* $crate::to_value(&($($expr)+)).expect("json! value")] $($rest)*)
+    };
+}
+
+/// Internal helper for `json!` objects: `key : value` pairs where the value
+/// may be nested `json!` syntax or a general expression.
+#[doc(hidden)]
+#[macro_export]
+macro_rules! json_object {
+    ({$($done:tt)*}) => {{
+        #[allow(unused_mut)]
+        let mut __m = $crate::Map::new();
+        $crate::json_object_insert!(__m $($done)*);
+        $crate::Value::Object(__m)
+    }};
+    ({$($done:tt)*} ,) => { $crate::json_object!({$($done)*}) };
+    // Separator comma left behind by a nested-literal value.
+    ({$($done:tt)*} , $($rest:tt)+) => {
+        $crate::json_object!({$($done)*} $($rest)+)
+    };
+    // key : nested literal
+    ({$($done:tt)*} $key:tt : null $($rest:tt)*) => {
+        $crate::json_object!({$($done)* ($key, $crate::Value::Null)} $($rest)*)
+    };
+    ({$($done:tt)*} $key:tt : [ $($inner:tt)* ] $($rest:tt)*) => {
+        $crate::json_object!({$($done)* ($key, $crate::json!([ $($inner)* ]))} $($rest)*)
+    };
+    ({$($done:tt)*} $key:tt : { $($inner:tt)* } $($rest:tt)*) => {
+        $crate::json_object!({$($done)* ($key, $crate::json!({ $($inner)* }))} $($rest)*)
+    };
+    // key : expression — munch to the next top-level comma.
+    ({$($done:tt)*} $key:tt : $($rest:tt)*) => {
+        $crate::json_expr_then!(json_object_pair {$($done)*} $key () $($rest)*)
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! json_object_pair {
+    ({$($done:tt)*} $key:tt ($($expr:tt)+) $($rest:tt)*) => {
+        $crate::json_object!({$($done)* ($key, $crate::to_value(&($($expr)+)).expect("json! value"))} $($rest)*)
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! json_object_insert {
+    ($m:ident) => {};
+    ($m:ident ($key:tt, $val:expr) $($rest:tt)*) => {
+        $m.insert(::std::string::String::from($key), $val);
+        $crate::json_object_insert!($m $($rest)*);
+    };
+}
+
+/// Munches tokens into an accumulated expression until a top-level comma,
+/// then dispatches to `$next!` with the context, the munched expression,
+/// and the remaining tokens (comma consumed).
+#[doc(hidden)]
+#[macro_export]
+macro_rules! json_expr_then {
+    // Comma ends the expression.
+    ($next:ident $($ctx:tt)*) => { $crate::json_expr_scan!($next () $($ctx)*) };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! json_expr_scan {
+    // Reorder: ctx tokens come first, then the pending-expr parens, then input.
+    // Entry: ($next) () ctx... (pending) input...
+    ($next:ident () $ctx1:tt ($($expr:tt)*) , $($rest:tt)*) => {
+        $crate::$next!($ctx1 ($($expr)*) $($rest)*)
+    };
+    ($next:ident () $ctx1:tt ($($expr:tt)*)) => {
+        $crate::$next!($ctx1 ($($expr)*))
+    };
+    ($next:ident () $ctx1:tt ($($expr:tt)*) $head:tt $($rest:tt)*) => {
+        $crate::json_expr_scan!($next () $ctx1 ($($expr)* $head) $($rest)*)
+    };
+    // Object-pair variant: two context tts (done-list and key).
+    ($next:ident () $ctx1:tt $ctx2:tt ($($expr:tt)*) , $($rest:tt)*) => {
+        $crate::$next!($ctx1 $ctx2 ($($expr)*) $($rest)*)
+    };
+    ($next:ident () $ctx1:tt $ctx2:tt ($($expr:tt)*)) => {
+        $crate::$next!($ctx1 $ctx2 ($($expr)*))
+    };
+    ($next:ident () $ctx1:tt $ctx2:tt ($($expr:tt)*) $head:tt $($rest:tt)*) => {
+        $crate::json_expr_scan!($next () $ctx1 $ctx2 ($($expr)* $head) $($rest)*)
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_scalars() {
+        let v: Value = from_str("[1, -2, 3.5, true, null, \"hi\\n\"]").unwrap();
+        assert_eq!(v[0], 1);
+        assert_eq!(v[1], -2);
+        assert_eq!(v[2].as_f64(), Some(3.5));
+        assert_eq!(v[3], Value::Bool(true));
+        assert!(v[4].is_null());
+        assert_eq!(v[5], "hi\n");
+        let text = to_string(&v).unwrap();
+        let back: Value = from_str(&text).unwrap();
+        assert_eq!(v, back);
+    }
+
+    #[test]
+    fn json_macro_shapes() {
+        let label = "skipper";
+        let v = json!({
+            "name": label,
+            "t": 1 + 1,
+            "nested": {"xs": [1, 2, 3], "flag": true},
+            "arr": [label, 4.5],
+        });
+        assert_eq!(v["name"], "skipper");
+        assert_eq!(v["t"], 2);
+        assert_eq!(v["nested"]["xs"][2], 3);
+        assert_eq!(v["arr"][1].as_f64(), Some(4.5));
+        let text = to_string_pretty(&v).unwrap();
+        let back: Value = from_str(&text).unwrap();
+        assert_eq!(v, back);
+    }
+
+    #[test]
+    fn object_indexing_is_forgiving() {
+        let v = json!({"a": 1});
+        assert!(v["missing"].is_null());
+        assert!(v["a"][3].is_null());
+    }
+}
