@@ -3,8 +3,8 @@
 use crate::surrogate::Surrogate;
 use skipper_memprof::{record_op, Category, CategoryGuard, OpKind};
 use skipper_tensor::{
-    avg_pool2d, avg_pool2d_backward, conv2d, conv2d_backward_input, conv2d_backward_weight,
-    matmul, matmul_nt, matmul_tn, Conv2dSpec, Tensor,
+    avg_pool2d, avg_pool2d_backward, conv2d, conv2d_backward_input, conv2d_backward_weight, matmul,
+    matmul_nt, matmul_tn, Conv2dSpec, Tensor,
 };
 
 /// Handle to a node in a [`Graph`].
@@ -37,11 +37,7 @@ enum Op {
     /// Hadamard product `a ⊙ b`.
     Mul(Var, Var),
     /// Dense layer `x[B,I] · w[O,I]ᵀ (+ b[O])`.
-    Linear {
-        x: Var,
-        w: Var,
-        b: Option<Var>,
-    },
+    Linear { x: Var, w: Var, b: Option<Var> },
     /// 2-D convolution.
     Conv2d {
         x: Var,
@@ -50,10 +46,7 @@ enum Op {
         spec: Conv2dSpec,
     },
     /// Non-overlapping average pooling with window `k`.
-    AvgPool {
-        x: Var,
-        k: usize,
-    },
+    AvgPool { x: Var, k: usize },
     /// Shape view; gradient reshapes back.
     Reshape(Var),
     /// Heaviside firing with a surrogate backward.
@@ -511,7 +504,11 @@ mod tests {
         assert_eq!(g.value(y).data(), &[-4.0]);
         g.seed_grad(y, Tensor::from_vec(vec![2.0], [1]));
         g.backward();
-        assert_eq!(g.grad(a).unwrap().data(), &[2.0], "grad passes through a only");
+        assert_eq!(
+            g.grad(a).unwrap().data(),
+            &[2.0],
+            "grad passes through a only"
+        );
     }
 
     #[test]

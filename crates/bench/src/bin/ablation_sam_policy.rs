@@ -48,7 +48,11 @@ fn main() {
             SamMetric::MembraneL2,
             SkipPolicy::SpikeActivity,
         ),
-        ("random skipping".into(), SamMetric::SpikeSum, SkipPolicy::Random),
+        (
+            "random skipping".into(),
+            SamMetric::SpikeSum,
+            SkipPolicy::Random,
+        ),
     ];
     let mut rows = Vec::new();
     for (name, metric, policy) in configs {

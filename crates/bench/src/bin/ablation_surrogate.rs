@@ -5,10 +5,10 @@
 //! surrogate choice — triangle, fast-sigmoid and arc-tan all train, and
 //! the skipper-vs-baseline accuracy gap stays small for each.
 
+use skipper_autograd::Surrogate;
 use skipper_bench::{fit, quick_mode, Report, Workload, WorkloadKind};
 use skipper_core::{Method, TrainSession};
 use skipper_snn::Adam;
-use skipper_autograd::Surrogate;
 
 fn set_surrogate(net: &mut skipper_snn::SpikingNetwork, surrogate: Surrogate) {
     use skipper_snn::Module;

@@ -79,6 +79,7 @@ fn parse_args() -> Args {
 }
 
 fn main() {
+    skipper_obs::init_from_env();
     let args = parse_args();
     let w = Workload::build_for_measurement(WorkloadKind::CustomNetNmnist);
     let timesteps = w.timesteps;

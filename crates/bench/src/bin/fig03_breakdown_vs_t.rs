@@ -39,8 +39,7 @@ fn main() {
         let mut series = Vec::new();
         for &t in &sweep {
             let w = Workload::build_for_measurement(kind);
-            let mut session =
-                TrainSession::new(w.net, Box::new(Adam::new(1e-3)), Method::Bptt, t);
+            let mut session = TrainSession::new(w.net, Box::new(Adam::new(1e-3)), Method::Bptt, t);
             let m = measure(
                 &mut session,
                 &w.train,

@@ -5,7 +5,9 @@
 //! size (launch-overhead amortisation — the paper reports ~5x from B=32 to
 //! B=512) while memory grows linearly in B.
 
-use skipper_bench::{human_bytes, measure, quick_mode, MeasureConfig, Report, Workload, WorkloadKind};
+use skipper_bench::{
+    human_bytes, measure, quick_mode, MeasureConfig, Report, Workload, WorkloadKind,
+};
 use skipper_core::{Method, TrainSession};
 use skipper_memprof::DeviceModel;
 use skipper_snn::Adam;
@@ -32,12 +34,8 @@ fn main() {
         let mut series = Vec::new();
         for &b in &batches {
             let w = Workload::build_for_measurement(kind);
-            let mut session = TrainSession::new(
-                w.net,
-                Box::new(Adam::new(1e-3)),
-                Method::Bptt,
-                w.timesteps,
-            );
+            let mut session =
+                TrainSession::new(w.net, Box::new(Adam::new(1e-3)), Method::Bptt, w.timesteps);
             let m = measure(
                 &mut session,
                 &w.train,

@@ -4,7 +4,9 @@
 //! Expected shape: memory is U-shaped in C with the minimum near √T
 //! (Eq. 3); time is ~30 % above baseline and roughly flat in C.
 
-use skipper_bench::{human_bytes, measure, quick_mode, MeasureConfig, Report, Workload, WorkloadKind};
+use skipper_bench::{
+    human_bytes, measure, quick_mode, MeasureConfig, Report, Workload, WorkloadKind,
+};
 use skipper_core::{max_checkpoints, Method, TrainSession};
 use skipper_memprof::DeviceModel;
 use skipper_snn::Adam;

@@ -6,7 +6,9 @@
 //! memory budget Skipper reaches a larger B than checkpointing, which
 //! reaches a larger B than baseline (paper: up to 52 % lower latency).
 
-use skipper_bench::{human_bytes, measure, quick_mode, MeasureConfig, Report, Workload, WorkloadKind};
+use skipper_bench::{
+    human_bytes, measure, quick_mode, MeasureConfig, Report, Workload, WorkloadKind,
+};
 use skipper_core::{Method, TrainSession};
 use skipper_memprof::DeviceModel;
 use skipper_snn::Adam;

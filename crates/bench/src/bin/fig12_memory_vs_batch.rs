@@ -6,7 +6,9 @@
 //! checkpointing 2–4x lower; Skipper another 1.2–1.7x below that; TBPTT
 //! comparable to checkpointing.
 
-use skipper_bench::{human_bytes, measure, quick_mode, MeasureConfig, Report, Workload, WorkloadKind};
+use skipper_bench::{
+    human_bytes, measure, quick_mode, MeasureConfig, Report, Workload, WorkloadKind,
+};
 use skipper_core::TrainSession;
 use skipper_memprof::DeviceModel;
 use skipper_snn::Adam;

@@ -32,7 +32,11 @@ fn main() {
                 percentile: probe.percentile,
             },
         ];
-        let batches: Vec<usize> = if quick_mode() { vec![4] } else { vec![2, 8, 16] };
+        let batches: Vec<usize> = if quick_mode() {
+            vec![4]
+        } else {
+            vec![2, 8, 16]
+        };
         report.line(format!(
             "== {} — tensors / cache / context shares (T={t}) ==",
             probe.name

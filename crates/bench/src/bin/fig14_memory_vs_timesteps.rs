@@ -10,11 +10,13 @@
 //! checkpointing scales to ~4.5x the baseline's maximum T; Skipper to
 //! ~9x.
 
-use skipper_bench::{human_bytes, measure, quick_mode, MeasureConfig, Report, Workload, WorkloadKind};
+use skipper_bench::{
+    human_bytes, measure, quick_mode, MeasureConfig, Report, Workload, WorkloadKind,
+};
+use skipper_core::max_skippable_percentile;
 use skipper_core::{AnalyticModel, Method, TrainSession};
 use skipper_memprof::DeviceModel;
 use skipper_snn::{resnet20, vgg11, ModelConfig, SpikingNetwork};
-use skipper_core::max_skippable_percentile;
 
 fn paper_scale_net(kind: WorkloadKind) -> SpikingNetwork {
     // Full-width networks at CIFAR resolution for the analytic projection.
@@ -59,7 +61,10 @@ fn main() {
         ));
         report.line(format!(
             "{:>6} {:>14} {:>14} {:>14}",
-            "T", "baseline", probe.methods()[1].label(), probe.methods()[2].label()
+            "T",
+            "baseline",
+            probe.methods()[1].label(),
+            probe.methods()[2].label()
         ));
         let t_sweep: Vec<usize> = if quick_mode() {
             vec![probe.timesteps / 2]
@@ -116,7 +121,10 @@ fn main() {
         ));
         report.line(format!(
             "{:>6} {:>14} {:>14} {:>14}",
-            "T", "baseline", format!("C={c}"), format!("C={c} & p={p:.0}")
+            "T",
+            "baseline",
+            format!("C={c}"),
+            format!("C={c} & p={p:.0}")
         ));
         let mut analytic = Vec::new();
         for &t in &paper_ts {

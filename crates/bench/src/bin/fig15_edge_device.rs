@@ -10,7 +10,9 @@
 //! ~4x that; Skipper doubles it again and halves the epoch latency at the
 //! same footprint.
 
-use skipper_bench::{human_bytes, measure, quick_mode, MeasureConfig, Report, Workload, WorkloadKind};
+use skipper_bench::{
+    human_bytes, measure, quick_mode, MeasureConfig, Report, Workload, WorkloadKind,
+};
 use skipper_core::{AnalyticModel, Method, TrainSession};
 use skipper_memprof::DeviceModel;
 use skipper_snn::{vgg5, Adam, ModelConfig};
@@ -39,7 +41,11 @@ fn main() {
         "{:>6} {:<16} {:>14} {:>16}",
         "B", "method", "overall mem", "epoch latency"
     ));
-    let batches: Vec<usize> = if quick_mode() { vec![4] } else { vec![2, 4, 8, 16] };
+    let batches: Vec<usize> = if quick_mode() {
+        vec![4]
+    } else {
+        vec![2, 4, 8, 16]
+    };
     let epoch_samples = 256usize;
     let mut measured = Vec::new();
     for &b in &batches {

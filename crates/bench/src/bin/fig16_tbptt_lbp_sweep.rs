@@ -6,7 +6,9 @@
 //! improving accuracy, while the checkpointing/Skipper family improves
 //! accuracy with the longer horizon at similar or lower memory.
 
-use skipper_bench::{fit, human_bytes, measure, quick_mode, MeasureConfig, Report, Workload, WorkloadKind};
+use skipper_bench::{
+    fit, human_bytes, measure, quick_mode, MeasureConfig, Report, Workload, WorkloadKind,
+};
 use skipper_core::{Method, TrainSession};
 use skipper_memprof::DeviceModel;
 use skipper_snn::Adam;
@@ -60,7 +62,11 @@ fn main() {
         "{:<22} {:>14} {:>17} {:>10}",
         "config", "memory", "iter (modeled)", "accuracy"
     ));
-    let windows: Vec<usize> = if quick_mode() { vec![10] } else { vec![10, 25, 50] };
+    let windows: Vec<usize> = if quick_mode() {
+        vec![10]
+    } else {
+        vec![10, 25, 50]
+    };
     let mut lbp_rows = Vec::new();
     for w in windows {
         let m = Method::TbpttLbp {

@@ -5,7 +5,9 @@
 //! checkpointing/Skipper match or beat TBPTT-LBP's memory, and enlarging
 //! the LBP truncation window costs memory without buying accuracy.
 
-use skipper_bench::{fit, human_bytes, measure, quick_mode, MeasureConfig, Report, Workload, WorkloadKind};
+use skipper_bench::{
+    fit, human_bytes, measure, quick_mode, MeasureConfig, Report, Workload, WorkloadKind,
+};
 use skipper_core::{Method, TrainSession};
 use skipper_memprof::DeviceModel;
 use skipper_snn::Adam;
@@ -16,8 +18,8 @@ fn main() {
     let epochs = if quick_mode() { 1 } else { 4 };
     let probe = Workload::build(WorkloadKind::AlexnetCifar10);
     let t = probe.timesteps; // 20, as in the paper
-    // AlexNet modules: 5 ConvLif, Flatten, 2 LinearLif, Output.
-    // Paper attaches local classifiers at layers 4 and 8 → module taps 2, 5.
+                             // AlexNet modules: 5 ConvLif, Flatten, 2 LinearLif, Output.
+                             // Paper attaches local classifiers at layers 4 and 8 → module taps 2, 5.
     let taps = vec![2usize, 5];
     let configs = [
         Method::TbpttLbp {

@@ -1,0 +1,116 @@
+//! Record a structured trace of a short Skipper training run.
+//!
+//! Installs two `skipper-obs` sinks — a [`ChromeTraceSink`] that writes
+//! `results/trace_training.trace.json` (Chrome trace-event format, drag
+//! into <https://ui.perfetto.dev> or `chrome://tracing`) and a ring buffer
+//! whose contents feed the terminal summary table — then trains the tiny
+//! N-MNIST net for a few iterations with `T = 20`, `C = 2`, `p = 50`.
+//!
+//! Besides producing the artefact, the bin cross-checks the trace against
+//! the runner's own accounting: every timestep of every iteration must
+//! appear as exactly one `skip_decision` event, and the events flagged
+//! `skip=true` must equal `BatchStats::skipped_steps`.
+
+use skipper_bench::{quick_mode, Report, Workload, WorkloadKind};
+use skipper_core::{Method, TrainSession};
+use skipper_obs as obs;
+use skipper_snn::Adam;
+use skipper_tensor::XorShiftRng;
+
+fn main() {
+    let t = 20usize;
+    let c = 2usize;
+    let p = 50.0f32;
+    let iterations = if quick_mode() { 2 } else { 8 };
+
+    let mut report = Report::new("trace_training");
+    report.line(format!(
+        "Tracing {iterations} Skipper iterations on custom-net/N-MNIST (T={t}, C={c}, p={p})"
+    ));
+
+    // Sinks: Chrome trace to disk, ring buffer for the summary table.
+    obs::registry().clear();
+    std::fs::create_dir_all("results").ok();
+    let trace_path = std::path::Path::new("results").join("trace_training.trace.json");
+    let chrome_id = obs::add_sink(Box::new(obs::ChromeTraceSink::new(&trace_path)));
+    let (ring, handle) = obs::RingBufferSink::new(1 << 16);
+    let ring_id = obs::add_sink(Box::new(ring));
+
+    let w = Workload::build_for_measurement(WorkloadKind::CustomNetNmnist);
+    let mut session = TrainSession::new(
+        w.net,
+        Box::new(Adam::new(1e-3)),
+        Method::Skipper {
+            checkpoints: c,
+            percentile: p,
+        },
+        t,
+    );
+    let mut rng = XorShiftRng::new(7);
+    let (inputs, labels) = w.train.first_batch(4, t, &mut rng);
+
+    let (mut skipped, mut recomputed) = (0usize, 0usize);
+    for _ in 0..iterations {
+        let stats = session.train_batch(&inputs, &labels);
+        assert_eq!(
+            stats.skipped_steps + stats.recomputed_steps,
+            t,
+            "every timestep is either recomputed or skipped"
+        );
+        skipped += stats.skipped_steps;
+        recomputed += stats.recomputed_steps;
+    }
+
+    // Removing a sink flushes it; the Chrome sink writes its file here.
+    obs::remove_sink(chrome_id);
+    obs::remove_sink(ring_id);
+    let events = handle.snapshot();
+    let metrics = obs::registry().snapshot();
+
+    // Trace ↔ runner consistency: one skip_decision per timestep per
+    // iteration, and the skip=true subset matches BatchStats.
+    let decisions: Vec<_> = events
+        .iter()
+        .filter(|e| e.name == "skip_decision")
+        .collect();
+    assert_eq!(
+        decisions.len(),
+        iterations * t,
+        "one skip_decision event per timestep per iteration"
+    );
+    let skipped_events = decisions
+        .iter()
+        .filter(|e| {
+            e.fields
+                .iter()
+                .any(|(k, v)| *k == "skip" && matches!(v, obs::FieldValue::Bool(true)))
+        })
+        .count();
+    assert_eq!(
+        skipped_events, skipped,
+        "skip=true events match BatchStats::skipped_steps"
+    );
+
+    report.line(format!(
+        "consistency: {} skip_decision events = {iterations} iters x {t} steps; \
+         {skipped_events} skipped + {} recomputed = {}",
+        decisions.len(),
+        recomputed,
+        skipped + recomputed
+    ));
+    report.line(format!(
+        "trace: {} events -> {}",
+        events.len(),
+        trace_path.display()
+    ));
+    report.blank();
+    for line in obs::render_summary(&events, &metrics, 12).lines() {
+        report.line(line);
+    }
+
+    report.json("iterations", iterations);
+    report.json("events", events.len());
+    report.json("skipped_steps", skipped);
+    report.json("recomputed_steps", recomputed);
+    report.save();
+}

@@ -87,9 +87,10 @@ mod tests {
         let dir = Report::results_dir();
         let txt = std::fs::read_to_string(dir.join("unit_test_report.txt")).unwrap();
         assert!(txt.contains("hello"));
-        let json: serde_json::Value =
-            serde_json::from_str(&std::fs::read_to_string(dir.join("unit_test_report.json")).unwrap())
-                .unwrap();
+        let json: serde_json::Value = serde_json::from_str(
+            &std::fs::read_to_string(dir.join("unit_test_report.json")).unwrap(),
+        )
+        .unwrap();
         assert_eq!(json["series"][2], 3);
         let _ = std::fs::remove_file(dir.join("unit_test_report.txt"));
         let _ = std::fs::remove_file(dir.join("unit_test_report.json"));

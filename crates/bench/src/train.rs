@@ -56,6 +56,7 @@ pub fn fit(
     let timesteps = session.timesteps();
     let mut result = FitResult::default();
     for epoch in 0..epochs {
+        let epoch_span = skipper_obs::span!("epoch", epoch = epoch, of = epochs);
         let mut rng = XorShiftRng::new(seed ^ ((epoch as u64 + 1) * 0x9E37));
         let mut stats = EpochStats::default();
         for idx in train.epoch(batch, seed.wrapping_add(epoch as u64)) {
@@ -66,7 +67,19 @@ pub fn fit(
         result.train_loss.push(stats.mean_loss());
         result.wall_s += stats.wall.as_secs_f64();
         result.skipped += stats.skipped_steps;
-        result.val_acc.push(evaluate(session, test, batch, 99));
+        {
+            let _eval = skipper_obs::span!("evaluate", epoch = epoch);
+            result.val_acc.push(evaluate(session, test, batch, 99));
+        }
+        drop(epoch_span);
+        skipper_obs::instant!(
+            skipper_obs::Level::Info,
+            "epoch.done",
+            epoch = epoch,
+            train_acc = result.train_acc[epoch],
+            val_acc = result.val_acc[epoch],
+            mean_loss = result.train_loss[epoch],
+        );
     }
     result
 }

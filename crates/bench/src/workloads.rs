@@ -119,7 +119,9 @@ impl Workload {
             }
         }
         let mut rng = skipper_tensor::XorShiftRng::new(0xCA11B);
-        let (inputs, _) = w.train.first_batch(8.min(w.train.len()), w.timesteps, &mut rng);
+        let (inputs, _) = w
+            .train
+            .first_batch(8.min(w.train.len()), w.timesteps, &mut rng);
         let _ = skipper_snn::calibrate_thresholds(&mut w.net, &inputs, 0.08);
         w
     }
@@ -138,7 +140,9 @@ impl Workload {
     pub fn build_for_measurement(kind: WorkloadKind) -> Workload {
         let mut w = Workload::build_uncalibrated(kind, 1.0);
         let mut rng = skipper_tensor::XorShiftRng::new(0xCA11B);
-        let (inputs, _) = w.train.first_batch(8.min(w.train.len()), w.timesteps, &mut rng);
+        let (inputs, _) = w
+            .train
+            .first_batch(8.min(w.train.len()), w.timesteps, &mut rng);
         let _ = skipper_snn::calibrate_thresholds(&mut w.net, &inputs, 0.08);
         w
     }

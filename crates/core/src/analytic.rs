@@ -93,9 +93,7 @@ impl<'a> AnalyticModel<'a> {
                 let kept = (seg * (1.0 - *percentile as f64 / 100.0)).ceil() as u64;
                 kept * a + *checkpoints as u64 * s
             }
-            Method::Tbptt { window } | Method::TbpttLbp { window, .. } => {
-                (*window as u64) * a + s
-            }
+            Method::Tbptt { window } | Method::TbpttLbp { window, .. } => (*window as u64) * a + s,
         }
     }
 

@@ -44,15 +44,18 @@ pub(crate) fn bptt_step(
     let mut state = TapedState::from_state(&mut g, &init, false);
     let mut sam = SpikeActivityMonitor::new(timesteps);
     let mut logit_vars = Vec::with_capacity(timesteps);
-    for (t, input) in inputs.iter().enumerate() {
-        let ctx = StepCtx {
-            iter_seed,
-            t,
-            train: true,
-        };
-        let out = net.step_taped(&mut g, &mut binder, input, &mut state, &ctx);
-        sam.record(out.spike_sum);
-        logit_vars.push(out.logits);
+    {
+        let _fwd = skipper_obs::span!("forward_pass", timesteps = timesteps);
+        for (t, input) in inputs.iter().enumerate() {
+            let ctx = StepCtx {
+                iter_seed,
+                t,
+                train: true,
+            };
+            let out = net.step_taped(&mut g, &mut binder, input, &mut state, &ctx);
+            sam.record(out.spike_sum);
+            logit_vars.push(out.logits);
+        }
     }
     // Time-averaged readout: logits = (1/T)·Σ_t logits_t. The average
     // keeps the softmax scale independent of the horizon, so accuracy and
@@ -64,11 +67,13 @@ pub(crate) fn bptt_step(
     logits.scale_assign(1.0 / timesteps as f32);
     let loss = softmax_cross_entropy(&logits, labels);
     let per_step_grad = loss.dlogits.scale(1.0 / timesteps as f32);
+    let bwd = skipper_obs::span!("backward_pass", timesteps = timesteps);
     for &v in &logit_vars {
         g.seed_grad(v, per_step_grad.clone());
     }
     g.backward();
     binder.harvest(&mut g, net.params_mut());
+    drop(bwd);
     StepResult {
         loss: loss.loss,
         correct: loss.correct,

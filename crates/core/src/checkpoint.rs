@@ -87,11 +87,22 @@ pub(crate) fn checkpointed_step_with(
     let mut sam = SpikeActivityMonitor::new(timesteps);
     let mut logits: Option<Tensor> = None;
     {
+        let _fwd = skipper_obs::span!(
+            "forward_pass",
+            timesteps = timesteps,
+            checkpoints = checkpoints
+        );
         let _cat = CategoryGuard::new(Category::Activations);
         let mut next_boundary = 0usize;
         for (t, input) in inputs.iter().enumerate() {
             if next_boundary < checkpoints && t == bounds[next_boundary] {
                 ckpts.push(state.clone());
+                skipper_obs::instant!(
+                    skipper_obs::Level::Debug,
+                    "checkpoint_save",
+                    c = next_boundary,
+                    t = t
+                );
                 next_boundary += 1;
             }
             let ctx = StepCtx {
@@ -127,9 +138,15 @@ pub(crate) fn checkpointed_step_with(
     let mut skipped = 0usize;
     for c in (0..checkpoints).rev() {
         let (start, end) = (bounds[c], bounds[c + 1]);
+        let _seg = skipper_obs::span!("recompute_segment", c = c, start = start, end = end);
+        // The segment's threshold, for the skip-decision trace (NaN when
+        // the policy does not threshold on activity).
+        let mut traced_sst = f64::NAN;
         let skip_step: Box<dyn Fn(usize) -> bool> = match policy {
             SkipPolicy::SpikeActivity => {
                 let sst = sam.threshold(start, end, percentile);
+                traced_sst = sst;
+                skipper_obs::gauge_set("skipper.sst_threshold", sst);
                 let sam = sam.clone();
                 Box::new(move |t| !sam.recompute(t, sst))
             }
@@ -156,7 +173,9 @@ pub(crate) fn checkpointed_step_with(
         let mut tstate = TapedState::from_state(&mut g, &ckpts[c], true);
         let mut logit_vars = Vec::new();
         for (t, input) in inputs.iter().enumerate().take(end).skip(start) {
-            if skip_step(t) {
+            let skip = skip_step(t);
+            crate::sam::trace_skip_decision(c, t, sam.at(t), traced_sst, skip);
+            if skip {
                 skipped += 1;
                 continue;
             }
@@ -172,6 +191,7 @@ pub(crate) fn checkpointed_step_with(
         // Seed the loss gradient into every recomputed timestep's readout
         // contribution (∂L/∂logits_t = ∂L/∂logits · 1/T, since the readout
         // averages over time).
+        let _bwd = skipper_obs::span!("segment_backward", c = c);
         for &v in &logit_vars {
             g.seed_grad(v, per_step_grad.clone());
         }
@@ -196,6 +216,8 @@ pub(crate) fn checkpointed_step_with(
         binder.harvest(&mut g, net.params_mut());
         // Dropping `g` releases this segment's activations.
     }
+    skipper_obs::counter_add("skipper.steps_skipped", skipped as f64);
+    skipper_obs::counter_add("skipper.steps_recomputed", recomputed as f64);
     StepResult {
         loss: loss.loss,
         correct: loss.correct,
@@ -383,12 +405,24 @@ mod tests {
             let (mut a, inputs, labels) = setup(seed);
             let (mut b, _, _) = setup(seed);
             let _ = checkpointed_step_with(
-                &mut a, &inputs, &labels, seed, 2, 50.0,
-                SamMetric::SpikeSum, SkipPolicy::SpikeActivity,
+                &mut a,
+                &inputs,
+                &labels,
+                seed,
+                2,
+                50.0,
+                SamMetric::SpikeSum,
+                SkipPolicy::SpikeActivity,
             );
             let _ = checkpointed_step_with(
-                &mut b, &inputs, &labels, seed, 2, 50.0,
-                SamMetric::MembraneL2, SkipPolicy::SpikeActivity,
+                &mut b,
+                &inputs,
+                &labels,
+                seed,
+                2,
+                50.0,
+                SamMetric::MembraneL2,
+                SkipPolicy::SpikeActivity,
             );
             let diff: f32 = a
                 .params()

@@ -36,6 +36,25 @@ pub struct GovernorAction {
     pub to: Method,
 }
 
+impl GovernorAction {
+    /// Publish this adjustment to the observability layer: an Info-level
+    /// `governor.action` event plus the `governor.actions` counter. The
+    /// terminal sees it under the `SKIPPER_OBS` knob (the old ad-hoc
+    /// stderr logging is gone). No-op while tracing is disabled.
+    pub fn emit(&self) {
+        skipper_obs::counter_add("governor.actions", 1.0);
+        skipper_obs::instant!(
+            skipper_obs::Level::Info,
+            "governor.action",
+            iteration = self.iteration,
+            peak_bytes = self.peak_bytes,
+            budget_bytes = self.budget_bytes,
+            from = self.from.to_string(),
+            to = self.to.to_string(),
+        );
+    }
+}
+
 impl std::fmt::Display for GovernorAction {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         write!(
@@ -63,11 +82,7 @@ fn step_toward(c: usize, target: usize) -> usize {
 
 /// Propose the next-cheaper method configuration under memory pressure,
 /// or `None` if every knob is exhausted (or the method has none).
-pub(crate) fn relieve_pressure(
-    method: &Method,
-    timesteps: usize,
-    layers: usize,
-) -> Option<Method> {
+pub(crate) fn relieve_pressure(method: &Method, timesteps: usize, layers: usize) -> Option<Method> {
     let target = sqrt_optimal_checkpoints(timesteps, layers);
     match method {
         Method::Bptt => Some(Method::Checkpointed {

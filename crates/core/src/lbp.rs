@@ -149,6 +149,7 @@ pub(crate) fn lbp_step(
     let mut start = 0usize;
     while start < timesteps {
         let end = (start + window).min(timesteps);
+        let _win = skipper_obs::span!("lbp_window", start = start, end = end);
         // Per-timestep inputs of the current block (detached values).
         let mut block_inputs: Vec<Tensor> = inputs[start..end].to_vec();
         for (bi, range) in blocks.iter().enumerate() {
@@ -166,8 +167,14 @@ pub(crate) fn lbp_step(
                     train: true,
                 };
                 let xv = g.leaf(block_inputs[wi].clone(), false);
-                let (out, logits, ssum) =
-                    net.step_taped_modules(&mut g, &mut binder, xv, &mut tstate, &ctx, range.clone());
+                let (out, logits, ssum) = net.step_taped_modules(
+                    &mut g,
+                    &mut binder,
+                    xv,
+                    &mut tstate,
+                    &ctx,
+                    range.clone(),
+                );
                 sam_sums[t] += ssum;
                 if is_final {
                     logit_vars.push(logits.expect("final block holds the readout"));

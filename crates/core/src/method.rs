@@ -84,7 +84,10 @@ impl fmt::Display for MethodError {
             MethodError::BadCheckpointCount {
                 checkpoints,
                 timesteps,
-            } => write!(f, "invalid checkpoint count {checkpoints} for T={timesteps}"),
+            } => write!(
+                f,
+                "invalid checkpoint count {checkpoints} for T={timesteps}"
+            ),
             MethodError::SegmentShorterThanDepth { segment, layers } => write!(
                 f,
                 "segment length {segment} is shorter than the spiking depth {layers}"
@@ -257,7 +260,9 @@ mod tests {
     #[test]
     fn checkpoint_bounds_enforced() {
         let n = net();
-        assert!(Method::Checkpointed { checkpoints: 4 }.validate(&n, 24).is_ok());
+        assert!(Method::Checkpointed { checkpoints: 4 }
+            .validate(&n, 24)
+            .is_ok());
         assert!(matches!(
             Method::Checkpointed { checkpoints: 0 }.validate(&n, 24),
             Err(MethodError::BadCheckpointCount { .. })
@@ -272,7 +277,7 @@ mod tests {
     #[test]
     fn eq7_limits_skipping() {
         let n = net(); // L_n = 3
-        // T=24, C=2 → segment 12, bound = (1 − 3/12)·100 = 75 %.
+                       // T=24, C=2 → segment 12, bound = (1 − 3/12)·100 = 75 %.
         assert!(Method::Skipper {
             checkpoints: 2,
             percentile: 70.0

@@ -36,6 +36,7 @@ impl<'a> Planner<'a> {
         // Memory is monotone in B: binary search.
         let (mut lo, mut hi) = (0usize, limit.max(1));
         if self.fits(method, timesteps, hi) {
+            self.trace_answer("planner.max_batch", method, hi);
             return hi;
         }
         while lo + 1 < hi {
@@ -46,6 +47,7 @@ impl<'a> Planner<'a> {
                 hi = mid;
             }
         }
+        self.trace_answer("planner.max_batch", method, lo);
         lo
     }
 
@@ -54,6 +56,7 @@ impl<'a> Planner<'a> {
     pub fn max_timesteps(&self, method: &Method, batch: usize, limit: usize) -> usize {
         let (mut lo, mut hi) = (0usize, limit.max(1));
         if self.fits(method, hi, batch) {
+            self.trace_answer("planner.max_timesteps", method, hi);
             return hi;
         }
         while lo + 1 < hi {
@@ -64,14 +67,35 @@ impl<'a> Planner<'a> {
                 hi = mid;
             }
         }
+        self.trace_answer("planner.max_timesteps", method, lo);
         lo
+    }
+
+    /// One Debug-level event per answered capacity query, so traces show
+    /// what the planner decided (and for which method) alongside training.
+    fn trace_answer(&self, name: &'static str, method: &Method, answer: usize) {
+        if !skipper_obs::enabled() {
+            return;
+        }
+        skipper_obs::instant(
+            name,
+            skipper_obs::Level::Debug,
+            vec![
+                ("method", method.to_string().into()),
+                ("answer", answer.into()),
+            ],
+        );
     }
 
     /// How many independent training instances of this configuration fit
     /// side by side (hyper-parameter search; each instance pays its own
     /// tensors, the context is paid once).
     pub fn concurrent_instances(&self, method: &Method, timesteps: usize, batch: usize) -> usize {
-        let per = self.model.breakdown(method, timesteps, batch).total().max(1);
+        let per = self
+            .model
+            .breakdown(method, timesteps, batch)
+            .total()
+            .max(1);
         (self.device.usable_bytes() / per) as usize
     }
 }

@@ -145,7 +145,10 @@ fn records_payload<'a>(
 /// # Errors
 ///
 /// Propagates I/O and encoding errors.
-pub fn write_snapshot_to(state: &SessionState, writer: &mut impl Write) -> Result<(), SkipperError> {
+pub fn write_snapshot_to(
+    state: &SessionState,
+    writer: &mut impl Write,
+) -> Result<(), SkipperError> {
     let meta = MetaDoc {
         iteration: state.iteration,
         timesteps: state.timesteps,
@@ -212,6 +215,12 @@ pub fn write_snapshot(state: &SessionState, path: impl AsRef<Path>) -> Result<()
     file.flush()?;
     drop(file);
     std::fs::rename(&tmp, path)?;
+    skipper_obs::instant!(
+        skipper_obs::Level::Info,
+        "snapshot.saved",
+        path = path.display().to_string(),
+        iteration = state.iteration,
+    );
     Ok(())
 }
 
@@ -281,10 +290,7 @@ pub fn read_snapshot_from(reader: &mut impl Read) -> Result<SessionState, Skippe
                 OptimizerState {
                     kind: kind.clone(),
                     scalars: scalars.clone(),
-                    tensors: aux_tensors
-                        .into_iter()
-                        .map(|r| (r.name, r.value))
-                        .collect(),
+                    tensors: aux_tensors.into_iter().map(|r| (r.name, r.value)).collect(),
                 },
             ))
         }
@@ -310,7 +316,15 @@ pub fn read_snapshot_from(reader: &mut impl Read) -> Result<SessionState, Skippe
 ///
 /// See [`read_snapshot_from`].
 pub fn read_snapshot(path: impl AsRef<Path>) -> Result<SessionState, SkipperError> {
-    read_snapshot_from(&mut io::BufReader::new(std::fs::File::open(path)?))
+    let path = path.as_ref();
+    let state = read_snapshot_from(&mut io::BufReader::new(std::fs::File::open(path)?))?;
+    skipper_obs::instant!(
+        skipper_obs::Level::Info,
+        "snapshot.loaded",
+        path = path.display().to_string(),
+        iteration = state.iteration,
+    );
+    Ok(state)
 }
 
 #[cfg(test)]

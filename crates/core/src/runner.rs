@@ -13,9 +13,7 @@ use crate::stats::BatchStats;
 use crate::tbptt::tbptt_step;
 use skipper_memprof::{reset_peaks, snapshot, take_op_log};
 use skipper_snn::serialize::{apply_records, ParamRecord};
-use skipper_snn::{
-    softmax_cross_entropy, Optimizer, OptimizerState, SpikingNetwork, StepCtx,
-};
+use skipper_snn::{softmax_cross_entropy, Optimizer, OptimizerState, SpikingNetwork, StepCtx};
 use skipper_tensor::Tensor;
 use std::path::Path;
 use std::time::Instant;
@@ -80,7 +78,10 @@ impl RawOptim {
                 .tensors
                 .iter()
                 .map(|(name, dims, data)| {
-                    (name.clone(), Tensor::from_vec(data.clone(), dims.as_slice()))
+                    (
+                        name.clone(),
+                        Tensor::from_vec(data.clone(), dims.as_slice()),
+                    )
                 })
                 .collect(),
         }
@@ -150,17 +151,14 @@ impl TrainSession {
         timesteps: usize,
     ) -> TrainSession {
         let aux = match &method {
-            Method::TbpttLbp { taps, .. } => Some(LocalClassifiers::new(
-                &net,
-                taps,
-                net.num_classes(),
-                0xA0A0,
-            )),
+            Method::TbpttLbp { taps, .. } => {
+                Some(LocalClassifiers::new(&net, taps, net.num_classes(), 0xA0A0))
+            }
             _ => None,
         };
-        let aux_optimizer: Option<Box<dyn Optimizer>> = aux
-            .as_ref()
-            .map(|_| Box::new(skipper_snn::Adam::new(optimizer.learning_rate())) as Box<dyn Optimizer>);
+        let aux_optimizer: Option<Box<dyn Optimizer>> = aux.as_ref().map(|_| {
+            Box::new(skipper_snn::Adam::new(optimizer.learning_rate())) as Box<dyn Optimizer>
+        });
         TrainSession {
             net,
             optimizer,
@@ -292,6 +290,11 @@ impl TrainSession {
         loop {
             self.iteration += 1;
             let iter_seed = self.iteration;
+            let _iter = skipper_obs::span!(
+                "iteration",
+                iter = self.iteration,
+                method = self.method.to_string()
+            );
             reset_peaks();
             take_op_log(); // drop kernels logged outside the iteration
             let start = Instant::now();
@@ -334,6 +337,13 @@ impl TrainSession {
                     }
                     if recoveries >= cfg.max_retries {
                         self.apply_rollback();
+                        skipper_obs::instant!(
+                            skipper_obs::Level::Warn,
+                            "sentinel.divergence",
+                            iteration = self.iteration,
+                            detail = detail.as_str(),
+                            retries = recoveries,
+                        );
                         return Err(SkipperError::Divergence {
                             iteration: self.iteration,
                             detail,
@@ -352,15 +362,26 @@ impl TrainSession {
                     if let (Some(opt), Some(lr)) = (self.aux_optimizer.as_mut(), aux_lr) {
                         opt.set_learning_rate(lr);
                     }
+                    skipper_obs::counter_add("sentinel.recoveries", 1.0);
+                    skipper_obs::instant!(
+                        skipper_obs::Level::Warn,
+                        "sentinel.recovery",
+                        iteration = self.iteration,
+                        detail = detail.as_str(),
+                        lr = lr,
+                    );
                     continue;
                 }
             }
             self.last_sam_sums = result.sam.sums().to_vec();
-            self.optimizer.step(self.net.params_mut());
-            self.net.params_mut().zero_grads();
-            if let (Some(aux), Some(opt)) = (self.aux.as_mut(), self.aux_optimizer.as_mut()) {
-                opt.step(aux.store_mut());
-                aux.store_mut().zero_grads();
+            {
+                let _opt = skipper_obs::span!("optimizer_step");
+                self.optimizer.step(self.net.params_mut());
+                self.net.params_mut().zero_grads();
+                if let (Some(aux), Some(opt)) = (self.aux.as_mut(), self.aux_optimizer.as_mut()) {
+                    opt.step(aux.store_mut());
+                    aux.store_mut().zero_grads();
+                }
             }
             let wall = start.elapsed();
             let stats = BatchStats {
@@ -375,17 +396,21 @@ impl TrainSession {
                 mem: snapshot(),
                 ops: take_op_log(),
             };
+            skipper_memprof::publish_peaks(&stats.mem);
+            skipper_obs::observe("iteration.wall_us", wall.as_micros() as f64);
             if let Some(budget) = self.mem_budget {
                 if stats.peak_bytes() > budget {
                     let layers = self.net.spiking_layer_count();
                     if let Some(to) = relieve_pressure(&self.method, self.timesteps, layers) {
-                        self.governor_log.push(GovernorAction {
+                        let action = GovernorAction {
                             iteration: self.iteration,
                             peak_bytes: stats.peak_bytes(),
                             budget_bytes: budget,
                             from: self.method.clone(),
                             to: to.clone(),
-                        });
+                        };
+                        action.emit();
+                        self.governor_log.push(action);
                         self.set_method(to);
                     }
                 }
@@ -681,7 +706,15 @@ mod tests {
     #[test]
     fn optimizer_changes_weights() {
         let mut s = session(Method::Bptt);
-        let before: Vec<f32> = s.net().params().iter().next().unwrap().value().data().to_vec();
+        let before: Vec<f32> = s
+            .net()
+            .params()
+            .iter()
+            .next()
+            .unwrap()
+            .value()
+            .data()
+            .to_vec();
         let (inputs, labels) = batch(2);
         s.train_batch(&inputs, &labels);
         let after = s.net().params().iter().next().unwrap().value();

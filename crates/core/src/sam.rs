@@ -42,7 +42,13 @@ impl SamMetric {
             SamMetric::MembraneL2 => state
                 .mems
                 .iter()
-                .map(|u| u.data().iter().map(|&x| (x as f64) * (x as f64)).sum::<f64>().sqrt())
+                .map(|u| {
+                    u.data()
+                        .iter()
+                        .map(|&x| (x as f64) * (x as f64))
+                        .sum::<f64>()
+                        .sqrt()
+                })
                 .sum(),
         }
     }
@@ -119,6 +125,27 @@ impl SpikeActivityMonitor {
     pub fn recompute(&self, t: usize, sst: f64) -> bool {
         self.sums[t] >= sst
     }
+}
+
+/// Emit the per-timestep `skip_decision` trace event: segment `c`,
+/// timestep `t`, its activity statistic `s_t`, the segment's threshold
+/// `SST_c` (NaN when the policy does not threshold on activity, e.g.
+/// [`SkipPolicy::Random`] — serialised as `null`), and the verdict.
+///
+/// This is the event granularity the paper plots (Fig. 3's skip traces);
+/// the `trace_training` bench bin and the obs integration tests assert the
+/// emitted counts against [`BatchStats`](crate::BatchStats). No-op while
+/// tracing is disabled.
+pub fn trace_skip_decision(c: usize, t: usize, s_t: f64, sst: f64, skip: bool) {
+    skipper_obs::instant!(
+        skipper_obs::Level::Trace,
+        "skip_decision",
+        c = c,
+        t = t,
+        s_t = s_t,
+        sst = sst,
+        skip = skip,
+    );
 }
 
 /// Nearest-rank percentile of `values`. `p ≤ 0` → `-∞`; `p ≥ 100` → the

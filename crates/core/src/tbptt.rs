@@ -12,9 +12,7 @@
 use crate::bptt::StepResult;
 use crate::sam::SpikeActivityMonitor;
 use skipper_autograd::Graph;
-use skipper_snn::{
-    softmax_cross_entropy, ParamBinder, SpikingNetwork, StepCtx, TapedState,
-};
+use skipper_snn::{softmax_cross_entropy, ParamBinder, SpikingNetwork, StepCtx, TapedState};
 use skipper_tensor::Tensor;
 
 /// One TBPTT iteration with truncation window `window`.
@@ -40,6 +38,7 @@ pub(crate) fn tbptt_step(
     let mut start = 0usize;
     while start < timesteps {
         let end = (start + window).min(timesteps);
+        let _win = skipper_obs::span!("tbptt_window", start = start, end = end);
         let mut g = Graph::new();
         let mut binder = ParamBinder::new(net.params());
         // Detached boundary: requires_grad = false is the truncation.
@@ -85,11 +84,7 @@ pub(crate) fn tbptt_step(
     // methods.
     let total = total_logits.expect("at least one window");
     let preds = total.argmax_rows();
-    let correct = preds
-        .iter()
-        .zip(labels)
-        .filter(|(p, l)| *p == *l)
-        .count();
+    let correct = preds.iter().zip(labels).filter(|(p, l)| *p == *l).count();
     StepResult {
         loss: loss_sum / windows as f64,
         correct,

@@ -67,7 +67,12 @@ fn c_equals_t_runs_even_though_eq7_flags_it() {
 
 #[test]
 fn tbptt_window_one_is_valid() {
-    let mut s = TrainSession::new(net(), Box::new(Adam::new(1e-3)), Method::Tbptt { window: 1 }, 5);
+    let mut s = TrainSession::new(
+        net(),
+        Box::new(Adam::new(1e-3)),
+        Method::Tbptt { window: 1 },
+        5,
+    );
     let stats = s.train_batch(&inputs(5, 2), &[0, 1]);
     assert!(stats.loss.is_finite());
 }
@@ -131,7 +136,11 @@ fn constant_input_trains_without_nan_for_many_iterations() {
         assert!(stats.loss.is_finite());
     }
     for p in s.net().params().iter() {
-        assert!(p.value().data().iter().all(|v| v.is_finite()), "{}", p.name());
+        assert!(
+            p.value().data().iter().all(|v| v.is_finite()),
+            "{}",
+            p.name()
+        );
     }
 }
 

@@ -140,7 +140,10 @@ fn nan_injection_rolls_back_and_recovers() {
     for seed in 0..4 {
         let (inputs, labels) = batch(seed, 8);
         let stats = s.try_train_batch(&inputs, &labels).unwrap();
-        assert!(stats.loss.is_finite(), "loss must stay finite under recovery");
+        assert!(
+            stats.loss.is_finite(),
+            "loss must stay finite under recovery"
+        );
         recoveries_seen += stats.recoveries;
     }
     assert_eq!(recoveries_seen, 1, "exactly one poisoned iteration");

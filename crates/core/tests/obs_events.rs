@@ -1,0 +1,141 @@
+//! The structured-event stream must agree with the runner's own
+//! accounting: `skip_decision` events are the trace-side view of the same
+//! per-timestep decisions `BatchStats` tallies, so the two must match
+//! exactly — per batch and in aggregate.
+//!
+//! Cargo runs tests in parallel threads that share the process-global
+//! collector, so every assertion filters the ring buffer down to events
+//! emitted by this thread (`snapshot_current_thread`).
+
+use skipper_core::{Method, TrainSession};
+use skipper_obs as obs;
+use skipper_snn::{custom_net, Adam, ModelConfig};
+use skipper_tensor::{Tensor, XorShiftRng};
+
+fn inputs(t: usize, batch: usize) -> Vec<Tensor> {
+    let mut rng = XorShiftRng::new(11);
+    (0..t)
+        .map(|_| Tensor::rand([batch, 3, 8, 8], &mut rng).map(|x| (x > 0.6) as i32 as f32))
+        .collect()
+}
+
+fn session(method: Method, t: usize) -> TrainSession {
+    let net = custom_net(&ModelConfig {
+        input_hw: 8,
+        width_mult: 0.25,
+        ..ModelConfig::default()
+    });
+    TrainSession::new(net, Box::new(Adam::new(1e-3)), method, t)
+}
+
+fn skip_field(e: &obs::Event) -> Option<bool> {
+    e.fields.iter().find_map(|(k, v)| match (k, v) {
+        (&"skip", obs::FieldValue::Bool(b)) => Some(*b),
+        _ => None,
+    })
+}
+
+#[test]
+fn skip_decision_events_match_batch_stats() {
+    let (ring, handle) = obs::RingBufferSink::new(1 << 14);
+    let id = obs::add_sink(Box::new(ring));
+
+    let t = 12usize;
+    let mut s = session(
+        Method::Skipper {
+            checkpoints: 3,
+            percentile: 50.0,
+        },
+        t,
+    );
+    let inputs = inputs(t, 4);
+    let labels = [0usize, 1, 2, 3];
+
+    for _ in 0..3 {
+        handle.clear();
+        let stats = s.train_batch(&inputs, &labels);
+        let events = handle.snapshot_current_thread();
+
+        let decisions: Vec<_> = events
+            .iter()
+            .filter(|e| e.name == "skip_decision")
+            .collect();
+        assert_eq!(
+            decisions.len(),
+            t,
+            "one skip_decision event per timestep per batch"
+        );
+        let skipped = decisions
+            .iter()
+            .filter(|e| skip_field(e) == Some(true))
+            .count();
+        let recomputed = decisions
+            .iter()
+            .filter(|e| skip_field(e) == Some(false))
+            .count();
+        assert_eq!(skipped, stats.skipped_steps, "skip=true vs BatchStats");
+        assert_eq!(
+            recomputed, stats.recomputed_steps,
+            "skip=false vs BatchStats"
+        );
+        assert_eq!(skipped + recomputed, t, "recomputed + skipped = T");
+    }
+
+    obs::remove_sink(id);
+}
+
+#[test]
+fn recompute_spans_cover_every_segment() {
+    let (ring, handle) = obs::RingBufferSink::new(1 << 14);
+    let id = obs::add_sink(Box::new(ring));
+
+    let (t, c) = (10usize, 2usize);
+    let mut s = session(
+        Method::Skipper {
+            checkpoints: c,
+            percentile: 40.0,
+        },
+        t,
+    );
+    let stats = s.train_batch(&inputs(t, 2), &[1, 2]);
+    let events = handle.snapshot_current_thread();
+    obs::remove_sink(id);
+
+    let seg_begins = events
+        .iter()
+        .filter(|e| {
+            e.name == "recompute_segment" && matches!(e.kind, obs::EventKind::SpanBegin { .. })
+        })
+        .count();
+    assert_eq!(seg_begins, c, "one recompute span per checkpoint segment");
+
+    // The trace's counters must also agree with BatchStats.
+    let counted: f64 = events
+        .iter()
+        .filter(|e| e.name == "skipper.steps_skipped")
+        .map(|e| match e.kind {
+            obs::EventKind::Counter { delta } => delta,
+            _ => 0.0,
+        })
+        .sum();
+    assert_eq!(counted as usize, stats.skipped_steps);
+}
+
+#[test]
+fn checkpointed_method_skips_nothing() {
+    let (ring, handle) = obs::RingBufferSink::new(1 << 14);
+    let id = obs::add_sink(Box::new(ring));
+
+    let t = 8usize;
+    let mut s = session(Method::Checkpointed { checkpoints: 2 }, t);
+    let stats = s.train_batch(&inputs(t, 2), &[0, 1]);
+    let events = handle.snapshot_current_thread();
+    obs::remove_sink(id);
+
+    assert_eq!(stats.skipped_steps, 0);
+    let skipped_events = events
+        .iter()
+        .filter(|e| e.name == "skip_decision" && skip_field(e) == Some(true))
+        .count();
+    assert_eq!(skipped_events, 0, "plain checkpointing never skips");
+}

@@ -34,13 +34,11 @@ fn sam_enums_json_roundtrip() {
         SamMetric::NeuronNormalized,
         SamMetric::MembraneL2,
     ] {
-        let back: SamMetric =
-            serde_json::from_str(&serde_json::to_string(&m).unwrap()).unwrap();
+        let back: SamMetric = serde_json::from_str(&serde_json::to_string(&m).unwrap()).unwrap();
         assert_eq!(m, back);
     }
     for p in [SkipPolicy::SpikeActivity, SkipPolicy::Random] {
-        let back: SkipPolicy =
-            serde_json::from_str(&serde_json::to_string(&p).unwrap()).unwrap();
+        let back: SkipPolicy = serde_json::from_str(&serde_json::to_string(&p).unwrap()).unwrap();
         assert_eq!(p, back);
     }
 }

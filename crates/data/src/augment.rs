@@ -99,8 +99,7 @@ impl EventAugment {
                 continue;
             }
             let jitter = if self.time_jitter > 0 {
-                rng.next_below((2 * self.time_jitter + 1) as usize) as i64
-                    - self.time_jitter as i64
+                rng.next_below((2 * self.time_jitter + 1) as usize) as i64 - self.time_jitter as i64
             } else {
                 0
             };
@@ -170,8 +169,18 @@ mod tests {
     fn tiny_stream() -> EventStream {
         EventStream {
             events: vec![
-                Event { x: 0, y: 1, polarity: true, t: 5 },
-                Event { x: 3, y: 2, polarity: false, t: 9 },
+                Event {
+                    x: 0,
+                    y: 1,
+                    polarity: true,
+                    t: 5,
+                },
+                Event {
+                    x: 3,
+                    y: 2,
+                    polarity: false,
+                    t: 9,
+                },
             ],
             hw: 4,
             duration: 16,

@@ -299,8 +299,13 @@ fn saccade_scene(
         };
         let px = x as f32 - ox - jx;
         let py = y as f32 - oy - jy;
-        blob(c1x, c1y, sigma, px as usize % hw, py.max(0.0) as usize % hw)
-            .max(blob(c2x, c2y, sigma, px.max(0.0) as usize % hw, py.max(0.0) as usize % hw))
+        blob(c1x, c1y, sigma, px as usize % hw, py.max(0.0) as usize % hw).max(blob(
+            c2x,
+            c2y,
+            sigma,
+            px.max(0.0) as usize % hw,
+            py.max(0.0) as usize % hw,
+        ))
     })
 }
 
@@ -462,9 +467,8 @@ mod tests {
             let norm: f64 = h.iter().map(|v| v * v).sum::<f64>().sqrt();
             h.iter().map(|v| v / norm.max(1e-12)).collect()
         };
-        let dist = |a: &[f64], b: &[f64]| -> f64 {
-            a.iter().zip(b).map(|(x, y)| (x - y).powi(2)).sum()
-        };
+        let dist =
+            |a: &[f64], b: &[f64]| -> f64 { a.iter().zip(b).map(|(x, y)| (x - y).powi(2)).sum() };
         let (mut intra, mut inter, mut ni, mut nx) = (0.0, 0.0, 0, 0);
         for i in 0..train.len() {
             for j in (i + 1)..train.len() {

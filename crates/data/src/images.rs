@@ -89,10 +89,7 @@ impl ImageDataset {
             data.extend_from_slice(self.images[i].data());
             labels.push(self.labels[i]);
         }
-        (
-            Tensor::from_vec(data, [indices.len(), c, h, w]),
-            labels,
-        )
+        (Tensor::from_vec(data, [indices.len(), c, h, w]), labels)
     }
 }
 
@@ -104,10 +101,10 @@ fn prototype(cfg: &SynthImageConfig, rng: &mut XorShiftRng) -> Vec<f32> {
         let comps: Vec<(f32, f32, f32, f32)> = (0..3)
             .map(|_| {
                 (
-                    rng.next_f32() * 1.5 + 0.5,          // fx
-                    rng.next_f32() * 1.5 + 0.5,          // fy
+                    rng.next_f32() * 1.5 + 0.5,             // fx
+                    rng.next_f32() * 1.5 + 0.5,             // fy
                     rng.next_f32() * std::f32::consts::TAU, // phase
-                    rng.next_f32() * 0.5 + 0.2,          // amp
+                    rng.next_f32() * 0.5 + 0.2,             // amp
                 )
             })
             .collect();
@@ -127,11 +124,7 @@ fn prototype(cfg: &SynthImageConfig, rng: &mut XorShiftRng) -> Vec<f32> {
     img
 }
 
-fn jittered(
-    proto: &[f32],
-    cfg: &SynthImageConfig,
-    rng: &mut XorShiftRng,
-) -> Tensor {
+fn jittered(proto: &[f32], cfg: &SynthImageConfig, rng: &mut XorShiftRng) -> Tensor {
     let hw = cfg.hw;
     let shift = cfg.max_shift as isize;
     let dx = if shift > 0 {
@@ -151,8 +144,8 @@ fn jittered(
             for x in 0..hw {
                 let sy = (y as isize + dy).rem_euclid(hw as isize) as usize;
                 let sx = (x as isize + dx).rem_euclid(hw as isize) as usize;
-                let v = proto[(c * hw + sy) * hw + sx] * amp
-                    + cfg.noise * (rng.next_f32() - 0.5) * 2.0;
+                let v =
+                    proto[(c * hw + sy) * hw + sx] * amp + cfg.noise * (rng.next_f32() - 0.5) * 2.0;
                 data[(c * hw + y) * hw + x] = v.clamp(0.0, 1.0);
             }
         }
@@ -278,9 +271,6 @@ mod tests {
         let (batch, labels) = train.batch(&[0, 10, 20]);
         assert_eq!(batch.shape().dims(), &[3, 3, 16, 16]);
         assert_eq!(labels.len(), 3);
-        assert_eq!(
-            mp::snapshot().live(mp::Category::Input),
-            batch.byte_size()
-        );
+        assert_eq!(mp::snapshot().live(mp::Category::Input), batch.byte_size());
     }
 }

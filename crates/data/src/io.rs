@@ -71,7 +71,9 @@ pub fn read_events(reader: &mut impl Read) -> Result<EventDataset, DataError> {
     let mut magic = [0u8; 6];
     reader.read_exact(&mut magic)?;
     if &magic != MAGIC {
-        return Err(DataError::Format("not a skipper event file (bad magic)".into()));
+        return Err(DataError::Format(
+            "not a skipper event file (bad magic)".into(),
+        ));
     }
     let count = read_u32(reader)? as usize;
     let num_classes = read_u32(reader)? as usize;
@@ -84,7 +86,9 @@ pub fn read_events(reader: &mut impl Read) -> Result<EventDataset, DataError> {
     for _ in 0..count {
         let label = read_u32(reader)? as usize;
         if label >= num_classes {
-            return Err(DataError::Format(format!("label {label} out of range for {num_classes} classes")));
+            return Err(DataError::Format(format!(
+                "label {label} out of range for {num_classes} classes"
+            )));
         }
         let duration = read_u32(reader)?;
         let n_events = read_u32(reader)? as usize;
@@ -100,7 +104,9 @@ pub fn read_events(reader: &mut impl Read) -> Result<EventDataset, DataError> {
             let hi = read_u16(reader)? as u32;
             let t = lo | (hi << 16);
             if (x as usize) >= hw || (y as usize) >= hw || t >= duration.max(1) {
-                return Err(DataError::Format("event outside sensor/duration bounds".into()));
+                return Err(DataError::Format(
+                    "event outside sensor/duration bounds".into(),
+                ));
             }
             events.push(Event { x, y, polarity, t });
         }

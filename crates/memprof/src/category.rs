@@ -10,8 +10,9 @@ use serde::{Deserialize, Serialize};
 /// (weight gradients + gradient moments + non-trainable parameters) and
 /// *others*. We keep weight gradients separate from the optimizer moments so
 /// that both the paper's coarse grouping and a finer one can be reported.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
-#[derive(Default)]
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize, Default,
+)]
 pub enum Category {
     /// Time-dependent neural state: membrane potentials, spikes, synaptic
     /// currents and everything else saved for the backward pass.
@@ -73,7 +74,6 @@ impl Category {
         }
     }
 }
-
 
 impl std::fmt::Display for Category {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {

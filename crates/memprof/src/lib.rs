@@ -63,7 +63,7 @@ pub use latency::{record_op, set_op_logging, take_op_log, LatencyModel, OpKind, 
 pub use parallel::{DataParallelModel, ParallelStepCost};
 pub use timeline::{downsample, sparkline, timeline_from_events, TimelinePoint};
 pub use tracker::{
-    current_category, enable_event_log, inject_pressure, injected_pressure, release_pressure,
-    reset_all, reset_peaks, snapshot, take_events, AllocEvent, CategoryGuard, MemorySnapshot,
-    Registration,
+    current_category, enable_event_log, inject_pressure, injected_pressure, publish_peaks,
+    release_pressure, reset_all, reset_peaks, snapshot, take_events, AllocEvent, CategoryGuard,
+    MemorySnapshot, Registration,
 };

@@ -233,6 +233,30 @@ pub fn snapshot() -> MemorySnapshot {
     })
 }
 
+/// Publish `snapshot`'s per-category and total peaks as observability
+/// gauges (`memprof.peak_bytes{category=...}` and
+/// `memprof.peak_bytes{category=total}`).
+///
+/// The bridge between the byte-exact tracker and `skipper-obs`: callers
+/// that already snapshot per iteration (e.g. the training runner) invoke
+/// it so Perfetto traces grow counter tracks aligned with the span
+/// timeline. No-op while tracing is disabled.
+pub fn publish_peaks(snapshot: &MemorySnapshot) {
+    if !skipper_obs::enabled() {
+        return;
+    }
+    for (category, peak) in snapshot.peaks() {
+        skipper_obs::gauge_set(
+            &skipper_obs::labeled("memprof.peak_bytes", "category", category),
+            peak as f64,
+        );
+    }
+    skipper_obs::gauge_set(
+        &skipper_obs::labeled("memprof.peak_bytes", "category", "total"),
+        snapshot.total_peak() as f64,
+    );
+}
+
 /// Reset every peak to the current live value (start of a new measurement
 /// window, e.g. a training iteration).
 pub fn reset_peaks() {

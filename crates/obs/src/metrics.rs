@@ -1,0 +1,289 @@
+//! The metrics registry: counters, gauges and fixed-bucket histograms.
+//!
+//! A [`Registry`] aggregates in-process; sinks additionally see every
+//! update as an [`Event`](crate::Event), so exporters can reconstruct time
+//! series while the registry answers "what is the total now?". Metric keys
+//! are plain strings; a label dimension is encoded into the key with
+//! [`labeled`] (`"memprof.peak_bytes{category=weights}"`), keeping the
+//! registry flat and allocation-light.
+
+use std::collections::BTreeMap;
+use std::sync::Mutex;
+
+/// Build a labelled metric key: `name{key=value}`.
+pub fn labeled(name: &str, key: &str, value: impl std::fmt::Display) -> String {
+    format!("{name}{{{key}={value}}}")
+}
+
+/// A fixed-bucket histogram: counts per bucket, plus sum/count/min/max of
+/// the raw samples.
+///
+/// Bucket `i` covers `(bounds[i-1], bounds[i]]` (the first covers
+/// `(-inf, bounds[0]]`); one extra overflow bucket covers
+/// `(bounds.last(), +inf)`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Histogram {
+    bounds: Vec<f64>,
+    counts: Vec<u64>,
+    sum: f64,
+    count: u64,
+    min: f64,
+    max: f64,
+}
+
+impl Histogram {
+    /// Histogram with the given strictly-increasing upper bounds.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bounds` is empty or not strictly increasing.
+    pub fn new(bounds: &[f64]) -> Histogram {
+        assert!(!bounds.is_empty(), "histogram needs at least one bound");
+        assert!(
+            bounds.windows(2).all(|w| w[0] < w[1]),
+            "histogram bounds must be strictly increasing"
+        );
+        Histogram {
+            bounds: bounds.to_vec(),
+            counts: vec![0; bounds.len() + 1],
+            sum: 0.0,
+            count: 0,
+            min: f64::INFINITY,
+            max: f64::NEG_INFINITY,
+        }
+    }
+
+    /// Default bucketing for duration-like values in microseconds:
+    /// powers of 10 from 1 µs to 100 s.
+    pub fn default_us() -> Histogram {
+        Histogram::new(&[1e0, 1e1, 1e2, 1e3, 1e4, 1e5, 1e6, 1e7, 1e8])
+    }
+
+    /// Record one sample.
+    pub fn observe(&mut self, value: f64) {
+        let idx = self
+            .bounds
+            .iter()
+            .position(|&b| value <= b)
+            .unwrap_or(self.bounds.len());
+        self.counts[idx] += 1;
+        self.sum += value;
+        self.count += 1;
+        self.min = self.min.min(value);
+        self.max = self.max.max(value);
+    }
+
+    /// Upper bounds of the finite buckets.
+    pub fn bounds(&self) -> &[f64] {
+        &self.bounds
+    }
+
+    /// Per-bucket counts (`bounds.len() + 1` entries, last = overflow).
+    pub fn counts(&self) -> &[u64] {
+        &self.counts
+    }
+
+    /// Total samples observed.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Sum of all samples.
+    pub fn sum(&self) -> f64 {
+        self.sum
+    }
+
+    /// Mean sample (0 when empty).
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum / self.count as f64
+        }
+    }
+
+    /// Smallest sample (`+inf` when empty).
+    pub fn min(&self) -> f64 {
+        self.min
+    }
+
+    /// Largest sample (`-inf` when empty).
+    pub fn max(&self) -> f64 {
+        self.max
+    }
+}
+
+#[derive(Debug, Default)]
+struct RegistryState {
+    counters: BTreeMap<String, f64>,
+    gauges: BTreeMap<String, f64>,
+    histograms: BTreeMap<String, Histogram>,
+}
+
+/// Thread-safe aggregate store of counters, gauges and histograms.
+///
+/// The crate keeps one global registry (see [`registry`](crate::registry));
+/// tests can build private ones for isolation.
+#[derive(Debug, Default)]
+pub struct Registry {
+    state: Mutex<RegistryState>,
+}
+
+/// Point-in-time copy of a registry's contents.
+#[derive(Debug, Clone, Default)]
+pub struct MetricsSnapshot {
+    /// Counter totals, sorted by key.
+    pub counters: Vec<(String, f64)>,
+    /// Latest gauge values, sorted by key.
+    pub gauges: Vec<(String, f64)>,
+    /// Histogram states, sorted by key.
+    pub histograms: Vec<(String, Histogram)>,
+}
+
+impl Registry {
+    /// An empty registry.
+    pub fn new() -> Registry {
+        Registry::default()
+    }
+
+    /// Add `delta` to the counter `name` (created at zero on first use).
+    pub fn counter_add(&self, name: &str, delta: f64) {
+        let mut s = self.state.lock().unwrap();
+        match s.counters.get_mut(name) {
+            Some(v) => *v += delta,
+            None => {
+                s.counters.insert(name.to_string(), delta);
+            }
+        }
+    }
+
+    /// Current value of counter `name`.
+    pub fn counter(&self, name: &str) -> f64 {
+        self.state
+            .lock()
+            .unwrap()
+            .counters
+            .get(name)
+            .copied()
+            .unwrap_or(0.0)
+    }
+
+    /// Set the gauge `name` to `value`.
+    pub fn gauge_set(&self, name: &str, value: f64) {
+        let mut s = self.state.lock().unwrap();
+        match s.gauges.get_mut(name) {
+            Some(v) => *v = value,
+            None => {
+                s.gauges.insert(name.to_string(), value);
+            }
+        }
+    }
+
+    /// Latest value of gauge `name`.
+    pub fn gauge(&self, name: &str) -> Option<f64> {
+        self.state.lock().unwrap().gauges.get(name).copied()
+    }
+
+    /// Pre-register histogram `name` with explicit bucket bounds (replaces
+    /// any previous registration and its samples).
+    pub fn register_histogram(&self, name: &str, bounds: &[f64]) {
+        self.state
+            .lock()
+            .unwrap()
+            .histograms
+            .insert(name.to_string(), Histogram::new(bounds));
+    }
+
+    /// Record one sample into histogram `name`. An unregistered histogram
+    /// is created with the [`Histogram::default_us`] buckets.
+    pub fn observe(&self, name: &str, value: f64) {
+        let mut s = self.state.lock().unwrap();
+        s.histograms
+            .entry(name.to_string())
+            .or_insert_with(Histogram::default_us)
+            .observe(value);
+    }
+
+    /// A copy of histogram `name`, if any samples or a registration exist.
+    pub fn histogram(&self, name: &str) -> Option<Histogram> {
+        self.state.lock().unwrap().histograms.get(name).cloned()
+    }
+
+    /// Copy out everything.
+    pub fn snapshot(&self) -> MetricsSnapshot {
+        let s = self.state.lock().unwrap();
+        MetricsSnapshot {
+            counters: s.counters.iter().map(|(k, v)| (k.clone(), *v)).collect(),
+            gauges: s.gauges.iter().map(|(k, v)| (k.clone(), *v)).collect(),
+            histograms: s
+                .histograms
+                .iter()
+                .map(|(k, v)| (k.clone(), v.clone()))
+                .collect(),
+        }
+    }
+
+    /// Drop every metric (test isolation).
+    pub fn clear(&self) {
+        *self.state.lock().unwrap() = RegistryState::default();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_accumulate_and_gauges_overwrite() {
+        let r = Registry::new();
+        r.counter_add("skipped", 3.0);
+        r.counter_add("skipped", 2.0);
+        assert_eq!(r.counter("skipped"), 5.0);
+        assert_eq!(r.counter("absent"), 0.0);
+        r.gauge_set("sst", 10.0);
+        r.gauge_set("sst", 7.0);
+        assert_eq!(r.gauge("sst"), Some(7.0));
+        assert_eq!(r.gauge("absent"), None);
+    }
+
+    #[test]
+    fn histogram_bucketing_is_inclusive_upper() {
+        let mut h = Histogram::new(&[1.0, 10.0, 100.0]);
+        for v in [0.5, 1.0, 1.5, 10.0, 99.0, 1000.0] {
+            h.observe(v);
+        }
+        // (-inf,1]: {0.5, 1.0}; (1,10]: {1.5, 10.0}; (10,100]: {99.0};
+        // overflow: {1000.0}.
+        assert_eq!(h.counts(), &[2, 2, 1, 1]);
+        assert_eq!(h.count(), 6);
+        assert_eq!(h.min(), 0.5);
+        assert_eq!(h.max(), 1000.0);
+        assert!((h.mean() - 1112.0 / 6.0).abs() < 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "strictly increasing")]
+    fn histogram_rejects_unsorted_bounds() {
+        let _ = Histogram::new(&[1.0, 1.0]);
+    }
+
+    #[test]
+    fn labeled_key_format() {
+        assert_eq!(
+            labeled("memprof.peak_bytes", "category", "weights"),
+            "memprof.peak_bytes{category=weights}"
+        );
+    }
+
+    #[test]
+    fn snapshot_and_clear() {
+        let r = Registry::new();
+        r.counter_add("a", 1.0);
+        r.observe("h", 5.0);
+        let snap = r.snapshot();
+        assert_eq!(snap.counters, vec![("a".to_string(), 1.0)]);
+        assert_eq!(snap.histograms.len(), 1);
+        r.clear();
+        assert!(r.snapshot().counters.is_empty());
+    }
+}

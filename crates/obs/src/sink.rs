@@ -1,0 +1,258 @@
+//! Pluggable event sinks.
+//!
+//! A [`Sink`] receives every event the collector accepts. Three are built
+//! in: [`RingBufferSink`] (bounded in-memory capture, for tests and the
+//! summary table), [`JsonlSink`] (one JSON object per line, for offline
+//! analysis), and [`StderrSink`] (human-readable terminal logging with a
+//! level filter — the single verbosity knob for `cargo run` output).
+
+use crate::event::{Event, EventKind, Level};
+use std::io::Write;
+use std::sync::{Arc, Mutex};
+
+/// Receiver of collector events. Implementations must be `Send`: the
+/// collector serialises calls behind its own lock, but events can originate
+/// on any thread.
+pub trait Sink: Send {
+    /// Accept one event.
+    fn record(&mut self, event: &Event);
+
+    /// Flush any buffered output (called on removal and by
+    /// [`flush`](crate::flush)).
+    fn flush(&mut self) {}
+}
+
+#[derive(Debug, Default)]
+struct RingInner {
+    events: Vec<Event>,
+    dropped: u64,
+    capacity: usize,
+}
+
+/// Reader half of a [`RingBufferSink`]: the sink itself is installed into
+/// the collector, the handle stays with the caller.
+#[derive(Debug, Clone)]
+pub struct RingHandle {
+    inner: Arc<Mutex<RingInner>>,
+}
+
+impl RingHandle {
+    /// Copy out the captured events, oldest first.
+    pub fn snapshot(&self) -> Vec<Event> {
+        self.inner.lock().unwrap().events.clone()
+    }
+
+    /// Captured events emitted by the calling thread only — the idiom for
+    /// assertions in concurrently running tests.
+    pub fn snapshot_current_thread(&self) -> Vec<Event> {
+        let tid = crate::current_tid();
+        self.inner
+            .lock()
+            .unwrap()
+            .events
+            .iter()
+            .filter(|e| e.tid == tid)
+            .cloned()
+            .collect()
+    }
+
+    /// Events discarded because the ring was full.
+    pub fn dropped(&self) -> u64 {
+        self.inner.lock().unwrap().dropped
+    }
+
+    /// Discard everything captured so far.
+    pub fn clear(&self) {
+        let mut inner = self.inner.lock().unwrap();
+        inner.events.clear();
+        inner.dropped = 0;
+    }
+}
+
+/// Bounded in-memory sink. When full, the **oldest half** is discarded in
+/// one batch (amortised O(1) per event) and the drop is counted.
+#[derive(Debug)]
+pub struct RingBufferSink {
+    inner: Arc<Mutex<RingInner>>,
+}
+
+impl RingBufferSink {
+    /// A ring holding at most `capacity` events, plus its reader handle.
+    pub fn new(capacity: usize) -> (RingBufferSink, RingHandle) {
+        let inner = Arc::new(Mutex::new(RingInner {
+            events: Vec::new(),
+            dropped: 0,
+            capacity: capacity.max(2),
+        }));
+        (
+            RingBufferSink {
+                inner: Arc::clone(&inner),
+            },
+            RingHandle { inner },
+        )
+    }
+}
+
+impl Sink for RingBufferSink {
+    fn record(&mut self, event: &Event) {
+        let mut inner = self.inner.lock().unwrap();
+        if inner.events.len() >= inner.capacity {
+            let half = inner.capacity / 2;
+            inner.events.drain(..half);
+            inner.dropped += half as u64;
+        }
+        inner.events.push(event.clone());
+    }
+}
+
+/// One JSON object per line, written to any `Write` (a file, a pipe, a
+/// `Vec<u8>` in tests).
+pub struct JsonlSink {
+    out: Box<dyn Write + Send>,
+}
+
+impl std::fmt::Debug for JsonlSink {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("JsonlSink").finish_non_exhaustive()
+    }
+}
+
+impl JsonlSink {
+    /// Wrap a writer.
+    pub fn new(out: Box<dyn Write + Send>) -> JsonlSink {
+        JsonlSink { out }
+    }
+
+    /// Create (truncating) a JSONL file at `path`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the file-creation error.
+    pub fn create(path: impl AsRef<std::path::Path>) -> std::io::Result<JsonlSink> {
+        let file = std::fs::File::create(path)?;
+        Ok(JsonlSink::new(Box::new(std::io::BufWriter::new(file))))
+    }
+}
+
+impl Sink for JsonlSink {
+    fn record(&mut self, event: &Event) {
+        let _ = writeln!(self.out, "{}", event.to_json());
+    }
+
+    fn flush(&mut self) {
+        let _ = self.out.flush();
+    }
+}
+
+/// Human-readable terminal logging at `min_level` and above.
+///
+/// `SKIPPER_OBS=info cargo run ...` (see
+/// [`init_from_env`](crate::init_from_env)) installs one of these — the
+/// workspace's replacement for scattered `eprintln!` calls.
+#[derive(Debug)]
+pub struct StderrSink {
+    min_level: Level,
+}
+
+impl StderrSink {
+    /// Log events at `min_level` and above.
+    pub fn new(min_level: Level) -> StderrSink {
+        StderrSink { min_level }
+    }
+
+    fn format(event: &Event) -> String {
+        let mut line = format!(
+            "[{:>10.3}ms {} {}] {}",
+            event.ts_us as f64 / 1e3,
+            event.tid,
+            event.level,
+            event.name
+        );
+        match &event.kind {
+            EventKind::SpanBegin { .. } => line.push_str(" {"),
+            EventKind::SpanEnd { .. } => line.push_str(" }"),
+            EventKind::Instant => {}
+            EventKind::Counter { delta } => line.push_str(&format!(" += {delta}")),
+            EventKind::Gauge { value } => line.push_str(&format!(" = {value}")),
+            EventKind::Observe { value } => line.push_str(&format!(" << {value}")),
+        }
+        for (k, v) in &event.fields {
+            line.push_str(&format!(" {k}={v}"));
+        }
+        line
+    }
+}
+
+impl Sink for StderrSink {
+    fn record(&mut self, event: &Event) {
+        if event.level >= self.min_level {
+            eprintln!("{}", Self::format(event));
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn instant(name: &'static str, ts: u64) -> Event {
+        Event {
+            name: name.into(),
+            level: Level::Debug,
+            ts_us: ts,
+            tid: 1,
+            kind: EventKind::Instant,
+            fields: Vec::new(),
+        }
+    }
+
+    #[test]
+    fn ring_drops_oldest_half_when_full() {
+        let (mut sink, handle) = RingBufferSink::new(4);
+        for i in 0..5 {
+            sink.record(&instant("e", i));
+        }
+        let events = handle.snapshot();
+        // Capacity 4: the 5th insert dropped the oldest 2.
+        assert_eq!(events.len(), 3);
+        assert_eq!(events[0].ts_us, 2);
+        assert_eq!(handle.dropped(), 2);
+        handle.clear();
+        assert!(handle.snapshot().is_empty());
+        assert_eq!(handle.dropped(), 0);
+    }
+
+    #[test]
+    fn jsonl_writes_one_line_per_event() {
+        let buf: Arc<Mutex<Vec<u8>>> = Arc::default();
+        struct Shared(Arc<Mutex<Vec<u8>>>);
+        impl Write for Shared {
+            fn write(&mut self, data: &[u8]) -> std::io::Result<usize> {
+                self.0.lock().unwrap().extend_from_slice(data);
+                Ok(data.len())
+            }
+            fn flush(&mut self) -> std::io::Result<()> {
+                Ok(())
+            }
+        }
+        let mut sink = JsonlSink::new(Box::new(Shared(Arc::clone(&buf))));
+        sink.record(&instant("alpha", 1));
+        sink.record(&instant("beta", 2));
+        sink.flush();
+        let text = String::from_utf8(buf.lock().unwrap().clone()).unwrap();
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 2);
+        assert!(lines[0].contains("\"name\":\"alpha\""));
+        assert!(lines[1].contains("\"name\":\"beta\""));
+    }
+
+    #[test]
+    fn stderr_format_is_readable() {
+        let mut e = instant("governor.action", 1500);
+        e.fields.push(("c", 3usize.into()));
+        let line = StderrSink::format(&e);
+        assert!(line.contains("governor.action"));
+        assert!(line.contains("c=3"));
+        assert!(line.contains("1.500ms"));
+    }
+}

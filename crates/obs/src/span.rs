@@ -1,0 +1,106 @@
+//! Span guards: RAII tracing of nested regions of work.
+//!
+//! [`SpanGuard::enter`] emits a `SpanBegin` event and pushes the span onto
+//! a thread-local stack (giving automatic parent/child nesting); dropping
+//! the guard pops the stack and emits the matching `SpanEnd`. Guards must
+//! be dropped on the thread that created them — the same single-thread
+//! discipline the memory profiler's registrations follow.
+
+use crate::event::{Event, EventKind, Fields, Level};
+use std::cell::RefCell;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+static NEXT_SPAN_ID: AtomicU64 = AtomicU64::new(1);
+
+thread_local! {
+    static SPAN_STACK: RefCell<Vec<u64>> = const { RefCell::new(Vec::new()) };
+}
+
+/// An open span; dropping it closes the span.
+///
+/// Prefer the [`span!`](crate::span!) macro, which skips field construction
+/// entirely while tracing is disabled.
+#[derive(Debug)]
+#[must_use = "dropping the guard immediately closes the span"]
+pub struct SpanGuard {
+    id: u64,
+    name: &'static str,
+    live: bool,
+}
+
+impl SpanGuard {
+    /// Open a span named `name` with `fields`, if tracing is enabled.
+    pub fn enter(name: &'static str, fields: Fields) -> SpanGuard {
+        if !crate::enabled() {
+            return SpanGuard::disabled();
+        }
+        let id = NEXT_SPAN_ID.fetch_add(1, Ordering::Relaxed);
+        let parent = SPAN_STACK.with(|s| {
+            let mut s = s.borrow_mut();
+            let parent = s.last().copied();
+            s.push(id);
+            parent
+        });
+        crate::submit(Event {
+            name: name.into(),
+            level: Level::Debug,
+            ts_us: crate::now_us(),
+            tid: crate::current_tid(),
+            kind: EventKind::SpanBegin { id, parent },
+            fields,
+        });
+        SpanGuard {
+            id,
+            name,
+            live: true,
+        }
+    }
+
+    /// A no-op guard (what `enter` returns while tracing is disabled).
+    pub fn disabled() -> SpanGuard {
+        SpanGuard {
+            id: 0,
+            name: "",
+            live: false,
+        }
+    }
+
+    /// The span's process-unique id (0 for a disabled guard).
+    pub fn id(&self) -> u64 {
+        self.id
+    }
+
+    /// Whether this guard actually opened a span.
+    pub fn is_recording(&self) -> bool {
+        self.live
+    }
+}
+
+impl Drop for SpanGuard {
+    fn drop(&mut self) {
+        if !self.live {
+            return;
+        }
+        SPAN_STACK.with(|s| {
+            let mut s = s.borrow_mut();
+            // Tolerate out-of-order drops (e.g. guards stored in structs):
+            // remove this id wherever it sits rather than blindly popping.
+            if let Some(pos) = s.iter().rposition(|&id| id == self.id) {
+                s.remove(pos);
+            }
+        });
+        crate::submit(Event {
+            name: self.name.into(),
+            level: Level::Debug,
+            ts_us: crate::now_us(),
+            tid: crate::current_tid(),
+            kind: EventKind::SpanEnd { id: self.id },
+            fields: Vec::new(),
+        });
+    }
+}
+
+/// Id of the innermost open span on this thread, if any.
+pub fn current_span() -> Option<u64> {
+    SPAN_STACK.with(|s| s.borrow().last().copied())
+}

@@ -92,9 +92,7 @@ mod tests {
     fn sparse_inputs(timesteps: usize, batch: usize) -> Vec<Tensor> {
         let mut rng = XorShiftRng::new(7);
         (0..timesteps)
-            .map(|_| {
-                Tensor::rand([batch, 2, 16, 16], &mut rng).map(|x| (x > 0.97) as i32 as f32)
-            })
+            .map(|_| Tensor::rand([batch, 2, 16, 16], &mut rng).map(|x| (x > 0.97) as i32 as f32))
             .collect()
     }
 

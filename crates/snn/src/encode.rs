@@ -171,7 +171,10 @@ mod tests {
             }
         }
         assert_eq!(totals, [1, 1, 0], "each nonzero pixel fires exactly once");
-        assert!(fire_times[0].unwrap() < fire_times[1].unwrap(), "brighter first");
+        assert!(
+            fire_times[0].unwrap() < fire_times[1].unwrap(),
+            "brighter first"
+        );
         assert_eq!(fire_times[0].unwrap(), 0);
     }
 

@@ -278,7 +278,10 @@ mod tests {
             1,
             1,
             3,
-            Conv2dSpec { stride: 2, padding: 1 },
+            Conv2dSpec {
+                stride: 2,
+                padding: 1,
+            },
             false,
             &mut rng,
         );

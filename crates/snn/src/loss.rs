@@ -30,6 +30,7 @@ pub struct LossOutput {
 pub fn softmax_cross_entropy(logits: &Tensor, labels: &[usize]) -> LossOutput {
     let (b, k) = logits.shape().as_2d();
     assert_eq!(labels.len(), b, "one label per row");
+    let _span = skipper_obs::span!("loss", batch = b, classes = k);
     record_op(
         OpKind::Reduce,
         (3 * b * k) as f64,

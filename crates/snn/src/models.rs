@@ -100,7 +100,16 @@ impl NetBuilder {
     fn conv_lif(&mut self, out_c: usize, k: usize, spec: Conv2dSpec, pool: Option<usize>) {
         let (c, h, w) = self.chw.expect("conv on spatial input");
         let name = self.name("conv");
-        let conv = Conv2dLayer::new(&mut self.params, &name, c, out_c, k, spec, true, &mut self.rng);
+        let conv = Conv2dLayer::new(
+            &mut self.params,
+            &name,
+            c,
+            out_c,
+            k,
+            spec,
+            true,
+            &mut self.rng,
+        );
         let (ho, wo) = conv.out_hw(h, w);
         let lif = self.lif_unit(vec![out_c, ho, wo]);
         let (ho, wo) = match pool {
@@ -311,7 +320,10 @@ pub fn resnet34(cfg: &ModelConfig) -> SpikingNetwork {
     b.conv_lif(
         cfg.ch(64),
         7,
-        Conv2dSpec { stride: 2, padding: 3 },
+        Conv2dSpec {
+            stride: 2,
+            padding: 3,
+        },
         Some(2),
     );
     for (stage, (ch, blocks)) in [(64usize, 3usize), (128, 4), (256, 6), (512, 3)]
@@ -411,9 +423,10 @@ mod tests {
             ..ModelConfig::default()
         };
         let net = vgg5(&cfg);
-        let has_dropout = net.modules().iter().any(
-            |m| matches!(m, Module::LinearLif { dropout: Some(p), .. } if *p == 0.5),
-        );
+        let has_dropout = net
+            .modules()
+            .iter()
+            .any(|m| matches!(m, Module::LinearLif { dropout: Some(p), .. } if *p == 0.5));
         assert!(has_dropout);
     }
 }

@@ -442,7 +442,12 @@ impl SpikingNetwork {
     ///
     /// Updates `state` in place and returns the logit contribution plus the
     /// SAM spike count.
-    pub fn step_infer(&self, input: &Tensor, state: &mut NetworkState, ctx: &StepCtx) -> StepOutput {
+    pub fn step_infer(
+        &self,
+        input: &Tensor,
+        state: &mut NetworkState,
+        ctx: &StepCtx,
+    ) -> StepOutput {
         let (_, logits, spike_sum) =
             self.step_infer_modules(input.clone(), state, ctx, 0..self.modules.len());
         StepOutput {
@@ -727,13 +732,7 @@ mod tests {
         let mut tstate = TapedState::from_state(&mut g, &state, true);
         mp::reset_all(); // isolate: everything alive so far was booked earlier
         let live_before = mp::snapshot().live(mp::Category::Activations);
-        let _ = net.step_taped(
-            &mut g,
-            &mut binder,
-            &input,
-            &mut tstate,
-            &StepCtx::eval(0),
-        );
+        let _ = net.step_taped(&mut g, &mut binder, &input, &mut tstate, &StepCtx::eval(0));
         let live_after = mp::snapshot().live(mp::Category::Activations);
         let expect = net.per_step_graph_elems_per_sample() * batch as u64 * 4;
         assert_eq!(
@@ -753,21 +752,36 @@ mod tests {
 
     #[test]
     fn dropout_masks_are_deterministic_per_iteration() {
-        let a = dropout_mask(&[4, 4], 0.5, 1, &StepCtx {
-            iter_seed: 99,
-            t: 3,
-            train: true,
-        });
-        let b = dropout_mask(&[4, 4], 0.5, 1, &StepCtx {
-            iter_seed: 99,
-            t: 3,
-            train: true,
-        });
-        let c = dropout_mask(&[4, 4], 0.5, 1, &StepCtx {
-            iter_seed: 100,
-            t: 3,
-            train: true,
-        });
+        let a = dropout_mask(
+            &[4, 4],
+            0.5,
+            1,
+            &StepCtx {
+                iter_seed: 99,
+                t: 3,
+                train: true,
+            },
+        );
+        let b = dropout_mask(
+            &[4, 4],
+            0.5,
+            1,
+            &StepCtx {
+                iter_seed: 99,
+                t: 3,
+                train: true,
+            },
+        );
+        let c = dropout_mask(
+            &[4, 4],
+            0.5,
+            1,
+            &StepCtx {
+                iter_seed: 100,
+                t: 3,
+                train: true,
+            },
+        );
         assert_eq!(a.data(), b.data());
         assert_ne!(a.data(), c.data());
     }

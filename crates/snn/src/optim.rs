@@ -41,9 +41,8 @@ impl OptimizerState {
 
     /// A named scalar that must be present.
     fn require(&self, name: &str) -> Result<f64, SnnError> {
-        self.scalar(name).ok_or_else(|| {
-            SnnError::Format(format!("optimizer state is missing scalar '{name}'"))
-        })
+        self.scalar(name)
+            .ok_or_else(|| SnnError::Format(format!("optimizer state is missing scalar '{name}'")))
     }
 
     /// Check the kind tag before importing.
@@ -70,9 +69,9 @@ fn slots_from_state(
     let mut slots: Vec<Option<Tensor>> = (0..len).map(|_| None).collect();
     for (name, tensor) in &state.tensors {
         if let Some(rest) = name.strip_prefix(prefix) {
-            let i: usize = rest.parse().map_err(|_| {
-                SnnError::Format(format!("bad optimizer tensor name '{name}'"))
-            })?;
+            let i: usize = rest
+                .parse()
+                .map_err(|_| SnnError::Format(format!("bad optimizer tensor name '{name}'")))?;
             if i >= len {
                 return Err(SnnError::Format(format!(
                     "optimizer tensor '{name}' out of range (slots = {len})"
@@ -142,6 +141,7 @@ impl Sgd {
 
 impl Optimizer for Sgd {
     fn step(&mut self, params: &mut ParamStore) {
+        let _span = skipper_obs::span!("sgd_step", params = params.len());
         self.velocity.resize_with(params.len(), || None);
         for (i, p) in params.iter_mut().enumerate() {
             record_op(
@@ -228,6 +228,7 @@ impl Adam {
 
 impl Optimizer for Adam {
     fn step(&mut self, params: &mut ParamStore) {
+        let _span = skipper_obs::span!("adam_step", params = params.len());
         self.t += 1;
         self.moments.resize_with(params.len(), || None);
         let bc1 = 1.0 - self.beta1.powi(self.t as i32);

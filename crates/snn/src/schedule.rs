@@ -77,7 +77,12 @@ pub fn clip_grad_norm(params: &mut ParamStore, max_norm: f32) -> f32 {
     assert!(max_norm > 0.0, "max_norm must be positive");
     let mut sq = 0.0f64;
     for p in params.iter() {
-        sq += p.grad().data().iter().map(|&g| (g as f64) * (g as f64)).sum::<f64>();
+        sq += p
+            .grad()
+            .data()
+            .iter()
+            .map(|&g| (g as f64) * (g as f64))
+            .sum::<f64>();
     }
     let norm = sq.sqrt() as f32;
     if norm > max_norm {

@@ -183,10 +183,7 @@ pub fn write_records<'a>(
 ///
 /// Propagates I/O errors from the writer.
 pub fn write_params(params: &ParamStore, writer: &mut impl Write) -> Result<(), SnnError> {
-    write_records(
-        params.iter().map(|p| (p.name(), p.value())),
-        writer,
-    )
+    write_records(params.iter().map(|p| (p.name(), p.value())), writer)
 }
 
 // ---------------------------------------------------------------------------
@@ -444,7 +441,10 @@ mod tests {
         let path = dir.join("model.skw");
         let net = custom_net(&cfg());
         save_params(net.params(), &path).unwrap();
-        let mut twin = custom_net(&ModelConfig { seed: 31337, ..cfg() });
+        let mut twin = custom_net(&ModelConfig {
+            seed: 31337,
+            ..cfg()
+        });
         load_params(twin.params_mut(), &path).unwrap();
         for (p, q) in net.params().iter().zip(twin.params().iter()) {
             assert_eq!(p.value().data(), q.value().data());
@@ -519,7 +519,7 @@ mod tests {
     }
 
     #[test]
-    fn save_leaves_no_temp_file_behind(){
+    fn save_leaves_no_temp_file_behind() {
         let dir = std::env::temp_dir().join("skipper_serialize_atomic");
         std::fs::create_dir_all(&dir).unwrap();
         let path = dir.join("atomic.skw");
@@ -541,7 +541,10 @@ mod tests {
 
         let mut buf = Vec::new();
         write_params(net.params(), &mut buf).unwrap();
-        let mut twin = custom_net(&ModelConfig { seed: 1234, ..cfg() });
+        let mut twin = custom_net(&ModelConfig {
+            seed: 1234,
+            ..cfg()
+        });
         apply_records(twin.params_mut(), read_params(&mut buf.as_slice()).unwrap()).unwrap();
         let mut state2 = twin.init_state(1);
         let got = twin.step_infer(&input, &mut state2, &StepCtx::eval(0));

@@ -2,7 +2,7 @@
 //! introspection consistency, and module-range execution.
 
 use skipper_snn::{
-    custom_net, vgg5, LinearLayer, Module, ModelConfig, ParamStore, SpikingNetwork, StepCtx,
+    custom_net, vgg5, LinearLayer, ModelConfig, Module, ParamStore, SpikingNetwork, StepCtx,
 };
 use skipper_tensor::{Tensor, XorShiftRng};
 
@@ -18,7 +18,14 @@ fn cfg() -> ModelConfig {
 #[should_panic(expected = "last module must be the readout")]
 fn from_parts_requires_output_module() {
     let store = ParamStore::new();
-    SpikingNetwork::from_parts("bad", vec![Module::Flatten], store, vec![], vec![3, 8, 8], 10);
+    SpikingNetwork::from_parts(
+        "bad",
+        vec![Module::Flatten],
+        store,
+        vec![],
+        vec![3, 8, 8],
+        10,
+    );
 }
 
 #[test]

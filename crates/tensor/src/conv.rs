@@ -56,7 +56,8 @@ fn unpack(input: &Tensor, weight: &Tensor, spec: Conv2dSpec) -> ConvDims {
     let (b, cin, h, w) = input.shape().as_4d();
     let (cout, cin_w, kh, kw) = weight.shape().as_4d();
     assert_eq!(
-        cin, cin_w,
+        cin,
+        cin_w,
         "conv2d channels: input {} vs weight {}",
         input.shape(),
         weight.shape()
@@ -309,7 +310,12 @@ mod tests {
     use crate::random::XorShiftRng;
 
     /// Direct (quadruple-loop) reference convolution.
-    fn naive_conv(input: &Tensor, weight: &Tensor, bias: Option<&Tensor>, spec: Conv2dSpec) -> Tensor {
+    fn naive_conv(
+        input: &Tensor,
+        weight: &Tensor,
+        bias: Option<&Tensor>,
+        spec: Conv2dSpec,
+    ) -> Tensor {
         let d = unpack(input, weight, spec);
         let mut out = Tensor::zeros([d.b, d.cout, d.ho, d.wo]);
         for b in 0..d.b {
@@ -320,9 +326,12 @@ mod tests {
                         for ci in 0..d.cin {
                             for ki in 0..d.kh {
                                 for kj in 0..d.kw {
-                                    let ih = (oh * spec.stride + ki) as isize - spec.padding as isize;
-                                    let iw = (ow * spec.stride + kj) as isize - spec.padding as isize;
-                                    if ih < 0 || iw < 0 || ih >= d.h as isize || iw >= d.w as isize {
+                                    let ih =
+                                        (oh * spec.stride + ki) as isize - spec.padding as isize;
+                                    let iw =
+                                        (ow * spec.stride + kj) as isize - spec.padding as isize;
+                                    if ih < 0 || iw < 0 || ih >= d.h as isize || iw >= d.w as isize
+                                    {
                                         continue;
                                     }
                                     acc += input.at(&[b, ci, ih as usize, iw as usize])
@@ -343,7 +352,10 @@ mod tests {
     fn out_dim_arithmetic() {
         let s = Conv2dSpec::padded(1);
         assert_eq!(s.out_dim(8, 3), 8);
-        let s2 = Conv2dSpec { stride: 2, padding: 0 };
+        let s2 = Conv2dSpec {
+            stride: 2,
+            padding: 0,
+        };
         assert_eq!(s2.out_dim(8, 2), 4);
     }
 
@@ -352,7 +364,13 @@ mod tests {
         let mut rng = XorShiftRng::new(2);
         for &(spec, hw) in &[
             (Conv2dSpec::padded(1), 6),
-            (Conv2dSpec { stride: 2, padding: 1 }, 7),
+            (
+                Conv2dSpec {
+                    stride: 2,
+                    padding: 1,
+                },
+                7,
+            ),
             (Conv2dSpec::default(), 5),
         ] {
             let input = Tensor::randn([2, 3, hw, hw], &mut rng);
@@ -399,7 +417,10 @@ mod tests {
     #[test]
     fn backward_weight_matches_finite_difference() {
         let mut rng = XorShiftRng::new(6);
-        let spec = Conv2dSpec { stride: 2, padding: 1 };
+        let spec = Conv2dSpec {
+            stride: 2,
+            padding: 1,
+        };
         let input = Tensor::randn([2, 2, 5, 5], &mut rng);
         let weight = Tensor::randn([2, 2, 3, 3], &mut rng);
         let out = conv2d(&input, &weight, None, spec);

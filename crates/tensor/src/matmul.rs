@@ -38,7 +38,11 @@ fn parallel_rows(
     work: usize,
     body: impl Fn(std::ops::Range<usize>, &mut [f32]) + Sync,
 ) {
-    let threads = if work < PAR_THRESHOLD { 1 } else { thread_count() };
+    let threads = if work < PAR_THRESHOLD {
+        1
+    } else {
+        thread_count()
+    };
     if threads <= 1 || m < 2 {
         body(0..m, out);
         return;
@@ -98,7 +102,13 @@ pub fn matmul(a: &Tensor, b: &Tensor) -> Tensor {
 pub fn matmul_nt(a: &Tensor, b: &Tensor) -> Tensor {
     let (m, k) = a.shape().as_2d();
     let (n, k2) = b.shape().as_2d();
-    assert_eq!(k, k2, "matmul_nt inner dims: {} vs {}", a.shape(), b.shape());
+    assert_eq!(
+        k,
+        k2,
+        "matmul_nt inner dims: {} vs {}",
+        a.shape(),
+        b.shape()
+    );
     record(m, n, k);
     let mut out = Tensor::zeros([m, n]);
     let (ad, bd) = (a.data(), b.data());
@@ -127,7 +137,13 @@ pub fn matmul_nt(a: &Tensor, b: &Tensor) -> Tensor {
 pub fn matmul_tn(a: &Tensor, b: &Tensor) -> Tensor {
     let (k, m) = a.shape().as_2d();
     let (k2, n) = b.shape().as_2d();
-    assert_eq!(k, k2, "matmul_tn inner dims: {} vs {}", a.shape(), b.shape());
+    assert_eq!(
+        k,
+        k2,
+        "matmul_tn inner dims: {} vs {}",
+        a.shape(),
+        b.shape()
+    );
     record(m, n, k);
     let mut out = Tensor::zeros([m, n]);
     let (ad, bd) = (a.data(), b.data());

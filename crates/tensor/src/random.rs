@@ -25,7 +25,11 @@ impl XorShiftRng {
     /// non-zero state).
     pub fn new(seed: u64) -> XorShiftRng {
         XorShiftRng {
-            state: if seed == 0 { 0x9E37_79B9_7F4A_7C15 } else { seed },
+            state: if seed == 0 {
+                0x9E37_79B9_7F4A_7C15
+            } else {
+                seed
+            },
         }
     }
 

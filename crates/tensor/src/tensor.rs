@@ -328,11 +328,7 @@ impl Tensor {
 
     /// Sum of all elements (f64 accumulator).
     pub fn sum(&self) -> f64 {
-        record_op(
-            OpKind::Reduce,
-            self.numel() as f64,
-            self.byte_size() as f64,
-        );
+        record_op(OpKind::Reduce, self.numel() as f64, self.byte_size() as f64);
         self.data().iter().map(|&x| x as f64).sum()
     }
 
@@ -346,7 +342,10 @@ impl Tensor {
 
     /// Maximum element (`-inf` if empty).
     pub fn max(&self) -> f32 {
-        self.data().iter().copied().fold(f32::NEG_INFINITY, f32::max)
+        self.data()
+            .iter()
+            .copied()
+            .fold(f32::NEG_INFINITY, f32::max)
     }
 
     /// Index of the maximum element in each row of a rank-2 tensor.

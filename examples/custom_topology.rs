@@ -40,16 +40,37 @@ fn build_network() -> SpikingNetwork {
         3,
         16,
         3,
-        Conv2dSpec { stride: 2, padding: 1 },
+        Conv2dSpec {
+            stride: 2,
+            padding: 1,
+        },
         true,
         &mut rng,
     );
     let stem_lif = lif_unit(vec![16, 8, 8]);
 
     // Residual block at 16 channels, 8x8.
-    let conv1 = Conv2dLayer::new(&mut params, "res.conv1", 16, 16, 3, Conv2dSpec::padded(1), true, &mut rng);
+    let conv1 = Conv2dLayer::new(
+        &mut params,
+        "res.conv1",
+        16,
+        16,
+        3,
+        Conv2dSpec::padded(1),
+        true,
+        &mut rng,
+    );
     let res_lif1 = lif_unit(vec![16, 8, 8]);
-    let conv2 = Conv2dLayer::new(&mut params, "res.conv2", 16, 16, 3, Conv2dSpec::padded(1), true, &mut rng);
+    let conv2 = Conv2dLayer::new(
+        &mut params,
+        "res.conv2",
+        16,
+        16,
+        3,
+        Conv2dSpec::padded(1),
+        true,
+        &mut rng,
+    );
     let res_lif2 = lif_unit(vec![16, 8, 8]);
 
     // Dense head with dropout.
@@ -79,7 +100,14 @@ fn build_network() -> SpikingNetwork {
         },
         Module::Output(readout),
     ];
-    SpikingNetwork::from_parts("custom-residual", modules, params, state_shapes, vec![3, 16, 16], 10)
+    SpikingNetwork::from_parts(
+        "custom-residual",
+        modules,
+        params,
+        state_shapes,
+        vec![3, 16, 16],
+        10,
+    )
 }
 
 fn main() {

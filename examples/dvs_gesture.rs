@@ -42,7 +42,10 @@ fn main() {
     let thresholds = calibrate_thresholds(&mut net, &calib, 0.08);
     println!(
         "calibrated thresholds: {:?}",
-        thresholds.iter().map(|t| (t * 100.0).round() / 100.0).collect::<Vec<_>>()
+        thresholds
+            .iter()
+            .map(|t| (t * 100.0).round() / 100.0)
+            .collect::<Vec<_>>()
     );
     println!(
         "LeNet ({} spiking layers, {} params) on synthetic DVS-Gesture (11 gestures)",

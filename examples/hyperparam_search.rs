@@ -37,8 +37,11 @@ fn main() {
         },
     ];
 
-    println!("Hyper-parameter search: {} learning rates, memory budget {} MiB\n",
-        candidates.len(), budget_bytes >> 20);
+    println!(
+        "Hyper-parameter search: {} learning rates, memory budget {} MiB\n",
+        candidates.len(),
+        budget_bytes >> 20
+    );
     println!(
         "{:<16} {:>16} {:>18} {:>8}",
         "method", "bytes/instance", "concurrent trials", "waves"
@@ -100,5 +103,9 @@ fn main() {
             best = (acc, lr);
         }
     }
-    println!("\nbest: lr = {} at {:.1}% test accuracy", best.1, 100.0 * best.0);
+    println!(
+        "\nbest: lr = {} at {:.1}% test accuracy",
+        best.1,
+        100.0 * best.0
+    );
 }

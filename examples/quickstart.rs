@@ -52,7 +52,8 @@ fn main() {
         method
             .validate(&net, timesteps)
             .expect("method configuration is valid for this network");
-        let mut session = TrainSession::new(net, Box::new(Adam::new(2e-3)), method.clone(), timesteps);
+        let mut session =
+            TrainSession::new(net, Box::new(Adam::new(2e-3)), method.clone(), timesteps);
 
         let mut last_epoch = EpochStats::default();
         let mut peak_act = 0u64;

@@ -287,6 +287,7 @@ fn run() -> Result<(), String> {
 }
 
 fn main() -> ExitCode {
+    skipper::obs::init_from_env();
     match run() {
         Ok(()) => ExitCode::SUCCESS,
         Err(e) => {

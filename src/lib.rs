@@ -24,6 +24,7 @@
 //! |---|---|---|
 //! | [`tensor`] | `skipper-tensor` | dense tensors, conv/matmul/pool kernels |
 //! | [`autograd`] | `skipper-autograd` | reverse-mode tape, surrogate spikes |
+//! | [`obs`] | `skipper-obs` | structured tracing, metrics, Perfetto trace export |
 //! | [`memprof`] | `skipper-memprof` | memory accounting, allocator/device/latency models |
 //! | [`snn`] | `skipper-snn` | LIF neurons, layers, topologies, encoders, optimizers |
 //! | [`data`] | `skipper-data` | synthetic CIFAR / DVS-Gesture / N-MNIST |
@@ -60,5 +61,6 @@ pub use skipper_autograd as autograd;
 pub use skipper_core as core;
 pub use skipper_data as data;
 pub use skipper_memprof as memprof;
+pub use skipper_obs as obs;
 pub use skipper_snn as snn;
 pub use skipper_tensor as tensor;

@@ -3,7 +3,9 @@
 //! first-pass and taped execution.
 
 use skipper::core::{Method, TrainSession};
-use skipper::data::{synth_cifar, synth_dvs_gesture, BatchIter, SynthEventConfig, SynthImageConfig};
+use skipper::data::{
+    synth_cifar, synth_dvs_gesture, BatchIter, SynthEventConfig, SynthImageConfig,
+};
 use skipper::snn::{
     calibrate_thresholds, custom_net, lenet5, Adam, Encoder, ModelConfig, PoissonEncoder,
 };

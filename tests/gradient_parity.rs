@@ -25,7 +25,11 @@ fn binary_inputs(t: usize, batch: usize, hw: usize, seed: u64) -> Vec<Tensor> {
 ///
 /// `TrainSession` zeroes gradients after its optimizer step, so gradients
 /// are recovered from the momentum-free SGD weight update: `g = Δw / −lr`.
-fn grads_for(net_fn: impl Fn() -> SpikingNetwork, method: Method, inputs: &[Tensor]) -> Vec<Tensor> {
+fn grads_for(
+    net_fn: impl Fn() -> SpikingNetwork,
+    method: Method,
+    inputs: &[Tensor],
+) -> Vec<Tensor> {
     let mut net = net_fn();
     run_via_session_grads(&mut net, method, inputs, &[1, 2]);
     net.params().iter().map(|p| p.grad().clone()).collect()

@@ -88,7 +88,10 @@ fn measured_memory_ordering_matches_paper() {
         let labels = vec![0usize, 1];
         let _ = session.train_batch(&ins, &labels);
         mp::reset_peaks();
-        session.train_batch(&ins, &labels).mem.peak(Category::Activations)
+        session
+            .train_batch(&ins, &labels)
+            .mem
+            .peak(Category::Activations)
     };
     let base = measure(Method::Bptt);
     let ck = measure(Method::Checkpointed { checkpoints: 4 });

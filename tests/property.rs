@@ -25,7 +25,11 @@ fn spike_inputs(t: usize, seed: u64) -> Vec<Tensor> {
 /// Gradients recovered from a momentum-free SGD update of one batch.
 fn grads(method: Method, t: usize, net_seed: u64, data_seed: u64) -> Vec<Vec<f32>> {
     let net = tiny_net(net_seed);
-    let before: Vec<Vec<f32>> = net.params().iter().map(|p| p.value().data().to_vec()).collect();
+    let before: Vec<Vec<f32>> = net
+        .params()
+        .iter()
+        .map(|p| p.value().data().to_vec())
+        .collect();
     let mut session = TrainSession::new(net, Box::new(Sgd::new(1.0)), method, t);
     let inputs = spike_inputs(t, data_seed);
     session.train_batch(&inputs, &[0, 1]);
@@ -33,12 +37,7 @@ fn grads(method: Method, t: usize, net_seed: u64, data_seed: u64) -> Vec<Vec<f32
     net.params()
         .iter()
         .zip(before)
-        .map(|(p, b)| {
-            b.iter()
-                .zip(p.value().data())
-                .map(|(x, y)| x - y)
-                .collect()
-        })
+        .map(|(p, b)| b.iter().zip(p.value().data()).map(|(x, y)| x - y).collect())
         .collect()
 }
 

@@ -18,9 +18,7 @@ impl<'scope, 'env> Scope<'scope, 'env> {
         T: Send + 'scope,
     {
         let inner = self.inner;
-        inner.spawn(move || {
-            f(&Scope { inner })
-        })
+        inner.spawn(move || f(&Scope { inner }))
     }
 }
 

@@ -271,9 +271,8 @@ impl Deserialize for std::time::Duration {
         let m = v
             .as_object()
             .ok_or_else(|| Error::custom("expected duration object"))?;
-        let secs = u64::deserialize_value(
-            m.get("secs").ok_or_else(|| Error::custom("missing secs"))?,
-        )?;
+        let secs =
+            u64::deserialize_value(m.get("secs").ok_or_else(|| Error::custom("missing secs"))?)?;
         let nanos = u32::deserialize_value(
             m.get("nanos")
                 .ok_or_else(|| Error::custom("missing nanos"))?,

@@ -206,9 +206,7 @@ pub fn derive_serialize(input: TokenStream) -> TokenStream {
     let body = match &item.shape {
         Shape::UnitStruct => "serde::Value::Null".to_string(),
         Shape::NamedStruct(fields) => named_to_object(fields, "&self."),
-        Shape::TupleStruct(1) => {
-            "serde::Serialize::serialize_value(&self.0)".to_string()
-        }
+        Shape::TupleStruct(1) => "serde::Serialize::serialize_value(&self.0)".to_string(),
         Shape::TupleStruct(n) => {
             let items: Vec<String> = (0..*n)
                 .map(|i| format!("serde::Serialize::serialize_value(&self.{i})"))
@@ -272,9 +270,7 @@ pub fn derive_deserialize(input: TokenStream) -> TokenStream {
                 "let __m = __v.as_object().ok_or_else(|| serde::Error::custom(\"expected object for {name}\"))?;\nOk({build})"
             )
         }
-        Shape::TupleStruct(1) => format!(
-            "Ok({name}(serde::Deserialize::deserialize_value(__v)?))"
-        ),
+        Shape::TupleStruct(1) => format!("Ok({name}(serde::Deserialize::deserialize_value(__v)?))"),
         Shape::TupleStruct(n) => {
             let items: Vec<String> = (0..*n)
                 .map(|i| format!(
@@ -292,9 +288,9 @@ pub fn derive_deserialize(input: TokenStream) -> TokenStream {
             for v in variants {
                 let vname = &v.name;
                 match &v.shape {
-                    VariantShape::Unit => unit_arms.push_str(&format!(
-                        "\"{vname}\" => return Ok({name}::{vname}),\n"
-                    )),
+                    VariantShape::Unit => {
+                        unit_arms.push_str(&format!("\"{vname}\" => return Ok({name}::{vname}),\n"))
+                    }
                     VariantShape::Tuple(n) => {
                         let build = if *n == 1 {
                             format!(
@@ -316,8 +312,7 @@ pub fn derive_deserialize(input: TokenStream) -> TokenStream {
                         ));
                     }
                     VariantShape::Named(fields) => {
-                        let build =
-                            named_from_object(&format!("{name}::{vname}"), fields, "__fm");
+                        let build = named_from_object(&format!("{name}::{vname}"), fields, "__fm");
                         tagged_arms.push_str(&format!(
                             "if let Some(__inner) = __m.get(\"{vname}\") {{\n\
                                 let __fm = __inner.as_object().ok_or_else(|| serde::Error::custom(\"expected object for {name}::{vname}\"))?;\n\

@@ -107,11 +107,7 @@ fn write_escaped(s: &str, out: &mut String) {
 
 fn write_value(v: &Value, out: &mut String, indent: Option<usize>, depth: usize) {
     let (nl, pad, pad_in) = match indent {
-        Some(w) => (
-            "\n",
-            " ".repeat(w * depth),
-            " ".repeat(w * (depth + 1)),
-        ),
+        Some(w) => ("\n", " ".repeat(w * depth), " ".repeat(w * (depth + 1))),
         None => ("", String::new(), String::new()),
     };
     match v {
