@@ -42,8 +42,10 @@ fn iteration_bench(c: &mut Criterion) {
                 width_mult: 0.25,
                 ..ModelConfig::default()
             });
-            let mut session =
-                TrainSession::new(net, Box::new(Sgd::new(1e-4)), method.clone(), timesteps);
+            let mut session = TrainSession::builder(net, method.clone(), timesteps)
+                .optimizer(Box::new(Sgd::new(1e-4)))
+                .build()
+                .expect("valid method");
             b.iter(|| session.train_batch(&inputs, &labels));
         });
     }

@@ -57,15 +57,17 @@ fn main() {
     let mut rows = Vec::new();
     for (name, metric, policy) in configs {
         let w = Workload::build(kind);
-        let mut session = TrainSession::new(
+        let mut session = TrainSession::builder(
             w.net,
-            Box::new(Adam::new(2e-3)),
             Method::Skipper {
                 checkpoints: c,
                 percentile: p,
             },
             w.timesteps,
-        );
+        )
+        .optimizer(Box::new(Adam::new(2e-3)))
+        .build()
+        .expect("valid method");
         session.set_sam_metric(metric);
         session.set_skip_policy(policy);
         let r = fit(&mut session, &w.train, &w.test, epochs, w.batch, 77);
@@ -85,8 +87,10 @@ fn main() {
     }
     // Reference: baseline BPTT, no skipping.
     let w = Workload::build(kind);
-    let mut session =
-        TrainSession::new(w.net, Box::new(Adam::new(2e-3)), Method::Bptt, w.timesteps);
+    let mut session = TrainSession::builder(w.net, Method::Bptt, w.timesteps)
+        .optimizer(Box::new(Adam::new(2e-3)))
+        .build()
+        .expect("valid method");
     let r = fit(&mut session, &w.train, &w.test, epochs, w.batch, 77);
     report.line(format!(
         "{:<26} {:>9.1}% {:>9.1}% {:>10}",

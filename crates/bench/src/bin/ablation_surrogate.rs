@@ -57,8 +57,10 @@ fn main() {
         ] {
             let mut w = Workload::build(kind);
             set_surrogate(&mut w.net, surrogate);
-            let mut session =
-                TrainSession::new(w.net, Box::new(Adam::new(2e-3)), method, w.timesteps);
+            let mut session = TrainSession::builder(w.net, method, w.timesteps)
+                .optimizer(Box::new(Adam::new(2e-3)))
+                .build()
+                .expect("valid method");
             let r = fit(&mut session, &w.train, &w.test, epochs, w.batch, 31);
             accs.push(r.final_val_acc());
         }

@@ -87,7 +87,10 @@ fn main() {
         checkpoints: w.checkpoints,
         percentile: w.percentile,
     };
-    let mut session = TrainSession::new(w.net, Box::new(Adam::new(1e-3)), method, timesteps);
+    let mut session = TrainSession::builder(w.net, method, timesteps)
+        .optimizer(Box::new(Adam::new(1e-3)))
+        .build()
+        .expect("valid method");
     session.enable_sentinels(SentinelConfig::default());
     session.set_memory_budget(args.mem_budget);
     if let Some(iter) = args.poison {

@@ -37,7 +37,10 @@ fn main() {
         let mut series = Vec::new();
         for &t in &sweep {
             let w = Workload::build(kind);
-            let mut session = TrainSession::new(w.net, Box::new(Adam::new(2e-3)), Method::Bptt, t);
+            let mut session = TrainSession::builder(w.net, Method::Bptt, t)
+                .optimizer(Box::new(Adam::new(2e-3)))
+                .build()
+                .expect("valid method");
             reset_peaks();
             let r = fit(&mut session, &w.train, &w.test, epochs, w.batch, 42);
             let peak = snapshot().total_peak();

@@ -39,7 +39,10 @@ fn main() {
         let mut series = Vec::new();
         for &t in &sweep {
             let w = Workload::build_for_measurement(kind);
-            let mut session = TrainSession::new(w.net, Box::new(Adam::new(1e-3)), Method::Bptt, t);
+            let mut session = TrainSession::builder(w.net, Method::Bptt, t)
+                .optimizer(Box::new(Adam::new(1e-3)))
+                .build()
+                .expect("valid method");
             let m = measure(
                 &mut session,
                 &w.train,

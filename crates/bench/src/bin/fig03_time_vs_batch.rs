@@ -4,6 +4,13 @@
 //! Expected shape: per-epoch modeled device time falls steeply with batch
 //! size (launch-overhead amortisation — the paper reports ~5x from B=32 to
 //! B=512) while memory grows linearly in B.
+//!
+//! A second section sweeps `SessionBuilder::workers` at a fixed large
+//! batch: the sharded engine splits the batch across a persistent worker
+//! pool, so on a multi-core host wall time should fall with the worker
+//! count while the loss stays bit-identical to the single-worker
+//! reference (the reduction order is canonical; see
+//! `skipper_core::engine`).
 
 use skipper_bench::{
     human_bytes, measure, quick_mode, MeasureConfig, Report, Workload, WorkloadKind,
@@ -34,8 +41,10 @@ fn main() {
         let mut series = Vec::new();
         for &b in &batches {
             let w = Workload::build_for_measurement(kind);
-            let mut session =
-                TrainSession::new(w.net, Box::new(Adam::new(1e-3)), Method::Bptt, w.timesteps);
+            let mut session = TrainSession::builder(w.net, Method::Bptt, w.timesteps)
+                .optimizer(Box::new(Adam::new(1e-3)))
+                .build()
+                .expect("valid method");
             let m = measure(
                 &mut session,
                 &w.train,
@@ -66,5 +75,75 @@ fn main() {
     }
     report.line("Expected shape (paper Fig. 3e,f): modeled epoch time drops");
     report.line("several-fold as B grows; memory scales linearly with B.");
+    report.blank();
+
+    // Data-parallel scaling: wall time per iteration vs worker count at a
+    // fixed batch, plus a bitwise check of the loss against workers = 1.
+    let sweep_batch = 64usize;
+    let worker_counts: &[usize] = if quick_mode() { &[1, 4] } else { &[1, 2, 4, 8] };
+    let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
+    report.line(format!(
+        "== data-parallel scaling — custom-Net, B={sweep_batch}, {cores} host core(s) =="
+    ));
+    report.line(format!(
+        "{:>8} {:>12} {:>9} {:>14}",
+        "workers", "iter (wall)", "speedup", "loss bitwise"
+    ));
+    // Determinism check: from identical weights, one iteration's loss is
+    // bit-identical for every worker count (across optimizer steps the
+    // sharded gradient reduction differs from the single-graph path at
+    // f32 rounding, so multi-iteration losses drift — by design).
+    let first_loss = |n: usize| -> f64 {
+        let w = Workload::build_for_measurement(WorkloadKind::CustomNetNmnist);
+        let mut session = TrainSession::builder(w.net, Method::Bptt, w.timesteps)
+            .optimizer(Box::new(Adam::new(1e-3)))
+            .workers(n)
+            .build()
+            .expect("valid method");
+        let mut rng = skipper_tensor::XorShiftRng::new(0xF1603);
+        let (inputs, labels) = w.train.first_batch(sweep_batch, w.timesteps, &mut rng);
+        session.train_batch(&inputs, &labels).loss
+    };
+    let reference_loss = first_loss(1);
+
+    let mut baseline_wall: Option<f64> = None;
+    let mut series = Vec::new();
+    for &n in worker_counts {
+        let w = Workload::build_for_measurement(WorkloadKind::CustomNetNmnist);
+        let mut session = TrainSession::builder(w.net, Method::Bptt, w.timesteps)
+            .optimizer(Box::new(Adam::new(1e-3)))
+            .workers(n)
+            .build()
+            .expect("valid method");
+        let m = measure(
+            &mut session,
+            &w.train,
+            &MeasureConfig {
+                iterations: 2,
+                warmup: 1,
+                batch: sweep_batch,
+                timesteps: w.timesteps,
+            },
+            &device,
+        );
+        let base_wall = *baseline_wall.get_or_insert(m.wall_s);
+        let speedup = base_wall / m.wall_s;
+        let bitwise = first_loss(n).to_bits() == reference_loss.to_bits();
+        report.line(format!(
+            "{n:>8} {:>10.3} s {:>8.2}x {:>14}",
+            m.wall_s,
+            speedup,
+            if bitwise { "yes" } else { "NO" }
+        ));
+        series.push(serde_json::json!({
+            "workers": n,
+            "iter_wall_s": m.wall_s,
+            "speedup": speedup,
+            "loss_bitwise": bitwise,
+        }));
+    }
+    report.json("worker_scaling", series);
+    report.line("Speedup tracks the host core count: a single-core host");
+    report.line("shows ~1x; the determinism column must read \"yes\" always.");
     report.save();
 }

@@ -51,7 +51,10 @@ fn main() {
         };
         let base = {
             let w = Workload::build_for_measurement(kind);
-            let mut s = TrainSession::new(w.net, Box::new(Adam::new(1e-3)), Method::Bptt, t);
+            let mut s = TrainSession::builder(w.net, Method::Bptt, t)
+                .optimizer(Box::new(Adam::new(1e-3)))
+                .build()
+                .expect("valid method");
             measure(&mut s, &w.train, &mcfg, &device)
         };
         report.line(format!(
@@ -70,12 +73,10 @@ fn main() {
         })];
         for &c in &cs {
             let w = Workload::build_for_measurement(kind);
-            let mut s = TrainSession::new(
-                w.net,
-                Box::new(Adam::new(1e-3)),
-                Method::Checkpointed { checkpoints: c },
-                t,
-            );
+            let mut s = TrainSession::builder(w.net, Method::Checkpointed { checkpoints: c }, t)
+                .optimizer(Box::new(Adam::new(1e-3)))
+                .build()
+                .expect("valid method");
             let m = measure(&mut s, &w.train, &mcfg, &device);
             report.line(format!(
                 "{c:>10} {:>14} {:>14} {:>12.2}ms {:>11.2}x",

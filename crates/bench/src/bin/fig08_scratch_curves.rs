@@ -29,12 +29,10 @@ fn main() {
     ));
     for method in methods {
         let w = Workload::build(WorkloadKind::LenetDvsGesture);
-        let mut session = TrainSession::new(
-            w.net,
-            Box::new(Adam::new(2e-3)),
-            method.clone(),
-            w.timesteps,
-        );
+        let mut session = TrainSession::builder(w.net, method.clone(), w.timesteps)
+            .optimizer(Box::new(Adam::new(2e-3)))
+            .build()
+            .expect("valid method");
         let r = fit(&mut session, &w.train, &w.test, epochs, w.batch, 7);
         report.blank();
         report.line(format!("-- {} --", method.label()));

@@ -34,7 +34,10 @@ fn main() {
         let p = (max_skippable_percentile(t, c, layers) - 10.0).clamp(0.0, 70.0);
         let base_acc = {
             let w = Workload::build(WorkloadKind::LenetDvsGesture);
-            let mut s = TrainSession::new(w.net, Box::new(Adam::new(2e-3)), Method::Bptt, t);
+            let mut s = TrainSession::builder(w.net, Method::Bptt, t)
+                .optimizer(Box::new(Adam::new(2e-3)))
+                .build()
+                .expect("valid method");
             fit(&mut s, &w.train, &w.test, epochs, w.batch, 11).final_val_acc()
         };
         let skip_acc = {
@@ -44,7 +47,10 @@ fn main() {
                 percentile: p,
             };
             m.validate(&w.net, t).expect("valid");
-            let mut s = TrainSession::new(w.net, Box::new(Adam::new(2e-3)), m, t);
+            let mut s = TrainSession::builder(w.net, m, t)
+                .optimizer(Box::new(Adam::new(2e-3)))
+                .build()
+                .expect("valid method");
             fit(&mut s, &w.train, &w.test, epochs, w.batch, 11).final_val_acc()
         };
         report.line(format!(

@@ -57,7 +57,10 @@ fn main() {
             };
             let base = {
                 let w = Workload::build_for_measurement(kind);
-                let mut s = TrainSession::new(w.net, Box::new(Adam::new(1e-3)), Method::Bptt, t);
+                let mut s = TrainSession::builder(w.net, Method::Bptt, t)
+                    .optimizer(Box::new(Adam::new(1e-3)))
+                    .build()
+                    .expect("valid method");
                 measure(&mut s, &w.train, &mcfg, &device).modeled_s
             };
             let mut row = format!("{b:>6}");
@@ -65,7 +68,10 @@ fn main() {
             entry.insert("batch".into(), serde_json::json!(b));
             for m in &methods {
                 let w = Workload::build_for_measurement(kind);
-                let mut s = TrainSession::new(w.net, Box::new(Adam::new(1e-3)), m.clone(), t);
+                let mut s = TrainSession::builder(w.net, m.clone(), t)
+                    .optimizer(Box::new(Adam::new(1e-3)))
+                    .build()
+                    .expect("valid method");
                 let time = measure(&mut s, &w.train, &mcfg, &device).modeled_s;
                 let overhead = 100.0 * (time - base) / base;
                 row += &format!(" {overhead:>+15.1}%");

@@ -90,7 +90,10 @@ fn main() {
                 },
             ] {
                 let w = Workload::build_for_measurement(kind);
-                let mut s = TrainSession::new(w.net, Box::new(Adam::new(1e-3)), m.clone(), t);
+                let mut s = TrainSession::builder(w.net, m.clone(), t)
+                    .optimizer(Box::new(Adam::new(1e-3)))
+                    .build()
+                    .expect("valid method");
                 let meas = measure(
                     &mut s,
                     &w.train,

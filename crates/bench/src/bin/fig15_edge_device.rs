@@ -51,7 +51,10 @@ fn main() {
     for &b in &batches {
         for m in &methods {
             let w = Workload::build_for_measurement(WorkloadKind::Vgg5Cifar10);
-            let mut s = TrainSession::new(w.net, Box::new(Adam::new(1e-3)), m.clone(), t);
+            let mut s = TrainSession::builder(w.net, m.clone(), t)
+                .optimizer(Box::new(Adam::new(1e-3)))
+                .build()
+                .expect("valid method");
             let meas = measure(
                 &mut s,
                 &w.train,

@@ -24,7 +24,10 @@ fn main() {
     let run = |report: &mut Report, m: &Method, label_extra: &str| {
         let w = Workload::build(WorkloadKind::AlexnetCifar10);
         m.validate(&w.net, t).expect("valid config");
-        let mut session = TrainSession::new(w.net, Box::new(Adam::new(2e-3)), m.clone(), t);
+        let mut session = TrainSession::builder(w.net, m.clone(), t)
+            .optimizer(Box::new(Adam::new(2e-3)))
+            .build()
+            .expect("valid method");
         let r = fit(&mut session, &w.train, &w.test, epochs, w.batch, 16);
         let meas = measure(
             &mut session,

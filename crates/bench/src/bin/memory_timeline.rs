@@ -44,7 +44,10 @@ fn main() {
     let mut series = Vec::new();
     for m in &methods {
         let w = Workload::build_for_measurement(kind);
-        let mut session = TrainSession::new(w.net, Box::new(Adam::new(1e-3)), m.clone(), t);
+        let mut session = TrainSession::builder(w.net, m.clone(), t)
+            .optimizer(Box::new(Adam::new(1e-3)))
+            .build()
+            .expect("valid method");
         let mut rng = XorShiftRng::new(1);
         let (inputs, labels) = w.train.first_batch(probe.batch, t, &mut rng);
         // Warm-up so persistent buffers exist, then record one iteration.

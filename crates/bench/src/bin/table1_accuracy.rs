@@ -56,8 +56,10 @@ fn main() {
         for method in &methods {
             let w = Workload::build(kind);
             method.validate(&w.net, t).expect("valid method");
-            let mut session =
-                TrainSession::new(w.net, Box::new(Adam::new(2e-3)), method.clone(), t);
+            let mut session = TrainSession::builder(w.net, method.clone(), t)
+                .optimizer(Box::new(Adam::new(2e-3)))
+                .build()
+                .expect("valid method");
             let r = fit(&mut session, &w.train, &w.test, epochs, w.batch, 42);
             accs.push(r.final_val_acc());
         }

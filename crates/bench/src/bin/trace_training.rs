@@ -37,15 +37,17 @@ fn main() {
     let ring_id = obs::add_sink(Box::new(ring));
 
     let w = Workload::build_for_measurement(WorkloadKind::CustomNetNmnist);
-    let mut session = TrainSession::new(
+    let mut session = TrainSession::builder(
         w.net,
-        Box::new(Adam::new(1e-3)),
         Method::Skipper {
             checkpoints: c,
             percentile: p,
         },
         t,
-    );
+    )
+    .optimizer(Box::new(Adam::new(1e-3)))
+    .build()
+    .expect("valid method");
     let mut rng = XorShiftRng::new(7);
     let (inputs, labels) = w.train.first_batch(4, t, &mut rng);
 

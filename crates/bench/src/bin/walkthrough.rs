@@ -38,12 +38,10 @@ fn main() {
     report.line("Step 4/5 rebuild segment [0,10); seed dL/dU from step 3; backprop");
     {
         let w = Workload::build_for_measurement(WorkloadKind::CustomNetNmnist);
-        let mut session = TrainSession::new(
-            w.net,
-            Box::new(Adam::new(1e-3)),
-            Method::Checkpointed { checkpoints: c },
-            t,
-        );
+        let mut session = TrainSession::builder(w.net, Method::Checkpointed { checkpoints: c }, t)
+            .optimizer(Box::new(Adam::new(1e-3)))
+            .build()
+            .expect("valid method");
         let _ = session.train_batch(&inputs, &labels); // warm-up
         enable_event_log();
         let stats = session.train_batch(&inputs, &labels);
@@ -65,15 +63,17 @@ fn main() {
     report.line("== Fig. 6 — checkpointing with time-skipping ==");
     {
         let w = Workload::build_for_measurement(WorkloadKind::CustomNetNmnist);
-        let mut session = TrainSession::new(
+        let mut session = TrainSession::builder(
             w.net,
-            Box::new(Adam::new(1e-3)),
             Method::Skipper {
                 checkpoints: c,
                 percentile: p,
             },
             t,
-        );
+        )
+        .optimizer(Box::new(Adam::new(1e-3)))
+        .build()
+        .expect("valid method");
         let stats = session.train_batch(&inputs, &labels);
         // Reconstruct the SAM trace by re-running the first forward pass.
         let w2 = Workload::build_for_measurement(WorkloadKind::CustomNetNmnist);

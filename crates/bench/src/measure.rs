@@ -227,12 +227,11 @@ mod tests {
     #[test]
     fn measure_produces_consistent_numbers() {
         let w = Workload::build(WorkloadKind::CustomNetNmnist);
-        let mut session = skipper_core::TrainSession::new(
-            w.net,
-            Box::new(Adam::new(1e-3)),
-            Method::Checkpointed { checkpoints: 3 },
-            12,
-        );
+        let mut session =
+            skipper_core::TrainSession::builder(w.net, Method::Checkpointed { checkpoints: 3 }, 12)
+                .optimizer(Box::new(Adam::new(1e-3)))
+                .build()
+                .expect("valid method");
         let cfg = MeasureConfig {
             iterations: 2,
             warmup: 1,

@@ -34,7 +34,7 @@ pub fn evaluate(session: &TrainSession, data: &DataSource, batch: usize, seed: u
     let (mut correct, mut total) = (0usize, 0usize);
     for idx in data.epoch(batch, 0) {
         let (inputs, labels) = data.batch(&idx, timesteps, &mut rng);
-        correct += session.eval_batch(&inputs, &labels).1;
+        correct += session.eval_batch(&inputs, &labels).correct;
         total += labels.len();
     }
     if total == 0 {
@@ -100,15 +100,17 @@ mod tests {
     fn fit_improves_over_random_on_custom_net() {
         let w = Workload::build(WorkloadKind::CustomNetNmnist);
         let chance = 1.0 / w.train.num_classes() as f64;
-        let mut session = TrainSession::new(
+        let mut session = TrainSession::builder(
             w.net,
-            Box::new(Adam::new(2e-3)),
             Method::Skipper {
                 checkpoints: 3,
                 percentile: 40.0,
             },
             w.timesteps,
-        );
+        )
+        .optimizer(Box::new(Adam::new(2e-3)))
+        .build()
+        .expect("valid method");
         let r = fit(&mut session, &w.train, &w.test, 3, w.batch, 1);
         assert_eq!(r.train_acc.len(), 3);
         assert!(

@@ -6,17 +6,25 @@
 //! the memory behaviour the paper sets out to fix. The loss is computed on
 //! the time-accumulated readout logits and its analytic gradient is seeded
 //! into every timestep's logit contribution.
+//!
+//! [`bptt_core`] is shard-aware: the data-parallel engine calls it once per
+//! batch shard with a [`ShardCtx`] carrying the global batch size (loss
+//! scaling) and the shard's sample offset (dropout streams), harvesting
+//! into a per-shard [`GradSink`]. The unsharded [`bptt_step`] is the same
+//! code with a full-batch context and the direct sink.
 
+use crate::engine::{GradSink, ShardCtx};
 use crate::sam::SpikeActivityMonitor;
 use skipper_autograd::Graph;
-use skipper_snn::{softmax_cross_entropy, ParamBinder, SpikingNetwork, StepCtx, TapedState};
+use skipper_snn::{softmax_cross_entropy_scaled, ParamBinder, SpikingNetwork, StepCtx, TapedState};
 use skipper_tensor::Tensor;
 
 /// Outcome of one method-specific training step (gradients are left
-/// accumulated in the network's parameter store).
+/// accumulated in the network's parameter store — or the shard sink).
 #[derive(Debug)]
 pub(crate) struct StepResult {
-    /// Mean cross-entropy loss of the iteration.
+    /// Mean cross-entropy loss of the iteration (over the global batch;
+    /// a shard's value is its partial contribution).
     pub loss: f64,
     /// Correct predictions on the full-forward logits.
     pub correct: usize,
@@ -27,6 +35,27 @@ pub(crate) struct StepResult {
     /// The iteration's spike-activity record.
     #[allow(dead_code)] // exposed for diagnostics and tests
     pub sam: SpikeActivityMonitor,
+    /// Per-sample negative log-likelihoods of each loss evaluation, in
+    /// batch order — one group for the single-loss methods, one per
+    /// window for the truncated ones. The engine folds each group across
+    /// shards in global sample order, reproducing the unsharded loss
+    /// bit-for-bit (see [`combine_loss_groups`]).
+    #[allow(dead_code)] // consumed by the engine
+    pub loss_groups: Vec<Vec<f64>>,
+}
+
+/// The scalar loss of an iteration from its per-sample loss groups: each
+/// group is left-folded in sample order and divided by the global batch,
+/// the group values are left-folded in order and divided by the group
+/// count. This is exactly the accumulation order of the unsharded
+/// methods, so sharded runs that concatenate their groups in global
+/// sample order reproduce the reference loss bit-for-bit.
+pub(crate) fn combine_loss_groups(groups: &[Vec<f64>], global_batch: usize) -> f64 {
+    let sum: f64 = groups
+        .iter()
+        .map(|g| g.iter().sum::<f64>() / global_batch as f64)
+        .sum();
+    sum / groups.len() as f64
 }
 
 /// One baseline-BPTT iteration over `inputs` (length `T`, each `[B,C,H,W]`).
@@ -35,6 +64,26 @@ pub(crate) fn bptt_step(
     inputs: &[Tensor],
     labels: &[usize],
     iter_seed: u64,
+) -> StepResult {
+    let batch = inputs[0].shape()[0];
+    bptt_core(
+        net,
+        inputs,
+        labels,
+        iter_seed,
+        ShardCtx::full(batch),
+        &mut GradSink::Direct,
+    )
+}
+
+/// Shard-aware BPTT over one slice of the batch.
+pub(crate) fn bptt_core(
+    net: &mut SpikingNetwork,
+    inputs: &[Tensor],
+    labels: &[usize],
+    iter_seed: u64,
+    shard: ShardCtx,
+    sink: &mut GradSink<'_>,
 ) -> StepResult {
     let timesteps = inputs.len();
     let batch = inputs[0].shape()[0];
@@ -47,11 +96,7 @@ pub(crate) fn bptt_step(
     {
         let _fwd = skipper_obs::span!("forward_pass", timesteps = timesteps);
         for (t, input) in inputs.iter().enumerate() {
-            let ctx = StepCtx {
-                iter_seed,
-                t,
-                train: true,
-            };
+            let ctx = StepCtx::train_shard(iter_seed, t, shard.batch_offset);
             let out = net.step_taped(&mut g, &mut binder, input, &mut state, &ctx);
             sam.record(out.spike_sum);
             logit_vars.push(out.logits);
@@ -65,21 +110,23 @@ pub(crate) fn bptt_step(
         logits.add_assign(g.value(v));
     }
     logits.scale_assign(1.0 / timesteps as f32);
-    let loss = softmax_cross_entropy(&logits, labels);
+    let loss = softmax_cross_entropy_scaled(&logits, labels, shard.global_batch);
     let per_step_grad = loss.dlogits.scale(1.0 / timesteps as f32);
     let bwd = skipper_obs::span!("backward_pass", timesteps = timesteps);
     for &v in &logit_vars {
         g.seed_grad(v, per_step_grad.clone());
     }
     g.backward();
-    binder.harvest(&mut g, net.params_mut());
+    sink.harvest(&binder, &mut g, net.params_mut());
     drop(bwd);
+    let groups = vec![loss.per_sample];
     StepResult {
-        loss: loss.loss,
+        loss: combine_loss_groups(&groups, shard.global_batch),
         correct: loss.correct,
         recomputed_steps: timesteps,
         skipped_steps: 0,
         sam,
+        loss_groups: groups,
     }
 }
 
@@ -109,6 +156,8 @@ mod tests {
         assert!(r.loss.is_finite() && r.loss > 0.0);
         assert_eq!(r.recomputed_steps, 6);
         assert_eq!(r.skipped_steps, 0);
+        assert_eq!(r.loss_groups.len(), 1);
+        assert_eq!(r.loss_groups[0].len(), 2);
         let grad_norm: f64 = net
             .params()
             .iter()

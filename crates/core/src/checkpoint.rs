@@ -27,16 +27,41 @@
 //!
 //! Because the membrane reset is detached (Section III-B), `∂L/∂U` is the
 //! *only* gradient crossing a boundary; spikes cross as values.
+//!
+//! The two phases are exposed separately ([`checkpoint_forward`],
+//! [`checkpoint_backward`]) so the data-parallel engine can interleave a
+//! cross-shard SAM aggregation between them: every shard's `s_t` record is
+//! summed into the network-wide statistic *before* the SST percentile is
+//! formed, keeping skip decisions global (paper semantics) rather than
+//! per-shard. [`checkpointed_step`] chains the phases for the unsharded
+//! reference path.
 
 use crate::bptt::StepResult;
+use crate::engine::{GradSink, ShardCtx};
 use crate::method::segment_bounds;
-use crate::sam::{SamMetric, SkipPolicy, SpikeActivityMonitor};
+use crate::sam::{decide_skips, SamMetric, SkipDecisions, SkipPolicy, SpikeActivityMonitor};
 use skipper_autograd::Graph;
 use skipper_memprof::{Category, CategoryGuard};
 use skipper_snn::{
-    softmax_cross_entropy, NetworkState, ParamBinder, SpikingNetwork, StepCtx, TapedState,
+    softmax_cross_entropy_scaled, NetworkState, ParamBinder, SpikingNetwork, StepCtx, TapedState,
 };
 use skipper_tensor::Tensor;
+
+/// Everything phase A hands to phase B (and, in the sharded path, to the
+/// cross-shard SAM aggregation in between).
+#[derive(Debug)]
+pub(crate) struct PhaseAOut {
+    /// Checkpointed neuron states, one per segment boundary.
+    pub ckpts: Vec<NetworkState>,
+    /// This shard's activity record (to be aggregated across shards).
+    pub sam: SpikeActivityMonitor,
+    /// Per-sample negative log-likelihoods, in row order.
+    pub per_sample_loss: Vec<f64>,
+    /// Correct predictions on the full-forward logits.
+    pub correct: usize,
+    /// `∂L/∂logits_t` (already divided by global batch and `T`).
+    pub per_step_grad: Tensor,
+}
 
 /// One checkpointed (or, with `percentile > 0`, Skipper) iteration using
 /// the paper's spike-activity policy and metric.
@@ -80,8 +105,54 @@ pub(crate) fn checkpointed_step_with(
     let timesteps = inputs.len();
     let batch = inputs[0].shape()[0];
     let bounds = segment_bounds(timesteps, checkpoints);
+    let shard = ShardCtx::full(batch);
+    let a = checkpoint_forward(net, inputs, labels, iter_seed, &bounds, metric, shard);
+    let decisions = decide_skips(&a.sam, &bounds, percentile, policy, iter_seed);
+    let (recomputed, skipped) = checkpoint_backward(
+        net,
+        inputs,
+        iter_seed,
+        &bounds,
+        &a.ckpts,
+        &a.per_step_grad,
+        &a.sam,
+        &decisions,
+        shard,
+        &mut GradSink::Direct,
+        true,
+    );
+    skipper_obs::counter_add("skipper.steps_skipped", skipped as f64);
+    skipper_obs::counter_add("skipper.steps_recomputed", recomputed as f64);
+    let groups = vec![a.per_sample_loss];
+    StepResult {
+        loss: crate::bptt::combine_loss_groups(&groups, shard.global_batch),
+        correct: a.correct,
+        recomputed_steps: recomputed,
+        skipped_steps: skipped,
+        sam: a.sam,
+        loss_groups: groups,
+    }
+}
 
-    // ---------------- Phase A: gradient-free forward ----------------
+/// Phase A over one batch shard: gradient-free forward with boundary
+/// checkpoints, SAM recording and the loss on time-averaged logits.
+///
+/// # Panics
+///
+/// Panics if `bounds` does not describe at least one segment over
+/// `inputs.len()` timesteps.
+pub(crate) fn checkpoint_forward(
+    net: &SpikingNetwork,
+    inputs: &[Tensor],
+    labels: &[usize],
+    iter_seed: u64,
+    bounds: &[usize],
+    metric: SamMetric,
+    shard: ShardCtx,
+) -> PhaseAOut {
+    let timesteps = inputs.len();
+    let batch = inputs[0].shape()[0];
+    let checkpoints = bounds.len() - 1;
     let mut state = net.init_state(batch);
     let mut ckpts: Vec<NetworkState> = Vec::with_capacity(checkpoints);
     let mut sam = SpikeActivityMonitor::new(timesteps);
@@ -105,11 +176,7 @@ pub(crate) fn checkpointed_step_with(
                 );
                 next_boundary += 1;
             }
-            let ctx = StepCtx {
-                iter_seed,
-                t,
-                train: true,
-            };
+            let ctx = StepCtx::train_shard(iter_seed, t, shard.batch_offset);
             let out = net.step_infer(input, &mut state, &ctx);
             // Record the configured activity statistic (the plain spike sum
             // is already computed by the step; others read the state).
@@ -125,66 +192,63 @@ pub(crate) fn checkpointed_step_with(
     }
     let mut logits = logits.expect("at least one timestep");
     logits.scale_assign(1.0 / timesteps as f32); // time-averaged readout
-    let loss = softmax_cross_entropy(&logits, labels);
+    let loss = softmax_cross_entropy_scaled(&logits, labels, shard.global_batch);
     let per_step_grad = loss.dlogits.scale(1.0 / timesteps as f32);
-    // The live state of phase A is no longer needed; free it before the
-    // backward phase (as autograd would).
-    drop(state);
-    drop(logits);
+    PhaseAOut {
+        ckpts,
+        sam,
+        per_sample_loss: loss.per_sample,
+        correct: loss.correct,
+        per_step_grad,
+    }
+}
 
-    // ---------------- Phase B: segment-wise backward ----------------
+/// Phase B over one batch shard: segment-wise backward under an
+/// already-formed global skip schedule. Returns `(recomputed, skipped)`
+/// timestep counts.
+///
+/// `trace` controls emission of the per-step `skip_decision` events and
+/// the SST gauge; the engine passes `false` and emits them once on the
+/// session thread instead of once per shard.
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn checkpoint_backward(
+    net: &mut SpikingNetwork,
+    inputs: &[Tensor],
+    iter_seed: u64,
+    bounds: &[usize],
+    ckpts: &[NetworkState],
+    per_step_grad: &Tensor,
+    sam: &SpikeActivityMonitor,
+    decisions: &SkipDecisions,
+    shard: ShardCtx,
+    sink: &mut GradSink<'_>,
+    trace: bool,
+) -> (usize, usize) {
+    let checkpoints = bounds.len() - 1;
     let mut boundary_grads: Option<Vec<Tensor>> = None;
     let mut recomputed = 0usize;
     let mut skipped = 0usize;
     for c in (0..checkpoints).rev() {
         let (start, end) = (bounds[c], bounds[c + 1]);
         let _seg = skipper_obs::span!("recompute_segment", c = c, start = start, end = end);
-        // The segment's threshold, for the skip-decision trace (NaN when
-        // the policy does not threshold on activity).
-        let mut traced_sst = f64::NAN;
-        let skip_step: Box<dyn Fn(usize) -> bool> = match policy {
-            SkipPolicy::SpikeActivity => {
-                let sst = sam.threshold(start, end, percentile);
-                traced_sst = sst;
-                skipper_obs::gauge_set("skipper.sst_threshold", sst);
-                let sam = sam.clone();
-                Box::new(move |t| !sam.recompute(t, sst))
-            }
-            SkipPolicy::Random => {
-                // Uniformly drop ~p% of the segment, deterministic per
-                // (iteration, segment).
-                let len = end - start;
-                let want = ((percentile as f64 / 100.0) * len as f64).floor() as usize;
-                let mut rng = skipper_tensor::XorShiftRng::new(
-                    iter_seed.wrapping_mul(0x9E37_79B9_7F4A_7C15) ^ (c as u64 + 1),
-                );
-                let mut order: Vec<usize> = (start..end).collect();
-                for i in (1..len).rev() {
-                    let j = rng.next_below(i + 1);
-                    order.swap(i, j);
-                }
-                let dropped: std::collections::HashSet<usize> =
-                    order.into_iter().take(want).collect();
-                Box::new(move |t| dropped.contains(&t))
-            }
-        };
+        if trace && !decisions.sst(c).is_nan() {
+            skipper_obs::gauge_set("skipper.sst_threshold", decisions.sst(c));
+        }
         let mut g = Graph::new();
         let mut binder = ParamBinder::new(net.params());
         let mut tstate = TapedState::from_state(&mut g, &ckpts[c], true);
         let mut logit_vars = Vec::new();
         for (t, input) in inputs.iter().enumerate().take(end).skip(start) {
-            let skip = skip_step(t);
-            crate::sam::trace_skip_decision(c, t, sam.at(t), traced_sst, skip);
+            let skip = decisions.skip(t);
+            if trace {
+                crate::sam::trace_skip_decision(c, t, sam.at(t), decisions.sst(c), skip);
+            }
             if skip {
                 skipped += 1;
                 continue;
             }
             recomputed += 1;
-            let ctx = StepCtx {
-                iter_seed,
-                t,
-                train: true,
-            };
+            let ctx = StepCtx::train_shard(iter_seed, t, shard.batch_offset);
             let out = net.step_taped(&mut g, &mut binder, input, &mut tstate, &ctx);
             logit_vars.push(out.logits);
         }
@@ -213,18 +277,10 @@ pub(crate) fn checkpointed_step_with(
             })
             .collect();
         boundary_grads = Some(grads);
-        binder.harvest(&mut g, net.params_mut());
+        sink.harvest(&binder, &mut g, net.params_mut());
         // Dropping `g` releases this segment's activations.
     }
-    skipper_obs::counter_add("skipper.steps_skipped", skipped as f64);
-    skipper_obs::counter_add("skipper.steps_recomputed", recomputed as f64);
-    StepResult {
-        loss: loss.loss,
-        correct: loss.correct,
-        recomputed_steps: recomputed,
-        skipped_steps: skipped,
-        sam,
-    }
+    (recomputed, skipped)
 }
 
 #[cfg(test)]

@@ -7,6 +7,7 @@
 //! could not proceed and decide between retrying, resuming from an older
 //! snapshot, or giving up.
 
+use crate::method::MethodError;
 use skipper_snn::SnnError;
 use std::io;
 
@@ -29,6 +30,9 @@ pub enum SkipperError {
         /// What was detected (NaN loss, gradient norm, …).
         detail: String,
     },
+    /// The method configuration violates a paper constraint (Eq. 7,
+    /// `T/C ≥ L_n`, bad window/taps/percentile).
+    Method(MethodError),
     /// The method configuration is invalid for the session.
     Config(String),
 }
@@ -42,6 +46,7 @@ impl std::fmt::Display for SkipperError {
             SkipperError::Divergence { iteration, detail } => {
                 write!(f, "training diverged at iteration {iteration}: {detail}")
             }
+            SkipperError::Method(e) => write!(f, "invalid method: {e}"),
             SkipperError::Config(detail) => write!(f, "invalid configuration: {detail}"),
         }
     }
@@ -52,6 +57,7 @@ impl std::error::Error for SkipperError {
         match self {
             SkipperError::Snn(e) => Some(e),
             SkipperError::Io(e) => Some(e),
+            SkipperError::Method(e) => Some(e),
             _ => None,
         }
     }
@@ -66,6 +72,12 @@ impl From<SnnError> for SkipperError {
 impl From<io::Error> for SkipperError {
     fn from(e: io::Error) -> SkipperError {
         SkipperError::Io(e)
+    }
+}
+
+impl From<MethodError> for SkipperError {
+    fn from(e: MethodError) -> SkipperError {
+        SkipperError::Method(e)
     }
 }
 

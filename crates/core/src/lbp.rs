@@ -14,18 +14,19 @@
 //! of every window must be materialised, and the local classifiers carry
 //! their own (small) weights.
 
-use crate::bptt::StepResult;
+use crate::bptt::{combine_loss_groups, StepResult};
+use crate::engine::{GradSink, ShardCtx};
 use crate::sam::SpikeActivityMonitor;
 use skipper_autograd::Graph;
 use skipper_memprof::{Category, CategoryGuard};
 use skipper_snn::{
-    softmax_cross_entropy, LinearLayer, ParamBinder, ParamStore, SpikingNetwork, StepCtx,
+    softmax_cross_entropy_scaled, LinearLayer, ParamBinder, ParamStore, SpikingNetwork, StepCtx,
     TapedState,
 };
 use skipper_tensor::{Tensor, XorShiftRng};
 
 /// An auxiliary classifier head on one block boundary.
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 struct AuxHead {
     /// Global-average-pool window (spatial extent), if the block output is
     /// spatial.
@@ -113,6 +114,16 @@ impl LocalClassifiers {
     pub fn byte_cost(&self) -> u64 {
         self.store.scalar_count() * 4 * 2
     }
+
+    /// Storage-sharing view for a worker thread (weights are Arc clones;
+    /// see [`SpikingNetwork::share`]).
+    pub fn share(&self) -> LocalClassifiers {
+        LocalClassifiers {
+            taps: self.taps.clone(),
+            store: self.store.share(),
+            heads: self.heads.clone(),
+        }
+    }
 }
 
 /// One TBPTT-LBP iteration.
@@ -127,6 +138,35 @@ pub(crate) fn lbp_step(
     labels: &[usize],
     iter_seed: u64,
     window: usize,
+) -> StepResult {
+    let batch = inputs[0].shape()[0];
+    lbp_core(
+        net,
+        aux,
+        inputs,
+        labels,
+        iter_seed,
+        window,
+        ShardCtx::full(batch),
+        &mut GradSink::Direct,
+        &mut GradSink::Direct,
+    )
+}
+
+/// Shard-aware TBPTT-LBP over one slice of the batch. Main-network and
+/// auxiliary-classifier gradients flow to separate sinks, mirroring their
+/// separate optimizers.
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn lbp_core(
+    net: &mut SpikingNetwork,
+    aux: &mut LocalClassifiers,
+    inputs: &[Tensor],
+    labels: &[usize],
+    iter_seed: u64,
+    window: usize,
+    shard: ShardCtx,
+    sink: &mut GradSink<'_>,
+    aux_sink: &mut GradSink<'_>,
 ) -> StepResult {
     let timesteps = inputs.len();
     let batch = inputs[0].shape()[0];
@@ -143,8 +183,7 @@ pub(crate) fn lbp_step(
 
     let mut carried = net.init_state(batch);
     let mut sam_sums = vec![0.0f64; timesteps];
-    let mut final_loss_sum = 0.0f64;
-    let mut windows = 0usize;
+    let mut loss_groups: Vec<Vec<f64>> = Vec::new();
     let mut total_logits: Option<Tensor> = None;
     let mut start = 0usize;
     while start < timesteps {
@@ -161,11 +200,7 @@ pub(crate) fn lbp_step(
             let mut logit_vars = Vec::with_capacity(end - start);
             let mut outputs: Vec<Tensor> = Vec::with_capacity(end - start);
             for (wi, t) in (start..end).enumerate() {
-                let ctx = StepCtx {
-                    iter_seed,
-                    t,
-                    train: true,
-                };
+                let ctx = StepCtx::train_shard(iter_seed, t, shard.batch_offset);
                 let xv = g.leaf(block_inputs[wi].clone(), false);
                 let (out, logits, ssum) = net.step_taped_modules(
                     &mut g,
@@ -205,17 +240,17 @@ pub(crate) fn lbp_step(
                 logits.add_assign(g.value(v));
             }
             logits.scale_assign(1.0 / window_len); // time-averaged readout
-            let loss = softmax_cross_entropy(&logits, labels);
+            let loss = softmax_cross_entropy_scaled(&logits, labels, shard.global_batch);
             let per_step_grad = loss.dlogits.scale(1.0 / window_len);
             for &v in &logit_vars {
                 g.seed_grad(v, per_step_grad.clone());
             }
             g.backward();
-            binder.harvest(&mut g, net.params_mut());
-            aux_binder.harvest(&mut g, &mut aux.store);
+            sink.harvest(&binder, &mut g, net.params_mut());
+            aux_sink.harvest(&aux_binder, &mut g, &mut aux.store);
             carried = tstate.to_state(&g);
             if is_final {
-                final_loss_sum += loss.loss;
+                loss_groups.push(loss.per_sample);
                 match total_logits.as_mut() {
                     Some(l) => l.add_assign(&logits),
                     None => total_logits = Some(logits),
@@ -224,7 +259,6 @@ pub(crate) fn lbp_step(
                 block_inputs = outputs;
             }
         }
-        windows += 1;
         start = end;
     }
     let total = total_logits.expect("at least one window");
@@ -239,11 +273,12 @@ pub(crate) fn lbp_step(
         sam.record(s);
     }
     StepResult {
-        loss: final_loss_sum / windows as f64,
+        loss: combine_loss_groups(&loss_groups, shard.global_batch),
         correct,
         recomputed_steps: timesteps,
         skipped_steps: 0,
         sam,
+        loss_groups,
     }
 }
 

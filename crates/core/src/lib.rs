@@ -42,15 +42,17 @@
 //!     width_mult: 0.25,
 //!     ..ModelConfig::default()
 //! });
-//! let mut session = TrainSession::new(
+//! let mut session = TrainSession::builder(
 //!     net,
-//!     Box::new(Adam::new(1e-3)),
-//!     Method::Skipper { checkpoints: 2, percentile: 30.0 },
-//!     8, // timesteps
-//! );
+//!     Method::Skipper { checkpoints: 2, percentile: 50.0 },
+//!     16, // timesteps
+//! )
+//! .optimizer(Box::new(Adam::new(1e-3)))
+//! .build()
+//! .expect("the method is valid for this network and horizon");
 //! let mut rng = XorShiftRng::new(1);
 //! let frames = Tensor::rand([4, 3, 8, 8], &mut rng);
-//! let spikes = PoissonEncoder::default().encode(&frames, 8, &mut rng);
+//! let spikes = PoissonEncoder::default().encode(&frames, 16, &mut rng);
 //! let stats = session.train_batch(&spikes, &[0, 1, 2, 3]);
 //! assert!(stats.loss.is_finite());
 //! assert!(stats.skipped_steps > 0);
@@ -58,7 +60,9 @@
 
 pub mod analytic;
 pub mod bptt;
+pub mod builder;
 pub mod checkpoint;
+pub mod engine;
 pub mod error;
 pub mod governor;
 pub mod lbp;
@@ -71,6 +75,7 @@ pub mod stats;
 pub mod tbptt;
 
 pub use analytic::{AnalyticBreakdown, AnalyticModel};
+pub use builder::{SessionBuilder, WORKERS_ENV};
 pub use error::SkipperError;
 pub use governor::GovernorAction;
 pub use lbp::LocalClassifiers;
@@ -79,7 +84,7 @@ pub use planner::Planner;
 pub use resume::{read_snapshot, write_snapshot, SessionState};
 pub use runner::{SentinelConfig, TrainSession};
 pub use sam::{
-    max_checkpoints, max_skippable_percentile, percentile, SamMetric, SkipPolicy,
-    SpikeActivityMonitor,
+    decide_skips, max_checkpoints, max_skippable_percentile, percentile, SamMetric, SkipDecisions,
+    SkipPolicy, SpikeActivityMonitor,
 };
-pub use stats::{BatchStats, EpochStats};
+pub use stats::{BatchStats, EpochStats, EvalStats};

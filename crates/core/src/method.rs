@@ -186,6 +186,70 @@ impl Method {
         }
     }
 
+    /// The structural subset of [`Method::validate`]: only the conditions
+    /// that would make a training step panic outright (zero or oversized
+    /// `C`/`trW`, a percentile outside `[0, 100)`, malformed taps).
+    ///
+    /// The paper's *semantic* bounds — Section V-A's `T/C ≥ L_n` and
+    /// Eq. 7's skip limit — are deliberately not checked here: a
+    /// configuration that violates them still executes (the gradients are
+    /// merely degraded), and the edge-case suite exercises exactly that.
+    /// [`crate::SessionBuilder::build`] applies the full check up front;
+    /// this one guards `try_train_batch` at runtime.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first violated structural constraint.
+    pub fn validate_structure(
+        &self,
+        net: &SpikingNetwork,
+        timesteps: usize,
+    ) -> Result<(), MethodError> {
+        match self {
+            Method::Bptt => Ok(()),
+            Method::Checkpointed { checkpoints } | Method::Skipper { checkpoints, .. } => {
+                if *checkpoints == 0 || *checkpoints > timesteps {
+                    return Err(MethodError::BadCheckpointCount {
+                        checkpoints: *checkpoints,
+                        timesteps,
+                    });
+                }
+                if let Method::Skipper { percentile, .. } = self {
+                    if !(0.0..100.0).contains(percentile) {
+                        return Err(MethodError::BadPercentile {
+                            percentile: *percentile,
+                        });
+                    }
+                }
+                Ok(())
+            }
+            Method::Tbptt { window } => {
+                if *window == 0 || *window > timesteps {
+                    Err(MethodError::BadWindow {
+                        window: *window,
+                        timesteps,
+                    })
+                } else {
+                    Ok(())
+                }
+            }
+            Method::TbpttLbp { window, taps } => {
+                if *window == 0 || *window > timesteps {
+                    return Err(MethodError::BadWindow {
+                        window: *window,
+                        timesteps,
+                    });
+                }
+                let modules = net.modules().len();
+                let ascending = taps.windows(2).all(|w| w[0] < w[1]);
+                if taps.is_empty() || !ascending || taps.iter().any(|&t| t == 0 || t >= modules) {
+                    return Err(MethodError::BadTaps);
+                }
+                Ok(())
+            }
+        }
+    }
+
     fn validate_segments(
         checkpoints: usize,
         timesteps: usize,
@@ -315,6 +379,33 @@ mod tests {
             taps: vec![2, 1],
         };
         assert!(matches!(bad.validate(&n, 24), Err(MethodError::BadTaps)));
+    }
+
+    #[test]
+    fn structural_check_is_a_strict_subset_of_full_validation() {
+        let n = net(); // L_n = 3
+                       // Structurally sound but Eq. 7-invalid: C = T (every segment is a
+                       // single step, shorter than the depth). Full validation rejects,
+                       // the structural check lets it run.
+        let c_eq_t = Method::Checkpointed { checkpoints: 24 };
+        assert!(c_eq_t.validate(&n, 24).is_err());
+        assert!(c_eq_t.validate_structure(&n, 24).is_ok());
+        // Structurally broken configs fail both.
+        let zero = Method::Checkpointed { checkpoints: 0 };
+        assert!(zero.validate(&n, 24).is_err());
+        assert!(zero.validate_structure(&n, 24).is_err());
+        assert!(matches!(
+            Method::Skipper {
+                checkpoints: 2,
+                percentile: 100.0
+            }
+            .validate_structure(&n, 24),
+            Err(MethodError::BadPercentile { .. })
+        ));
+        assert!(matches!(
+            Method::Tbptt { window: 0 }.validate_structure(&n, 24),
+            Err(MethodError::BadWindow { .. })
+        ));
     }
 
     #[test]

@@ -2,16 +2,18 @@
 //! measurement harness wrapped around every iteration.
 
 use crate::bptt::bptt_step;
+use crate::builder::SessionBuilder;
 use crate::checkpoint::{checkpointed_step, checkpointed_step_with};
+use crate::engine::Engine;
 use crate::error::SkipperError;
 use crate::governor::{relieve_pressure, GovernorAction};
 use crate::lbp::{lbp_step, LocalClassifiers};
 use crate::method::Method;
 use crate::resume::SessionState;
 use crate::sam::{SamMetric, SkipPolicy};
-use crate::stats::BatchStats;
+use crate::stats::{BatchStats, EvalStats};
 use crate::tbptt::tbptt_step;
-use skipper_memprof::{reset_peaks, snapshot, take_op_log};
+use skipper_memprof::{reset_peaks, snapshot, take_op_log, MemorySnapshot, OpLog};
 use skipper_snn::serialize::{apply_records, ParamRecord};
 use skipper_snn::{softmax_cross_entropy, Optimizer, OptimizerState, SpikingNetwork, StepCtx};
 use skipper_tensor::Tensor;
@@ -124,6 +126,9 @@ pub struct TrainSession {
     poison_loss_at: Option<u64>,
     mem_budget: Option<u64>,
     governor_log: Vec<GovernorAction>,
+    /// The data-parallel engine, present when the session was built with
+    /// two or more workers.
+    engine: Option<Engine>,
 }
 
 impl std::fmt::Debug for TrainSession {
@@ -139,16 +144,57 @@ impl std::fmt::Debug for TrainSession {
 }
 
 impl TrainSession {
-    /// Create a session. For [`Method::TbpttLbp`] the auxiliary
-    /// classifiers are built immediately (and trained with SGD at the main
-    /// optimizer's learning rate unless [`set_aux_optimizer`] is called).
-    ///
-    /// [`set_aux_optimizer`]: TrainSession::set_aux_optimizer
+    /// Start a [`SessionBuilder`] — the construction path that validates
+    /// the method up front and exposes every knob (optimizer, SAM metric,
+    /// skip policy, sentinels, memory budget, workers) in one place.
+    pub fn builder(net: SpikingNetwork, method: Method, timesteps: usize) -> SessionBuilder {
+        SessionBuilder::new(net, method, timesteps)
+    }
+
+    /// Create an unsharded session with default knobs and **no up-front
+    /// method validation** (invalid configurations surface at the first
+    /// batch instead of at construction).
+    #[deprecated(
+        since = "0.1.0",
+        note = "use TrainSession::builder(net, method, timesteps).optimizer(...).build()"
+    )]
     pub fn new(
         net: SpikingNetwork,
         optimizer: Box<dyn Optimizer>,
         method: Method,
         timesteps: usize,
+    ) -> TrainSession {
+        TrainSession::assemble(
+            net,
+            optimizer,
+            method,
+            timesteps,
+            SamMetric::default(),
+            SkipPolicy::default(),
+            None,
+            None,
+            None,
+            1,
+        )
+    }
+
+    /// The real constructor behind [`SessionBuilder::build`] (and the
+    /// deprecated [`TrainSession::new`] shim). For [`Method::TbpttLbp`]
+    /// the auxiliary classifiers are built immediately and trained with
+    /// Adam at the main optimizer's learning rate unless `aux_optimizer`
+    /// is given.
+    #[allow(clippy::too_many_arguments)]
+    pub(crate) fn assemble(
+        net: SpikingNetwork,
+        optimizer: Box<dyn Optimizer>,
+        method: Method,
+        timesteps: usize,
+        sam_metric: SamMetric,
+        skip_policy: SkipPolicy,
+        aux_optimizer: Option<Box<dyn Optimizer>>,
+        sentinel: Option<SentinelConfig>,
+        mem_budget: Option<u64>,
+        workers: usize,
     ) -> TrainSession {
         let aux = match &method {
             Method::TbpttLbp { taps, .. } => {
@@ -157,7 +203,9 @@ impl TrainSession {
             _ => None,
         };
         let aux_optimizer: Option<Box<dyn Optimizer>> = aux.as_ref().map(|_| {
-            Box::new(skipper_snn::Adam::new(optimizer.learning_rate())) as Box<dyn Optimizer>
+            aux_optimizer.unwrap_or_else(|| {
+                Box::new(skipper_snn::Adam::new(optimizer.learning_rate())) as Box<dyn Optimizer>
+            })
         });
         TrainSession {
             net,
@@ -167,15 +215,22 @@ impl TrainSession {
             method,
             timesteps,
             iteration: 0,
-            sam_metric: SamMetric::default(),
-            skip_policy: SkipPolicy::default(),
+            sam_metric,
+            skip_policy,
             last_sam_sums: Vec::new(),
-            sentinel: None,
+            sentinel,
             last_good: None,
             poison_loss_at: None,
-            mem_budget: None,
+            mem_budget,
             governor_log: Vec::new(),
+            engine: (workers >= 2).then(|| Engine::new(workers)),
         }
+    }
+
+    /// Data-parallel worker threads this session runs on (`1` means the
+    /// unsharded reference path).
+    pub fn workers(&self) -> usize {
+        self.engine.as_ref().map_or(1, Engine::workers)
     }
 
     /// Choose the activity statistic Skipper thresholds on (default: the
@@ -253,10 +308,12 @@ impl TrainSession {
     ///
     /// # Panics
     ///
-    /// Panics if `inputs.len()` differs from the session's `timesteps`, if
-    /// the method configuration is structurally impossible (e.g. `C > T`),
-    /// or if training diverges beyond the sentinels' retry budget — use
-    /// [`try_train_batch`] to handle divergence as a typed error instead.
+    /// Panics if `inputs.len()` differs from the session's `timesteps`, or
+    /// on any [`SkipperError`] from [`try_train_batch`] — a structurally
+    /// impossible method configuration (e.g. `C > T`) or divergence beyond
+    /// the sentinels' retry budget. Sessions from
+    /// [`builder`](TrainSession::builder) have already rejected invalid
+    /// methods at [`build`](crate::builder::SessionBuilder::build).
     ///
     /// [`try_train_batch`]: TrainSession::try_train_batch
     pub fn train_batch(&mut self, inputs: &[Tensor], labels: &[usize]) -> BatchStats {
@@ -266,6 +323,11 @@ impl TrainSession {
 
     /// Like [`train_batch`], but surfaces unrecoverable faults as
     /// [`SkipperError`] instead of panicking.
+    ///
+    /// A structurally impossible method configuration (zero or
+    /// over-horizon checkpoints, a percentile outside `[0, 100)`, a bad
+    /// window or tap list) is reported as a typed
+    /// [`SkipperError::Method`] before any compute runs.
     ///
     /// With sentinels enabled (see [`enable_sentinels`]) a divergent
     /// iteration — non-finite loss or a gradient L2-norm above the
@@ -285,6 +347,7 @@ impl TrainSession {
         labels: &[usize],
     ) -> Result<BatchStats, SkipperError> {
         assert_eq!(inputs.len(), self.timesteps, "input horizon vs session T");
+        self.method.validate_structure(&self.net, self.timesteps)?;
         let batch_size = inputs[0].shape()[0];
         let mut recoveries: u32 = 0;
         loop {
@@ -298,30 +361,56 @@ impl TrainSession {
             reset_peaks();
             take_op_log(); // drop kernels logged outside the iteration
             let start = Instant::now();
-            let mut result = match self.method.clone() {
-                Method::Bptt => bptt_step(&mut self.net, inputs, labels, iter_seed),
-                Method::Checkpointed { checkpoints } => {
-                    checkpointed_step(&mut self.net, inputs, labels, iter_seed, checkpoints, 0.0)
-                }
-                Method::Skipper {
-                    checkpoints,
-                    percentile,
-                } => checkpointed_step_with(
+            let mut worker_mem: Vec<MemorySnapshot> = Vec::new();
+            let mut engine_ops = OpLog::new();
+            let mut result = if let Some(engine) = &self.engine {
+                let outcome = engine.run_iteration(
                     &mut self.net,
+                    self.aux.as_mut(),
+                    &self.method,
                     inputs,
                     labels,
                     iter_seed,
-                    checkpoints,
-                    percentile,
                     self.sam_metric,
                     self.skip_policy,
-                ),
-                Method::Tbptt { window } => {
-                    tbptt_step(&mut self.net, inputs, labels, iter_seed, window)
-                }
-                Method::TbpttLbp { window, .. } => {
-                    let aux = self.aux.as_mut().expect("aux classifiers built in new()");
-                    lbp_step(&mut self.net, aux, inputs, labels, iter_seed, window)
+                );
+                worker_mem = outcome.worker_mem;
+                engine_ops = outcome.ops;
+                outcome.step
+            } else {
+                match self.method.clone() {
+                    Method::Bptt => bptt_step(&mut self.net, inputs, labels, iter_seed),
+                    Method::Checkpointed { checkpoints } => checkpointed_step(
+                        &mut self.net,
+                        inputs,
+                        labels,
+                        iter_seed,
+                        checkpoints,
+                        0.0,
+                    ),
+                    Method::Skipper {
+                        checkpoints,
+                        percentile,
+                    } => checkpointed_step_with(
+                        &mut self.net,
+                        inputs,
+                        labels,
+                        iter_seed,
+                        checkpoints,
+                        percentile,
+                        self.sam_metric,
+                        self.skip_policy,
+                    ),
+                    Method::Tbptt { window } => {
+                        tbptt_step(&mut self.net, inputs, labels, iter_seed, window)
+                    }
+                    Method::TbpttLbp { window, .. } => {
+                        let aux = self
+                            .aux
+                            .as_mut()
+                            .expect("aux classifiers built at construction");
+                        lbp_step(&mut self.net, aux, inputs, labels, iter_seed, window)
+                    }
                 }
             };
             if self.poison_loss_at == Some(self.iteration) {
@@ -384,6 +473,12 @@ impl TrainSession {
                 }
             }
             let wall = start.elapsed();
+            let mut mem = snapshot();
+            for wm in &worker_mem {
+                mem = mem.merge_max(wm);
+            }
+            let mut ops = take_op_log();
+            ops.extend(engine_ops);
             let stats = BatchStats {
                 loss: result.loss,
                 correct: result.correct,
@@ -393,8 +488,9 @@ impl TrainSession {
                 skipped_steps: result.skipped_steps,
                 recoveries,
                 wall,
-                mem: snapshot(),
-                ops: take_op_log(),
+                mem,
+                worker_mem,
+                ops,
             };
             skipper_memprof::publish_peaks(&stats.mem);
             skipper_obs::observe("iteration.wall_us", wall.as_micros() as f64);
@@ -636,8 +732,7 @@ impl TrainSession {
     }
 
     /// Evaluate one batch (plain forward, no dropout, no gradients).
-    /// Returns `(mean loss, correct)`.
-    pub fn eval_batch(&self, inputs: &[Tensor], labels: &[usize]) -> (f64, usize) {
+    pub fn eval_batch(&self, inputs: &[Tensor], labels: &[usize]) -> EvalStats {
         let batch = inputs[0].shape()[0];
         let mut state = self.net.init_state(batch);
         let mut logits: Option<Tensor> = None;
@@ -651,7 +746,11 @@ impl TrainSession {
         let mut logits = logits.expect("T ≥ 1");
         logits.scale_assign(1.0 / inputs.len() as f32); // time-averaged readout
         let loss = softmax_cross_entropy(&logits, labels);
-        (loss.loss, loss.correct)
+        EvalStats {
+            loss: loss.loss,
+            correct: loss.correct,
+            total: labels.len(),
+        }
     }
 }
 
@@ -667,7 +766,11 @@ mod tests {
             width_mult: 0.25,
             ..ModelConfig::default()
         });
-        TrainSession::new(net, Box::new(Adam::new(1e-3)), method, 8)
+        TrainSession::builder(net, method, 8)
+            .optimizer(Box::new(Adam::new(1e-3)))
+            .workers(1)
+            .build()
+            .expect("valid method")
     }
 
     fn batch(seed: u64) -> (Vec<Tensor>, Vec<usize>) {
@@ -743,20 +846,103 @@ mod tests {
     fn eval_batch_runs_without_gradients() {
         let s = session(Method::Bptt);
         let (inputs, labels) = batch(4);
-        let (loss, correct) = s.eval_batch(&inputs, &labels);
-        assert!(loss.is_finite());
-        assert!(correct <= labels.len());
+        let eval = s.eval_batch(&inputs, &labels);
+        assert!(eval.loss.is_finite());
+        assert!(eval.correct <= eval.total);
+        assert_eq!(eval.total, labels.len());
+        assert!((0.0..=1.0).contains(&eval.accuracy()));
+    }
+
+    #[test]
+    fn deprecated_constructor_still_builds_an_unsharded_session() {
+        let net = custom_net(&ModelConfig {
+            input_hw: 8,
+            width_mult: 0.25,
+            ..ModelConfig::default()
+        });
+        #[allow(deprecated)]
+        let mut s = TrainSession::new(net, Box::new(Adam::new(1e-3)), Method::Bptt, 8);
+        assert_eq!(s.workers(), 1);
+        let (inputs, labels) = batch(6);
+        assert!(s.train_batch(&inputs, &labels).loss.is_finite());
+    }
+
+    #[test]
+    fn sharded_session_reproduces_the_unsharded_loss_and_skips() {
+        let mk = |workers: usize| {
+            let net = custom_net(&ModelConfig {
+                input_hw: 8,
+                width_mult: 0.25,
+                ..ModelConfig::default()
+            });
+            TrainSession::builder(
+                net,
+                Method::Skipper {
+                    checkpoints: 2,
+                    percentile: 25.0,
+                },
+                8,
+            )
+            .optimizer(Box::new(Adam::new(1e-3)))
+            .workers(workers)
+            .build()
+            .expect("valid method")
+        };
+        let (inputs, labels) = batch(7);
+        let mut reference = mk(1);
+        let mut sharded = mk(4);
+        assert_eq!(sharded.workers(), 4);
+        // Iteration 1 starts from identical weights: the forward pass (and
+        // with it loss, SAM and the skip schedule) is bitwise identical.
+        let r = reference.train_batch(&inputs, &labels);
+        let s = sharded.train_batch(&inputs, &labels);
+        assert_eq!(r.loss.to_bits(), s.loss.to_bits(), "loss is bitwise");
+        assert_eq!(r.skipped_steps, s.skipped_steps);
+        assert_eq!(r.correct, s.correct);
+        assert!(!s.worker_mem.is_empty());
+        assert!(r.worker_mem.is_empty());
+        // After one optimizer step the weights differ only by the f32
+        // grouping of the gradient reduction; training stays on track.
+        let r = reference.train_batch(&inputs, &labels);
+        let s = sharded.train_batch(&inputs, &labels);
+        assert!((r.loss - s.loss).abs() < 1e-3, "{} vs {}", r.loss, s.loss);
+    }
+
+    #[test]
+    fn structurally_invalid_method_is_a_typed_error() {
+        let mut s = session(Method::Bptt);
+        s.set_method(Method::Checkpointed { checkpoints: 99 });
+        let (inputs, labels) = batch(8);
+        let err = s.try_train_batch(&inputs, &labels).unwrap_err();
+        assert!(matches!(err, SkipperError::Method(_)), "{err}");
     }
 
     #[test]
     fn skipper_stats_report_skips() {
-        let mut s = session(Method::Skipper {
-            checkpoints: 2,
-            percentile: 50.0,
+        // T = 16 leaves headroom under Eq. 7 (max p = 62.5 here), so the
+        // 50th-percentile SST genuinely drops steps.
+        let net = custom_net(&ModelConfig {
+            input_hw: 8,
+            width_mult: 0.25,
+            ..ModelConfig::default()
         });
-        let (inputs, labels) = batch(5);
-        let stats = s.train_batch(&inputs, &labels);
+        let mut s = TrainSession::builder(
+            net,
+            Method::Skipper {
+                checkpoints: 2,
+                percentile: 50.0,
+            },
+            16,
+        )
+        .optimizer(Box::new(Adam::new(1e-3)))
+        .workers(1)
+        .build()
+        .expect("valid method");
+        let mut rng = XorShiftRng::new(5);
+        let frames = Tensor::rand([4, 3, 8, 8], &mut rng);
+        let inputs = PoissonEncoder::default().encode(&frames, 16, &mut rng);
+        let stats = s.train_batch(&inputs, &[0, 1, 2, 3]);
         assert!(stats.skipped_steps > 0);
-        assert_eq!(stats.skipped_steps + stats.recomputed_steps, 8);
+        assert_eq!(stats.skipped_steps + stats.recomputed_steps, 16);
     }
 }

@@ -125,6 +125,120 @@ impl SpikeActivityMonitor {
     pub fn recompute(&self, t: usize, sst: f64) -> bool {
         self.sums[t] >= sst
     }
+
+    /// Monitor wrapping an already-recorded sum sequence.
+    pub fn from_sums(sums: Vec<f64>) -> SpikeActivityMonitor {
+        SpikeActivityMonitor { sums }
+    }
+
+    /// Add another record elementwise (Eq. 4 across batch shards).
+    ///
+    /// `s_t` is a sum over the batch, so the network-wide statistic of a
+    /// sharded iteration is the shard-order sum of the per-shard records.
+    /// For [`SamMetric::SpikeSum`] (integer counts held in `f64`) and
+    /// [`SamMetric::NeuronNormalized`] the aggregate is exactly the
+    /// unsharded value; [`SamMetric::MembraneL2`] sums per-layer norms, so
+    /// its sharded aggregate sums *per-shard* norms instead — the same
+    /// additive form, but not bitwise equal to the unsharded measurement.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the records have different lengths.
+    pub fn absorb(&mut self, other: &SpikeActivityMonitor) {
+        assert_eq!(
+            self.sums.len(),
+            other.sums.len(),
+            "SAM records cover the same horizon"
+        );
+        for (a, b) in self.sums.iter_mut().zip(&other.sums) {
+            *a += b;
+        }
+    }
+}
+
+/// The skip schedule of one iteration: a verdict per timestep plus the
+/// per-segment thresholds that produced it.
+///
+/// Computed once from the network-wide SAM record (after cross-shard
+/// aggregation) so every shard recomputes exactly the same timesteps —
+/// the paper's skip decision (Eq. 5) is global, not per-shard.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SkipDecisions {
+    skip: Vec<bool>,
+    ssts: Vec<f64>,
+}
+
+impl SkipDecisions {
+    /// Whether timestep `t` is skipped in the backward recomputation.
+    pub fn skip(&self, t: usize) -> bool {
+        self.skip[t]
+    }
+
+    /// The SST of segment `c` (NaN when the policy does not threshold on
+    /// activity).
+    pub fn sst(&self, c: usize) -> f64 {
+        self.ssts[c]
+    }
+
+    /// Total skipped timesteps.
+    pub fn skipped(&self) -> usize {
+        self.skip.iter().filter(|&&s| s).count()
+    }
+
+    /// Total recomputed timesteps.
+    pub fn recomputed(&self) -> usize {
+        self.skip.len() - self.skipped()
+    }
+}
+
+/// Form the iteration's skip schedule from a (globally aggregated) SAM
+/// record. A pure function of its arguments: sharded and unsharded runs
+/// that agree on the record agree on every decision.
+///
+/// # Panics
+///
+/// Panics if the record is shorter than the last segment bound.
+pub fn decide_skips(
+    sam: &SpikeActivityMonitor,
+    bounds: &[usize],
+    percentile: f32,
+    policy: SkipPolicy,
+    iter_seed: u64,
+) -> SkipDecisions {
+    let timesteps = *bounds.last().expect("at least one bound");
+    let checkpoints = bounds.len() - 1;
+    let mut skip = vec![false; timesteps];
+    let mut ssts = vec![f64::NAN; checkpoints];
+    for c in 0..checkpoints {
+        let (start, end) = (bounds[c], bounds[c + 1]);
+        match policy {
+            SkipPolicy::SpikeActivity => {
+                let sst = sam.threshold(start, end, percentile);
+                ssts[c] = sst;
+                for (t, s) in skip.iter_mut().enumerate().take(end).skip(start) {
+                    *s = !sam.recompute(t, sst);
+                }
+            }
+            SkipPolicy::Random => {
+                // Uniformly drop ~p% of the segment, deterministic per
+                // (iteration, segment) and independent of the record.
+                let len = end - start;
+                let want = ((percentile as f64 / 100.0) * len as f64).floor() as usize;
+                let mut rng = skipper_tensor::XorShiftRng::new(
+                    iter_seed.wrapping_mul(0x9E37_79B9_7F4A_7C15) ^ (c as u64 + 1),
+                );
+                let mut order: Vec<usize> = (start..end).collect();
+                for i in (1..len).rev() {
+                    let j = rng.next_below(i + 1);
+                    order.swap(i, j);
+                }
+                for &t in order.iter().take(want) {
+                    skip[t] = true;
+                }
+            }
+        }
+    }
+    SkipDecisions { skip, ssts }
 }
 
 /// Emit the per-timestep `skip_decision` trace event: segment `c`,
@@ -288,6 +402,57 @@ mod tests {
         assert!(
             SamMetric::NeuronNormalized.measure(&narrow_only)
                 > SamMetric::NeuronNormalized.measure(&wide_only)
+        );
+    }
+
+    #[test]
+    fn decide_skips_matches_per_segment_thresholding() {
+        let sums: Vec<f64> = vec![1.0, 2.0, 3.0, 4.0, 100.0, 200.0, 300.0, 400.0];
+        let sam = SpikeActivityMonitor::from_sums(sums);
+        let bounds = [0usize, 4, 8];
+        let d = decide_skips(&sam, &bounds, 50.0, SkipPolicy::SpikeActivity, 1);
+        for c in 0..2 {
+            let sst = sam.threshold(bounds[c], bounds[c + 1], 50.0);
+            assert_eq!(d.sst(c), sst);
+            for t in bounds[c]..bounds[c + 1] {
+                assert_eq!(d.skip(t), !sam.recompute(t, sst), "t={t}");
+            }
+        }
+        assert_eq!(d.skipped() + d.recomputed(), 8);
+    }
+
+    #[test]
+    fn decide_skips_random_is_deterministic_and_record_independent() {
+        let a = SpikeActivityMonitor::from_sums(vec![0.0; 8]);
+        let b = SpikeActivityMonitor::from_sums((0..8).map(|i| i as f64).collect());
+        let bounds = [0usize, 4, 8];
+        let da = decide_skips(&a, &bounds, 50.0, SkipPolicy::Random, 7);
+        let db = decide_skips(&b, &bounds, 50.0, SkipPolicy::Random, 7);
+        // Compare schedules, not the structs: the ssts are NaN here, and
+        // NaN != NaN under PartialEq.
+        let same = |x: &SkipDecisions, y: &SkipDecisions| (0..8).all(|t| x.skip(t) == y.skip(t));
+        assert!(same(&da, &db), "random policy ignores the record");
+        assert_eq!(da.skipped(), 4, "floor(0.5·4) per segment");
+        assert!(da.sst(0).is_nan() && da.sst(1).is_nan());
+        let dc = decide_skips(&a, &bounds, 50.0, SkipPolicy::Random, 8);
+        assert!(!same(&da, &dc), "different iteration, different draw");
+    }
+
+    #[test]
+    fn shard_records_aggregate_to_the_unsharded_sums() {
+        // Spike counts are integers: summing per-shard counts reproduces
+        // the full-batch count exactly, so the SST (a selected element of
+        // the record) is bitwise identical.
+        let mut global = SpikeActivityMonitor::from_sums(vec![0.0; 4]);
+        let shard_a = SpikeActivityMonitor::from_sums(vec![3.0, 7.0, 1.0, 9.0]);
+        let shard_b = SpikeActivityMonitor::from_sums(vec![2.0, 5.0, 8.0, 0.0]);
+        global.absorb(&shard_a);
+        global.absorb(&shard_b);
+        assert_eq!(global.sums(), &[5.0, 12.0, 9.0, 9.0]);
+        let unsharded = SpikeActivityMonitor::from_sums(vec![5.0, 12.0, 9.0, 9.0]);
+        assert_eq!(
+            global.threshold(0, 4, 60.0).to_bits(),
+            unsharded.threshold(0, 4, 60.0).to_bits()
         );
     }
 

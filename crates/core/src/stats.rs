@@ -26,8 +26,14 @@ pub struct BatchStats {
     pub recoveries: u32,
     /// Wall-clock time of the iteration (real CPU execution).
     pub wall: Duration,
-    /// Peak per-category tensor memory during the iteration.
+    /// Peak per-category tensor memory during the iteration. On a sharded
+    /// run this merges the session thread with the per-worker peaks
+    /// (elementwise maximum — a per-thread attribution, not a sum of
+    /// concurrent residency).
     pub mem: MemorySnapshot,
+    /// Per-worker peak snapshots of a sharded iteration, in worker order
+    /// (empty on the unsharded path).
+    pub worker_mem: Vec<MemorySnapshot>,
     /// Kernel log of the iteration (drives the GPU latency model).
     pub ops: OpLog,
 }
@@ -49,6 +55,29 @@ impl BatchStats {
     /// Peak tensor bytes (all categories, coincident peak).
     pub fn peak_bytes(&self) -> u64 {
         self.mem.total_peak()
+    }
+}
+
+/// Result of evaluating one batch without gradients (see
+/// [`TrainSession::eval_batch`](crate::runner::TrainSession::eval_batch)),
+/// mirroring the shape of [`BatchStats`].
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct EvalStats {
+    /// Mean cross-entropy loss over the batch.
+    pub loss: f64,
+    /// Correct predictions on the time-averaged logits.
+    pub correct: usize,
+    /// Samples evaluated.
+    pub total: usize,
+}
+
+impl EvalStats {
+    /// Fraction of correct predictions.
+    pub fn accuracy(&self) -> f64 {
+        if self.total == 0 {
+            return 0.0;
+        }
+        self.correct as f64 / self.total as f64
     }
 }
 
@@ -131,6 +160,7 @@ mod tests {
             recoveries: 0,
             wall: Duration::from_millis(5),
             mem: snapshot(),
+            worker_mem: Vec::new(),
             ops: OpLog::new(),
         }
     }

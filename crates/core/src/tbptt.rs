@@ -9,10 +9,11 @@
 //! gradient, as in the paper's description ("the weight gradients
 //! calculated at time (t′, 2t′, …, T) are summed").
 
-use crate::bptt::StepResult;
+use crate::bptt::{combine_loss_groups, StepResult};
+use crate::engine::{GradSink, ShardCtx};
 use crate::sam::SpikeActivityMonitor;
 use skipper_autograd::Graph;
-use skipper_snn::{softmax_cross_entropy, ParamBinder, SpikingNetwork, StepCtx, TapedState};
+use skipper_snn::{softmax_cross_entropy_scaled, ParamBinder, SpikingNetwork, StepCtx, TapedState};
 use skipper_tensor::Tensor;
 
 /// One TBPTT iteration with truncation window `window`.
@@ -27,14 +28,35 @@ pub(crate) fn tbptt_step(
     iter_seed: u64,
     window: usize,
 ) -> StepResult {
+    let batch = inputs[0].shape()[0];
+    tbptt_core(
+        net,
+        inputs,
+        labels,
+        iter_seed,
+        window,
+        ShardCtx::full(batch),
+        &mut GradSink::Direct,
+    )
+}
+
+/// Shard-aware TBPTT over one slice of the batch.
+pub(crate) fn tbptt_core(
+    net: &mut SpikingNetwork,
+    inputs: &[Tensor],
+    labels: &[usize],
+    iter_seed: u64,
+    window: usize,
+    shard: ShardCtx,
+    sink: &mut GradSink<'_>,
+) -> StepResult {
     assert!(window > 0, "truncation window must be positive");
     let timesteps = inputs.len();
     let batch = inputs[0].shape()[0];
     let mut carried = net.init_state(batch);
     let mut sam = SpikeActivityMonitor::new(timesteps);
     let mut total_logits: Option<Tensor> = None;
-    let mut loss_sum = 0.0f64;
-    let mut windows = 0usize;
+    let mut loss_groups: Vec<Vec<f64>> = Vec::new();
     let mut start = 0usize;
     while start < timesteps {
         let end = (start + window).min(timesteps);
@@ -45,11 +67,7 @@ pub(crate) fn tbptt_step(
         let mut tstate = TapedState::from_state(&mut g, &carried, false);
         let mut logit_vars = Vec::with_capacity(end - start);
         for (t, input) in inputs.iter().enumerate().take(end).skip(start) {
-            let ctx = StepCtx {
-                iter_seed,
-                t,
-                train: true,
-            };
+            let ctx = StepCtx::train_shard(iter_seed, t, shard.batch_offset);
             let out = net.step_taped(&mut g, &mut binder, input, &mut tstate, &ctx);
             sam.record(out.spike_sum);
             logit_vars.push(out.logits);
@@ -62,15 +80,14 @@ pub(crate) fn tbptt_step(
             window_logits.add_assign(g.value(v));
         }
         window_logits.scale_assign(1.0 / window_len);
-        let loss = softmax_cross_entropy(&window_logits, labels);
-        loss_sum += loss.loss;
-        windows += 1;
+        let loss = softmax_cross_entropy_scaled(&window_logits, labels, shard.global_batch);
+        loss_groups.push(loss.per_sample);
         let per_step_grad = loss.dlogits.scale(1.0 / window_len);
         for &v in &logit_vars {
             g.seed_grad(v, per_step_grad.clone());
         }
         g.backward();
-        binder.harvest(&mut g, net.params_mut());
+        sink.harvest(&binder, &mut g, net.params_mut());
         carried = tstate.to_state(&g);
         match total_logits.as_mut() {
             Some(l) => l.add_assign(&window_logits),
@@ -86,11 +103,12 @@ pub(crate) fn tbptt_step(
     let preds = total.argmax_rows();
     let correct = preds.iter().zip(labels).filter(|(p, l)| *p == *l).count();
     StepResult {
-        loss: loss_sum / windows as f64,
+        loss: combine_loss_groups(&loss_groups, shard.global_batch),
         correct,
         recomputed_steps: timesteps,
         skipped_steps: 0,
         sam,
+        loss_groups,
     }
 }
 

@@ -1,6 +1,12 @@
 //! Edge cases and failure-injection for the training methods: degenerate
 //! horizons, silent networks, batch size one, and extreme configurations
 //! must run to completion (or fail loudly), never corrupt state.
+//!
+//! Several of these deliberately train configurations that Eq. 7 flags as
+//! unwise (but structurally sound), so they construct sessions through the
+//! deprecated constructor, which skips the full validity checks that
+//! `SessionBuilder::build` performs.
+#![allow(deprecated)]
 
 use skipper_core::{Method, TrainSession};
 use skipper_snn::{custom_net, set_threshold, Adam, LifConfig, ModelConfig, SpikingNetwork};

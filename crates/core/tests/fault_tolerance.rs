@@ -12,7 +12,11 @@ fn session(method: Method, timesteps: usize) -> TrainSession {
         width_mult: 0.25,
         ..ModelConfig::default()
     });
-    TrainSession::new(net, Box::new(Adam::new(1e-3)), method, timesteps)
+    TrainSession::builder(net, method, timesteps)
+        .optimizer(Box::new(Adam::new(1e-3)))
+        .workers(1)
+        .build()
+        .expect("valid method")
 }
 
 fn batch(seed: u64, timesteps: usize) -> (Vec<Tensor>, Vec<usize>) {

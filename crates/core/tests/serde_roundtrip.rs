@@ -50,17 +50,19 @@ fn batch_stats_serialize_with_all_measurements() {
         width_mult: 0.25,
         ..ModelConfig::default()
     });
-    let mut session = TrainSession::new(
+    let mut session = TrainSession::builder(
         net,
-        Box::new(Adam::new(1e-3)),
         Method::Skipper {
             checkpoints: 2,
             percentile: 40.0,
         },
-        6,
-    );
+        12,
+    )
+    .optimizer(Box::new(Adam::new(1e-3)))
+    .build()
+    .expect("valid method");
     let mut rng = XorShiftRng::new(1);
-    let inputs: Vec<Tensor> = (0..6)
+    let inputs: Vec<Tensor> = (0..12)
         .map(|_| Tensor::rand([2, 3, 8, 8], &mut rng).map(|x| (x > 0.5) as i32 as f32))
         .collect();
     let stats = session.train_batch(&inputs, &[0, 1]);

@@ -205,6 +205,23 @@ impl MemorySnapshot {
     pub fn peaks(&self) -> impl Iterator<Item = (Category, u64)> + '_ {
         Category::ALL.iter().map(move |&c| (c, self.peak(c)))
     }
+
+    /// Elementwise maximum of two snapshots.
+    ///
+    /// The tracker is thread-local, so a data-parallel iteration produces
+    /// one snapshot per worker; merging with `max` models the device view
+    /// where the workers are lanes of one accelerator and the iteration's
+    /// footprint is bounded by the hungriest lane per category.
+    pub fn merge_max(&self, other: &MemorySnapshot) -> MemorySnapshot {
+        let mut out = *self;
+        for i in 0..Category::COUNT {
+            out.live[i] = out.live[i].max(other.live[i]);
+            out.peak[i] = out.peak[i].max(other.peak[i]);
+        }
+        out.total_live = out.total_live.max(other.total_live);
+        out.total_peak = out.total_peak.max(other.total_peak);
+        out
+    }
 }
 
 impl std::fmt::Display for MemorySnapshot {

@@ -56,6 +56,40 @@ impl SpanGuard {
         }
     }
 
+    /// Open a span with an explicit parent instead of the thread-local
+    /// stack top.
+    ///
+    /// A worker thread has an empty span stack, so spans it opens would
+    /// float free of the session's `iteration` span; passing the parent id
+    /// captured on the dispatching thread stitches the trace together.
+    /// The new span still joins this thread's stack, so spans nested under
+    /// it parent normally.
+    pub fn enter_with_parent(name: &'static str, fields: Fields, parent: Option<u64>) -> SpanGuard {
+        if !crate::enabled() {
+            return SpanGuard::disabled();
+        }
+        let id = NEXT_SPAN_ID.fetch_add(1, Ordering::Relaxed);
+        let parent = SPAN_STACK.with(|s| {
+            let mut s = s.borrow_mut();
+            let fallback = s.last().copied();
+            s.push(id);
+            parent.or(fallback)
+        });
+        crate::submit(Event {
+            name: name.into(),
+            level: Level::Debug,
+            ts_us: crate::now_us(),
+            tid: crate::current_tid(),
+            kind: EventKind::SpanBegin { id, parent },
+            fields,
+        });
+        SpanGuard {
+            id,
+            name,
+            live: true,
+        }
+    }
+
     /// A no-op guard (what `enter` returns while tracing is disabled).
     pub fn disabled() -> SpanGuard {
         SpanGuard {

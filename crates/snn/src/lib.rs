@@ -46,13 +46,13 @@ pub use encode::{Encoder, LatencyEncoder, PoissonEncoder, RepeatEncoder};
 pub use error::SnnError;
 pub use layers::{Conv2dLayer, LinearLayer};
 pub use lif::{lif_step_infer, lif_step_taped, LifConfig};
-pub use loss::{softmax_cross_entropy, LossOutput};
+pub use loss::{softmax_cross_entropy, softmax_cross_entropy_scaled, LossOutput, ShardLossOutput};
 pub use metrics::{top_k_accuracy, ConfusionMatrix};
 pub use models::{alexnet, custom_net, lenet5, resnet20, resnet34, vgg11, vgg5, ModelConfig};
 pub use network::{
     LifUnit, Module, NetworkState, SpikingNetwork, StepCtx, StepOutput, TapedState, TapedStepOutput,
 };
 pub use optim::{Adam, Optimizer, OptimizerState, Sgd};
-pub use params::{ParamBinder, ParamId, ParamStore, Parameter};
+pub use params::{ParamBinder, ParamId, ParamStore, Parameter, ShardGrads};
 pub use schedule::{apply_schedule, clip_grad_norm, Constant, CosineDecay, LrSchedule, StepDecay};
 pub use serialize::{crc32, load_params, save_params, Crc32, ParamRecord};

@@ -21,6 +21,18 @@ pub struct LossOutput {
     pub correct: usize,
 }
 
+/// Softmax cross-entropy of one batch shard, with the gradient scaled for
+/// a possibly larger global batch.
+#[derive(Debug, Clone)]
+pub struct ShardLossOutput {
+    /// Per-sample negative log-likelihoods, in row order.
+    pub per_sample: Vec<f64>,
+    /// `∂L/∂logits`, shape `[rows, K]`, divided by the *global* batch size.
+    pub dlogits: Tensor,
+    /// Correctly classified samples among these rows.
+    pub correct: usize,
+}
+
 /// Mean softmax cross-entropy of `logits [B,K]` against integer `labels`.
 ///
 /// # Panics
@@ -28,8 +40,37 @@ pub struct LossOutput {
 /// Panics if `labels.len()` differs from the batch size or any label is out
 /// of range.
 pub fn softmax_cross_entropy(logits: &Tensor, labels: &[usize]) -> LossOutput {
+    let b = labels.len();
+    let shard = softmax_cross_entropy_scaled(logits, labels, b);
+    // Folding the per-sample values in row order reproduces the historical
+    // `loss -= log_p` accumulation bit-for-bit.
+    let loss: f64 = shard.per_sample.iter().sum();
+    LossOutput {
+        loss: loss / b as f64,
+        dlogits: shard.dlogits,
+        correct: shard.correct,
+    }
+}
+
+/// Softmax cross-entropy of a batch *shard*: per-sample losses plus a
+/// gradient already divided by `global_batch` (the denominator the
+/// unsharded mean-loss gradient would use).
+///
+/// With `global_batch == labels.len()` this is exactly the unsharded
+/// [`softmax_cross_entropy`] computation.
+///
+/// # Panics
+///
+/// Panics if `labels.len()` differs from the row count, any label is out of
+/// range, or `global_batch` is zero.
+pub fn softmax_cross_entropy_scaled(
+    logits: &Tensor,
+    labels: &[usize],
+    global_batch: usize,
+) -> ShardLossOutput {
     let (b, k) = logits.shape().as_2d();
     assert_eq!(labels.len(), b, "one label per row");
+    assert!(global_batch > 0, "global batch must be positive");
     let _span = skipper_obs::span!("loss", batch = b, classes = k);
     record_op(
         OpKind::Reduce,
@@ -37,7 +78,7 @@ pub fn softmax_cross_entropy(logits: &Tensor, labels: &[usize]) -> LossOutput {
         2.0 * logits.byte_size() as f64,
     );
     let mut dlogits = Tensor::zeros([b, k]);
-    let mut loss = 0.0f64;
+    let mut per_sample = Vec::with_capacity(b);
     let mut correct = 0usize;
     {
         let dl = dlogits.data_mut();
@@ -48,7 +89,7 @@ pub fn softmax_cross_entropy(logits: &Tensor, labels: &[usize]) -> LossOutput {
             let exps: Vec<f64> = row.iter().map(|&x| ((x - max) as f64).exp()).collect();
             let denom: f64 = exps.iter().sum();
             let log_p = (exps[label] / denom).ln();
-            loss -= log_p;
+            per_sample.push(-log_p);
             let argmax = row
                 .iter()
                 .enumerate()
@@ -61,12 +102,12 @@ pub fn softmax_cross_entropy(logits: &Tensor, labels: &[usize]) -> LossOutput {
             for (c, &e) in exps.iter().enumerate() {
                 let softmax = (e / denom) as f32;
                 let one_hot = if c == label { 1.0 } else { 0.0 };
-                dl[r * k + c] = (softmax - one_hot) / b as f32;
+                dl[r * k + c] = (softmax - one_hot) / global_batch as f32;
             }
         }
     }
-    LossOutput {
-        loss: loss / b as f64,
+    ShardLossOutput {
+        per_sample,
         dlogits,
         correct,
     }
@@ -124,6 +165,27 @@ mod tests {
             let ana = out.dlogits.data()[probe];
             assert!((num - ana).abs() < 1e-3, "{num} vs {ana}");
         }
+    }
+
+    #[test]
+    fn sharded_rows_reproduce_unsharded_loss_and_grad() {
+        let mut rng = XorShiftRng::new(61);
+        let logits = Tensor::randn([5, 3], &mut rng);
+        let labels = [0usize, 2, 1, 1, 0];
+        let full = softmax_cross_entropy(&logits, &labels);
+
+        // Split into rows [0..2) and [2..5); fold shard per-sample losses
+        // in global row order and compare bitwise.
+        let top = Tensor::from_vec(logits.data()[..2 * 3].to_vec(), [2, 3]);
+        let bot = Tensor::from_vec(logits.data()[2 * 3..].to_vec(), [3, 3]);
+        let a = softmax_cross_entropy_scaled(&top, &labels[..2], 5);
+        let b = softmax_cross_entropy_scaled(&bot, &labels[2..], 5);
+        let loss: f64 = a.per_sample.iter().chain(&b.per_sample).sum::<f64>() / 5.0;
+        assert_eq!(loss.to_bits(), full.loss.to_bits());
+        assert_eq!(a.correct + b.correct, full.correct);
+        let mut grad = a.dlogits.data().to_vec();
+        grad.extend_from_slice(b.dlogits.data());
+        assert_eq!(grad, full.dlogits.data());
     }
 
     #[test]

@@ -100,29 +100,69 @@ pub struct StepCtx {
     pub t: usize,
     /// Training mode (enables dropout).
     pub train: bool,
+    /// Index of this tensor's first sample within the *global* batch.
+    /// Zero for unsharded execution; a shard of a data-parallel engine
+    /// passes its offset so per-sample randomness (dropout masks) is
+    /// identical to the unsharded run over the same global batch.
+    pub batch_offset: usize,
 }
 
 impl StepCtx {
+    /// Training context at time `t` for an unsharded batch.
+    pub fn train(iter_seed: u64, t: usize) -> StepCtx {
+        StepCtx {
+            iter_seed,
+            t,
+            train: true,
+            batch_offset: 0,
+        }
+    }
+
+    /// Training context at time `t` for a batch shard starting at global
+    /// sample index `batch_offset`.
+    pub fn train_shard(iter_seed: u64, t: usize, batch_offset: usize) -> StepCtx {
+        StepCtx {
+            iter_seed,
+            t,
+            train: true,
+            batch_offset,
+        }
+    }
+
     /// Evaluation context (no dropout) at time `t`.
     pub fn eval(t: usize) -> StepCtx {
         StepCtx {
             iter_seed: 0,
             t,
             train: false,
+            batch_offset: 0,
         }
     }
 }
 
 fn dropout_mask(shape: &[usize], p: f32, state_id: usize, ctx: &StepCtx) -> Tensor {
-    let seed = ctx
-        .iter_seed
-        .wrapping_mul(0x9E37_79B9_7F4A_7C15)
-        .wrapping_add((state_id as u64) << 32)
-        .wrapping_add(ctx.t as u64 + 1);
-    let mut rng = XorShiftRng::new(seed);
+    // Seeded per (iteration, layer, timestep, global sample): each batch
+    // row draws from its own stream, so a shard computes exactly the mask
+    // rows the unsharded run would give its samples.
+    let rows = shape[0];
+    let cols: usize = shape[1..].iter().product();
     let keep = 1.0 - p;
     let inv = 1.0 / keep;
-    Tensor::from_fn(shape, |_| if rng.next_f32() < keep { inv } else { 0.0 })
+    let mut data = vec![0.0f32; rows * cols];
+    for (r, row) in data.chunks_exact_mut(cols).enumerate() {
+        let sample = (ctx.batch_offset + r) as u64;
+        let seed = ctx
+            .iter_seed
+            .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+            .wrapping_add((state_id as u64) << 32)
+            .wrapping_add(ctx.t as u64 + 1)
+            .wrapping_add(sample.wrapping_mul(0xD129_9617_17B9_2C4B));
+        let mut rng = XorShiftRng::new(seed);
+        for v in row.iter_mut() {
+            *v = if rng.next_f32() < keep { inv } else { 0.0 };
+        }
+    }
+    Tensor::from_vec(data, shape)
 }
 
 /// Per-layer neuron state `(U, o)` as plain tensors.
@@ -251,6 +291,24 @@ impl SpikingNetwork {
     /// Network name (e.g. `"vgg5"`).
     pub fn name(&self) -> &str {
         &self.name
+    }
+
+    /// Storage-sharing view of this network for a worker thread.
+    ///
+    /// Weights are Arc clones of the originals (no bytes are booked with
+    /// the memory tracker), so the view is read-consistent with the main
+    /// copy for the duration of an iteration. Gradient accumulation must
+    /// not go through the view — shards harvest into
+    /// [`crate::params::ShardGrads`] instead.
+    pub fn share(&self) -> SpikingNetwork {
+        SpikingNetwork {
+            name: self.name.clone(),
+            modules: self.modules.clone(),
+            params: self.params.share(),
+            state_shapes: self.state_shapes.clone(),
+            input_shape: self.input_shape.clone(),
+            num_classes: self.num_classes,
+        }
     }
 
     /// The modules, in execution order.
@@ -752,38 +810,20 @@ mod tests {
 
     #[test]
     fn dropout_masks_are_deterministic_per_iteration() {
-        let a = dropout_mask(
-            &[4, 4],
-            0.5,
-            1,
-            &StepCtx {
-                iter_seed: 99,
-                t: 3,
-                train: true,
-            },
-        );
-        let b = dropout_mask(
-            &[4, 4],
-            0.5,
-            1,
-            &StepCtx {
-                iter_seed: 99,
-                t: 3,
-                train: true,
-            },
-        );
-        let c = dropout_mask(
-            &[4, 4],
-            0.5,
-            1,
-            &StepCtx {
-                iter_seed: 100,
-                t: 3,
-                train: true,
-            },
-        );
+        let a = dropout_mask(&[4, 4], 0.5, 1, &StepCtx::train(99, 3));
+        let b = dropout_mask(&[4, 4], 0.5, 1, &StepCtx::train(99, 3));
+        let c = dropout_mask(&[4, 4], 0.5, 1, &StepCtx::train(100, 3));
         assert_eq!(a.data(), b.data());
         assert_ne!(a.data(), c.data());
+    }
+
+    #[test]
+    fn dropout_masks_shard_consistently_with_batch_offset() {
+        // Rows [2..4) of the full-batch mask equal rows [0..2) of a shard
+        // whose batch_offset is 2: sharded dropout matches unsharded.
+        let full = dropout_mask(&[4, 6], 0.5, 1, &StepCtx::train(7, 2));
+        let shard = dropout_mask(&[2, 6], 0.5, 1, &StepCtx::train_shard(7, 2, 2));
+        assert_eq!(&full.data()[2 * 6..], shard.data());
     }
 
     #[test]

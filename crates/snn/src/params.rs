@@ -60,6 +60,19 @@ impl Parameter {
     pub fn grad_mut(&mut self) -> &mut Tensor {
         &mut self.grad
     }
+
+    /// Storage-sharing handle to this parameter (Arc clones; no new bytes
+    /// are booked with the memory tracker). Used by the data-parallel
+    /// engine to hand read-only weight views to worker threads; writers
+    /// must go through the original, and shard gradients are collected in
+    /// a [`ShardGrads`] sink rather than the shared accumulator.
+    pub fn share(&self) -> Parameter {
+        Parameter {
+            name: self.name.clone(),
+            value: self.value.clone(),
+            grad: self.grad.clone(),
+        }
+    }
 }
 
 /// Owner of all trainable parameters of a network.
@@ -151,6 +164,57 @@ impl ParamStore {
     pub fn accumulate_grad(&mut self, id: ParamId, grad: &Tensor) {
         self.params[id.0].grad.add_assign(grad);
     }
+
+    /// Storage-sharing view of the whole store (see [`Parameter::share`]).
+    pub fn share(&self) -> ParamStore {
+        ParamStore {
+            params: self.params.iter().map(Parameter::share).collect(),
+        }
+    }
+}
+
+/// Per-shard gradient sink.
+///
+/// A data-parallel worker cannot accumulate into the shared
+/// [`ParamStore`] (its tensors are copy-on-write views owned by the main
+/// thread), so each shard harvests into its own `ShardGrads` and the
+/// engine reduces the sinks in a fixed order afterwards. Slots stay
+/// `None` for parameters the shard never touched.
+#[derive(Debug)]
+pub struct ShardGrads {
+    grads: Vec<Option<Tensor>>,
+}
+
+impl ShardGrads {
+    /// Empty sink sized for `store`.
+    pub fn for_store(store: &ParamStore) -> ShardGrads {
+        ShardGrads {
+            grads: (0..store.len()).map(|_| None).collect(),
+        }
+    }
+
+    /// Add `grad` into slot `index` (moving it in if the slot was empty).
+    ///
+    /// # Panics
+    ///
+    /// Panics if shapes mismatch or `index` is out of range.
+    pub fn accumulate(&mut self, index: usize, grad: Tensor) {
+        match &mut self.grads[index] {
+            Some(t) => t.add_assign(&grad),
+            slot @ None => *slot = Some(grad),
+        }
+    }
+
+    /// Per-parameter gradients as plain buffers, in store order.
+    ///
+    /// The buffers own no tensor storage, so they can cross threads
+    /// without upsetting the thread-local memory tracker.
+    pub fn into_raw(self) -> Vec<Option<Vec<f32>>> {
+        self.grads
+            .into_iter()
+            .map(|g| g.map(|t| t.data().to_vec()))
+            .collect()
+    }
 }
 
 /// Per-graph cache of parameter leaves.
@@ -194,6 +258,18 @@ impl ParamBinder {
             }
         }
     }
+
+    /// Like [`ParamBinder::harvest`], but into a per-shard sink instead of
+    /// the shared store.
+    pub fn harvest_into(&self, g: &mut Graph, sink: &mut ShardGrads) {
+        for (i, v) in self.vars.iter().enumerate() {
+            if let Some(v) = v {
+                if let Some(grad) = g.take_grad(*v) {
+                    sink.accumulate(i, grad);
+                }
+            }
+        }
+    }
 }
 
 #[cfg(test)]
@@ -233,6 +309,33 @@ mod tests {
         assert_eq!(snap.live(mp::Category::WeightGrads), 1024);
         drop(store);
         assert_eq!(mp::snapshot().total_live(), 0);
+    }
+
+    #[test]
+    fn share_books_no_new_bytes_and_tracks_values() {
+        use skipper_memprof as mp;
+        mp::reset_all();
+        let mut store = ParamStore::new();
+        let id = store.add("w", Tensor::zeros([64]));
+        let before = mp::snapshot().total_live();
+        let view = store.share();
+        assert_eq!(mp::snapshot().total_live(), before, "share is Arc-only");
+        assert!(view.value(id).shares_storage(store.value(id)));
+        drop(view);
+        assert_eq!(mp::snapshot().total_live(), before);
+    }
+
+    #[test]
+    fn shard_grads_accumulate_and_export() {
+        let mut store = ParamStore::new();
+        let _a = store.add("a", Tensor::zeros([2]));
+        let _b = store.add("b", Tensor::zeros([3]));
+        let mut sink = ShardGrads::for_store(&store);
+        sink.accumulate(0, Tensor::from_vec(vec![1.0, 2.0], [2]));
+        sink.accumulate(0, Tensor::from_vec(vec![0.5, 0.5], [2]));
+        let raw = sink.into_raw();
+        assert_eq!(raw[0].as_deref(), Some([1.5, 2.5].as_slice()));
+        assert!(raw[1].is_none(), "untouched parameter stays None");
     }
 
     #[test]

@@ -131,7 +131,10 @@ fn main() {
         test_per_class: 4,
         ..SynthImageConfig::default()
     });
-    let mut session = TrainSession::new(net, Box::new(Adam::new(2e-3)), method, timesteps);
+    let mut session = TrainSession::builder(net, method, timesteps)
+        .optimizer(Box::new(Adam::new(2e-3)))
+        .build()
+        .expect("valid method");
     let encoder = PoissonEncoder::default();
     let mut rng = XorShiftRng::new(5);
     for epoch in 0..3u64 {
@@ -148,7 +151,7 @@ fn main() {
         for idx in BatchIter::new(test.len(), batch, 0) {
             let (frames, labels) = test.batch(&idx);
             let spikes = encoder.encode(&frames, timesteps, &mut rng);
-            test_correct += session.eval_batch(&spikes, &labels).1;
+            test_correct += session.eval_batch(&spikes, &labels).correct;
             test_seen += labels.len();
         }
         println!(

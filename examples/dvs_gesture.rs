@@ -62,7 +62,10 @@ fn main() {
     method.validate(&net, timesteps).expect("valid config");
     println!("method: {method}, T = {timesteps}, B = {batch_size}\n");
 
-    let mut session = TrainSession::new(net, Box::new(Adam::new(2e-3)), method, timesteps);
+    let mut session = TrainSession::builder(net, method, timesteps)
+        .optimizer(Box::new(Adam::new(2e-3)))
+        .build()
+        .expect("valid method");
     for epoch in 0..epochs {
         let mut stats = EpochStats::default();
         for idx in BatchIter::new_drop_last(train.len(), batch_size, epoch as u64) {
@@ -72,7 +75,7 @@ fn main() {
         let (mut correct, mut total) = (0usize, 0usize);
         for idx in BatchIter::new(test.len(), batch_size, 0) {
             let (spikes, labels) = event_batch(&test, &idx, timesteps);
-            correct += session.eval_batch(&spikes, &labels).1;
+            correct += session.eval_batch(&spikes, &labels).correct;
             total += labels.len();
         }
         println!(

@@ -73,15 +73,17 @@ fn main() {
     let mut best = (0.0f64, 0.0f32);
     for &lr in &candidates {
         let net = custom_net(&model_cfg);
-        let mut session = TrainSession::new(
+        let mut session = TrainSession::builder(
             net,
-            Box::new(Adam::new(lr)),
             Method::Skipper {
                 checkpoints: 4,
                 percentile: 50.0,
             },
             timesteps,
-        );
+        )
+        .optimizer(Box::new(Adam::new(lr)))
+        .build()
+        .expect("valid method");
         let mut rng = XorShiftRng::new(17);
         for epoch in 0..2u64 {
             for idx in BatchIter::new_drop_last(train.len(), batch, epoch) {
@@ -94,7 +96,7 @@ fn main() {
         for idx in BatchIter::new(test.len(), batch, 0) {
             let (frames, labels) = test.batch(&idx);
             let spikes = encoder.encode(&frames, timesteps, &mut rng);
-            correct += session.eval_batch(&spikes, &labels).1;
+            correct += session.eval_batch(&spikes, &labels).correct;
             total += labels.len();
         }
         let acc = correct as f64 / total as f64;

@@ -52,8 +52,10 @@ fn main() {
         method
             .validate(&net, timesteps)
             .expect("method configuration is valid for this network");
-        let mut session =
-            TrainSession::new(net, Box::new(Adam::new(2e-3)), method.clone(), timesteps);
+        let mut session = TrainSession::builder(net, method.clone(), timesteps)
+            .optimizer(Box::new(Adam::new(2e-3)))
+            .build()
+            .expect("valid method");
 
         let mut last_epoch = EpochStats::default();
         let mut peak_act = 0u64;
@@ -76,8 +78,7 @@ fn main() {
         for idx in BatchIter::new(test.len(), batch_size, 0) {
             let (frames, labels) = test.batch(&idx);
             let spikes = encoder.encode(&frames, timesteps, &mut rng);
-            let (_, c) = session.eval_batch(&spikes, &labels);
-            correct += c;
+            correct += session.eval_batch(&spikes, &labels).correct;
             total += labels.len();
         }
 

@@ -182,7 +182,10 @@ fn cmd_train(args: &Args) -> Result<(), String> {
         "training {} with {} for {epochs} epochs (T={t}, B={batch}, lr={lr})",
         w.name, method
     );
-    let mut session = TrainSession::new(w.net, Box::new(Adam::new(lr)), method, t);
+    let mut session = TrainSession::builder(w.net, method, t)
+        .optimizer(Box::new(Adam::new(lr)))
+        .build()
+        .expect("valid method");
     let r = fit(&mut session, &w.train, &w.test, epochs, batch, 42);
     for (e, (tr, va)) in r.train_acc.iter().zip(&r.val_acc).enumerate() {
         println!(
@@ -213,7 +216,10 @@ fn cmd_eval(args: &Args) -> Result<(), String> {
     }
     let t = args.get("timesteps", w.timesteps)?;
     let batch = args.get("batch", w.batch)?;
-    let session = TrainSession::new(w.net, Box::new(Adam::new(1e-3)), Method::Bptt, t);
+    let session = TrainSession::builder(w.net, Method::Bptt, t)
+        .optimizer(Box::new(Adam::new(1e-3)))
+        .build()
+        .expect("valid method");
     let acc = evaluate(&session, &w.test, batch, 7);
     let chance = 1.0 / w.test.num_classes() as f64;
     println!(
@@ -243,7 +249,10 @@ fn cmd_sweep(args: &Args) -> Result<(), String> {
             println!("{:<16} (invalid at T={t})", m.label());
             continue;
         }
-        let mut session = TrainSession::new(w.net, Box::new(Adam::new(1e-3)), m.clone(), t);
+        let mut session = TrainSession::builder(w.net, m.clone(), t)
+            .optimizer(Box::new(Adam::new(1e-3)))
+            .build()
+            .expect("valid method");
         let meas = measure(
             &mut session,
             &w.train,

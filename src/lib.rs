@@ -35,24 +35,24 @@
 //! Train a small SNN with Skipper and watch memory and skipping at work:
 //!
 //! ```
-//! use skipper::core::{Method, TrainSession};
-//! use skipper::snn::{custom_net, Adam, Encoder, ModelConfig, PoissonEncoder};
-//! use skipper::tensor::{Tensor, XorShiftRng};
+//! use skipper::prelude::*;
 //!
 //! let net = custom_net(&ModelConfig {
 //!     input_hw: 8,
 //!     width_mult: 0.25,
 //!     ..ModelConfig::default()
 //! });
-//! let mut session = TrainSession::new(
+//! let mut session = TrainSession::builder(
 //!     net,
-//!     Box::new(Adam::new(1e-3)),
-//!     Method::Skipper { checkpoints: 2, percentile: 40.0 },
-//!     8,
-//! );
+//!     Method::Skipper { checkpoints: 2, percentile: 50.0 },
+//!     16,
+//! )
+//! .optimizer(Box::new(Adam::new(1e-3)))
+//! .build()
+//! .expect("valid method for this network and horizon");
 //! let mut rng = XorShiftRng::new(7);
 //! let frames = Tensor::rand([2, 3, 8, 8], &mut rng);
-//! let spikes = PoissonEncoder::default().encode(&frames, 8, &mut rng);
+//! let spikes = PoissonEncoder::default().encode(&frames, 16, &mut rng);
 //! let stats = session.train_batch(&spikes, &[0, 1]);
 //! assert!(stats.skipped_steps > 0);
 //! ```
@@ -64,3 +64,29 @@ pub use skipper_memprof as memprof;
 pub use skipper_obs as obs;
 pub use skipper_snn as snn;
 pub use skipper_tensor as tensor;
+
+/// One-stop imports for the common training workflow: build a session with
+/// [`TrainSession::builder`], feed it encoded spike batches, read the
+/// stats.
+///
+/// ```
+/// use skipper::prelude::*;
+///
+/// let net = custom_net(&ModelConfig::default());
+/// let session = TrainSession::builder(net, Method::Bptt, 8)
+///     .workers(1)
+///     .build()
+///     .unwrap();
+/// assert_eq!(session.timesteps(), 8);
+/// ```
+pub mod prelude {
+    pub use skipper_core::{
+        BatchStats, EpochStats, EvalStats, Method, MethodError, SamMetric, SentinelConfig,
+        SessionBuilder, SkipPolicy, SkipperError, TrainSession,
+    };
+    pub use skipper_snn::{
+        custom_net, lenet5, vgg5, Adam, Encoder, LatencyEncoder, ModelConfig, Optimizer,
+        PoissonEncoder, Sgd, SpikingNetwork,
+    };
+    pub use skipper_tensor::{Tensor, XorShiftRng};
+}

@@ -29,15 +29,17 @@ fn skipper_learns_synthetic_cifar_above_chance() {
         width_mult: 0.5,
         ..ModelConfig::default()
     });
-    let mut session = TrainSession::new(
+    let mut session = TrainSession::builder(
         net,
-        Box::new(Adam::new(2e-3)),
         Method::Skipper {
             checkpoints: 2,
             percentile: 40.0,
         },
         timesteps,
-    );
+    )
+    .optimizer(Box::new(Adam::new(2e-3)))
+    .build()
+    .expect("valid method");
     let encoder = PoissonEncoder::default();
     let mut rng = XorShiftRng::new(3);
     for epoch in 0..4u64 {
@@ -51,7 +53,7 @@ fn skipper_learns_synthetic_cifar_above_chance() {
     for idx in BatchIter::new(test.len(), batch, 0) {
         let (frames, labels) = test.batch(&idx);
         let spikes = encoder.encode(&frames, timesteps, &mut rng);
-        correct += session.eval_batch(&spikes, &labels).1;
+        correct += session.eval_batch(&spikes, &labels).correct;
         total += labels.len();
     }
     let acc = correct as f64 / total as f64;
@@ -77,12 +79,11 @@ fn event_pipeline_trains_after_threshold_calibration() {
     });
     let (calib, _) = skipper::data::event_batch(&train, &[0, 4, 8, 12], timesteps);
     calibrate_thresholds(&mut net, &calib, 0.08);
-    let mut session = TrainSession::new(
-        net,
-        Box::new(Adam::new(2e-3)),
-        Method::Checkpointed { checkpoints: 4 },
-        timesteps,
-    );
+    let mut session =
+        TrainSession::builder(net, Method::Checkpointed { checkpoints: 4 }, timesteps)
+            .optimizer(Box::new(Adam::new(2e-3)))
+            .build()
+            .expect("valid method");
     // Compare epoch-mean losses (single-batch losses are too noisy on a
     // 44-sample event dataset).
     let mut epoch_means = Vec::new();
@@ -125,10 +126,13 @@ fn all_methods_share_the_full_forward_loss() {
         Method::Checkpointed { checkpoints: 3 },
         Method::Skipper {
             checkpoints: 3,
-            percentile: 50.0,
+            percentile: 25.0, // Eq. 7 cap for T = 12, C = 3, L_n = 3
         },
     ] {
-        let mut session = TrainSession::new(make(), Box::new(Adam::new(1e-3)), method, timesteps);
+        let mut session = TrainSession::builder(make(), method, timesteps)
+            .optimizer(Box::new(Adam::new(1e-3)))
+            .build()
+            .expect("valid method");
         losses.push(session.train_batch(&spikes, &labels).loss);
     }
     assert!((losses[0] - losses[1]).abs() < 1e-9);
@@ -143,7 +147,10 @@ fn method_switching_mid_session_works() {
         width_mult: 0.25,
         ..ModelConfig::default()
     });
-    let mut session = TrainSession::new(net, Box::new(Adam::new(1e-3)), Method::Bptt, timesteps);
+    let mut session = TrainSession::builder(net, Method::Bptt, timesteps)
+        .optimizer(Box::new(Adam::new(1e-3)))
+        .build()
+        .expect("valid method");
     let mut rng = XorShiftRng::new(6);
     let frames = skipper::tensor::Tensor::rand([2, 3, 8, 8], &mut rng);
     let spikes = PoissonEncoder::default().encode(&frames, timesteps, &mut rng);

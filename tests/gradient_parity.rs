@@ -35,6 +35,35 @@ fn grads_for(
     net.params().iter().map(|p| p.grad().clone()).collect()
 }
 
+/// Like [`grads_for`], but for configurations Eq. 7 flags as unwise
+/// (segment shorter than the network depth): structurally sound, so the
+/// deprecated unvalidated constructor still accepts them.
+fn grads_for_unvalidated(
+    net_fn: impl Fn() -> SpikingNetwork,
+    method: Method,
+    inputs: &[Tensor],
+) -> Vec<Tensor> {
+    let mut net = net_fn();
+    let before: Vec<Tensor> = net.params().iter().map(|p| p.value().clone()).collect();
+    let lr = 0.5f32;
+    let net_owned = std::mem::replace(&mut net, dummy_net());
+    #[allow(deprecated)]
+    let mut session = skipper::core::TrainSession::new(
+        net_owned,
+        Box::new(skipper::snn::Sgd::new(lr)),
+        method,
+        inputs.len(),
+    );
+    let _ = session.train_batch(inputs, &[1, 2]);
+    let mut trained = take_net(session);
+    for (p, b) in trained.params_mut().iter_mut().zip(before) {
+        let delta = b.sub(p.value()).scale(1.0 / lr);
+        *p.grad_mut() = delta;
+    }
+    net = trained;
+    net.params().iter().map(|p| p.grad().clone()).collect()
+}
+
 fn run_via_session_grads(
     net: &mut SpikingNetwork,
     method: Method,
@@ -45,12 +74,10 @@ fn run_via_session_grads(
     let before: Vec<Tensor> = net.params().iter().map(|p| p.value().clone()).collect();
     let lr = 0.5f32;
     let net_owned = std::mem::replace(net, dummy_net());
-    let mut session = skipper::core::TrainSession::new(
-        net_owned,
-        Box::new(skipper::snn::Sgd::new(lr)),
-        method,
-        inputs.len(),
-    );
+    let mut session = skipper::core::TrainSession::builder(net_owned, method, inputs.len())
+        .optimizer(Box::new(skipper::snn::Sgd::new(lr)))
+        .build()
+        .expect("valid method");
     let _ = session.train_batch(inputs, labels);
     let mut trained = take_net(session);
     // Recover gradients from the SGD update: g = (w_before − w_after)/lr.
@@ -101,9 +128,11 @@ fn checkpointed_equals_bptt_on_residual_network() {
             ..ModelConfig::default()
         })
     };
+    // T = 8, C = 2 gives 4-step segments on a 19-layer network — Eq. 7
+    // flags it, but the gradient equivalence must hold regardless.
     let inputs = binary_inputs(8, 2, 8, 501);
     let base = grads_for(make, Method::Bptt, &inputs);
-    let ck = grads_for(make, Method::Checkpointed { checkpoints: 2 }, &inputs);
+    let ck = grads_for_unvalidated(make, Method::Checkpointed { checkpoints: 2 }, &inputs);
     assert_grads_close(&base, &ck, 5e-4, "resnet C=2");
 }
 

@@ -2,7 +2,7 @@
 //! networks, horizons and method parameters.
 
 use proptest::prelude::*;
-use skipper::core::{percentile, Method, TrainSession};
+use skipper::core::{max_skippable_percentile, percentile, Method, TrainSession};
 use skipper::snn::{custom_net, Adam, ModelConfig, Sgd, SpikingNetwork};
 use skipper::tensor::{Tensor, XorShiftRng};
 
@@ -30,7 +30,10 @@ fn grads(method: Method, t: usize, net_seed: u64, data_seed: u64) -> Vec<Vec<f32
         .iter()
         .map(|p| p.value().data().to_vec())
         .collect();
-    let mut session = TrainSession::new(net, Box::new(Sgd::new(1.0)), method, t);
+    let mut session = TrainSession::builder(net, method, t)
+        .optimizer(Box::new(Sgd::new(1.0)))
+        .build()
+        .expect("valid method");
     let inputs = spike_inputs(t, data_seed);
     session.train_batch(&inputs, &[0, 1]);
     let net = session.into_net();
@@ -74,8 +77,13 @@ proptest! {
         p in 10f32..60.0,
         data_seed in 0u64..1000,
     ) {
+        // Eq. 7: only admissible percentiles pass build-time validation.
+        prop_assume!(p <= max_skippable_percentile(t, 2, 3));
         let method = Method::Skipper { checkpoints: 2, percentile: p };
-        let mut session = TrainSession::new(tiny_net(1), Box::new(Adam::new(1e-3)), method, t);
+        let mut session = TrainSession::builder(tiny_net(1), method, t)
+            .optimizer(Box::new(Adam::new(1e-3)))
+            .build()
+            .expect("valid method");
         let inputs = spike_inputs(t, data_seed);
         let stats = session.train_batch(&inputs, &[0, 1]);
         prop_assert_eq!(stats.skipped_steps + stats.recomputed_steps, t);
@@ -110,7 +118,10 @@ proptest! {
     ) {
         prop_assume!(c <= t / 3);
         let loss_of = |m: Method| {
-            let mut s = TrainSession::new(tiny_net(9), Box::new(Adam::new(1e-3)), m, t);
+            let mut s = TrainSession::builder(tiny_net(9), m, t)
+                .optimizer(Box::new(Adam::new(1e-3)))
+                .build()
+                .expect("valid method");
             s.train_batch(&spike_inputs(t, data_seed), &[0, 1]).loss
         };
         let a = loss_of(Method::Bptt);
