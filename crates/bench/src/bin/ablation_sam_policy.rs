@@ -18,6 +18,7 @@ use skipper_core::{Method, SamMetric, SkipPolicy, TrainSession};
 use skipper_snn::Adam;
 
 fn main() {
+    let _run = skipper_bench::BenchRun::start("ablation_sam_policy");
     let mut report = Report::new("ablation_sam_policy");
     let epochs = if quick_mode() { 2 } else { 6 };
     let kind = WorkloadKind::LenetDvsGesture;

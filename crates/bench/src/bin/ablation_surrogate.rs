@@ -27,6 +27,7 @@ fn set_surrogate(net: &mut skipper_snn::SpikingNetwork, surrogate: Surrogate) {
 }
 
 fn main() {
+    let _run = skipper_bench::BenchRun::start("ablation_surrogate");
     let mut report = Report::new("ablation_surrogate");
     let epochs = if quick_mode() { 1 } else { 4 };
     let kind = WorkloadKind::Vgg5Cifar10;

@@ -79,7 +79,10 @@ fn parse_args() -> Args {
 }
 
 fn main() {
-    skipper_obs::init_from_env();
+    // Installs the env-driven sinks, serves SKIPPER_OBS_ADDR and flushes
+    // everything on exit (this bin can also exit via process::exit in the
+    // crash injection path — the manifest then covers the surviving run).
+    let _run = skipper_bench::BenchRun::start("fault_tolerant_training");
     let args = parse_args();
     let w = Workload::build_for_measurement(WorkloadKind::CustomNetNmnist);
     let timesteps = w.timesteps;

@@ -10,6 +10,7 @@ use skipper_memprof::{reset_peaks, snapshot};
 use skipper_snn::Adam;
 
 fn main() {
+    let _run = skipper_bench::BenchRun::start("fig03_accuracy_memory_vs_t");
     let mut report = Report::new("fig03_accuracy_memory_vs_t");
     let quick = quick_mode();
     let epochs = if quick { 1 } else { 3 };

@@ -10,6 +10,7 @@ use skipper_memprof::{Category, DeviceModel};
 use skipper_snn::Adam;
 
 fn main() {
+    let _run = skipper_bench::BenchRun::start("fig03_breakdown_vs_t");
     let mut report = Report::new("fig03_breakdown_vs_t");
     let device = DeviceModel::a100_80gb();
     let cats = [

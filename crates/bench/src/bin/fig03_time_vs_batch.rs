@@ -20,6 +20,7 @@ use skipper_memprof::DeviceModel;
 use skipper_snn::Adam;
 
 fn main() {
+    let _run = skipper_bench::BenchRun::start("fig03_time_vs_batch");
     let mut report = Report::new("fig03_time_vs_batch");
     let device = DeviceModel::a100_80gb();
     let epoch_samples = 512usize; // fixed sample budget per epoch

@@ -17,6 +17,7 @@ use skipper_memprof::{DataParallelModel, DeviceModel};
 use skipper_snn::{resnet34, ModelConfig};
 
 fn main() {
+    let _run = skipper_bench::BenchRun::start("fig04_resnet34_imagenet");
     let mut report = Report::new("fig04_resnet34_imagenet");
     // Full-scale ResNet34 at ImageNet geometry (this only allocates the
     // weights, ~85 MB — the activations exist analytically).

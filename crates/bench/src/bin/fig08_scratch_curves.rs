@@ -10,6 +10,7 @@ use skipper_core::{Method, TrainSession};
 use skipper_snn::Adam;
 
 fn main() {
+    let _run = skipper_bench::BenchRun::start("fig08_scratch_curves");
     let mut report = Report::new("fig08_scratch_curves");
     let epochs = if quick_mode() { 2 } else { 8 };
     let probe = Workload::build(WorkloadKind::LenetDvsGesture);

@@ -9,6 +9,7 @@ use skipper_core::{max_skippable_percentile, Method, TrainSession};
 use skipper_snn::Adam;
 
 fn main() {
+    let _run = skipper_bench::BenchRun::start("fig09_accuracy_vs_t");
     let mut report = Report::new("fig09_accuracy_vs_t");
     let quick = quick_mode();
     let epochs = if quick { 2 } else { 5 };

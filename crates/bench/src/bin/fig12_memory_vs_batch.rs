@@ -14,6 +14,7 @@ use skipper_memprof::DeviceModel;
 use skipper_snn::Adam;
 
 fn main() {
+    let _run = skipper_bench::BenchRun::start("fig12_memory_vs_batch");
     let mut report = Report::new("fig12_memory_vs_batch");
     let device = DeviceModel::a100_80gb();
     let kinds: &[WorkloadKind] = if quick_mode() {

@@ -12,6 +12,7 @@ use skipper_memprof::DeviceModel;
 use skipper_snn::Adam;
 
 fn main() {
+    let _run = skipper_bench::BenchRun::start("fig13_memory_breakdown");
     let mut report = Report::new("fig13_memory_breakdown");
     let device = DeviceModel::a100_80gb();
     let kinds: &[WorkloadKind] = if quick_mode() {

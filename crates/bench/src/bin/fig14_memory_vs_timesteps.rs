@@ -37,6 +37,7 @@ fn paper_scale_net(kind: WorkloadKind) -> SpikingNetwork {
 }
 
 fn main() {
+    let _run = skipper_bench::BenchRun::start("fig14_memory_vs_timesteps");
     let mut report = Report::new("fig14_memory_vs_timesteps");
     let device = DeviceModel::a100_80gb();
     for (kind, c, p, paper_ts) in [

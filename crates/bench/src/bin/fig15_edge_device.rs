@@ -18,6 +18,7 @@ use skipper_memprof::DeviceModel;
 use skipper_snn::{vgg5, Adam, ModelConfig};
 
 fn main() {
+    let _run = skipper_bench::BenchRun::start("fig15_edge_device");
     let mut report = Report::new("fig15_edge_device");
     let nano = DeviceModel::jetson_nano();
     let probe = Workload::build_for_measurement(WorkloadKind::Vgg5Cifar10);

@@ -14,6 +14,7 @@ use skipper_memprof::DeviceModel;
 use skipper_snn::Adam;
 
 fn main() {
+    let _run = skipper_bench::BenchRun::start("fig16_tbptt_lbp_sweep");
     let mut report = Report::new("fig16_tbptt_lbp_sweep");
     let device = DeviceModel::a100_80gb();
     let epochs = if quick_mode() { 1 } else { 3 };

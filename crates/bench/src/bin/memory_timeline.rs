@@ -17,6 +17,7 @@ use skipper_snn::Adam;
 use skipper_tensor::XorShiftRng;
 
 fn main() {
+    let _run = skipper_bench::BenchRun::start("memory_timeline");
     let mut report = Report::new("memory_timeline");
     let kind = WorkloadKind::Vgg5Cifar10;
     let probe = Workload::build_for_measurement(kind);

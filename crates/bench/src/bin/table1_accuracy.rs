@@ -11,6 +11,7 @@ use skipper_core::{Method, TrainSession};
 use skipper_snn::Adam;
 
 fn main() {
+    let _run = skipper_bench::BenchRun::start("table1_accuracy");
     let mut report = Report::new("table1_accuracy");
     let quick = quick_mode();
     // Per-workload epoch budgets: heavier networks get fewer epochs (the

@@ -13,6 +13,7 @@ use skipper_memprof::DeviceModel;
 use skipper_snn::Adam;
 
 fn main() {
+    let _run = skipper_bench::BenchRun::start("table2_tbptt_lbp");
     let mut report = Report::new("table2_tbptt_lbp");
     let device = DeviceModel::a100_80gb();
     let epochs = if quick_mode() { 1 } else { 4 };

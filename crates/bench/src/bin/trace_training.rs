@@ -18,6 +18,7 @@ use skipper_snn::Adam;
 use skipper_tensor::XorShiftRng;
 
 fn main() {
+    let _run = skipper_bench::BenchRun::start("trace_training");
     let t = 20usize;
     let c = 2usize;
     let p = 50.0f32;
@@ -29,7 +30,7 @@ fn main() {
     ));
 
     // Sinks: Chrome trace to disk, ring buffer for the summary table.
-    obs::registry().clear();
+    // (BenchRun already cleared the registry and installed its no-op sink.)
     std::fs::create_dir_all("results").ok();
     let trace_path = std::path::Path::new("results").join("trace_training.trace.json");
     let chrome_id = obs::add_sink(Box::new(obs::ChromeTraceSink::new(&trace_path)));

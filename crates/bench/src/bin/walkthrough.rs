@@ -16,6 +16,7 @@ use skipper_snn::Adam;
 use skipper_tensor::XorShiftRng;
 
 fn main() {
+    let _run = skipper_bench::BenchRun::start("walkthrough");
     let mut report = Report::new("walkthrough");
     let t = 20usize;
     let c = 2usize;

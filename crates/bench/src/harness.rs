@@ -1,0 +1,72 @@
+//! Per-binary observability harness: one RAII guard that standardizes how
+//! every bench bin starts and ends its instrumented life.
+//!
+//! [`BenchRun::start`] clears the metrics registry, installs a
+//! [`NullSink`](skipper_obs::NullSink) (so the registry aggregates even
+//! with no other sink), honors the `SKIPPER_OBS` and `SKIPPER_OBS_ADDR`
+//! environment knobs, and starts the wall clock. Dropping the guard —
+//! including on early return — collects a
+//! [`RunManifest`](skipper_report::RunManifest) from the registry, saves
+//! it as `results/BENCH_<name>.json`, stops the metrics endpoint and calls
+//! [`skipper_obs::shutdown`] so file-backed sinks (JSONL, Chrome traces)
+//! are never left truncated.
+
+use skipper_report::RunManifest;
+use std::time::Instant;
+
+/// RAII harness for one bench binary; see the module docs.
+#[derive(Debug)]
+pub struct BenchRun {
+    name: &'static str,
+    started: Instant,
+    server: Option<skipper_obs::MetricsServer>,
+}
+
+impl BenchRun {
+    /// Start the harness. Call first thing in `main` and keep the guard
+    /// alive to the end:
+    ///
+    /// ```no_run
+    /// let _run = skipper_bench::BenchRun::start("fig03_time_vs_batch");
+    /// // ... benchmark ...
+    /// ```
+    pub fn start(name: &'static str) -> BenchRun {
+        skipper_obs::registry().clear();
+        skipper_obs::add_sink(Box::new(skipper_obs::NullSink::new()));
+        skipper_obs::init_from_env();
+        let server = skipper_obs::serve_from_env();
+        BenchRun {
+            name,
+            started: Instant::now(),
+            server,
+        }
+    }
+
+    /// Worker threads the session builder will default to
+    /// (`SKIPPER_WORKERS`, 1 when unset/invalid).
+    pub fn workers() -> usize {
+        std::env::var("SKIPPER_WORKERS")
+            .ok()
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(1)
+    }
+}
+
+impl Drop for BenchRun {
+    fn drop(&mut self) {
+        let manifest = RunManifest::collect(
+            self.name,
+            self.started.elapsed().as_secs_f64(),
+            crate::quick_mode(),
+            Self::workers(),
+        );
+        match manifest.save(&skipper_report::results_dir()) {
+            Ok(path) => println!("manifest: {}", path.display()),
+            Err(err) => eprintln!("manifest: failed to save BENCH_{}.json: {err}", self.name),
+        }
+        // Stop the endpoint before tearing the sinks down: its NullSink
+        // keeps `enabled()` true until the very end of the run.
+        self.server.take();
+        skipper_obs::shutdown();
+    }
+}

@@ -15,11 +15,13 @@
 //!
 //! [`TrainSession`]: skipper_core::TrainSession
 
+pub mod harness;
 pub mod measure;
 pub mod report;
 pub mod train;
 pub mod workloads;
 
+pub use harness::BenchRun;
 pub use measure::{human_bytes, measure, DataSource, MeasureConfig, Measurement};
 pub use report::Report;
 pub use train::{evaluate, fit, quick_mode, FitResult};

@@ -54,6 +54,7 @@ use skipper_snn::{ParamBinder, ParamStore, ShardGrads, SpikingNetwork};
 use skipper_tensor::Tensor;
 use std::ops::Range;
 use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::mpsc::{channel, Sender};
 use std::sync::Arc;
 use std::thread;
@@ -119,12 +120,27 @@ pub(crate) fn shard_plan(batch: usize, max_shards: usize) -> Vec<Range<usize>> {
 
 type Job = Box<dyn FnOnce() + Send + 'static>;
 
+/// One queued unit of work: the closure plus the span context captured on
+/// the submitting thread, so the worker's spans nest under the dispatching
+/// `iteration` span in the trace.
+struct Task {
+    ctx: skipper_obs::SpanContext,
+    run: Job,
+}
+
 /// A persistent pool of named worker threads fed over per-worker channels.
 /// Shard `i` always runs on worker `i % n`, so a shard's phase-A tensors
 /// are consumed by phase B on the thread that created them (the memory
 /// tracker and span stack are thread-local).
+///
+/// Telemetry (all gated on [`skipper_obs::enabled`]): every task runs
+/// inside a `worker_task` span adopted into the submitter's span context;
+/// `engine.queue_depth` gauges (total and per worker) track pending tasks,
+/// and `engine.worker_utilization` / `engine.worker_idle_us` /
+/// `engine.worker_busy_us` expose each thread's lifetime busy fraction.
 pub(crate) struct WorkerPool {
-    senders: Vec<Sender<Job>>,
+    senders: Vec<Sender<Task>>,
+    depths: Vec<Arc<AtomicUsize>>,
     handles: Vec<thread::JoinHandle<()>>,
 }
 
@@ -133,21 +149,60 @@ impl WorkerPool {
     pub fn new(workers: usize) -> WorkerPool {
         assert!(workers > 0, "a worker pool needs at least one thread");
         let mut senders = Vec::with_capacity(workers);
+        let mut depths = Vec::with_capacity(workers);
         let mut handles = Vec::with_capacity(workers);
         for i in 0..workers {
-            let (tx, rx) = channel::<Job>();
+            let (tx, rx) = channel::<Task>();
+            let depth = Arc::new(AtomicUsize::new(0));
+            let worker_depth = Arc::clone(&depth);
             let handle = thread::Builder::new()
                 .name(format!("skipper-worker-{i}"))
                 .spawn(move || {
-                    while let Ok(job) = rx.recv() {
-                        job();
+                    let mut idle_us = 0u64;
+                    let mut busy_us = 0u64;
+                    let mut last_done = std::time::Instant::now();
+                    while let Ok(task) = rx.recv() {
+                        let started = std::time::Instant::now();
+                        idle_us += started.duration_since(last_done).as_micros() as u64;
+                        let pending = worker_depth.fetch_sub(1, Ordering::Relaxed) - 1;
+                        {
+                            let _ctx = task.ctx.adopt();
+                            let _span = skipper_obs::span!(
+                                "worker_task",
+                                worker = i as u64,
+                                pending = pending as u64
+                            );
+                            (task.run)();
+                        }
+                        last_done = std::time::Instant::now();
+                        busy_us += last_done.duration_since(started).as_micros() as u64;
+                        if skipper_obs::enabled() {
+                            let lifetime = (busy_us + idle_us).max(1);
+                            skipper_obs::gauge_set(
+                                &skipper_obs::labeled("engine.worker_utilization", "worker", i),
+                                busy_us as f64 / lifetime as f64,
+                            );
+                            skipper_obs::gauge_set(
+                                &skipper_obs::labeled("engine.worker_idle_us", "worker", i),
+                                idle_us as f64,
+                            );
+                            skipper_obs::gauge_set(
+                                &skipper_obs::labeled("engine.worker_busy_us", "worker", i),
+                                busy_us as f64,
+                            );
+                        }
                     }
                 })
                 .expect("spawn worker thread");
             senders.push(tx);
+            depths.push(depth);
             handles.push(handle);
         }
-        WorkerPool { senders, handles }
+        WorkerPool {
+            senders,
+            depths,
+            handles,
+        }
     }
 
     /// Number of worker threads.
@@ -158,8 +213,20 @@ impl WorkerPool {
     /// Queue `job` on worker `worker`. Jobs on one worker run in
     /// submission order.
     pub fn submit(&self, worker: usize, job: Job) {
+        let depth = self.depths[worker].fetch_add(1, Ordering::Relaxed) + 1;
+        if skipper_obs::enabled() {
+            skipper_obs::gauge_set(
+                &skipper_obs::labeled("engine.queue_depth", "worker", worker),
+                depth as f64,
+            );
+            let total: usize = self.depths.iter().map(|d| d.load(Ordering::Relaxed)).sum();
+            skipper_obs::gauge_set("engine.queue_depth", total as f64);
+        }
         self.senders[worker]
-            .send(job)
+            .send(Task {
+                ctx: skipper_obs::SpanContext::capture(),
+                run: job,
+            })
             .expect("worker thread accepts jobs until the pool is dropped");
     }
 }
@@ -179,6 +246,7 @@ impl Drop for WorkerPool {
 /// shard count, so the summed bits are identical for any worker count.
 fn tree_reduce(mut layers: Vec<Vec<Option<Vec<f32>>>>) -> Vec<Option<Vec<f32>>> {
     assert!(!layers.is_empty(), "reduce of zero shards");
+    let _span = skipper_obs::span!("tree_reduce", shards = layers.len() as u64);
     while layers.len() > 1 {
         let mut next = Vec::with_capacity(layers.len().div_ceil(2));
         let mut it = layers.into_iter();
@@ -244,6 +312,7 @@ struct ShardOut {
     sam_sums: Vec<f64>,
     recomputed: usize,
     skipped: usize,
+    wall_us: u64,
     grads: Vec<Option<Vec<f32>>>,
     aux_grads: Option<Vec<Option<Vec<f32>>>>,
 }
@@ -354,7 +423,6 @@ impl Engine {
         let timesteps = inputs.len();
         let plan = shard_plan(batch, self.max_shards);
         let workers = self.pool.len();
-        let parent_span = skipper_obs::current_span();
         type Payload = (Vec<ShardOut>, MemorySnapshot, OpLog);
         let (tx, rx) = channel::<(usize, thread::Result<Payload>)>();
         let mut active = 0usize;
@@ -385,7 +453,8 @@ impl Engine {
                         let mut aux = aux;
                         let mut outs = Vec::with_capacity(mine.len());
                         for (index, range) in mine {
-                            let _span = shard_span("shard", index, &range, parent_span);
+                            let shard_started = std::time::Instant::now();
+                            let _span = shard_span("shard", index, &range);
                             let shard_inputs = slice_rows(&inputs, &range);
                             let shard_labels = labels[range.clone()].to_vec();
                             let shard = ShardCtx {
@@ -442,6 +511,7 @@ impl Engine {
                                 sam_sums: step.sam.sums().to_vec(),
                                 recomputed: step.recomputed_steps,
                                 skipped: step.skipped_steps,
+                                wall_us: shard_started.elapsed().as_micros() as u64,
                                 grads: grads.into_raw(),
                                 aux_grads: aux_grads.map(ShardGrads::into_raw),
                             });
@@ -454,6 +524,8 @@ impl Engine {
         }
         drop(tx);
         let (shard_outs, worker_mem, ops) = collect_worker_results(&rx, active);
+        let walls: Vec<u64> = shard_outs.iter().map(|s| s.wall_us).collect();
+        record_shard_walls("train", &walls);
         let aux_store = aux.map(LocalClassifiers::store_mut);
         let step = combine_shards(net.params_mut(), aux_store, shard_outs, batch, timesteps);
         EngineOutcome {
@@ -483,7 +555,6 @@ impl Engine {
         let bounds = Arc::new(segment_bounds(timesteps, checkpoints));
         let plan = shard_plan(batch, self.max_shards);
         let workers = self.pool.len();
-        let parent_span = skipper_obs::current_span();
         let carries: Arc<Vec<parking_lot::Mutex<Option<Carry>>>> = Arc::new(
             (0..plan.len())
                 .map(|_| parking_lot::Mutex::new(None))
@@ -496,6 +567,7 @@ impl Engine {
             sam_sums: Vec<f64>,
             per_sample: Vec<f64>,
             correct: usize,
+            wall_us: u64,
         }
         let (tx, rx) = channel::<(usize, thread::Result<Vec<AReport>>)>();
         let assignment = |w: usize| -> Vec<(usize, Range<usize>)> {
@@ -526,7 +598,8 @@ impl Engine {
                         let _ = mp::take_op_log();
                         let mut reports = Vec::with_capacity(mine.len());
                         for (index, range) in mine {
-                            let _span = shard_span("shard_forward", index, &range, parent_span);
+                            let shard_started = std::time::Instant::now();
+                            let _span = shard_span("shard_forward", index, &range);
                             let shard_net = net.share();
                             let shard_inputs = slice_rows(&inputs, &range);
                             let shard_labels = labels[range.clone()].to_vec();
@@ -548,6 +621,7 @@ impl Engine {
                                 sam_sums: a.sam.sums().to_vec(),
                                 per_sample: a.per_sample_loss.clone(),
                                 correct: a.correct,
+                                wall_us: shard_started.elapsed().as_micros() as u64,
                             });
                             *carries[index].lock() = Some(Carry {
                                 net: shard_net,
@@ -571,6 +645,8 @@ impl Engine {
             }
         }
         a_reports.sort_by_key(|r| r.index);
+        let forward_walls: Vec<u64> = a_reports.iter().map(|r| r.wall_us).collect();
+        record_shard_walls("forward", &forward_walls);
 
         // Cross-shard SAM aggregation *before* the SST percentile is formed
         // (paper semantics: the skip decision is network-wide, Section VI).
@@ -585,8 +661,9 @@ impl Engine {
         emit_skip_trace(&bounds, &sam, &decisions);
 
         // Phase B: segment-wise backward per shard under the global
-        // schedule.
-        type BPayload = (Vec<(usize, Vec<Option<Vec<f32>>>)>, MemorySnapshot, OpLog);
+        // schedule. Each shard reports (index, wall µs, raw gradients).
+        type ShardGradOut = (usize, u64, Vec<Option<Vec<f32>>>);
+        type BPayload = (Vec<ShardGradOut>, MemorySnapshot, OpLog);
         let (tx, rx) = channel::<(usize, thread::Result<BPayload>)>();
         let mut active = 0usize;
         for w in 0..workers {
@@ -605,7 +682,8 @@ impl Engine {
                     let out = catch_unwind(AssertUnwindSafe(|| {
                         let mut outs = Vec::with_capacity(mine.len());
                         for (index, range) in mine {
-                            let _span = shard_span("shard_backward", index, &range, parent_span);
+                            let shard_started = std::time::Instant::now();
+                            let _span = shard_span("shard_backward", index, &range);
                             let Carry { mut net, inputs, a } = carries[index]
                                 .lock()
                                 .take()
@@ -628,7 +706,11 @@ impl Engine {
                                 &mut GradSink::Shard(&mut grads),
                                 false,
                             );
-                            outs.push((index, grads.into_raw()));
+                            outs.push((
+                                index,
+                                shard_started.elapsed().as_micros() as u64,
+                                grads.into_raw(),
+                            ));
                         }
                         (outs, mp::snapshot(), mp::take_op_log())
                     }));
@@ -637,13 +719,8 @@ impl Engine {
             );
         }
         drop(tx);
-        #[allow(clippy::type_complexity)]
-        let mut by_worker: Vec<(
-            usize,
-            Vec<(usize, Vec<Option<Vec<f32>>>)>,
-            MemorySnapshot,
-            OpLog,
-        )> = Vec::with_capacity(active);
+        let mut by_worker: Vec<(usize, Vec<ShardGradOut>, MemorySnapshot, OpLog)> =
+            Vec::with_capacity(active);
         for _ in 0..active {
             let (w, res) = rx.recv().expect("phase-B worker reports back");
             match res {
@@ -654,16 +731,18 @@ impl Engine {
         by_worker.sort_by_key(|(w, ..)| *w);
         let mut worker_mem = Vec::with_capacity(by_worker.len());
         let mut ops = OpLog::new();
-        let mut grad_sets: Vec<(usize, Vec<Option<Vec<f32>>>)> = Vec::with_capacity(plan.len());
+        let mut grad_sets: Vec<ShardGradOut> = Vec::with_capacity(plan.len());
         for (_, outs, mem, worker_ops) in by_worker {
             worker_mem.push(mem);
             ops.extend(worker_ops);
             grad_sets.extend(outs);
         }
-        grad_sets.sort_by_key(|(i, _)| *i);
+        grad_sets.sort_by_key(|(i, ..)| *i);
+        let backward_walls: Vec<u64> = grad_sets.iter().map(|(_, w, _)| *w).collect();
+        record_shard_walls("backward", &backward_walls);
         apply_grads(
             net.params_mut(),
-            tree_reduce(grad_sets.into_iter().map(|(_, g)| g).collect()),
+            tree_reduce(grad_sets.into_iter().map(|(.., g)| g).collect()),
         );
 
         let groups = vec![a_reports
@@ -689,20 +768,45 @@ impl Engine {
     }
 }
 
-/// Open a per-shard span stitched under the session's `iteration` span
-/// (worker threads have an empty span stack of their own).
-fn shard_span(
-    name: &'static str,
-    index: usize,
-    range: &Range<usize>,
-    parent: Option<u64>,
-) -> skipper_obs::SpanGuard {
+/// Open a per-shard span. The enclosing `worker_task` span (itself adopted
+/// into the dispatching thread's context) supplies the parent, so the
+/// shard nests under the session's `iteration` span in the trace.
+fn shard_span(name: &'static str, index: usize, range: &Range<usize>) -> skipper_obs::SpanGuard {
+    if !skipper_obs::enabled() {
+        return skipper_obs::SpanGuard::disabled();
+    }
     let fields: skipper_obs::Fields = vec![
         ("shard", skipper_obs::FieldValue::from(index as u64)),
         ("start", skipper_obs::FieldValue::from(range.start as u64)),
         ("rows", skipper_obs::FieldValue::from(range.len() as u64)),
     ];
-    skipper_obs::SpanGuard::enter_with_parent(name, fields, parent)
+    skipper_obs::SpanGuard::enter(name, fields)
+}
+
+/// Publish per-shard wall times for one dispatch phase: every shard's wall
+/// into the `engine.shard_wall_us{phase=…}` histogram, plus an
+/// `engine.shard_imbalance{phase=…}` gauge of `(max-min)/max` — 0 means a
+/// perfectly balanced plan, values near 1 mean one straggler shard
+/// dominated the iteration's critical path.
+fn record_shard_walls(phase: &str, walls: &[u64]) {
+    if walls.is_empty() || !skipper_obs::enabled() {
+        return;
+    }
+    let hist_key = skipper_obs::labeled("engine.shard_wall_us", "phase", phase);
+    for &w in walls {
+        skipper_obs::observe(&hist_key, w as f64);
+    }
+    let max = *walls.iter().max().expect("non-empty");
+    let min = *walls.iter().min().expect("non-empty");
+    let imbalance = if max == 0 {
+        0.0
+    } else {
+        (max - min) as f64 / max as f64
+    };
+    skipper_obs::gauge_set(
+        &skipper_obs::labeled("engine.shard_imbalance", "phase", phase),
+        imbalance,
+    );
 }
 
 /// Re-emit the unsharded path's skip-decision trace (SST gauge + per-step

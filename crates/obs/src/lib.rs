@@ -41,6 +41,7 @@
 
 mod event;
 mod metrics;
+pub mod serve;
 mod sink;
 mod span;
 mod summary;
@@ -50,8 +51,9 @@ pub use event::{
     push_json_f64, push_json_fields, push_json_string, Event, EventKind, FieldValue, Fields, Level,
 };
 pub use metrics::{labeled, Histogram, MetricsSnapshot, Registry};
-pub use sink::{JsonlSink, RingBufferSink, RingHandle, Sink, StderrSink};
-pub use span::{current_span, SpanGuard};
+pub use serve::{serve_from_env, MetricsServer};
+pub use sink::{JsonlSink, NullSink, RingBufferSink, RingHandle, Sink, StderrSink};
+pub use span::{current_span, ContextGuard, SpanContext, SpanGuard};
 pub use summary::{render_summary, span_stats, SpanStat};
 pub use trace::{chrome_trace_json, write_chrome_trace, ChromeTraceSink};
 
@@ -146,6 +148,51 @@ pub fn flush() {
     }
 }
 
+/// Flush and uninstall **every** sink, dropping each one.
+///
+/// File-backed sinks buffer ([`JsonlSink`] behind a `BufWriter`,
+/// [`ChromeTraceSink`] until flush/drop), so a `main` that returns without
+/// draining them leaves a truncated or empty trace on disk. Call this —
+/// or hold a [`ShutdownGuard`] — at the end of every binary that installs
+/// sinks. Tracing is disabled afterwards; it re-enables if a sink is
+/// installed again.
+pub fn shutdown() {
+    let c = collector();
+    let drained = {
+        let mut sinks = c.sinks.lock().unwrap();
+        SINK_COUNT.store(0, Ordering::Relaxed);
+        std::mem::take(&mut *sinks)
+    };
+    // Flush (and drop) outside the lock: a sink's flush may log or submit.
+    for (_, mut sink) in drained {
+        sink.flush();
+    }
+}
+
+/// RAII wrapper: calls [`shutdown`] on drop. Hold one at the top of a
+/// binary's `main` so sinks are flushed even on early return:
+///
+/// ```no_run
+/// let _obs = skipper_obs::ShutdownGuard::new();
+/// skipper_obs::init_from_env();
+/// // ... work ...
+/// ```
+#[derive(Debug, Default)]
+pub struct ShutdownGuard;
+
+impl ShutdownGuard {
+    /// A guard that shuts the collector down when dropped.
+    pub fn new() -> ShutdownGuard {
+        ShutdownGuard
+    }
+}
+
+impl Drop for ShutdownGuard {
+    fn drop(&mut self) {
+        shutdown();
+    }
+}
+
 /// Deliver `event` to every installed sink. Instrumentation normally goes
 /// through [`span!`] / [`instant!`] / the metric helpers; this is the
 /// escape hatch for custom event shapes.
@@ -235,16 +282,27 @@ pub fn observe(name: &str, value: f64) {
 /// Install a [`StderrSink`] according to the `SKIPPER_OBS` environment
 /// variable — the one verbosity knob for `cargo run` output:
 ///
-/// * unset / `off` / `0`: no sink, tracing stays disabled;
-/// * `warn` / `info` / `debug` / `trace`: log that level and above.
+/// * unset / `off` / `0` / `none` / `false`: no sink, tracing stays
+///   disabled;
+/// * `warn` / `info` / `debug` / `trace` (any case): log that level and
+///   above;
+/// * `1` / `on` / `true`: shorthand for `info`;
+/// * anything else: one warning on stderr, then `info`.
 ///
 /// Returns the sink id when one was installed.
 pub fn init_from_env() -> Option<SinkId> {
     let value = std::env::var("SKIPPER_OBS").ok()?;
     match value.to_ascii_lowercase().as_str() {
-        "" | "off" | "0" | "none" => None,
+        "" | "off" | "0" | "none" | "false" => None,
+        "1" | "on" | "true" => Some(add_sink(Box::new(StderrSink::new(Level::Info)))),
         other => {
-            let level = Level::parse(other).unwrap_or(Level::Info);
+            let level = Level::parse(other).unwrap_or_else(|| {
+                eprintln!(
+                    "skipper-obs: unknown SKIPPER_OBS level {value:?} \
+                     (expected off|warn|info|debug|trace); defaulting to info"
+                );
+                Level::Info
+            });
             Some(add_sink(Box::new(StderrSink::new(level))))
         }
     }

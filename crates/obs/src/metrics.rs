@@ -111,6 +111,43 @@ impl Histogram {
     pub fn max(&self) -> f64 {
         self.max
     }
+
+    /// Estimate the `q`-quantile (`q` in `[0, 1]`) by linear interpolation
+    /// within the containing bucket.
+    ///
+    /// The target rank `q * count` is located by walking the cumulative
+    /// bucket counts; within that bucket samples are assumed uniform
+    /// between its lower and upper edges. Edges are tightened by the true
+    /// `min`/`max`, which also bounds the otherwise-open first and
+    /// overflow buckets. Returns 0.0 for an empty histogram.
+    pub fn quantile(&self, q: f64) -> f64 {
+        if self.count == 0 {
+            return 0.0;
+        }
+        let rank = q.clamp(0.0, 1.0) * self.count as f64;
+        let mut cum = 0u64;
+        for (i, &c) in self.counts.iter().enumerate() {
+            if c == 0 {
+                continue;
+            }
+            if rank <= (cum + c) as f64 {
+                let lower = if i == 0 {
+                    self.min
+                } else {
+                    self.bounds[i - 1].max(self.min)
+                };
+                let upper = if i == self.bounds.len() {
+                    self.max
+                } else {
+                    self.bounds[i].min(self.max)
+                };
+                let frac = ((rank - cum as f64) / c as f64).clamp(0.0, 1.0);
+                return lower + frac * (upper - lower);
+            }
+            cum += c;
+        }
+        self.max
+    }
 }
 
 #[derive(Debug, Default)]
@@ -265,6 +302,26 @@ mod tests {
     #[should_panic(expected = "strictly increasing")]
     fn histogram_rejects_unsorted_bounds() {
         let _ = Histogram::new(&[1.0, 1.0]);
+    }
+
+    #[test]
+    fn quantile_interpolates_within_buckets() {
+        let mut h = Histogram::new(&[10.0, 20.0, 40.0]);
+        for v in [5.0, 15.0, 25.0, 35.0, 100.0] {
+            h.observe(v);
+        }
+        // Buckets: (-inf,10]={5}, (10,20]={15}, (20,40]={25,35},
+        // overflow={100}; min=5, max=100.
+        // q=0.5 -> rank 2.5, halfway through cum=2: 0.25 into (20,40] = 25.
+        assert!((h.quantile(0.5) - 25.0).abs() < 1e-9);
+        // q=0.95 -> rank 4.75, 0.75 into the overflow bucket [40,100] = 85.
+        assert!((h.quantile(0.95) - 85.0).abs() < 1e-9);
+        // Extremes clamp to the observed min/max.
+        assert!((h.quantile(0.0) - 5.0).abs() < 1e-9);
+        assert!((h.quantile(1.0) - 100.0).abs() < 1e-9);
+        // Out-of-range q clamps.
+        assert!((h.quantile(2.0) - 100.0).abs() < 1e-9);
+        assert_eq!(Histogram::default_us().quantile(0.5), 0.0);
     }
 
     #[test]

@@ -1,0 +1,422 @@
+//! Zero-dependency live telemetry endpoint.
+//!
+//! [`MetricsServer::bind`] spawns one background thread with a
+//! [`std::net::TcpListener`] and answers plain HTTP/1.1:
+//!
+//! * `GET /metrics` — the global registry in Prometheus text exposition
+//!   format (`text/plain; version=0.0.4`), counters/gauges as single
+//!   samples and histograms as cumulative `_bucket`/`_sum`/`_count`
+//!   series;
+//! * `GET /metrics.json` — the same snapshot as JSON, with derived
+//!   mean/p50/p95/p99 per histogram;
+//! * `GET /healthz` — liveness probe.
+//!
+//! The server installs a [`NullSink`](crate::NullSink) so the registry
+//! aggregates even when no other sink is active, and removes it (and the
+//! listener thread) on drop. Binding is opt-in via the
+//! `SKIPPER_OBS_ADDR` environment variable — see [`serve_from_env`]:
+//!
+//! ```text
+//! SKIPPER_OBS_ADDR=127.0.0.1:9184 cargo run --release --bin trace_training
+//! curl http://127.0.0.1:9184/metrics
+//! ```
+//!
+//! Requests are served one at a time (a scrape is a few kilobytes; a
+//! second connection queues in the accept backlog), which keeps the whole
+//! endpoint free of extra threads, locks and dependencies.
+
+use crate::metrics::{Histogram, MetricsSnapshot};
+use crate::sink::NullSink;
+use crate::SinkId;
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+
+/// Environment variable holding the listen address (`host:port`).
+pub const ADDR_ENV: &str = "SKIPPER_OBS_ADDR";
+
+/// A running metrics endpoint; dropping it stops the listener thread and
+/// removes the registry-enabling sink.
+#[derive(Debug)]
+pub struct MetricsServer {
+    addr: SocketAddr,
+    stop: Arc<AtomicBool>,
+    thread: Option<JoinHandle<()>>,
+    sink_id: Option<SinkId>,
+}
+
+impl MetricsServer {
+    /// Bind `addr` (e.g. `"127.0.0.1:9184"`; port 0 picks a free port) and
+    /// start serving the global registry.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the bind error.
+    pub fn bind(addr: &str) -> std::io::Result<MetricsServer> {
+        let listener = TcpListener::bind(addr)?;
+        let local = listener.local_addr()?;
+        let stop = Arc::new(AtomicBool::new(false));
+        let thread_stop = Arc::clone(&stop);
+        let thread = std::thread::Builder::new()
+            .name("skipper-obs-serve".into())
+            .spawn(move || {
+                for conn in listener.incoming() {
+                    if thread_stop.load(Ordering::Relaxed) {
+                        break;
+                    }
+                    if let Ok(stream) = conn {
+                        let _ = handle_connection(stream);
+                    }
+                }
+            })?;
+        let sink_id = Some(crate::add_sink(Box::new(NullSink::new())));
+        Ok(MetricsServer {
+            addr: local,
+            stop,
+            thread: Some(thread),
+            sink_id,
+        })
+    }
+
+    /// The bound address (useful with port 0).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+}
+
+impl Drop for MetricsServer {
+    fn drop(&mut self) {
+        self.stop.store(true, Ordering::Relaxed);
+        // The accept loop blocks in `incoming()`; poke it awake so it sees
+        // the stop flag. A failed connect means the listener already died.
+        let _ = TcpStream::connect(self.addr);
+        if let Some(thread) = self.thread.take() {
+            let _ = thread.join();
+        }
+        if let Some(id) = self.sink_id.take() {
+            crate::remove_sink(id);
+        }
+    }
+}
+
+/// Start a [`MetricsServer`] if `SKIPPER_OBS_ADDR` is set.
+///
+/// Logs one warning and returns `None` if the bind fails (a busy port
+/// should not take the training run down with it).
+pub fn serve_from_env() -> Option<MetricsServer> {
+    let addr = std::env::var(ADDR_ENV).ok()?;
+    if addr.is_empty() {
+        return None;
+    }
+    match MetricsServer::bind(&addr) {
+        Ok(server) => {
+            eprintln!(
+                "skipper-obs: serving metrics on http://{}/metrics",
+                server.addr()
+            );
+            Some(server)
+        }
+        Err(err) => {
+            eprintln!("skipper-obs: cannot bind {ADDR_ENV}={addr}: {err}");
+            None
+        }
+    }
+}
+
+fn handle_connection(mut stream: TcpStream) -> std::io::Result<()> {
+    stream.set_read_timeout(Some(std::time::Duration::from_secs(2)))?;
+    // Read until the end of the request head; the routes take no bodies.
+    let mut buf = Vec::new();
+    let mut chunk = [0u8; 1024];
+    loop {
+        let n = stream.read(&mut chunk)?;
+        if n == 0 {
+            break;
+        }
+        buf.extend_from_slice(&chunk[..n]);
+        if buf.windows(4).any(|w| w == b"\r\n\r\n") || buf.len() > 16 * 1024 {
+            break;
+        }
+    }
+    let head = String::from_utf8_lossy(&buf);
+    let path = head
+        .lines()
+        .next()
+        .and_then(|line| line.split_whitespace().nth(1))
+        .unwrap_or("/");
+    let snap = crate::registry().snapshot();
+    let (status, content_type, body) = match path {
+        "/metrics" => (
+            "200 OK",
+            "text/plain; version=0.0.4; charset=utf-8",
+            prometheus_text(&snap),
+        ),
+        "/metrics.json" => ("200 OK", "application/json", snapshot_json(&snap)),
+        "/" | "/healthz" => ("200 OK", "text/plain; charset=utf-8", "ok\n".to_string()),
+        _ => (
+            "404 Not Found",
+            "text/plain; charset=utf-8",
+            "not found\n".to_string(),
+        ),
+    };
+    let response = format!(
+        "HTTP/1.1 {status}\r\nContent-Type: {content_type}\r\nContent-Length: {}\r\nConnection: close\r\n\r\n{body}",
+        body.len()
+    );
+    stream.write_all(response.as_bytes())?;
+    stream.flush()
+}
+
+/// Split a registry key of the form `name{key=value}` into the family name
+/// and an optional rendered Prometheus label set.
+fn split_labels(key: &str) -> (String, String) {
+    let Some(open) = key.find('{') else {
+        return (sanitize(key), String::new());
+    };
+    let name = sanitize(&key[..open]);
+    let inner = key[open..].trim_start_matches('{').trim_end_matches('}');
+    let mut labels = Vec::new();
+    for pair in inner.split(',') {
+        let mut it = pair.splitn(2, '=');
+        let (Some(k), Some(v)) = (it.next(), it.next()) else {
+            continue;
+        };
+        labels.push(format!(
+            "{}=\"{}\"",
+            sanitize(k.trim()),
+            v.trim().replace('"', "\\\"")
+        ));
+    }
+    if labels.is_empty() {
+        (name, String::new())
+    } else {
+        (name, format!("{{{}}}", labels.join(",")))
+    }
+}
+
+/// Map a metric name onto the Prometheus charset `[a-zA-Z0-9_:]`.
+fn sanitize(name: &str) -> String {
+    let mut out: String = name
+        .chars()
+        .map(|c| {
+            if c.is_ascii_alphanumeric() || c == '_' || c == ':' {
+                c
+            } else {
+                '_'
+            }
+        })
+        .collect();
+    if out.chars().next().is_some_and(|c| c.is_ascii_digit()) {
+        out.insert(0, '_');
+    }
+    out
+}
+
+fn fmt_value(v: f64) -> String {
+    if v == v.trunc() && v.abs() < 1e15 {
+        format!("{v:.0}")
+    } else {
+        format!("{v}")
+    }
+}
+
+/// Render a [`MetricsSnapshot`] in Prometheus text exposition format.
+///
+/// Keys sharing a family name (labelled variants sort adjacently in the
+/// snapshot) get one `# TYPE` line.
+pub fn prometheus_text(snap: &MetricsSnapshot) -> String {
+    let mut out = String::new();
+    let mut last_family = String::new();
+    for (key, value) in &snap.counters {
+        let (name, labels) = split_labels(key);
+        if name != last_family {
+            out.push_str(&format!("# TYPE {name} counter\n"));
+            last_family = name.clone();
+        }
+        out.push_str(&format!("{name}{labels} {}\n", fmt_value(*value)));
+    }
+    last_family.clear();
+    for (key, value) in &snap.gauges {
+        let (name, labels) = split_labels(key);
+        if name != last_family {
+            out.push_str(&format!("# TYPE {name} gauge\n"));
+            last_family = name.clone();
+        }
+        out.push_str(&format!("{name}{labels} {}\n", fmt_value(*value)));
+    }
+    last_family.clear();
+    for (key, hist) in &snap.histograms {
+        let (name, labels) = split_labels(key);
+        if name != last_family {
+            out.push_str(&format!("# TYPE {name} histogram\n"));
+            last_family = name.clone();
+        }
+        // Re-open the label set to append `le`.
+        let base = labels.trim_end_matches('}');
+        let mut cumulative = 0u64;
+        for (bound, count) in hist.bounds().iter().zip(hist.counts()) {
+            cumulative += count;
+            let le = if base.is_empty() {
+                format!("{{le=\"{bound}\"}}")
+            } else {
+                format!("{base},le=\"{bound}\"}}")
+            };
+            out.push_str(&format!("{name}_bucket{le} {cumulative}\n"));
+        }
+        let inf = if base.is_empty() {
+            "{le=\"+Inf\"}".to_string()
+        } else {
+            format!("{base},le=\"+Inf\"}}")
+        };
+        out.push_str(&format!("{name}_bucket{inf} {}\n", hist.count()));
+        out.push_str(&format!("{name}_sum{labels} {}\n", fmt_value(hist.sum())));
+        out.push_str(&format!("{name}_count{labels} {}\n", hist.count()));
+    }
+    out
+}
+
+fn push_histogram_json(out: &mut String, hist: &Histogram) {
+    out.push_str(&format!(
+        "{{\"count\":{},\"sum\":{},\"mean\":{},\"min\":{},\"max\":{},\"p50\":{},\"p95\":{},\"p99\":{}}}",
+        hist.count(),
+        json_f64(hist.sum()),
+        json_f64(hist.mean()),
+        json_f64(if hist.count() == 0 { 0.0 } else { hist.min() }),
+        json_f64(if hist.count() == 0 { 0.0 } else { hist.max() }),
+        json_f64(hist.quantile(0.50)),
+        json_f64(hist.quantile(0.95)),
+        json_f64(hist.quantile(0.99)),
+    ));
+}
+
+fn json_f64(v: f64) -> String {
+    if v.is_finite() {
+        format!("{v}")
+    } else {
+        "null".to_string()
+    }
+}
+
+/// Render a [`MetricsSnapshot`] as a JSON object with `counters`, `gauges`
+/// and `histograms` (each histogram carrying derived percentiles).
+pub fn snapshot_json(snap: &MetricsSnapshot) -> String {
+    let mut out = String::from("{\"counters\":{");
+    for (i, (key, value)) in snap.counters.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        crate::push_json_string(&mut out, key);
+        out.push(':');
+        out.push_str(&json_f64(*value));
+    }
+    out.push_str("},\"gauges\":{");
+    for (i, (key, value)) in snap.gauges.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        crate::push_json_string(&mut out, key);
+        out.push(':');
+        out.push_str(&json_f64(*value));
+    }
+    out.push_str("},\"histograms\":{");
+    for (i, (key, hist)) in snap.histograms.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        crate::push_json_string(&mut out, key);
+        out.push(':');
+        push_histogram_json(&mut out, hist);
+    }
+    out.push_str("}}");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Registry;
+
+    fn http_get(addr: SocketAddr, path: &str) -> String {
+        let mut stream = TcpStream::connect(addr).unwrap();
+        write!(stream, "GET {path} HTTP/1.1\r\nHost: localhost\r\n\r\n").unwrap();
+        let mut response = String::new();
+        stream.read_to_string(&mut response).unwrap();
+        response
+    }
+
+    #[test]
+    fn prometheus_text_renders_all_metric_kinds() {
+        let r = Registry::new();
+        r.counter_add("serve_test.skipped", 7.0);
+        r.gauge_set("serve_test.queue_depth{worker=0}", 3.0);
+        r.gauge_set("serve_test.queue_depth{worker=1}", 5.0);
+        r.register_histogram("serve_test.wall_us", &[10.0, 100.0]);
+        r.observe("serve_test.wall_us", 50.0);
+        r.observe("serve_test.wall_us", 5000.0);
+        let text = prometheus_text(&r.snapshot());
+        assert!(text.contains("# TYPE serve_test_skipped counter\n"));
+        assert!(text.contains("serve_test_skipped 7\n"));
+        // One TYPE line for the two labelled gauge series.
+        assert_eq!(
+            text.matches("# TYPE serve_test_queue_depth gauge").count(),
+            1
+        );
+        assert!(text.contains("serve_test_queue_depth{worker=\"0\"} 3\n"));
+        assert!(text.contains("serve_test_queue_depth{worker=\"1\"} 5\n"));
+        // Histogram: cumulative buckets + +Inf + sum + count.
+        assert!(text.contains("# TYPE serve_test_wall_us histogram\n"));
+        assert!(text.contains("serve_test_wall_us_bucket{le=\"10\"} 0\n"));
+        assert!(text.contains("serve_test_wall_us_bucket{le=\"100\"} 1\n"));
+        assert!(text.contains("serve_test_wall_us_bucket{le=\"+Inf\"} 2\n"));
+        assert!(text.contains("serve_test_wall_us_sum 5050\n"));
+        assert!(text.contains("serve_test_wall_us_count 2\n"));
+    }
+
+    #[test]
+    fn snapshot_json_is_wellformed() {
+        let r = Registry::new();
+        r.counter_add("a.b", 1.0);
+        r.observe("h", 3.0);
+        let json = snapshot_json(&r.snapshot());
+        assert!(json.starts_with('{') && json.ends_with('}'));
+        assert!(json.contains("\"a.b\":1"));
+        assert!(json.contains("\"p50\":"));
+    }
+
+    #[test]
+    fn server_serves_metrics_and_404s() {
+        // Unique metric names: the global registry is shared with parallel
+        // tests.
+        crate::counter_add("serve_e2e.before_enable", 1.0); // dropped: disabled
+        let server = MetricsServer::bind("127.0.0.1:0").unwrap();
+        assert!(crate::enabled(), "server's NullSink must enable tracing");
+        crate::counter_add("serve_e2e.requests", 2.0);
+        crate::gauge_set("serve_e2e.depth{worker=0}", 4.0);
+        crate::observe("serve_e2e.wall_us", 123.0);
+
+        let metrics = http_get(server.addr(), "/metrics");
+        assert!(metrics.starts_with("HTTP/1.1 200 OK"));
+        assert!(metrics.contains("text/plain; version=0.0.4"));
+        assert!(metrics.contains("serve_e2e_requests 2"));
+        assert!(metrics.contains("serve_e2e_depth{worker=\"0\"} 4"));
+        assert!(metrics.contains("serve_e2e_wall_us_count 1"));
+
+        let json = http_get(server.addr(), "/metrics.json");
+        assert!(json.starts_with("HTTP/1.1 200 OK"));
+        assert!(json.contains("\"serve_e2e.requests\":2"));
+
+        let health = http_get(server.addr(), "/healthz");
+        assert!(health.starts_with("HTTP/1.1 200 OK"));
+
+        let missing = http_get(server.addr(), "/nope");
+        assert!(missing.starts_with("HTTP/1.1 404"));
+
+        let addr = server.addr();
+        drop(server);
+        // The listener is gone (a fresh bind to the same port succeeds or
+        // the connect fails; either way the thread exited without panic).
+        let _ = TcpStream::connect(addr);
+    }
+}

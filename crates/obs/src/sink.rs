@@ -56,6 +56,31 @@ impl RingHandle {
             .collect()
     }
 
+    /// Captured events emitted by one specific thread, oldest first.
+    ///
+    /// Combined with [`tids`](RingHandle::tids) this lets a test (or the
+    /// summary table) walk every worker-pool thread's event stream even
+    /// though the pool threads themselves never hold the handle.
+    pub fn snapshot_thread(&self, tid: u64) -> Vec<Event> {
+        self.inner
+            .lock()
+            .unwrap()
+            .events
+            .iter()
+            .filter(|e| e.tid == tid)
+            .cloned()
+            .collect()
+    }
+
+    /// Distinct thread ids seen in the captured events, ascending.
+    pub fn tids(&self) -> Vec<u64> {
+        let inner = self.inner.lock().unwrap();
+        let mut tids: Vec<u64> = inner.events.iter().map(|e| e.tid).collect();
+        tids.sort_unstable();
+        tids.dedup();
+        tids
+    }
+
     /// Events discarded because the ring was full.
     pub fn dropped(&self) -> u64 {
         self.inner.lock().unwrap().dropped
@@ -142,6 +167,26 @@ impl Sink for JsonlSink {
     fn flush(&mut self) {
         let _ = self.out.flush();
     }
+}
+
+/// A sink that discards every event.
+///
+/// Installing it still flips the collector to "enabled", so the metrics
+/// registry aggregates counters/gauges/histograms without paying for event
+/// storage — the mode the bench harness and
+/// [`MetricsServer`](crate::serve::MetricsServer) run in.
+#[derive(Debug, Default)]
+pub struct NullSink;
+
+impl NullSink {
+    /// A new discard-everything sink.
+    pub fn new() -> NullSink {
+        NullSink
+    }
+}
+
+impl Sink for NullSink {
+    fn record(&mut self, _event: &Event) {}
 }
 
 /// Human-readable terminal logging at `min_level` and above.

@@ -138,3 +138,87 @@ impl Drop for SpanGuard {
 pub fn current_span() -> Option<u64> {
     SPAN_STACK.with(|s| s.borrow().last().copied())
 }
+
+/// A portable capture of "where am I in the trace?" — the cross-thread
+/// span-context carrier.
+///
+/// Thread-local span stacks give automatic nesting on one thread, but a
+/// worker pool executes jobs on threads whose stacks are empty, so every
+/// span a worker opens would float free of the dispatching `iteration`
+/// span. Capture a context on the dispatching thread, move it into the
+/// job (it is `Copy + Send`), and [`adopt`](SpanContext::adopt) it on the
+/// worker: while the returned guard lives, every span the worker opens —
+/// including ones deep inside library code that knows nothing about the
+/// pool — nests under the captured parent.
+///
+/// ```
+/// let (sink, _handle) = skipper_obs::RingBufferSink::new(64);
+/// let id = skipper_obs::add_sink(Box::new(sink));
+/// let outer = skipper_obs::span!("dispatch");
+/// let ctx = skipper_obs::SpanContext::capture();
+/// std::thread::spawn(move || {
+///     let _adopted = ctx.adopt();
+///     let _task = skipper_obs::span!("task"); // parented under "dispatch"
+/// })
+/// .join()
+/// .unwrap();
+/// drop(outer);
+/// skipper_obs::remove_sink(id);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SpanContext {
+    parent: Option<u64>,
+}
+
+impl SpanContext {
+    /// Capture the calling thread's innermost open span (if any).
+    pub fn capture() -> SpanContext {
+        SpanContext {
+            parent: current_span(),
+        }
+    }
+
+    /// An empty context; adopting it is a no-op.
+    pub fn none() -> SpanContext {
+        SpanContext { parent: None }
+    }
+
+    /// The captured span id, if one was open at capture time.
+    pub fn parent(&self) -> Option<u64> {
+        self.parent
+    }
+
+    /// Make the captured span the parent of spans opened on this thread
+    /// for as long as the returned guard lives. Emits no events itself;
+    /// it only seeds the thread-local stack.
+    pub fn adopt(&self) -> ContextGuard {
+        let Some(id) = self.parent else {
+            return ContextGuard { id: None };
+        };
+        if !crate::enabled() {
+            return ContextGuard { id: None };
+        }
+        SPAN_STACK.with(|s| s.borrow_mut().push(id));
+        ContextGuard { id: Some(id) }
+    }
+}
+
+/// Keeps an adopted [`SpanContext`] active on the current thread; dropping
+/// it restores the previous parent.
+#[derive(Debug)]
+#[must_use = "dropping the guard immediately un-adopts the context"]
+pub struct ContextGuard {
+    id: Option<u64>,
+}
+
+impl Drop for ContextGuard {
+    fn drop(&mut self) {
+        let Some(id) = self.id else { return };
+        SPAN_STACK.with(|s| {
+            let mut s = s.borrow_mut();
+            if let Some(pos) = s.iter().rposition(|&x| x == id) {
+                s.remove(pos);
+            }
+        });
+    }
+}

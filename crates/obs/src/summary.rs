@@ -2,7 +2,7 @@
 //! aggregates (total vs self time) and a compact terminal table.
 
 use crate::event::{Event, EventKind};
-use crate::metrics::MetricsSnapshot;
+use crate::metrics::{Histogram, MetricsSnapshot};
 use std::collections::{BTreeMap, HashMap};
 
 /// Timing aggregate for one span name.
@@ -16,6 +16,13 @@ pub struct SpanStat {
     pub total_us: u64,
     /// Total minus time spent in child spans, microseconds.
     pub self_us: u64,
+    /// Median duration, microseconds (bucket-interpolated, see
+    /// [`Histogram::quantile`]).
+    pub p50_us: u64,
+    /// 95th-percentile duration, microseconds.
+    pub p95_us: u64,
+    /// 99th-percentile duration, microseconds.
+    pub p99_us: u64,
 }
 
 impl SpanStat {
@@ -44,6 +51,7 @@ pub fn span_stats(events: &[Event]) -> Vec<SpanStat> {
     let mut open: HashMap<u64, Open> = HashMap::new();
     let mut child_us: HashMap<u64, u64> = HashMap::new();
     let mut stats: BTreeMap<String, SpanStat> = BTreeMap::new();
+    let mut durations: BTreeMap<String, Histogram> = BTreeMap::new();
     for event in events {
         match &event.kind {
             EventKind::SpanBegin { id, parent } => {
@@ -65,6 +73,10 @@ pub fn span_stats(events: &[Event]) -> Vec<SpanStat> {
                     *child_us.entry(parent).or_insert(0) += duration;
                 }
                 let children = child_us.remove(id).unwrap_or(0);
+                durations
+                    .entry(span.name.clone())
+                    .or_insert_with(Histogram::default_us)
+                    .observe(duration as f64);
                 let stat = stats.entry(span.name.clone()).or_insert_with(|| SpanStat {
                     name: span.name,
                     ..SpanStat::default()
@@ -77,6 +89,13 @@ pub fn span_stats(events: &[Event]) -> Vec<SpanStat> {
         }
     }
     let mut out: Vec<SpanStat> = stats.into_values().collect();
+    for stat in &mut out {
+        if let Some(hist) = durations.get(&stat.name) {
+            stat.p50_us = hist.quantile(0.50).round() as u64;
+            stat.p95_us = hist.quantile(0.95).round() as u64;
+            stat.p99_us = hist.quantile(0.99).round() as u64;
+        }
+    }
     out.sort_by(|a, b| b.total_us.cmp(&a.total_us).then(a.name.cmp(&b.name)));
     out
 }
@@ -97,17 +116,20 @@ pub fn render_summary(events: &[Event], metrics: &MetricsSnapshot, max_counters:
     let mut out = String::new();
     let stats = span_stats(events);
     out.push_str(&format!(
-        "{:<24} {:>7} {:>10} {:>10} {:>10}\n",
-        "span", "count", "total", "self", "mean"
+        "{:<24} {:>7} {:>10} {:>10} {:>10} {:>10} {:>10} {:>10}\n",
+        "span", "count", "total", "self", "mean", "p50", "p95", "p99"
     ));
     for s in &stats {
         out.push_str(&format!(
-            "{:<24} {:>7} {:>10} {:>10} {:>10}\n",
+            "{:<24} {:>7} {:>10} {:>10} {:>10} {:>10} {:>10} {:>10}\n",
             s.name,
             s.count,
             fmt_us(s.total_us),
             fmt_us(s.self_us),
             fmt_us(s.mean_us() as u64),
+            fmt_us(s.p50_us),
+            fmt_us(s.p95_us),
+            fmt_us(s.p99_us),
         ));
     }
     if stats.is_empty() {
@@ -252,6 +274,41 @@ mod tests {
             },
         )];
         assert!(span_stats(&events).is_empty());
+    }
+
+    #[test]
+    fn percentiles_pin_bucket_interpolation() {
+        // Four "work" spans of 5, 50, 500 and 5000 µs, bucketed into the
+        // default power-of-10 duration histogram (one sample per bucket).
+        let mut events = Vec::new();
+        let mut ts = 0u64;
+        for (i, dur) in [5u64, 50, 500, 5000].into_iter().enumerate() {
+            let id = i as u64 + 1;
+            events.push(span_ev(
+                "work",
+                ts,
+                EventKind::SpanBegin { id, parent: None },
+            ));
+            events.push(span_ev("work", ts + dur, EventKind::SpanEnd { id }));
+            ts += dur + 1;
+        }
+        let stats = span_stats(&events);
+        let work = stats.iter().find(|s| s.name == "work").unwrap();
+        // rank(p50)=2 lands exactly on the cumulative edge of the (10,100]
+        // bucket -> its upper bound, 100.
+        assert_eq!(work.p50_us, 100);
+        // rank(p95)=3.8: 0.8 into (1000, min(10000, max=5000)] -> 4200.
+        assert_eq!(work.p95_us, 4200);
+        // rank(p99)=3.96: 0.96 into the same bucket -> 4840.
+        assert_eq!(work.p99_us, 4840);
+
+        let text = render_summary(&events, &MetricsSnapshot::default(), 10);
+        let header = text.lines().next().unwrap();
+        for col in ["p50", "p95", "p99"] {
+            assert!(header.contains(col), "missing column {col}: {header}");
+        }
+        assert!(text.contains("4.20ms"));
+        assert!(text.contains("4.84ms"));
     }
 
     #[test]

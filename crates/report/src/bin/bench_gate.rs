@@ -1,0 +1,166 @@
+//! The perf-regression gate: diff fresh `BENCH_<name>.json` manifests
+//! against the committed baselines and fail on regressions.
+//!
+//! ```text
+//! bench_gate [--baseline-dir results/baselines] [--current-dir results]
+//!            [--threshold 50] [--memory-threshold 25] [name ...]
+//! ```
+//!
+//! With no names, every `BENCH_*.json` in the baseline directory is
+//! gated; a baseline without a matching current manifest is itself a
+//! failure (the bench silently stopped emitting). Exit code 1 on any
+//! violation, 2 on usage/IO errors.
+
+use skipper_report::{compare, GateConfig, RunManifest};
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+struct Args {
+    baseline_dir: PathBuf,
+    current_dir: PathBuf,
+    cfg: GateConfig,
+    names: Vec<String>,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = Args {
+        baseline_dir: skipper_report::baselines_dir(),
+        current_dir: skipper_report::results_dir(),
+        cfg: GateConfig::default(),
+        names: Vec::new(),
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(arg) = it.next() {
+        let mut value = |flag: &str| it.next().ok_or_else(|| format!("{flag} needs a value"));
+        match arg.as_str() {
+            "--baseline-dir" => args.baseline_dir = PathBuf::from(value("--baseline-dir")?),
+            "--current-dir" => args.current_dir = PathBuf::from(value("--current-dir")?),
+            "--threshold" => {
+                args.cfg.max_slowdown_pct = value("--threshold")?
+                    .parse()
+                    .map_err(|e| format!("--threshold: {e}"))?
+            }
+            "--memory-threshold" => {
+                args.cfg.max_memory_growth_pct = value("--memory-threshold")?
+                    .parse()
+                    .map_err(|e| format!("--memory-threshold: {e}"))?
+            }
+            "--help" | "-h" => {
+                return Err(
+                    "usage: bench_gate [--baseline-dir DIR] [--current-dir DIR] \
+                     [--threshold PCT] [--memory-threshold PCT] [name ...]"
+                        .to_string(),
+                )
+            }
+            other if other.starts_with('-') => return Err(format!("unknown flag {other}")),
+            name => args.names.push(name.to_string()),
+        }
+    }
+    Ok(args)
+}
+
+/// Bench names (the `<name>` of `BENCH_<name>.json`) present in `dir`.
+fn manifest_names(dir: &PathBuf) -> std::io::Result<Vec<String>> {
+    let mut names = Vec::new();
+    for entry in std::fs::read_dir(dir)? {
+        let file = entry?.file_name();
+        let file = file.to_string_lossy();
+        if let Some(name) = file
+            .strip_prefix("BENCH_")
+            .and_then(|rest| rest.strip_suffix(".json"))
+        {
+            names.push(name.to_string());
+        }
+    }
+    names.sort();
+    Ok(names)
+}
+
+fn main() -> ExitCode {
+    let args = match parse_args() {
+        Ok(args) => args,
+        Err(msg) => {
+            eprintln!("{msg}");
+            return ExitCode::from(2);
+        }
+    };
+    let names = if args.names.is_empty() {
+        match manifest_names(&args.baseline_dir) {
+            Ok(names) => names,
+            Err(err) => {
+                eprintln!(
+                    "bench_gate: cannot read baseline dir {}: {err}",
+                    args.baseline_dir.display()
+                );
+                return ExitCode::from(2);
+            }
+        }
+    } else {
+        args.names.clone()
+    };
+    if names.is_empty() {
+        eprintln!(
+            "bench_gate: no BENCH_*.json baselines in {}",
+            args.baseline_dir.display()
+        );
+        return ExitCode::from(2);
+    }
+    println!(
+        "bench_gate: {} baseline(s) from {}, thresholds wall/iter +{:.0}% mem +{:.0}%",
+        names.len(),
+        args.baseline_dir.display(),
+        args.cfg.max_slowdown_pct,
+        args.cfg.max_memory_growth_pct,
+    );
+    let mut failures = 0usize;
+    for name in &names {
+        let file = format!("BENCH_{name}.json");
+        let baseline = match RunManifest::load(&args.baseline_dir.join(&file)) {
+            Ok(m) => m,
+            Err(err) => {
+                eprintln!("  FAIL {name}: cannot load baseline: {err}");
+                failures += 1;
+                continue;
+            }
+        };
+        let current = match RunManifest::load(&args.current_dir.join(&file)) {
+            Ok(m) => m,
+            Err(err) => {
+                eprintln!(
+                    "  FAIL {name}: no current manifest in {} ({err})",
+                    args.current_dir.display()
+                );
+                failures += 1;
+                continue;
+            }
+        };
+        let regressions = compare(&baseline, &current, &args.cfg);
+        if regressions.is_empty() {
+            let delta = if baseline.wall_s > 0.0 {
+                (current.wall_s - baseline.wall_s) / baseline.wall_s * 100.0
+            } else {
+                0.0
+            };
+            println!(
+                "  ok   {name}: wall {:.2}s vs {:.2}s ({delta:+.1}%)",
+                current.wall_s, baseline.wall_s
+            );
+        } else {
+            failures += 1;
+            eprintln!("  FAIL {name}:");
+            for r in &regressions {
+                eprintln!("       {r}");
+            }
+        }
+    }
+    if failures > 0 {
+        eprintln!(
+            "bench_gate: {failures} of {} benches regressed",
+            names.len()
+        );
+        ExitCode::FAILURE
+    } else {
+        println!("bench_gate: all {} benches within thresholds", names.len());
+        ExitCode::SUCCESS
+    }
+}

@@ -296,7 +296,12 @@ fn run() -> Result<(), String> {
 }
 
 fn main() -> ExitCode {
+    // Flush/teardown order: the metrics server drops before the guard
+    // runs shutdown(), so /metrics stays live for the whole run and every
+    // sink (stderr, files) is drained even on the error path.
+    let _obs = skipper::obs::ShutdownGuard::new();
     skipper::obs::init_from_env();
+    let _serve = skipper::obs::serve_from_env();
     match run() {
         Ok(()) => ExitCode::SUCCESS,
         Err(e) => {
