@@ -412,6 +412,7 @@ impl Graph {
                 }
                 Op::MaskMul(x) => {
                     if self.requires(x) {
+                        // lint:allow(panic): aux is populated when this node was recorded as a dropout-mask op
                         let mask = self.nodes[i].aux.as_ref().expect("mask present").clone();
                         self.accumulate(x, g.mul(&mask));
                     }

@@ -53,6 +53,7 @@ pub(crate) struct StepResult {
 pub(crate) fn combine_loss_groups(groups: &[Vec<f64>], global_batch: usize) -> f64 {
     let sum: f64 = groups
         .iter()
+        // lint:allow(float-order): this sequential per-group fold IS the canonical reference order the tree reduction reproduces
         .map(|g| g.iter().sum::<f64>() / global_batch as f64)
         .sum();
     sum / groups.len() as f64

@@ -143,7 +143,7 @@ impl SessionBuilder {
         let optimizer = self
             .optimizer
             .unwrap_or_else(|| Box::new(skipper_snn::Adam::new(1e-3)));
-        Ok(TrainSession::assemble(
+        TrainSession::assemble(
             self.net,
             optimizer,
             self.method,
@@ -154,7 +154,7 @@ impl SessionBuilder {
             self.sentinels,
             self.memory_budget,
             workers,
-        ))
+        )
     }
 }
 

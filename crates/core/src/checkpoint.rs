@@ -190,6 +190,7 @@ pub(crate) fn checkpoint_forward(
             }
         }
     }
+    // lint:allow(panic): T >= 1 is validated at session build, so the loop set logits
     let mut logits = logits.expect("at least one timestep");
     logits.scale_assign(1.0 / timesteps as f32); // time-averaged readout
     let loss = softmax_cross_entropy_scaled(&logits, labels, shard.global_batch);

@@ -44,6 +44,7 @@
 
 use crate::bptt::{bptt_core, combine_loss_groups, StepResult};
 use crate::checkpoint::{checkpoint_backward, checkpoint_forward, PhaseAOut};
+use crate::error::SkipperError;
 use crate::lbp::{lbp_core, LocalClassifiers};
 use crate::method::{segment_bounds, Method};
 use crate::sam::{decide_skips, SamMetric, SkipDecisions, SkipPolicy, SpikeActivityMonitor};
@@ -146,7 +147,12 @@ pub(crate) struct WorkerPool {
 
 impl WorkerPool {
     /// Spawn `workers` threads named `skipper-worker-{i}`.
-    pub fn new(workers: usize) -> WorkerPool {
+    ///
+    /// # Errors
+    ///
+    /// Propagates the OS error when a worker thread cannot be spawned
+    /// (thread exhaustion / memory pressure at construction time).
+    pub fn new(workers: usize) -> Result<WorkerPool, SkipperError> {
         assert!(workers > 0, "a worker pool needs at least one thread");
         let mut senders = Vec::with_capacity(workers);
         let mut depths = Vec::with_capacity(workers);
@@ -160,8 +166,10 @@ impl WorkerPool {
                 .spawn(move || {
                     let mut idle_us = 0u64;
                     let mut busy_us = 0u64;
+                    // lint:allow(determinism): wall-clock feeds worker busy/idle telemetry gauges only, never training math
                     let mut last_done = std::time::Instant::now();
                     while let Ok(task) = rx.recv() {
+                        // lint:allow(determinism): wall-clock feeds worker busy/idle telemetry gauges only, never training math
                         let started = std::time::Instant::now();
                         idle_us += started.duration_since(last_done).as_micros() as u64;
                         let pending = worker_depth.fetch_sub(1, Ordering::Relaxed) - 1;
@@ -174,6 +182,7 @@ impl WorkerPool {
                             );
                             (task.run)();
                         }
+                        // lint:allow(determinism): wall-clock feeds worker busy/idle telemetry gauges only, never training math
                         last_done = std::time::Instant::now();
                         busy_us += last_done.duration_since(started).as_micros() as u64;
                         if skipper_obs::enabled() {
@@ -193,16 +202,16 @@ impl WorkerPool {
                         }
                     }
                 })
-                .expect("spawn worker thread");
+                .map_err(SkipperError::Io)?;
             senders.push(tx);
             depths.push(depth);
             handles.push(handle);
         }
-        WorkerPool {
+        Ok(WorkerPool {
             senders,
             depths,
             handles,
-        }
+        })
     }
 
     /// Number of worker threads.
@@ -227,6 +236,7 @@ impl WorkerPool {
                 ctx: skipper_obs::SpanContext::capture(),
                 run: job,
             })
+            // lint:allow(panic): send fails only after a worker panicked; that panic is re-raised at the recv/join point
             .expect("worker thread accepts jobs until the pool is dropped");
     }
 }
@@ -268,6 +278,7 @@ fn tree_reduce(mut layers: Vec<Vec<Option<Vec<f32>>>>) -> Vec<Option<Vec<f32>>> 
         }
         layers = next;
     }
+    // lint:allow(panic): tree_reduce is only called with at least one shard layer
     layers.pop().expect("non-empty by construction")
 }
 
@@ -354,11 +365,15 @@ impl std::fmt::Debug for Engine {
 
 impl Engine {
     /// An engine with `workers` persistent threads.
-    pub fn new(workers: usize) -> Engine {
-        Engine {
-            pool: WorkerPool::new(workers),
+    ///
+    /// # Errors
+    ///
+    /// Propagates a worker-thread spawn failure.
+    pub fn new(workers: usize) -> Result<Engine, SkipperError> {
+        Ok(Engine {
+            pool: WorkerPool::new(workers)?,
             max_shards: DEFAULT_MAX_SHARDS,
-        }
+        })
     }
 
     /// Number of worker threads.
@@ -453,6 +468,7 @@ impl Engine {
                         let mut aux = aux;
                         let mut outs = Vec::with_capacity(mine.len());
                         for (index, range) in mine {
+                            // lint:allow(determinism): wall-clock feeds the shard_wall_us telemetry histogram only, never training math
                             let shard_started = std::time::Instant::now();
                             let _span = shard_span("shard", index, &range);
                             let shard_inputs = slice_rows(&inputs, &range);
@@ -484,9 +500,11 @@ impl Engine {
                                 ),
                                 Method::TbpttLbp { window, .. } => {
                                     let aux =
+                                        // lint:allow(panic): LBP sessions construct aux classifiers up front (method validation)
                                         aux.as_mut().expect("LBP sessions build aux classifiers");
                                     let ag = aux_grads
                                         .as_mut()
+                                        // lint:allow(panic): aux grad buffers are allocated together with the aux classifiers
                                         .expect("aux grads buffer exists with aux");
                                     lbp_core(
                                         &mut net,
@@ -598,6 +616,7 @@ impl Engine {
                         let _ = mp::take_op_log();
                         let mut reports = Vec::with_capacity(mine.len());
                         for (index, range) in mine {
+                            // lint:allow(determinism): wall-clock feeds the shard_wall_us telemetry histogram only, never training math
                             let shard_started = std::time::Instant::now();
                             let _span = shard_span("shard_forward", index, &range);
                             let shard_net = net.share();
@@ -638,6 +657,7 @@ impl Engine {
         drop(tx);
         let mut a_reports: Vec<AReport> = Vec::with_capacity(plan.len());
         for _ in 0..active {
+            // lint:allow(panic): recv fails only if a worker died without reporting, i.e. after a propagated panic
             let (_, res) = rx.recv().expect("phase-A worker reports back");
             match res {
                 Ok(reports) => a_reports.extend(reports),
@@ -682,11 +702,13 @@ impl Engine {
                     let out = catch_unwind(AssertUnwindSafe(|| {
                         let mut outs = Vec::with_capacity(mine.len());
                         for (index, range) in mine {
+                            // lint:allow(determinism): wall-clock feeds the shard_wall_us telemetry histogram only, never training math
                             let shard_started = std::time::Instant::now();
                             let _span = shard_span("shard_backward", index, &range);
                             let Carry { mut net, inputs, a } = carries[index]
                                 .lock()
                                 .take()
+                                // lint:allow(panic): phase A runs every shard to completion before phase B starts, so the carry exists
                                 .expect("phase A parked a carry for this shard");
                             let shard = ShardCtx {
                                 global_batch: batch,
@@ -722,6 +744,7 @@ impl Engine {
         let mut by_worker: Vec<(usize, Vec<ShardGradOut>, MemorySnapshot, OpLog)> =
             Vec::with_capacity(active);
         for _ in 0..active {
+            // lint:allow(panic): recv fails only if a worker died without reporting, i.e. after a propagated panic
             let (w, res) = rx.recv().expect("phase-B worker reports back");
             match res {
                 Ok((outs, mem, ops)) => by_worker.push((w, outs, mem, ops)),
@@ -796,7 +819,9 @@ fn record_shard_walls(phase: &str, walls: &[u64]) {
     for &w in walls {
         skipper_obs::observe(&hist_key, w as f64);
     }
+    // lint:allow(panic): walls has one entry per shard and the shard plan is never empty
     let max = *walls.iter().max().expect("non-empty");
+    // lint:allow(panic): walls has one entry per shard and the shard plan is never empty
     let min = *walls.iter().min().expect("non-empty");
     let imbalance = if max == 0 {
         0.0
@@ -837,6 +862,7 @@ fn collect_worker_results(
 ) -> (Vec<ShardOut>, Vec<MemorySnapshot>, OpLog) {
     let mut by_worker = Vec::with_capacity(active);
     for _ in 0..active {
+        // lint:allow(panic): recv fails only if a worker died without reporting, i.e. after a propagated panic
         let (w, res) = rx.recv().expect("worker reports back");
         match res {
             Ok(payload) => by_worker.push((w, payload)),
@@ -948,7 +974,7 @@ mod tests {
 
     #[test]
     fn worker_pool_runs_jobs_in_submission_order() {
-        let pool = WorkerPool::new(2);
+        let pool = WorkerPool::new(2).unwrap();
         let (tx, rx) = channel();
         for i in 0..6u32 {
             let tx = tx.clone();
@@ -982,7 +1008,7 @@ mod tests {
     fn engine_bptt_matches_unsharded_loss_sam_and_gradients() {
         let (mut reference, inputs, labels) = setup(11, 6);
         let r = bptt_step(&mut reference, &inputs, &labels, 3);
-        let engine = Engine::new(2);
+        let engine = Engine::new(2).unwrap();
         let (mut sharded, _, _) = setup(11, 6);
         let e = engine.run_iteration(
             &mut sharded,
@@ -1011,7 +1037,7 @@ mod tests {
         let mut grads: Vec<Vec<Vec<f32>>> = Vec::new();
         let mut losses = Vec::new();
         for workers in [2usize, 3, 4] {
-            let engine = Engine::new(workers);
+            let engine = Engine::new(workers).unwrap();
             let (mut net, _, _) = setup(12, 6);
             let e = engine.run_iteration(
                 &mut net,
@@ -1042,7 +1068,7 @@ mod tests {
     fn engine_skipper_matches_unsharded_skip_schedule() {
         let (mut reference, inputs, labels) = setup(13, 5);
         let r = checkpointed_step(&mut reference, &inputs, &labels, 9, 2, 40.0);
-        let engine = Engine::new(3);
+        let engine = Engine::new(3).unwrap();
         let (mut sharded, _, _) = setup(13, 5);
         let e = engine.run_iteration(
             &mut sharded,

@@ -74,6 +74,7 @@ impl LocalClassifiers {
                     (Some(shape[2]), shape[1])
                 }
                 2 => (None, shape[1]),
+                // lint:allow(panic): block outputs are rank-2/rank-3 by construction of the method graph
                 other => panic!("unexpected block output rank {other}"),
             };
             let linear = LinearLayer::new(
@@ -212,6 +213,7 @@ pub(crate) fn lbp_core(
                 );
                 sam_sums[t] += ssum;
                 if is_final {
+                    // lint:allow(panic): method validation guarantees the final block emits the readout logits
                     logit_vars.push(logits.expect("final block holds the readout"));
                 } else {
                     let head = &aux.heads[bi];
@@ -261,6 +263,7 @@ pub(crate) fn lbp_core(
         }
         start = end;
     }
+    // lint:allow(panic): T >= 1 is validated at session build, so at least one window ran
     let total = total_logits.expect("at least one window");
     let correct = total
         .argmax_rows()

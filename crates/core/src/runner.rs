@@ -176,6 +176,8 @@ impl TrainSession {
             None,
             1,
         )
+        // lint:allow(panic): infallible with workers=1 — no pool is spawned on this path
+        .expect("single-worker assembly spawns no threads")
     }
 
     /// The real constructor behind [`SessionBuilder::build`] (and the
@@ -195,7 +197,7 @@ impl TrainSession {
         sentinel: Option<SentinelConfig>,
         mem_budget: Option<u64>,
         workers: usize,
-    ) -> TrainSession {
+    ) -> Result<TrainSession, SkipperError> {
         let aux = match &method {
             Method::TbpttLbp { taps, .. } => {
                 Some(LocalClassifiers::new(&net, taps, net.num_classes(), 0xA0A0))
@@ -207,7 +209,12 @@ impl TrainSession {
                 Box::new(skipper_snn::Adam::new(optimizer.learning_rate())) as Box<dyn Optimizer>
             })
         });
-        TrainSession {
+        let engine = if workers >= 2 {
+            Some(Engine::new(workers)?)
+        } else {
+            None
+        };
+        Ok(TrainSession {
             net,
             optimizer,
             aux_optimizer,
@@ -223,8 +230,8 @@ impl TrainSession {
             poison_loss_at: None,
             mem_budget,
             governor_log: Vec::new(),
-            engine: (workers >= 2).then(|| Engine::new(workers)),
-        }
+            engine,
+        })
     }
 
     /// Data-parallel worker threads this session runs on (`1` means the
@@ -318,6 +325,7 @@ impl TrainSession {
     /// [`try_train_batch`]: TrainSession::try_train_batch
     pub fn train_batch(&mut self, inputs: &[Tensor], labels: &[usize]) -> BatchStats {
         self.try_train_batch(inputs, labels)
+            // lint:allow(panic): documented contract: train_batch panics where try_train_batch returns Err
             .unwrap_or_else(|e| panic!("unrecoverable training fault: {e}"))
     }
 
@@ -408,6 +416,7 @@ impl TrainSession {
                         let aux = self
                             .aux
                             .as_mut()
+                            // lint:allow(panic): aux classifiers are built at construction for TbpttLbp (method validation)
                             .expect("aux classifiers built at construction");
                         lbp_step(&mut self.net, aux, inputs, labels, iter_seed, window)
                     }
@@ -579,6 +588,7 @@ impl TrainSession {
         }
         self.optimizer
             .import_state(&good.optim.to_state())
+            // lint:allow(panic): rollback state was captured from this same optimizer earlier in the run
             .expect("rollback state was captured from this optimizer");
         if let (Some(aux), Some(saved)) = (self.aux.as_mut(), good.aux_params.as_ref()) {
             for (p, data) in aux.store_mut().iter_mut().zip(saved) {
@@ -587,6 +597,7 @@ impl TrainSession {
         }
         if let (Some(opt), Some(saved)) = (self.aux_optimizer.as_mut(), good.aux_optim.as_ref()) {
             opt.import_state(&saved.to_state())
+                // lint:allow(panic): rollback state was captured from this same optimizer earlier in the run
                 .expect("rollback state was captured from this optimizer");
         }
         self.last_sam_sums = good.sam_sums.clone();
@@ -700,6 +711,7 @@ impl TrainSession {
                 apply_records(aux.store_mut(), aux_params.clone())?;
                 self.aux_optimizer
                     .as_mut()
+                    // lint:allow(panic): aux optimizer is constructed whenever aux classifiers exist
                     .expect("aux optimizer exists whenever aux classifiers do")
                     .import_state(aux_optim)?;
             }
@@ -743,6 +755,7 @@ impl TrainSession {
                 None => logits = Some(out.logits),
             }
         }
+        // lint:allow(panic): T >= 1 is validated at session build, so the loop set logits
         let mut logits = logits.expect("T ≥ 1");
         logits.scale_assign(1.0 / inputs.len() as f32); // time-averaged readout
         let loss = softmax_cross_entropy(&logits, labels);

@@ -46,6 +46,7 @@ impl SamMetric {
                     u.data()
                         .iter()
                         .map(|&x| (x as f64) * (x as f64))
+                        // lint:allow(float-order): shard-local sequential fold in a fixed unit order; cross-shard combining goes through the aggregated SAM record
                         .sum::<f64>()
                         .sqrt()
                 })
@@ -205,6 +206,7 @@ pub fn decide_skips(
     policy: SkipPolicy,
     iter_seed: u64,
 ) -> SkipDecisions {
+    // lint:allow(panic): segment_bounds always returns at least one bound for validated T
     let timesteps = *bounds.last().expect("at least one bound");
     let checkpoints = bounds.len() - 1;
     let mut skip = vec![false; timesteps];

@@ -99,6 +99,7 @@ pub(crate) fn tbptt_core(
     }
     // Accuracy on the full accumulated readout, comparable to the other
     // methods.
+    // lint:allow(panic): T >= 1 is validated at session build, so at least one window ran
     let total = total_logits.expect("at least one window");
     let preds = total.argmax_rows();
     let correct = preds.iter().zip(labels).filter(|(p, l)| *p == *l).count();

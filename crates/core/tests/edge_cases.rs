@@ -90,7 +90,7 @@ fn completely_silent_network_still_trains_readout() {
     // zero everywhere except the readout bias path.
     let mut n = net();
     for l in 0..n.spiking_layer_count() {
-        set_threshold(&mut n, l, 1e6);
+        set_threshold(&mut n, l, 1e6).unwrap();
     }
     let mut s = TrainSession::new(n, Box::new(Adam::new(1e-3)), Method::Bptt, 6);
     let stats = s.train_batch(&inputs(6, 2), &[0, 1]);

@@ -1,0 +1,124 @@
+//! Diagnostics and report rendering (human text and machine JSON).
+
+use std::fmt::Write as _;
+
+/// The six rule identifiers, in report order.
+pub const RULE_IDS: [&str; 6] = ["D1", "D2", "P1", "O1", "O2", "S1"];
+
+/// One finding at a source position.
+#[derive(Debug, Clone)]
+pub struct Diagnostic {
+    /// Workspace-relative path with forward slashes.
+    pub file: String,
+    pub line: u32,
+    pub col: u32,
+    /// Rule id (`D1`, `D2`, `P1`, `O1`, `O2`, `S1`).
+    pub rule: &'static str,
+    pub message: String,
+    /// Actionable fix suggestion.
+    pub hint: String,
+    /// `Some(reason)` when a `// lint:allow(...)` waiver covers the site.
+    pub waived: Option<String>,
+}
+
+impl Diagnostic {
+    /// `file:line:col: RULE message` with the hint on a second line.
+    pub fn render_text(&self) -> String {
+        let mut out = String::new();
+        let waived = if self.waived.is_some() {
+            " (waived)"
+        } else {
+            ""
+        };
+        let _ = writeln!(
+            out,
+            "{}:{}:{}: {}{} {}",
+            self.file, self.line, self.col, self.rule, waived, self.message
+        );
+        if let Some(reason) = &self.waived {
+            let _ = writeln!(out, "    waiver: {reason}");
+        } else {
+            let _ = writeln!(out, "    hint: {}", self.hint);
+        }
+        out
+    }
+}
+
+/// Render the full report as JSON for CI artifact upload.
+///
+/// Waived findings are included (with their reasons) so the artifact
+/// doubles as a waiver audit; only `"active"` findings fail the build.
+pub fn render_json(root: &str, diags: &[Diagnostic]) -> String {
+    let active = diags.iter().filter(|d| d.waived.is_none()).count();
+    let mut out = String::from("{");
+    push_kv_str(&mut out, "tool", "skipper-lint");
+    out.push(',');
+    push_kv_str(&mut out, "version", env!("CARGO_PKG_VERSION"));
+    out.push(',');
+    push_kv_str(&mut out, "root", root);
+    out.push(',');
+    let _ = write!(
+        out,
+        "\"active\":{},\"waived\":{},",
+        active,
+        diags.len() - active
+    );
+    out.push_str("\"by_rule\":{");
+    for (i, rule) in RULE_IDS.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        let n = diags
+            .iter()
+            .filter(|d| d.rule == *rule && d.waived.is_none())
+            .count();
+        let _ = write!(out, "\"{rule}\":{n}");
+    }
+    out.push_str("},\"diagnostics\":[");
+    for (i, d) in diags.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push('{');
+        push_kv_str(&mut out, "file", &d.file);
+        let _ = write!(out, ",\"line\":{},\"col\":{},", d.line, d.col);
+        push_kv_str(&mut out, "rule", d.rule);
+        out.push(',');
+        push_kv_str(&mut out, "message", &d.message);
+        out.push(',');
+        push_kv_str(&mut out, "hint", &d.hint);
+        out.push(',');
+        match &d.waived {
+            Some(reason) => push_kv_str(&mut out, "waived", reason),
+            None => out.push_str("\"waived\":null"),
+        }
+        out.push('}');
+    }
+    out.push_str("]}");
+    out
+}
+
+fn push_kv_str(out: &mut String, key: &str, value: &str) {
+    push_json_string(out, key);
+    out.push(':');
+    push_json_string(out, value);
+}
+
+/// Append `value` as a JSON string literal.
+pub fn push_json_string(out: &mut String, value: &str) {
+    out.push('"');
+    for c in value.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}

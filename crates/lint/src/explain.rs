@@ -1,0 +1,140 @@
+//! `--explain <rule>` documentation, kept next to the code so the two
+//! cannot drift apart silently.
+
+/// Long-form documentation for one rule id (case-insensitive), or `None`
+/// for an unknown id.
+pub fn explain(rule: &str) -> Option<&'static str> {
+    Some(match rule.to_ascii_uppercase().as_str() {
+        "D1" => D1,
+        "D2" => D2,
+        "P1" => P1,
+        "O1" => O1,
+        "O2" => O2,
+        "S1" => S1,
+        _ => return None,
+    })
+}
+
+const D1: &str = "\
+D1 · determinism — no nondeterminism sources in the numeric core
+
+Scope: crates/core/src/{engine,checkpoint,sam,bptt,tbptt,lbp}.rs,
+       crates/autograd/src/**, crates/snn/src/**  (non-test code)
+
+Forbidden: HashMap / HashSet (iteration order varies per process),
+Instant::now / SystemTime (wall-clock reads), thread_rng / from_entropy /
+OsRng (unseeded RNG).
+
+Why: Skipper's time-skipping is *stateful* approximation. The per-timestep
+spike sum s_t feeds the SST percentile, and the percentile decides which
+timesteps are recomputed versus skipped. Any nondeterminism upstream of
+that decision does not average out — it changes the recompute schedule
+itself, so two runs of the same seed diverge structurally, and the
+engine's bitwise sharded-vs-unsharded contract (engine_determinism tests)
+cannot hold. Deterministic alternatives: BTreeMap / BTreeSet / ordered
+Vec; seeded StdRng plumbed from the session config; clock reads moved to
+telemetry code outside the numeric core.
+
+Waiver: // lint:allow(determinism): <reason>   (same line or line above)
+Telemetry-only wall-clock reads inside the worker pool are the expected
+waiver case; say so explicitly in the reason.
+";
+
+const D2: &str = "\
+D2 · float-order — fixed-order float accumulation on the gradient path
+
+Scope: same file set as D1 (non-test code).
+
+Flagged: .sum::<f32|f64>(), .product::<f32|f64>(), .fold(<float seed>, …).
+
+Why: float addition does not associate. The sharded engine guarantees
+bitwise-identical losses, SAM spike sums, SST thresholds and gradients
+across worker counts by reducing shard results through one fixed-order
+pairwise tree (crates/core/src/engine.rs `tree_reduce`). A free-form
+iterator reduction on the same path re-introduces an ordering degree of
+freedom; it is only safe when the iteration order itself is fixed and
+shard-local. If that is the case, say so in a waiver; if not, route the
+accumulation through the tree reduction.
+
+Waiver: // lint:allow(float-order): <why the order is fixed>
+";
+
+const P1: &str = "\
+P1 · panic — library crates must not panic
+
+Scope: crates/{core,obs,report,tensor,autograd,snn,data,memprof}/src/**
+       excluding src/bin/ and #[cfg(test)] / #[test] code.
+
+Flagged: .unwrap(), .expect(…), panic!, todo!, unimplemented!.
+
+Why: library code runs on worker-pool threads and inside the
+fault-tolerance path. A panic in a worker is caught and re-raised by the
+pool (taking the whole training step down), and a panic during snapshot
+restore turns a recoverable divergence into a crash. Recoverable errors
+must flow as SkipperError / Result so sentinels and the resume machinery
+can do their job. Binaries and tests may still panic: a CLI aborting on
+bad input is fine, a library deciding to abort for the host process is
+not.
+
+Waiver: // lint:allow(panic): <why this cannot fail>
+The reason must argue infallibility (e.g. \"index < len checked above\"),
+not convenience.
+";
+
+const O1: &str = "\
+O1 · metric — observability names must be declared in the manifest
+
+Scope: all scanned files (non-test code).
+
+Checked call shapes: counter_add(\"…\"), gauge_set(\"…\"), observe(\"…\"),
+register_histogram(\"…\"), labeled(\"family\", \"label\", …), span!(\"…\"),
+instant!(level, \"…\"). Labelled families are declared as family{label}.
+
+Why: dashboards, the bench-gate manifests and DESIGN.md §8.5 all key on
+literal metric names. A typo'd name (skipper.steps_skiped) silently forks
+the registry: the dashboard flatlines while the code \"works\". The
+committed manifest (crates/lint/metrics.toml) is the single source of
+truth; adding a metric means adding it to the manifest and the DESIGN.md
+§8.5 table in the same change, so docs, code and manifest agree at merge
+time. Dynamic names (built at runtime) are not checked — keep them built
+from declared labeled() families.
+
+Fix: declare the name in the right section of crates/lint/metrics.toml,
+or fix the spelling at the call site.
+Waiver: // lint:allow(metric): <reason>   (rarely appropriate)
+";
+
+const O2: &str = "\
+O2 · env — SKIPPER_* environment knobs must be declared in the manifest
+
+Scope: all scanned files (non-test code).
+
+Flagged: any string literal that IS a knob name (matches
+SKIPPER_[A-Z0-9_]+ exactly), wherever it appears — env::var sites,
+constants, bench harness defaults.
+
+Why: knobs are read in 20+ binaries; a misspelled knob
+(SKIPPER_OBS_ADR) reads as unset and silently disables the feature it
+was meant to configure. Declaring knobs in [env] of
+crates/lint/metrics.toml catches the typo at build time and keeps the
+README knob table honest.
+
+Fix: declare the knob in [env], or fix the spelling.
+Waiver: // lint:allow(env): <reason>
+";
+
+const S1: &str = "\
+S1 · safety — unsafe requires a SAFETY comment
+
+Scope: all scanned files, including test code.
+
+Flagged: the `unsafe` keyword without a comment containing `SAFETY:` on
+the same line or within the two lines above.
+
+Why: the workspace is currently 100% safe Rust; if unsafe ever enters
+(SIMD kernels, mmap'd datasets), the invariant that makes it sound must
+be stated where it can be reviewed and re-checked after every edit.
+
+Fix: // SAFETY: <the invariant that makes this sound>
+Waiver: // lint:allow(safety): <reason>   (prefer a real SAFETY comment)
+";

@@ -1,0 +1,98 @@
+//! `skipper-lint` — workspace-aware static analysis for the Skipper
+//! reproduction.
+//!
+//! Clippy enforces Rust hygiene; this crate enforces *Skipper* hygiene:
+//! the determinism, panic-policy and observability contracts the paper's
+//! approximate-BPTT semantics depend on (a nondeterministic reduction
+//! order changes `s_t`, which changes the SST percentile, which changes
+//! which timesteps get skipped). See [`rules`] for the rule catalog and
+//! DESIGN.md §10 for the narrative version.
+//!
+//! The crate is dependency-free and exposes everything the binary does so
+//! tests (and future tooling) can drive the engine in-process.
+
+pub mod diag;
+pub mod explain;
+pub mod lexer;
+pub mod manifest;
+pub mod rules;
+
+pub use diag::{render_json, Diagnostic, RULE_IDS};
+pub use manifest::Manifest;
+pub use rules::{check_file, extract_names, scope_for_path, ObsName, Scope};
+
+use std::path::{Path, PathBuf};
+
+/// Default manifest location relative to the workspace root.
+pub const MANIFEST_PATH: &str = "crates/lint/metrics.toml";
+
+/// Directories scanned below the workspace root: every crate's `src`
+/// tree plus the root package's `src`. Crate `tests/` directories,
+/// `vendor/`, `examples/` and `target/` are intentionally out of scope.
+pub fn workspace_files(root: &Path) -> std::io::Result<Vec<PathBuf>> {
+    let mut files = Vec::new();
+    collect_rs(&root.join("src"), &mut files)?;
+    let crates = root.join("crates");
+    if crates.is_dir() {
+        let mut entries: Vec<PathBuf> = std::fs::read_dir(&crates)?
+            .filter_map(|e| e.ok().map(|e| e.path()))
+            .collect();
+        entries.sort();
+        for entry in entries {
+            collect_rs(&entry.join("src"), &mut files)?;
+        }
+    }
+    files.sort();
+    Ok(files)
+}
+
+fn collect_rs(dir: &Path, out: &mut Vec<PathBuf>) -> std::io::Result<()> {
+    if !dir.is_dir() {
+        return Ok(());
+    }
+    let mut entries: Vec<PathBuf> = std::fs::read_dir(dir)?
+        .filter_map(|e| e.ok().map(|e| e.path()))
+        .collect();
+    entries.sort();
+    for path in entries {
+        if path.is_dir() {
+            collect_rs(&path, out)?;
+        } else if path.extension().is_some_and(|e| e == "rs") {
+            out.push(path);
+        }
+    }
+    Ok(())
+}
+
+/// Workspace-relative path with forward slashes (diagnostics are stable
+/// across platforms and CI).
+pub fn relative_path(root: &Path, file: &Path) -> String {
+    let rel = file.strip_prefix(root).unwrap_or(file);
+    rel.to_string_lossy().replace('\\', "/")
+}
+
+/// Lint every workspace file against `manifest`. Returns all findings,
+/// waived ones included; I/O errors surface as `Err`.
+pub fn check_workspace(root: &Path, manifest: &Manifest) -> std::io::Result<Vec<Diagnostic>> {
+    let mut diags = Vec::new();
+    for file in workspace_files(root)? {
+        let src = std::fs::read_to_string(&file)?;
+        let rel = relative_path(root, &file);
+        diags.extend(check_file(&rel, &src, manifest));
+    }
+    Ok(diags)
+}
+
+/// Extract every observability name in the workspace (non-test code),
+/// deduplicated and sorted — the source of truth for `--dump-manifest`.
+pub fn extract_workspace_names(root: &Path) -> std::io::Result<Vec<ObsName>> {
+    let mut names = Vec::new();
+    for file in workspace_files(root)? {
+        let src = std::fs::read_to_string(&file)?;
+        let rel = relative_path(root, &file);
+        names.extend(extract_names(&rel, &src));
+    }
+    names.sort();
+    names.dedup();
+    Ok(names)
+}

@@ -1,0 +1,175 @@
+//! Parser for `crates/lint/metrics.toml` — the committed registry of
+//! observability names the workspace is allowed to emit.
+//!
+//! The file is a small TOML subset, kept parseable without a dependency:
+//!
+//! ```toml
+//! # comment
+//! [counters]
+//! "skipper.steps_skipped" = "timesteps dropped by the skip policy"
+//!
+//! [env]
+//! SKIPPER_WORKERS = "worker-pool size for the sharded engine"
+//! ```
+//!
+//! Sections are `[counters]`, `[gauges]`, `[histograms]`, `[spans]`,
+//! `[events]` and `[env]`. Keys may be bare or quoted (quote any name
+//! containing `.` or `{`); values are double-quoted description strings.
+//! Labelled metric families are declared as `"family{label}"`.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// Parsed manifest: section name → (entry name → description).
+#[derive(Debug, Default, Clone)]
+pub struct Manifest {
+    pub sections: BTreeMap<String, BTreeMap<String, String>>,
+}
+
+/// A manifest syntax error with its line number.
+#[derive(Debug)]
+pub struct ManifestError {
+    pub line: u32,
+    pub message: String,
+}
+
+impl fmt::Display for ManifestError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "manifest line {}: {}", self.line, self.message)
+    }
+}
+
+impl Manifest {
+    /// Parse manifest text.
+    pub fn parse(text: &str) -> Result<Manifest, ManifestError> {
+        let mut manifest = Manifest::default();
+        let mut section: Option<String> = None;
+        for (idx, raw) in text.lines().enumerate() {
+            let lineno = idx as u32 + 1;
+            let line = strip_comment(raw).trim().to_string();
+            if line.is_empty() {
+                continue;
+            }
+            if let Some(rest) = line.strip_prefix('[') {
+                let Some(name) = rest.strip_suffix(']') else {
+                    return Err(err(lineno, "unterminated [section] header"));
+                };
+                let name = name.trim();
+                if name.is_empty() {
+                    return Err(err(lineno, "empty section name"));
+                }
+                manifest.sections.entry(name.to_string()).or_default();
+                section = Some(name.to_string());
+                continue;
+            }
+            let Some(eq) = split_assign(&line) else {
+                return Err(err(lineno, "expected `name = \"description\"`"));
+            };
+            let (key_raw, value_raw) = eq;
+            let key = parse_key(key_raw.trim())
+                .ok_or_else(|| err(lineno, "malformed key (unbalanced quotes?)"))?;
+            let value = parse_string(value_raw.trim())
+                .ok_or_else(|| err(lineno, "value must be a double-quoted string"))?;
+            let Some(section) = section.as_ref() else {
+                return Err(err(lineno, "entry before any [section] header"));
+            };
+            manifest
+                .sections
+                .get_mut(section)
+                .expect("section inserted on header")
+                .insert(key, value);
+        }
+        Ok(manifest)
+    }
+
+    /// All entries of one section (empty map when the section is absent).
+    pub fn section(&self, name: &str) -> &BTreeMap<String, String> {
+        static EMPTY: BTreeMap<String, String> = BTreeMap::new();
+        self.sections.get(name).unwrap_or(&EMPTY)
+    }
+
+    /// Is `name` declared in `section`?
+    pub fn declares(&self, section: &str, name: &str) -> bool {
+        self.section(section).contains_key(name)
+    }
+
+    /// Is `name` declared in *any* of the metric sections?
+    pub fn declares_metric(&self, name: &str) -> bool {
+        ["counters", "gauges", "histograms"]
+            .iter()
+            .any(|s| self.declares(s, name))
+    }
+}
+
+fn err(line: u32, message: &str) -> ManifestError {
+    ManifestError {
+        line,
+        message: message.to_string(),
+    }
+}
+
+/// Drop a trailing `# comment`, ignoring `#` inside double quotes.
+fn strip_comment(line: &str) -> &str {
+    let mut in_str = false;
+    let mut escaped = false;
+    for (i, c) in line.char_indices() {
+        match c {
+            '\\' if in_str && !escaped => {
+                escaped = true;
+                continue;
+            }
+            '"' if !escaped => in_str = !in_str,
+            '#' if !in_str => return &line[..i],
+            _ => {}
+        }
+        escaped = false;
+    }
+    line
+}
+
+/// Split `key = value` at the first `=` outside quotes.
+fn split_assign(line: &str) -> Option<(&str, &str)> {
+    let mut in_str = false;
+    let mut escaped = false;
+    for (i, c) in line.char_indices() {
+        match c {
+            '\\' if in_str && !escaped => {
+                escaped = true;
+                continue;
+            }
+            '"' if !escaped => in_str = !in_str,
+            '=' if !in_str => return Some((&line[..i], &line[i + 1..])),
+            _ => {}
+        }
+        escaped = false;
+    }
+    None
+}
+
+/// Bare or double-quoted key.
+fn parse_key(s: &str) -> Option<String> {
+    if s.starts_with('"') {
+        parse_string(s)
+    } else if !s.is_empty() && !s.contains('"') {
+        Some(s.to_string())
+    } else {
+        None
+    }
+}
+
+/// A double-quoted string with `\"` and `\\` escapes.
+fn parse_string(s: &str) -> Option<String> {
+    let body = s.strip_prefix('"')?.strip_suffix('"')?;
+    let mut out = String::with_capacity(body.len());
+    let mut chars = body.chars();
+    while let Some(c) = chars.next() {
+        if c == '\\' {
+            out.push(chars.next()?);
+        } else if c == '"' {
+            return None; // Unescaped quote inside the body: reject.
+        } else {
+            out.push(c);
+        }
+    }
+    Some(out)
+}

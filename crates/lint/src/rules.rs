@@ -1,0 +1,613 @@
+//! The six Skipper-specific rules and the per-file check driver.
+//!
+//! | id | category      | scope | invariant |
+//! |----|---------------|-------|-----------|
+//! | D1 | `determinism` | numeric core | no `HashMap`/`HashSet`, wall clocks, or unseeded RNG |
+//! | D2 | `float-order` | sharded gradient path | no free-form float reductions |
+//! | P1 | `panic`       | library crates | no `unwrap`/`expect`/`panic!`/`todo!`/`unimplemented!` |
+//! | O1 | `metric`      | everywhere | metric/span names must be declared in `metrics.toml` |
+//! | O2 | `env`         | everywhere | `SKIPPER_*` env knobs must be declared in `metrics.toml` |
+//! | S1 | `safety`      | everywhere | `unsafe` requires a `// SAFETY:` comment |
+//!
+//! Waivers are **per-site**: a `// lint:allow(<rule-or-category>): <reason>`
+//! line comment on the offending line or the line directly above it. The
+//! reason is mandatory; blanket per-file waivers do not exist on purpose.
+//!
+//! Test code (`#[cfg(test)]` / `#[test]` items) is exempt from every rule
+//! except S1 — tests may panic, but they may not skip safety comments.
+
+use crate::diag::Diagnostic;
+use crate::lexer::{lex, test_regions, Tok, TokKind};
+use crate::manifest::Manifest;
+use std::collections::BTreeMap;
+
+/// Which rule families apply to one file.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Scope {
+    /// P1: panic-free library code.
+    pub panic_policy: bool,
+    /// D1: determinism of the numeric core.
+    pub determinism: bool,
+    /// D2: fixed-order float accumulation.
+    pub float_order: bool,
+    /// O1/O2: observability name registries.
+    pub observability: bool,
+    /// S1: `unsafe` hygiene.
+    pub safety: bool,
+}
+
+/// The library crates covered by the panic policy (P1).
+pub const LIB_CRATES: [&str; 8] = [
+    "core", "obs", "report", "tensor", "autograd", "snn", "data", "memprof",
+];
+
+/// `crates/core/src` files that are part of the numeric core (D1/D2), in
+/// addition to all of `crates/autograd/src` and `crates/snn/src`.
+pub const CORE_NUMERIC_FILES: [&str; 6] = [
+    "engine.rs",
+    "checkpoint.rs",
+    "sam.rs",
+    "bptt.rs",
+    "tbptt.rs",
+    "lbp.rs",
+];
+
+/// Compute the rule scope for a workspace-relative path (forward slashes).
+pub fn scope_for_path(rel: &str) -> Scope {
+    let lib = LIB_CRATES
+        .iter()
+        .any(|c| rel.starts_with(&format!("crates/{c}/src/")))
+        && !rel.contains("/src/bin/");
+    let numeric = rel.starts_with("crates/autograd/src/")
+        || rel.starts_with("crates/snn/src/")
+        || CORE_NUMERIC_FILES
+            .iter()
+            .any(|f| rel == format!("crates/core/src/{f}"));
+    Scope {
+        panic_policy: lib,
+        determinism: numeric,
+        float_order: numeric,
+        observability: true,
+        safety: true,
+    }
+}
+
+/// Fixture files opt into scopes explicitly via a first-line header
+/// comment: `// lint-fixture: scope=p1,d1,d2,o1,o2,s1` (or `scope=all`).
+/// Honored only for paths containing `fixtures` so production files can
+/// never scope themselves down.
+fn fixture_scope(rel: &str, toks: &[Tok]) -> Option<Scope> {
+    if !rel.contains("fixtures") {
+        return None;
+    }
+    let header = toks
+        .iter()
+        .take_while(|t| t.is_comment())
+        .find(|t| t.text.trim_start().starts_with("lint-fixture:"))?;
+    let spec = header.text.trim_start();
+    let spec = spec.strip_prefix("lint-fixture:")?.trim();
+    let list = spec.strip_prefix("scope=")?;
+    let mut scope = Scope::default();
+    for part in list.split(',') {
+        match part.trim() {
+            "p1" => scope.panic_policy = true,
+            "d1" => scope.determinism = true,
+            "d2" => scope.float_order = true,
+            "o1" | "o2" => scope.observability = true,
+            "s1" => scope.safety = true,
+            "all" => {
+                scope = Scope {
+                    panic_policy: true,
+                    determinism: true,
+                    float_order: true,
+                    observability: true,
+                    safety: true,
+                }
+            }
+            _ => {}
+        }
+    }
+    Some(scope)
+}
+
+/// An observability name extracted from source (for `--dump-manifest`).
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord)]
+pub struct ObsName {
+    /// Manifest section: `counters`, `gauges`, `histograms`, `spans`,
+    /// `events` or `env`.
+    pub section: &'static str,
+    /// Normalized name (`family{label}` for labelled metrics).
+    pub name: String,
+}
+
+/// Lint one file; `rel` must use forward slashes. Returns all findings,
+/// including waived ones (callers decide whether waived findings fail).
+pub fn check_file(rel: &str, src: &str, manifest: &Manifest) -> Vec<Diagnostic> {
+    let toks = lex(src);
+    let scope = fixture_scope(rel, &toks).unwrap_or_else(|| scope_for_path(rel));
+    let mut ctx = FileCtx::new(rel, &toks);
+    ctx.run(scope, manifest, None);
+    ctx.diags
+}
+
+/// Extract every observability name from one file (non-test code only).
+pub fn extract_names(rel: &str, src: &str) -> Vec<ObsName> {
+    let toks = lex(src);
+    let mut ctx = FileCtx::new(rel, &toks);
+    let mut names = Vec::new();
+    ctx.run(Scope::default(), &Manifest::default(), Some(&mut names));
+    names
+}
+
+/// Per-file state shared by the rules.
+struct FileCtx<'a> {
+    rel: &'a str,
+    toks: &'a [Tok],
+    /// Indices of non-comment tokens, in order.
+    code: Vec<usize>,
+    /// Token-index ranges covered by `#[cfg(test)]` / `#[test]`.
+    test_ranges: Vec<(usize, usize)>,
+    /// Comment text per starting line, for waiver/SAFETY lookup.
+    comments: BTreeMap<u32, String>,
+    diags: Vec<Diagnostic>,
+}
+
+impl<'a> FileCtx<'a> {
+    fn new(rel: &'a str, toks: &'a [Tok]) -> FileCtx<'a> {
+        let code: Vec<usize> = toks
+            .iter()
+            .enumerate()
+            .filter(|(_, t)| !t.is_comment())
+            .map(|(i, _)| i)
+            .collect();
+        let mut comments: BTreeMap<u32, String> = BTreeMap::new();
+        for t in toks.iter().filter(|t| t.is_comment()) {
+            let slot = comments.entry(t.line).or_default();
+            slot.push(' ');
+            slot.push_str(&t.text);
+        }
+        FileCtx {
+            rel,
+            toks,
+            code,
+            test_ranges: test_regions(toks),
+            comments,
+            diags: Vec::new(),
+        }
+    }
+
+    fn in_test(&self, tok_idx: usize) -> bool {
+        self.test_ranges
+            .iter()
+            .any(|(s, e)| tok_idx >= *s && tok_idx <= *e)
+    }
+
+    /// Code token at code-position `p` (None past the end).
+    fn ct(&self, p: usize) -> Option<&Tok> {
+        self.code.get(p).map(|i| &self.toks[*i])
+    }
+
+    /// `// lint:allow(key): reason` on `line` or the line above; accepts
+    /// the rule id or its category name as the key (case-insensitive).
+    fn waiver(&self, line: u32, rule: &str, category: &str) -> Option<String> {
+        for l in [line, line.saturating_sub(1)] {
+            let Some(text) = self.comments.get(&l) else {
+                continue;
+            };
+            let mut rest = text.as_str();
+            while let Some(at) = rest.find("lint:allow(") {
+                rest = &rest[at + "lint:allow(".len()..];
+                let Some(close) = rest.find(')') else { break };
+                let key = rest[..close].trim().to_ascii_lowercase();
+                let after = rest[close + 1..].trim_start();
+                let reason = after.strip_prefix(':').map(str::trim).unwrap_or("");
+                if (key == rule.to_ascii_lowercase() || key == category) && !reason.is_empty() {
+                    // The reason runs to the end of the comment line.
+                    return Some(reason.to_string());
+                }
+            }
+        }
+        None
+    }
+
+    fn push(&mut self, tok: &Tok, rule: &'static str, category: &str, message: String, hint: &str) {
+        let waived = self.waiver(tok.line, rule, category);
+        self.diags.push(Diagnostic {
+            file: self.rel.to_string(),
+            line: tok.line,
+            col: tok.col,
+            rule,
+            message,
+            hint: hint.to_string(),
+            waived,
+        });
+    }
+
+    fn run(&mut self, scope: Scope, manifest: &Manifest, mut dump: Option<&mut Vec<ObsName>>) {
+        let extracting = dump.is_some();
+        for p in 0..self.code.len() {
+            let idx = self.code[p];
+            let in_test = self.in_test(idx);
+            let tok = &self.toks[idx];
+
+            if scope.safety && !extracting && tok.is_ident("unsafe") {
+                self.rule_s1(p);
+            }
+            if in_test {
+                continue;
+            }
+            if scope.panic_policy && !extracting {
+                self.rule_p1(p);
+            }
+            if scope.determinism && !extracting {
+                self.rule_d1(p);
+            }
+            if scope.float_order && !extracting {
+                self.rule_d2(p);
+            }
+            if scope.observability || extracting {
+                self.rule_o1(p, manifest, dump.as_deref_mut());
+                if tok.kind == TokKind::Str {
+                    self.rule_o2(p, manifest, dump.as_deref_mut());
+                }
+            }
+        }
+    }
+
+    // --- P1: panic policy ------------------------------------------------
+
+    fn rule_p1(&mut self, p: usize) {
+        let Some(tok) = self.ct(p).cloned() else {
+            return;
+        };
+        if tok.kind != TokKind::Ident {
+            return;
+        }
+        let next_is = |c: char| self.ct(p + 1).is_some_and(|t| t.is_punct(c));
+        let prev_is_dot = p > 0 && self.ct(p - 1).is_some_and(|t| t.is_punct('.'));
+        let (what, is_hit) = match tok.text.as_str() {
+            "unwrap" | "expect" => (
+                format!(".{}() can panic", tok.text),
+                prev_is_dot && next_is('('),
+            ),
+            "panic" | "unimplemented" | "todo" => {
+                (format!("{}! aborts the thread", tok.text), next_is('!'))
+            }
+            _ => return,
+        };
+        if !is_hit {
+            return;
+        }
+        self.push(
+            &tok,
+            "P1",
+            "panic",
+            format!("{what} in a library crate; a panic here takes down a worker thread"),
+            "propagate a SkipperError/Result, or waive an infallible site with \
+             `// lint:allow(panic): <why this cannot fail>`",
+        );
+    }
+
+    // --- D1: determinism --------------------------------------------------
+
+    fn rule_d1(&mut self, p: usize) {
+        let Some(tok) = self.ct(p).cloned() else {
+            return;
+        };
+        if tok.kind != TokKind::Ident {
+            return;
+        }
+        let (message, hint): (String, &str) = match tok.text.as_str() {
+            "HashMap" | "HashSet" => (
+                format!(
+                    "{} has nondeterministic iteration order inside the numeric core",
+                    tok.text
+                ),
+                "iteration order changes s_t, the SST percentile, and which timesteps get \
+                 skipped; use BTreeMap/BTreeSet or an explicitly ordered Vec",
+            ),
+            "Instant" | "SystemTime" => {
+                let bare_type_mention = tok.text == "Instant"
+                    && !(self.ct(p + 1).is_some_and(|t| t.is_punct(':'))
+                        && self.ct(p + 2).is_some_and(|t| t.is_punct(':'))
+                        && self.ct(p + 3).is_some_and(|t| t.is_ident("now")));
+                if bare_type_mention {
+                    return; // Bare `Instant` type mentions are fine; reads are not.
+                }
+                (
+                    format!("wall-clock read ({}) inside the numeric core", tok.text),
+                    "time must never influence training math; move the read out of the \
+                     numeric core or waive with `// lint:allow(determinism): <telemetry-only \
+                     justification>`",
+                )
+            }
+            "thread_rng" | "from_entropy" | "OsRng" => (
+                format!("unseeded RNG ({}) inside the numeric core", tok.text),
+                "plumb a seeded StdRng from the session config so reruns and shard \
+                 counts reproduce bitwise",
+            ),
+            _ => return,
+        };
+        self.push(&tok, "D1", "determinism", message, hint);
+    }
+
+    // --- D2: float accumulation ------------------------------------------
+
+    fn rule_d2(&mut self, p: usize) {
+        let Some(tok) = self.ct(p).cloned() else {
+            return;
+        };
+        if tok.kind != TokKind::Ident || !(p > 0 && self.ct(p - 1).is_some_and(|t| t.is_punct('.')))
+        {
+            return;
+        }
+        let hit = match tok.text.as_str() {
+            "sum" | "product" => {
+                // `.sum::<f32>()` / `.product::<f64>()`.
+                self.ct(p + 1).is_some_and(|t| t.is_punct(':'))
+                    && self.ct(p + 2).is_some_and(|t| t.is_punct(':'))
+                    && self.ct(p + 3).is_some_and(|t| t.is_punct('<'))
+                    && self
+                        .ct(p + 4)
+                        .is_some_and(|t| t.is_ident("f32") || t.is_ident("f64"))
+            }
+            "fold" => {
+                // `.fold(0.0, …)` / `.fold(0f32, …)`: float seed.
+                self.ct(p + 1).is_some_and(|t| t.is_punct('('))
+                    && self.ct(p + 2).is_some_and(|t| {
+                        t.kind == TokKind::Num
+                            && (t.text.contains('.')
+                                || t.text.contains("f32")
+                                || t.text.contains("f64"))
+                    })
+            }
+            _ => return,
+        };
+        if !hit {
+            return;
+        }
+        self.push(
+            &tok,
+            "D2",
+            "float-order",
+            format!(
+                ".{}() float accumulation on the sharded gradient path",
+                tok.text
+            ),
+            "accumulation order is part of the determinism contract; route through the \
+             fixed-order pairwise tree reduction (crates/core/src/engine.rs `tree_reduce`) \
+             or waive with the ordering argument: `// lint:allow(float-order): <reason>`",
+        );
+    }
+
+    // --- O1: metric / span name registry ----------------------------------
+
+    fn rule_o1(&mut self, p: usize, manifest: &Manifest, dump: Option<&mut Vec<ObsName>>) {
+        let Some(tok) = self.ct(p).cloned() else {
+            return;
+        };
+        if tok.kind != TokKind::Ident {
+            return;
+        }
+        // Skip definitions (`fn observe(...)`) — only call sites matter.
+        if p > 0 && self.ct(p - 1).is_some_and(|t| t.is_ident("fn")) {
+            return;
+        }
+        let (section, name, name_tok): (&'static str, String, Tok) = match tok.text.as_str() {
+            "counter_add" | "gauge_set" | "observe" | "register_histogram" => {
+                let section = match tok.text.as_str() {
+                    "counter_add" => "counters",
+                    "gauge_set" => "gauges",
+                    _ => "histograms",
+                };
+                let Some((name, nt)) = self.first_literal_arg(p) else {
+                    return;
+                };
+                (section, normalize_metric(&name), nt)
+            }
+            "labeled" => {
+                let Some((family, nt)) = self.first_literal_arg(p) else {
+                    return;
+                };
+                let label = self.second_literal_arg(p);
+                let name = match label {
+                    Some(l) => format!("{family}{{{l}}}"),
+                    None => family,
+                };
+                ("labeled", name, nt)
+            }
+            "span" | "instant" => {
+                if !self.ct(p + 1).is_some_and(|t| t.is_punct('!')) {
+                    return;
+                }
+                let Some((name, nt)) = self.first_string_in_call(p + 2) else {
+                    return;
+                };
+                let section = if tok.text == "span" {
+                    "spans"
+                } else {
+                    "events"
+                };
+                (section, name, nt)
+            }
+            _ => return,
+        };
+        if let Some(dump) = dump {
+            dump.push(ObsName {
+                section: if section == "labeled" {
+                    "gauges"
+                } else {
+                    section
+                },
+                name,
+            });
+            return;
+        }
+        let declared = if section == "labeled" {
+            // A `labeled()` family may be a gauge or a histogram.
+            manifest.declares_metric(&name)
+        } else {
+            manifest.declares(section, &name)
+        };
+        if declared {
+            return;
+        }
+        let where_ = match section {
+            "labeled" => "any metric section of".to_string(),
+            s => format!("[{s}] in"),
+        };
+        self.push(
+            &name_tok,
+            "O1",
+            "metric",
+            format!("observability name \"{name}\" is not declared in {where_} crates/lint/metrics.toml"),
+            "a typo'd or undocumented name silently forks the registry; declare it in the \
+             manifest and DESIGN.md \u{a7}8.5, or fix the spelling",
+        );
+    }
+
+    /// `ident(` with args starting `[&] "literal"` → the literal.
+    fn first_literal_arg(&self, p: usize) -> Option<(String, Tok)> {
+        if !self.ct(p + 1)?.is_punct('(') {
+            return None;
+        }
+        let mut q = p + 2;
+        if self.ct(q)?.is_punct('&') {
+            q += 1;
+        }
+        let t = self.ct(q)?;
+        if t.kind == TokKind::Str {
+            Some((t.text.clone(), t.clone()))
+        } else {
+            None
+        }
+    }
+
+    /// Second argument of `ident(a, b, …)` when it is `[&] "literal"`.
+    fn second_literal_arg(&self, p: usize) -> Option<String> {
+        if !self.ct(p + 1)?.is_punct('(') {
+            return None;
+        }
+        let mut depth = 1usize;
+        let mut q = p + 2;
+        while depth > 0 {
+            let t = self.ct(q)?;
+            if t.is_punct('(') || t.is_punct('[') || t.is_punct('{') {
+                depth += 1;
+            } else if t.is_punct(')') || t.is_punct(']') || t.is_punct('}') {
+                depth -= 1;
+            } else if t.is_punct(',') && depth == 1 {
+                let mut r = q + 1;
+                if self.ct(r)?.is_punct('&') {
+                    r += 1;
+                }
+                let t = self.ct(r)?;
+                return if t.kind == TokKind::Str {
+                    Some(t.text.clone())
+                } else {
+                    None
+                };
+            }
+            q += 1;
+        }
+        None
+    }
+
+    /// First string literal inside a call whose `(` is at code-pos `open`.
+    fn first_string_in_call(&self, open: usize) -> Option<(String, Tok)> {
+        if !self.ct(open)?.is_punct('(') {
+            return None;
+        }
+        let mut depth = 1usize;
+        let mut q = open + 1;
+        while depth > 0 {
+            let t = self.ct(q)?;
+            if t.is_punct('(') {
+                depth += 1;
+            } else if t.is_punct(')') {
+                depth -= 1;
+            } else if t.kind == TokKind::Str {
+                return Some((t.text.clone(), t.clone()));
+            }
+            q += 1;
+        }
+        None
+    }
+
+    // --- O2: env knob registry --------------------------------------------
+
+    fn rule_o2(&mut self, p: usize, manifest: &Manifest, dump: Option<&mut Vec<ObsName>>) {
+        let Some(tok) = self.ct(p).cloned() else {
+            return;
+        };
+        if !is_env_knob(&tok.text) {
+            return;
+        }
+        if let Some(dump) = dump {
+            dump.push(ObsName {
+                section: "env",
+                name: tok.text.clone(),
+            });
+            return;
+        }
+        if manifest.declares("env", &tok.text) {
+            return;
+        }
+        self.push(
+            &tok,
+            "O2",
+            "env",
+            format!(
+                "environment knob \"{}\" is not declared in [env] of crates/lint/metrics.toml",
+                tok.text
+            ),
+            "an undeclared knob is usually a typo (SKIPPER_OBS_ADR-class) and always \
+             undocumented; declare it in the manifest and the README knob table",
+        );
+    }
+
+    // --- S1: unsafe requires SAFETY ---------------------------------------
+
+    fn rule_s1(&mut self, p: usize) {
+        let Some(tok) = self.ct(p).cloned() else {
+            return;
+        };
+        let line = tok.line;
+        let documented = (line.saturating_sub(2)..=line)
+            .any(|l| self.comments.get(&l).is_some_and(|c| c.contains("SAFETY:")));
+        if documented {
+            return;
+        }
+        self.push(
+            &tok,
+            "S1",
+            "safety",
+            "`unsafe` without a `// SAFETY:` comment".to_string(),
+            "state the invariant that makes this sound in a `// SAFETY:` comment on or \
+             directly above the unsafe block",
+        );
+    }
+}
+
+/// Full-literal match for `SKIPPER_[A-Z0-9_]+`.
+fn is_env_knob(s: &str) -> bool {
+    let Some(rest) = s.strip_prefix("SKIPPER_") else {
+        return false;
+    };
+    !rest.is_empty()
+        && rest
+            .chars()
+            .all(|c| c.is_ascii_uppercase() || c.is_ascii_digit() || c == '_')
+}
+
+/// Normalize a literal metric key: `name{key=value}` → `name{key}`.
+fn normalize_metric(name: &str) -> String {
+    let Some(open) = name.find('{') else {
+        return name.to_string();
+    };
+    let family = &name[..open];
+    let inner = name[open..].trim_start_matches('{').trim_end_matches('}');
+    let key = inner.split(',').next().unwrap_or("");
+    let key = key.split('=').next().unwrap_or("").trim();
+    format!("{family}{{{key}}}")
+}

@@ -1,0 +1,53 @@
+// lint-fixture: scope=d1
+//! D1 fixture: nondeterministic containers, wall-clock reads and unseeded
+//! RNG inside the (simulated) numeric core.
+
+pub fn container_hits(keys: &[String]) -> usize {
+    let mut m = std::collections::HashMap::new(); //~ ERROR D1
+    for k in keys {
+        m.insert(k.clone(), 1u32);
+    }
+    let s = std::collections::HashSet::<u32>::new(); //~ ERROR D1
+    m.len() + s.len()
+}
+
+pub fn container_ok(keys: &[String]) -> usize {
+    let mut m = std::collections::BTreeMap::new();
+    for k in keys {
+        m.insert(k.clone(), 1u32);
+    }
+    m.len()
+}
+
+pub fn clock_hits() -> u64 {
+    let t0 = std::time::Instant::now(); //~ ERROR D1
+    let _ = std::time::SystemTime::UNIX_EPOCH; //~ ERROR D1
+    t0.elapsed().as_micros() as u64
+}
+
+pub fn clock_type_mention_ok(deadline: std::time::Instant) -> std::time::Instant {
+    // A bare `Instant` type mention is fine; only `Instant::now()` reads
+    // the wall clock.
+    deadline
+}
+
+pub fn rng_hits() -> u64 {
+    let mut rng = thread_rng(); //~ ERROR D1
+    let _ = OsRng; //~ ERROR D1
+    rng.next_u64()
+}
+
+pub fn waived_telemetry_clock() -> std::time::Instant {
+    // lint:allow(determinism): fixture — telemetry-only wall-clock read
+    std::time::Instant::now()
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn test_code_may_use_hash_containers() {
+        let mut m = std::collections::HashMap::new();
+        m.insert(1u32, 2u32);
+        assert_eq!(m.len(), 1);
+    }
+}

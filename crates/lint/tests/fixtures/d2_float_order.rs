@@ -1,0 +1,31 @@
+// lint-fixture: scope=d2
+//! D2 fixture: free-form float accumulation on the (simulated) sharded
+//! gradient path. Integer reductions are exact and stay legal.
+
+pub fn hits(grads: &[f32]) -> f32 {
+    let a = grads.iter().copied().sum::<f32>(); //~ ERROR D2
+    let b = grads.iter().fold(0.0, |acc, g| acc + g); //~ ERROR D2
+    let c = grads.iter().map(|g| *g as f64).sum::<f64>(); //~ ERROR D2
+    let d = grads.iter().map(|g| 1.0 + g).fold(1.0f64, |acc, g| acc * g as f64); //~ ERROR D2
+    a + b + (c + d) as f32
+}
+
+pub fn integer_reductions_ok(counts: &[usize]) -> usize {
+    let n = counts.iter().copied().sum::<usize>();
+    let m = counts.iter().fold(0usize, |acc, c| acc + c);
+    n + m
+}
+
+pub fn waived(xs: &[f32]) -> f32 {
+    // lint:allow(float-order): fixture — single fixed storage-order pass
+    xs.iter().copied().sum::<f32>()
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn test_code_may_sum_floats() {
+        let v = [1.0f32, 2.0];
+        assert_eq!(v.iter().copied().sum::<f32>(), 3.0);
+    }
+}

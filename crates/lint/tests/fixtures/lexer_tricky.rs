@@ -1,0 +1,41 @@
+// lint-fixture: scope=all
+//! Lexer stress fixture: every rule is armed (`scope=all`) and every
+//! construct below is a NON-violation. The self-test fails if even one
+//! diagnostic fires in this file.
+
+pub fn strings_are_data() -> String {
+    let cooked = "x.unwrap() HashMap Instant::now() panic!(\"no\")";
+    let raw = r#"y.expect("k"); .sum::<f32>() unsafe"#;
+    let raw_nested_hashes = r##"quoted "#end"# .fold(0.0, f) SystemTime"##;
+    let bytes = b"panic! in a byte string";
+    let byte_raw = br#".unwrap() once more"#;
+    let escaped = "quote \" then .expect(\"x\") still one literal";
+    format!("{cooked}{raw}{raw_nested_hashes}{bytes:?}{byte_raw:?}{escaped}")
+}
+
+pub fn comments_are_data() -> u32 {
+    // line comment: .unwrap() HashMap .sum::<f32>() unsafe thread_rng()
+    /* block: Instant::now()
+       /* nested block: .expect("x") panic!("y") */
+       still inside the outer block: todo!() */
+    7
+}
+
+pub fn chars_and_lifetimes<'a>(v: &'a [u32]) -> (&'a [u32], char) {
+    // `'a` must lex as a lifetime, `'\''` and `'x'` as char literals —
+    // a confused lexer would swallow the rest of the file as a string.
+    let quote = '\'';
+    let x = 'x';
+    let newline = '\n';
+    (v, if x == quote { newline } else { quote })
+}
+
+pub fn shifts_and_generics(v: Vec<Vec<u32>>) -> usize {
+    // `>>` after nested generics, `<<` as a shift: pure punctuation.
+    let shifted = 1usize << 4 >> 2;
+    v.len() + shifted
+}
+
+pub fn unterminated_constructs_do_not_eat_the_file() -> &'static str {
+    "the lexer survives everything above this line"
+}

@@ -1,0 +1,36 @@
+// lint-fixture: scope=o1
+//! O1 fixture: metric/span/event name literals checked against
+//! `crates/lint/metrics.toml`. Declared names pass, typos fire.
+
+pub fn declared_names(m: &Metrics) {
+    m.counter_add("skipper.steps_skipped", 1);
+    m.gauge_set("skipper.sst_threshold", 0.5);
+    m.observe("iteration.wall_us", 10.0);
+    m.labeled("engine.queue_depth", "worker").gauge_set(3.0);
+    span!("iteration");
+    instant!(Level::Info, "skip_decision");
+}
+
+pub fn undeclared_names(m: &Metrics) {
+    m.counter_add("fixture.bogus_counter", 1); //~ ERROR O1
+    m.gauge_set("skipper.sst_treshold", 0.5); //~ ERROR O1
+    m.observe("iteration.wall_ms", 10.0); //~ ERROR O1
+    m.labeled("fixture.bogus_family", "worker").gauge_set(3.0); //~ ERROR O1
+    span!("fixture_bogus_span"); //~ ERROR O1
+    instant!(Level::Info, "fixture.bogus_event"); //~ ERROR O1
+}
+
+pub trait Sink {
+    // Definitions are not call sites: `fn observe` must not be checked.
+    fn observe(&self, name: &str, value: f64);
+}
+
+pub fn dynamic_names_cannot_be_checked(m: &Metrics, name: &str) {
+    // Only literal names are checkable; runtime strings pass through.
+    m.counter_add(name, 1);
+}
+
+pub fn waived(m: &Metrics) {
+    // lint:allow(metric): fixture — experimental name pending a registry entry
+    m.counter_add("fixture.experimental", 1);
+}

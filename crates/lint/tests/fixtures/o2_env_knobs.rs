@@ -1,0 +1,27 @@
+// lint-fixture: scope=o2
+//! O2 fixture: whole-string `SKIPPER_*` literals must be declared in the
+//! `[env]` section of `crates/lint/metrics.toml`.
+
+pub fn declared() -> Option<String> {
+    std::env::var("SKIPPER_WORKERS").ok()
+}
+
+pub const DECLARED_VIA_CONST: &str = "SKIPPER_OBS_ADDR";
+
+pub fn undeclared() -> Option<String> {
+    let a = std::env::var("SKIPPER_TYPO_KNOB").ok(); //~ ERROR O2
+    let b = std::env::var("SKIPPER_OBS_ADR").ok(); //~ ERROR O2
+    a.or(b)
+}
+
+pub const UNDECLARED_VIA_CONST: &str = "SKIPPER_HIDDEN_KNOB"; //~ ERROR O2
+
+pub fn non_knob_strings_ok() -> &'static str {
+    // Only a whole-literal SKIPPER_[A-Z0-9_]+ match counts as a knob:
+    "set SKIPPER_WORKERS in your environment before launching"
+}
+
+pub fn waived() -> Option<String> {
+    // lint:allow(env): fixture — knob injected by an external harness
+    std::env::var("SKIPPER_EXTERNAL_KNOB").ok()
+}

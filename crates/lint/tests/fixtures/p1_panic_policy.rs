@@ -1,0 +1,54 @@
+// lint-fixture: scope=p1
+//! P1 fixture: panic-policy hits, per-site waivers, and look-alikes the
+//! lexer must treat as data (strings, comments, test code).
+//!
+//! The tilde-ERROR markers are consumed by `skipper-lint --self-test`; a
+//! diagnostic must fire on exactly the marked lines and nowhere else.
+
+pub fn hits(x: Option<u32>, r: Result<u32, String>) -> u32 {
+    let a = x.unwrap(); //~ ERROR P1
+    let b = r.expect("present"); //~ ERROR P1
+    if a + b > 100 {
+        panic!("overflow"); //~ ERROR P1
+    }
+    if a == 7 {
+        todo!() //~ ERROR P1
+    }
+    if b == 9 {
+        unimplemented!() //~ ERROR P1
+    }
+    a + b
+}
+
+pub fn waived_above(x: Option<u32>) -> u32 {
+    // lint:allow(panic): fixture — a justified waiver on the line above
+    x.unwrap()
+}
+
+pub fn waived_same_line(x: Option<u32>) -> u32 {
+    x.unwrap() // lint:allow(P1): the rule id works as the waiver key too
+}
+
+pub fn look_alikes() -> String {
+    // Literals containing panic-shaped text are data, not code:
+    let s = "please call .unwrap() responsibly";
+    let r = r#"raw: x.unwrap(); y.expect("k"); panic!("no")"#;
+    // a line comment mentioning .unwrap() and panic!("x") fires nothing
+    /* block comment: .unwrap() /* nested: .expect("y") */ still comment */
+    let unwrap = 3; // an identifier named unwrap without `.`/`(` is inert
+    format!("{s}{r}{unwrap}")
+}
+
+// Out of scope for P1 (scope=p1 disables O2 here): an undeclared knob
+// string must NOT fire in this file.
+pub const OUT_OF_SCOPE: &str = "SKIPPER_NOT_CHECKED_HERE";
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn tests_may_panic() {
+        let v: Option<u32> = Some(1);
+        assert_eq!(v.unwrap(), 1);
+        Result::<u32, String>::Ok(2).expect("fine in test code");
+    }
+}

@@ -1,0 +1,37 @@
+// lint-fixture: scope=s1
+//! S1 fixture: `unsafe` needs a `// SAFETY:` comment on the same line or
+//! up to two lines above. Unlike every other rule, S1 also applies to
+//! test code.
+
+pub fn undocumented(ptr: *const f32) -> f32 {
+    unsafe { *ptr } //~ ERROR S1
+}
+
+pub fn documented(ptr: *const f32, len: usize) -> &'static [f32] {
+    // SAFETY: the caller guarantees `ptr` is valid for `len` floats
+    unsafe { std::slice::from_raw_parts(ptr, len) }
+}
+
+pub fn documented_same_line(ptr: *const u8) -> u8 {
+    unsafe { *ptr } // SAFETY: validated non-null by the caller
+}
+
+pub fn waived(ptr: *const f32) -> f32 {
+    // lint:allow(safety): fixture — soundness argued in the module docs
+    unsafe { *ptr }
+}
+
+pub fn raw_identifier_is_not_the_keyword() -> u32 {
+    let r#unsafe = 7u32; // an identifier *named* unsafe fires nothing
+    r#unsafe
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn test_code_is_not_exempt() {
+        let x = 1u32;
+        let p = &x as *const u32;
+        let _ = unsafe { *p }; //~ ERROR S1
+    }
+}

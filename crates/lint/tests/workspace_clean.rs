@@ -1,0 +1,138 @@
+//! The lint's own acceptance tests: the real workspace must be clean, and
+//! the seeded fixtures must produce exactly their marked diagnostics.
+
+use skipper_lint::{check_file, check_workspace, relative_path, Manifest, MANIFEST_PATH};
+use std::collections::BTreeMap;
+use std::path::{Path, PathBuf};
+
+fn workspace_root() -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("../..")
+        .canonicalize()
+        .expect("workspace root resolves")
+}
+
+fn load_manifest(root: &Path) -> Manifest {
+    let text = std::fs::read_to_string(root.join(MANIFEST_PATH)).expect("metrics.toml readable");
+    Manifest::parse(&text).expect("metrics.toml parses")
+}
+
+#[test]
+fn workspace_has_no_unwaived_violations() {
+    let root = workspace_root();
+    let diags = check_workspace(&root, &load_manifest(&root)).expect("workspace lints");
+    let active: Vec<String> = diags
+        .iter()
+        .filter(|d| d.waived.is_none())
+        .map(|d| d.render_text())
+        .collect();
+    assert!(
+        active.is_empty(),
+        "non-waived lint violations:\n{}",
+        active.join("\n")
+    );
+}
+
+#[test]
+fn every_waiver_carries_a_reason() {
+    let root = workspace_root();
+    let diags = check_workspace(&root, &load_manifest(&root)).expect("workspace lints");
+    for d in diags.iter().filter(|d| d.waived.is_some()) {
+        let reason = d.waived.as_deref().unwrap_or_default();
+        assert!(
+            reason.len() >= 10,
+            "{}:{} ({}) has a trivial waiver reason: {reason:?}",
+            d.file,
+            d.line,
+            d.rule
+        );
+    }
+}
+
+#[test]
+fn committed_manifest_is_in_sync_with_the_code() {
+    // Every observability name the code emits must be declared; dangling
+    // manifest entries are allowed (docs may lead code), missing ones not.
+    let root = workspace_root();
+    let manifest = load_manifest(&root);
+    let names = skipper_lint::extract_workspace_names(&root).expect("extraction");
+    for n in names {
+        let declared = if n.section == "gauges" {
+            manifest.declares_metric(&n.name)
+        } else {
+            manifest.declares(n.section, &n.name)
+        };
+        assert!(
+            declared,
+            "[{}] {} missing from metrics.toml",
+            n.section, n.name
+        );
+    }
+}
+
+#[test]
+fn fixtures_match_their_seeded_markers() {
+    let root = workspace_root();
+    let manifest = load_manifest(&root);
+    let dir = root.join("crates/lint/tests/fixtures");
+    let mut fixture_files = 0usize;
+    let mut seeded = 0usize;
+    let mut entries: Vec<PathBuf> = std::fs::read_dir(&dir)
+        .expect("fixtures dir")
+        .filter_map(|e| e.ok().map(|e| e.path()))
+        .filter(|p| p.extension().is_some_and(|e| e == "rs"))
+        .collect();
+    entries.sort();
+    for path in entries {
+        fixture_files += 1;
+        let src = std::fs::read_to_string(&path).expect("fixture readable");
+        let rel = relative_path(&root, &path);
+        let mut expected: BTreeMap<(u32, String), usize> = BTreeMap::new();
+        for (idx, line) in src.lines().enumerate() {
+            if let Some(at) = line.find("//~ ERROR") {
+                for rule in line[at + "//~ ERROR".len()..].split_whitespace() {
+                    *expected
+                        .entry((idx as u32 + 1, rule.to_string()))
+                        .or_default() += 1;
+                }
+            }
+        }
+        seeded += expected.values().sum::<usize>();
+        let mut actual: BTreeMap<(u32, String), usize> = BTreeMap::new();
+        for d in check_file(&rel, &src, &manifest) {
+            if d.waived.is_none() {
+                *actual.entry((d.line, d.rule.to_string())).or_default() += 1;
+            }
+        }
+        assert_eq!(actual, expected, "marker mismatch in {rel}");
+    }
+    assert!(fixture_files >= 7, "fixture set went missing");
+    assert!(seeded >= 20, "fixtures lost their seeded violations");
+}
+
+#[test]
+fn every_rule_id_has_a_fixture_hit() {
+    // The fixture corpus must exercise all six rules, or a regression in
+    // one rule could pass the self-test silently.
+    let root = workspace_root();
+    let manifest = load_manifest(&root);
+    let dir = root.join("crates/lint/tests/fixtures");
+    let mut hit: Vec<&'static str> = Vec::new();
+    for entry in std::fs::read_dir(&dir).expect("fixtures dir") {
+        let path = entry.expect("entry").path();
+        if path.extension().is_none_or(|e| e != "rs") {
+            continue;
+        }
+        let src = std::fs::read_to_string(&path).expect("fixture readable");
+        let rel = relative_path(&root, &path);
+        for d in check_file(&rel, &src, &manifest) {
+            if d.waived.is_none() && !hit.contains(&d.rule) {
+                hit.push(d.rule);
+            }
+        }
+    }
+    hit.sort_unstable();
+    let mut all = skipper_lint::RULE_IDS.to_vec();
+    all.sort_unstable();
+    assert_eq!(hit, all, "rules without fixture coverage");
+}

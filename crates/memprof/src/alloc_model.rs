@@ -110,6 +110,7 @@ impl CachingAllocator {
             .next()
             .map(|(&size, _)| size);
         let granted = if let Some(size) = candidate {
+            // lint:allow(panic): candidate key was just yielded by a range scan of the same free map
             let count = self.free.get_mut(&size).expect("candidate block exists");
             *count -= 1;
             if *count == 0 {

@@ -68,6 +68,7 @@ pub fn downsample(points: &[TimelinePoint], n: usize) -> Vec<TimelinePoint> {
             *chunk
                 .iter()
                 .max_by_key(|p| p.total)
+                // lint:allow(panic): chunks() never yields an empty slice
                 .expect("chunks are non-empty")
         })
         .collect()

@@ -101,6 +101,17 @@ struct Collector {
 
 static SINK_COUNT: AtomicUsize = AtomicUsize::new(0);
 
+/// Lock a mutex, recovering from poisoning.
+///
+/// Telemetry state (sinks, the metrics registry, ring buffers) stays
+/// valid under panic — every mutation is a single in-place update — so a
+/// worker thread that panicked while holding a lock must not permanently
+/// disable observability for every other thread. The engine's panic
+/// propagation path in particular still wants the final flush.
+pub(crate) fn lock_unpoisoned<T>(m: &Mutex<T>) -> std::sync::MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(std::sync::PoisonError::into_inner)
+}
+
 fn collector() -> &'static Collector {
     static COLLECTOR: OnceLock<Collector> = OnceLock::new();
     COLLECTOR.get_or_init(|| Collector {
@@ -121,7 +132,7 @@ pub fn enabled() -> bool {
 pub fn add_sink(sink: Box<dyn Sink>) -> SinkId {
     let c = collector();
     let id = SinkId(c.next_id.fetch_add(1, Ordering::Relaxed));
-    let mut sinks = c.sinks.lock().unwrap();
+    let mut sinks = lock_unpoisoned(&c.sinks);
     sinks.push((id, sink));
     SINK_COUNT.store(sinks.len(), Ordering::Relaxed);
     id
@@ -131,7 +142,7 @@ pub fn add_sink(sink: Box<dyn Sink>) -> SinkId {
 /// removed).
 pub fn remove_sink(id: SinkId) -> Option<Box<dyn Sink>> {
     let c = collector();
-    let mut sinks = c.sinks.lock().unwrap();
+    let mut sinks = lock_unpoisoned(&c.sinks);
     let pos = sinks.iter().position(|(sid, _)| *sid == id)?;
     let (_, mut sink) = sinks.remove(pos);
     SINK_COUNT.store(sinks.len(), Ordering::Relaxed);
@@ -143,7 +154,7 @@ pub fn remove_sink(id: SinkId) -> Option<Box<dyn Sink>> {
 /// Flush every installed sink.
 pub fn flush() {
     let c = collector();
-    for (_, sink) in c.sinks.lock().unwrap().iter_mut() {
+    for (_, sink) in lock_unpoisoned(&c.sinks).iter_mut() {
         sink.flush();
     }
 }
@@ -159,7 +170,7 @@ pub fn flush() {
 pub fn shutdown() {
     let c = collector();
     let drained = {
-        let mut sinks = c.sinks.lock().unwrap();
+        let mut sinks = lock_unpoisoned(&c.sinks);
         SINK_COUNT.store(0, Ordering::Relaxed);
         std::mem::take(&mut *sinks)
     };
@@ -201,7 +212,7 @@ pub fn submit(event: Event) {
         return;
     }
     let c = collector();
-    for (_, sink) in c.sinks.lock().unwrap().iter_mut() {
+    for (_, sink) in lock_unpoisoned(&c.sinks).iter_mut() {
         sink.record(&event);
     }
 }

@@ -185,7 +185,7 @@ impl Registry {
 
     /// Add `delta` to the counter `name` (created at zero on first use).
     pub fn counter_add(&self, name: &str, delta: f64) {
-        let mut s = self.state.lock().unwrap();
+        let mut s = crate::lock_unpoisoned(&self.state);
         match s.counters.get_mut(name) {
             Some(v) => *v += delta,
             None => {
@@ -196,9 +196,7 @@ impl Registry {
 
     /// Current value of counter `name`.
     pub fn counter(&self, name: &str) -> f64 {
-        self.state
-            .lock()
-            .unwrap()
+        crate::lock_unpoisoned(&self.state)
             .counters
             .get(name)
             .copied()
@@ -207,7 +205,7 @@ impl Registry {
 
     /// Set the gauge `name` to `value`.
     pub fn gauge_set(&self, name: &str, value: f64) {
-        let mut s = self.state.lock().unwrap();
+        let mut s = crate::lock_unpoisoned(&self.state);
         match s.gauges.get_mut(name) {
             Some(v) => *v = value,
             None => {
@@ -218,15 +216,16 @@ impl Registry {
 
     /// Latest value of gauge `name`.
     pub fn gauge(&self, name: &str) -> Option<f64> {
-        self.state.lock().unwrap().gauges.get(name).copied()
+        crate::lock_unpoisoned(&self.state)
+            .gauges
+            .get(name)
+            .copied()
     }
 
     /// Pre-register histogram `name` with explicit bucket bounds (replaces
     /// any previous registration and its samples).
     pub fn register_histogram(&self, name: &str, bounds: &[f64]) {
-        self.state
-            .lock()
-            .unwrap()
+        crate::lock_unpoisoned(&self.state)
             .histograms
             .insert(name.to_string(), Histogram::new(bounds));
     }
@@ -234,7 +233,7 @@ impl Registry {
     /// Record one sample into histogram `name`. An unregistered histogram
     /// is created with the [`Histogram::default_us`] buckets.
     pub fn observe(&self, name: &str, value: f64) {
-        let mut s = self.state.lock().unwrap();
+        let mut s = crate::lock_unpoisoned(&self.state);
         s.histograms
             .entry(name.to_string())
             .or_insert_with(Histogram::default_us)
@@ -243,12 +242,15 @@ impl Registry {
 
     /// A copy of histogram `name`, if any samples or a registration exist.
     pub fn histogram(&self, name: &str) -> Option<Histogram> {
-        self.state.lock().unwrap().histograms.get(name).cloned()
+        crate::lock_unpoisoned(&self.state)
+            .histograms
+            .get(name)
+            .cloned()
     }
 
     /// Copy out everything.
     pub fn snapshot(&self) -> MetricsSnapshot {
-        let s = self.state.lock().unwrap();
+        let s = crate::lock_unpoisoned(&self.state);
         MetricsSnapshot {
             counters: s.counters.iter().map(|(k, v)| (k.clone(), *v)).collect(),
             gauges: s.gauges.iter().map(|(k, v)| (k.clone(), *v)).collect(),
@@ -262,7 +264,7 @@ impl Registry {
 
     /// Drop every metric (test isolation).
     pub fn clear(&self) {
-        *self.state.lock().unwrap() = RegistryState::default();
+        *crate::lock_unpoisoned(&self.state) = RegistryState::default();
     }
 }
 

@@ -67,7 +67,13 @@ impl MetricsServer {
                         break;
                     }
                     if let Ok(stream) = conn {
-                        let _ = handle_connection(stream);
+                        // One bad connection (malformed request, poisoned
+                        // socket, renderer bug) must not take the endpoint
+                        // down: errors are per-connection and panics are
+                        // contained to it.
+                        let _ = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                            let _ = handle_connection(stream);
+                        }));
                     }
                 }
             })?;
@@ -140,33 +146,69 @@ fn handle_connection(mut stream: TcpStream) -> std::io::Result<()> {
             break;
         }
     }
+    if buf.is_empty() {
+        // Peer connected and went away (the Drop wake-up does exactly
+        // this); nothing to answer.
+        return Ok(());
+    }
     let head = String::from_utf8_lossy(&buf);
-    let path = head
-        .lines()
-        .next()
-        .and_then(|line| line.split_whitespace().nth(1))
-        .unwrap_or("/");
-    let snap = crate::registry().snapshot();
-    let (status, content_type, body) = match path {
-        "/metrics" => (
-            "200 OK",
-            "text/plain; version=0.0.4; charset=utf-8",
-            prometheus_text(&snap),
-        ),
-        "/metrics.json" => ("200 OK", "application/json", snapshot_json(&snap)),
-        "/" | "/healthz" => ("200 OK", "text/plain; charset=utf-8", "ok\n".to_string()),
-        _ => (
-            "404 Not Found",
-            "text/plain; charset=utf-8",
-            "not found\n".to_string(),
-        ),
-    };
+    let (status, content_type, body) = respond(&head);
     let response = format!(
         "HTTP/1.1 {status}\r\nContent-Type: {content_type}\r\nContent-Length: {}\r\nConnection: close\r\n\r\n{body}",
         body.len()
     );
     stream.write_all(response.as_bytes())?;
     stream.flush()
+}
+
+/// Route a request head to `(status, content-type, body)`.
+///
+/// Malformed heads get a 400 and unsupported methods a 405 instead of a
+/// panic or a silent default route; a renderer failure (never expected —
+/// rendering is pure) degrades to a 500. The listener keeps serving in
+/// every case.
+fn respond(head: &str) -> (&'static str, &'static str, String) {
+    const TEXT: &str = "text/plain; charset=utf-8";
+    type Renderer = fn() -> String;
+    let Some(request_line) = head.lines().next() else {
+        return ("400 Bad Request", TEXT, "bad request\n".to_string());
+    };
+    let mut parts = request_line.split_whitespace();
+    let (Some(method), Some(path), Some(version)) = (parts.next(), parts.next(), parts.next())
+    else {
+        return ("400 Bad Request", TEXT, "bad request\n".to_string());
+    };
+    if !version.starts_with("HTTP/") {
+        return ("400 Bad Request", TEXT, "bad request\n".to_string());
+    }
+    if method != "GET" && method != "HEAD" {
+        return (
+            "405 Method Not Allowed",
+            TEXT,
+            "method not allowed\n".to_string(),
+        );
+    }
+    let render: Option<(&'static str, Renderer)> = match path {
+        "/metrics" => Some(("text/plain; version=0.0.4; charset=utf-8", || {
+            prometheus_text(&crate::registry().snapshot())
+        })),
+        "/metrics.json" => Some(("application/json", || {
+            snapshot_json(&crate::registry().snapshot())
+        })),
+        "/" | "/healthz" => return ("200 OK", TEXT, "ok\n".to_string()),
+        _ => None,
+    };
+    let Some((content_type, render)) = render else {
+        return ("404 Not Found", TEXT, "not found\n".to_string());
+    };
+    match std::panic::catch_unwind(render) {
+        Ok(body) => ("200 OK", content_type, body),
+        Err(_) => (
+            "500 Internal Server Error",
+            TEXT,
+            "internal error\n".to_string(),
+        ),
+    }
 }
 
 /// Split a registry key of the form `name{key=value}` into the family name
@@ -383,6 +425,39 @@ mod tests {
         assert!(json.starts_with('{') && json.ends_with('}'));
         assert!(json.contains("\"a.b\":1"));
         assert!(json.contains("\"p50\":"));
+    }
+
+    fn http_raw(addr: SocketAddr, request: &str) -> String {
+        let mut stream = TcpStream::connect(addr).unwrap();
+        stream.write_all(request.as_bytes()).unwrap();
+        let mut response = String::new();
+        stream.read_to_string(&mut response).unwrap();
+        response
+    }
+
+    #[test]
+    fn malformed_requests_get_4xx_and_serving_continues() {
+        let server = MetricsServer::bind("127.0.0.1:0").unwrap();
+
+        // No parseable request line → 400.
+        let garbage = http_raw(server.addr(), "\r\n\r\n");
+        assert!(garbage.starts_with("HTTP/1.1 400"), "got: {garbage}");
+
+        // Truncated request line → 400.
+        let short = http_raw(server.addr(), "GET\r\n\r\n");
+        assert!(short.starts_with("HTTP/1.1 400"), "got: {short}");
+
+        // Not HTTP at all → 400.
+        let junk = http_raw(server.addr(), "SSH-2.0-OpenSSH_9.6\r\n\r\n");
+        assert!(junk.starts_with("HTTP/1.1 400"), "got: {junk}");
+
+        // Unsupported method → 405.
+        let post = http_raw(server.addr(), "POST /metrics HTTP/1.1\r\n\r\n");
+        assert!(post.starts_with("HTTP/1.1 405"), "got: {post}");
+
+        // The listener thread survived all of it and still answers.
+        let health = http_get(server.addr(), "/healthz");
+        assert!(health.starts_with("HTTP/1.1 200 OK"), "got: {health}");
     }
 
     #[test]

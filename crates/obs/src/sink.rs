@@ -39,16 +39,14 @@ pub struct RingHandle {
 impl RingHandle {
     /// Copy out the captured events, oldest first.
     pub fn snapshot(&self) -> Vec<Event> {
-        self.inner.lock().unwrap().events.clone()
+        crate::lock_unpoisoned(&self.inner).events.clone()
     }
 
     /// Captured events emitted by the calling thread only — the idiom for
     /// assertions in concurrently running tests.
     pub fn snapshot_current_thread(&self) -> Vec<Event> {
         let tid = crate::current_tid();
-        self.inner
-            .lock()
-            .unwrap()
+        crate::lock_unpoisoned(&self.inner)
             .events
             .iter()
             .filter(|e| e.tid == tid)
@@ -62,9 +60,7 @@ impl RingHandle {
     /// summary table) walk every worker-pool thread's event stream even
     /// though the pool threads themselves never hold the handle.
     pub fn snapshot_thread(&self, tid: u64) -> Vec<Event> {
-        self.inner
-            .lock()
-            .unwrap()
+        crate::lock_unpoisoned(&self.inner)
             .events
             .iter()
             .filter(|e| e.tid == tid)
@@ -74,7 +70,7 @@ impl RingHandle {
 
     /// Distinct thread ids seen in the captured events, ascending.
     pub fn tids(&self) -> Vec<u64> {
-        let inner = self.inner.lock().unwrap();
+        let inner = crate::lock_unpoisoned(&self.inner);
         let mut tids: Vec<u64> = inner.events.iter().map(|e| e.tid).collect();
         tids.sort_unstable();
         tids.dedup();
@@ -83,12 +79,12 @@ impl RingHandle {
 
     /// Events discarded because the ring was full.
     pub fn dropped(&self) -> u64 {
-        self.inner.lock().unwrap().dropped
+        crate::lock_unpoisoned(&self.inner).dropped
     }
 
     /// Discard everything captured so far.
     pub fn clear(&self) {
-        let mut inner = self.inner.lock().unwrap();
+        let mut inner = crate::lock_unpoisoned(&self.inner);
         inner.events.clear();
         inner.dropped = 0;
     }
@@ -120,7 +116,7 @@ impl RingBufferSink {
 
 impl Sink for RingBufferSink {
     fn record(&mut self, event: &Event) {
-        let mut inner = self.inner.lock().unwrap();
+        let mut inner = crate::lock_unpoisoned(&self.inner);
         if inner.events.len() >= inner.capacity {
             let half = inner.capacity / 2;
             inner.events.drain(..half);

@@ -362,10 +362,11 @@ pub fn compare(baseline: &RunManifest, current: &RunManifest, cfg: &GateConfig) 
 /// The workspace `results/` directory (`<repo>/results`), resolved from
 /// this crate's position in the source tree.
 pub fn results_dir() -> PathBuf {
-    Path::new(env!("CARGO_MANIFEST_DIR"))
+    let manifest = Path::new(env!("CARGO_MANIFEST_DIR"));
+    manifest
         .parent()
         .and_then(Path::parent)
-        .expect("crates/report sits two levels under the workspace root")
+        .unwrap_or(manifest)
         .join("results")
 }
 

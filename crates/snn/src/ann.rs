@@ -69,6 +69,7 @@ pub fn ann_logits_taped(
             }
         }
     }
+    // lint:allow(panic): network validation guarantees a trailing Output layer that sets logits
     logits.expect("network ends with Output")
 }
 

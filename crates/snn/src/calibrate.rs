@@ -14,16 +14,27 @@
 //! fire. Earlier layers are calibrated first so that later layers see
 //! realistic input activity.
 
+use crate::error::SnnError;
 use crate::network::{Module, SpikingNetwork, StepCtx};
 use skipper_memprof::set_op_logging;
 use skipper_tensor::Tensor;
 
 /// Set the firing threshold of the `lif_index`-th LIF population.
 ///
+/// # Errors
+///
+/// Returns [`SnnError::Mismatch`] when `lif_index` is out of range for
+/// this network.
+///
 /// # Panics
 ///
-/// Panics if `lif_index` is out of range or `theta` is not positive.
-pub fn set_threshold(net: &mut SpikingNetwork, lif_index: usize, theta: f32) {
+/// Panics if `theta` is not positive (a programmer error, not a
+/// recoverable condition).
+pub fn set_threshold(
+    net: &mut SpikingNetwork,
+    lif_index: usize,
+    theta: f32,
+) -> Result<(), SnnError> {
     assert!(theta > 0.0, "threshold must be positive");
     let mut idx = 0usize;
     for m in net.modules_mut() {
@@ -35,12 +46,14 @@ pub fn set_threshold(net: &mut SpikingNetwork, lif_index: usize, theta: f32) {
         for u in units {
             if idx == lif_index {
                 u.cfg.threshold = theta;
-                return;
+                return Ok(());
             }
             idx += 1;
         }
     }
-    panic!("lif index {lif_index} out of range ({idx} populations)");
+    Err(SnnError::Mismatch(format!(
+        "lif index {lif_index} out of range ({idx} populations)"
+    )))
 }
 
 /// Balance every layer's threshold on `inputs` (a spike sequence of one
@@ -75,7 +88,8 @@ pub fn calibrate_thresholds(
         potentials.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
         let rank = ((1.0 - target_rate) as f64 * potentials.len() as f64) as usize;
         let theta = potentials[rank.min(potentials.len() - 1)].max(1e-3);
-        set_threshold(net, l, theta);
+        // lint:allow(panic): `l` enumerates this net's own LIF populations, so it is in range
+        set_threshold(net, l, theta).expect("lif index enumerated from this net");
         thresholds.push(theta);
     }
     set_op_logging(was_logging);
@@ -139,7 +153,7 @@ mod tests {
             width_mult: 0.25,
             ..ModelConfig::default()
         });
-        set_threshold(&mut net, 2, 0.123);
+        set_threshold(&mut net, 2, 0.123).unwrap();
         let mut seen = Vec::new();
         for m in net.modules() {
             if let Module::ConvLif { lif, .. } = m {
@@ -151,12 +165,12 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "out of range")]
     fn set_threshold_rejects_bad_index() {
         let mut net = lenet5(&ModelConfig {
             width_mult: 0.25,
             ..ModelConfig::default()
         });
-        set_threshold(&mut net, 99, 1.0);
+        let err = set_threshold(&mut net, 99, 1.0).unwrap_err();
+        assert!(err.to_string().contains("out of range"), "got: {err}");
     }
 }

@@ -98,6 +98,7 @@ impl NetBuilder {
     }
 
     fn conv_lif(&mut self, out_c: usize, k: usize, spec: Conv2dSpec, pool: Option<usize>) {
+        // lint:allow(panic): topology builder invariant: conv follows a spatial layer; misuse fails fast in model-construction tests
         let (c, h, w) = self.chw.expect("conv on spatial input");
         let name = self.name("conv");
         let conv = Conv2dLayer::new(
@@ -124,12 +125,14 @@ impl NetBuilder {
     /// VGG-style stage. Pooling is skipped automatically once the feature
     /// map cannot be halved, so topologies stay valid at small input sizes.
     fn vgg_stage(&mut self, out_c: usize, pool: bool) {
+        // lint:allow(panic): topology builder invariant: preceding layer is spatial
         let (_, h, _) = self.chw.expect("spatial");
         let pool = (pool && h >= 2 && h % 2 == 0).then_some(2);
         self.conv_lif(out_c, 3, Conv2dSpec::padded(1), pool);
     }
 
     fn residual(&mut self, out_c: usize, stride: usize) {
+        // lint:allow(panic): topology builder invariant: residual follows a spatial layer
         let (c, h, w) = self.chw.expect("residual on spatial input");
         let n1 = self.name("res_conv");
         let conv1 = Conv2dLayer::new(
@@ -180,18 +183,21 @@ impl NetBuilder {
     }
 
     fn pool(&mut self, k: usize) {
+        // lint:allow(panic): topology builder invariant: pool follows a spatial layer
         let (c, h, w) = self.chw.expect("pool on spatial input");
         self.modules.push(Module::Pool(k));
         self.chw = Some((c, h / k, w / k));
     }
 
     fn flatten(&mut self) {
+        // lint:allow(panic): topology builder invariant: flatten follows a spatial layer
         let (c, h, w) = self.chw.take().expect("flatten on spatial input");
         self.flat = Some(c * h * w);
         self.modules.push(Module::Flatten);
     }
 
     fn linear_lif(&mut self, out: usize, dropout: Option<f32>) {
+        // lint:allow(panic): topology builder invariant: linear follows flatten or another flat layer
         let inf = self.flat.expect("linear on flat input");
         let name = self.name("fc");
         let lin = LinearLayer::new(&mut self.params, &name, inf, out, true, &mut self.rng);
@@ -204,6 +210,7 @@ impl NetBuilder {
         if self.flat.is_none() {
             self.flatten();
         }
+        // lint:allow(panic): topology builder invariant: output follows a flat layer
         let inf = self.flat.expect("flat before output");
         let lin = LinearLayer::new(
             &mut self.params,
@@ -271,6 +278,7 @@ pub fn resnet20(cfg: &ModelConfig) -> SpikingNetwork {
         }
     }
     // Global average pool to 1x1.
+    // lint:allow(panic): lenet5 wiring keeps this block spatial
     let (_, h, _) = b.chw.expect("spatial");
     if h > 1 {
         b.pool(h);
@@ -335,6 +343,7 @@ pub fn resnet34(cfg: &ModelConfig) -> SpikingNetwork {
             b.residual(cfg.ch(ch), stride);
         }
     }
+    // lint:allow(panic): vgg9 wiring keeps this block spatial
     let (_, h, _) = b.chw.expect("spatial");
     if h > 1 {
         b.pool(h);

@@ -82,6 +82,7 @@ pub fn clip_grad_norm(params: &mut ParamStore, max_norm: f32) -> f32 {
             .data()
             .iter()
             .map(|&g| (g as f64) * (g as f64))
+            // lint:allow(float-order): sequential fold over one parameter tensor in storage order; identical on every path
             .sum::<f64>();
     }
     let norm = sq.sqrt() as f32;

@@ -27,7 +27,7 @@
 use crate::error::SnnError;
 use crate::params::ParamStore;
 use skipper_tensor::Tensor;
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 use std::io::{self, Read, Write};
 use std::path::Path;
 
@@ -303,7 +303,7 @@ pub fn read_params(reader: &mut impl Read) -> Result<Vec<ParamRecord>, SnnError>
 /// Fails if a parameter has no record, a record has no parameter, or a
 /// shape disagrees.
 pub fn apply_records(params: &mut ParamStore, records: Vec<ParamRecord>) -> Result<(), SnnError> {
-    let mut by_name: HashMap<String, ParamRecord> =
+    let mut by_name: BTreeMap<String, ParamRecord> =
         records.into_iter().map(|r| (r.name.clone(), r)).collect();
     for p in params.iter_mut() {
         let record = by_name.remove(p.name()).ok_or_else(|| {

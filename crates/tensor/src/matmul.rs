@@ -61,6 +61,7 @@ fn parallel_rows(
             row += rows_here;
         }
     })
+    // lint:allow(panic): join().expect re-raises a worker panic; it cannot fail otherwise
     .expect("matmul worker panicked");
 }
 
