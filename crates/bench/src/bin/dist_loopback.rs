@@ -1,0 +1,256 @@
+//! Distributed-training smoke bench: a TCP coordinator plus N worker
+//! threads on loopback, with the deterministic chaos layer armed, must
+//! reproduce the in-process engine **bit for bit** — losses and final
+//! weights — while surviving corrupted frames, delivery delays and a
+//! scheduled worker kill.
+//!
+//! This is the CI gate for the cluster transport: it fails (exit 1) on
+//! the first bit of drift, and its manifest
+//! (`results/BENCH_dist_loopback.json`) feeds `bench_gate` so wall-time
+//! regressions in the recovery path are caught too. Chaos here uses
+//! corrupt + delay + kill but deliberately **not** drop: a dropped work
+//! frame parks the coordinator until `work_timeout`, which is recovery
+//! coverage for the test suite, not a stable thing to time.
+//!
+//! ```text
+//! dist_loopback [--workers 4] [--iters 4] [--no-chaos]
+//! ```
+
+use skipper_core::{
+    run_worker, BackoffConfig, ChaosConfig, ClusterConfig, Coordinator, Method, TcpConnector,
+    TrainSession, WorkerOptions,
+};
+use skipper_snn::{custom_net, ModelConfig, Sgd, SpikingNetwork};
+use skipper_tensor::{Tensor, XorShiftRng};
+use std::time::Duration;
+
+const T: usize = 12;
+const BATCH: usize = 8;
+const METHOD: Method = Method::Skipper {
+    checkpoints: 2,
+    percentile: 30.0,
+};
+
+struct Args {
+    workers: usize,
+    iters: usize,
+    chaos: bool,
+    /// `--serve HOST:PORT`: bind there and wait for externally launched
+    /// `skipper_worker` processes instead of spawning worker threads.
+    serve: Option<String>,
+}
+
+fn parse_args() -> Args {
+    let mut args = Args {
+        workers: 4,
+        iters: 4,
+        chaos: true,
+        serve: None,
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(flag) = it.next() {
+        let mut value = |name: &str| {
+            it.next()
+                .unwrap_or_else(|| panic!("{name} expects a value"))
+        };
+        match flag.as_str() {
+            "--workers" => args.workers = value("--workers").parse().expect("--workers: usize"),
+            "--iters" => args.iters = value("--iters").parse().expect("--iters: usize"),
+            "--no-chaos" => args.chaos = false,
+            "--serve" => args.serve = Some(value("--serve")),
+            "--help" | "-h" => {
+                println!(
+                    "usage: dist_loopback [--workers N] [--iters N] [--no-chaos] \
+                     [--serve HOST:PORT]"
+                );
+                std::process::exit(0);
+            }
+            other => panic!("unknown flag {other} (try --help)"),
+        }
+    }
+    assert!(args.workers >= 1 && args.iters >= 1);
+    args
+}
+
+fn model() -> ModelConfig {
+    ModelConfig {
+        input_hw: 8,
+        width_mult: 0.25,
+        seed: 11,
+        ..ModelConfig::default()
+    }
+}
+
+fn net() -> SpikingNetwork {
+    custom_net(&model())
+}
+
+fn spike_inputs() -> Vec<Tensor> {
+    let mut rng = XorShiftRng::new(42);
+    (0..T)
+        .map(|_| Tensor::rand([BATCH, 3, 8, 8], &mut rng).map(|x| (x > 0.6) as i32 as f32))
+        .collect()
+}
+
+fn weights(net: &SpikingNetwork) -> Vec<Vec<f32>> {
+    net.params()
+        .iter()
+        .map(|p| p.value().data().to_vec())
+        .collect()
+}
+
+fn main() {
+    let _run = skipper_bench::BenchRun::start("dist_loopback");
+    let args = parse_args();
+    let inputs = spike_inputs();
+    let labels: Vec<usize> = (0..BATCH).map(|i| i % 10).collect();
+
+    // In-process reference first: the determinism contract says the
+    // transport must be invisible, so this run defines the right answer.
+    let mut reference = TrainSession::builder(net(), METHOD, T)
+        .optimizer(Box::new(Sgd::new(0.5)))
+        .workers(args.workers.max(2))
+        .build()
+        .expect("valid method");
+    let ref_losses: Vec<u64> = (0..args.iters)
+        .map(|_| reference.train_batch(&inputs, &labels).loss.to_bits())
+        .collect();
+    let ref_weights = weights(&reference.into_net());
+
+    // Coordinator on an ephemeral loopback port, chaos armed on both the
+    // accept side (coordinator→worker sends) and each worker's connector.
+    let link_chaos = args.chaos.then(|| ChaosConfig {
+        seed: 7,
+        corrupt: 0.02,
+        delay: 0.05,
+        delay_us: 2_000,
+        ..ChaosConfig::default()
+    });
+    let cfg = ClusterConfig {
+        expected_workers: args.workers,
+        min_workers: 1,
+        work_timeout: Duration::from_secs(2),
+        max_attempts: 50,
+        chaos: link_chaos.clone(),
+        // Give humans time to start workers in other terminals.
+        connect_timeout: Duration::from_secs(if args.serve.is_some() { 120 } else { 10 }),
+        ..ClusterConfig::new(model())
+    };
+    let bind = args.serve.clone().unwrap_or_else(|| "127.0.0.1:0".into());
+    let coordinator = Coordinator::listen_tcp(&bind, cfg).expect("loopback bind");
+    let addr = coordinator.addr();
+    println!(
+        "coordinator on {addr}: {} workers, {} iterations, chaos {}{}",
+        args.workers,
+        args.iters,
+        if args.chaos { "armed" } else { "off" },
+        if args.serve.is_some() {
+            " — waiting for external skipper_worker processes"
+        } else {
+            ""
+        }
+    );
+
+    let kill_iter = (args.iters / 2).max(2) as u64;
+    let local_workers = if args.serve.is_some() {
+        0
+    } else {
+        args.workers as u64
+    };
+    let handles: Vec<_> = (1..=local_workers)
+        .map(|id| {
+            let addr = addr.clone();
+            // The last worker is scheduled to die mid-run so the bench
+            // times the reassignment + replay path, not just the happy one.
+            let mut chaos = link_chaos.clone();
+            if args.chaos && id == args.workers as u64 && args.workers > 1 {
+                chaos = Some(ChaosConfig {
+                    kill: Some((id, kill_iter)),
+                    ..chaos.unwrap_or_default()
+                });
+            }
+            std::thread::spawn(move || {
+                let mut conn = TcpConnector::new(addr, chaos.clone());
+                run_worker(
+                    &mut conn,
+                    &WorkerOptions {
+                        id,
+                        chaos,
+                        backoff: BackoffConfig {
+                            base: Duration::from_millis(2),
+                            max: Duration::from_millis(50),
+                            max_retries: 20,
+                            ..BackoffConfig::default()
+                        },
+                        ..WorkerOptions::default()
+                    },
+                )
+            })
+        })
+        .collect();
+
+    let mut session = TrainSession::builder(net(), METHOD, T)
+        .optimizer(Box::new(Sgd::new(0.5)))
+        .cluster(coordinator)
+        .build()
+        .expect("valid method");
+    let mut drift = false;
+    for (i, want) in ref_losses.iter().enumerate() {
+        let stats = session.train_batch(&inputs, &labels);
+        let got = stats.loss.to_bits();
+        println!(
+            "iter {:>2}  loss {:.6} (bits {:016x})  skipped {}  {}",
+            i + 1,
+            stats.loss,
+            got,
+            stats.skipped_steps,
+            if got == *want { "bit-exact" } else { "DRIFT" }
+        );
+        drift |= got != *want;
+    }
+    let trained = session.into_net();
+    for h in handles {
+        match h.join().expect("worker thread") {
+            Ok(rep) => println!(
+                "worker: {} iterations, {} shards, {} reconnects{}",
+                rep.iterations,
+                rep.shards,
+                rep.reconnects,
+                if rep.killed {
+                    " (killed on schedule)"
+                } else {
+                    ""
+                }
+            ),
+            // A worker can legitimately end on the exhausted-reconnect
+            // path when chaos corrupts the final Shutdown frame.
+            Err(e) => println!("worker: exited via {e}"),
+        }
+    }
+
+    for (w, (got, want)) in weights(&trained).iter().zip(&ref_weights).enumerate() {
+        let same = got
+            .iter()
+            .zip(want.iter())
+            .all(|(x, y)| x.to_bits() == y.to_bits());
+        if !same {
+            eprintln!("weight tensor {w} drifted from the in-process reference");
+            drift = true;
+        }
+    }
+
+    let snap = skipper_obs::registry().snapshot();
+    for (name, value) in snap
+        .counters
+        .iter()
+        .filter(|(n, _)| n.starts_with("cluster.") || n.starts_with("engine.transport_"))
+    {
+        println!("counter {name} = {value}");
+    }
+
+    if drift {
+        eprintln!("FAIL: distributed run drifted from the in-process engine");
+        std::process::exit(1);
+    }
+    println!("OK: distributed run is bit-identical to the in-process engine");
+}

@@ -22,6 +22,7 @@
 //! assert_eq!(session.workers(), 1);
 //! ```
 
+use crate::cluster::Coordinator;
 use crate::error::SkipperError;
 use crate::method::Method;
 use crate::runner::{SentinelConfig, TrainSession};
@@ -47,6 +48,7 @@ pub struct SessionBuilder {
     sentinels: Option<SentinelConfig>,
     memory_budget: Option<u64>,
     workers: Option<usize>,
+    cluster: Option<Coordinator>,
 }
 
 impl std::fmt::Debug for SessionBuilder {
@@ -73,6 +75,7 @@ impl SessionBuilder {
             sentinels: None,
             memory_budget: None,
             workers: None,
+            cluster: None,
         }
     }
 
@@ -126,15 +129,35 @@ impl SessionBuilder {
         self
     }
 
+    /// Run iterations over a distributed [`Coordinator`] instead of the
+    /// in-process engine: shards are dispatched to connected
+    /// `skipper-worker` processes (or in-process loopback workers) with
+    /// results bit-identical to the local paths (see [`crate::cluster`]).
+    /// Overrides [`workers`](SessionBuilder::workers).
+    pub fn cluster(mut self, coordinator: Coordinator) -> SessionBuilder {
+        self.cluster = Some(coordinator);
+        self
+    }
+
     /// Validate the configuration and construct the session.
     ///
     /// # Errors
     ///
     /// [`SkipperError::Method`] if the method fails its full validity
     /// checks for this network and horizon (Eq. 7, `T/C ≥ L_n`, window and
-    /// tap sanity); [`SkipperError::Config`] for a zero worker count.
-    pub fn build(self) -> Result<TrainSession, SkipperError> {
+    /// tap sanity); [`SkipperError::Config`] for a zero worker count, or
+    /// for a cluster session with a method the transport cannot carry
+    /// (TBPTT-LBP's auxiliary classifiers).
+    pub fn build(mut self) -> Result<TrainSession, SkipperError> {
         self.method.validate(&self.net, self.timesteps)?;
+        if self.cluster.is_some() && matches!(self.method, Method::TbpttLbp { .. }) {
+            return Err(SkipperError::Config(
+                "TBPTT-LBP auxiliary classifiers are not supported over a cluster transport".into(),
+            ));
+        }
+        if let Some(cluster) = self.cluster.as_mut() {
+            cluster.set_horizon(self.timesteps);
+        }
         let workers = match self.workers {
             Some(0) => return Err(SkipperError::Config("workers must be at least 1".into())),
             Some(n) => n,
@@ -154,6 +177,7 @@ impl SessionBuilder {
             self.sentinels,
             self.memory_budget,
             workers,
+            self.cluster,
         )
     }
 }

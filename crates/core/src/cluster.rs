@@ -1,0 +1,1286 @@
+//! Distributed data-parallel training: a coordinator driving TCP (or
+//! in-process loopback) workers through the canonical shard plan.
+//!
+//! The [`Coordinator`] generalizes [`crate::engine`]'s thread pool across
+//! process boundaries: each iteration it serializes the current
+//! parameters (`.skw` v2 records), slices the batch by the same
+//! `S = min(B, 8)` plan, and dispatches shards to connected workers over
+//! [`crate::transport`] frames. Workers ([`run_worker`], usually the
+//! `skipper-worker` bin) rebuild the model from the wire spec, run the
+//! very same shard cores, and return raw gradients.
+//!
+//! # Determinism contract
+//!
+//! Results are bit-identical to the in-process engine (and therefore
+//! independent of the worker count), by construction:
+//!
+//! * the shard plan, per-row dropout streams and loss folding are the
+//!   engine's own (`shard_plan`, `ShardCtx`, `combine_shards`);
+//! * gradients cross the wire as exact little-endian `f32` and are
+//!   reduced by the same fixed-order [`tree_reduce`] in shard order;
+//! * SAM sums are aggregated across shards in shard order *before* the
+//!   SST percentile is formed; phase B ships only those global sums and
+//!   each worker re-derives the identical schedule with the pure
+//!   [`decide_skips`].
+//!
+//! # Recovery model
+//!
+//! Nothing is applied to the parameter store until a full, consistent
+//! set of shard results for one `(iteration, attempt)` has been
+//! collected, so every failure is recovered by *retrying the attempt*:
+//! the attempt counter is bumped, shards are reassigned over the
+//! surviving workers, and stale results from older attempts are
+//! discarded first-wins — a reconnecting worker can never cause a
+//! duplicate gradient application. Since the parameters have not
+//! changed, the retried attempt is bit-identical to an unfailed run.
+//! Dead workers are detected by closed/poisoned connections, missed
+//! heartbeat deadlines, and the per-attempt work deadline; reconnects
+//! (with bounded exponential backoff + jitter on the worker side) are
+//! re-admitted at the next handshake. If the cluster drops below
+//! `min_workers` for longer than `connect_timeout`, the iteration fails
+//! with a typed [`SkipperError::WorkerLost`] — the driver can then
+//! replay the epoch from its last `.sksn` snapshot.
+
+use crate::bptt::{combine_loss_groups, StepResult};
+use crate::checkpoint::{checkpoint_backward, checkpoint_forward, PhaseAOut};
+use crate::engine::{
+    apply_grads, combine_shards, emit_skip_trace, shard_plan, slice_rows, tree_reduce, GradSink,
+    ShardCtx, ShardOut, DEFAULT_MAX_SHARDS,
+};
+use crate::error::SkipperError;
+use crate::method::{segment_bounds, Method};
+use crate::sam::{decide_skips, SamMetric, SkipPolicy, SpikeActivityMonitor};
+use crate::tbptt::tbptt_core;
+use crate::transport::{
+    in_proc_net, Channel, ChannelConnector, ChannelListener, ChaosConfig, InProcConnector, Message,
+    ResultPayload, TcpListenerLink, TransportError, WireGrads, WireReader, WorkCtx,
+};
+use skipper_autograd::Surrogate;
+use skipper_snn::serialize::{apply_records, read_params, write_records};
+use skipper_snn::{custom_net, ModelConfig, ParamStore, ShardGrads, SpikingNetwork};
+use skipper_tensor::{Tensor, XorShiftRng};
+use std::collections::HashMap;
+use std::time::{Duration, Instant};
+
+/// Environment knob naming the coordinator address (`host:port`) that
+/// `skipper-worker` dials and the loopback demos bind.
+pub const CLUSTER_ADDR_ENV: &str = "SKIPPER_CLUSTER_ADDR";
+
+/// The `SKIPPER_CLUSTER_ADDR` knob, if set and non-empty.
+pub fn cluster_addr_from_env() -> Option<String> {
+    std::env::var(CLUSTER_ADDR_ENV)
+        .ok()
+        .filter(|s| !s.trim().is_empty())
+}
+
+// ---------------------------------------------------------------------------
+// Wire spec: what a joining worker needs to rebuild the model
+// ---------------------------------------------------------------------------
+
+/// Model topology + horizon shipped in the Welcome handshake. Parameters
+/// themselves ride with every work message, so a worker that was away
+/// never computes with stale weights.
+#[derive(Debug, Clone)]
+pub(crate) struct WireSpec {
+    pub model: ModelConfig,
+    pub timesteps: usize,
+}
+
+impl WireSpec {
+    pub fn encode(&self) -> Vec<u8> {
+        let mut b = Vec::new();
+        let m = &self.model;
+        b.extend_from_slice(&(m.input_hw as u32).to_le_bytes());
+        b.extend_from_slice(&(m.in_channels as u32).to_le_bytes());
+        b.extend_from_slice(&(m.num_classes as u32).to_le_bytes());
+        b.extend_from_slice(&m.width_mult.to_le_bytes());
+        b.extend_from_slice(&m.lif.leak.to_le_bytes());
+        b.extend_from_slice(&m.lif.threshold.to_le_bytes());
+        let (tag, x) = match m.lif.surrogate {
+            Surrogate::Triangle { width } => (0u8, width),
+            Surrogate::FastSigmoid { slope } => (1, slope),
+            Surrogate::ArcTan { alpha } => (2, alpha),
+        };
+        b.push(tag);
+        b.extend_from_slice(&x.to_le_bytes());
+        match m.dropout {
+            Some(p) => {
+                b.push(1);
+                b.extend_from_slice(&p.to_le_bytes());
+            }
+            None => {
+                b.push(0);
+                b.extend_from_slice(&0.0f32.to_le_bytes());
+            }
+        }
+        b.extend_from_slice(&m.seed.to_le_bytes());
+        b.extend_from_slice(&(self.timesteps as u32).to_le_bytes());
+        b
+    }
+
+    pub fn decode(bytes: &[u8]) -> Result<WireSpec, TransportError> {
+        let mut r = WireReader::new(bytes);
+        let input_hw = r.u32()? as usize;
+        let in_channels = r.u32()? as usize;
+        let num_classes = r.u32()? as usize;
+        let width_mult = r.f32()?;
+        let leak = r.f32()?;
+        let threshold = r.f32()?;
+        let surrogate = match (r.u8()?, r.f32()?) {
+            (0, width) => Surrogate::Triangle { width },
+            (1, slope) => Surrogate::FastSigmoid { slope },
+            (2, alpha) => Surrogate::ArcTan { alpha },
+            (tag, _) => {
+                return Err(TransportError::Frame(format!(
+                    "unknown surrogate tag {tag}"
+                )))
+            }
+        };
+        let dropout = match (r.u8()?, r.f32()?) {
+            (0, _) => None,
+            (_, p) => Some(p),
+        };
+        let seed = r.u64()?;
+        let timesteps = r.u32()? as usize;
+        r.done()?;
+        let mut model = ModelConfig {
+            input_hw,
+            in_channels,
+            num_classes,
+            width_mult,
+            dropout,
+            seed,
+            ..ModelConfig::default()
+        };
+        model.lif.leak = leak;
+        model.lif.threshold = threshold;
+        model.lif.surrogate = surrogate;
+        Ok(WireSpec { model, timesteps })
+    }
+}
+
+/// Serialize a parameter store as `.skw` v2 record bytes.
+fn encode_params(store: &ParamStore) -> Result<Vec<u8>, SkipperError> {
+    let mut buf = Vec::new();
+    write_records(store.iter().map(|p| (p.name(), p.value())), &mut buf)?;
+    Ok(buf)
+}
+
+// ---------------------------------------------------------------------------
+// Cluster configuration
+// ---------------------------------------------------------------------------
+
+/// Knobs of a [`Coordinator`].
+#[derive(Debug, Clone)]
+pub struct ClusterConfig {
+    /// Model topology workers rebuild on join (weights ride with work).
+    pub model: ModelConfig,
+    /// Workers to wait for before the first iteration dispatches.
+    pub expected_workers: usize,
+    /// Degradation floor: iterations proceed on fewer workers than
+    /// expected, but never fewer than this.
+    pub min_workers: usize,
+    /// An idle worker silent for longer than this is declared dead.
+    pub heartbeat_timeout: Duration,
+    /// Deadline for one attempt's outstanding shard results.
+    pub work_timeout: Duration,
+    /// How long to wait for (re)connecting workers before degrading or
+    /// giving up.
+    pub connect_timeout: Duration,
+    /// Attempt retries per iteration before surfacing an error.
+    pub max_attempts: u32,
+    /// Send-side fault injection on every accepted connection.
+    pub chaos: Option<ChaosConfig>,
+}
+
+impl ClusterConfig {
+    /// Defaults for `model`: wait for 2 workers, degrade to 1, 3 s
+    /// heartbeat deadline, 60 s work deadline, 5 attempts, no chaos.
+    pub fn new(model: ModelConfig) -> ClusterConfig {
+        ClusterConfig {
+            model,
+            expected_workers: 2,
+            min_workers: 1,
+            heartbeat_timeout: Duration::from_secs(3),
+            work_timeout: Duration::from_secs(60),
+            connect_timeout: Duration::from_secs(10),
+            max_attempts: 5,
+            chaos: None,
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Coordinator
+// ---------------------------------------------------------------------------
+
+/// Per-connection bookkeeping for one admitted worker.
+struct WorkerConn {
+    id: u64,
+    channel: Channel,
+    last_seen: Instant,
+}
+
+/// One attempt's failure, recovered by reassigning and retrying.
+struct AttemptFail {
+    reason: String,
+}
+
+impl AttemptFail {
+    fn new(reason: impl Into<String>) -> AttemptFail {
+        AttemptFail {
+            reason: reason.into(),
+        }
+    }
+}
+
+/// The distributed engine's session-side half: owns the listener and the
+/// admitted workers, assigns the canonical shard plan each iteration,
+/// and combines results exactly like the in-process engine.
+pub struct Coordinator {
+    listener: Box<dyn ChannelListener>,
+    cfg: ClusterConfig,
+    timesteps: usize,
+    workers: Vec<WorkerConn>,
+    next_auto_id: u64,
+    ready: bool,
+}
+
+impl std::fmt::Debug for Coordinator {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Coordinator")
+            .field("addr", &self.listener.addr())
+            .field("workers", &self.workers.len())
+            .finish()
+    }
+}
+
+/// Coordinator-side poll granularity per worker channel.
+const POLL: Duration = Duration::from_millis(2);
+
+impl Coordinator {
+    /// Bind a TCP coordinator on `addr` (e.g. `127.0.0.1:0`).
+    ///
+    /// # Errors
+    ///
+    /// Propagates the bind failure.
+    pub fn listen_tcp(addr: &str, cfg: ClusterConfig) -> Result<Coordinator, SkipperError> {
+        let listener = TcpListenerLink::bind(addr, cfg.chaos.clone())?;
+        Ok(Coordinator::over(Box::new(listener), cfg))
+    }
+
+    /// An in-process loopback cluster: workers connect through clones of
+    /// the returned connector. Chaos (if configured) wraps both ends.
+    pub fn in_proc(cfg: ClusterConfig) -> (Coordinator, InProcConnector) {
+        let (listener, connector) = in_proc_net(cfg.chaos.clone());
+        (Coordinator::over(Box::new(listener), cfg), connector)
+    }
+
+    fn over(listener: Box<dyn ChannelListener>, cfg: ClusterConfig) -> Coordinator {
+        Coordinator {
+            listener,
+            cfg,
+            timesteps: 0,
+            workers: Vec::new(),
+            next_auto_id: 1000,
+            ready: false,
+        }
+    }
+
+    /// The address workers dial (resolved port for `:0` binds).
+    pub fn addr(&self) -> String {
+        self.listener.addr()
+    }
+
+    /// Currently admitted (live) workers.
+    pub fn live_workers(&self) -> usize {
+        self.workers.len()
+    }
+
+    /// The simulation horizon workers are told at handshake.
+    pub(crate) fn set_horizon(&mut self, timesteps: usize) {
+        self.timesteps = timesteps;
+    }
+
+    fn publish_worker_gauge(&self) {
+        if skipper_obs::enabled() {
+            skipper_obs::gauge_set("cluster.workers", self.workers.len() as f64);
+        }
+    }
+
+    /// Accept and handshake pending connections for up to `window`.
+    fn accept_for(&mut self, window: Duration) {
+        let deadline = Instant::now() + window;
+        loop {
+            let now = Instant::now();
+            if now >= deadline {
+                return;
+            }
+            match self.listener.accept(deadline - now) {
+                Ok(channel) => self.admit(channel),
+                Err(_) => return,
+            }
+        }
+    }
+
+    /// Handshake one accepted channel: expect Hello, assign an id, send
+    /// Welcome with the wire spec. Failures just drop the connection —
+    /// the worker's backoff loop will come back.
+    fn admit(&mut self, mut channel: Channel) {
+        let hello = channel.recv_timeout(Duration::from_secs(2));
+        let Ok(Message::Hello { worker, reconnect }) = hello else {
+            return;
+        };
+        let id = if worker != 0 && !self.workers.iter().any(|w| w.id == worker) {
+            worker
+        } else {
+            self.next_auto_id += 1;
+            self.next_auto_id
+        };
+        let spec = WireSpec {
+            model: self.cfg.model.clone(),
+            timesteps: self.timesteps,
+        };
+        if channel
+            .send(&Message::Welcome {
+                worker: id,
+                spec: spec.encode(),
+            })
+            .is_err()
+        {
+            return;
+        }
+        if skipper_obs::enabled() {
+            if reconnect {
+                skipper_obs::counter_add("cluster.reconnects", 1.0);
+            }
+            skipper_obs::instant!(
+                skipper_obs::Level::Info,
+                "cluster.worker_joined",
+                worker = id,
+                reconnect = reconnect,
+            );
+        }
+        self.workers.push(WorkerConn {
+            id,
+            channel,
+            last_seen: Instant::now(),
+        });
+        self.workers.sort_by_key(|w| w.id);
+        self.publish_worker_gauge();
+    }
+
+    /// Remove worker `id`, counting the death.
+    fn kill_worker(&mut self, id: u64, why: &str) {
+        let before = self.workers.len();
+        self.workers.retain(|w| w.id != id);
+        if self.workers.len() < before && skipper_obs::enabled() {
+            skipper_obs::counter_add("cluster.worker_deaths", 1.0);
+            skipper_obs::instant!(
+                skipper_obs::Level::Warn,
+                "cluster.worker_lost",
+                worker = id,
+                reason = why,
+            );
+        }
+        self.publish_worker_gauge();
+    }
+
+    /// Evict idle workers past the heartbeat deadline, admit newcomers,
+    /// and wait (up to `connect_timeout`) until enough workers are live:
+    /// `expected_workers` before the first dispatch, `min_workers` after.
+    /// Proceeds degraded when at least `min_workers` showed up.
+    fn ensure_capacity(&mut self) -> Result<(), SkipperError> {
+        let stale: Vec<u64> = self
+            .workers
+            .iter()
+            .filter(|w| w.last_seen.elapsed() > self.cfg.heartbeat_timeout)
+            .map(|w| w.id)
+            .collect();
+        for id in stale {
+            self.kill_worker(id, "heartbeat deadline missed");
+        }
+        let floor = self.cfg.min_workers.max(1);
+        let want = if self.ready {
+            floor
+        } else {
+            self.cfg.expected_workers.max(floor)
+        };
+        let deadline = Instant::now() + self.cfg.connect_timeout;
+        loop {
+            self.accept_for(Duration::from_millis(1));
+            if self.workers.len() >= want {
+                break;
+            }
+            if Instant::now() >= deadline {
+                if self.workers.len() >= floor {
+                    skipper_obs::instant!(
+                        skipper_obs::Level::Warn,
+                        "cluster.degraded",
+                        live = self.workers.len() as u64,
+                        wanted = want as u64,
+                    );
+                    break;
+                }
+                return Err(SkipperError::WorkerLost {
+                    worker: "cluster".into(),
+                    detail: format!(
+                        "{} live worker(s), need {floor}; none (re)connected within {:?}",
+                        self.workers.len(),
+                        self.cfg.connect_timeout
+                    ),
+                });
+            }
+            self.accept_for(Duration::from_millis(20));
+        }
+        self.ready = true;
+        Ok(())
+    }
+
+    /// Send `msg` to worker `id`; a failed send kills the worker.
+    fn send_to(&mut self, id: u64, msg: &Message) -> Result<(), AttemptFail> {
+        let Some(w) = self.workers.iter_mut().find(|w| w.id == id) else {
+            return Err(AttemptFail::new(format!("worker {id} vanished")));
+        };
+        if let Err(e) = w.channel.send(msg) {
+            self.kill_worker(id, "send failed");
+            return Err(AttemptFail::new(format!("send to worker {id}: {e}")));
+        }
+        Ok(())
+    }
+
+    /// Collect one `(iteration, attempt)`'s shard results — first-wins
+    /// per shard, stale attempts discarded — until `assignment` is fully
+    /// covered or the work deadline passes. Dead connections and worker
+    /// faults fail the attempt.
+    fn collect(
+        &mut self,
+        iteration: u64,
+        attempt: u32,
+        assignment: &[(u32, u64)],
+    ) -> Result<HashMap<u32, ResultPayload>, AttemptFail> {
+        let deadline = Instant::now() + self.cfg.work_timeout;
+        let mut got: HashMap<u32, ResultPayload> = HashMap::new();
+        while got.len() < assignment.len() {
+            if Instant::now() >= deadline {
+                let missing: Vec<u64> = assignment
+                    .iter()
+                    .filter(|(s, _)| !got.contains_key(s))
+                    .map(|(_, w)| *w)
+                    .collect();
+                for id in &missing {
+                    self.kill_worker(*id, "work deadline missed");
+                }
+                return Err(AttemptFail::new(format!(
+                    "work deadline passed with {} shard(s) outstanding",
+                    assignment.len() - got.len()
+                )));
+            }
+            let mut dead: Vec<(u64, String)> = Vec::new();
+            let mut fault: Option<String> = None;
+            for w in self.workers.iter_mut() {
+                match w.channel.recv_timeout(POLL) {
+                    Ok(msg) => {
+                        w.last_seen = Instant::now();
+                        match msg {
+                            Message::ShardResult {
+                                iteration: i,
+                                attempt: a,
+                                shard,
+                                payload,
+                            } if i == iteration && a == attempt => {
+                                got.entry(shard).or_insert(payload);
+                            }
+                            Message::ShardResult { .. } if skipper_obs::enabled() => {
+                                skipper_obs::counter_add("cluster.stale_results", 1.0);
+                            }
+                            Message::Heartbeat { .. } if skipper_obs::enabled() => {
+                                skipper_obs::counter_add("cluster.heartbeats", 1.0);
+                            }
+                            Message::Fault { worker, detail } => {
+                                fault = Some(format!("worker {worker} fault: {detail}"));
+                            }
+                            _ => {}
+                        }
+                    }
+                    Err(TransportError::Timeout) => {}
+                    Err(e) => dead.push((w.id, e.to_string())),
+                }
+            }
+            for (id, why) in &dead {
+                self.kill_worker(*id, why);
+            }
+            if let Some(reason) = fault {
+                return Err(AttemptFail::new(reason));
+            }
+            if dead
+                .iter()
+                .any(|(id, _)| assignment.iter().any(|(_, w)| w == id))
+            {
+                return Err(AttemptFail::new("a worker with assigned shards died"));
+            }
+        }
+        Ok(got)
+    }
+
+    /// Shard → worker assignment over the current (id-sorted) workers.
+    fn assign(&self, shards: usize) -> Vec<(u32, u64)> {
+        (0..shards)
+            .map(|s| (s as u32, self.workers[s % self.workers.len()].id))
+            .collect()
+    }
+
+    /// Run one training iteration across the cluster. Gradients are left
+    /// accumulated in `net`'s store, exactly like [`crate::engine`].
+    #[allow(clippy::too_many_arguments)]
+    pub(crate) fn run_iteration(
+        &mut self,
+        net: &mut SpikingNetwork,
+        method: &Method,
+        inputs: &[Tensor],
+        labels: &[usize],
+        iter_seed: u64,
+        metric: SamMetric,
+        policy: SkipPolicy,
+    ) -> Result<StepResult, SkipperError> {
+        if matches!(method, Method::TbpttLbp { .. }) {
+            return Err(SkipperError::Config(
+                "TBPTT-LBP auxiliary classifiers are not supported over a cluster transport".into(),
+            ));
+        }
+        let batch = inputs[0].shape()[0];
+        self.timesteps = inputs.len();
+        let plan = shard_plan(batch, DEFAULT_MAX_SHARDS);
+        let params = encode_params(net.params())?;
+        let two_phase = matches!(method, Method::Checkpointed { .. } | Method::Skipper { .. });
+        let mut attempt: u32 = 0;
+        loop {
+            self.ensure_capacity()?;
+            if attempt >= self.cfg.max_attempts {
+                return Err(SkipperError::Transport {
+                    peer: self.listener.addr(),
+                    detail: format!(
+                        "iteration {iter_seed}: retry budget exhausted after {attempt} attempts"
+                    ),
+                });
+            }
+            let ctx_for = |shard: u32, range: &std::ops::Range<usize>| WorkCtx {
+                iteration: iter_seed,
+                attempt,
+                shard,
+                batch_offset: range.start as u32,
+                global_batch: batch as u32,
+                seed: iter_seed,
+                method: method.clone(),
+                metric,
+                policy,
+            };
+            let outcome = if two_phase {
+                self.attempt_two_phase(
+                    net, method, inputs, labels, iter_seed, attempt, &plan, &params, policy,
+                    &ctx_for,
+                )
+            } else {
+                self.attempt_single(
+                    net, inputs, labels, iter_seed, attempt, &plan, &params, &ctx_for,
+                )
+            };
+            match outcome {
+                Ok(step) => return Ok(step),
+                Err(fail) => {
+                    attempt += 1;
+                    if skipper_obs::enabled() {
+                        skipper_obs::counter_add("cluster.attempt_retries", 1.0);
+                        skipper_obs::instant!(
+                            skipper_obs::Level::Warn,
+                            "cluster.attempt_retry",
+                            iteration = iter_seed,
+                            attempt = attempt,
+                            reason = fail.reason.as_str(),
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    /// One attempt of a single-dispatch method (BPTT, TBPTT).
+    #[allow(clippy::too_many_arguments)]
+    fn attempt_single(
+        &mut self,
+        net: &mut SpikingNetwork,
+        inputs: &[Tensor],
+        labels: &[usize],
+        iter_seed: u64,
+        attempt: u32,
+        plan: &[std::ops::Range<usize>],
+        params: &[u8],
+        ctx_for: &dyn Fn(u32, &std::ops::Range<usize>) -> WorkCtx,
+    ) -> Result<StepResult, AttemptFail> {
+        let assignment = self.assign(plan.len());
+        for (shard, worker) in &assignment {
+            let range = &plan[*shard as usize];
+            let msg = Message::WorkSingle {
+                ctx: ctx_for(*shard, range),
+                params: params.to_vec(),
+                labels: labels[range.clone()].iter().map(|&l| l as u32).collect(),
+                inputs: slice_rows(inputs, range),
+            };
+            self.send_to(*worker, &msg)?;
+        }
+        let mut got = self.collect(iter_seed, attempt, &assignment)?;
+        let mut outs: Vec<ShardOut> = Vec::with_capacity(plan.len());
+        for shard in 0..plan.len() as u32 {
+            match got.remove(&shard) {
+                Some(ResultPayload::Single {
+                    loss_groups,
+                    correct,
+                    sam_sums,
+                    recomputed,
+                    skipped,
+                    grads,
+                }) => outs.push(ShardOut {
+                    index: shard as usize,
+                    loss_groups,
+                    correct: correct as usize,
+                    sam_sums,
+                    recomputed: recomputed as usize,
+                    skipped: skipped as usize,
+                    wall_us: 0,
+                    grads,
+                    aux_grads: None,
+                }),
+                _ => {
+                    return Err(AttemptFail::new(format!(
+                        "shard {shard} returned the wrong payload kind"
+                    )))
+                }
+            }
+        }
+        Ok(combine_shards(
+            net.params_mut(),
+            None,
+            outs,
+            inputs[0].shape()[0],
+            inputs.len(),
+        ))
+    }
+
+    /// One attempt of a checkpointed/Skipper iteration: phase A on every
+    /// shard, global SAM aggregation + skip schedule, phase B, fixed-order
+    /// reduction. Both phases must succeed on the same worker set — any
+    /// loss (phase-A carries die with their worker) fails the attempt.
+    #[allow(clippy::too_many_arguments)]
+    fn attempt_two_phase(
+        &mut self,
+        net: &mut SpikingNetwork,
+        method: &Method,
+        inputs: &[Tensor],
+        labels: &[usize],
+        iter_seed: u64,
+        attempt: u32,
+        plan: &[std::ops::Range<usize>],
+        params: &[u8],
+        policy: SkipPolicy,
+        ctx_for: &dyn Fn(u32, &std::ops::Range<usize>) -> WorkCtx,
+    ) -> Result<StepResult, AttemptFail> {
+        let batch = inputs[0].shape()[0];
+        let timesteps = inputs.len();
+        let (checkpoints, percentile) = match method {
+            Method::Checkpointed { checkpoints } => (*checkpoints, 0.0),
+            Method::Skipper {
+                checkpoints,
+                percentile,
+            } => (*checkpoints, *percentile),
+            other => {
+                return Err(AttemptFail::new(format!(
+                    "{other} is not a two-phase method"
+                )))
+            }
+        };
+        let assignment = self.assign(plan.len());
+        for (shard, worker) in &assignment {
+            let range = &plan[*shard as usize];
+            let msg = Message::WorkForward {
+                ctx: ctx_for(*shard, range),
+                params: params.to_vec(),
+                labels: labels[range.clone()].iter().map(|&l| l as u32).collect(),
+                inputs: slice_rows(inputs, range),
+            };
+            self.send_to(*worker, &msg)?;
+        }
+        let mut fwd = self.collect(iter_seed, attempt, &assignment)?;
+        // Cross-shard SAM aggregation in shard order, *before* the SST
+        // percentile — identical to the in-process engine.
+        let mut sums = vec![0.0f64; timesteps];
+        let mut per_sample: Vec<f64> = Vec::with_capacity(batch);
+        let mut correct = 0usize;
+        for shard in 0..plan.len() as u32 {
+            match fwd.remove(&shard) {
+                Some(ResultPayload::Forward {
+                    sam_sums,
+                    per_sample: ps,
+                    correct: c,
+                }) => {
+                    for (acc, v) in sums.iter_mut().zip(&sam_sums) {
+                        *acc += *v;
+                    }
+                    per_sample.extend_from_slice(&ps);
+                    correct += c as usize;
+                }
+                _ => {
+                    return Err(AttemptFail::new(format!(
+                        "shard {shard} returned the wrong phase-A payload"
+                    )))
+                }
+            }
+        }
+        let bounds = segment_bounds(timesteps, checkpoints);
+        let sam = SpikeActivityMonitor::from_sums(sums.clone());
+        let decisions = decide_skips(&sam, &bounds, percentile, policy, iter_seed);
+        for (shard, worker) in &assignment {
+            self.send_to(
+                *worker,
+                &Message::WorkBackward {
+                    iteration: iter_seed,
+                    attempt,
+                    shard: *shard,
+                    sums: sums.clone(),
+                },
+            )?;
+        }
+        let mut bwd = self.collect(iter_seed, attempt, &assignment)?;
+        let mut grad_sets: Vec<WireGrads> = Vec::with_capacity(plan.len());
+        for shard in 0..plan.len() as u32 {
+            match bwd.remove(&shard) {
+                Some(ResultPayload::Grads { grads }) => grad_sets.push(grads),
+                _ => {
+                    return Err(AttemptFail::new(format!(
+                        "shard {shard} returned the wrong phase-B payload"
+                    )))
+                }
+            }
+        }
+        // The attempt is complete and consistent: only now touch state.
+        apply_grads(net.params_mut(), tree_reduce(grad_sets));
+        emit_skip_trace(&bounds, &sam, &decisions);
+        let (skipped, recomputed) = (decisions.skipped(), decisions.recomputed());
+        skipper_obs::counter_add("skipper.steps_skipped", skipped as f64);
+        skipper_obs::counter_add("skipper.steps_recomputed", recomputed as f64);
+        let groups = vec![per_sample];
+        Ok(StepResult {
+            loss: combine_loss_groups(&groups, batch),
+            correct,
+            recomputed_steps: recomputed,
+            skipped_steps: skipped,
+            sam,
+            loss_groups: groups,
+        })
+    }
+}
+
+impl Drop for Coordinator {
+    fn drop(&mut self) {
+        for w in self.workers.iter_mut() {
+            let _ = w.channel.send(&Message::Shutdown);
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Worker side
+// ---------------------------------------------------------------------------
+
+/// Reconnect backoff: bounded exponential with deterministic jitter.
+#[derive(Debug, Clone)]
+pub struct BackoffConfig {
+    /// First retry delay; doubles each consecutive failure.
+    pub base: Duration,
+    /// Upper bound on any single delay.
+    pub max: Duration,
+    /// Consecutive failed connects before giving up.
+    pub max_retries: u32,
+    /// Seed of the jitter stream (mixed with the worker id).
+    pub seed: u64,
+}
+
+impl Default for BackoffConfig {
+    fn default() -> BackoffConfig {
+        BackoffConfig {
+            base: Duration::from_millis(50),
+            max: Duration::from_secs(2),
+            max_retries: 10,
+            seed: 7,
+        }
+    }
+}
+
+/// The delay before reconnect attempt `attempt` (0-based):
+/// `min(base·2^attempt, max)` plus a jitter draw in `[0, base/2)`.
+pub(crate) fn backoff_delay(cfg: &BackoffConfig, attempt: u32, rng: &mut XorShiftRng) -> Duration {
+    let exp = cfg
+        .base
+        .saturating_mul(2u32.saturating_pow(attempt.min(16)))
+        .min(cfg.max);
+    let jitter_us = (cfg.base.as_micros() as u64 / 2).max(1);
+    exp + Duration::from_micros(rng.next_u64() % jitter_us)
+}
+
+/// Knobs of [`run_worker`].
+#[derive(Debug, Clone)]
+pub struct WorkerOptions {
+    /// Proposed worker id (the coordinator may assign another on
+    /// collision; the Welcome reply is authoritative).
+    pub id: u64,
+    /// Chaos plan: only the `kill=W@I` schedule is consumed here — frame
+    /// faults live in the connector.
+    pub chaos: Option<ChaosConfig>,
+    /// Reconnect backoff.
+    pub backoff: BackoffConfig,
+    /// Idle heartbeat period; must be well under the coordinator's
+    /// heartbeat deadline.
+    pub heartbeat_interval: Duration,
+}
+
+impl Default for WorkerOptions {
+    fn default() -> WorkerOptions {
+        WorkerOptions {
+            id: 0,
+            chaos: None,
+            backoff: BackoffConfig::default(),
+            heartbeat_interval: Duration::from_millis(150),
+        }
+    }
+}
+
+/// What a worker did over its lifetime (for logs and tests).
+#[derive(Debug, Clone, Default)]
+pub struct WorkerReport {
+    /// Distinct iterations this worker computed shards for.
+    pub iterations: u64,
+    /// Shard dispatches completed (phase A and B count separately).
+    pub shards: u64,
+    /// Successful reconnects after a lost connection.
+    pub reconnects: u64,
+    /// True when the chaos kill schedule terminated this worker.
+    pub killed: bool,
+}
+
+/// Phase-A state parked between the two dispatches of a checkpointed
+/// iteration, keyed by `(iteration, attempt, shard)`.
+struct WorkerCarry {
+    inputs: Vec<Tensor>,
+    a: PhaseAOut,
+    ctx: WorkCtx,
+}
+
+/// Serve shard work from a coordinator until Shutdown (or a chaos kill):
+/// connect (with backoff), handshake, rebuild the model from the wire
+/// spec, then loop — heartbeating while idle, computing shards on work,
+/// reconnecting on any torn or poisoned connection.
+///
+/// # Errors
+///
+/// [`SkipperError::Transport`] when the reconnect budget is exhausted.
+pub fn run_worker(
+    connector: &mut dyn ChannelConnector,
+    opts: &WorkerOptions,
+) -> Result<WorkerReport, SkipperError> {
+    let mut report = WorkerReport::default();
+    let mut rng = XorShiftRng::new(opts.backoff.seed ^ opts.id.wrapping_mul(0x9E37)); // jitter only
+    let mut connect_attempt: u32 = 0;
+    let mut was_connected = false;
+    loop {
+        if connect_attempt > opts.backoff.max_retries {
+            return Err(SkipperError::Transport {
+                peer: connector.peer(),
+                detail: format!(
+                    "reconnect budget exhausted after {} attempts",
+                    connect_attempt
+                ),
+            });
+        }
+        if connect_attempt > 0 {
+            let delay = backoff_delay(&opts.backoff, connect_attempt - 1, &mut rng);
+            if skipper_obs::enabled() {
+                skipper_obs::counter_add("cluster.backoff_retries", 1.0);
+            }
+            std::thread::sleep(delay);
+        }
+        let Ok(mut channel) = connector.connect_channel() else {
+            connect_attempt += 1;
+            continue;
+        };
+        if channel
+            .send(&Message::Hello {
+                worker: opts.id,
+                reconnect: was_connected,
+            })
+            .is_err()
+        {
+            connect_attempt += 1;
+            continue;
+        }
+        let Ok(Message::Welcome { worker: id, spec }) =
+            channel.recv_timeout(Duration::from_secs(10))
+        else {
+            connect_attempt += 1;
+            continue;
+        };
+        let Ok(spec) = WireSpec::decode(&spec) else {
+            connect_attempt += 1;
+            continue;
+        };
+        if was_connected {
+            report.reconnects += 1;
+        }
+        was_connected = true;
+        match serve(&mut channel, id, &spec, opts, &mut report) {
+            ServeEnd::Shutdown => return Ok(report),
+            ServeEnd::Killed => {
+                report.killed = true;
+                return Ok(report);
+            }
+            ServeEnd::Reconnect => connect_attempt = 1,
+        }
+    }
+}
+
+/// Why one connection's serve loop ended.
+enum ServeEnd {
+    Shutdown,
+    Killed,
+    Reconnect,
+}
+
+/// Serve one established connection until it drops or the coordinator
+/// says Shutdown.
+fn serve(
+    channel: &mut Channel,
+    id: u64,
+    spec: &WireSpec,
+    opts: &WorkerOptions,
+    report: &mut WorkerReport,
+) -> ServeEnd {
+    let mut net = custom_net(&spec.model);
+    let mut carries: HashMap<(u64, u32, u32), WorkerCarry> = HashMap::new();
+    let mut last_iter: u64 = 0;
+    let kill = opts.chaos.as_ref().and_then(|c| c.kill);
+    loop {
+        let msg = match channel.recv_timeout(opts.heartbeat_interval) {
+            Ok(msg) => msg,
+            Err(TransportError::Timeout) => {
+                if channel
+                    .send(&Message::Heartbeat {
+                        worker: id,
+                        iteration: last_iter,
+                    })
+                    .is_err()
+                {
+                    return ServeEnd::Reconnect;
+                }
+                continue;
+            }
+            Err(_) => return ServeEnd::Reconnect,
+        };
+        match msg {
+            Message::Shutdown => return ServeEnd::Shutdown,
+            Message::WorkSingle {
+                ctx,
+                params,
+                labels,
+                inputs,
+            } => {
+                if matches!(kill, Some((kw, ki)) if kw == id && ctx.iteration >= ki) {
+                    return ServeEnd::Killed;
+                }
+                if ctx.iteration != last_iter {
+                    last_iter = ctx.iteration;
+                    report.iterations += 1;
+                }
+                let reply = match work_single(&mut net, &ctx, &params, &labels, &inputs) {
+                    Ok(payload) => {
+                        report.shards += 1;
+                        Message::ShardResult {
+                            iteration: ctx.iteration,
+                            attempt: ctx.attempt,
+                            shard: ctx.shard,
+                            payload,
+                        }
+                    }
+                    Err(detail) => Message::Fault { worker: id, detail },
+                };
+                if channel.send(&reply).is_err() {
+                    return ServeEnd::Reconnect;
+                }
+            }
+            Message::WorkForward {
+                ctx,
+                params,
+                labels,
+                inputs,
+            } => {
+                if matches!(kill, Some((kw, ki)) if kw == id && ctx.iteration >= ki) {
+                    return ServeEnd::Killed;
+                }
+                if ctx.iteration != last_iter {
+                    last_iter = ctx.iteration;
+                    report.iterations += 1;
+                }
+                carries.retain(|(i, a, _), _| *i == ctx.iteration && *a == ctx.attempt);
+                let reply = match work_forward(&mut net, &ctx, &params, &labels, &inputs) {
+                    Ok((payload, carry)) => {
+                        report.shards += 1;
+                        carries.insert((ctx.iteration, ctx.attempt, ctx.shard), carry);
+                        Message::ShardResult {
+                            iteration: ctx.iteration,
+                            attempt: ctx.attempt,
+                            shard: ctx.shard,
+                            payload,
+                        }
+                    }
+                    Err(detail) => Message::Fault { worker: id, detail },
+                };
+                if channel.send(&reply).is_err() {
+                    return ServeEnd::Reconnect;
+                }
+            }
+            Message::WorkBackward {
+                iteration,
+                attempt,
+                shard,
+                sums,
+            } => {
+                let reply = match carries.remove(&(iteration, attempt, shard)) {
+                    Some(carry) => {
+                        report.shards += 1;
+                        Message::ShardResult {
+                            iteration,
+                            attempt,
+                            shard,
+                            payload: work_backward(&mut net, carry, sums),
+                        }
+                    }
+                    None => Message::Fault {
+                        worker: id,
+                        detail: format!(
+                            "no phase-A carry for iteration {iteration} attempt {attempt} \
+                             shard {shard} (worker restarted between phases)"
+                        ),
+                    },
+                };
+                if channel.send(&reply).is_err() {
+                    return ServeEnd::Reconnect;
+                }
+            }
+            _ => {}
+        }
+    }
+}
+
+/// Overwrite the worker net's weights from `.skw` record bytes.
+fn apply_wire_params(net: &mut SpikingNetwork, params: &[u8]) -> Result<(), String> {
+    let records =
+        read_params(&mut &params[..]).map_err(|e| format!("params decode failed: {e}"))?;
+    apply_records(net.params_mut(), records).map_err(|e| format!("params apply failed: {e}"))
+}
+
+/// One single-dispatch shard (BPTT / TBPTT).
+fn work_single(
+    net: &mut SpikingNetwork,
+    ctx: &WorkCtx,
+    params: &[u8],
+    labels: &[u32],
+    inputs: &[Tensor],
+) -> Result<ResultPayload, String> {
+    apply_wire_params(net, params)?;
+    let labels: Vec<usize> = labels.iter().map(|&l| l as usize).collect();
+    let shard = ShardCtx {
+        global_batch: ctx.global_batch as usize,
+        batch_offset: ctx.batch_offset as usize,
+    };
+    let mut grads = ShardGrads::for_store(net.params());
+    let step = match &ctx.method {
+        Method::Bptt => crate::bptt::bptt_core(
+            net,
+            inputs,
+            &labels,
+            ctx.seed,
+            shard,
+            &mut GradSink::Shard(&mut grads),
+        ),
+        Method::Tbptt { window } => tbptt_core(
+            net,
+            inputs,
+            &labels,
+            ctx.seed,
+            *window,
+            shard,
+            &mut GradSink::Shard(&mut grads),
+        ),
+        other => return Err(format!("{other} is not a single-dispatch method")),
+    };
+    Ok(ResultPayload::Single {
+        loss_groups: step.loss_groups,
+        correct: step.correct as u32,
+        sam_sums: step.sam.sums().to_vec(),
+        recomputed: step.recomputed_steps as u32,
+        skipped: step.skipped_steps as u32,
+        grads: grads.into_raw(),
+    })
+}
+
+/// Phase A of a checkpointed/Skipper shard.
+fn work_forward(
+    net: &mut SpikingNetwork,
+    ctx: &WorkCtx,
+    params: &[u8],
+    labels: &[u32],
+    inputs: &[Tensor],
+) -> Result<(ResultPayload, WorkerCarry), String> {
+    apply_wire_params(net, params)?;
+    let checkpoints = match &ctx.method {
+        Method::Checkpointed { checkpoints } | Method::Skipper { checkpoints, .. } => *checkpoints,
+        other => return Err(format!("{other} is not a two-phase method")),
+    };
+    let labels: Vec<usize> = labels.iter().map(|&l| l as usize).collect();
+    let shard = ShardCtx {
+        global_batch: ctx.global_batch as usize,
+        batch_offset: ctx.batch_offset as usize,
+    };
+    let bounds = segment_bounds(inputs.len(), checkpoints);
+    let a = checkpoint_forward(net, inputs, &labels, ctx.seed, &bounds, ctx.metric, shard);
+    let payload = ResultPayload::Forward {
+        sam_sums: a.sam.sums().to_vec(),
+        per_sample: a.per_sample_loss.clone(),
+        correct: a.correct as u32,
+    };
+    let carry = WorkerCarry {
+        inputs: inputs.to_vec(),
+        a,
+        ctx: ctx.clone(),
+    };
+    Ok((payload, carry))
+}
+
+/// Phase B: re-derive the global skip schedule from the aggregated sums
+/// (pure, bit-identical to the coordinator's) and run the segment-wise
+/// backward under it.
+fn work_backward(net: &mut SpikingNetwork, carry: WorkerCarry, sums: Vec<f64>) -> ResultPayload {
+    let ctx = &carry.ctx;
+    let (checkpoints, percentile) = match &ctx.method {
+        Method::Checkpointed { checkpoints } => (*checkpoints, 0.0),
+        Method::Skipper {
+            checkpoints,
+            percentile,
+        } => (*checkpoints, *percentile),
+        // Guarded at work_forward; an impossible carry yields empty grads.
+        _ => (1, 0.0),
+    };
+    let bounds = segment_bounds(carry.inputs.len(), checkpoints);
+    let global_sam = SpikeActivityMonitor::from_sums(sums);
+    let decisions = decide_skips(&global_sam, &bounds, percentile, ctx.policy, ctx.seed);
+    let shard = ShardCtx {
+        global_batch: ctx.global_batch as usize,
+        batch_offset: ctx.batch_offset as usize,
+    };
+    let mut grads = ShardGrads::for_store(net.params());
+    checkpoint_backward(
+        net,
+        &carry.inputs,
+        ctx.seed,
+        &bounds,
+        &carry.a.ckpts,
+        &carry.a.per_step_grad,
+        &carry.a.sam,
+        &decisions,
+        shard,
+        &mut GradSink::Shard(&mut grads),
+        false,
+    );
+    ResultPayload::Grads {
+        grads: grads.into_raw(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use skipper_snn::LifConfig;
+
+    #[test]
+    fn wire_spec_roundtrips_every_field() {
+        let spec = WireSpec {
+            model: ModelConfig {
+                input_hw: 8,
+                in_channels: 2,
+                num_classes: 11,
+                width_mult: 0.25,
+                lif: LifConfig {
+                    leak: 0.8,
+                    threshold: 1.25,
+                    surrogate: Surrogate::ArcTan { alpha: 2.0 },
+                },
+                dropout: Some(0.1),
+                seed: 0xBEEF,
+            },
+            timesteps: 12,
+        };
+        let back = WireSpec::decode(&spec.encode()).unwrap();
+        assert_eq!(back.encode(), spec.encode(), "roundtrip is stable");
+        assert_eq!(back.model.num_classes, 11);
+        assert_eq!(back.model.seed, 0xBEEF);
+        assert_eq!(back.model.dropout, Some(0.1));
+        assert!(matches!(
+            back.model.lif.surrogate,
+            Surrogate::ArcTan { alpha } if alpha == 2.0
+        ));
+        assert_eq!(back.timesteps, 12);
+        let no_dropout = WireSpec {
+            model: ModelConfig {
+                dropout: None,
+                ..spec.model.clone()
+            },
+            timesteps: 4,
+        };
+        let back = WireSpec::decode(&no_dropout.encode()).unwrap();
+        assert_eq!(back.model.dropout, None);
+        assert_eq!(back.timesteps, 4);
+        assert!(WireSpec::decode(&spec.encode()[..9]).is_err());
+    }
+
+    #[test]
+    fn backoff_grows_is_capped_and_jitters_deterministically() {
+        let cfg = BackoffConfig {
+            base: Duration::from_millis(10),
+            max: Duration::from_millis(200),
+            max_retries: 8,
+            seed: 3,
+        };
+        let mut rng = XorShiftRng::new(1);
+        let delays: Vec<Duration> = (0..8).map(|a| backoff_delay(&cfg, a, &mut rng)).collect();
+        // Exponential envelope up to the cap (jitter < base/2 can't mask a doubling).
+        assert!(delays[1] > delays[0]);
+        assert!(delays[3] > delays[2]);
+        for d in &delays[5..] {
+            assert!(*d >= Duration::from_millis(200));
+            assert!(*d < Duration::from_millis(206));
+        }
+        // Same rng seed → same jitter sequence.
+        let mut r1 = XorShiftRng::new(9);
+        let mut r2 = XorShiftRng::new(9);
+        for a in 0..6 {
+            assert_eq!(
+                backoff_delay(&cfg, a, &mut r1),
+                backoff_delay(&cfg, a, &mut r2)
+            );
+        }
+    }
+
+    #[test]
+    fn cluster_addr_env_is_read_when_set() {
+        // Avoid mutating the process env (tests run in parallel): just
+        // check the parse contract via the public constant.
+        assert_eq!(CLUSTER_ADDR_ENV, "SKIPPER_CLUSTER_ADDR");
+    }
+}

@@ -221,7 +221,13 @@ impl WorkerPool {
 
     /// Queue `job` on worker `worker`. Jobs on one worker run in
     /// submission order.
-    pub fn submit(&self, worker: usize, job: Job) {
+    ///
+    /// # Errors
+    ///
+    /// [`SkipperError::WorkerLost`] when the worker's channel is
+    /// disconnected — its thread panicked or was torn down — so the job
+    /// could not be queued.
+    pub fn submit(&self, worker: usize, job: Job) -> Result<(), SkipperError> {
         let depth = self.depths[worker].fetch_add(1, Ordering::Relaxed) + 1;
         if skipper_obs::enabled() {
             skipper_obs::gauge_set(
@@ -236,8 +242,10 @@ impl WorkerPool {
                 ctx: skipper_obs::SpanContext::capture(),
                 run: job,
             })
-            // lint:allow(panic): send fails only after a worker panicked; that panic is re-raised at the recv/join point
-            .expect("worker thread accepts jobs until the pool is dropped");
+            .map_err(|_| SkipperError::WorkerLost {
+                worker: format!("pool-{worker}"),
+                detail: "job channel disconnected (worker thread panicked or exited)".into(),
+            })
     }
 }
 
@@ -254,7 +262,7 @@ impl Drop for WorkerPool {
 /// Fixed-order pairwise tree reduction of per-shard raw gradients, indexed
 /// by shard: `((s0+s1)+(s2+s3))+…`. The tree shape depends only on the
 /// shard count, so the summed bits are identical for any worker count.
-fn tree_reduce(mut layers: Vec<Vec<Option<Vec<f32>>>>) -> Vec<Option<Vec<f32>>> {
+pub(crate) fn tree_reduce(mut layers: Vec<Vec<Option<Vec<f32>>>>) -> Vec<Option<Vec<f32>>> {
     assert!(!layers.is_empty(), "reduce of zero shards");
     let _span = skipper_obs::span!("tree_reduce", shards = layers.len() as u64);
     while layers.len() > 1 {
@@ -285,7 +293,7 @@ fn tree_reduce(mut layers: Vec<Vec<Option<Vec<f32>>>>) -> Vec<Option<Vec<f32>>> 
 /// Add reduced raw gradients into the store's accumulators in place. The
 /// grad tensors are uniquely owned again by now (workers dropped their
 /// shares when their jobs ended), so no copy-on-write clone happens.
-fn apply_grads(store: &mut ParamStore, reduced: Vec<Option<Vec<f32>>>) {
+pub(crate) fn apply_grads(store: &mut ParamStore, reduced: Vec<Option<Vec<f32>>>) {
     for (p, g) in store.iter_mut().zip(reduced) {
         if let Some(v) = g {
             for (x, y) in p.grad_mut().data_mut().iter_mut().zip(&v) {
@@ -297,7 +305,7 @@ fn apply_grads(store: &mut ParamStore, reduced: Vec<Option<Vec<f32>>>) {
 
 /// Slice rows `range` out of every timestep tensor, booking the copies
 /// under [`Category::Input`] on the calling (worker) thread.
-fn slice_rows(inputs: &[Tensor], range: &Range<usize>) -> Vec<Tensor> {
+pub(crate) fn slice_rows(inputs: &[Tensor], range: &Range<usize>) -> Vec<Tensor> {
     let _cat = CategoryGuard::new(Category::Input);
     inputs
         .iter()
@@ -316,16 +324,16 @@ fn slice_rows(inputs: &[Tensor], range: &Range<usize>) -> Vec<Tensor> {
 
 /// What one shard hands back to the session thread: plain data only, no
 /// tensors (worker tensors die on their worker thread).
-struct ShardOut {
-    index: usize,
-    loss_groups: Vec<Vec<f64>>,
-    correct: usize,
-    sam_sums: Vec<f64>,
-    recomputed: usize,
-    skipped: usize,
-    wall_us: u64,
-    grads: Vec<Option<Vec<f32>>>,
-    aux_grads: Option<Vec<Option<Vec<f32>>>>,
+pub(crate) struct ShardOut {
+    pub index: usize,
+    pub loss_groups: Vec<Vec<f64>>,
+    pub correct: usize,
+    pub sam_sums: Vec<f64>,
+    pub recomputed: usize,
+    pub skipped: usize,
+    pub wall_us: u64,
+    pub grads: Vec<Option<Vec<f32>>>,
+    pub aux_grads: Option<Vec<Option<Vec<f32>>>>,
 }
 
 /// Phase-A carry parked between the two dispatches of a checkpointed
@@ -384,6 +392,11 @@ impl Engine {
     /// Run one training iteration of `method` across the pool. Gradients
     /// are left accumulated in `net` (and `aux`), exactly like the
     /// unsharded step functions.
+    ///
+    /// # Errors
+    ///
+    /// [`SkipperError::WorkerLost`] when a pool worker's job channel is
+    /// disconnected, so the iteration could not be dispatched.
     #[allow(clippy::too_many_arguments)]
     pub fn run_iteration(
         &self,
@@ -395,7 +408,7 @@ impl Engine {
         iter_seed: u64,
         metric: SamMetric,
         policy: SkipPolicy,
-    ) -> EngineOutcome {
+    ) -> Result<EngineOutcome, SkipperError> {
         match method {
             Method::Checkpointed { checkpoints } => self.run_two_phase(
                 net,
@@ -433,7 +446,7 @@ impl Engine {
         inputs: &[Tensor],
         labels: &[usize],
         iter_seed: u64,
-    ) -> EngineOutcome {
+    ) -> Result<EngineOutcome, SkipperError> {
         let batch = inputs[0].shape()[0];
         let timesteps = inputs.len();
         let plan = shard_plan(batch, self.max_shards);
@@ -538,7 +551,7 @@ impl Engine {
                     }));
                     let _ = tx.send((w, out));
                 }),
-            );
+            )?;
         }
         drop(tx);
         let (shard_outs, worker_mem, ops) = collect_worker_results(&rx, active);
@@ -546,11 +559,11 @@ impl Engine {
         record_shard_walls("train", &walls);
         let aux_store = aux.map(LocalClassifiers::store_mut);
         let step = combine_shards(net.params_mut(), aux_store, shard_outs, batch, timesteps);
-        EngineOutcome {
+        Ok(EngineOutcome {
             step,
             worker_mem,
             ops,
-        }
+        })
     }
 
     /// Checkpointed / Skipper: phase A on every shard, a cross-shard SAM
@@ -567,7 +580,7 @@ impl Engine {
         percentile: f32,
         metric: SamMetric,
         policy: SkipPolicy,
-    ) -> EngineOutcome {
+    ) -> Result<EngineOutcome, SkipperError> {
         let batch = inputs[0].shape()[0];
         let timesteps = inputs.len();
         let bounds = Arc::new(segment_bounds(timesteps, checkpoints));
@@ -652,7 +665,7 @@ impl Engine {
                     }));
                     let _ = tx.send((w, out));
                 }),
-            );
+            )?;
         }
         drop(tx);
         let mut a_reports: Vec<AReport> = Vec::with_capacity(plan.len());
@@ -738,7 +751,7 @@ impl Engine {
                     }));
                     let _ = tx.send((w, out));
                 }),
-            );
+            )?;
         }
         drop(tx);
         let mut by_worker: Vec<(usize, Vec<ShardGradOut>, MemorySnapshot, OpLog)> =
@@ -776,7 +789,7 @@ impl Engine {
         let (skipped, recomputed) = (decisions.skipped(), decisions.recomputed());
         skipper_obs::counter_add("skipper.steps_skipped", skipped as f64);
         skipper_obs::counter_add("skipper.steps_recomputed", recomputed as f64);
-        EngineOutcome {
+        Ok(EngineOutcome {
             step: StepResult {
                 loss: combine_loss_groups(&groups, batch),
                 correct,
@@ -787,7 +800,7 @@ impl Engine {
             },
             worker_mem,
             ops,
-        }
+        })
     }
 }
 
@@ -837,7 +850,11 @@ fn record_shard_walls(phase: &str, walls: &[u64]) {
 /// Re-emit the unsharded path's skip-decision trace (SST gauge + per-step
 /// events) on the session thread, segment-reversed like
 /// [`checkpoint_backward`] with `trace = true`.
-fn emit_skip_trace(bounds: &[usize], sam: &SpikeActivityMonitor, decisions: &SkipDecisions) {
+pub(crate) fn emit_skip_trace(
+    bounds: &[usize],
+    sam: &SpikeActivityMonitor,
+    decisions: &SkipDecisions,
+) {
     let checkpoints = bounds.len() - 1;
     for c in (0..checkpoints).rev() {
         if !decisions.sst(c).is_nan() {
@@ -885,7 +902,7 @@ fn collect_worker_results(
 /// Combine sorted single-phase shard outputs: tree-reduce gradients into
 /// the stores, concatenate loss groups in global row order, sum SAM
 /// records, and rebuild the [`StepResult`].
-fn combine_shards(
+pub(crate) fn combine_shards(
     store: &mut ParamStore,
     aux_store: Option<&mut ParamStore>,
     mut shard_outs: Vec<ShardOut>,
@@ -983,7 +1000,8 @@ mod tests {
                 Box::new(move || {
                     let _ = tx.send(i);
                 }),
-            );
+            )
+            .unwrap();
         }
         drop(tx);
         let mut got: Vec<u32> = rx.iter().collect();
@@ -1010,16 +1028,18 @@ mod tests {
         let r = bptt_step(&mut reference, &inputs, &labels, 3);
         let engine = Engine::new(2).unwrap();
         let (mut sharded, _, _) = setup(11, 6);
-        let e = engine.run_iteration(
-            &mut sharded,
-            None,
-            &Method::Bptt,
-            &inputs,
-            &labels,
-            3,
-            SamMetric::SpikeSum,
-            SkipPolicy::SpikeActivity,
-        );
+        let e = engine
+            .run_iteration(
+                &mut sharded,
+                None,
+                &Method::Bptt,
+                &inputs,
+                &labels,
+                3,
+                SamMetric::SpikeSum,
+                SkipPolicy::SpikeActivity,
+            )
+            .unwrap();
         assert_eq!(r.loss.to_bits(), e.step.loss.to_bits(), "loss is bitwise");
         assert_eq!(r.sam.sums(), e.step.sam.sums(), "SAM sums are bitwise");
         assert_eq!(r.correct, e.step.correct);
@@ -1039,19 +1059,21 @@ mod tests {
         for workers in [2usize, 3, 4] {
             let engine = Engine::new(workers).unwrap();
             let (mut net, _, _) = setup(12, 6);
-            let e = engine.run_iteration(
-                &mut net,
-                None,
-                &Method::Skipper {
-                    checkpoints: 2,
-                    percentile: 30.0,
-                },
-                &inputs,
-                &labels,
-                5,
-                SamMetric::SpikeSum,
-                SkipPolicy::SpikeActivity,
-            );
+            let e = engine
+                .run_iteration(
+                    &mut net,
+                    None,
+                    &Method::Skipper {
+                        checkpoints: 2,
+                        percentile: 30.0,
+                    },
+                    &inputs,
+                    &labels,
+                    5,
+                    SamMetric::SpikeSum,
+                    SkipPolicy::SpikeActivity,
+                )
+                .unwrap();
             losses.push(e.step.loss.to_bits());
             grads.push(
                 net.params()
@@ -1070,19 +1092,21 @@ mod tests {
         let r = checkpointed_step(&mut reference, &inputs, &labels, 9, 2, 40.0);
         let engine = Engine::new(3).unwrap();
         let (mut sharded, _, _) = setup(13, 5);
-        let e = engine.run_iteration(
-            &mut sharded,
-            None,
-            &Method::Skipper {
-                checkpoints: 2,
-                percentile: 40.0,
-            },
-            &inputs,
-            &labels,
-            9,
-            SamMetric::SpikeSum,
-            SkipPolicy::SpikeActivity,
-        );
+        let e = engine
+            .run_iteration(
+                &mut sharded,
+                None,
+                &Method::Skipper {
+                    checkpoints: 2,
+                    percentile: 40.0,
+                },
+                &inputs,
+                &labels,
+                9,
+                SamMetric::SpikeSum,
+                SkipPolicy::SpikeActivity,
+            )
+            .unwrap();
         assert_eq!(r.skipped_steps, e.step.skipped_steps);
         assert_eq!(r.recomputed_steps, e.step.recomputed_steps);
         assert_eq!(r.loss.to_bits(), e.step.loss.to_bits());

@@ -35,6 +35,24 @@ pub enum SkipperError {
     Method(MethodError),
     /// The method configuration is invalid for the session.
     Config(String),
+    /// A transport-level failure on a coordinator/worker link: framing
+    /// (bad magic, CRC mismatch, truncation), a closed connection, or a
+    /// deadline expiring with frames outstanding.
+    Transport {
+        /// The peer the failing link talks to (address or label).
+        peer: String,
+        /// What went wrong at the wire level.
+        detail: String,
+    },
+    /// An execution worker was lost — a disconnected/poisoned in-process
+    /// pool channel, or a cluster worker that missed its heartbeat
+    /// deadline — and the work could not be completed without it.
+    WorkerLost {
+        /// Which worker (pool index or cluster worker id).
+        worker: String,
+        /// Why it is considered lost.
+        detail: String,
+    },
 }
 
 impl std::fmt::Display for SkipperError {
@@ -48,6 +66,12 @@ impl std::fmt::Display for SkipperError {
             }
             SkipperError::Method(e) => write!(f, "invalid method: {e}"),
             SkipperError::Config(detail) => write!(f, "invalid configuration: {detail}"),
+            SkipperError::Transport { peer, detail } => {
+                write!(f, "transport error (peer {peer}): {detail}")
+            }
+            SkipperError::WorkerLost { worker, detail } => {
+                write!(f, "worker {worker} lost: {detail}")
+            }
         }
     }
 }

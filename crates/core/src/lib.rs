@@ -62,6 +62,7 @@ pub mod analytic;
 pub mod bptt;
 pub mod builder;
 pub mod checkpoint;
+pub mod cluster;
 pub mod engine;
 pub mod error;
 pub mod governor;
@@ -73,9 +74,14 @@ pub mod runner;
 pub mod sam;
 pub mod stats;
 pub mod tbptt;
+pub mod transport;
 
 pub use analytic::{AnalyticBreakdown, AnalyticModel};
 pub use builder::{SessionBuilder, WORKERS_ENV};
+pub use cluster::{
+    cluster_addr_from_env, run_worker, BackoffConfig, ClusterConfig, Coordinator, WorkerOptions,
+    WorkerReport, CLUSTER_ADDR_ENV,
+};
 pub use error::SkipperError;
 pub use governor::GovernorAction;
 pub use lbp::LocalClassifiers;
@@ -88,3 +94,4 @@ pub use sam::{
     SkipPolicy, SpikeActivityMonitor,
 };
 pub use stats::{BatchStats, EpochStats, EvalStats};
+pub use transport::{ChannelConnector, ChaosConfig, InProcConnector, TcpConnector};

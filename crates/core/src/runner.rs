@@ -4,6 +4,7 @@
 use crate::bptt::bptt_step;
 use crate::builder::SessionBuilder;
 use crate::checkpoint::{checkpointed_step, checkpointed_step_with};
+use crate::cluster::Coordinator;
 use crate::engine::Engine;
 use crate::error::SkipperError;
 use crate::governor::{relieve_pressure, GovernorAction};
@@ -129,6 +130,9 @@ pub struct TrainSession {
     /// The data-parallel engine, present when the session was built with
     /// two or more workers.
     engine: Option<Engine>,
+    /// The distributed coordinator, present when the session was built
+    /// with [`SessionBuilder::cluster`]. Takes precedence over `engine`.
+    cluster: Option<Coordinator>,
 }
 
 impl std::fmt::Debug for TrainSession {
@@ -175,6 +179,7 @@ impl TrainSession {
             None,
             None,
             1,
+            None,
         )
         // lint:allow(panic): infallible with workers=1 — no pool is spawned on this path
         .expect("single-worker assembly spawns no threads")
@@ -197,6 +202,7 @@ impl TrainSession {
         sentinel: Option<SentinelConfig>,
         mem_budget: Option<u64>,
         workers: usize,
+        cluster: Option<Coordinator>,
     ) -> Result<TrainSession, SkipperError> {
         let aux = match &method {
             Method::TbpttLbp { taps, .. } => {
@@ -209,7 +215,7 @@ impl TrainSession {
                 Box::new(skipper_snn::Adam::new(optimizer.learning_rate())) as Box<dyn Optimizer>
             })
         });
-        let engine = if workers >= 2 {
+        let engine = if workers >= 2 && cluster.is_none() {
             Some(Engine::new(workers)?)
         } else {
             None
@@ -231,7 +237,13 @@ impl TrainSession {
             mem_budget,
             governor_log: Vec::new(),
             engine,
+            cluster,
         })
+    }
+
+    /// The distributed coordinator, when this session runs over one.
+    pub fn coordinator(&self) -> Option<&Coordinator> {
+        self.cluster.as_ref()
     }
 
     /// Data-parallel worker threads this session runs on (`1` means the
@@ -371,7 +383,17 @@ impl TrainSession {
             let start = Instant::now();
             let mut worker_mem: Vec<MemorySnapshot> = Vec::new();
             let mut engine_ops = OpLog::new();
-            let mut result = if let Some(engine) = &self.engine {
+            let mut result = if let Some(cluster) = self.cluster.as_mut() {
+                cluster.run_iteration(
+                    &mut self.net,
+                    &self.method,
+                    inputs,
+                    labels,
+                    iter_seed,
+                    self.sam_metric,
+                    self.skip_policy,
+                )?
+            } else if let Some(engine) = &self.engine {
                 let outcome = engine.run_iteration(
                     &mut self.net,
                     self.aux.as_mut(),
@@ -381,7 +403,7 @@ impl TrainSession {
                     iter_seed,
                     self.sam_metric,
                     self.skip_policy,
-                );
+                )?;
                 worker_mem = outcome.worker_mem;
                 engine_ops = outcome.ops;
                 outcome.step

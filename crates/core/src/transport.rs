@@ -1,0 +1,1707 @@
+//! Message transport between the cluster coordinator and its workers.
+//!
+//! The distributed engine (see [`crate::cluster`]) exchanges
+//! length-prefixed, CRC32-framed binary messages over an abstract
+//! [`FrameLink`]. Two links exist: a real TCP socket
+//! ([`TcpConnector`]/[`TcpListenerLink`]) for separate-process workers,
+//! and an in-process channel pair ([`in_proc_net`]) that pushes the very
+//! same encoded bytes through `mpsc` channels — so every codec path,
+//! fault mode and recovery transition is testable on loopback without
+//! sockets, and with them.
+//!
+//! # Frame format
+//!
+//! Following the `.skw`/`.sksn` container conventions (little-endian,
+//! CRC32/IEEE over the payload):
+//!
+//! ```text
+//! magic  u32   "SKFR"
+//! len    u32   payload byte length (≤ 64 MiB)
+//! crc    u32   CRC32(payload)
+//! payload[len]
+//! ```
+//!
+//! A frame that fails the magic, length-plausibility or CRC check
+//! poisons the connection: framing can no longer be trusted, so the
+//! receiver reports [`TransportError::Frame`] and the cluster layer
+//! tears the link down (the worker reconnects with backoff; the
+//! coordinator aborts and retries the in-flight iteration).
+//!
+//! # Spike-compact tensor encoding
+//!
+//! Spike tensors are binary almost everywhere (the paper's premise), so
+//! [`WireTensor`] ships a tensor whose every value is bit-exactly `0.0`
+//! or `1.0` as a bitmask — 1 bit/element instead of 32 — and falls back
+//! to raw little-endian `f32` otherwise. Both encodings are bit-exact
+//! round trips.
+//!
+//! # Chaos injection
+//!
+//! [`ChaosConfig`] (parsed from the `SKIPPER_CHAOS` environment knob)
+//! arms a deterministic, seeded fault layer on a link's *send* side:
+//! frame drop, duplication, byte corruption, truncation and delay, plus
+//! a worker kill schedule consumed by [`crate::cluster::run_worker`].
+//! Every injected fault increments `engine.transport_chaos{kind}`.
+
+use crate::error::SkipperError;
+use crate::method::Method;
+use crate::sam::{SamMetric, SkipPolicy};
+use skipper_snn::serialize::crc32;
+use skipper_tensor::{Tensor, XorShiftRng};
+use std::io::{Read, Write};
+use std::net::{TcpListener, TcpStream};
+use std::sync::mpsc::{channel, Receiver, RecvTimeoutError, Sender};
+use std::time::{Duration, Instant};
+
+/// Frame magic: `"SKFR"` little-endian.
+const FRAME_MAGIC: u32 = u32::from_le_bytes(*b"SKFR");
+
+/// Upper bound on a single frame payload; anything larger is treated as
+/// stream desync, not a legitimate message.
+const MAX_FRAME: usize = 64 << 20;
+
+/// Frame header bytes: magic + len + crc.
+const HEADER: usize = 12;
+
+// ---------------------------------------------------------------------------
+// Errors
+// ---------------------------------------------------------------------------
+
+/// Wire-level failures, classified so the cluster layer can pick the
+/// right recovery: retry after [`Timeout`](TransportError::Timeout),
+/// reconnect after [`Closed`](TransportError::Closed) or
+/// [`Frame`](TransportError::Frame).
+#[derive(Debug)]
+pub enum TransportError {
+    /// No complete frame arrived before the deadline.
+    Timeout,
+    /// The peer closed the connection (or the channel hung up).
+    Closed(String),
+    /// Framing is broken: bad magic, implausible length, CRC mismatch or
+    /// an undecodable message. The connection must be torn down.
+    Frame(String),
+    /// An OS-level socket error.
+    Io(String),
+}
+
+impl std::fmt::Display for TransportError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TransportError::Timeout => write!(f, "timed out waiting for a frame"),
+            TransportError::Closed(d) => write!(f, "connection closed: {d}"),
+            TransportError::Frame(d) => write!(f, "framing error: {d}"),
+            TransportError::Io(d) => write!(f, "socket error: {d}"),
+        }
+    }
+}
+
+impl TransportError {
+    /// Wrap as a [`SkipperError::Transport`] naming the peer.
+    pub fn at(self, peer: &str) -> SkipperError {
+        SkipperError::Transport {
+            peer: peer.to_string(),
+            detail: self.to_string(),
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Codec primitives
+// ---------------------------------------------------------------------------
+
+fn put_u32(buf: &mut Vec<u8>, v: u32) {
+    buf.extend_from_slice(&v.to_le_bytes());
+}
+
+fn put_u64(buf: &mut Vec<u8>, v: u64) {
+    buf.extend_from_slice(&v.to_le_bytes());
+}
+
+fn put_f32(buf: &mut Vec<u8>, v: f32) {
+    buf.extend_from_slice(&v.to_le_bytes());
+}
+
+fn put_f64(buf: &mut Vec<u8>, v: f64) {
+    buf.extend_from_slice(&v.to_le_bytes());
+}
+
+fn put_bytes(buf: &mut Vec<u8>, b: &[u8]) {
+    put_u32(buf, b.len() as u32);
+    buf.extend_from_slice(b);
+}
+
+fn put_str(buf: &mut Vec<u8>, s: &str) {
+    put_bytes(buf, s.as_bytes());
+}
+
+fn put_f64s(buf: &mut Vec<u8>, vs: &[f64]) {
+    put_u32(buf, vs.len() as u32);
+    for &v in vs {
+        put_f64(buf, v);
+    }
+}
+
+fn put_f32s(buf: &mut Vec<u8>, vs: &[f32]) {
+    put_u32(buf, vs.len() as u32);
+    for &v in vs {
+        put_f32(buf, v);
+    }
+}
+
+/// Cursor over a received payload; every read is bounds-checked and
+/// reports a typed [`TransportError::Frame`] instead of panicking.
+pub(crate) struct WireReader<'a> {
+    buf: &'a [u8],
+    at: usize,
+}
+
+impl<'a> WireReader<'a> {
+    pub fn new(buf: &'a [u8]) -> WireReader<'a> {
+        WireReader { buf, at: 0 }
+    }
+
+    fn take(&mut self, n: usize) -> Result<&'a [u8], TransportError> {
+        if self.at + n > self.buf.len() {
+            return Err(TransportError::Frame(format!(
+                "payload truncated: wanted {n} bytes at offset {} of {}",
+                self.at,
+                self.buf.len()
+            )));
+        }
+        let s = &self.buf[self.at..self.at + n];
+        self.at += n;
+        Ok(s)
+    }
+
+    pub fn u8(&mut self) -> Result<u8, TransportError> {
+        Ok(self.take(1)?[0])
+    }
+
+    pub fn u32(&mut self) -> Result<u32, TransportError> {
+        let b = self.take(4)?;
+        Ok(u32::from_le_bytes([b[0], b[1], b[2], b[3]]))
+    }
+
+    pub fn u64(&mut self) -> Result<u64, TransportError> {
+        let b = self.take(8)?;
+        Ok(u64::from_le_bytes([
+            b[0], b[1], b[2], b[3], b[4], b[5], b[6], b[7],
+        ]))
+    }
+
+    pub fn f32(&mut self) -> Result<f32, TransportError> {
+        let b = self.take(4)?;
+        Ok(f32::from_le_bytes([b[0], b[1], b[2], b[3]]))
+    }
+
+    pub fn f64(&mut self) -> Result<f64, TransportError> {
+        let b = self.take(8)?;
+        Ok(f64::from_le_bytes([
+            b[0], b[1], b[2], b[3], b[4], b[5], b[6], b[7],
+        ]))
+    }
+
+    /// A length-prefixed byte run, with a plausibility cap.
+    pub fn bytes(&mut self) -> Result<&'a [u8], TransportError> {
+        let len = self.u32()? as usize;
+        if len > MAX_FRAME {
+            return Err(TransportError::Frame(format!(
+                "implausible byte-run length {len}"
+            )));
+        }
+        self.take(len)
+    }
+
+    pub fn string(&mut self) -> Result<String, TransportError> {
+        let b = self.bytes()?;
+        String::from_utf8(b.to_vec())
+            .map_err(|e| TransportError::Frame(format!("string is not UTF-8: {e}")))
+    }
+
+    pub fn f64s(&mut self) -> Result<Vec<f64>, TransportError> {
+        let n = self.u32()? as usize;
+        if n > MAX_FRAME / 8 {
+            return Err(TransportError::Frame(format!("implausible f64 count {n}")));
+        }
+        (0..n).map(|_| self.f64()).collect()
+    }
+
+    pub fn f32s(&mut self) -> Result<Vec<f32>, TransportError> {
+        let n = self.u32()? as usize;
+        if n > MAX_FRAME / 4 {
+            return Err(TransportError::Frame(format!("implausible f32 count {n}")));
+        }
+        (0..n).map(|_| self.f32()).collect()
+    }
+
+    pub fn done(&self) -> Result<(), TransportError> {
+        if self.at != self.buf.len() {
+            return Err(TransportError::Frame(format!(
+                "{} trailing bytes after message",
+                self.buf.len() - self.at
+            )));
+        }
+        Ok(())
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Spike-compact tensor encoding
+// ---------------------------------------------------------------------------
+
+/// Encode `t` for the wire: a 1-bit/element bitmask when every value is
+/// bit-exactly `0.0` or `1.0` (spike tensors), raw `f32` otherwise.
+pub(crate) fn put_tensor(buf: &mut Vec<u8>, t: &Tensor) {
+    let dims = t.shape().dims();
+    buf.push(dims.len() as u8);
+    for &d in dims {
+        put_u32(buf, d as u32);
+    }
+    let data = t.data();
+    let binary = data
+        .iter()
+        .all(|&v| v == 0.0 || v.to_bits() == 1.0f32.to_bits());
+    if binary {
+        buf.push(1); // bitmask encoding
+        let mut byte = 0u8;
+        for (i, &v) in data.iter().enumerate() {
+            if v.to_bits() == 1.0f32.to_bits() {
+                byte |= 1 << (i % 8);
+            }
+            if i % 8 == 7 {
+                buf.push(byte);
+                byte = 0;
+            }
+        }
+        if !data.len().is_multiple_of(8) {
+            buf.push(byte);
+        }
+    } else {
+        buf.push(0); // raw f32 encoding
+        for &v in data {
+            put_f32(buf, v);
+        }
+    }
+}
+
+/// Decode a [`put_tensor`] payload; bit-exact for both encodings.
+pub(crate) fn read_tensor(r: &mut WireReader<'_>) -> Result<Tensor, TransportError> {
+    let rank = r.u8()? as usize;
+    if rank > 8 {
+        return Err(TransportError::Frame(format!(
+            "implausible tensor rank {rank}"
+        )));
+    }
+    let mut dims = Vec::with_capacity(rank);
+    for _ in 0..rank {
+        dims.push(r.u32()? as usize);
+    }
+    let numel: usize = dims.iter().product();
+    if numel > MAX_FRAME / 4 {
+        return Err(TransportError::Frame(format!(
+            "implausible tensor size {numel}"
+        )));
+    }
+    let encoding = r.u8()?;
+    let data = match encoding {
+        1 => {
+            let bytes = r.take(numel.div_ceil(8))?;
+            (0..numel)
+                .map(|i| {
+                    if bytes[i / 8] & (1 << (i % 8)) != 0 {
+                        1.0f32
+                    } else {
+                        0.0f32
+                    }
+                })
+                .collect()
+        }
+        0 => (0..numel)
+            .map(|_| r.f32())
+            .collect::<Result<Vec<f32>, _>>()?,
+        other => {
+            return Err(TransportError::Frame(format!(
+                "unknown tensor encoding {other}"
+            )))
+        }
+    };
+    Ok(Tensor::from_vec(data, dims))
+}
+
+// ---------------------------------------------------------------------------
+// Messages
+// ---------------------------------------------------------------------------
+
+/// Per-iteration execution context carried by every work assignment, so a
+/// worker never computes with stale knobs: the method (as possibly
+/// stepped by the memory governor), SAM metric, skip policy and the
+/// iteration seed all ride along.
+#[derive(Debug, Clone, PartialEq)]
+pub(crate) struct WorkCtx {
+    pub iteration: u64,
+    pub attempt: u32,
+    pub shard: u32,
+    pub batch_offset: u32,
+    pub global_batch: u32,
+    pub seed: u64,
+    pub method: Method,
+    pub metric: SamMetric,
+    pub policy: SkipPolicy,
+}
+
+fn put_method(buf: &mut Vec<u8>, m: &Method) {
+    match m {
+        Method::Bptt => buf.push(0),
+        Method::Checkpointed { checkpoints } => {
+            buf.push(1);
+            put_u32(buf, *checkpoints as u32);
+        }
+        Method::Skipper {
+            checkpoints,
+            percentile,
+        } => {
+            buf.push(2);
+            put_u32(buf, *checkpoints as u32);
+            put_f32(buf, *percentile);
+        }
+        Method::Tbptt { window } => {
+            buf.push(3);
+            put_u32(buf, *window as u32);
+        }
+        Method::TbpttLbp { window, taps } => {
+            buf.push(4);
+            put_u32(buf, *window as u32);
+            put_u32(buf, taps.len() as u32);
+            for &t in taps {
+                put_u32(buf, t as u32);
+            }
+        }
+    }
+}
+
+fn read_method(r: &mut WireReader<'_>) -> Result<Method, TransportError> {
+    Ok(match r.u8()? {
+        0 => Method::Bptt,
+        1 => Method::Checkpointed {
+            checkpoints: r.u32()? as usize,
+        },
+        2 => Method::Skipper {
+            checkpoints: r.u32()? as usize,
+            percentile: r.f32()?,
+        },
+        3 => Method::Tbptt {
+            window: r.u32()? as usize,
+        },
+        4 => {
+            let window = r.u32()? as usize;
+            let n = r.u32()? as usize;
+            if n > 1024 {
+                return Err(TransportError::Frame(format!("implausible tap count {n}")));
+            }
+            let taps = (0..n)
+                .map(|_| r.u32().map(|v| v as usize))
+                .collect::<Result<Vec<_>, _>>()?;
+            Method::TbpttLbp { window, taps }
+        }
+        other => return Err(TransportError::Frame(format!("unknown method tag {other}"))),
+    })
+}
+
+fn put_metric(buf: &mut Vec<u8>, m: SamMetric) {
+    buf.push(match m {
+        SamMetric::SpikeSum => 0,
+        SamMetric::NeuronNormalized => 1,
+        SamMetric::MembraneL2 => 2,
+    });
+}
+
+fn read_metric(r: &mut WireReader<'_>) -> Result<SamMetric, TransportError> {
+    Ok(match r.u8()? {
+        0 => SamMetric::SpikeSum,
+        1 => SamMetric::NeuronNormalized,
+        2 => SamMetric::MembraneL2,
+        other => return Err(TransportError::Frame(format!("unknown metric tag {other}"))),
+    })
+}
+
+fn put_policy(buf: &mut Vec<u8>, p: SkipPolicy) {
+    buf.push(match p {
+        SkipPolicy::SpikeActivity => 0,
+        SkipPolicy::Random => 1,
+    });
+}
+
+fn read_policy(r: &mut WireReader<'_>) -> Result<SkipPolicy, TransportError> {
+    Ok(match r.u8()? {
+        0 => SkipPolicy::SpikeActivity,
+        1 => SkipPolicy::Random,
+        other => return Err(TransportError::Frame(format!("unknown policy tag {other}"))),
+    })
+}
+
+fn put_ctx(buf: &mut Vec<u8>, c: &WorkCtx) {
+    put_u64(buf, c.iteration);
+    put_u32(buf, c.attempt);
+    put_u32(buf, c.shard);
+    put_u32(buf, c.batch_offset);
+    put_u32(buf, c.global_batch);
+    put_u64(buf, c.seed);
+    put_method(buf, &c.method);
+    put_metric(buf, c.metric);
+    put_policy(buf, c.policy);
+}
+
+fn read_ctx(r: &mut WireReader<'_>) -> Result<WorkCtx, TransportError> {
+    Ok(WorkCtx {
+        iteration: r.u64()?,
+        attempt: r.u32()?,
+        shard: r.u32()?,
+        batch_offset: r.u32()?,
+        global_batch: r.u32()?,
+        seed: r.u64()?,
+        method: read_method(r)?,
+        metric: read_metric(r)?,
+        policy: read_policy(r)?,
+    })
+}
+
+/// Per-parameter raw gradients in store order (`None` = untouched).
+pub(crate) type WireGrads = Vec<Option<Vec<f32>>>;
+
+fn put_grads(buf: &mut Vec<u8>, grads: &WireGrads) {
+    put_u32(buf, grads.len() as u32);
+    for g in grads {
+        match g {
+            Some(v) => {
+                buf.push(1);
+                put_f32s(buf, v);
+            }
+            None => buf.push(0),
+        }
+    }
+}
+
+fn read_grads(r: &mut WireReader<'_>) -> Result<WireGrads, TransportError> {
+    let n = r.u32()? as usize;
+    if n > 1 << 20 {
+        return Err(TransportError::Frame(format!(
+            "implausible gradient slot count {n}"
+        )));
+    }
+    (0..n)
+        .map(|_| {
+            Ok(match r.u8()? {
+                0 => None,
+                1 => Some(r.f32s()?),
+                other => {
+                    return Err(TransportError::Frame(format!(
+                        "unknown gradient slot tag {other}"
+                    )))
+                }
+            })
+        })
+        .collect()
+}
+
+/// What one shard hands back for one dispatch.
+#[derive(Debug, Clone, PartialEq)]
+pub(crate) enum ResultPayload {
+    /// Phase A of a checkpointed/Skipper iteration.
+    Forward {
+        sam_sums: Vec<f64>,
+        per_sample: Vec<f64>,
+        correct: u32,
+    },
+    /// Phase B gradients.
+    Grads { grads: WireGrads },
+    /// A whole single-phase (BPTT/TBPTT) shard.
+    Single {
+        loss_groups: Vec<Vec<f64>>,
+        correct: u32,
+        sam_sums: Vec<f64>,
+        recomputed: u32,
+        skipped: u32,
+        grads: WireGrads,
+    },
+}
+
+/// Every message the coordinator/worker protocol exchanges.
+#[derive(Debug, Clone, PartialEq)]
+pub(crate) enum Message {
+    /// Worker → coordinator on (re)connect.
+    Hello { worker: u64, reconnect: bool },
+    /// Coordinator → worker: assigned id + model spec bytes
+    /// (see [`crate::cluster::WireSpec`]).
+    Welcome { worker: u64, spec: Vec<u8> },
+    /// Worker → coordinator liveness beacon (sent while idle).
+    Heartbeat { worker: u64, iteration: u64 },
+    /// One whole single-phase shard: params + sliced inputs + labels.
+    WorkSingle {
+        ctx: WorkCtx,
+        params: Vec<u8>,
+        labels: Vec<u32>,
+        inputs: Vec<Tensor>,
+    },
+    /// Phase A of a two-phase shard (same payload shape as `WorkSingle`).
+    WorkForward {
+        ctx: WorkCtx,
+        params: Vec<u8>,
+        labels: Vec<u32>,
+        inputs: Vec<Tensor>,
+    },
+    /// Phase B go: globally aggregated SAM sums (the worker re-derives
+    /// the skip schedule bit-identically with `decide_skips`).
+    WorkBackward {
+        iteration: u64,
+        attempt: u32,
+        shard: u32,
+        sums: Vec<f64>,
+    },
+    /// Worker → coordinator shard result.
+    ShardResult {
+        iteration: u64,
+        attempt: u32,
+        shard: u32,
+        payload: ResultPayload,
+    },
+    /// Worker-side protocol fault the worker can name (e.g. a missing
+    /// phase-A carry after a restart). The coordinator aborts the attempt.
+    Fault { worker: u64, detail: String },
+    /// Coordinator → worker: drain and exit cleanly.
+    Shutdown,
+}
+
+impl Message {
+    /// Encode to a payload (no frame header).
+    pub fn encode(&self) -> Vec<u8> {
+        let mut buf = Vec::new();
+        match self {
+            Message::Hello { worker, reconnect } => {
+                buf.push(1);
+                put_u64(&mut buf, *worker);
+                buf.push(u8::from(*reconnect));
+            }
+            Message::Welcome { worker, spec } => {
+                buf.push(2);
+                put_u64(&mut buf, *worker);
+                put_bytes(&mut buf, spec);
+            }
+            Message::Heartbeat { worker, iteration } => {
+                buf.push(3);
+                put_u64(&mut buf, *worker);
+                put_u64(&mut buf, *iteration);
+            }
+            Message::WorkSingle {
+                ctx,
+                params,
+                labels,
+                inputs,
+            }
+            | Message::WorkForward {
+                ctx,
+                params,
+                labels,
+                inputs,
+            } => {
+                buf.push(if matches!(self, Message::WorkSingle { .. }) {
+                    4
+                } else {
+                    5
+                });
+                put_ctx(&mut buf, ctx);
+                put_bytes(&mut buf, params);
+                put_u32(&mut buf, labels.len() as u32);
+                for &l in labels {
+                    put_u32(&mut buf, l);
+                }
+                put_u32(&mut buf, inputs.len() as u32);
+                for t in inputs {
+                    put_tensor(&mut buf, t);
+                }
+            }
+            Message::WorkBackward {
+                iteration,
+                attempt,
+                shard,
+                sums,
+            } => {
+                buf.push(6);
+                put_u64(&mut buf, *iteration);
+                put_u32(&mut buf, *attempt);
+                put_u32(&mut buf, *shard);
+                put_f64s(&mut buf, sums);
+            }
+            Message::ShardResult {
+                iteration,
+                attempt,
+                shard,
+                payload,
+            } => {
+                buf.push(7);
+                put_u64(&mut buf, *iteration);
+                put_u32(&mut buf, *attempt);
+                put_u32(&mut buf, *shard);
+                match payload {
+                    ResultPayload::Forward {
+                        sam_sums,
+                        per_sample,
+                        correct,
+                    } => {
+                        buf.push(0);
+                        put_f64s(&mut buf, sam_sums);
+                        put_f64s(&mut buf, per_sample);
+                        put_u32(&mut buf, *correct);
+                    }
+                    ResultPayload::Grads { grads } => {
+                        buf.push(1);
+                        put_grads(&mut buf, grads);
+                    }
+                    ResultPayload::Single {
+                        loss_groups,
+                        correct,
+                        sam_sums,
+                        recomputed,
+                        skipped,
+                        grads,
+                    } => {
+                        buf.push(2);
+                        put_u32(&mut buf, loss_groups.len() as u32);
+                        for g in loss_groups {
+                            put_f64s(&mut buf, g);
+                        }
+                        put_u32(&mut buf, *correct);
+                        put_f64s(&mut buf, sam_sums);
+                        put_u32(&mut buf, *recomputed);
+                        put_u32(&mut buf, *skipped);
+                        put_grads(&mut buf, grads);
+                    }
+                }
+            }
+            Message::Fault { worker, detail } => {
+                buf.push(8);
+                put_u64(&mut buf, *worker);
+                put_str(&mut buf, detail);
+            }
+            Message::Shutdown => buf.push(9),
+        }
+        buf
+    }
+
+    /// Decode a payload produced by [`Message::encode`].
+    pub fn decode(payload: &[u8]) -> Result<Message, TransportError> {
+        let mut r = WireReader::new(payload);
+        let msg = match r.u8()? {
+            1 => Message::Hello {
+                worker: r.u64()?,
+                reconnect: r.u8()? != 0,
+            },
+            2 => Message::Welcome {
+                worker: r.u64()?,
+                spec: r.bytes()?.to_vec(),
+            },
+            3 => Message::Heartbeat {
+                worker: r.u64()?,
+                iteration: r.u64()?,
+            },
+            tag @ (4 | 5) => {
+                let ctx = read_ctx(&mut r)?;
+                let params = r.bytes()?.to_vec();
+                let n = r.u32()? as usize;
+                if n > 1 << 24 {
+                    return Err(TransportError::Frame(format!(
+                        "implausible label count {n}"
+                    )));
+                }
+                let labels = (0..n).map(|_| r.u32()).collect::<Result<Vec<_>, _>>()?;
+                let t = r.u32()? as usize;
+                if t > 1 << 16 {
+                    return Err(TransportError::Frame(format!(
+                        "implausible timestep count {t}"
+                    )));
+                }
+                let inputs = (0..t)
+                    .map(|_| read_tensor(&mut r))
+                    .collect::<Result<Vec<_>, _>>()?;
+                if tag == 4 {
+                    Message::WorkSingle {
+                        ctx,
+                        params,
+                        labels,
+                        inputs,
+                    }
+                } else {
+                    Message::WorkForward {
+                        ctx,
+                        params,
+                        labels,
+                        inputs,
+                    }
+                }
+            }
+            6 => Message::WorkBackward {
+                iteration: r.u64()?,
+                attempt: r.u32()?,
+                shard: r.u32()?,
+                sums: r.f64s()?,
+            },
+            7 => {
+                let iteration = r.u64()?;
+                let attempt = r.u32()?;
+                let shard = r.u32()?;
+                let payload = match r.u8()? {
+                    0 => ResultPayload::Forward {
+                        sam_sums: r.f64s()?,
+                        per_sample: r.f64s()?,
+                        correct: r.u32()?,
+                    },
+                    1 => ResultPayload::Grads {
+                        grads: read_grads(&mut r)?,
+                    },
+                    2 => {
+                        let n = r.u32()? as usize;
+                        if n > 1 << 16 {
+                            return Err(TransportError::Frame(format!(
+                                "implausible loss-group count {n}"
+                            )));
+                        }
+                        let loss_groups =
+                            (0..n).map(|_| r.f64s()).collect::<Result<Vec<_>, _>>()?;
+                        ResultPayload::Single {
+                            loss_groups,
+                            correct: r.u32()?,
+                            sam_sums: r.f64s()?,
+                            recomputed: r.u32()?,
+                            skipped: r.u32()?,
+                            grads: read_grads(&mut r)?,
+                        }
+                    }
+                    other => {
+                        return Err(TransportError::Frame(format!(
+                            "unknown result payload tag {other}"
+                        )))
+                    }
+                };
+                Message::ShardResult {
+                    iteration,
+                    attempt,
+                    shard,
+                    payload,
+                }
+            }
+            8 => Message::Fault {
+                worker: r.u64()?,
+                detail: r.string()?,
+            },
+            9 => Message::Shutdown,
+            other => {
+                return Err(TransportError::Frame(format!(
+                    "unknown message tag {other}"
+                )))
+            }
+        };
+        r.done()?;
+        Ok(msg)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Frame links
+// ---------------------------------------------------------------------------
+
+/// One byte-level duplex link carrying whole frames. Implementations:
+/// TCP sockets and in-process channels.
+pub(crate) trait FrameLink: Send {
+    /// Ship one already-framed byte run.
+    fn send_frame(&mut self, frame: &[u8]) -> Result<(), TransportError>;
+    /// Receive and verify one frame, returning its payload. Waits at most
+    /// `timeout`.
+    fn recv_frame(&mut self, timeout: Duration) -> Result<Vec<u8>, TransportError>;
+    /// Peer label for diagnostics.
+    fn peer(&self) -> String;
+}
+
+/// Build the framed bytes for `payload`.
+fn frame_bytes(payload: &[u8]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(HEADER + payload.len());
+    put_u32(&mut out, FRAME_MAGIC);
+    put_u32(&mut out, payload.len() as u32);
+    put_u32(&mut out, crc32(payload));
+    out.extend_from_slice(payload);
+    out
+}
+
+/// Parse a whole frame from `bytes`; `bytes` must contain exactly one
+/// frame (the in-process link's delivery unit).
+fn unframe(bytes: &[u8]) -> Result<Vec<u8>, TransportError> {
+    if bytes.len() < HEADER {
+        return Err(TransportError::Frame(format!(
+            "short frame ({} bytes)",
+            bytes.len()
+        )));
+    }
+    let mut r = WireReader::new(bytes);
+    let magic = r.u32()?;
+    if magic != FRAME_MAGIC {
+        return Err(TransportError::Frame(format!("bad magic {magic:#010x}")));
+    }
+    let len = r.u32()? as usize;
+    if len > MAX_FRAME {
+        return Err(TransportError::Frame(format!(
+            "implausible frame length {len}"
+        )));
+    }
+    let stored = r.u32()?;
+    let payload = r.take(len)?;
+    if bytes.len() != HEADER + len {
+        return Err(TransportError::Frame(format!(
+            "frame length {} disagrees with delivery size {}",
+            HEADER + len,
+            bytes.len()
+        )));
+    }
+    let computed = crc32(payload);
+    if stored != computed {
+        return Err(TransportError::Frame(format!(
+            "payload CRC mismatch (stored {stored:#010x}, computed {computed:#010x})"
+        )));
+    }
+    Ok(payload.to_vec())
+}
+
+// --- TCP -------------------------------------------------------------------
+
+/// A TCP stream carrying frames, with partial-read buffering so a frame
+/// split across reads (or across `recv` timeouts) reassembles correctly.
+pub(crate) struct TcpLink {
+    stream: TcpStream,
+    peer: String,
+    rbuf: Vec<u8>,
+}
+
+impl TcpLink {
+    pub fn new(stream: TcpStream) -> TcpLink {
+        let peer = stream
+            .peer_addr()
+            .map(|a| a.to_string())
+            .unwrap_or_else(|_| "tcp-peer".to_string());
+        TcpLink {
+            stream,
+            peer,
+            rbuf: Vec::new(),
+        }
+    }
+
+    /// If `rbuf` holds a complete frame, pop and verify it.
+    fn try_pop_frame(&mut self) -> Result<Option<Vec<u8>>, TransportError> {
+        if self.rbuf.len() < HEADER {
+            return Ok(None);
+        }
+        let magic = u32::from_le_bytes([self.rbuf[0], self.rbuf[1], self.rbuf[2], self.rbuf[3]]);
+        if magic != FRAME_MAGIC {
+            return Err(TransportError::Frame(format!(
+                "bad magic {magic:#010x} (stream desync)"
+            )));
+        }
+        let len =
+            u32::from_le_bytes([self.rbuf[4], self.rbuf[5], self.rbuf[6], self.rbuf[7]]) as usize;
+        if len > MAX_FRAME {
+            return Err(TransportError::Frame(format!(
+                "implausible frame length {len} (stream desync)"
+            )));
+        }
+        if self.rbuf.len() < HEADER + len {
+            return Ok(None);
+        }
+        let frame: Vec<u8> = self.rbuf.drain(..HEADER + len).collect();
+        unframe(&frame).map(Some)
+    }
+}
+
+impl FrameLink for TcpLink {
+    fn send_frame(&mut self, frame: &[u8]) -> Result<(), TransportError> {
+        self.stream
+            .write_all(frame)
+            .and_then(|_| self.stream.flush())
+            .map_err(|e| match e.kind() {
+                std::io::ErrorKind::BrokenPipe
+                | std::io::ErrorKind::ConnectionReset
+                | std::io::ErrorKind::ConnectionAborted
+                | std::io::ErrorKind::UnexpectedEof => TransportError::Closed(e.to_string()),
+                _ => TransportError::Io(e.to_string()),
+            })
+    }
+
+    fn recv_frame(&mut self, timeout: Duration) -> Result<Vec<u8>, TransportError> {
+        let deadline = Instant::now() + timeout;
+        let mut chunk = [0u8; 16 * 1024];
+        loop {
+            if let Some(payload) = self.try_pop_frame()? {
+                return Ok(payload);
+            }
+            let now = Instant::now();
+            if now >= deadline {
+                return Err(TransportError::Timeout);
+            }
+            let remaining = (deadline - now).max(Duration::from_millis(1));
+            self.stream
+                .set_read_timeout(Some(remaining))
+                .map_err(|e| TransportError::Io(e.to_string()))?;
+            match self.stream.read(&mut chunk) {
+                Ok(0) => return Err(TransportError::Closed("peer hung up".into())),
+                Ok(n) => self.rbuf.extend_from_slice(&chunk[..n]),
+                Err(e)
+                    if e.kind() == std::io::ErrorKind::WouldBlock
+                        || e.kind() == std::io::ErrorKind::TimedOut =>
+                {
+                    return Err(TransportError::Timeout);
+                }
+                Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {}
+                Err(e) => return Err(TransportError::Io(e.to_string())),
+            }
+        }
+    }
+
+    fn peer(&self) -> String {
+        self.peer.clone()
+    }
+}
+
+// --- In-process ------------------------------------------------------------
+
+/// Channel-backed link: every `Vec<u8>` is one frame, pushed through the
+/// same encode/verify path as TCP so chaos and codec faults behave
+/// identically on loopback tests.
+pub(crate) struct InProcLink {
+    tx: Sender<Vec<u8>>,
+    rx: Receiver<Vec<u8>>,
+    label: String,
+}
+
+impl FrameLink for InProcLink {
+    fn send_frame(&mut self, frame: &[u8]) -> Result<(), TransportError> {
+        self.tx
+            .send(frame.to_vec())
+            .map_err(|_| TransportError::Closed("in-proc peer dropped".into()))
+    }
+
+    fn recv_frame(&mut self, timeout: Duration) -> Result<Vec<u8>, TransportError> {
+        match self.rx.recv_timeout(timeout) {
+            Ok(bytes) => unframe(&bytes),
+            Err(RecvTimeoutError::Timeout) => Err(TransportError::Timeout),
+            Err(RecvTimeoutError::Disconnected) => {
+                Err(TransportError::Closed("in-proc peer dropped".into()))
+            }
+        }
+    }
+
+    fn peer(&self) -> String {
+        self.label.clone()
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Chaos injection
+// ---------------------------------------------------------------------------
+
+/// Deterministic fault plan, usually parsed from the `SKIPPER_CHAOS`
+/// environment knob:
+///
+/// ```text
+/// SKIPPER_CHAOS="seed=7,drop=0.02,dup=0.01,corrupt=0.01,truncate=0.01,delay=0.05,delay_us=500,kill=1@5"
+/// ```
+///
+/// `drop`/`dup`/`corrupt`/`truncate`/`delay` are per-frame probabilities
+/// drawn from a seeded xorshift stream (same seed → same fault
+/// schedule); `delay_us` is the injected latency per delayed frame;
+/// `kill=W@I` makes worker `W` die when it receives work for iteration
+/// `≥ I` (consumed by [`crate::cluster::run_worker`], not by the link).
+#[derive(Debug, Clone, PartialEq)]
+pub struct ChaosConfig {
+    /// Base seed of the fault stream (mixed with a per-connection salt).
+    pub seed: u64,
+    /// Probability a sent frame is silently discarded.
+    pub drop: f64,
+    /// Probability a sent frame is sent twice.
+    pub dup: f64,
+    /// Probability one byte of a sent frame is bit-flipped.
+    pub corrupt: f64,
+    /// Probability a sent frame is cut short.
+    pub truncate: f64,
+    /// Probability a sent frame is delayed by `delay_us`.
+    pub delay: f64,
+    /// Injected latency per delayed frame, microseconds.
+    pub delay_us: u64,
+    /// Kill schedule: `(worker id, iteration)` — the worker exits when it
+    /// receives work for that iteration or later.
+    pub kill: Option<(u64, u64)>,
+}
+
+impl Default for ChaosConfig {
+    fn default() -> ChaosConfig {
+        ChaosConfig {
+            seed: 1,
+            drop: 0.0,
+            dup: 0.0,
+            corrupt: 0.0,
+            truncate: 0.0,
+            delay: 0.0,
+            delay_us: 200,
+            kill: None,
+        }
+    }
+}
+
+impl ChaosConfig {
+    /// Parse a `SKIPPER_CHAOS` spec string.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description for unknown keys or malformed values, so a
+    /// typo'd chaos spec fails loudly instead of silently running a
+    /// different experiment.
+    pub fn parse(spec: &str) -> Result<ChaosConfig, String> {
+        let mut cfg = ChaosConfig::default();
+        for part in spec.split(',') {
+            let part = part.trim();
+            if part.is_empty() {
+                continue;
+            }
+            let (key, value) = part
+                .split_once('=')
+                .ok_or_else(|| format!("chaos spec '{part}' is not key=value"))?;
+            let prob = |v: &str| -> Result<f64, String> {
+                let p: f64 = v
+                    .parse()
+                    .map_err(|e| format!("chaos {key}={v}: not a number ({e})"))?;
+                if !(0.0..=1.0).contains(&p) {
+                    return Err(format!("chaos {key}={v}: probability outside [0,1]"));
+                }
+                Ok(p)
+            };
+            match key {
+                "seed" => {
+                    cfg.seed = value
+                        .parse()
+                        .map_err(|e| format!("chaos seed={value}: {e}"))?
+                }
+                "drop" => cfg.drop = prob(value)?,
+                "dup" => cfg.dup = prob(value)?,
+                "corrupt" => cfg.corrupt = prob(value)?,
+                "truncate" => cfg.truncate = prob(value)?,
+                "delay" => cfg.delay = prob(value)?,
+                "delay_us" => {
+                    cfg.delay_us = value
+                        .parse()
+                        .map_err(|e| format!("chaos delay_us={value}: {e}"))?
+                }
+                "kill" => {
+                    let (w, i) = value
+                        .split_once('@')
+                        .ok_or_else(|| format!("chaos kill={value}: want WORKER@ITER"))?;
+                    cfg.kill = Some((
+                        w.parse().map_err(|e| format!("chaos kill worker: {e}"))?,
+                        i.parse().map_err(|e| format!("chaos kill iter: {e}"))?,
+                    ));
+                }
+                other => return Err(format!("unknown chaos key '{other}'")),
+            }
+        }
+        Ok(cfg)
+    }
+
+    /// The `SKIPPER_CHAOS` environment knob, if set and non-empty.
+    ///
+    /// # Errors
+    ///
+    /// See [`ChaosConfig::parse`].
+    pub fn from_env() -> Result<Option<ChaosConfig>, String> {
+        match std::env::var("SKIPPER_CHAOS") {
+            Ok(spec) if !spec.trim().is_empty() => ChaosConfig::parse(&spec).map(Some),
+            _ => Ok(None),
+        }
+    }
+
+    /// Whether any frame-level fault can fire.
+    pub fn frame_faults(&self) -> bool {
+        self.drop > 0.0
+            || self.dup > 0.0
+            || self.corrupt > 0.0
+            || self.truncate > 0.0
+            || self.delay > 0.0
+    }
+}
+
+/// Send-side fault injector around any [`FrameLink`]. All decisions come
+/// from a seeded xorshift stream, so a chaos run is exactly reproducible
+/// from `(config, connection salt)`.
+pub(crate) struct FaultyLink<L: FrameLink> {
+    inner: L,
+    cfg: ChaosConfig,
+    rng: XorShiftRng,
+}
+
+impl<L: FrameLink> FaultyLink<L> {
+    pub fn new(inner: L, cfg: ChaosConfig, salt: u64) -> FaultyLink<L> {
+        let rng = XorShiftRng::new(cfg.seed.wrapping_mul(0x9E37_79B9_7F4A_7C15) ^ salt);
+        FaultyLink { inner, cfg, rng }
+    }
+
+    fn chaos_event(kind: &str) {
+        if skipper_obs::enabled() {
+            skipper_obs::counter_add(
+                &skipper_obs::labeled("engine.transport_chaos", "kind", kind),
+                1.0,
+            );
+        }
+    }
+}
+
+impl<L: FrameLink> FrameLink for FaultyLink<L> {
+    fn send_frame(&mut self, frame: &[u8]) -> Result<(), TransportError> {
+        if self.cfg.delay > 0.0 && self.rng.next_f64() < self.cfg.delay {
+            Self::chaos_event("delay");
+            std::thread::sleep(Duration::from_micros(self.cfg.delay_us));
+        }
+        if self.cfg.drop > 0.0 && self.rng.next_f64() < self.cfg.drop {
+            Self::chaos_event("drop");
+            return Ok(()); // silently lost on the wire
+        }
+        let mutated: Option<Vec<u8>> =
+            if self.cfg.corrupt > 0.0 && self.rng.next_f64() < self.cfg.corrupt {
+                Self::chaos_event("corrupt");
+                let mut bytes = frame.to_vec();
+                let at = (self.rng.next_u64() as usize) % bytes.len().max(1);
+                let bit = 1u8 << (self.rng.next_u64() % 8);
+                bytes[at] ^= bit;
+                Some(bytes)
+            } else if self.cfg.truncate > 0.0 && self.rng.next_f64() < self.cfg.truncate {
+                Self::chaos_event("truncate");
+                let keep = (self.rng.next_u64() as usize) % frame.len().max(1);
+                Some(frame[..keep].to_vec())
+            } else {
+                None
+            };
+        let bytes = mutated.as_deref().unwrap_or(frame);
+        self.inner.send_frame(bytes)?;
+        if self.cfg.dup > 0.0 && self.rng.next_f64() < self.cfg.dup {
+            Self::chaos_event("dup");
+            self.inner.send_frame(bytes)?;
+        }
+        Ok(())
+    }
+
+    fn recv_frame(&mut self, timeout: Duration) -> Result<Vec<u8>, TransportError> {
+        self.inner.recv_frame(timeout)
+    }
+
+    fn peer(&self) -> String {
+        self.inner.peer()
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Channel: the message-level API
+// ---------------------------------------------------------------------------
+
+/// A duplex message channel over some [`FrameLink`]; this is what the
+/// cluster layer holds per connection. Public only because
+/// [`ChannelConnector`] returns it — its message API is crate-internal.
+pub struct Channel {
+    link: Box<dyn FrameLink>,
+}
+
+impl std::fmt::Debug for Channel {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Channel")
+            .field("peer", &self.peer())
+            .finish()
+    }
+}
+
+impl Channel {
+    pub(crate) fn over(link: impl FrameLink + 'static) -> Channel {
+        Channel {
+            link: Box::new(link),
+        }
+    }
+
+    /// Wrap `link` with send-side chaos when `chaos` has frame faults.
+    pub(crate) fn over_with_chaos(
+        link: impl FrameLink + 'static,
+        chaos: Option<&ChaosConfig>,
+        salt: u64,
+    ) -> Channel {
+        match chaos {
+            Some(cfg) if cfg.frame_faults() => {
+                Channel::over(FaultyLink::new(link, cfg.clone(), salt))
+            }
+            _ => Channel::over(link),
+        }
+    }
+
+    /// Encode and ship one message.
+    pub(crate) fn send(&mut self, msg: &Message) -> Result<(), TransportError> {
+        let frame = frame_bytes(&msg.encode());
+        if skipper_obs::enabled() {
+            skipper_obs::counter_add(
+                &skipper_obs::labeled("engine.transport_frames", "dir", "sent"),
+                1.0,
+            );
+            skipper_obs::counter_add(
+                &skipper_obs::labeled("engine.transport_bytes", "dir", "sent"),
+                frame.len() as f64,
+            );
+        }
+        self.link.send_frame(&frame)
+    }
+
+    /// Receive one message, waiting at most `timeout`. Frame and decode
+    /// failures increment `engine.transport_frame_errors` and poison the
+    /// connection.
+    pub(crate) fn recv_timeout(&mut self, timeout: Duration) -> Result<Message, TransportError> {
+        let payload = self.link.recv_frame(timeout).inspect_err(|e| {
+            if matches!(e, TransportError::Frame(_)) && skipper_obs::enabled() {
+                skipper_obs::counter_add("engine.transport_frame_errors", 1.0);
+            }
+        })?;
+        if skipper_obs::enabled() {
+            skipper_obs::counter_add(
+                &skipper_obs::labeled("engine.transport_frames", "dir", "received"),
+                1.0,
+            );
+            skipper_obs::counter_add(
+                &skipper_obs::labeled("engine.transport_bytes", "dir", "received"),
+                (payload.len() + HEADER) as f64,
+            );
+        }
+        Message::decode(&payload).inspect_err(|_| {
+            if skipper_obs::enabled() {
+                skipper_obs::counter_add("engine.transport_frame_errors", 1.0);
+            }
+        })
+    }
+
+    /// Peer label for diagnostics.
+    pub fn peer(&self) -> String {
+        self.link.peer()
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Listeners and connectors
+// ---------------------------------------------------------------------------
+
+/// Accept side of a transport: yields one [`Channel`] per joining worker.
+pub(crate) trait ChannelListener: Send {
+    /// Accept a pending connection, waiting at most `timeout`.
+    fn accept(&mut self, timeout: Duration) -> Result<Channel, TransportError>;
+    /// The address workers connect to.
+    fn addr(&self) -> String;
+}
+
+/// Connect side of a transport: a worker's (re)connection factory.
+pub trait ChannelConnector: Send {
+    /// Open a fresh connection to the coordinator.
+    #[doc(hidden)]
+    fn connect_channel(&mut self) -> Result<Channel, TransportError>;
+    /// Where this connector dials.
+    fn peer(&self) -> String;
+}
+
+// --- TCP -------------------------------------------------------------------
+
+/// TCP accept side, used by the coordinator. Non-blocking accept polled
+/// under a deadline so the coordinator thread can interleave accepts
+/// with worker polling.
+pub(crate) struct TcpListenerLink {
+    listener: TcpListener,
+    addr: String,
+    chaos: Option<ChaosConfig>,
+    accepted: u64,
+}
+
+impl TcpListenerLink {
+    pub fn bind(addr: &str, chaos: Option<ChaosConfig>) -> Result<TcpListenerLink, SkipperError> {
+        let listener = TcpListener::bind(addr).map_err(SkipperError::Io)?;
+        listener.set_nonblocking(true).map_err(SkipperError::Io)?;
+        let addr = listener
+            .local_addr()
+            .map(|a| a.to_string())
+            .unwrap_or_else(|_| addr.to_string());
+        Ok(TcpListenerLink {
+            listener,
+            addr,
+            chaos,
+            accepted: 0,
+        })
+    }
+}
+
+impl ChannelListener for TcpListenerLink {
+    fn accept(&mut self, timeout: Duration) -> Result<Channel, TransportError> {
+        let deadline = Instant::now() + timeout;
+        loop {
+            match self.listener.accept() {
+                Ok((stream, _)) => {
+                    stream
+                        .set_nodelay(true)
+                        .map_err(|e| TransportError::Io(e.to_string()))?;
+                    self.accepted += 1;
+                    return Ok(Channel::over_with_chaos(
+                        TcpLink::new(stream),
+                        self.chaos.as_ref(),
+                        0xC0_0D ^ self.accepted,
+                    ));
+                }
+                Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                    if Instant::now() >= deadline {
+                        return Err(TransportError::Timeout);
+                    }
+                    std::thread::sleep(Duration::from_millis(2));
+                }
+                Err(e) => return Err(TransportError::Io(e.to_string())),
+            }
+        }
+    }
+
+    fn addr(&self) -> String {
+        self.addr.clone()
+    }
+}
+
+/// TCP dial side, used by workers (and re-used on every reconnect).
+pub struct TcpConnector {
+    addr: String,
+    chaos: Option<ChaosConfig>,
+    attempts: u64,
+}
+
+impl TcpConnector {
+    /// Connector dialing `addr` (e.g. `127.0.0.1:7700`), with optional
+    /// send-side chaos on each established connection.
+    pub fn new(addr: impl Into<String>, chaos: Option<ChaosConfig>) -> TcpConnector {
+        TcpConnector {
+            addr: addr.into(),
+            chaos,
+            attempts: 0,
+        }
+    }
+}
+
+impl ChannelConnector for TcpConnector {
+    fn connect_channel(&mut self) -> Result<Channel, TransportError> {
+        self.attempts += 1;
+        let stream =
+            TcpStream::connect(&self.addr).map_err(|e| TransportError::Io(e.to_string()))?;
+        stream
+            .set_nodelay(true)
+            .map_err(|e| TransportError::Io(e.to_string()))?;
+        Ok(Channel::over_with_chaos(
+            TcpLink::new(stream),
+            self.chaos.as_ref(),
+            0x0F0F ^ self.attempts,
+        ))
+    }
+
+    fn peer(&self) -> String {
+        self.addr.clone()
+    }
+}
+
+// --- In-process ------------------------------------------------------------
+
+/// In-process "network": a connector handing out channel pairs whose far
+/// ends appear on the listener, byte-framed exactly like TCP.
+pub(crate) struct InProcListener {
+    rx: Receiver<Channel>,
+    accepted: u64,
+}
+
+/// Dial side of [`in_proc_net`]; clone one per worker thread.
+#[derive(Clone)]
+pub struct InProcConnector {
+    tx: Sender<Channel>,
+    chaos: Option<ChaosConfig>,
+    label: String,
+}
+
+/// A loopback transport living entirely inside the process. `chaos`
+/// applies to *both* directions (each side's sends are wrapped).
+pub(crate) fn in_proc_net(chaos: Option<ChaosConfig>) -> (InProcListener, InProcConnector) {
+    let (tx, rx) = channel();
+    (
+        InProcListener { rx, accepted: 0 },
+        InProcConnector {
+            tx,
+            chaos,
+            label: "in-proc".to_string(),
+        },
+    )
+}
+
+impl ChannelListener for InProcListener {
+    fn accept(&mut self, timeout: Duration) -> Result<Channel, TransportError> {
+        match self.rx.recv_timeout(timeout) {
+            Ok(link) => {
+                self.accepted += 1;
+                // The queued channel is the coordinator's raw end; chaos
+                // wrapping happened at pair construction time.
+                let _ = self.accepted;
+                Ok(link)
+            }
+            Err(RecvTimeoutError::Timeout) => Err(TransportError::Timeout),
+            Err(RecvTimeoutError::Disconnected) => Err(TransportError::Closed(
+                "all in-proc connectors dropped".into(),
+            )),
+        }
+    }
+
+    fn addr(&self) -> String {
+        "in-proc".to_string()
+    }
+}
+
+static INPROC_CONN_SALT: std::sync::atomic::AtomicU64 = std::sync::atomic::AtomicU64::new(1);
+
+impl ChannelConnector for InProcConnector {
+    fn connect_channel(&mut self) -> Result<Channel, TransportError> {
+        let salt = INPROC_CONN_SALT.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+        let (to_worker_tx, to_worker_rx) = channel::<Vec<u8>>();
+        let (to_coord_tx, to_coord_rx) = channel::<Vec<u8>>();
+        let coord_end = InProcLink {
+            tx: to_worker_tx,
+            rx: to_coord_rx,
+            label: format!("in-proc-worker#{salt}"),
+        };
+        let worker_end = InProcLink {
+            tx: to_coord_tx,
+            rx: to_worker_rx,
+            label: format!("in-proc-coord#{salt}"),
+        };
+        let coord_channel =
+            Channel::over_with_chaos(coord_end, self.chaos.as_ref(), 0xC0_0D ^ salt);
+        self.tx
+            .send(coord_channel)
+            .map_err(|_| TransportError::Closed("in-proc listener dropped".into()))?;
+        Ok(Channel::over_with_chaos(
+            worker_end,
+            self.chaos.as_ref(),
+            0x0F0F ^ salt,
+        ))
+    }
+
+    fn peer(&self) -> String {
+        self.label.clone()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn work_msg() -> Message {
+        Message::WorkForward {
+            ctx: WorkCtx {
+                iteration: 7,
+                attempt: 1,
+                shard: 3,
+                batch_offset: 6,
+                global_batch: 16,
+                seed: 7,
+                method: Method::Skipper {
+                    checkpoints: 2,
+                    percentile: 30.0,
+                },
+                metric: SamMetric::SpikeSum,
+                policy: SkipPolicy::SpikeActivity,
+            },
+            params: vec![1, 2, 3, 4],
+            labels: vec![0, 9, 4],
+            inputs: vec![
+                Tensor::from_vec(vec![0.0, 1.0, 1.0, 0.0, 1.0], [5]),
+                Tensor::from_vec(vec![0.25, -1.5, 3.0], [3]),
+            ],
+        }
+    }
+
+    #[test]
+    fn every_message_roundtrips() {
+        let messages = vec![
+            Message::Hello {
+                worker: 3,
+                reconnect: true,
+            },
+            Message::Welcome {
+                worker: 1,
+                spec: vec![9, 9, 9],
+            },
+            Message::Heartbeat {
+                worker: 2,
+                iteration: 40,
+            },
+            work_msg(),
+            Message::WorkBackward {
+                iteration: 7,
+                attempt: 0,
+                shard: 2,
+                sums: vec![1.5, 0.0, 144.0],
+            },
+            Message::ShardResult {
+                iteration: 7,
+                attempt: 0,
+                shard: 2,
+                payload: ResultPayload::Single {
+                    loss_groups: vec![vec![0.5, 0.25], vec![1.5]],
+                    correct: 2,
+                    sam_sums: vec![3.0, 4.0],
+                    recomputed: 5,
+                    skipped: 3,
+                    grads: vec![None, Some(vec![0.125, -2.0])],
+                },
+            },
+            Message::Fault {
+                worker: 4,
+                detail: "missing carry".into(),
+            },
+            Message::Shutdown,
+        ];
+        for msg in messages {
+            let bytes = msg.encode();
+            let back = Message::decode(&bytes).unwrap();
+            assert_eq!(msg, back);
+        }
+    }
+
+    #[test]
+    fn spike_tensors_use_the_bitmask_encoding() {
+        let spikes = Tensor::from_vec(vec![0.0, 1.0, 1.0, 0.0, 1.0, 0.0, 0.0, 1.0, 1.0], [9]);
+        let dense = Tensor::from_vec(vec![0.5, -1.0, 2.0], [3]);
+        let mut b_spike = Vec::new();
+        put_tensor(&mut b_spike, &spikes);
+        let mut b_dense = Vec::new();
+        put_tensor(&mut b_dense, &dense);
+        // rank + dims + flag + ceil(9/8)=2 bytes vs 9*4=36 raw.
+        assert!(b_spike.len() < 1 + 4 + 1 + 9 * 4);
+        let back = read_tensor(&mut WireReader::new(&b_spike)).unwrap();
+        assert_eq!(back.data(), spikes.data());
+        let back = read_tensor(&mut WireReader::new(&b_dense)).unwrap();
+        assert_eq!(back.data(), dense.data());
+    }
+
+    #[test]
+    fn corrupt_frames_are_rejected_with_a_frame_error() {
+        let frame = frame_bytes(&work_msg().encode());
+        for at in [0usize, 5, HEADER, frame.len() - 1] {
+            let mut bad = frame.clone();
+            bad[at] ^= 0x10;
+            assert!(
+                matches!(unframe(&bad), Err(TransportError::Frame(_))),
+                "flip at {at} must poison the frame"
+            );
+        }
+        let mut short = frame.clone();
+        short.truncate(frame.len() - 3);
+        assert!(matches!(unframe(&short), Err(TransportError::Frame(_))));
+        assert_eq!(unframe(&frame).unwrap(), work_msg().encode());
+    }
+
+    #[test]
+    fn chaos_schedule_is_deterministic_per_seed() {
+        let cfg = ChaosConfig::parse("seed=9,drop=0.3,corrupt=0.2,dup=0.1").unwrap();
+        let run = |cfg: &ChaosConfig| {
+            let (tx, rx) = channel::<Vec<u8>>();
+            let (_keep_tx, dead_rx) = channel::<Vec<u8>>();
+            let link = InProcLink {
+                tx,
+                rx: dead_rx,
+                label: "chaos-test".into(),
+            };
+            let mut faulty = FaultyLink::new(link, cfg.clone(), 42);
+            let frame = frame_bytes(&Message::Shutdown.encode());
+            for _ in 0..64 {
+                faulty.send_frame(&frame).unwrap();
+            }
+            drop(faulty);
+            let mut out: Vec<Vec<u8>> = Vec::new();
+            while let Ok(f) = rx.try_recv() {
+                out.push(f);
+            }
+            out
+        };
+        let a = run(&cfg);
+        let b = run(&cfg);
+        assert_eq!(a, b, "same seed must give the same fault schedule");
+        assert!(a.len() < 64 + 16, "some frames must drop");
+        assert!(
+            a.iter().any(|f| unframe(f).is_err()),
+            "some frames must corrupt"
+        );
+    }
+
+    #[test]
+    fn chaos_spec_errors_are_descriptive() {
+        assert!(ChaosConfig::parse("drop=1.5")
+            .unwrap_err()
+            .contains("[0,1]"));
+        assert!(ChaosConfig::parse("zap=1").unwrap_err().contains("zap"));
+        assert!(ChaosConfig::parse("kill=3")
+            .unwrap_err()
+            .contains("WORKER@ITER"));
+        let cfg = ChaosConfig::parse("seed=4,kill=1@5,drop=0.25").unwrap();
+        assert_eq!(cfg.kill, Some((1, 5)));
+        assert_eq!(cfg.seed, 4);
+        assert!(cfg.frame_faults());
+        assert!(!ChaosConfig::parse("kill=1@5").unwrap().frame_faults());
+    }
+
+    #[test]
+    fn in_proc_channels_carry_messages_both_ways() {
+        let (mut listener, mut connector) = in_proc_net(None);
+        let mut worker_end = connector.connect_channel().unwrap();
+        let mut coord_end = listener.accept(Duration::from_millis(200)).unwrap();
+        worker_end
+            .send(&Message::Hello {
+                worker: u64::MAX,
+                reconnect: false,
+            })
+            .unwrap();
+        let got = coord_end.recv_timeout(Duration::from_millis(200)).unwrap();
+        assert!(matches!(
+            got,
+            Message::Hello {
+                reconnect: false,
+                ..
+            }
+        ));
+        coord_end
+            .send(&Message::Welcome {
+                worker: 0,
+                spec: vec![1],
+            })
+            .unwrap();
+        let got = worker_end.recv_timeout(Duration::from_millis(200)).unwrap();
+        assert!(matches!(got, Message::Welcome { worker: 0, .. }));
+        let err = coord_end
+            .recv_timeout(Duration::from_millis(10))
+            .unwrap_err();
+        assert!(matches!(err, TransportError::Timeout));
+    }
+
+    #[test]
+    fn tcp_loopback_carries_messages_and_reassembles_partial_reads() {
+        let mut listener = TcpListenerLink::bind("127.0.0.1:0", None).unwrap();
+        let addr = listener.addr();
+        let handle = std::thread::spawn(move || {
+            let mut connector = TcpConnector::new(addr, None);
+            let mut ch = connector.connect_channel().unwrap();
+            ch.send(&work_msg()).unwrap();
+            ch.recv_timeout(Duration::from_secs(2)).unwrap()
+        });
+        let mut coord = listener.accept(Duration::from_secs(2)).unwrap();
+        let got = coord.recv_timeout(Duration::from_secs(2)).unwrap();
+        assert_eq!(got, work_msg());
+        coord.send(&Message::Shutdown).unwrap();
+        let echoed = handle.join().unwrap();
+        assert!(matches!(echoed, Message::Shutdown));
+    }
+}

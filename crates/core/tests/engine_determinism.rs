@@ -13,7 +13,10 @@
 //!   the kernels in a different grouping).
 
 use proptest::prelude::*;
-use skipper_core::{max_skippable_percentile, BatchStats, Method, TrainSession};
+use skipper_core::{
+    max_skippable_percentile, run_worker, BatchStats, ClusterConfig, Coordinator, Method,
+    TrainSession, WorkerOptions,
+};
 use skipper_snn::{custom_net, ModelConfig, Sgd, SpikingNetwork};
 use skipper_tensor::{Tensor, XorShiftRng};
 
@@ -56,6 +59,68 @@ fn run_once(
     let labels: Vec<usize> = (0..batch).map(|i| i % 10).collect();
     let stats = session.train_batch(&spike_inputs(t, batch, data_seed), &labels);
     let net = session.into_net();
+    let grads = net
+        .params()
+        .iter()
+        .zip(before)
+        .map(|(p, b)| b.iter().zip(p.value().data()).map(|(x, y)| x - y).collect())
+        .collect();
+    (grads, stats)
+}
+
+/// Same contract as [`run_once`], but the shards are computed by worker
+/// threads behind the in-process cluster transport instead of by the
+/// engine's own thread pool.
+fn run_once_cluster(
+    method: &Method,
+    t: usize,
+    batch: usize,
+    workers: usize,
+    data_seed: u64,
+) -> (Vec<Vec<f32>>, BatchStats) {
+    let cfg = ClusterConfig {
+        expected_workers: workers,
+        ..ClusterConfig::new(ModelConfig {
+            input_hw: 8,
+            width_mult: 0.25,
+            seed: 11,
+            ..ModelConfig::default()
+        })
+    };
+    let (coordinator, connector) = Coordinator::in_proc(cfg);
+    let handles: Vec<_> = (1..=workers as u64)
+        .map(|id| {
+            let mut conn = connector.clone();
+            std::thread::spawn(move || {
+                run_worker(
+                    &mut conn,
+                    &WorkerOptions {
+                        id,
+                        ..WorkerOptions::default()
+                    },
+                )
+            })
+        })
+        .collect();
+    let net = tiny_net(11);
+    let before: Vec<Vec<f32>> = net
+        .params()
+        .iter()
+        .map(|p| p.value().data().to_vec())
+        .collect();
+    let mut session = TrainSession::builder(net, method.clone(), t)
+        .optimizer(Box::new(Sgd::new(1.0)))
+        .cluster(coordinator)
+        .build()
+        .expect("valid method");
+    let labels: Vec<usize> = (0..batch).map(|i| i % 10).collect();
+    let stats = session.train_batch(&spike_inputs(t, batch, data_seed), &labels);
+    let net = session.into_net();
+    for h in handles {
+        h.join()
+            .expect("worker thread")
+            .expect("workers exit via Shutdown");
+    }
     let grads = net
         .params()
         .iter()
@@ -113,6 +178,36 @@ proptest! {
         for (a, b) in ga.iter().zip(&g1) {
             for (x, y) in a.iter().zip(b) {
                 prop_assert!((x - y).abs() < 1e-3, "{} vs {}", x, y);
+            }
+        }
+    }
+
+    /// The transport boundary is invisible: a cluster of worker threads
+    /// speaking the framed protocol reproduces the in-process engine bit
+    /// for bit — loss, skip schedule, and gradients.
+    #[test]
+    fn cluster_transport_is_bit_identical_to_the_engine(
+        t in 8usize..13,
+        c in 1usize..3,
+        p in 5f32..60.0,
+        batch in 2usize..6,
+        workers in 2usize..4,
+        data_seed in 0u64..1000,
+    ) {
+        prop_assume!(t / c >= 3); // segment ≥ L_n
+        prop_assume!(p <= max_skippable_percentile(t, c, 3)); // Eq. 7
+        let method = Method::Skipper { checkpoints: c, percentile: p };
+
+        let (ge, se) = run_once(&method, t, batch, workers, data_seed);
+        let (gc, sc) = run_once_cluster(&method, t, batch, workers, data_seed);
+
+        prop_assert_eq!(sc.loss.to_bits(), se.loss.to_bits(), "loss {} vs {}", sc.loss, se.loss);
+        prop_assert_eq!(sc.skipped_steps, se.skipped_steps);
+        prop_assert_eq!(sc.recomputed_steps, se.recomputed_steps);
+        prop_assert_eq!(sc.correct, se.correct);
+        for (a, b) in gc.iter().zip(&ge) {
+            for (x, y) in a.iter().zip(b) {
+                prop_assert_eq!(x.to_bits(), y.to_bits(), "{} vs {}", x, y);
             }
         }
     }
