@@ -102,6 +102,22 @@ fn weights(net: &SpikingNetwork) -> Vec<Vec<f32>> {
 fn main() {
     let _run = skipper_bench::BenchRun::start("dist_loopback");
     let args = parse_args();
+
+    // Capture this process's event stream so the run can be stitched into
+    // a Perfetto trace afterwards. `SKIPPER_OBS_JSONL` (honored by the
+    // harness) wins when set; otherwise the stream goes to `results/`.
+    let results = skipper_report::results_dir();
+    let _ = std::fs::create_dir_all(&results);
+    let obs_jsonl = results.join("obs_dist_loopback.jsonl");
+    if std::env::var_os("SKIPPER_OBS_JSONL").is_none() {
+        match skipper_obs::JsonlSink::create(&obs_jsonl) {
+            Ok(sink) => {
+                skipper_obs::add_sink(Box::new(sink));
+            }
+            Err(e) => eprintln!("obs: cannot create {}: {e}", obs_jsonl.display()),
+        }
+    }
+
     let inputs = spike_inputs();
     let labels: Vec<usize> = (0..BATCH).map(|i| i % 10).collect();
 
@@ -157,6 +173,14 @@ fn main() {
     } else {
         args.workers as u64
     };
+    // When a kill is scheduled, the coordinator must leave a flight-recorder
+    // dump for the lost worker. Clear stale dumps so the post-run check
+    // proves this run produced one.
+    let kill_id = (args.chaos && local_workers > 1).then_some(local_workers);
+    if let Some(id) = kill_id {
+        let _ = std::fs::remove_file(results.join(format!("blackbox_{id}.jsonl")));
+        let _ = std::fs::remove_file(results.join(format!("blackbox_{id}_self.jsonl")));
+    }
     let handles: Vec<_> = (1..=local_workers)
         .map(|id| {
             let addr = addr.clone();
@@ -182,7 +206,9 @@ fn main() {
                             max_retries: 20,
                             ..BackoffConfig::default()
                         },
-                        ..WorkerOptions::default()
+                        // Fast idle heartbeats so the short run still
+                        // exercises metric federation.
+                        heartbeat_interval: Duration::from_millis(10),
                     },
                 )
             })
@@ -247,9 +273,81 @@ fn main() {
     {
         println!("counter {name} = {value}");
     }
+    let mut obs_fail = false;
+
+    // Metric federation: heartbeats piggyback registry deltas, which the
+    // coordinator re-publishes under `worker="<id>"` labels.
+    let federated = snap
+        .counters
+        .iter()
+        .map(|(n, _)| n)
+        .chain(snap.gauges.iter().map(|(n, _)| n))
+        .filter(|n| n.contains("worker="))
+        .count();
+    println!("federated per-worker series: {federated}");
+    if kill_id.is_some() && federated == 0 {
+        eprintln!("FAIL: no worker-labeled series were federated to the coordinator");
+        obs_fail = true;
+    }
+
+    // Flight recorder: the coordinator must have dumped a blackbox for the
+    // chaos-killed worker.
+    if let Some(id) = kill_id {
+        let blackbox = results.join(format!("blackbox_{id}.jsonl"));
+        if blackbox.exists() {
+            println!("blackbox dump: {}", blackbox.display());
+        } else {
+            eprintln!(
+                "FAIL: killed worker {id} left no blackbox at {}",
+                blackbox.display()
+            );
+            obs_fail = true;
+        }
+    }
+
+    // Trace stitching: drain the JSONL sink and merge the run's event
+    // stream(s) into one Chrome trace; worker_task spans must resolve to
+    // a parent `iteration` span on the coordinator.
+    if args.serve.is_none() && std::env::var_os("SKIPPER_OBS_JSONL").is_none() {
+        skipper_obs::flush();
+        match skipper_report::stitch::stitch_files(std::slice::from_ref(&obs_jsonl)) {
+            Ok(stitched) => {
+                let out = results.join("cluster_trace.json");
+                if let Err(e) = std::fs::write(&out, &stitched.chrome_json) {
+                    eprintln!("FAIL: cannot write {}: {e}", out.display());
+                    obs_fail = true;
+                } else {
+                    let s = stitched.stats;
+                    println!(
+                        "stitched trace: {} ({} spans, {}/{} worker_task under iteration)",
+                        out.display(),
+                        s.spans,
+                        s.nested_under_iteration,
+                        s.worker_tasks
+                    );
+                    if s.worker_tasks == 0 || s.nested_under_iteration < s.worker_tasks {
+                        eprintln!(
+                            "FAIL: worker_task spans not nested under iteration spans \
+                             ({}/{})",
+                            s.nested_under_iteration, s.worker_tasks
+                        );
+                        obs_fail = true;
+                    }
+                }
+            }
+            Err(e) => {
+                eprintln!("FAIL: trace stitch: {e}");
+                obs_fail = true;
+            }
+        }
+    }
 
     if drift {
         eprintln!("FAIL: distributed run drifted from the in-process engine");
+        std::process::exit(1);
+    }
+    if obs_fail {
+        eprintln!("FAIL: cluster observability checks failed (run was bit-exact)");
         std::process::exit(1);
     }
     println!("OK: distributed run is bit-identical to the in-process engine");

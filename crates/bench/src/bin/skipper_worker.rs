@@ -52,16 +52,28 @@ fn parse_args() -> Args {
 }
 
 fn main() {
+    // `std::process::exit` skips destructors, so all exit codes funnel
+    // through `real_main`'s return value: the `BenchRun` guard (which
+    // flushes obs sinks — JSONL streams, the flight-recorder's instants —
+    // and saves the manifest) drops on every path, including
+    // disconnect/kill failures.
+    std::process::exit(real_main());
+}
+
+fn real_main() -> i32 {
     let _run = skipper_bench::BenchRun::start("skipper_worker");
     let args = parse_args();
-    let addr = args.addr.or_else(cluster_addr_from_env).unwrap_or_else(|| {
+    let Some(addr) = args.addr.or_else(cluster_addr_from_env) else {
         eprintln!("no coordinator address: pass --addr or set SKIPPER_CLUSTER_ADDR");
-        std::process::exit(2);
-    });
-    let chaos = ChaosConfig::from_env().unwrap_or_else(|e| {
-        eprintln!("bad SKIPPER_CHAOS: {e}");
-        std::process::exit(2);
-    });
+        return 2;
+    };
+    let chaos = match ChaosConfig::from_env() {
+        Ok(chaos) => chaos,
+        Err(e) => {
+            eprintln!("bad SKIPPER_CHAOS: {e}");
+            return 2;
+        }
+    };
     if let Some(cfg) = &chaos {
         println!("chaos armed on this link: {cfg:?}");
     }
@@ -86,10 +98,11 @@ fn main() {
                     ""
                 }
             );
+            0
         }
         Err(e) => {
             eprintln!("worker failed: {e}");
-            std::process::exit(1);
+            1
         }
     }
 }

@@ -3,8 +3,8 @@
 //!
 //! [`BenchRun::start`] clears the metrics registry, installs a
 //! [`NullSink`](skipper_obs::NullSink) (so the registry aggregates even
-//! with no other sink), honors the `SKIPPER_OBS` and `SKIPPER_OBS_ADDR`
-//! environment knobs, and starts the wall clock. Dropping the guard —
+//! with no other sink), honors the `SKIPPER_OBS`, `SKIPPER_OBS_ADDR` and
+//! `SKIPPER_OBS_JSONL` environment knobs, and starts the wall clock. Dropping the guard —
 //! including on early return — collects a
 //! [`RunManifest`](skipper_report::RunManifest) from the registry, saves
 //! it as `results/BENCH_<name>.json`, stops the metrics endpoint and calls
@@ -34,6 +34,7 @@ impl BenchRun {
         skipper_obs::registry().clear();
         skipper_obs::add_sink(Box::new(skipper_obs::NullSink::new()));
         skipper_obs::init_from_env();
+        skipper_obs::jsonl_from_env();
         let server = skipper_obs::serve_from_env();
         BenchRun {
             name,

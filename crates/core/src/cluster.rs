@@ -52,14 +52,17 @@ use crate::method::{segment_bounds, Method};
 use crate::sam::{decide_skips, SamMetric, SkipPolicy, SpikeActivityMonitor};
 use crate::tbptt::tbptt_core;
 use crate::transport::{
-    in_proc_net, Channel, ChannelConnector, ChannelListener, ChaosConfig, InProcConnector, Message,
-    ResultPayload, TcpListenerLink, TransportError, WireGrads, WireReader, WorkCtx,
+    in_proc_net, Channel, ChannelConnector, ChannelListener, ChannelStats, ChaosConfig, HistDelta,
+    InProcConnector, Message, MetricsDelta, ResultPayload, TcpListenerLink, TraceCtx,
+    TransportError, WireGrads, WireReader, WorkCtx,
 };
 use skipper_autograd::Surrogate;
 use skipper_snn::serialize::{apply_records, read_params, write_records};
 use skipper_snn::{custom_net, ModelConfig, ParamStore, ShardGrads, SpikingNetwork};
 use skipper_tensor::{Tensor, XorShiftRng};
-use std::collections::HashMap;
+use std::collections::{BTreeMap, HashMap, VecDeque};
+use std::io::Write as _;
+use std::sync::{Arc, Mutex, OnceLock};
 use std::time::{Duration, Instant};
 
 /// Environment knob naming the coordinator address (`host:port`) that
@@ -71,6 +74,350 @@ pub fn cluster_addr_from_env() -> Option<String> {
     std::env::var(CLUSTER_ADDR_ENV)
         .ok()
         .filter(|s| !s.trim().is_empty())
+}
+
+/// Environment knob overriding where crash flight-recorder dumps land
+/// (default: the workspace `results/` directory).
+pub const BLACKBOX_DIR_ENV: &str = "SKIPPER_BLACKBOX_DIR";
+
+/// Directory flight-recorder dumps are written to.
+fn blackbox_dir() -> std::path::PathBuf {
+    match std::env::var(BLACKBOX_DIR_ENV) {
+        Ok(d) if !d.trim().is_empty() => std::path::PathBuf::from(d),
+        _ => std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("../../results"),
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Cluster-wide observability plumbing
+// ---------------------------------------------------------------------------
+
+/// Process-stable trace id stamped into every dispatched [`TraceCtx`]: one
+/// id groups all spans of one coordinator process's run, and the pid half
+/// keeps concurrent runs on one host apart.
+fn trace_id() -> u64 {
+    static TRACE: OnceLock<u64> = OnceLock::new();
+    // Observability-only identity; never feeds training math, so wall-clock
+    // salt does not violate the determinism contract.
+    *TRACE
+        .get_or_init(|| ((std::process::id() as u64) << 32) | (skipper_obs::now_us() & 0xFFFF_FFFF))
+}
+
+/// The trace context a work dispatch should carry: the coordinator's trace
+/// id plus the innermost open span on this thread (the `iteration` span
+/// opened by the training runner). `None` while tracing is disabled — the
+/// frame then stays byte-identical to the pre-trace wire format.
+fn current_trace_ctx() -> Option<TraceCtx> {
+    skipper_obs::current_span().map(|parent| TraceCtx {
+        trace: trace_id(),
+        parent,
+    })
+}
+
+/// Rewrite a metric key to carry a `worker=<id>` label: inserted into an
+/// existing `{...}` label set, appended as a fresh one otherwise.
+fn with_worker_label(name: &str, worker: u64) -> String {
+    match name.strip_suffix('}') {
+        Some(head) => format!("{head},worker={worker}}}"),
+        None => format!("{name}{{worker={worker}}}"),
+    }
+}
+
+/// Fold a worker's heartbeat metric delta into the coordinator's registry
+/// under `worker="<id>"` labels, making `/metrics` cluster-wide. Keys that
+/// already carry a worker label are skipped: they are themselves federated
+/// series (possible when coordinator and workers share one registry in
+/// threaded loopback runs) and re-merging them would loop.
+fn merge_worker_metrics(worker: u64, delta: &MetricsDelta) {
+    if !skipper_obs::enabled() || delta.is_empty() {
+        return;
+    }
+    for (name, v) in &delta.counters {
+        if name.contains("worker=") {
+            continue;
+        }
+        skipper_obs::counter_add(&with_worker_label(name, worker), *v);
+    }
+    for (name, v) in &delta.gauges {
+        if name.contains("worker=") {
+            continue;
+        }
+        skipper_obs::gauge_set(&with_worker_label(name, worker), *v);
+    }
+    for (name, h) in &delta.histograms {
+        if name.contains("worker=") {
+            continue;
+        }
+        let Ok(hist) = skipper_obs::Histogram::from_parts(
+            h.bounds.clone(),
+            h.counts.clone(),
+            h.sum,
+            h.count,
+            h.min,
+            h.max,
+        ) else {
+            continue; // mis-encoded delta; drop rather than poison
+        };
+        let _ = skipper_obs::registry().merge_histogram(&with_worker_label(name, worker), &hist);
+    }
+    skipper_obs::counter_add("cluster.metric_merges", 1.0);
+}
+
+/// Worker-side delta tracker for metric federation: remembers the last
+/// registry values shipped so each heartbeat carries only the increments
+/// since the previous one. A delta is committed when computed; a heartbeat
+/// lost to a dead connection therefore loses its delta — acceptable for
+/// telemetry, and it can never double-count.
+#[derive(Default)]
+struct MetricShadow {
+    counters: HashMap<String, f64>,
+    hist_counts: HashMap<String, Vec<u64>>,
+}
+
+impl MetricShadow {
+    /// The registry's movement since the last call, or `None` when tracing
+    /// is disabled or nothing changed. Series already carrying a worker
+    /// label are never shipped (they are someone else's federated data).
+    fn delta(&mut self) -> Option<MetricsDelta> {
+        if !skipper_obs::enabled() {
+            return None;
+        }
+        let snap = skipper_obs::registry().snapshot();
+        let mut out = MetricsDelta::default();
+        for (name, total) in snap.counters {
+            if name.contains("worker=") {
+                continue;
+            }
+            let last = self.counters.insert(name.clone(), total).unwrap_or(0.0);
+            if total != last {
+                out.counters.push((name, total - last));
+            }
+        }
+        for (name, value) in snap.gauges {
+            if name.contains("worker=") {
+                continue;
+            }
+            out.gauges.push((name, value));
+        }
+        for (name, hist) in snap.histograms {
+            if name.contains("worker=") {
+                continue;
+            }
+            let counts = hist.counts().to_vec();
+            let last = self
+                .hist_counts
+                .insert(name.clone(), counts.clone())
+                .unwrap_or_else(|| vec![0; counts.len()]);
+            let delta_counts: Vec<u64> = counts
+                .iter()
+                .zip(last.iter().chain(std::iter::repeat(&0)))
+                .map(|(now, then)| now.saturating_sub(*then))
+                .collect();
+            let delta_count: u64 = delta_counts.iter().sum();
+            if delta_count == 0 {
+                continue;
+            }
+            out.histograms.push((
+                name,
+                HistDelta {
+                    bounds: hist.bounds().to_vec(),
+                    counts: delta_counts,
+                    // Sum is not tracked per-delta; approximate the moved
+                    // mass by the bucket midpoint via mean — shipping the
+                    // lifetime mean times the moved count keeps the merged
+                    // mean sane without per-sample bookkeeping.
+                    sum: hist.mean() * delta_count as f64,
+                    count: delta_count,
+                    min: hist.min(),
+                    max: hist.max(),
+                },
+            ));
+        }
+        if out.is_empty() {
+            None
+        } else {
+            Some(out)
+        }
+    }
+}
+
+/// Bounded ring of recent per-connection happenings — the crash flight
+/// recorder. Recording costs nothing while tracing is disabled; on a
+/// worker loss the ring is dumped as JSONL next to the other run
+/// artifacts (`results/blackbox_<id>.jsonl`).
+pub(crate) struct FlightRecorder {
+    ring: VecDeque<String>,
+    cap: usize,
+}
+
+impl FlightRecorder {
+    fn new(cap: usize) -> FlightRecorder {
+        FlightRecorder {
+            ring: VecDeque::new(),
+            cap: cap.max(1),
+        }
+    }
+
+    /// Append one pre-summarized record; `detail` must be the inner JSON
+    /// fields (without braces) and is only rendered while tracing is
+    /// enabled.
+    fn note(&mut self, kind: &str, detail: impl FnOnce() -> String) {
+        if !skipper_obs::enabled() {
+            return;
+        }
+        let line = format!(
+            "{{\"ts_us\":{},\"kind\":\"{kind}\",{}}}",
+            skipper_obs::now_us(),
+            detail()
+        );
+        if self.ring.len() == self.cap {
+            self.ring.pop_front();
+        }
+        self.ring.push_back(line);
+    }
+
+    /// Write the ring to `path` (JSONL, oldest first) and emit a
+    /// `cluster.blackbox_dump` marker. Empty rings write nothing.
+    fn dump(&self, path: &std::path::Path) {
+        if self.ring.is_empty() {
+            return;
+        }
+        if let Some(parent) = path.parent() {
+            let _ = std::fs::create_dir_all(parent);
+        }
+        let write = || -> std::io::Result<()> {
+            let mut f = std::io::BufWriter::new(std::fs::File::create(path)?);
+            for line in &self.ring {
+                writeln!(f, "{line}")?;
+            }
+            f.flush()
+        };
+        match write() {
+            Ok(()) => {
+                skipper_obs::instant!(
+                    skipper_obs::Level::Warn,
+                    "cluster.blackbox_dump",
+                    path = path.display().to_string(),
+                    records = self.ring.len() as u64,
+                );
+            }
+            Err(e) => eprintln!("skipper: blackbox dump to {} failed: {e}", path.display()),
+        }
+    }
+}
+
+/// JSON-escape `s` into a quoted string (flight-recorder details carry
+/// free-form error text).
+fn json_str(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    skipper_obs::push_json_string(&mut out, s);
+    out
+}
+
+/// One-line JSON fields summarizing a protocol message for the flight
+/// recorder (payloads elided; identity and routing only).
+fn frame_summary(msg: &Message) -> String {
+    match msg {
+        Message::Hello {
+            worker, reconnect, ..
+        } => format!("\"msg\":\"Hello\",\"worker\":{worker},\"reconnect\":{reconnect}"),
+        Message::Welcome { worker, .. } => format!("\"msg\":\"Welcome\",\"worker\":{worker}"),
+        Message::Heartbeat {
+            worker,
+            iteration,
+            metrics,
+        } => format!(
+            "\"msg\":\"Heartbeat\",\"worker\":{worker},\"iteration\":{iteration},\"metrics\":{}",
+            metrics.is_some()
+        ),
+        Message::WorkSingle { ctx, .. } | Message::WorkForward { ctx, .. } => format!(
+            "\"msg\":\"{}\",\"iteration\":{},\"attempt\":{},\"shard\":{}",
+            if matches!(msg, Message::WorkSingle { .. }) {
+                "WorkSingle"
+            } else {
+                "WorkForward"
+            },
+            ctx.iteration,
+            ctx.attempt,
+            ctx.shard
+        ),
+        Message::WorkBackward {
+            iteration,
+            attempt,
+            shard,
+            ..
+        } => format!(
+            "\"msg\":\"WorkBackward\",\"iteration\":{iteration},\"attempt\":{attempt},\"shard\":{shard}"
+        ),
+        Message::ShardResult {
+            iteration,
+            attempt,
+            shard,
+            ..
+        } => format!(
+            "\"msg\":\"ShardResult\",\"iteration\":{iteration},\"attempt\":{attempt},\"shard\":{shard}"
+        ),
+        Message::Fault { worker, detail } => format!(
+            "\"msg\":\"Fault\",\"worker\":{worker},\"detail\":{}",
+            json_str(detail)
+        ),
+        Message::Shutdown => "\"msg\":\"Shutdown\"".to_string(),
+    }
+}
+
+/// Ring capacity of each connection's flight recorder.
+const BLACKBOX_CAP: usize = 512;
+
+/// Live status row of one worker, published through the `/cluster`
+/// endpoint of the obs metrics server.
+#[derive(Debug, Clone, Default)]
+struct WorkerStatus {
+    state: &'static str,
+    last_seen_us: u64,
+    iteration: u64,
+    attempt: u32,
+    shards: Vec<u32>,
+    stats: ChannelStats,
+    chaos_injected: u64,
+    lost_reason: String,
+}
+
+/// Shared worker-status board backing the `/cluster` endpoint.
+type Board = Arc<Mutex<BTreeMap<u64, WorkerStatus>>>;
+
+/// Render the board as the `/cluster` JSON document.
+fn render_cluster_json(board: &Board) -> String {
+    let board = board.lock().unwrap_or_else(|p| p.into_inner());
+    let mut out = String::from("{\"workers\":[");
+    for (i, (id, w)) in board.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        let shards: Vec<String> = w.shards.iter().map(|s| s.to_string()).collect();
+        let _ = std::fmt::Write::write_fmt(
+            &mut out,
+            format_args!(
+                "{{\"id\":{id},\"state\":{},\"last_seen_us\":{},\"iteration\":{},\
+                 \"attempt\":{},\"shards\":[{}],\"frames_sent\":{},\"frames_received\":{},\
+                 \"bytes_sent\":{},\"bytes_received\":{},\"frame_errors\":{},\
+                 \"chaos_injected\":{},\"lost_reason\":{}}}",
+                json_str(w.state),
+                w.last_seen_us,
+                w.iteration,
+                w.attempt,
+                shards.join(","),
+                w.stats.frames_sent,
+                w.stats.frames_received,
+                w.stats.bytes_sent,
+                w.stats.bytes_received,
+                w.stats.frame_errors,
+                w.chaos_injected,
+                json_str(&w.lost_reason),
+            ),
+        );
+    }
+    out.push_str("]}");
+    out
 }
 
 // ---------------------------------------------------------------------------
@@ -219,6 +566,7 @@ struct WorkerConn {
     id: u64,
     channel: Channel,
     last_seen: Instant,
+    recorder: FlightRecorder,
 }
 
 /// One attempt's failure, recovered by reassigning and retrying.
@@ -244,6 +592,11 @@ pub struct Coordinator {
     workers: Vec<WorkerConn>,
     next_auto_id: u64,
     ready: bool,
+    /// Worker-status board published through the obs server's `/cluster`
+    /// endpoint.
+    board: Board,
+    /// Token of this coordinator's `/cluster` provider registration.
+    provider_token: u64,
 }
 
 impl std::fmt::Debug for Coordinator {
@@ -277,6 +630,11 @@ impl Coordinator {
     }
 
     fn over(listener: Box<dyn ChannelListener>, cfg: ClusterConfig) -> Coordinator {
+        let board: Board = Arc::new(Mutex::new(BTreeMap::new()));
+        let provider_board = Arc::clone(&board);
+        let provider_token = skipper_obs::set_cluster_provider(Box::new(move || {
+            render_cluster_json(&provider_board)
+        }));
         Coordinator {
             listener,
             cfg,
@@ -284,6 +642,25 @@ impl Coordinator {
             workers: Vec::new(),
             next_auto_id: 1000,
             ready: false,
+            board,
+            provider_token,
+        }
+    }
+
+    /// Apply `f` to worker `id`'s status row (created default-initialized
+    /// on first sight).
+    fn update_status(&self, id: u64, f: impl FnOnce(&mut WorkerStatus)) {
+        let mut board = self.board.lock().unwrap_or_else(|p| p.into_inner());
+        f(board.entry(id).or_default());
+    }
+
+    /// Refresh every live worker's transport counters on the board.
+    fn refresh_board_stats(&self) {
+        let mut board = self.board.lock().unwrap_or_else(|p| p.into_inner());
+        for w in &self.workers {
+            let row = board.entry(w.id).or_default();
+            row.stats = w.channel.stats();
+            row.chaos_injected = w.channel.chaos_injected();
         }
     }
 
@@ -303,9 +680,8 @@ impl Coordinator {
     }
 
     fn publish_worker_gauge(&self) {
-        if skipper_obs::enabled() {
-            skipper_obs::gauge_set("cluster.workers", self.workers.len() as f64);
-        }
+        // gauge_set self-guards on enabled(); no outer check needed.
+        skipper_obs::gauge_set("cluster.workers", self.workers.len() as f64);
     }
 
     /// Accept and handshake pending connections for up to `window`.
@@ -328,9 +704,17 @@ impl Coordinator {
     /// the worker's backoff loop will come back.
     fn admit(&mut self, mut channel: Channel) {
         let hello = channel.recv_timeout(Duration::from_secs(2));
-        let Ok(Message::Hello { worker, reconnect }) = hello else {
+        let Ok(Message::Hello {
+            worker,
+            reconnect,
+            ping,
+        }) = hello
+        else {
             return;
         };
+        // Echo the worker's clock probe with our own receive timestamp so
+        // it can estimate the coordinator-worker clock offset (NTP-style).
+        let pong = ping.map(|t1| (t1, skipper_obs::now_us()));
         let id = if worker != 0 && !self.workers.iter().any(|w| w.id == worker) {
             worker
         } else {
@@ -345,44 +729,80 @@ impl Coordinator {
             .send(&Message::Welcome {
                 worker: id,
                 spec: spec.encode(),
+                pong,
             })
             .is_err()
         {
             return;
         }
-        if skipper_obs::enabled() {
-            if reconnect {
-                skipper_obs::counter_add("cluster.reconnects", 1.0);
-            }
-            skipper_obs::instant!(
-                skipper_obs::Level::Info,
-                "cluster.worker_joined",
-                worker = id,
-                reconnect = reconnect,
-            );
+        // counter_add and instant! self-guard on enabled().
+        if reconnect {
+            skipper_obs::counter_add("cluster.reconnects", 1.0);
         }
+        skipper_obs::instant!(
+            skipper_obs::Level::Info,
+            "cluster.worker_joined",
+            worker = id,
+            reconnect = reconnect,
+        );
+        let mut recorder = FlightRecorder::new(BLACKBOX_CAP);
+        recorder.note("admitted", || {
+            format!(
+                "\"worker\":{id},\"reconnect\":{reconnect},\"peer\":{}",
+                json_str(&channel.peer())
+            )
+        });
+        self.update_status(id, |row| {
+            row.state = "live";
+            row.last_seen_us = skipper_obs::now_us();
+            row.lost_reason.clear();
+        });
         self.workers.push(WorkerConn {
             id,
             channel,
             last_seen: Instant::now(),
+            recorder,
         });
         self.workers.sort_by_key(|w| w.id);
         self.publish_worker_gauge();
     }
 
-    /// Remove worker `id`, counting the death.
+    /// Remove worker `id`, counting the death and dumping its flight
+    /// recorder to `results/blackbox_<id>.jsonl`.
     fn kill_worker(&mut self, id: u64, why: &str) {
-        let before = self.workers.len();
-        self.workers.retain(|w| w.id != id);
-        if self.workers.len() < before && skipper_obs::enabled() {
-            skipper_obs::counter_add("cluster.worker_deaths", 1.0);
-            skipper_obs::instant!(
-                skipper_obs::Level::Warn,
-                "cluster.worker_lost",
-                worker = id,
-                reason = why,
-            );
-        }
+        let Some(pos) = self.workers.iter().position(|w| w.id == id) else {
+            self.publish_worker_gauge();
+            return;
+        };
+        let mut w = self.workers.remove(pos);
+        // The emitters self-guard on enabled(); only the length check above
+        // (did we actually remove someone?) is load-bearing.
+        skipper_obs::counter_add("cluster.worker_deaths", 1.0);
+        skipper_obs::instant!(
+            skipper_obs::Level::Warn,
+            "cluster.worker_lost",
+            worker = id,
+            reason = why,
+        );
+        let stats = w.channel.stats();
+        self.update_status(id, |row| {
+            row.state = "lost";
+            row.lost_reason = why.to_string();
+            row.stats = stats;
+            row.chaos_injected = w.channel.chaos_injected();
+        });
+        w.recorder.note("lost", || {
+            format!(
+                "\"worker\":{id},\"reason\":{},\"frames_sent\":{},\"frames_received\":{},\
+                 \"frame_errors\":{}",
+                json_str(why),
+                stats.frames_sent,
+                stats.frames_received,
+                stats.frame_errors
+            )
+        });
+        w.recorder
+            .dump(&blackbox_dir().join(format!("blackbox_{id}.jsonl")));
         self.publish_worker_gauge();
     }
 
@@ -442,6 +862,7 @@ impl Coordinator {
         let Some(w) = self.workers.iter_mut().find(|w| w.id == id) else {
             return Err(AttemptFail::new(format!("worker {id} vanished")));
         };
+        w.recorder.note("send", || frame_summary(msg));
         if let Err(e) = w.channel.send(msg) {
             self.kill_worker(id, "send failed");
             return Err(AttemptFail::new(format!("send to worker {id}: {e}")));
@@ -478,10 +899,12 @@ impl Coordinator {
             }
             let mut dead: Vec<(u64, String)> = Vec::new();
             let mut fault: Option<String> = None;
+            let mut merges: Vec<(u64, MetricsDelta)> = Vec::new();
             for w in self.workers.iter_mut() {
                 match w.channel.recv_timeout(POLL) {
                     Ok(msg) => {
                         w.last_seen = Instant::now();
+                        w.recorder.note("recv", || frame_summary(&msg));
                         match msg {
                             Message::ShardResult {
                                 iteration: i,
@@ -491,11 +914,25 @@ impl Coordinator {
                             } if i == iteration && a == attempt => {
                                 got.entry(shard).or_insert(payload);
                             }
-                            Message::ShardResult { .. } if skipper_obs::enabled() => {
+                            // counter_add self-guards on enabled(), so the
+                            // arms below match unconditionally.
+                            Message::ShardResult { .. } => {
                                 skipper_obs::counter_add("cluster.stale_results", 1.0);
                             }
-                            Message::Heartbeat { .. } if skipper_obs::enabled() => {
+                            Message::Heartbeat {
+                                iteration: hb_iter,
+                                metrics,
+                                ..
+                            } => {
                                 skipper_obs::counter_add("cluster.heartbeats", 1.0);
+                                if let Some(delta) = metrics {
+                                    merges.push((w.id, delta));
+                                }
+                                let mut board =
+                                    self.board.lock().unwrap_or_else(|p| p.into_inner());
+                                let row = board.entry(w.id).or_default();
+                                row.last_seen_us = skipper_obs::now_us();
+                                row.iteration = hb_iter;
                             }
                             Message::Fault { worker, detail } => {
                                 fault = Some(format!("worker {worker} fault: {detail}"));
@@ -507,6 +944,10 @@ impl Coordinator {
                     Err(e) => dead.push((w.id, e.to_string())),
                 }
             }
+            for (id, delta) in &merges {
+                merge_worker_metrics(*id, delta);
+            }
+            self.refresh_board_stats();
             for (id, why) in &dead {
                 self.kill_worker(*id, why);
             }
@@ -528,6 +969,21 @@ impl Coordinator {
         (0..shards)
             .map(|s| (s as u32, self.workers[s % self.workers.len()].id))
             .collect()
+    }
+
+    /// Publish an attempt's shard assignment on the `/cluster` board.
+    fn note_assignment(&self, assignment: &[(u32, u64)], iteration: u64, attempt: u32) {
+        let mut board = self.board.lock().unwrap_or_else(|p| p.into_inner());
+        for w in &self.workers {
+            let row = board.entry(w.id).or_default();
+            row.iteration = iteration;
+            row.attempt = attempt;
+            row.shards = assignment
+                .iter()
+                .filter(|(_, id)| *id == w.id)
+                .map(|(s, _)| *s)
+                .collect();
+        }
     }
 
     /// Run one training iteration across the cluster. Gradients are left
@@ -589,16 +1045,15 @@ impl Coordinator {
                 Ok(step) => return Ok(step),
                 Err(fail) => {
                     attempt += 1;
-                    if skipper_obs::enabled() {
-                        skipper_obs::counter_add("cluster.attempt_retries", 1.0);
-                        skipper_obs::instant!(
-                            skipper_obs::Level::Warn,
-                            "cluster.attempt_retry",
-                            iteration = iter_seed,
-                            attempt = attempt,
-                            reason = fail.reason.as_str(),
-                        );
-                    }
+                    // Both emitters self-guard on enabled().
+                    skipper_obs::counter_add("cluster.attempt_retries", 1.0);
+                    skipper_obs::instant!(
+                        skipper_obs::Level::Warn,
+                        "cluster.attempt_retry",
+                        iteration = iter_seed,
+                        attempt = attempt,
+                        reason = fail.reason.as_str(),
+                    );
                 }
             }
         }
@@ -618,6 +1073,8 @@ impl Coordinator {
         ctx_for: &dyn Fn(u32, &std::ops::Range<usize>) -> WorkCtx,
     ) -> Result<StepResult, AttemptFail> {
         let assignment = self.assign(plan.len());
+        self.note_assignment(&assignment, iter_seed, attempt);
+        let trace = current_trace_ctx();
         for (shard, worker) in &assignment {
             let range = &plan[*shard as usize];
             let msg = Message::WorkSingle {
@@ -625,6 +1082,7 @@ impl Coordinator {
                 params: params.to_vec(),
                 labels: labels[range.clone()].iter().map(|&l| l as u32).collect(),
                 inputs: slice_rows(inputs, range),
+                trace,
             };
             self.send_to(*worker, &msg)?;
         }
@@ -699,6 +1157,8 @@ impl Coordinator {
             }
         };
         let assignment = self.assign(plan.len());
+        self.note_assignment(&assignment, iter_seed, attempt);
+        let trace = current_trace_ctx();
         for (shard, worker) in &assignment {
             let range = &plan[*shard as usize];
             let msg = Message::WorkForward {
@@ -706,6 +1166,7 @@ impl Coordinator {
                 params: params.to_vec(),
                 labels: labels[range.clone()].iter().map(|&l| l as u32).collect(),
                 inputs: slice_rows(inputs, range),
+                trace,
             };
             self.send_to(*worker, &msg)?;
         }
@@ -746,6 +1207,7 @@ impl Coordinator {
                     attempt,
                     shard: *shard,
                     sums: sums.clone(),
+                    trace,
                 },
             )?;
         }
@@ -784,6 +1246,7 @@ impl Drop for Coordinator {
         for w in self.workers.iter_mut() {
             let _ = w.channel.send(&Message::Shutdown);
         }
+        skipper_obs::clear_cluster_provider(self.provider_token);
     }
 }
 
@@ -890,8 +1353,24 @@ pub fn run_worker(
     let mut rng = XorShiftRng::new(opts.backoff.seed ^ opts.id.wrapping_mul(0x9E37)); // jitter only
     let mut connect_attempt: u32 = 0;
     let mut was_connected = false;
+    // Persists across reconnects so a rejoining worker never re-ships
+    // already-federated totals as fresh deltas.
+    let mut shadow = MetricShadow::default();
+    // The worker's own flight recorder; dumped on a chaos kill, on an
+    // exhausted reconnect budget, and (via the guard) on a panicking
+    // unwind, as `blackbox_<id>_self.jsonl` (the `_self` suffix keeps it
+    // apart from the coordinator's dump for the same worker).
+    let mut recorder = WorkerRecorder {
+        id: opts.id,
+        rec: FlightRecorder::new(BLACKBOX_CAP),
+    };
     loop {
         if connect_attempt > opts.backoff.max_retries {
+            recorder.rec.note("exhausted", || {
+                format!("\"worker\":{},\"attempts\":{connect_attempt}", recorder.id)
+            });
+            recorder.dump_self();
+            skipper_obs::flush();
             return Err(SkipperError::Transport {
                 peer: connector.peer(),
                 detail: format!(
@@ -902,31 +1381,63 @@ pub fn run_worker(
         }
         if connect_attempt > 0 {
             let delay = backoff_delay(&opts.backoff, connect_attempt - 1, &mut rng);
-            if skipper_obs::enabled() {
-                skipper_obs::counter_add("cluster.backoff_retries", 1.0);
-            }
+            // counter_add self-guards on enabled().
+            skipper_obs::counter_add("cluster.backoff_retries", 1.0);
             std::thread::sleep(delay);
         }
         let Ok(mut channel) = connector.connect_channel() else {
             connect_attempt += 1;
             continue;
         };
+        // Clock probe: our send timestamp rides in Hello; the coordinator
+        // echoes it with its own receive timestamp in Welcome. Only armed
+        // while tracing is enabled so disabled runs keep the old frames.
+        let ping = if skipper_obs::enabled() {
+            Some(skipper_obs::now_us())
+        } else {
+            None
+        };
         if channel
             .send(&Message::Hello {
                 worker: opts.id,
                 reconnect: was_connected,
+                ping,
             })
             .is_err()
         {
             connect_attempt += 1;
             continue;
         }
-        let Ok(Message::Welcome { worker: id, spec }) =
-            channel.recv_timeout(Duration::from_secs(10))
+        let Ok(Message::Welcome {
+            worker: id,
+            spec,
+            pong,
+        }) = channel.recv_timeout(Duration::from_secs(10))
         else {
             connect_attempt += 1;
             continue;
         };
+        let t3 = skipper_obs::now_us();
+        if let Some((t1, t2)) = pong {
+            // NTP-style: assume symmetric paths; the coordinator stamped t2
+            // between our t1 and t3, so offset = t2 - midpoint(t1, t3)
+            // estimates (coordinator clock - worker clock). The stitcher
+            // shifts this worker's timestamps by +offset.
+            let offset = t2 as i64 - ((t1 + t3) / 2) as i64;
+            let rtt = t3.saturating_sub(t1);
+            skipper_obs::gauge_set("cluster.clock_offset_us", offset as f64);
+            skipper_obs::instant!(
+                skipper_obs::Level::Info,
+                "cluster.clock_sync",
+                worker = id,
+                offset_us = offset,
+                rtt_us = rtt,
+            );
+        }
+        // Carve a private span-id range so ids from this process never
+        // collide with the coordinator's (or other workers') in a stitched
+        // multi-process trace.
+        skipper_obs::namespace_span_ids(id << 40);
         let Ok(spec) = WireSpec::decode(&spec) else {
             connect_attempt += 1;
             continue;
@@ -935,13 +1446,58 @@ pub fn run_worker(
             report.reconnects += 1;
         }
         was_connected = true;
-        match serve(&mut channel, id, &spec, opts, &mut report) {
-            ServeEnd::Shutdown => return Ok(report),
+        recorder.id = id;
+        recorder.rec.note("connected", || {
+            format!("\"worker\":{id},\"reconnect\":{was_connected}")
+        });
+        match serve(
+            &mut channel,
+            id,
+            &spec,
+            opts,
+            &mut report,
+            &mut shadow,
+            &mut recorder.rec,
+        ) {
+            ServeEnd::Shutdown => {
+                skipper_obs::flush();
+                return Ok(report);
+            }
             ServeEnd::Killed => {
                 report.killed = true;
+                recorder.rec.note("killed", || {
+                    format!("\"worker\":{id},\"iteration\":{}", report.iterations)
+                });
+                recorder.dump_self();
+                skipper_obs::flush();
                 return Ok(report);
             }
             ServeEnd::Reconnect => connect_attempt = 1,
+        }
+    }
+}
+
+/// Owns a worker's [`FlightRecorder`] and dumps it if the thread unwinds
+/// with the recorder still alive — the crash path that can't reach an
+/// explicit dump call.
+struct WorkerRecorder {
+    id: u64,
+    rec: FlightRecorder,
+}
+
+impl WorkerRecorder {
+    fn dump_self(&self) {
+        self.rec
+            .dump(&blackbox_dir().join(format!("blackbox_{}_self.jsonl", self.id)));
+    }
+}
+
+impl Drop for WorkerRecorder {
+    fn drop(&mut self) {
+        if std::thread::panicking() {
+            self.rec.note("panic", || format!("\"worker\":{}", self.id));
+            self.dump_self();
+            skipper_obs::flush();
         }
     }
 }
@@ -953,6 +1509,34 @@ enum ServeEnd {
     Reconnect,
 }
 
+/// Open the `worker_task` span for one dispatch, parented under the
+/// coordinator's `iteration` span when the frame carried a trace context
+/// (remote parent ids resolve after [`skipper_obs::namespace_span_ids`]
+/// keeps the id spaces disjoint). Spans the shard cores open underneath
+/// nest here via the thread-local stack, exactly like the in-process
+/// engine's pool.
+fn worker_task_span(
+    worker: u64,
+    iteration: u64,
+    attempt: u32,
+    shard: u32,
+    trace: Option<TraceCtx>,
+) -> skipper_obs::SpanGuard {
+    if !skipper_obs::enabled() {
+        return skipper_obs::SpanGuard::disabled();
+    }
+    skipper_obs::SpanGuard::enter_with_parent(
+        "worker_task",
+        vec![
+            ("worker", worker.into()),
+            ("iteration", iteration.into()),
+            ("attempt", attempt.into()),
+            ("shard", shard.into()),
+        ],
+        trace.map(|t| t.parent),
+    )
+}
+
 /// Serve one established connection until it drops or the coordinator
 /// says Shutdown.
 fn serve(
@@ -961,6 +1545,8 @@ fn serve(
     spec: &WireSpec,
     opts: &WorkerOptions,
     report: &mut WorkerReport,
+    shadow: &mut MetricShadow,
+    recorder: &mut FlightRecorder,
 ) -> ServeEnd {
     let mut net = custom_net(&spec.model);
     let mut carries: HashMap<(u64, u32, u32), WorkerCarry> = HashMap::new();
@@ -970,10 +1556,13 @@ fn serve(
         let msg = match channel.recv_timeout(opts.heartbeat_interval) {
             Ok(msg) => msg,
             Err(TransportError::Timeout) => {
+                // Idle beacon doubles as the metric-federation carrier.
+                let metrics = shadow.delta();
                 if channel
                     .send(&Message::Heartbeat {
                         worker: id,
                         iteration: last_iter,
+                        metrics,
                     })
                     .is_err()
                 {
@@ -983,6 +1572,7 @@ fn serve(
             }
             Err(_) => return ServeEnd::Reconnect,
         };
+        recorder.note("recv", || frame_summary(&msg));
         match msg {
             Message::Shutdown => return ServeEnd::Shutdown,
             Message::WorkSingle {
@@ -990,6 +1580,7 @@ fn serve(
                 params,
                 labels,
                 inputs,
+                trace,
             } => {
                 if matches!(kill, Some((kw, ki)) if kw == id && ctx.iteration >= ki) {
                     return ServeEnd::Killed;
@@ -998,6 +1589,8 @@ fn serve(
                     last_iter = ctx.iteration;
                     report.iterations += 1;
                 }
+                let task = worker_task_span(id, ctx.iteration, ctx.attempt, ctx.shard, trace);
+                let shard_span = skipper_obs::span!("shard", shard = ctx.shard);
                 let reply = match work_single(&mut net, &ctx, &params, &labels, &inputs) {
                     Ok(payload) => {
                         report.shards += 1;
@@ -1010,6 +1603,8 @@ fn serve(
                     }
                     Err(detail) => Message::Fault { worker: id, detail },
                 };
+                drop(shard_span);
+                drop(task);
                 if channel.send(&reply).is_err() {
                     return ServeEnd::Reconnect;
                 }
@@ -1019,6 +1614,7 @@ fn serve(
                 params,
                 labels,
                 inputs,
+                trace,
             } => {
                 if matches!(kill, Some((kw, ki)) if kw == id && ctx.iteration >= ki) {
                     return ServeEnd::Killed;
@@ -1028,6 +1624,8 @@ fn serve(
                     report.iterations += 1;
                 }
                 carries.retain(|(i, a, _), _| *i == ctx.iteration && *a == ctx.attempt);
+                let task = worker_task_span(id, ctx.iteration, ctx.attempt, ctx.shard, trace);
+                let shard_span = skipper_obs::span!("shard_forward", shard = ctx.shard);
                 let reply = match work_forward(&mut net, &ctx, &params, &labels, &inputs) {
                     Ok((payload, carry)) => {
                         report.shards += 1;
@@ -1041,6 +1639,8 @@ fn serve(
                     }
                     Err(detail) => Message::Fault { worker: id, detail },
                 };
+                drop(shard_span);
+                drop(task);
                 if channel.send(&reply).is_err() {
                     return ServeEnd::Reconnect;
                 }
@@ -1050,7 +1650,10 @@ fn serve(
                 attempt,
                 shard,
                 sums,
+                trace,
             } => {
+                let task = worker_task_span(id, iteration, attempt, shard, trace);
+                let shard_span = skipper_obs::span!("shard_backward", shard = shard);
                 let reply = match carries.remove(&(iteration, attempt, shard)) {
                     Some(carry) => {
                         report.shards += 1;
@@ -1069,6 +1672,8 @@ fn serve(
                         ),
                     },
                 };
+                drop(shard_span);
+                drop(task);
                 if channel.send(&reply).is_err() {
                     return ServeEnd::Reconnect;
                 }

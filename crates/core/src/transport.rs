@@ -50,7 +50,9 @@ use skipper_snn::serialize::crc32;
 use skipper_tensor::{Tensor, XorShiftRng};
 use std::io::{Read, Write};
 use std::net::{TcpListener, TcpStream};
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::mpsc::{channel, Receiver, RecvTimeoutError, Sender};
+use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 /// Frame magic: `"SKFR"` little-endian.
@@ -232,6 +234,15 @@ impl<'a> WireReader<'a> {
             return Err(TransportError::Frame(format!("implausible f32 count {n}")));
         }
         (0..n).map(|_| self.f32()).collect()
+    }
+
+    /// Bytes not yet consumed. The wire format grows by appending
+    /// *optional trailing blocks* to existing messages: a decoder probes
+    /// `remaining() > 0` before [`done`](WireReader::done) (which rejects
+    /// trailing bytes), so frames from peers predating a block still parse
+    /// with the corresponding field absent.
+    pub fn remaining(&self) -> usize {
+        self.buf.len() - self.at
     }
 
     pub fn done(&self) -> Result<(), TransportError> {
@@ -503,6 +514,172 @@ fn read_grads(r: &mut WireReader<'_>) -> Result<WireGrads, TransportError> {
         .collect()
 }
 
+// ---------------------------------------------------------------------------
+// Optional trailing blocks: trace context + metric deltas
+// ---------------------------------------------------------------------------
+
+/// Version tag opening every optional trailing block, so a future format
+/// revision can be told apart from a truncation or garbage.
+const BLOCK_V1: u8 = 1;
+
+/// Distributed trace context riding on work dispatches: the coordinator's
+/// run-level trace id and the span (the open `iteration` span) that the
+/// worker's `worker_task` span should nest under. Ships as an optional
+/// trailing block — frames from coordinators predating it decode with the
+/// field `None` and workers simply open unparented spans, as before.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) struct TraceCtx {
+    /// Process-stable id of the coordinator's trace (groups every span of
+    /// one training run across all processes).
+    pub trace: u64,
+    /// Span id the receiving worker adopts as its remote parent.
+    pub parent: u64,
+}
+
+fn put_trace(buf: &mut Vec<u8>, t: &Option<TraceCtx>) {
+    if let Some(t) = t {
+        buf.push(BLOCK_V1);
+        put_u64(buf, t.trace);
+        put_u64(buf, t.parent);
+    }
+}
+
+fn read_trace(r: &mut WireReader<'_>) -> Result<Option<TraceCtx>, TransportError> {
+    if r.remaining() == 0 {
+        return Ok(None);
+    }
+    let v = r.u8()?;
+    if v != BLOCK_V1 {
+        return Err(TransportError::Frame(format!(
+            "unknown trace-context block version {v}"
+        )));
+    }
+    Ok(Some(TraceCtx {
+        trace: r.u64()?,
+        parent: r.u64()?,
+    }))
+}
+
+/// One histogram's federated state: bucket-count deltas since the last
+/// heartbeat plus the worker's lifetime sum/count deltas and min/max.
+#[derive(Debug, Clone, PartialEq)]
+pub(crate) struct HistDelta {
+    pub bounds: Vec<f64>,
+    pub counts: Vec<u64>,
+    pub sum: f64,
+    pub count: u64,
+    pub min: f64,
+    pub max: f64,
+}
+
+/// Compact metric-registry delta a worker piggybacks on `Heartbeat`:
+/// counter increments, current gauge values, and histogram bucket deltas
+/// since the previous heartbeat. The coordinator merges these into its own
+/// registry under `worker="<id>"` labels, making `/metrics` cluster-wide.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub(crate) struct MetricsDelta {
+    pub counters: Vec<(String, f64)>,
+    pub gauges: Vec<(String, f64)>,
+    pub histograms: Vec<(String, HistDelta)>,
+}
+
+impl MetricsDelta {
+    pub fn is_empty(&self) -> bool {
+        self.counters.is_empty() && self.gauges.is_empty() && self.histograms.is_empty()
+    }
+}
+
+/// Plausibility cap on federated series per heartbeat; a delta this large
+/// is a mis-encoded frame, not telemetry.
+const MAX_DELTA_SERIES: usize = 1 << 16;
+
+fn put_metrics_delta(buf: &mut Vec<u8>, d: &Option<MetricsDelta>) {
+    let Some(d) = d else { return };
+    buf.push(BLOCK_V1);
+    put_u32(buf, d.counters.len() as u32);
+    for (name, v) in &d.counters {
+        put_str(buf, name);
+        put_f64(buf, *v);
+    }
+    put_u32(buf, d.gauges.len() as u32);
+    for (name, v) in &d.gauges {
+        put_str(buf, name);
+        put_f64(buf, *v);
+    }
+    put_u32(buf, d.histograms.len() as u32);
+    for (name, h) in &d.histograms {
+        put_str(buf, name);
+        put_f64s(buf, &h.bounds);
+        put_u32(buf, h.counts.len() as u32);
+        for &c in &h.counts {
+            put_u64(buf, c);
+        }
+        put_f64(buf, h.sum);
+        put_u64(buf, h.count);
+        put_f64(buf, h.min);
+        put_f64(buf, h.max);
+    }
+}
+
+fn read_metrics_delta(r: &mut WireReader<'_>) -> Result<Option<MetricsDelta>, TransportError> {
+    if r.remaining() == 0 {
+        return Ok(None);
+    }
+    let v = r.u8()?;
+    if v != BLOCK_V1 {
+        return Err(TransportError::Frame(format!(
+            "unknown metrics-delta block version {v}"
+        )));
+    }
+    let series = |r: &mut WireReader<'_>| -> Result<Vec<(String, f64)>, TransportError> {
+        let n = r.u32()? as usize;
+        if n > MAX_DELTA_SERIES {
+            return Err(TransportError::Frame(format!(
+                "implausible metric-series count {n}"
+            )));
+        }
+        (0..n).map(|_| Ok((r.string()?, r.f64()?))).collect()
+    };
+    let counters = series(r)?;
+    let gauges = series(r)?;
+    let n = r.u32()? as usize;
+    if n > MAX_DELTA_SERIES {
+        return Err(TransportError::Frame(format!(
+            "implausible histogram-series count {n}"
+        )));
+    }
+    let mut histograms = Vec::with_capacity(n);
+    for _ in 0..n {
+        let name = r.string()?;
+        let bounds = r.f64s()?;
+        let buckets = r.u32()? as usize;
+        if buckets > 1 << 16 {
+            return Err(TransportError::Frame(format!(
+                "implausible bucket count {buckets}"
+            )));
+        }
+        let counts = (0..buckets)
+            .map(|_| r.u64())
+            .collect::<Result<Vec<_>, _>>()?;
+        histograms.push((
+            name,
+            HistDelta {
+                bounds,
+                counts,
+                sum: r.f64()?,
+                count: r.u64()?,
+                min: r.f64()?,
+                max: r.f64()?,
+            },
+        ));
+    }
+    Ok(Some(MetricsDelta {
+        counters,
+        gauges,
+        histograms,
+    }))
+}
+
 /// What one shard hands back for one dispatch.
 #[derive(Debug, Clone, PartialEq)]
 pub(crate) enum ResultPayload {
@@ -526,21 +703,44 @@ pub(crate) enum ResultPayload {
 }
 
 /// Every message the coordinator/worker protocol exchanges.
+///
+/// Fields typed `Option<...>` ride as optional trailing blocks after the
+/// original fixed layout: `None` encodes to byte-identical old frames, and
+/// a decoder finding no trailing bytes yields `None` — so mixed-version
+/// clusters (old worker, new coordinator) keep interoperating.
 #[derive(Debug, Clone, PartialEq)]
 pub(crate) enum Message {
-    /// Worker → coordinator on (re)connect.
-    Hello { worker: u64, reconnect: bool },
+    /// Worker → coordinator on (re)connect. `ping` is the worker's local
+    /// send timestamp (µs on its own clock), echoed back in `Welcome` for
+    /// the NTP-style clock-offset estimate.
+    Hello {
+        worker: u64,
+        reconnect: bool,
+        ping: Option<u64>,
+    },
     /// Coordinator → worker: assigned id + model spec bytes
-    /// (see [`crate::cluster::WireSpec`]).
-    Welcome { worker: u64, spec: Vec<u8> },
-    /// Worker → coordinator liveness beacon (sent while idle).
-    Heartbeat { worker: u64, iteration: u64 },
+    /// (see [`crate::cluster::WireSpec`]). `pong` is `(t1_echo, t2)`:
+    /// the worker's `ping` echoed back plus the coordinator's local
+    /// receive/send timestamp.
+    Welcome {
+        worker: u64,
+        spec: Vec<u8>,
+        pong: Option<(u64, u64)>,
+    },
+    /// Worker → coordinator liveness beacon (sent while idle), optionally
+    /// carrying the worker's metric-registry delta for federation.
+    Heartbeat {
+        worker: u64,
+        iteration: u64,
+        metrics: Option<MetricsDelta>,
+    },
     /// One whole single-phase shard: params + sliced inputs + labels.
     WorkSingle {
         ctx: WorkCtx,
         params: Vec<u8>,
         labels: Vec<u32>,
         inputs: Vec<Tensor>,
+        trace: Option<TraceCtx>,
     },
     /// Phase A of a two-phase shard (same payload shape as `WorkSingle`).
     WorkForward {
@@ -548,6 +748,7 @@ pub(crate) enum Message {
         params: Vec<u8>,
         labels: Vec<u32>,
         inputs: Vec<Tensor>,
+        trace: Option<TraceCtx>,
     },
     /// Phase B go: globally aggregated SAM sums (the worker re-derives
     /// the skip schedule bit-identically with `decide_skips`).
@@ -556,6 +757,7 @@ pub(crate) enum Message {
         attempt: u32,
         shard: u32,
         sums: Vec<f64>,
+        trace: Option<TraceCtx>,
     },
     /// Worker → coordinator shard result.
     ShardResult {
@@ -576,32 +778,52 @@ impl Message {
     pub fn encode(&self) -> Vec<u8> {
         let mut buf = Vec::new();
         match self {
-            Message::Hello { worker, reconnect } => {
+            Message::Hello {
+                worker,
+                reconnect,
+                ping,
+            } => {
                 buf.push(1);
                 put_u64(&mut buf, *worker);
                 buf.push(u8::from(*reconnect));
+                if let Some(t1) = ping {
+                    buf.push(BLOCK_V1);
+                    put_u64(&mut buf, *t1);
+                }
             }
-            Message::Welcome { worker, spec } => {
+            Message::Welcome { worker, spec, pong } => {
                 buf.push(2);
                 put_u64(&mut buf, *worker);
                 put_bytes(&mut buf, spec);
+                if let Some((t1, t2)) = pong {
+                    buf.push(BLOCK_V1);
+                    put_u64(&mut buf, *t1);
+                    put_u64(&mut buf, *t2);
+                }
             }
-            Message::Heartbeat { worker, iteration } => {
+            Message::Heartbeat {
+                worker,
+                iteration,
+                metrics,
+            } => {
                 buf.push(3);
                 put_u64(&mut buf, *worker);
                 put_u64(&mut buf, *iteration);
+                put_metrics_delta(&mut buf, metrics);
             }
             Message::WorkSingle {
                 ctx,
                 params,
                 labels,
                 inputs,
+                trace,
             }
             | Message::WorkForward {
                 ctx,
                 params,
                 labels,
                 inputs,
+                trace,
             } => {
                 buf.push(if matches!(self, Message::WorkSingle { .. }) {
                     4
@@ -618,18 +840,21 @@ impl Message {
                 for t in inputs {
                     put_tensor(&mut buf, t);
                 }
+                put_trace(&mut buf, trace);
             }
             Message::WorkBackward {
                 iteration,
                 attempt,
                 shard,
                 sums,
+                trace,
             } => {
                 buf.push(6);
                 put_u64(&mut buf, *iteration);
                 put_u32(&mut buf, *attempt);
                 put_u32(&mut buf, *shard);
                 put_f64s(&mut buf, sums);
+                put_trace(&mut buf, trace);
             }
             Message::ShardResult {
                 iteration,
@@ -691,18 +916,52 @@ impl Message {
     pub fn decode(payload: &[u8]) -> Result<Message, TransportError> {
         let mut r = WireReader::new(payload);
         let msg = match r.u8()? {
-            1 => Message::Hello {
-                worker: r.u64()?,
-                reconnect: r.u8()? != 0,
-            },
-            2 => Message::Welcome {
-                worker: r.u64()?,
-                spec: r.bytes()?.to_vec(),
-            },
-            3 => Message::Heartbeat {
-                worker: r.u64()?,
-                iteration: r.u64()?,
-            },
+            1 => {
+                let worker = r.u64()?;
+                let reconnect = r.u8()? != 0;
+                let ping = if r.remaining() > 0 {
+                    let v = r.u8()?;
+                    if v != BLOCK_V1 {
+                        return Err(TransportError::Frame(format!(
+                            "unknown hello-ping block version {v}"
+                        )));
+                    }
+                    Some(r.u64()?)
+                } else {
+                    None
+                };
+                Message::Hello {
+                    worker,
+                    reconnect,
+                    ping,
+                }
+            }
+            2 => {
+                let worker = r.u64()?;
+                let spec = r.bytes()?.to_vec();
+                let pong = if r.remaining() > 0 {
+                    let v = r.u8()?;
+                    if v != BLOCK_V1 {
+                        return Err(TransportError::Frame(format!(
+                            "unknown welcome-pong block version {v}"
+                        )));
+                    }
+                    Some((r.u64()?, r.u64()?))
+                } else {
+                    None
+                };
+                Message::Welcome { worker, spec, pong }
+            }
+            3 => {
+                let worker = r.u64()?;
+                let iteration = r.u64()?;
+                let metrics = read_metrics_delta(&mut r)?;
+                Message::Heartbeat {
+                    worker,
+                    iteration,
+                    metrics,
+                }
+            }
             tag @ (4 | 5) => {
                 let ctx = read_ctx(&mut r)?;
                 let params = r.bytes()?.to_vec();
@@ -722,12 +981,14 @@ impl Message {
                 let inputs = (0..t)
                     .map(|_| read_tensor(&mut r))
                     .collect::<Result<Vec<_>, _>>()?;
+                let trace = read_trace(&mut r)?;
                 if tag == 4 {
                     Message::WorkSingle {
                         ctx,
                         params,
                         labels,
                         inputs,
+                        trace,
                     }
                 } else {
                     Message::WorkForward {
@@ -735,6 +996,7 @@ impl Message {
                         params,
                         labels,
                         inputs,
+                        trace,
                     }
                 }
             }
@@ -743,6 +1005,7 @@ impl Message {
                 attempt: r.u32()?,
                 shard: r.u32()?,
                 sums: r.f64s()?,
+                trace: read_trace(&mut r)?,
             },
             7 => {
                 let iteration = r.u64()?;
@@ -1138,15 +1401,29 @@ pub(crate) struct FaultyLink<L: FrameLink> {
     inner: L,
     cfg: ChaosConfig,
     rng: XorShiftRng,
+    injected: Arc<AtomicU64>,
 }
 
 impl<L: FrameLink> FaultyLink<L> {
     pub fn new(inner: L, cfg: ChaosConfig, salt: u64) -> FaultyLink<L> {
         let rng = XorShiftRng::new(cfg.seed.wrapping_mul(0x9E37_79B9_7F4A_7C15) ^ salt);
-        FaultyLink { inner, cfg, rng }
+        FaultyLink {
+            inner,
+            cfg,
+            rng,
+            injected: Arc::new(AtomicU64::new(0)),
+        }
     }
 
-    fn chaos_event(kind: &str) {
+    /// Live count of faults injected on this link, readable after the
+    /// link is boxed away inside a [`Channel`] (the `/cluster` status
+    /// table reports it per connection).
+    pub fn injected_handle(&self) -> Arc<AtomicU64> {
+        Arc::clone(&self.injected)
+    }
+
+    fn chaos_event(&self, kind: &str) {
+        self.injected.fetch_add(1, Ordering::Relaxed);
         if skipper_obs::enabled() {
             skipper_obs::counter_add(
                 &skipper_obs::labeled("engine.transport_chaos", "kind", kind),
@@ -1159,23 +1436,23 @@ impl<L: FrameLink> FaultyLink<L> {
 impl<L: FrameLink> FrameLink for FaultyLink<L> {
     fn send_frame(&mut self, frame: &[u8]) -> Result<(), TransportError> {
         if self.cfg.delay > 0.0 && self.rng.next_f64() < self.cfg.delay {
-            Self::chaos_event("delay");
+            self.chaos_event("delay");
             std::thread::sleep(Duration::from_micros(self.cfg.delay_us));
         }
         if self.cfg.drop > 0.0 && self.rng.next_f64() < self.cfg.drop {
-            Self::chaos_event("drop");
+            self.chaos_event("drop");
             return Ok(()); // silently lost on the wire
         }
         let mutated: Option<Vec<u8>> =
             if self.cfg.corrupt > 0.0 && self.rng.next_f64() < self.cfg.corrupt {
-                Self::chaos_event("corrupt");
+                self.chaos_event("corrupt");
                 let mut bytes = frame.to_vec();
                 let at = (self.rng.next_u64() as usize) % bytes.len().max(1);
                 let bit = 1u8 << (self.rng.next_u64() % 8);
                 bytes[at] ^= bit;
                 Some(bytes)
             } else if self.cfg.truncate > 0.0 && self.rng.next_f64() < self.cfg.truncate {
-                Self::chaos_event("truncate");
+                self.chaos_event("truncate");
                 let keep = (self.rng.next_u64() as usize) % frame.len().max(1);
                 Some(frame[..keep].to_vec())
             } else {
@@ -1184,7 +1461,7 @@ impl<L: FrameLink> FrameLink for FaultyLink<L> {
         let bytes = mutated.as_deref().unwrap_or(frame);
         self.inner.send_frame(bytes)?;
         if self.cfg.dup > 0.0 && self.rng.next_f64() < self.cfg.dup {
-            Self::chaos_event("dup");
+            self.chaos_event("dup");
             self.inner.send_frame(bytes)?;
         }
         Ok(())
@@ -1203,11 +1480,25 @@ impl<L: FrameLink> FrameLink for FaultyLink<L> {
 // Channel: the message-level API
 // ---------------------------------------------------------------------------
 
+/// Per-connection transport counters, kept as plain `u64`s on the
+/// [`Channel`] (single-owner, no atomics needed). The coordinator's
+/// `/cluster` status table snapshots them per worker.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub(crate) struct ChannelStats {
+    pub frames_sent: u64,
+    pub frames_received: u64,
+    pub bytes_sent: u64,
+    pub bytes_received: u64,
+    pub frame_errors: u64,
+}
+
 /// A duplex message channel over some [`FrameLink`]; this is what the
 /// cluster layer holds per connection. Public only because
 /// [`ChannelConnector`] returns it — its message API is crate-internal.
 pub struct Channel {
     link: Box<dyn FrameLink>,
+    stats: ChannelStats,
+    chaos_injected: Option<Arc<AtomicU64>>,
 }
 
 impl std::fmt::Debug for Channel {
@@ -1222,6 +1513,8 @@ impl Channel {
     pub(crate) fn over(link: impl FrameLink + 'static) -> Channel {
         Channel {
             link: Box::new(link),
+            stats: ChannelStats::default(),
+            chaos_injected: None,
         }
     }
 
@@ -1233,7 +1526,11 @@ impl Channel {
     ) -> Channel {
         match chaos {
             Some(cfg) if cfg.frame_faults() => {
-                Channel::over(FaultyLink::new(link, cfg.clone(), salt))
+                let faulty = FaultyLink::new(link, cfg.clone(), salt);
+                let injected = faulty.injected_handle();
+                let mut ch = Channel::over(faulty);
+                ch.chaos_injected = Some(injected);
+                ch
             }
             _ => Channel::over(link),
         }
@@ -1242,6 +1539,8 @@ impl Channel {
     /// Encode and ship one message.
     pub(crate) fn send(&mut self, msg: &Message) -> Result<(), TransportError> {
         let frame = frame_bytes(&msg.encode());
+        self.stats.frames_sent += 1;
+        self.stats.bytes_sent += frame.len() as u64;
         if skipper_obs::enabled() {
             skipper_obs::counter_add(
                 &skipper_obs::labeled("engine.transport_frames", "dir", "sent"),
@@ -1259,11 +1558,20 @@ impl Channel {
     /// failures increment `engine.transport_frame_errors` and poison the
     /// connection.
     pub(crate) fn recv_timeout(&mut self, timeout: Duration) -> Result<Message, TransportError> {
-        let payload = self.link.recv_frame(timeout).inspect_err(|e| {
-            if matches!(e, TransportError::Frame(_)) && skipper_obs::enabled() {
-                skipper_obs::counter_add("engine.transport_frame_errors", 1.0);
+        let payload = match self.link.recv_frame(timeout) {
+            Ok(payload) => payload,
+            Err(e) => {
+                if matches!(e, TransportError::Frame(_)) {
+                    self.stats.frame_errors += 1;
+                    if skipper_obs::enabled() {
+                        skipper_obs::counter_add("engine.transport_frame_errors", 1.0);
+                    }
+                }
+                return Err(e);
             }
-        })?;
+        };
+        self.stats.frames_received += 1;
+        self.stats.bytes_received += (payload.len() + HEADER) as u64;
         if skipper_obs::enabled() {
             skipper_obs::counter_add(
                 &skipper_obs::labeled("engine.transport_frames", "dir", "received"),
@@ -1275,10 +1583,25 @@ impl Channel {
             );
         }
         Message::decode(&payload).inspect_err(|_| {
+            self.stats.frame_errors += 1;
             if skipper_obs::enabled() {
                 skipper_obs::counter_add("engine.transport_frame_errors", 1.0);
             }
         })
+    }
+
+    /// Snapshot of this connection's frame/byte/error counters.
+    pub(crate) fn stats(&self) -> ChannelStats {
+        self.stats
+    }
+
+    /// Faults injected on this connection's send side (0 when chaos is
+    /// not armed).
+    pub(crate) fn chaos_injected(&self) -> u64 {
+        self.chaos_injected
+            .as_ref()
+            .map(|c| c.load(Ordering::Relaxed))
+            .unwrap_or(0)
     }
 
     /// Peer label for diagnostics.
@@ -1521,6 +1844,7 @@ mod tests {
                 Tensor::from_vec(vec![0.0, 1.0, 1.0, 0.0, 1.0], [5]),
                 Tensor::from_vec(vec![0.25, -1.5, 3.0], [3]),
             ],
+            trace: None,
         }
     }
 
@@ -1530,21 +1854,74 @@ mod tests {
             Message::Hello {
                 worker: 3,
                 reconnect: true,
+                ping: None,
+            },
+            Message::Hello {
+                worker: 3,
+                reconnect: false,
+                ping: Some(123_456),
             },
             Message::Welcome {
                 worker: 1,
                 spec: vec![9, 9, 9],
+                pong: None,
+            },
+            Message::Welcome {
+                worker: 1,
+                spec: vec![9, 9, 9],
+                pong: Some((123_456, 789_000)),
             },
             Message::Heartbeat {
                 worker: 2,
                 iteration: 40,
+                metrics: None,
+            },
+            Message::Heartbeat {
+                worker: 2,
+                iteration: 41,
+                metrics: Some(MetricsDelta {
+                    counters: vec![("engine.recomputed_segments".into(), 12.0)],
+                    gauges: vec![("cluster.clock_offset_us".into(), -42.5)],
+                    histograms: vec![(
+                        "iteration.wall_us".into(),
+                        HistDelta {
+                            bounds: vec![10.0, 100.0, 1000.0],
+                            counts: vec![0, 2, 1, 0],
+                            sum: 350.0,
+                            count: 3,
+                            min: 40.0,
+                            max: 250.0,
+                        },
+                    )],
+                }),
             },
             work_msg(),
+            {
+                let mut traced = work_msg();
+                if let Message::WorkForward { trace, .. } = &mut traced {
+                    *trace = Some(TraceCtx {
+                        trace: 0xDEAD_BEEF,
+                        parent: 77,
+                    });
+                }
+                traced
+            },
             Message::WorkBackward {
                 iteration: 7,
                 attempt: 0,
                 shard: 2,
                 sums: vec![1.5, 0.0, 144.0],
+                trace: None,
+            },
+            Message::WorkBackward {
+                iteration: 7,
+                attempt: 1,
+                shard: 2,
+                sums: vec![1.5, 0.0, 144.0],
+                trace: Some(TraceCtx {
+                    trace: 1,
+                    parent: u64::MAX,
+                }),
             },
             Message::ShardResult {
                 iteration: 7,
@@ -1570,6 +1947,132 @@ mod tests {
             let back = Message::decode(&bytes).unwrap();
             assert_eq!(msg, back);
         }
+    }
+
+    #[test]
+    fn frames_without_trailing_blocks_still_parse() {
+        // Hand-built frames in the pre-trace/pre-federation layout: tag +
+        // fixed fields only, no trailing block. An old worker emits
+        // exactly these bytes; they must decode with the optional fields
+        // absent — and encoding with `None` must reproduce them exactly,
+        // so a new worker talking to an old coordinator is also safe.
+        let mut old_hello = vec![1u8];
+        put_u64(&mut old_hello, 3);
+        old_hello.push(1);
+        assert_eq!(
+            Message::decode(&old_hello).unwrap(),
+            Message::Hello {
+                worker: 3,
+                reconnect: true,
+                ping: None,
+            }
+        );
+        assert_eq!(
+            Message::Hello {
+                worker: 3,
+                reconnect: true,
+                ping: None,
+            }
+            .encode(),
+            old_hello
+        );
+
+        let mut old_welcome = vec![2u8];
+        put_u64(&mut old_welcome, 7);
+        put_bytes(&mut old_welcome, &[9, 9]);
+        assert_eq!(
+            Message::decode(&old_welcome).unwrap(),
+            Message::Welcome {
+                worker: 7,
+                spec: vec![9, 9],
+                pong: None,
+            }
+        );
+
+        let mut old_heartbeat = vec![3u8];
+        put_u64(&mut old_heartbeat, 2);
+        put_u64(&mut old_heartbeat, 40);
+        assert_eq!(
+            Message::decode(&old_heartbeat).unwrap(),
+            Message::Heartbeat {
+                worker: 2,
+                iteration: 40,
+                metrics: None,
+            }
+        );
+        assert_eq!(
+            Message::Heartbeat {
+                worker: 2,
+                iteration: 40,
+                metrics: None,
+            }
+            .encode(),
+            old_heartbeat
+        );
+
+        let mut old_backward = vec![6u8];
+        put_u64(&mut old_backward, 11);
+        put_u32(&mut old_backward, 1);
+        put_u32(&mut old_backward, 0);
+        put_f64s(&mut old_backward, &[0.5, 2.0]);
+        assert_eq!(
+            Message::decode(&old_backward).unwrap(),
+            Message::WorkBackward {
+                iteration: 11,
+                attempt: 1,
+                shard: 0,
+                sums: vec![0.5, 2.0],
+                trace: None,
+            }
+        );
+        assert_eq!(
+            Message::WorkBackward {
+                iteration: 11,
+                attempt: 1,
+                shard: 0,
+                sums: vec![0.5, 2.0],
+                trace: None,
+            }
+            .encode(),
+            old_backward
+        );
+
+        // An unknown trailing-block version must be a frame error, not a
+        // silent misparse.
+        let mut bad = old_backward.clone();
+        bad.push(9); // bogus version byte
+        bad.extend_from_slice(&[0; 16]);
+        assert!(matches!(
+            Message::decode(&bad),
+            Err(TransportError::Frame(_))
+        ));
+    }
+
+    #[test]
+    fn channel_stats_track_frames_bytes_and_chaos() {
+        let (mut listener, mut connector) = in_proc_net(None);
+        let mut worker_end = connector.connect_channel().unwrap();
+        let mut coord_end = listener.accept(Duration::from_millis(200)).unwrap();
+        assert_eq!(worker_end.stats(), ChannelStats::default());
+        worker_end.send(&Message::Shutdown).unwrap();
+        worker_end.send(&Message::Shutdown).unwrap();
+        let _ = coord_end.recv_timeout(Duration::from_millis(200)).unwrap();
+        let sent = worker_end.stats();
+        assert_eq!(sent.frames_sent, 2);
+        assert_eq!(sent.bytes_sent, 2 * (HEADER as u64 + 1));
+        let got = coord_end.stats();
+        assert_eq!(got.frames_received, 1);
+        assert_eq!(got.bytes_received, HEADER as u64 + 1);
+        assert_eq!(worker_end.chaos_injected(), 0);
+
+        // With chaos armed, the per-channel injected counter moves.
+        let chaos = ChaosConfig::parse("seed=9,drop=0.5").unwrap();
+        let (_listener2, mut connector2) = in_proc_net(Some(chaos));
+        let mut noisy = connector2.connect_channel().unwrap();
+        for _ in 0..32 {
+            noisy.send(&Message::Shutdown).unwrap();
+        }
+        assert!(noisy.chaos_injected() > 0, "some frames must have dropped");
     }
 
     #[test]
@@ -1663,6 +2166,7 @@ mod tests {
             .send(&Message::Hello {
                 worker: u64::MAX,
                 reconnect: false,
+                ping: None,
             })
             .unwrap();
         let got = coord_end.recv_timeout(Duration::from_millis(200)).unwrap();
@@ -1677,6 +2181,7 @@ mod tests {
             .send(&Message::Welcome {
                 worker: 0,
                 spec: vec![1],
+                pong: None,
             })
             .unwrap();
         let got = worker_end.recv_timeout(Duration::from_millis(200)).unwrap();

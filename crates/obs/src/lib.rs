@@ -51,9 +51,11 @@ pub use event::{
     push_json_f64, push_json_fields, push_json_string, Event, EventKind, FieldValue, Fields, Level,
 };
 pub use metrics::{labeled, Histogram, MetricsSnapshot, Registry};
-pub use serve::{serve_from_env, MetricsServer};
+pub use serve::{
+    clear_cluster_provider, serve_from_env, set_cluster_provider, ClusterProvider, MetricsServer,
+};
 pub use sink::{JsonlSink, NullSink, RingBufferSink, RingHandle, Sink, StderrSink};
-pub use span::{current_span, ContextGuard, SpanContext, SpanGuard};
+pub use span::{current_span, namespace_span_ids, ContextGuard, SpanContext, SpanGuard};
 pub use summary::{render_summary, span_stats, SpanStat};
 pub use trace::{chrome_trace_json, write_chrome_trace, ChromeTraceSink};
 
@@ -315,6 +317,36 @@ pub fn init_from_env() -> Option<SinkId> {
                 Level::Info
             });
             Some(add_sink(Box::new(StderrSink::new(level))))
+        }
+    }
+}
+
+/// Install a [`JsonlSink`] writing to the file named by the
+/// `SKIPPER_OBS_JSONL` environment variable (truncating it), so any
+/// binary — most usefully a remote `skipper_worker` — can capture its
+/// event stream for the cluster trace stitcher without code changes:
+///
+/// ```text
+/// SKIPPER_OBS_JSONL=results/obs_worker1.jsonl skipper_worker --id 1
+/// ```
+///
+/// Logs one warning and returns `None` when the file cannot be created
+/// (a bad path must not take the worker down).
+pub fn jsonl_from_env() -> Option<SinkId> {
+    let path = std::env::var("SKIPPER_OBS_JSONL").ok()?;
+    if path.trim().is_empty() {
+        return None;
+    }
+    if let Some(parent) = std::path::Path::new(&path).parent() {
+        if !parent.as_os_str().is_empty() {
+            let _ = std::fs::create_dir_all(parent);
+        }
+    }
+    match JsonlSink::create(&path) {
+        Ok(sink) => Some(add_sink(Box::new(sink))),
+        Err(err) => {
+            eprintln!("skipper-obs: cannot create SKIPPER_OBS_JSONL={path}: {err}");
+            None
         }
     }
 }

@@ -59,6 +59,70 @@ impl Histogram {
         Histogram::new(&[1e0, 1e1, 1e2, 1e3, 1e4, 1e5, 1e6, 1e7, 1e8])
     }
 
+    /// Rebuild a histogram from externally transported state (the metric
+    /// federation path: a worker ships bucket deltas over the wire and the
+    /// coordinator reconstitutes them here).
+    ///
+    /// # Errors
+    ///
+    /// Rejects non-increasing bounds, a counts length other than
+    /// `bounds.len() + 1`, or a bucket total disagreeing with `count` —
+    /// a corrupted or mis-encoded delta must not poison the registry.
+    pub fn from_parts(
+        bounds: Vec<f64>,
+        counts: Vec<u64>,
+        sum: f64,
+        count: u64,
+        min: f64,
+        max: f64,
+    ) -> Result<Histogram, String> {
+        if bounds.is_empty() || bounds.windows(2).any(|w| w[0] >= w[1]) {
+            return Err("histogram bounds must be non-empty and strictly increasing".into());
+        }
+        if counts.len() != bounds.len() + 1 {
+            return Err(format!(
+                "histogram counts length {} does not match bounds length {} + 1",
+                counts.len(),
+                bounds.len()
+            ));
+        }
+        if counts.iter().sum::<u64>() != count {
+            return Err("histogram bucket total disagrees with count".into());
+        }
+        Ok(Histogram {
+            bounds,
+            counts,
+            sum,
+            count,
+            min,
+            max,
+        })
+    }
+
+    /// Fold `other`'s samples into `self`: bucket counts and sums add,
+    /// min/max widen. Both histograms must share identical bounds.
+    ///
+    /// # Errors
+    ///
+    /// Rejects mismatched bucket bounds (merging across different
+    /// bucketings would silently misplace samples).
+    pub fn merge(&mut self, other: &Histogram) -> Result<(), String> {
+        if self.bounds != other.bounds {
+            return Err(format!(
+                "histogram bounds mismatch: {:?} vs {:?}",
+                self.bounds, other.bounds
+            ));
+        }
+        for (mine, theirs) in self.counts.iter_mut().zip(&other.counts) {
+            *mine += theirs;
+        }
+        self.sum += other.sum;
+        self.count += other.count;
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+        Ok(())
+    }
+
     /// Record one sample.
     pub fn observe(&mut self, value: f64) {
         let idx = self
@@ -240,6 +304,24 @@ impl Registry {
             .observe(value);
     }
 
+    /// Merge an externally transported histogram into histogram `name`
+    /// (created as a copy of `delta` on first sight). The metric-federation
+    /// ingest path: bucket deltas arriving on a Heartbeat fold in here.
+    ///
+    /// # Errors
+    ///
+    /// Propagates a bounds mismatch from [`Histogram::merge`].
+    pub fn merge_histogram(&self, name: &str, delta: &Histogram) -> Result<(), String> {
+        let mut s = crate::lock_unpoisoned(&self.state);
+        match s.histograms.get_mut(name) {
+            Some(h) => h.merge(delta),
+            None => {
+                s.histograms.insert(name.to_string(), delta.clone());
+                Ok(())
+            }
+        }
+    }
+
     /// A copy of histogram `name`, if any samples or a registration exist.
     pub fn histogram(&self, name: &str) -> Option<Histogram> {
         crate::lock_unpoisoned(&self.state)
@@ -324,6 +406,49 @@ mod tests {
         // Out-of-range q clamps.
         assert!((h.quantile(2.0) - 100.0).abs() < 1e-9);
         assert_eq!(Histogram::default_us().quantile(0.5), 0.0);
+    }
+
+    #[test]
+    fn histogram_merge_folds_counts_and_extremes() {
+        let mut a = Histogram::new(&[10.0, 100.0]);
+        a.observe(5.0);
+        a.observe(50.0);
+        let mut b = Histogram::new(&[10.0, 100.0]);
+        b.observe(500.0);
+        b.observe(7.0);
+        a.merge(&b).unwrap();
+        assert_eq!(a.counts(), &[2, 1, 1]);
+        assert_eq!(a.count(), 4);
+        assert!((a.sum() - 562.0).abs() < 1e-9);
+        assert_eq!(a.min(), 5.0);
+        assert_eq!(a.max(), 500.0);
+        // Mismatched bounds refuse to merge.
+        let other = Histogram::new(&[1.0, 2.0]);
+        assert!(a.merge(&other).is_err());
+    }
+
+    #[test]
+    fn from_parts_validates_transported_state() {
+        let h = Histogram::from_parts(vec![1.0, 10.0], vec![1, 2, 0], 7.5, 3, 0.5, 9.0).unwrap();
+        assert_eq!(h.counts(), &[1, 2, 0]);
+        assert_eq!(h.count(), 3);
+        assert!(Histogram::from_parts(vec![10.0, 1.0], vec![0, 0, 0], 0.0, 0, 0.0, 0.0).is_err());
+        assert!(Histogram::from_parts(vec![1.0], vec![0], 0.0, 0, 0.0, 0.0).is_err());
+        assert!(Histogram::from_parts(vec![1.0], vec![1, 0], 0.0, 2, 0.0, 0.0).is_err());
+    }
+
+    #[test]
+    fn registry_merge_histogram_creates_then_folds() {
+        let r = Registry::new();
+        let delta =
+            Histogram::from_parts(vec![1.0, 10.0], vec![0, 1, 0], 5.0, 1, 5.0, 5.0).unwrap();
+        r.merge_histogram("fed{worker=3}", &delta).unwrap();
+        r.merge_histogram("fed{worker=3}", &delta).unwrap();
+        let h = r.histogram("fed{worker=3}").unwrap();
+        assert_eq!(h.count(), 2);
+        assert!((h.sum() - 10.0).abs() < 1e-9);
+        let bad = Histogram::new(&[2.0]);
+        assert!(r.merge_histogram("fed{worker=3}", &bad).is_err());
     }
 
     #[test]

@@ -9,6 +9,9 @@
 //!   series;
 //! * `GET /metrics.json` — the same snapshot as JSON, with derived
 //!   mean/p50/p95/p99 per histogram;
+//! * `GET /cluster` — a live worker table (JSON) when a cluster
+//!   coordinator has registered a provider via [`set_cluster_provider`];
+//!   `{"workers":[]}` otherwise;
 //! * `GET /healthz` — liveness probe.
 //!
 //! The server installs a [`NullSink`](crate::NullSink) so the registry
@@ -30,12 +33,66 @@ use crate::sink::NullSink;
 use crate::SinkId;
 use std::io::{Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
-use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::Arc;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, OnceLock};
 use std::thread::JoinHandle;
 
 /// Environment variable holding the listen address (`host:port`).
 pub const ADDR_ENV: &str = "SKIPPER_OBS_ADDR";
+
+// ---------------------------------------------------------------------------
+// The /cluster provider slot
+// ---------------------------------------------------------------------------
+
+/// Renderer a cluster coordinator installs to back `GET /cluster`.
+pub type ClusterProvider = Box<dyn Fn() -> String + Send>;
+
+fn cluster_provider_slot() -> &'static Mutex<Option<(u64, ClusterProvider)>> {
+    static SLOT: OnceLock<Mutex<Option<(u64, ClusterProvider)>>> = OnceLock::new();
+    SLOT.get_or_init(|| Mutex::new(None))
+}
+
+/// Install the closure that renders `GET /cluster` (a cluster coordinator
+/// registering its live worker table). The returned token must be passed
+/// to [`clear_cluster_provider`] when the coordinator shuts down; a later
+/// registration simply replaces an earlier one (latest coordinator wins).
+///
+/// This indirection exists because `skipper-obs` sits below the crate that
+/// owns cluster state — the coordinator pushes a renderer down rather than
+/// this crate reaching up.
+pub fn set_cluster_provider(provider: ClusterProvider) -> u64 {
+    static NEXT_TOKEN: AtomicU64 = AtomicU64::new(1);
+    let token = NEXT_TOKEN.fetch_add(1, Ordering::Relaxed);
+    let mut slot = cluster_provider_slot()
+        .lock()
+        .unwrap_or_else(std::sync::PoisonError::into_inner);
+    *slot = Some((token, provider));
+    token
+}
+
+/// Uninstall the `/cluster` provider registered under `token`. A stale
+/// token (already replaced by a newer coordinator) is a no-op, so an old
+/// coordinator's drop can never tear down its successor's table.
+pub fn clear_cluster_provider(token: u64) {
+    let mut slot = cluster_provider_slot()
+        .lock()
+        .unwrap_or_else(std::sync::PoisonError::into_inner);
+    if matches!(*slot, Some((t, _)) if t == token) {
+        *slot = None;
+    }
+}
+
+/// Body of `GET /cluster`: the registered provider's output, or an empty
+/// worker table when no coordinator is live.
+fn cluster_json() -> String {
+    let slot = cluster_provider_slot()
+        .lock()
+        .unwrap_or_else(std::sync::PoisonError::into_inner);
+    match &*slot {
+        Some((_, provider)) => provider(),
+        None => "{\"workers\":[]}".to_string(),
+    }
+}
 
 /// A running metrics endpoint; dropping it stops the listener thread and
 /// removes the registry-enabling sink.
@@ -195,6 +252,7 @@ fn respond(head: &str) -> (&'static str, &'static str, String) {
         "/metrics.json" => Some(("application/json", || {
             snapshot_json(&crate::registry().snapshot())
         })),
+        "/cluster" => Some(("application/json", cluster_json)),
         "/" | "/healthz" => return ("200 OK", TEXT, "ok\n".to_string()),
         _ => None,
     };
@@ -228,7 +286,7 @@ fn split_labels(key: &str) -> (String, String) {
         labels.push(format!(
             "{}=\"{}\"",
             sanitize(k.trim()),
-            v.trim().replace('"', "\\\"")
+            escape_label_value(v.trim())
         ));
     }
     if labels.is_empty() {
@@ -236,6 +294,15 @@ fn split_labels(key: &str) -> (String, String) {
     } else {
         (name, format!("{{{}}}", labels.join(",")))
     }
+}
+
+/// Escape a Prometheus label value: backslash first (escaping it last
+/// would re-escape the escapes), then double-quote, then newline — the
+/// three characters the text exposition format reserves.
+fn escape_label_value(v: &str) -> String {
+    v.replace('\\', "\\\\")
+        .replace('"', "\\\"")
+        .replace('\n', "\\n")
 }
 
 /// Map a metric name onto the Prometheus charset `[a-zA-Z0-9_:]`.
@@ -414,6 +481,69 @@ mod tests {
         assert!(text.contains("serve_test_wall_us_bucket{le=\"+Inf\"} 2\n"));
         assert!(text.contains("serve_test_wall_us_sum 5050\n"));
         assert!(text.contains("serve_test_wall_us_count 2\n"));
+    }
+
+    #[test]
+    fn label_values_escape_backslash_quote_and_newline() {
+        let r = Registry::new();
+        // A worker id that tries every reserved character: backslash,
+        // double-quote, newline. The backslash must come out doubled, not
+        // fused with the quote escape.
+        r.counter_add("serve_esc.frames{worker=a\\b\"c\nd}", 2.0);
+        r.counter_add("serve_esc.frames{worker=7}", 4.0);
+        let text = prometheus_text(&r.snapshot());
+        assert!(
+            text.contains("serve_esc_frames{worker=\"a\\\\b\\\"c\\nd\"} 2\n"),
+            "got: {text}"
+        );
+        assert!(text.contains("serve_esc_frames{worker=\"7\"} 4\n"));
+        // The two labelled series share one TYPE line.
+        assert_eq!(text.matches("# TYPE serve_esc_frames counter").count(), 1);
+    }
+
+    #[test]
+    fn federated_worker_labels_render_as_series() {
+        let r = Registry::new();
+        r.counter_add("serve_fed.heartbeats{worker=1}", 3.0);
+        r.counter_add("serve_fed.heartbeats{worker=2}", 5.0);
+        r.gauge_set("serve_fed.clock_offset_us{worker=2}", -12.0);
+        let text = prometheus_text(&r.snapshot());
+        assert!(text.contains("serve_fed_heartbeats{worker=\"1\"} 3\n"));
+        assert!(text.contains("serve_fed_heartbeats{worker=\"2\"} 5\n"));
+        assert!(text.contains("serve_fed_clock_offset_us{worker=\"2\"} -12\n"));
+    }
+
+    #[test]
+    fn cluster_endpoint_serves_provider_output() {
+        let server = MetricsServer::bind("127.0.0.1:0").unwrap();
+
+        // No provider: the empty table, still valid JSON.
+        // (Another test's coordinator could in principle be live; only
+        // assert the default shape when the slot really is empty.)
+        let empty = http_get(server.addr(), "/cluster");
+        assert!(empty.starts_with("HTTP/1.1 200 OK"), "got: {empty}");
+        assert!(empty.contains("application/json"));
+
+        let token = set_cluster_provider(Box::new(|| {
+            "{\"workers\":[{\"id\":7,\"state\":\"idle\"}]}".to_string()
+        }));
+        let body = http_get(server.addr(), "/cluster");
+        assert!(body.contains("\"id\":7"), "got: {body}");
+        assert!(body.contains("\"state\":\"idle\""));
+
+        // Wrong method on the route still 405s; unknown path 404s.
+        let post = http_raw(server.addr(), "POST /cluster HTTP/1.1\r\n\r\n");
+        assert!(post.starts_with("HTTP/1.1 405"), "got: {post}");
+        let missing = http_get(server.addr(), "/cluster/nope");
+        assert!(missing.starts_with("HTTP/1.1 404"), "got: {missing}");
+
+        // A stale token is a no-op; the live one clears the slot.
+        clear_cluster_provider(token + 1000);
+        let still = http_get(server.addr(), "/cluster");
+        assert!(still.contains("\"id\":7"), "got: {still}");
+        clear_cluster_provider(token);
+        let after = http_get(server.addr(), "/cluster");
+        assert!(after.contains("{\"workers\":[]}"), "got: {after}");
     }
 
     #[test]

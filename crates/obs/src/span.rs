@@ -139,6 +139,19 @@ pub fn current_span() -> Option<u64> {
     SPAN_STACK.with(|s| s.borrow().last().copied())
 }
 
+/// Move this process's span-id allocator to at least `base`.
+///
+/// Span ids are process-local `u64`s, so two processes tracing the same
+/// distributed run would hand out colliding ids and the stitched trace
+/// would cross-wire parent links. A cluster worker calls this right after
+/// its Welcome handshake with a base derived from its worker id (e.g.
+/// `id << 40`), carving the id space into non-overlapping per-process
+/// ranges. Monotonic: a base below the current allocator is a no-op, so
+/// ids never move backwards.
+pub fn namespace_span_ids(base: u64) {
+    NEXT_SPAN_ID.fetch_max(base.max(1), Ordering::Relaxed);
+}
+
 /// A portable capture of "where am I in the trace?" — the cross-thread
 /// span-context carrier.
 ///

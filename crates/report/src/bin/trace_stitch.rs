@@ -1,0 +1,91 @@
+//! `trace_stitch`: merge per-process obs JSONL streams into one
+//! Perfetto-loadable Chrome trace.
+//!
+//! ```text
+//! trace_stitch [--out PATH] FILE.jsonl...
+//! trace_stitch                # stitch results/obs_*.jsonl
+//! ```
+//!
+//! Defaults: inputs are every `obs_*.jsonl` under `results/`, output is
+//! `results/cluster_trace.json`. Exits non-zero on unreadable inputs or
+//! when nothing was stitched.
+
+use skipper_report::stitch::stitch_files;
+use std::path::PathBuf;
+
+fn default_inputs(dir: &std::path::Path) -> Vec<PathBuf> {
+    let mut found = Vec::new();
+    if let Ok(entries) = std::fs::read_dir(dir) {
+        for e in entries.flatten() {
+            let name = e.file_name().to_string_lossy().into_owned();
+            if name.starts_with("obs_") && name.ends_with(".jsonl") {
+                found.push(e.path());
+            }
+        }
+    }
+    found.sort();
+    found
+}
+
+fn main() {
+    let mut out: Option<PathBuf> = None;
+    let mut inputs: Vec<PathBuf> = Vec::new();
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--out" => match args.next() {
+                Some(p) => out = Some(PathBuf::from(p)),
+                None => {
+                    eprintln!("trace_stitch: --out requires a path");
+                    std::process::exit(2);
+                }
+            },
+            "--help" | "-h" => {
+                eprintln!("usage: trace_stitch [--out PATH] FILE.jsonl...");
+                return;
+            }
+            _ => inputs.push(PathBuf::from(a)),
+        }
+    }
+    let results = skipper_report::results_dir();
+    if inputs.is_empty() {
+        inputs = default_inputs(&results);
+        if inputs.is_empty() {
+            eprintln!(
+                "trace_stitch: no inputs given and no obs_*.jsonl under {}",
+                results.display()
+            );
+            std::process::exit(1);
+        }
+    }
+    let out = out.unwrap_or_else(|| results.join("cluster_trace.json"));
+    match stitch_files(&inputs) {
+        Ok(stitched) => {
+            if let Some(parent) = out.parent() {
+                let _ = std::fs::create_dir_all(parent);
+            }
+            if let Err(e) = std::fs::write(&out, &stitched.chrome_json) {
+                eprintln!("trace_stitch: cannot write {}: {e}", out.display());
+                std::process::exit(1);
+            }
+            let s = stitched.stats;
+            println!(
+                "trace_stitch: {} -> {} ({} processes, {} spans, \
+                 {}/{} worker_task spans under iteration, {} cross-process \
+                 links, {} dropped lines)",
+                inputs.len(),
+                out.display(),
+                s.processes,
+                s.spans,
+                s.nested_under_iteration,
+                s.worker_tasks,
+                s.cross_process_links,
+                s.dropped_lines,
+            );
+        }
+        Err(e) => {
+            eprintln!("trace_stitch: {e}");
+            std::process::exit(1);
+        }
+    }
+}

@@ -14,6 +14,8 @@ use serde::{Deserialize, Serialize};
 use skipper_obs::MetricsSnapshot;
 use std::path::{Path, PathBuf};
 
+pub mod stitch;
+
 /// Latency aggregate of the `iteration.wall_us` histogram.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct IterationStats {
