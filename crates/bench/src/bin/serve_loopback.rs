@@ -1,0 +1,382 @@
+//! Serving smoke bench: a multi-tenant gateway on loopback HTTP must
+//! (1) answer micro-batched traffic **bit-identically** to a direct
+//! `InferSession::predict` on each sample, (2) actually coalesce — more
+//! 200s than forward passes, (3) shed an over-budget tenant with typed
+//! 429s while a well-behaved tenant keeps its 200s, and (4) with
+//! SAM-driven inference-time skipping enabled, early-exit quiet
+//! timesteps and cut predict latency.
+//!
+//! This is the CI gate for `skipper-serve`: it exits 1 on the first
+//! violated contract, and its manifest
+//! (`results/BENCH_serve_loopback.json`) carries the
+//! `serve.request_wall_us` p50/p95/p99 that `bench_gate` diffs against
+//! the committed baseline — request-latency regressions fail CI the
+//! same way training-iteration regressions do.
+//!
+//! ```text
+//! serve_loopback [--clients 4] [--requests 16] [--quick]
+//! ```
+
+use skipper_core::{InferSession, InferSkip};
+use skipper_serve::{
+    Gateway, GatewayConfig, ModelPool, PredictRequest, PredictResponse, TenantConfig,
+};
+use skipper_snn::{custom_net, ModelConfig, SpikingNetwork};
+use skipper_tensor::{Tensor, XorShiftRng};
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// Spike-train length. Long enough that a p50 skip schedule has real
+/// work to drop.
+const T: usize = 12;
+const SHAPE: [usize; 3] = [3, 8, 8];
+const PER_STEP: usize = 3 * 8 * 8;
+/// Percentile 55 so the nearest-rank SST over an even quiet/dense split
+/// lands on a dense step: every quiet step is strictly below it and
+/// early-exits (p50 would land on the busiest *quiet* step, and the
+/// strict `<` comparison would then skip nothing).
+const SKIP: InferSkip = InferSkip {
+    percentile: 55.0,
+    min_steps: 1,
+};
+
+struct Args {
+    clients: usize,
+    requests: usize,
+}
+
+fn parse_args() -> Args {
+    let quick = skipper_bench::quick_mode();
+    let mut args = Args {
+        clients: 4,
+        requests: if quick { 4 } else { 16 },
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(flag) = it.next() {
+        let mut value = |name: &str| {
+            it.next()
+                .unwrap_or_else(|| panic!("{name} expects a value"))
+        };
+        match flag.as_str() {
+            "--clients" => args.clients = value("--clients").parse().expect("--clients: usize"),
+            "--requests" => args.requests = value("--requests").parse().expect("--requests: usize"),
+            "--quick" => {}
+            "--help" | "-h" => {
+                println!("usage: serve_loopback [--clients N] [--requests N] [--quick]");
+                std::process::exit(0);
+            }
+            other => panic!("unknown flag {other} (try --help)"),
+        }
+    }
+    assert!(args.clients >= 2 && args.requests >= 1);
+    args
+}
+
+fn net() -> SpikingNetwork {
+    custom_net(&ModelConfig {
+        input_hw: 8,
+        width_mult: 0.25,
+        ..ModelConfig::default()
+    })
+}
+
+/// Client-side encoding: a deterministic flat spike train, timestep-major.
+/// Even timesteps are dense, odd ones are all-zero, so a p50 skip
+/// schedule deterministically drops half the steps.
+fn encode(seed: u64) -> Vec<f32> {
+    let mut rng = XorShiftRng::new(seed);
+    let mut out = Vec::with_capacity(T * PER_STEP);
+    for t in 0..T {
+        let frame = Tensor::rand([1, 3, 8, 8], &mut rng).map(|x| (x > 0.55) as i32 as f32);
+        if t % 2 == 0 {
+            out.extend_from_slice(frame.data());
+        } else {
+            out.extend(std::iter::repeat_n(0.0, PER_STEP));
+        }
+    }
+    out
+}
+
+fn to_steps(inputs: &[f32]) -> Vec<Tensor> {
+    inputs
+        .chunks_exact(PER_STEP)
+        .map(|s| Tensor::from_vec(s.to_vec(), [1, 3, 8, 8]))
+        .collect()
+}
+
+fn request_body(tenant: &str, inputs: &[f32]) -> String {
+    serde_json::to_string(&PredictRequest {
+        tenant: tenant.to_string(),
+        timesteps: T,
+        shape: SHAPE.to_vec(),
+        inputs: inputs.to_vec(),
+        deadline_ms: None,
+    })
+    .expect("request serializes")
+}
+
+fn post(addr: SocketAddr, body: &str) -> (u16, String) {
+    let mut stream = TcpStream::connect(addr).expect("loopback connect");
+    let raw = format!(
+        "POST /v1/predict HTTP/1.1\r\nHost: localhost\r\nContent-Length: {}\r\n\r\n{body}",
+        body.len()
+    );
+    stream.write_all(raw.as_bytes()).expect("request write");
+    let mut response = String::new();
+    stream.read_to_string(&mut response).expect("response read");
+    let status = response
+        .split_whitespace()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(0);
+    let body = response
+        .split_once("\r\n\r\n")
+        .map(|(_, b)| b.to_string())
+        .unwrap_or_default();
+    (status, body)
+}
+
+fn counter(name: &str) -> f64 {
+    skipper_obs::registry()
+        .snapshot()
+        .counters
+        .iter()
+        .find(|(k, _)| k == name)
+        .map(|&(_, v)| v)
+        .unwrap_or(0.0)
+}
+
+/// Drive `clients x requests` concurrent predictions through `addr`,
+/// asserting each 200 row is bit-identical to its direct-inference
+/// reference. Returns (successes, drift) with per-client mean latency
+/// printed.
+fn run_traffic(
+    addr: SocketAddr,
+    tenant: &str,
+    clients: usize,
+    requests: usize,
+    references: &Arc<Vec<Vec<f32>>>,
+) -> (usize, bool) {
+    let handles: Vec<_> = (0..clients)
+        .map(|c| {
+            let refs = Arc::clone(references);
+            let tenant = tenant.to_string();
+            std::thread::spawn(move || {
+                let inputs = encode(c as u64 + 1);
+                let body = request_body(&tenant, &inputs);
+                let mut ok = 0usize;
+                let mut drift = false;
+                let started = Instant::now();
+                for _ in 0..requests {
+                    let (status, text) = post(addr, &body);
+                    if status != 200 {
+                        eprintln!("client {c}: HTTP {status}: {text}");
+                        continue;
+                    }
+                    ok += 1;
+                    let resp: PredictResponse = match serde_json::from_str(&text) {
+                        Ok(r) => r,
+                        Err(e) => {
+                            eprintln!("client {c}: bad body: {e:?}");
+                            drift = true;
+                            continue;
+                        }
+                    };
+                    let want = &refs[c];
+                    let same = resp.logits.len() == want.len()
+                        && resp
+                            .logits
+                            .iter()
+                            .zip(want)
+                            .all(|(a, b)| a.to_bits() == b.to_bits());
+                    if !same {
+                        eprintln!("client {c}: logits drifted from direct inference");
+                        drift = true;
+                    }
+                }
+                let mean_ms = started.elapsed().as_secs_f64() * 1e3 / requests as f64;
+                (ok, drift, mean_ms)
+            })
+        })
+        .collect();
+    let mut successes = 0usize;
+    let mut drift = false;
+    for (c, h) in handles.into_iter().enumerate() {
+        let (ok, d, mean_ms) = h.join().expect("client thread");
+        println!("client {c}: {ok}/{requests} ok, mean {mean_ms:.2} ms/request");
+        successes += ok;
+        drift |= d;
+    }
+    (successes, drift)
+}
+
+/// Mean direct `predict` wall time over `iters` calls (µs).
+fn predict_mean_us(session: &InferSession, steps: &[Tensor], iters: usize) -> f64 {
+    // Warm up allocator caches so the comparison times the kernels.
+    session.predict(steps).expect("warmup predict");
+    let started = Instant::now();
+    for _ in 0..iters {
+        session.predict(steps).expect("timed predict");
+    }
+    started.elapsed().as_secs_f64() * 1e6 / iters as f64
+}
+
+fn main() {
+    let _run = skipper_bench::BenchRun::start("serve_loopback");
+    let args = parse_args();
+    let quick = skipper_bench::quick_mode();
+    let mut fail = false;
+
+    // Direct-inference references: the gateway's micro-batching must be
+    // invisible, so a solo predict per client defines the right answer.
+    let reference_session = InferSession::new(net());
+    let references: Arc<Vec<Vec<f32>>> = Arc::new(
+        (0..args.clients)
+            .map(|c| {
+                let steps = to_steps(&encode(c as u64 + 1));
+                reference_session
+                    .predict(&steps)
+                    .expect("reference predict")
+                    .logits
+                    .data()
+                    .to_vec()
+            })
+            .collect(),
+    );
+
+    // Phase 1: plain gateway on the global router (the production path —
+    // `/v1/predict` rides the same server `/metrics` would). A generous
+    // tenant carries the traffic; "burst" is budgeted for ~2 requests so
+    // overload answers are typed 429s, not queue pressure.
+    let cfg = GatewayConfig {
+        tenants: vec![
+            TenantConfig::new("acme", 10_000.0, 10_000.0),
+            TenantConfig::new("burst", 0.5, 2.0),
+        ],
+        max_batch: args.clients,
+        max_delay: Duration::from_millis(25),
+        ..GatewayConfig::default()
+    };
+    let shed_before = counter("serve.shed{reason=rate_limited}");
+    let (successes, batches, shed_429s) = {
+        let mut gateway = Gateway::start(
+            cfg.clone(),
+            ModelPool::fixed(InferSession::new(net())),
+            skipper_obs::global_router(),
+        )
+        .expect("gateway threads");
+        let addr = gateway.bind("127.0.0.1:0").expect("loopback bind");
+        println!(
+            "gateway on {addr}: {} clients x {} requests, max_batch {}, max_delay {:?}",
+            args.clients, args.requests, cfg.max_batch, cfg.max_delay
+        );
+
+        let batches_before = counter("serve.batches");
+        let (successes, drift) =
+            run_traffic(addr, "acme", args.clients, args.requests, &references);
+        fail |= drift;
+        let batches = counter("serve.batches") - batches_before;
+
+        // Overload: hammer the starved tenant faster than it refills.
+        let burst_total = if quick { 8 } else { 16 };
+        let body = request_body("burst", &encode(1));
+        let mut shed_429s = 0usize;
+        for _ in 0..burst_total {
+            let (status, text) = post(addr, &body);
+            match status {
+                200 => {}
+                429 if text.contains("rate_limited") => shed_429s += 1,
+                other => {
+                    eprintln!("burst tenant: unexpected HTTP {other}: {text}");
+                    fail = true;
+                }
+            }
+        }
+        println!("burst tenant: {shed_429s}/{burst_total} typed 429s");
+        (successes, batches, shed_429s)
+    };
+    let shed_total = counter("serve.shed{reason=rate_limited}") - shed_before;
+
+    // Phase 2: skipping mode. The same alternating dense/quiet spike
+    // trains, a p50 SST — the quiet half of the timesteps early-exits.
+    // Latency is compared on direct sessions (batching delay would
+    // drown the kernel saving), then gateway traffic proves the counter
+    // plumbing end to end.
+    let steps = to_steps(&encode(1));
+    let iters = if quick { 5 } else { 40 };
+    let plain_us = predict_mean_us(&InferSession::new(net()), &steps, iters);
+    let skip_session = InferSession::new(net()).with_skip(SKIP);
+    let skip_us = predict_mean_us(&skip_session, &steps, iters);
+    let reduction_pct = (plain_us - skip_us) / plain_us * 100.0;
+    let skipped = skip_session
+        .predict(&steps)
+        .expect("skip predict")
+        .skipped_steps;
+    println!(
+        "inference-time skipping (p{} SST, T={T}): {plain_us:.0} -> {skip_us:.0} us/predict \
+         ({reduction_pct:+.1}% latency, {skipped}/{T} steps early-exited)",
+        SKIP.percentile
+    );
+
+    let skipped_before = counter("serve.steps_skipped");
+    {
+        let mut gateway = Gateway::start(
+            GatewayConfig {
+                skip: Some(SKIP),
+                ..cfg
+            },
+            ModelPool::fixed(InferSession::new(net()).with_skip(SKIP)),
+            skipper_obs::global_router(),
+        )
+        .expect("skip gateway threads");
+        let addr = gateway.bind("127.0.0.1:0").expect("loopback bind");
+        let (status, text) = post(addr, &request_body("acme", &encode(1)));
+        if status != 200 {
+            eprintln!("skip gateway: HTTP {status}: {text}");
+            fail = true;
+        }
+    }
+    let skipped_served = counter("serve.steps_skipped") - skipped_before;
+
+    // The contracts, each a hard exit-1: the manifest only means
+    // something if the run it summarizes held them.
+    let expected = args.clients * args.requests;
+    if successes != expected {
+        eprintln!("FAIL: {successes}/{expected} requests answered 200");
+        fail = true;
+    }
+    if batches >= successes as f64 {
+        eprintln!("FAIL: {batches} forward passes for {successes} requests — nothing coalesced");
+        fail = true;
+    } else {
+        println!(
+            "coalescing: {successes} requests in {batches} forward passes \
+             (mean occupancy {:.2})",
+            successes as f64 / batches
+        );
+    }
+    if shed_429s == 0 || shed_total <= 0.0 {
+        eprintln!(
+            "FAIL: overloaded tenant was never shed (429s {shed_429s}, counter {shed_total})"
+        );
+        fail = true;
+    }
+    if skipped == 0 || skipped_served <= 0.0 {
+        eprintln!(
+            "FAIL: skipping mode evaluated everything (direct {skipped}, served {skipped_served})"
+        );
+        fail = true;
+    }
+    if reduction_pct <= 0.0 {
+        eprintln!("FAIL: skipping did not reduce predict latency ({reduction_pct:+.1}%)");
+        fail = true;
+    }
+
+    if fail {
+        eprintln!("FAIL: serving contracts violated");
+        std::process::exit(1);
+    }
+    println!("OK: batched serving is bit-identical, shedding is typed, skipping pays");
+}

@@ -148,8 +148,30 @@ impl SessionBuilder {
     /// tap sanity); [`SkipperError::Config`] for a zero worker count, or
     /// for a cluster session with a method the transport cannot carry
     /// (TBPTT-LBP's auxiliary classifiers).
-    pub fn build(mut self) -> Result<TrainSession, SkipperError> {
+    pub fn build(self) -> Result<TrainSession, SkipperError> {
         self.method.validate(&self.net, self.timesteps)?;
+        self.assemble()
+    }
+
+    /// Construct the session **without** the up-front [`Method`] validity
+    /// checks: a structurally runnable but paper-invalid configuration
+    /// (e.g. one that violates Eq. 7's skip bound) surfaces its complaint
+    /// at the first batch instead of at construction.
+    ///
+    /// This exists for boundary-condition studies — the edge-case suite
+    /// deliberately runs configurations the validator rejects to observe
+    /// what the mechanism does there. Everything else should call
+    /// [`build`](SessionBuilder::build).
+    ///
+    /// # Errors
+    ///
+    /// [`SkipperError::Config`] for a zero worker count or an unsupported
+    /// cluster/method combination; worker-pool spawn failures.
+    pub fn build_unvalidated(self) -> Result<TrainSession, SkipperError> {
+        self.assemble()
+    }
+
+    fn assemble(mut self) -> Result<TrainSession, SkipperError> {
         if self.cluster.is_some() && matches!(self.method, Method::TbpttLbp { .. }) {
             return Err(SkipperError::Config(
                 "TBPTT-LBP auxiliary classifiers are not supported over a cluster transport".into(),

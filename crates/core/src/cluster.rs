@@ -595,8 +595,9 @@ pub struct Coordinator {
     /// Worker-status board published through the obs server's `/cluster`
     /// endpoint.
     board: Board,
-    /// Token of this coordinator's `/cluster` provider registration.
-    provider_token: u64,
+    /// Scoped `GET /cluster` registration on the global router; dropping
+    /// it restores whatever the route served before this coordinator.
+    _cluster_route: skipper_obs::RouteGuard,
 }
 
 impl std::fmt::Debug for Coordinator {
@@ -631,10 +632,10 @@ impl Coordinator {
 
     fn over(listener: Box<dyn ChannelListener>, cfg: ClusterConfig) -> Coordinator {
         let board: Board = Arc::new(Mutex::new(BTreeMap::new()));
-        let provider_board = Arc::clone(&board);
-        let provider_token = skipper_obs::set_cluster_provider(Box::new(move || {
-            render_cluster_json(&provider_board)
-        }));
+        let route_board = Arc::clone(&board);
+        let cluster_route = skipper_obs::global_router().register("GET", "/cluster", move |_req| {
+            skipper_obs::Response::ok_json(render_cluster_json(&route_board))
+        });
         Coordinator {
             listener,
             cfg,
@@ -643,7 +644,7 @@ impl Coordinator {
             next_auto_id: 1000,
             ready: false,
             board,
-            provider_token,
+            _cluster_route: cluster_route,
         }
     }
 
@@ -1246,7 +1247,7 @@ impl Drop for Coordinator {
         for w in self.workers.iter_mut() {
             let _ = w.channel.send(&Message::Shutdown);
         }
-        skipper_obs::clear_cluster_provider(self.provider_token);
+        // `cluster_route` drops with the struct, unregistering `/cluster`.
     }
 }
 

@@ -66,6 +66,7 @@ pub mod cluster;
 pub mod engine;
 pub mod error;
 pub mod governor;
+pub mod infer;
 pub mod lbp;
 pub mod method;
 pub mod planner;
@@ -84,6 +85,7 @@ pub use cluster::{
 };
 pub use error::SkipperError;
 pub use governor::GovernorAction;
+pub use infer::{InferSession, InferSkip, Prediction};
 pub use lbp::LocalClassifiers;
 pub use method::{Method, MethodError};
 pub use planner::Planner;

@@ -16,7 +16,7 @@ use crate::stats::{BatchStats, EvalStats};
 use crate::tbptt::tbptt_step;
 use skipper_memprof::{reset_peaks, snapshot, take_op_log, MemorySnapshot, OpLog};
 use skipper_snn::serialize::{apply_records, ParamRecord};
-use skipper_snn::{softmax_cross_entropy, Optimizer, OptimizerState, SpikingNetwork, StepCtx};
+use skipper_snn::{Optimizer, OptimizerState, SpikingNetwork};
 use skipper_tensor::Tensor;
 use std::path::Path;
 use std::time::Instant;
@@ -155,38 +155,7 @@ impl TrainSession {
         SessionBuilder::new(net, method, timesteps)
     }
 
-    /// Create an unsharded session with default knobs and **no up-front
-    /// method validation** (invalid configurations surface at the first
-    /// batch instead of at construction).
-    #[deprecated(
-        since = "0.1.0",
-        note = "use TrainSession::builder(net, method, timesteps).optimizer(...).build()"
-    )]
-    pub fn new(
-        net: SpikingNetwork,
-        optimizer: Box<dyn Optimizer>,
-        method: Method,
-        timesteps: usize,
-    ) -> TrainSession {
-        TrainSession::assemble(
-            net,
-            optimizer,
-            method,
-            timesteps,
-            SamMetric::default(),
-            SkipPolicy::default(),
-            None,
-            None,
-            None,
-            1,
-            None,
-        )
-        // lint:allow(panic): infallible with workers=1 — no pool is spawned on this path
-        .expect("single-worker assembly spawns no threads")
-    }
-
-    /// The real constructor behind [`SessionBuilder::build`] (and the
-    /// deprecated [`TrainSession::new`] shim). For [`Method::TbpttLbp`]
+    /// The real constructor behind [`SessionBuilder::build`]. For [`Method::TbpttLbp`]
     /// the auxiliary classifiers are built immediately and trained with
     /// Adam at the main optimizer's learning rate unless `aux_optimizer`
     /// is given.
@@ -766,26 +735,16 @@ impl TrainSession {
     }
 
     /// Evaluate one batch (plain forward, no dropout, no gradients).
+    ///
+    /// Implemented on the public forward-only path: a skipping-free
+    /// [`InferSession`](crate::InferSession) over a storage-sharing view
+    /// of the network. The logits are bit-identical to running the
+    /// `InferSession` directly (a regression test holds this).
     pub fn eval_batch(&self, inputs: &[Tensor], labels: &[usize]) -> EvalStats {
-        let batch = inputs[0].shape()[0];
-        let mut state = self.net.init_state(batch);
-        let mut logits: Option<Tensor> = None;
-        for (t, input) in inputs.iter().enumerate() {
-            let out = self.net.step_infer(input, &mut state, &StepCtx::eval(t));
-            match logits.as_mut() {
-                Some(l) => l.add_assign(&out.logits),
-                None => logits = Some(out.logits),
-            }
-        }
-        // lint:allow(panic): T >= 1 is validated at session build, so the loop set logits
-        let mut logits = logits.expect("T ≥ 1");
-        logits.scale_assign(1.0 / inputs.len() as f32); // time-averaged readout
-        let loss = softmax_cross_entropy(&logits, labels);
-        EvalStats {
-            loss: loss.loss,
-            correct: loss.correct,
-            total: labels.len(),
-        }
+        crate::InferSession::new(self.net.share())
+            .eval(inputs, labels)
+            // lint:allow(panic): T ≥ 1 and the input shapes are validated at session build / by the caller's training batches
+            .expect("eval batch is well-formed")
     }
 }
 
@@ -889,17 +848,39 @@ mod tests {
     }
 
     #[test]
-    fn deprecated_constructor_still_builds_an_unsharded_session() {
+    fn unvalidated_build_defers_method_checks_to_the_first_batch() {
         let net = custom_net(&ModelConfig {
             input_hw: 8,
             width_mult: 0.25,
             ..ModelConfig::default()
         });
-        #[allow(deprecated)]
-        let mut s = TrainSession::new(net, Box::new(Adam::new(1e-3)), Method::Bptt, 8);
+        let mut s = TrainSession::builder(net, Method::Bptt, 8)
+            .optimizer(Box::new(Adam::new(1e-3)))
+            .build_unvalidated()
+            .expect("structurally sound config");
         assert_eq!(s.workers(), 1);
         let (inputs, labels) = batch(6);
         assert!(s.train_batch(&inputs, &labels).loss.is_finite());
+    }
+
+    #[test]
+    fn eval_batch_is_bit_identical_to_infer_session() {
+        // `eval_batch` is reimplemented on the forward-only path; the
+        // two APIs must agree on every logit bit.
+        let s = session(Method::Bptt);
+        let (inputs, labels) = batch(9);
+        let eval = s.eval_batch(&inputs, &labels);
+        let infer = crate::InferSession::new(s.net().share());
+        let direct = infer.eval(&inputs, &labels).unwrap();
+        assert_eq!(eval.loss.to_bits(), direct.loss.to_bits());
+        assert_eq!(eval.correct, direct.correct);
+        let p = infer.predict(&inputs).unwrap();
+        // And the prediction path reproduces the same logits as another
+        // independent forward pass (stateless API, no hidden carryover).
+        let q = infer.predict(&inputs).unwrap();
+        for (a, b) in p.logits.data().iter().zip(q.logits.data()) {
+            assert_eq!(a.to_bits(), b.to_bits());
+        }
     }
 
     #[test]

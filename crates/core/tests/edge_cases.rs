@@ -3,10 +3,9 @@
 //! must run to completion (or fail loudly), never corrupt state.
 //!
 //! Several of these deliberately train configurations that Eq. 7 flags as
-//! unwise (but structurally sound), so they construct sessions through the
-//! deprecated constructor, which skips the full validity checks that
-//! `SessionBuilder::build` performs.
-#![allow(deprecated)]
+//! unwise (but structurally sound), so they construct sessions through
+//! `SessionBuilder::build_unvalidated`, which defers the full validity
+//! checks that `build` performs to the first batch.
 
 use skipper_core::{Method, TrainSession};
 use skipper_snn::{custom_net, set_threshold, Adam, LifConfig, ModelConfig, SpikingNetwork};
@@ -18,6 +17,16 @@ fn net() -> SpikingNetwork {
         width_mult: 0.25,
         ..ModelConfig::default()
     })
+}
+
+/// Unsharded session with no up-front method validation — the edge-case
+/// construction path.
+fn session(n: SpikingNetwork, lr: f32, method: Method, t: usize) -> TrainSession {
+    TrainSession::builder(n, method, t)
+        .optimizer(Box::new(Adam::new(lr)))
+        .workers(1)
+        .build_unvalidated()
+        .expect("structurally sound config")
 }
 
 fn inputs(t: usize, batch: usize) -> Vec<Tensor> {
@@ -42,7 +51,7 @@ fn batch_size_one_works_for_every_method() {
             taps: vec![1],
         },
     ] {
-        let mut s = TrainSession::new(net(), Box::new(Adam::new(1e-3)), method.clone(), 6);
+        let mut s = session(net(), 1e-3, method.clone(), 6);
         let stats = s.train_batch(&inputs(6, 1), &[3]);
         assert!(stats.loss.is_finite(), "{method}");
         assert_eq!(stats.batch_size, 1);
@@ -52,7 +61,7 @@ fn batch_size_one_works_for_every_method() {
 #[test]
 fn single_timestep_horizon_works() {
     for method in [Method::Bptt, Method::Checkpointed { checkpoints: 1 }] {
-        let mut s = TrainSession::new(net(), Box::new(Adam::new(1e-3)), method.clone(), 1);
+        let mut s = session(net(), 1e-3, method.clone(), 1);
         let stats = s.train_batch(&inputs(1, 2), &[0, 1]);
         assert!(stats.loss.is_finite(), "{method}");
         assert_eq!(stats.recomputed_steps, 1);
@@ -66,19 +75,14 @@ fn c_equals_t_runs_even_though_eq7_flags_it() {
     let t = 6;
     let method = Method::Checkpointed { checkpoints: t };
     assert!(method.validate(&net(), t).is_err(), "Eq. 7 flags it");
-    let mut s = TrainSession::new(net(), Box::new(Adam::new(1e-3)), method, t);
+    let mut s = session(net(), 1e-3, method, t);
     let stats = s.train_batch(&inputs(t, 2), &[0, 1]);
     assert!(stats.loss.is_finite());
 }
 
 #[test]
 fn tbptt_window_one_is_valid() {
-    let mut s = TrainSession::new(
-        net(),
-        Box::new(Adam::new(1e-3)),
-        Method::Tbptt { window: 1 },
-        5,
-    );
+    let mut s = session(net(), 1e-3, Method::Tbptt { window: 1 }, 5);
     let stats = s.train_batch(&inputs(5, 2), &[0, 1]);
     assert!(stats.loss.is_finite());
 }
@@ -92,7 +96,7 @@ fn completely_silent_network_still_trains_readout() {
     for l in 0..n.spiking_layer_count() {
         set_threshold(&mut n, l, 1e6).unwrap();
     }
-    let mut s = TrainSession::new(n, Box::new(Adam::new(1e-3)), Method::Bptt, 6);
+    let mut s = session(n, 1e-3, Method::Bptt, 6);
     let stats = s.train_batch(&inputs(6, 2), &[0, 1]);
     assert!(stats.loss.is_finite());
     assert!((stats.loss - (10.0f64).ln()).abs() < 0.2, "≈ uniform CE");
@@ -100,9 +104,9 @@ fn completely_silent_network_still_trains_readout() {
 
 #[test]
 fn skipper_at_percentile_just_below_100_does_not_panic() {
-    let mut s = TrainSession::new(
+    let mut s = session(
         net(),
-        Box::new(Adam::new(1e-3)),
+        1e-3,
         Method::Skipper {
             checkpoints: 1,
             percentile: 99.9,
@@ -119,7 +123,7 @@ fn skipper_at_percentile_just_below_100_does_not_panic() {
 #[test]
 #[should_panic(expected = "input horizon vs session T")]
 fn wrong_horizon_is_rejected() {
-    let mut s = TrainSession::new(net(), Box::new(Adam::new(1e-3)), Method::Bptt, 10);
+    let mut s = session(net(), 1e-3, Method::Bptt, 10);
     let _ = s.train_batch(&inputs(5, 2), &[0, 1]);
 }
 
@@ -128,9 +132,9 @@ fn constant_input_trains_without_nan_for_many_iterations() {
     // Degenerate data (all-ones spikes) with a high learning rate must not
     // produce NaNs: the surrogate keeps gradients bounded.
     let ones: Vec<Tensor> = (0..6).map(|_| Tensor::ones([2, 3, 8, 8])).collect();
-    let mut s = TrainSession::new(
+    let mut s = session(
         net(),
-        Box::new(Adam::new(0.05)),
+        0.05,
         Method::Skipper {
             checkpoints: 2,
             percentile: 30.0,
@@ -159,7 +163,7 @@ fn leakless_and_leaky_configs_both_run() {
             lif: LifConfig::with_leak(leak),
             ..ModelConfig::default()
         });
-        let mut s = TrainSession::new(n, Box::new(Adam::new(1e-3)), Method::Bptt, 4);
+        let mut s = session(n, 1e-3, Method::Bptt, 4);
         let stats = s.train_batch(&inputs(4, 2), &[0, 1]);
         assert!(stats.loss.is_finite(), "leak {leak}");
     }

@@ -37,8 +37,8 @@ pub struct Scope {
 }
 
 /// The library crates covered by the panic policy (P1).
-pub const LIB_CRATES: [&str; 8] = [
-    "core", "obs", "report", "tensor", "autograd", "snn", "data", "memprof",
+pub const LIB_CRATES: [&str; 9] = [
+    "core", "obs", "report", "tensor", "autograd", "snn", "data", "memprof", "serve",
 ];
 
 /// `crates/core/src` files that are part of the numeric core (D1/D2), in

@@ -41,6 +41,7 @@
 
 mod event;
 mod metrics;
+pub mod router;
 pub mod serve;
 mod sink;
 mod span;
@@ -51,9 +52,8 @@ pub use event::{
     push_json_f64, push_json_fields, push_json_string, Event, EventKind, FieldValue, Fields, Level,
 };
 pub use metrics::{labeled, Histogram, MetricsSnapshot, Registry};
-pub use serve::{
-    clear_cluster_provider, serve_from_env, set_cluster_provider, ClusterProvider, MetricsServer,
-};
+pub use router::{global_router, Handler, HttpServer, Request, Response, RouteGuard, Router};
+pub use serve::{serve_from_env, MetricsServer};
 pub use sink::{JsonlSink, NullSink, RingBufferSink, RingHandle, Sink, StderrSink};
 pub use span::{current_span, namespace_span_ids, ContextGuard, SpanContext, SpanGuard};
 pub use summary::{render_summary, span_stats, SpanStat};

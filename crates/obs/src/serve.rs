@@ -1,7 +1,8 @@
 //! Zero-dependency live telemetry endpoint.
 //!
-//! [`MetricsServer::bind`] spawns one background thread with a
-//! [`std::net::TcpListener`] and answers plain HTTP/1.1:
+//! [`MetricsServer::bind`] starts an [`HttpServer`](crate::HttpServer)
+//! on the [`global_router`](crate::global_router), whose standard routes
+//! answer:
 //!
 //! * `GET /metrics` — the global registry in Prometheus text exposition
 //!   format (`text/plain; version=0.0.4`), counters/gauges as single
@@ -10,9 +11,13 @@
 //! * `GET /metrics.json` — the same snapshot as JSON, with derived
 //!   mean/p50/p95/p99 per histogram;
 //! * `GET /cluster` — a live worker table (JSON) when a cluster
-//!   coordinator has registered a provider via [`set_cluster_provider`];
-//!   `{"workers":[]}` otherwise;
+//!   coordinator holds a scoped `GET /cluster` registration on the
+//!   global router; `{"workers":[]}` otherwise;
 //! * `GET /healthz` — liveness probe.
+//!
+//! Other crates extend the same surface by registering routes on the
+//! global router (the serving gateway adds `POST /v1/predict` and
+//! `GET /v1/tenants`), so one bound port serves every endpoint.
 //!
 //! The server installs a [`NullSink`](crate::NullSink) so the registry
 //! aggregates even when no other sink is active, and removes it (and the
@@ -23,141 +28,46 @@
 //! SKIPPER_OBS_ADDR=127.0.0.1:9184 cargo run --release --bin trace_training
 //! curl http://127.0.0.1:9184/metrics
 //! ```
-//!
-//! Requests are served one at a time (a scrape is a few kilobytes; a
-//! second connection queues in the accept backlog), which keeps the whole
-//! endpoint free of extra threads, locks and dependencies.
 
 use crate::metrics::{Histogram, MetricsSnapshot};
+use crate::router::{global_router, HttpServer};
 use crate::sink::NullSink;
 use crate::SinkId;
-use std::io::{Read, Write};
-use std::net::{SocketAddr, TcpListener, TcpStream};
-use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
-use std::sync::{Arc, Mutex, OnceLock};
-use std::thread::JoinHandle;
+use std::net::SocketAddr;
 
 /// Environment variable holding the listen address (`host:port`).
 pub const ADDR_ENV: &str = "SKIPPER_OBS_ADDR";
-
-// ---------------------------------------------------------------------------
-// The /cluster provider slot
-// ---------------------------------------------------------------------------
-
-/// Renderer a cluster coordinator installs to back `GET /cluster`.
-pub type ClusterProvider = Box<dyn Fn() -> String + Send>;
-
-fn cluster_provider_slot() -> &'static Mutex<Option<(u64, ClusterProvider)>> {
-    static SLOT: OnceLock<Mutex<Option<(u64, ClusterProvider)>>> = OnceLock::new();
-    SLOT.get_or_init(|| Mutex::new(None))
-}
-
-/// Install the closure that renders `GET /cluster` (a cluster coordinator
-/// registering its live worker table). The returned token must be passed
-/// to [`clear_cluster_provider`] when the coordinator shuts down; a later
-/// registration simply replaces an earlier one (latest coordinator wins).
-///
-/// This indirection exists because `skipper-obs` sits below the crate that
-/// owns cluster state — the coordinator pushes a renderer down rather than
-/// this crate reaching up.
-pub fn set_cluster_provider(provider: ClusterProvider) -> u64 {
-    static NEXT_TOKEN: AtomicU64 = AtomicU64::new(1);
-    let token = NEXT_TOKEN.fetch_add(1, Ordering::Relaxed);
-    let mut slot = cluster_provider_slot()
-        .lock()
-        .unwrap_or_else(std::sync::PoisonError::into_inner);
-    *slot = Some((token, provider));
-    token
-}
-
-/// Uninstall the `/cluster` provider registered under `token`. A stale
-/// token (already replaced by a newer coordinator) is a no-op, so an old
-/// coordinator's drop can never tear down its successor's table.
-pub fn clear_cluster_provider(token: u64) {
-    let mut slot = cluster_provider_slot()
-        .lock()
-        .unwrap_or_else(std::sync::PoisonError::into_inner);
-    if matches!(*slot, Some((t, _)) if t == token) {
-        *slot = None;
-    }
-}
-
-/// Body of `GET /cluster`: the registered provider's output, or an empty
-/// worker table when no coordinator is live.
-fn cluster_json() -> String {
-    let slot = cluster_provider_slot()
-        .lock()
-        .unwrap_or_else(std::sync::PoisonError::into_inner);
-    match &*slot {
-        Some((_, provider)) => provider(),
-        None => "{\"workers\":[]}".to_string(),
-    }
-}
 
 /// A running metrics endpoint; dropping it stops the listener thread and
 /// removes the registry-enabling sink.
 #[derive(Debug)]
 pub struct MetricsServer {
-    addr: SocketAddr,
-    stop: Arc<AtomicBool>,
-    thread: Option<JoinHandle<()>>,
+    server: HttpServer,
     sink_id: Option<SinkId>,
 }
 
 impl MetricsServer {
     /// Bind `addr` (e.g. `"127.0.0.1:9184"`; port 0 picks a free port) and
-    /// start serving the global registry.
+    /// start serving the global router (standard observability routes plus
+    /// whatever other crates have registered).
     ///
     /// # Errors
     ///
     /// Propagates the bind error.
     pub fn bind(addr: &str) -> std::io::Result<MetricsServer> {
-        let listener = TcpListener::bind(addr)?;
-        let local = listener.local_addr()?;
-        let stop = Arc::new(AtomicBool::new(false));
-        let thread_stop = Arc::clone(&stop);
-        let thread = std::thread::Builder::new()
-            .name("skipper-obs-serve".into())
-            .spawn(move || {
-                for conn in listener.incoming() {
-                    if thread_stop.load(Ordering::Relaxed) {
-                        break;
-                    }
-                    if let Ok(stream) = conn {
-                        // One bad connection (malformed request, poisoned
-                        // socket, renderer bug) must not take the endpoint
-                        // down: errors are per-connection and panics are
-                        // contained to it.
-                        let _ = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-                            let _ = handle_connection(stream);
-                        }));
-                    }
-                }
-            })?;
+        let server = HttpServer::bind(addr, global_router())?;
         let sink_id = Some(crate::add_sink(Box::new(NullSink::new())));
-        Ok(MetricsServer {
-            addr: local,
-            stop,
-            thread: Some(thread),
-            sink_id,
-        })
+        Ok(MetricsServer { server, sink_id })
     }
 
     /// The bound address (useful with port 0).
     pub fn addr(&self) -> SocketAddr {
-        self.addr
+        self.server.addr()
     }
 }
 
 impl Drop for MetricsServer {
     fn drop(&mut self) {
-        self.stop.store(true, Ordering::Relaxed);
-        // The accept loop blocks in `incoming()`; poke it awake so it sees
-        // the stop flag. A failed connect means the listener already died.
-        let _ = TcpStream::connect(self.addr);
-        if let Some(thread) = self.thread.take() {
-            let _ = thread.join();
-        }
         if let Some(id) = self.sink_id.take() {
             crate::remove_sink(id);
         }
@@ -185,87 +95,6 @@ pub fn serve_from_env() -> Option<MetricsServer> {
             eprintln!("skipper-obs: cannot bind {ADDR_ENV}={addr}: {err}");
             None
         }
-    }
-}
-
-fn handle_connection(mut stream: TcpStream) -> std::io::Result<()> {
-    stream.set_read_timeout(Some(std::time::Duration::from_secs(2)))?;
-    // Read until the end of the request head; the routes take no bodies.
-    let mut buf = Vec::new();
-    let mut chunk = [0u8; 1024];
-    loop {
-        let n = stream.read(&mut chunk)?;
-        if n == 0 {
-            break;
-        }
-        buf.extend_from_slice(&chunk[..n]);
-        if buf.windows(4).any(|w| w == b"\r\n\r\n") || buf.len() > 16 * 1024 {
-            break;
-        }
-    }
-    if buf.is_empty() {
-        // Peer connected and went away (the Drop wake-up does exactly
-        // this); nothing to answer.
-        return Ok(());
-    }
-    let head = String::from_utf8_lossy(&buf);
-    let (status, content_type, body) = respond(&head);
-    let response = format!(
-        "HTTP/1.1 {status}\r\nContent-Type: {content_type}\r\nContent-Length: {}\r\nConnection: close\r\n\r\n{body}",
-        body.len()
-    );
-    stream.write_all(response.as_bytes())?;
-    stream.flush()
-}
-
-/// Route a request head to `(status, content-type, body)`.
-///
-/// Malformed heads get a 400 and unsupported methods a 405 instead of a
-/// panic or a silent default route; a renderer failure (never expected —
-/// rendering is pure) degrades to a 500. The listener keeps serving in
-/// every case.
-fn respond(head: &str) -> (&'static str, &'static str, String) {
-    const TEXT: &str = "text/plain; charset=utf-8";
-    type Renderer = fn() -> String;
-    let Some(request_line) = head.lines().next() else {
-        return ("400 Bad Request", TEXT, "bad request\n".to_string());
-    };
-    let mut parts = request_line.split_whitespace();
-    let (Some(method), Some(path), Some(version)) = (parts.next(), parts.next(), parts.next())
-    else {
-        return ("400 Bad Request", TEXT, "bad request\n".to_string());
-    };
-    if !version.starts_with("HTTP/") {
-        return ("400 Bad Request", TEXT, "bad request\n".to_string());
-    }
-    if method != "GET" && method != "HEAD" {
-        return (
-            "405 Method Not Allowed",
-            TEXT,
-            "method not allowed\n".to_string(),
-        );
-    }
-    let render: Option<(&'static str, Renderer)> = match path {
-        "/metrics" => Some(("text/plain; version=0.0.4; charset=utf-8", || {
-            prometheus_text(&crate::registry().snapshot())
-        })),
-        "/metrics.json" => Some(("application/json", || {
-            snapshot_json(&crate::registry().snapshot())
-        })),
-        "/cluster" => Some(("application/json", cluster_json)),
-        "/" | "/healthz" => return ("200 OK", TEXT, "ok\n".to_string()),
-        _ => None,
-    };
-    let Some((content_type, render)) = render else {
-        return ("404 Not Found", TEXT, "not found\n".to_string());
-    };
-    match std::panic::catch_unwind(render) {
-        Ok(body) => ("200 OK", content_type, body),
-        Err(_) => (
-            "500 Internal Server Error",
-            TEXT,
-            "internal error\n".to_string(),
-        ),
     }
 }
 
@@ -445,7 +274,10 @@ pub fn snapshot_json(snap: &MetricsSnapshot) -> String {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::router::Response;
     use crate::Registry;
+    use std::io::{Read, Write};
+    use std::net::TcpStream;
 
     fn http_get(addr: SocketAddr, path: &str) -> String {
         let mut stream = TcpStream::connect(addr).unwrap();
@@ -514,36 +346,31 @@ mod tests {
     }
 
     #[test]
-    fn cluster_endpoint_serves_provider_output() {
+    fn cluster_endpoint_serves_scoped_registration() {
         let server = MetricsServer::bind("127.0.0.1:0").unwrap();
 
-        // No provider: the empty table, still valid JSON.
-        // (Another test's coordinator could in principle be live; only
-        // assert the default shape when the slot really is empty.)
-        let empty = http_get(server.addr(), "/cluster");
-        assert!(empty.starts_with("HTTP/1.1 200 OK"), "got: {empty}");
-        assert!(empty.contains("application/json"));
-
-        let token = set_cluster_provider(Box::new(|| {
-            "{\"workers\":[{\"id\":7,\"state\":\"idle\"}]}".to_string()
-        }));
-        let body = http_get(server.addr(), "/cluster");
-        assert!(body.contains("\"id\":7"), "got: {body}");
-        assert!(body.contains("\"state\":\"idle\""));
-
-        // Wrong method on the route still 405s; unknown path 404s.
+        // Wrong method on the route 405s; unknown path 404s. (The default
+        // `/cluster` body is asserted by the router's own tests — another
+        // test's coordinator could be shadowing it here.)
         let post = http_raw(server.addr(), "POST /cluster HTTP/1.1\r\n\r\n");
         assert!(post.starts_with("HTTP/1.1 405"), "got: {post}");
         let missing = http_get(server.addr(), "/cluster/nope");
         assert!(missing.starts_with("HTTP/1.1 404"), "got: {missing}");
 
-        // A stale token is a no-op; the live one clears the slot.
-        clear_cluster_provider(token + 1000);
-        let still = http_get(server.addr(), "/cluster");
-        assert!(still.contains("\"id\":7"), "got: {still}");
-        clear_cluster_provider(token);
+        // A coordinator's scoped registration shadows the default table
+        // while its guard lives...
+        {
+            let _guard = crate::global_router().register("GET", "/cluster", |_| {
+                Response::ok_json("{\"workers\":[{\"id\":7,\"state\":\"idle\"}]}")
+            });
+            let body = http_get(server.addr(), "/cluster");
+            assert!(body.contains("\"id\":7"), "got: {body}");
+            assert!(body.contains("\"state\":\"idle\""));
+        }
+        // ...and drop restores the previous registration.
         let after = http_get(server.addr(), "/cluster");
-        assert!(after.contains("{\"workers\":[]}"), "got: {after}");
+        assert!(!after.contains("\"id\":7"), "got: {after}");
+        assert!(after.starts_with("HTTP/1.1 200 OK"), "got: {after}");
     }
 
     #[test]
@@ -581,7 +408,7 @@ mod tests {
         let junk = http_raw(server.addr(), "SSH-2.0-OpenSSH_9.6\r\n\r\n");
         assert!(junk.starts_with("HTTP/1.1 400"), "got: {junk}");
 
-        // Unsupported method → 405.
+        // Unsupported method on a GET-only route → 405.
         let post = http_raw(server.addr(), "POST /metrics HTTP/1.1\r\n\r\n");
         assert!(post.starts_with("HTTP/1.1 405"), "got: {post}");
 

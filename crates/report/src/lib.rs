@@ -48,6 +48,11 @@ pub struct RunManifest {
     pub wall_s: f64,
     /// Iteration latency stats, when the run trained at least once.
     pub iteration: Option<IterationStats>,
+    /// Serving request latency stats (`serve.request_wall_us`), when the
+    /// run answered gateway traffic. Absent in older manifests and
+    /// training-only runs — the vendored deserializer maps a missing
+    /// field to `None`, so committed baselines stay loadable.
+    pub request: Option<IterationStats>,
     /// Peak tracked memory over the run, bytes
     /// (`memprof.peak_bytes{category=total}`; 0 when not recorded).
     pub peak_bytes: f64,
@@ -93,17 +98,20 @@ impl RunManifest {
         workers: usize,
         snap: &MetricsSnapshot,
     ) -> RunManifest {
-        let iteration = snap
-            .histograms
-            .iter()
-            .find(|(k, _)| k == "iteration.wall_us")
-            .map(|(_, h)| IterationStats {
-                count: h.count(),
-                mean_us: h.mean(),
-                p50_us: h.quantile(0.50),
-                p95_us: h.quantile(0.95),
-                p99_us: h.quantile(0.99),
-            });
+        let latency_stats = |name: &str| {
+            snap.histograms
+                .iter()
+                .find(|(k, _)| k == name)
+                .map(|(_, h)| IterationStats {
+                    count: h.count(),
+                    mean_us: h.mean(),
+                    p50_us: h.quantile(0.50),
+                    p95_us: h.quantile(0.95),
+                    p99_us: h.quantile(0.99),
+                })
+        };
+        let iteration = latency_stats("iteration.wall_us");
+        let request = latency_stats("serve.request_wall_us");
         let peak_bytes = lookup(&snap.gauges, "memprof.peak_bytes{category=total}")
             .or_else(|| {
                 snap.gauges
@@ -140,6 +148,7 @@ impl RunManifest {
             workers,
             wall_s,
             iteration,
+            request,
             peak_bytes,
             steps_skipped,
             steps_recomputed,
@@ -297,6 +306,46 @@ fn check(out: &mut Vec<Regression>, metric: &str, baseline: f64, current: f64, l
     }
 }
 
+fn check_latency(
+    out: &mut Vec<Regression>,
+    prefix: &str,
+    baseline: &Option<IterationStats>,
+    current: &Option<IterationStats>,
+    limit_pct: f64,
+) {
+    let (Some(b), Some(c)) = (baseline, current) else {
+        return;
+    };
+    check(
+        out,
+        &format!("{prefix}.mean_us"),
+        b.mean_us,
+        c.mean_us,
+        limit_pct,
+    );
+    check(
+        out,
+        &format!("{prefix}.p50_us"),
+        b.p50_us,
+        c.p50_us,
+        limit_pct,
+    );
+    check(
+        out,
+        &format!("{prefix}.p95_us"),
+        b.p95_us,
+        c.p95_us,
+        limit_pct,
+    );
+    check(
+        out,
+        &format!("{prefix}.p99_us"),
+        b.p99_us,
+        c.p99_us,
+        limit_pct,
+    );
+}
+
 /// Diff `current` against `baseline` under `cfg`, returning every metric
 /// that regressed (empty = gate passes). Higher is worse for every gated
 /// metric; improvements never fail the gate.
@@ -321,36 +370,20 @@ pub fn compare(baseline: &RunManifest, current: &RunManifest, cfg: &GateConfig) 
         current.wall_s,
         cfg.max_slowdown_pct,
     );
-    if let (Some(b), Some(c)) = (&baseline.iteration, &current.iteration) {
-        check(
-            &mut out,
-            "iteration.mean_us",
-            b.mean_us,
-            c.mean_us,
-            cfg.max_slowdown_pct,
-        );
-        check(
-            &mut out,
-            "iteration.p50_us",
-            b.p50_us,
-            c.p50_us,
-            cfg.max_slowdown_pct,
-        );
-        check(
-            &mut out,
-            "iteration.p95_us",
-            b.p95_us,
-            c.p95_us,
-            cfg.max_slowdown_pct,
-        );
-        check(
-            &mut out,
-            "iteration.p99_us",
-            b.p99_us,
-            c.p99_us,
-            cfg.max_slowdown_pct,
-        );
-    }
+    check_latency(
+        &mut out,
+        "iteration",
+        &baseline.iteration,
+        &current.iteration,
+        cfg.max_slowdown_pct,
+    );
+    check_latency(
+        &mut out,
+        "request",
+        &baseline.request,
+        &current.request,
+        cfg.max_slowdown_pct,
+    );
     check(
         &mut out,
         "peak_bytes",
@@ -407,6 +440,43 @@ mod tests {
         assert_eq!(iter.count, 8);
         assert!((iter.mean_us - 100.0).abs() < 1e-9);
         assert!(iter.p95_us > 0.0);
+        assert!(
+            m.request.is_none(),
+            "training run records no request latency"
+        );
+    }
+
+    #[test]
+    fn manifest_derives_request_latency_and_gate_flags_its_regressions() {
+        let snapshot = |walls: &[f64]| {
+            let r = Registry::new();
+            for &w in walls {
+                r.observe("serve.request_wall_us", w);
+            }
+            r.snapshot()
+        };
+        let base = RunManifest::from_snapshot("srv", 1.0, false, 1, &snapshot(&[200.0; 8]));
+        let req = base.request.as_ref().expect("request histogram present");
+        assert_eq!(req.count, 8);
+        assert!((req.mean_us - 200.0).abs() < 1e-9);
+        assert!(
+            base.iteration.is_none(),
+            "serving run records no iterations"
+        );
+
+        // A manifest serialized before the field existed still loads.
+        let legacy: RunManifest = serde_json::from_str(
+            &serde_json::to_string(&base)
+                .unwrap()
+                .replace("\"request\":", "\"request_unknown\":"),
+        )
+        .expect("missing request field deserializes");
+        assert!(legacy.request.is_none());
+
+        let slow = RunManifest::from_snapshot("srv", 1.0, false, 1, &snapshot(&[900.0; 8]));
+        let regressions = compare(&base, &slow, &GateConfig::default());
+        assert!(regressions.iter().any(|r| r.metric.starts_with("request.")));
+        assert!(compare(&base, &base, &GateConfig::default()).is_empty());
     }
 
     #[test]

@@ -1,0 +1,164 @@
+//! Wire types for the gateway's JSON endpoints.
+//!
+//! A prediction request carries **one sample**: a pre-encoded spike train
+//! of `timesteps` frames, each of shape `shape` (e.g. `[3, 8, 8]`),
+//! flattened timestep-major into `inputs`. Clients encode (Poisson,
+//! latency, …) on their side — the gateway never runs an RNG, so a
+//! response is a pure function of the request batch and the loaded
+//! weights, and replicas answer identically.
+
+use serde::{Deserialize, Serialize};
+use skipper_tensor::Tensor;
+
+/// `POST /v1/predict` request body.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct PredictRequest {
+    /// Admission-control tenant; must be configured on the gateway.
+    pub tenant: String,
+    /// Spike-train length `T`.
+    pub timesteps: usize,
+    /// Per-timestep sample shape, e.g. `[3, 8, 8]` (no batch dimension —
+    /// batching is the gateway's job).
+    pub shape: Vec<usize>,
+    /// Flat spike data, timestep-major: `timesteps * shape.product()`
+    /// values.
+    pub inputs: Vec<f32>,
+    /// Optional per-request deadline override in milliseconds; the
+    /// gateway sheds the request rather than answer later than this.
+    pub deadline_ms: Option<u64>,
+}
+
+impl PredictRequest {
+    /// Validate and unflatten into one `[1, …shape]` tensor per timestep
+    /// (the gateway stacks these along the batch dimension).
+    ///
+    /// # Errors
+    ///
+    /// A human-readable reason when the declared geometry is empty,
+    /// overflows, or disagrees with `inputs.len()`.
+    pub fn to_timestep_tensors(&self) -> Result<Vec<Tensor>, String> {
+        if self.timesteps == 0 {
+            return Err("timesteps must be >= 1".to_string());
+        }
+        if self.shape.is_empty() || self.shape.contains(&0) {
+            return Err(format!(
+                "shape {:?} must be non-empty and positive",
+                self.shape
+            ));
+        }
+        let per_step: usize = self
+            .shape
+            .iter()
+            .try_fold(1usize, |acc, &d| acc.checked_mul(d))
+            .ok_or_else(|| format!("shape {:?} overflows", self.shape))?;
+        let want = per_step
+            .checked_mul(self.timesteps)
+            .ok_or_else(|| format!("{} x {:?} overflows", self.timesteps, self.shape))?;
+        if self.inputs.len() != want {
+            return Err(format!(
+                "inputs has {} values; {} timesteps of shape {:?} need {}",
+                self.inputs.len(),
+                self.timesteps,
+                self.shape,
+                want
+            ));
+        }
+        let mut sample_shape = Vec::with_capacity(self.shape.len() + 1);
+        sample_shape.push(1usize);
+        sample_shape.extend_from_slice(&self.shape);
+        Ok(self
+            .inputs
+            .chunks_exact(per_step)
+            .map(|step| Tensor::from_vec(step.to_vec(), sample_shape.clone()))
+            .collect())
+    }
+}
+
+/// `POST /v1/predict` success body (HTTP 200).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct PredictResponse {
+    /// Argmax class of the time-averaged logits.
+    pub class: usize,
+    /// The sample's time-averaged logits.
+    pub logits: Vec<f32>,
+    /// Timesteps the micro-batch actually ran.
+    pub evaluated_steps: usize,
+    /// Timesteps early-exited by inference-time skipping.
+    pub skipped_steps: usize,
+    /// How many requests shared the micro-batch this one rode in.
+    pub batch_size: usize,
+}
+
+/// One row of `GET /v1/tenants`.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct TenantStatus {
+    /// Tenant name.
+    pub name: String,
+    /// Configured sustained rate, requests/second.
+    pub rate_per_sec: f64,
+    /// Configured burst capacity.
+    pub burst: f64,
+    /// Current token-bucket level.
+    pub tokens: f64,
+}
+
+/// `GET /v1/tenants` body.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct TenantsResponse {
+    /// Every configured tenant with its live bucket level.
+    pub tenants: Vec<TenantStatus>,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn request(timesteps: usize, shape: Vec<usize>, values: usize) -> PredictRequest {
+        PredictRequest {
+            tenant: "t".to_string(),
+            timesteps,
+            shape,
+            inputs: vec![1.0; values],
+            deadline_ms: None,
+        }
+    }
+
+    #[test]
+    fn well_formed_request_unflattens() {
+        let tensors = request(4, vec![3, 8, 8], 4 * 3 * 8 * 8)
+            .to_timestep_tensors()
+            .unwrap();
+        assert_eq!(tensors.len(), 4);
+        assert_eq!(tensors[0].shape().dims(), &[1, 3, 8, 8]);
+    }
+
+    #[test]
+    fn geometry_mismatches_are_rejected() {
+        assert!(request(0, vec![3], 0).to_timestep_tensors().is_err());
+        assert!(request(2, vec![], 2).to_timestep_tensors().is_err());
+        assert!(request(2, vec![3, 0], 0).to_timestep_tensors().is_err());
+        assert!(request(2, vec![3], 5).to_timestep_tensors().is_err());
+    }
+
+    #[test]
+    fn json_round_trip_preserves_float_bits() {
+        let req = PredictRequest {
+            tenant: "acme".to_string(),
+            timesteps: 1,
+            shape: vec![2],
+            inputs: vec![0.1, f32::MIN_POSITIVE],
+            deadline_ms: Some(25),
+        };
+        let json = serde_json::to_string(&req).unwrap();
+        let back: PredictRequest = serde_json::from_str(&json).unwrap();
+        for (a, b) in req.inputs.iter().zip(&back.inputs) {
+            assert_eq!(a.to_bits(), b.to_bits());
+        }
+        assert_eq!(back.deadline_ms, Some(25));
+
+        // A body without the optional field still parses.
+        let json = r#"{"tenant":"a","timesteps":1,"shape":[1],"inputs":[0.0]}"#;
+        let sparse: PredictRequest = serde_json::from_str(json).unwrap();
+        assert_eq!(sparse.deadline_ms, None);
+    }
+}

@@ -1,0 +1,477 @@
+//! The gateway itself: HTTP handlers, the request queue, and the
+//! micro-batcher thread.
+//!
+//! # Request life cycle
+//!
+//! ```text
+//! POST /v1/predict
+//!   └─ parse + validate geometry          → 400 bad_request
+//!   └─ admission (token bucket)           → 400 unknown tenant
+//!                                         → 429 rate_limited
+//!   └─ queue admission (capacity)         → 503 overloaded
+//!   └─ enqueue, block on a response channel
+//!        batcher: coalesce up to max_batch compatible requests, but
+//!        dispatch no later than min(oldest.enqueued + max_delay,
+//!        earliest deadline) — batching never delays a request past its
+//!        deadline
+//!   └─ predict on the pool's current session, split per-row
+//!   └─ 200 with logits/class              → 503 deadline when unmet
+//! ```
+//!
+//! Requests are **compatible** (may share a micro-batch) when they agree
+//! on timestep count and per-step shape; the batch is their row-wise
+//! concatenation, so with skipping disabled each row's logits are
+//! bit-identical to a solo `InferSession::predict` on that sample. With
+//! skipping enabled the SST is computed over the whole micro-batch —
+//! replicas seeing the same batch still answer identically.
+
+use crate::api::{PredictRequest, PredictResponse, TenantStatus, TenantsResponse};
+use crate::config::GatewayConfig;
+use crate::lock_unpoisoned;
+use crate::model::ModelPool;
+use crate::tenancy::{Admission, AdmitError};
+use skipper_obs::{
+    counter_add, gauge_set, labeled, observe, HttpServer, Request, Response, RouteGuard, Router,
+};
+use skipper_tensor::Tensor;
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{mpsc, Arc, Condvar, Mutex, MutexGuard};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+/// Extra time a blocked handler allows past the deadline for a batch
+/// that was *dispatched* in time to finish executing.
+const EXECUTION_GRACE: Duration = Duration::from_secs(30);
+
+/// How far before the earliest queued deadline the batcher stops
+/// coalescing and dispatches what it has. Without this lead the window
+/// wait would wake exactly *at* the deadline and the request would be
+/// shed instead of served.
+const DISPATCH_LEAD: Duration = Duration::from_millis(5);
+
+/// Why a queued request was answered without a prediction.
+enum Shed {
+    /// Still queued at its deadline (or no response in time).
+    Deadline,
+    /// The gateway is stopping.
+    Shutdown,
+    /// The model rejected the batch (shape drift after a reload, …).
+    Model(String),
+}
+
+type JobResult = Result<PredictResponse, Shed>;
+
+/// One admitted request waiting for a micro-batch slot.
+struct Job {
+    /// Per-timestep `[1, …]` tensors.
+    inputs: Vec<Tensor>,
+    enqueued: Instant,
+    deadline: Instant,
+    respond: mpsc::Sender<JobResult>,
+}
+
+struct Inner {
+    cfg: GatewayConfig,
+    pool: ModelPool,
+    admission: Admission,
+    queue: Mutex<VecDeque<Job>>,
+    cv: Condvar,
+    stop: AtomicBool,
+}
+
+/// The running gateway: routes registered, batcher (and reloader, for a
+/// watching pool) threads live. Dropping it sheds queued requests with a
+/// typed `shutdown` reason, joins the threads and unregisters the routes.
+pub struct Gateway {
+    inner: Arc<Inner>,
+    router: Arc<Router>,
+    routes: Vec<RouteGuard>,
+    servers: Vec<HttpServer>,
+    batcher: Option<JoinHandle<()>>,
+    reloader: Option<JoinHandle<()>>,
+}
+
+impl std::fmt::Debug for Gateway {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Gateway")
+            .field("tenants", &self.inner.cfg.tenants.len())
+            .field("max_batch", &self.inner.cfg.max_batch)
+            .field("servers", &self.servers.len())
+            .finish()
+    }
+}
+
+impl Gateway {
+    /// Register `POST /v1/predict` + `GET /v1/tenants` on `router` and
+    /// start the batcher (and, for a watching pool, the reload poller).
+    ///
+    /// Pass [`skipper_obs::global_router()`] to share the process-wide
+    /// server with `/metrics` and `/cluster`, or a private router for an
+    /// isolated instance (tests run many gateways side by side this way).
+    ///
+    /// # Errors
+    ///
+    /// Propagates thread-spawn failures.
+    pub fn start(
+        cfg: GatewayConfig,
+        pool: ModelPool,
+        router: Arc<Router>,
+    ) -> std::io::Result<Gateway> {
+        let inner = Arc::new(Inner {
+            admission: Admission::new(&cfg.tenants),
+            cfg,
+            pool,
+            queue: Mutex::new(VecDeque::new()),
+            cv: Condvar::new(),
+            stop: AtomicBool::new(false),
+        });
+        let predict_inner = Arc::clone(&inner);
+        let predict = router.register("POST", "/v1/predict", move |req| {
+            handle_predict(&predict_inner, req)
+        });
+        let tenants_inner = Arc::clone(&inner);
+        let tenants = router.register("GET", "/v1/tenants", move |_req| {
+            handle_tenants(&tenants_inner)
+        });
+        let batch_inner = Arc::clone(&inner);
+        let batcher = std::thread::Builder::new()
+            .name("skipper-serve-batch".into())
+            .spawn(move || batcher_loop(&batch_inner))?;
+        let reloader = if inner.pool.watches() {
+            let reload_inner = Arc::clone(&inner);
+            Some(
+                std::thread::Builder::new()
+                    .name("skipper-serve-reload".into())
+                    .spawn(move || reload_loop(&reload_inner))?,
+            )
+        } else {
+            None
+        };
+        Ok(Gateway {
+            inner,
+            router,
+            routes: vec![predict, tenants],
+            servers: Vec::new(),
+            batcher: Some(batcher),
+            reloader,
+        })
+    }
+
+    /// Bind an HTTP listener on `addr` (port 0 picks a free port)
+    /// serving this gateway's router — which also exposes whatever else
+    /// is registered there (`/metrics`, `/healthz`, …).
+    ///
+    /// # Errors
+    ///
+    /// Propagates the bind error.
+    pub fn bind(&mut self, addr: &str) -> std::io::Result<std::net::SocketAddr> {
+        let server = HttpServer::bind(addr, Arc::clone(&self.router))?;
+        let addr = server.addr();
+        self.servers.push(server);
+        Ok(addr)
+    }
+
+    /// [`bind`](Gateway::bind) on `SKIPPER_SERVE_ADDR`; `None` when the
+    /// variable is unset.
+    pub fn bind_from_env(&mut self) -> Option<std::io::Result<std::net::SocketAddr>> {
+        let addr = std::env::var(crate::config::ADDR_ENV).ok()?;
+        Some(self.bind(&addr))
+    }
+
+    /// The model pool behind this gateway.
+    pub fn pool(&self) -> &ModelPool {
+        &self.inner.pool
+    }
+}
+
+impl Drop for Gateway {
+    fn drop(&mut self) {
+        // Close the front door before stopping the batcher: no listener,
+        // no route, no new work.
+        self.servers.clear();
+        self.routes.clear();
+        self.inner.stop.store(true, Ordering::Relaxed);
+        self.inner.cv.notify_all();
+        if let Some(t) = self.batcher.take() {
+            let _ = t.join();
+        }
+        if let Some(t) = self.reloader.take() {
+            let _ = t.join();
+        }
+    }
+}
+
+fn shed(reason: &str) {
+    counter_add(&labeled("serve.shed", "reason", reason), 1.0);
+}
+
+fn handle_predict(inner: &Arc<Inner>, req: &Request) -> Response {
+    let start = Instant::now();
+    if inner.stop.load(Ordering::Relaxed) {
+        return Response::service_unavailable("shutting_down", "gateway is stopping");
+    }
+    let parsed: PredictRequest = match serde_json::from_str(&req.body_str()) {
+        Ok(p) => p,
+        Err(e) => return Response::bad_request(&format!("invalid JSON body: {e:?}")),
+    };
+    let inputs = match parsed.to_timestep_tensors() {
+        Ok(v) => v,
+        Err(reason) => return Response::bad_request(&reason),
+    };
+    match inner.admission.admit(&parsed.tenant, start) {
+        Err(AdmitError::UnknownTenant) => {
+            shed("unknown_tenant");
+            return Response::bad_request(&format!(
+                "tenant {:?} is not configured on this gateway",
+                parsed.tenant
+            ));
+        }
+        Err(AdmitError::RateLimited) => {
+            shed("rate_limited");
+            return Response::too_many_requests(&format!(
+                "tenant {:?} is over its rate budget",
+                parsed.tenant
+            ));
+        }
+        Ok(()) => {}
+    }
+    let budget = parsed
+        .deadline_ms
+        .map(Duration::from_millis)
+        .unwrap_or(inner.cfg.deadline);
+    let deadline = start + budget;
+    let (tx, rx) = mpsc::channel();
+    {
+        let mut q = lock_unpoisoned(&inner.queue);
+        if q.len() >= inner.cfg.queue_cap {
+            drop(q);
+            shed("queue_full");
+            return Response::service_unavailable("overloaded", "request queue is full");
+        }
+        q.push_back(Job {
+            inputs,
+            enqueued: start,
+            deadline,
+            respond: tx,
+        });
+        gauge_set("serve.queue_depth", q.len() as f64);
+    }
+    inner.cv.notify_all();
+    counter_add(&labeled("serve.requests", "tenant", &parsed.tenant), 1.0);
+
+    let wait = deadline.saturating_duration_since(Instant::now()) + EXECUTION_GRACE;
+    match rx.recv_timeout(wait) {
+        Ok(Ok(body)) => match serde_json::to_string(&body) {
+            Ok(json) => {
+                observe("serve.request_wall_us", start.elapsed().as_secs_f64() * 1e6);
+                Response::ok_json(json)
+            }
+            Err(e) => Response::service_unavailable("model_error", &format!("{e:?}")),
+        },
+        // The batcher already counted this shed.
+        Ok(Err(Shed::Deadline)) => {
+            Response::service_unavailable("deadline", "not dispatched before the deadline")
+        }
+        Ok(Err(Shed::Shutdown)) | Err(mpsc::RecvTimeoutError::Disconnected) => {
+            Response::service_unavailable("shutting_down", "gateway is stopping")
+        }
+        Ok(Err(Shed::Model(reason))) => Response::service_unavailable("model_error", &reason),
+        Err(mpsc::RecvTimeoutError::Timeout) => {
+            shed("deadline");
+            Response::service_unavailable("deadline", "no response before the deadline")
+        }
+    }
+}
+
+fn handle_tenants(inner: &Arc<Inner>) -> Response {
+    let tenants = inner
+        .admission
+        .levels(Instant::now())
+        .into_iter()
+        .map(|(t, tokens)| TenantStatus {
+            name: t.name,
+            rate_per_sec: t.rate_per_sec,
+            burst: t.burst,
+            tokens,
+        })
+        .collect();
+    match serde_json::to_string(&TenantsResponse { tenants }) {
+        Ok(json) => Response::ok_json(json),
+        Err(e) => Response::service_unavailable("model_error", &format!("{e:?}")),
+    }
+}
+
+/// Whether two jobs may share a micro-batch: same timestep count and
+/// per-step shape.
+fn compatible(a: &Job, b: &Job) -> bool {
+    a.inputs.len() == b.inputs.len()
+        && a.inputs.first().map(|t| t.shape().dims()) == b.inputs.first().map(|t| t.shape().dims())
+}
+
+fn wait_on<'a>(
+    cv: &Condvar,
+    guard: MutexGuard<'a, VecDeque<Job>>,
+    dur: Duration,
+) -> MutexGuard<'a, VecDeque<Job>> {
+    match cv.wait_timeout(guard, dur) {
+        Ok((g, _)) => g,
+        Err(poisoned) => poisoned.into_inner().0,
+    }
+}
+
+/// Pop the front job plus every compatible one, up to `max_batch`.
+fn extract_batch(q: &mut VecDeque<Job>, max_batch: usize) -> Vec<Job> {
+    let Some(front) = q.pop_front() else {
+        return Vec::new();
+    };
+    let mut batch = vec![front];
+    let mut i = 0;
+    while i < q.len() && batch.len() < max_batch {
+        let matches = q
+            .get(i)
+            .zip(batch.first())
+            .is_some_and(|(job, front)| compatible(job, front));
+        if matches {
+            if let Some(job) = q.remove(i) {
+                batch.push(job);
+            }
+        } else {
+            i += 1;
+        }
+    }
+    batch
+}
+
+fn batcher_loop(inner: &Arc<Inner>) {
+    loop {
+        let batch = {
+            let mut q = lock_unpoisoned(&inner.queue);
+            loop {
+                if inner.stop.load(Ordering::Relaxed) {
+                    for job in q.drain(..) {
+                        shed("shutdown");
+                        let _ = job.respond.send(Err(Shed::Shutdown));
+                    }
+                    return;
+                }
+                let now = Instant::now();
+                // Shed everything already past its deadline: predicting
+                // for a client that stopped waiting wastes batch slots.
+                let mut i = 0;
+                while i < q.len() {
+                    if q.get(i).is_some_and(|j| j.deadline <= now) {
+                        if let Some(job) = q.remove(i) {
+                            shed("deadline");
+                            let _ = job.respond.send(Err(Shed::Deadline));
+                        }
+                    } else {
+                        i += 1;
+                    }
+                }
+                let Some(front) = q.front() else {
+                    q = wait_on(&inner.cv, q, Duration::from_millis(50));
+                    continue;
+                };
+                // Dispatch when the batch is full, the coalescing window
+                // closed, or someone's deadline approaches — whichever
+                // comes first. Batching must never push a response past
+                // its request's deadline.
+                let window_end = front.enqueued + inner.cfg.max_delay;
+                let earliest_deadline = q.iter().map(|j| j.deadline).min().unwrap_or(window_end);
+                let deadline_cutoff = earliest_deadline
+                    .checked_sub(DISPATCH_LEAD)
+                    .unwrap_or(earliest_deadline);
+                let cutoff = window_end.min(deadline_cutoff);
+                let ready = q.iter().filter(|j| compatible(j, front)).count();
+                if ready >= inner.cfg.max_batch || now >= cutoff {
+                    let batch = extract_batch(&mut q, inner.cfg.max_batch);
+                    gauge_set("serve.queue_depth", q.len() as f64);
+                    break batch;
+                }
+                q = wait_on(&inner.cv, q, cutoff.saturating_duration_since(now));
+            }
+        };
+        dispatch(inner, &batch);
+    }
+}
+
+/// Stack the batch row-wise, predict once, split the logits back out.
+fn dispatch(inner: &Arc<Inner>, batch: &[Job]) {
+    let Some(front) = batch.first() else {
+        return;
+    };
+    let rows = batch.len();
+    let timesteps = front.inputs.len();
+    let mut steps: Vec<Tensor> = Vec::with_capacity(timesteps);
+    for t in 0..timesteps {
+        let mut dims = Vec::new();
+        let mut data = Vec::new();
+        for job in batch {
+            if let Some(x) = job.inputs.get(t) {
+                if dims.is_empty() {
+                    dims = x.shape().dims().to_vec();
+                }
+                data.extend_from_slice(x.data());
+            }
+        }
+        if let Some(d0) = dims.first_mut() {
+            *d0 = rows;
+        }
+        steps.push(Tensor::from_vec(data, dims));
+    }
+    // Hold one Arc across the whole batch: a concurrent hot reload swaps
+    // the pool pointer without tearing this prediction.
+    let session = inner.pool.current();
+    counter_add("serve.batches", 1.0);
+    observe("serve.batch_size", rows as f64);
+    match session.predict(&steps) {
+        Ok(pred) => {
+            counter_add("serve.steps_evaluated", pred.evaluated_steps as f64);
+            counter_add("serve.steps_skipped", pred.skipped_steps as f64);
+            let classes = pred.logits.shape().dims().last().copied().unwrap_or(0);
+            for (i, job) in batch.iter().enumerate() {
+                let logits = pred
+                    .logits
+                    .data()
+                    .get(i * classes..(i + 1) * classes)
+                    .map(<[f32]>::to_vec)
+                    .unwrap_or_default();
+                let _ = job.respond.send(Ok(PredictResponse {
+                    class: pred.classes.get(i).copied().unwrap_or(0),
+                    logits,
+                    evaluated_steps: pred.evaluated_steps,
+                    skipped_steps: pred.skipped_steps,
+                    batch_size: rows,
+                }));
+            }
+        }
+        Err(e) => {
+            let reason = format!("{e}");
+            for job in batch {
+                let _ = job.respond.send(Err(Shed::Model(reason.clone())));
+            }
+        }
+    }
+}
+
+/// Poll the watched `.skw` at the configured interval, in short slices
+/// so shutdown stays prompt.
+fn reload_loop(inner: &Arc<Inner>) {
+    let slice = Duration::from_millis(25);
+    loop {
+        let mut waited = Duration::ZERO;
+        while waited < inner.cfg.reload_poll {
+            if inner.stop.load(Ordering::Relaxed) {
+                return;
+            }
+            let step = slice.min(inner.cfg.reload_poll - waited);
+            std::thread::sleep(step);
+            waited += step;
+        }
+        // `serve.model_reloads` is counted inside the pool on success.
+        if inner.pool.poll_reload().is_err() {
+            counter_add("serve.model_reload_errors", 1.0);
+        }
+    }
+}

@@ -1,0 +1,152 @@
+//! Per-tenant admission control: classic token buckets.
+//!
+//! Each tenant owns a bucket of up to `burst` tokens refilled
+//! continuously at `rate_per_sec`; admitting a request spends one token.
+//! An empty bucket means the tenant is over its rate and the request is
+//! shed with `429` before it ever touches the queue — overload from one
+//! tenant cannot starve another's budget.
+
+use crate::config::TenantConfig;
+use crate::lock_unpoisoned;
+use std::collections::HashMap;
+use std::sync::Mutex;
+use std::time::Instant;
+
+/// Why admission refused a request.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AdmitError {
+    /// The request named a tenant that is not configured.
+    UnknownTenant,
+    /// The tenant's token bucket is empty.
+    RateLimited,
+}
+
+#[derive(Debug)]
+struct Bucket {
+    tokens: f64,
+    last_refill: Instant,
+}
+
+/// The admission table: configured budgets plus live bucket levels.
+#[derive(Debug)]
+pub struct Admission {
+    tenants: Vec<TenantConfig>,
+    buckets: Mutex<HashMap<String, Bucket>>,
+}
+
+impl Admission {
+    /// Build the table; every bucket starts full (a fresh gateway allows
+    /// each tenant its full burst immediately).
+    pub fn new(tenants: &[TenantConfig]) -> Admission {
+        Admission {
+            tenants: tenants.to_vec(),
+            buckets: Mutex::new(HashMap::new()),
+        }
+    }
+
+    fn budget(&self, name: &str) -> Option<&TenantConfig> {
+        self.tenants.iter().find(|t| t.name == name)
+    }
+
+    /// Try to admit one request for `tenant` at `now`.
+    ///
+    /// # Errors
+    ///
+    /// [`AdmitError::UnknownTenant`] for unconfigured tenants,
+    /// [`AdmitError::RateLimited`] when the bucket is empty.
+    pub fn admit(&self, tenant: &str, now: Instant) -> Result<(), AdmitError> {
+        let budget = self.budget(tenant).ok_or(AdmitError::UnknownTenant)?;
+        let mut buckets = lock_unpoisoned(&self.buckets);
+        let bucket = buckets.entry(tenant.to_string()).or_insert(Bucket {
+            tokens: budget.burst,
+            last_refill: now,
+        });
+        let elapsed = now.saturating_duration_since(bucket.last_refill);
+        bucket.tokens =
+            (bucket.tokens + elapsed.as_secs_f64() * budget.rate_per_sec).min(budget.burst);
+        bucket.last_refill = now;
+        if bucket.tokens >= 1.0 {
+            bucket.tokens -= 1.0;
+            Ok(())
+        } else {
+            Err(AdmitError::RateLimited)
+        }
+    }
+
+    /// Live view for `GET /v1/tenants`: each configured tenant's budget
+    /// and current token level (refreshed to `now`, full if untouched).
+    pub fn levels(&self, now: Instant) -> Vec<(TenantConfig, f64)> {
+        let buckets = lock_unpoisoned(&self.buckets);
+        self.tenants
+            .iter()
+            .map(|t| {
+                let tokens = match buckets.get(&t.name) {
+                    None => t.burst,
+                    Some(b) => {
+                        let elapsed = now.saturating_duration_since(b.last_refill);
+                        (b.tokens + elapsed.as_secs_f64() * t.rate_per_sec).min(t.burst)
+                    }
+                };
+                (t.clone(), tokens)
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::time::Duration;
+
+    fn table() -> Admission {
+        Admission::new(&[
+            TenantConfig::new("fast", 100.0, 3.0),
+            TenantConfig::new("slow", 1.0, 1.0),
+        ])
+    }
+
+    #[test]
+    fn unknown_tenants_are_rejected() {
+        let a = table();
+        assert_eq!(
+            a.admit("nobody", Instant::now()),
+            Err(AdmitError::UnknownTenant)
+        );
+    }
+
+    #[test]
+    fn burst_then_rate_limit_then_refill() {
+        let a = table();
+        let t0 = Instant::now();
+        for _ in 0..3 {
+            assert_eq!(a.admit("fast", t0), Ok(()));
+        }
+        // Bucket drained: the 4th request at the same instant is shed.
+        assert_eq!(a.admit("fast", t0), Err(AdmitError::RateLimited));
+        // 20 ms at 100/s refills two tokens.
+        let t1 = t0 + Duration::from_millis(20);
+        assert_eq!(a.admit("fast", t1), Ok(()));
+        assert_eq!(a.admit("fast", t1), Ok(()));
+        assert_eq!(a.admit("fast", t1), Err(AdmitError::RateLimited));
+    }
+
+    #[test]
+    fn tenants_do_not_share_buckets() {
+        let a = table();
+        let t0 = Instant::now();
+        assert_eq!(a.admit("slow", t0), Ok(()));
+        assert_eq!(a.admit("slow", t0), Err(AdmitError::RateLimited));
+        // "fast" is unaffected by "slow" draining its bucket.
+        assert_eq!(a.admit("fast", t0), Ok(()));
+    }
+
+    #[test]
+    fn refill_never_exceeds_burst() {
+        let a = table();
+        let t0 = Instant::now();
+        // Untouched bucket reports full, not rate * elapsed.
+        let levels = a.levels(t0 + Duration::from_secs(3600));
+        let fast = levels.iter().find(|(t, _)| t.name == "fast").unwrap();
+        assert_eq!(fast.1, 3.0);
+    }
+}

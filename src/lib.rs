@@ -81,8 +81,9 @@ pub use skipper_tensor as tensor;
 /// ```
 pub mod prelude {
     pub use skipper_core::{
-        BatchStats, EpochStats, EvalStats, Method, MethodError, SamMetric, SentinelConfig,
-        SessionBuilder, SkipPolicy, SkipperError, TrainSession,
+        BatchStats, EpochStats, EvalStats, InferSession, InferSkip, Method, MethodError,
+        Prediction, SamMetric, SentinelConfig, SessionBuilder, SkipPolicy, SkipperError,
+        TrainSession,
     };
     pub use skipper_snn::{
         custom_net, lenet5, vgg5, Adam, Encoder, LatencyEncoder, ModelConfig, Optimizer,

@@ -37,7 +37,7 @@ fn grads_for(
 
 /// Like [`grads_for`], but for configurations Eq. 7 flags as unwise
 /// (segment shorter than the network depth): structurally sound, so the
-/// deprecated unvalidated constructor still accepts them.
+/// unvalidated builder path still accepts them.
 fn grads_for_unvalidated(
     net_fn: impl Fn() -> SpikingNetwork,
     method: Method,
@@ -47,13 +47,11 @@ fn grads_for_unvalidated(
     let before: Vec<Tensor> = net.params().iter().map(|p| p.value().clone()).collect();
     let lr = 0.5f32;
     let net_owned = std::mem::replace(&mut net, dummy_net());
-    #[allow(deprecated)]
-    let mut session = skipper::core::TrainSession::new(
-        net_owned,
-        Box::new(skipper::snn::Sgd::new(lr)),
-        method,
-        inputs.len(),
-    );
+    let mut session = skipper::core::TrainSession::builder(net_owned, method, inputs.len())
+        .optimizer(Box::new(skipper::snn::Sgd::new(lr)))
+        .workers(1)
+        .build_unvalidated()
+        .expect("structurally sound config");
     let _ = session.train_batch(inputs, &[1, 2]);
     let mut trained = take_net(session);
     for (p, b) in trained.params_mut().iter_mut().zip(before) {
