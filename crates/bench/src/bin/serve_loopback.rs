@@ -19,7 +19,8 @@
 
 use skipper_core::{InferSession, InferSkip};
 use skipper_serve::{
-    Gateway, GatewayConfig, ModelPool, PredictRequest, PredictResponse, TenantConfig,
+    Gateway, GatewayConfig, ModelPool, PredictRequest, PredictResponse, SloConfig, SloStatus,
+    TenantConfig,
 };
 use skipper_snn::{custom_net, ModelConfig, SpikingNetwork};
 use skipper_tensor::{Tensor, XorShiftRng};
@@ -138,6 +139,24 @@ fn post(addr: SocketAddr, body: &str) -> (u16, String) {
     (status, body)
 }
 
+fn get(addr: SocketAddr, path: &str) -> (u16, String) {
+    let mut stream = TcpStream::connect(addr).expect("loopback connect");
+    let raw = format!("GET {path} HTTP/1.1\r\nHost: localhost\r\n\r\n");
+    stream.write_all(raw.as_bytes()).expect("request write");
+    let mut response = String::new();
+    stream.read_to_string(&mut response).expect("response read");
+    let status = response
+        .split_whitespace()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(0);
+    let body = response
+        .split_once("\r\n\r\n")
+        .map(|(_, b)| b.to_string())
+        .unwrap_or_default();
+    (status, body)
+}
+
 fn counter(name: &str) -> f64 {
     skipper_obs::registry()
         .snapshot()
@@ -224,7 +243,10 @@ fn predict_mean_us(session: &InferSession, steps: &[Tensor], iters: usize) -> f6
 }
 
 fn main() {
-    let _run = skipper_bench::BenchRun::start("serve_loopback");
+    // Profiled by default (odd prime Hz so the sampler never phase-locks
+    // with the batcher's millisecond-grained waits); SKIPPER_PROF_HZ
+    // still overrides, and =0 turns the sampler off.
+    let _run = skipper_bench::BenchRun::start_profiled("serve_loopback", 499.0);
     let args = parse_args();
     let quick = skipper_bench::quick_mode();
     let mut fail = false;
@@ -257,6 +279,12 @@ fn main() {
         ],
         max_batch: args.clients,
         max_delay: Duration::from_millis(25),
+        // Fast SLO ticks so the burn-rate check below sees several
+        // evaluations within the bench's short life.
+        slo: Some(SloConfig {
+            eval_period: Duration::from_millis(100),
+            ..SloConfig::default()
+        }),
         ..GatewayConfig::default()
     };
     let shed_before = counter("serve.shed{reason=rate_limited}");
@@ -295,6 +323,48 @@ fn main() {
             }
         }
         println!("burst tenant: {shed_429s}/{burst_total} typed 429s");
+
+        // SLO check: after all that traffic (including the intentional
+        // 429s, which are policy and must NOT count as budget burn), the
+        // burn rate has to sit below 1.0. Give the engine a few ticks to
+        // fold the traffic in first.
+        std::thread::sleep(Duration::from_millis(350));
+        let (slo_status, slo_body) = get(addr, "/slo");
+        if slo_status != 200 {
+            eprintln!("FAIL: GET /slo answered HTTP {slo_status}: {slo_body}");
+            fail = true;
+        } else {
+            match serde_json::from_str::<SloStatus>(&slo_body) {
+                Ok(slo) => {
+                    for w in &slo.windows {
+                        println!(
+                            "slo[{}]: burn {:.3} (latency {:.3}, availability {:.3}) over \
+                             {:.0} requests",
+                            w.window, w.burn_rate, w.latency_burn, w.availability_burn, w.requests
+                        );
+                    }
+                    if !slo.healthy || slo.windows.iter().any(|w| w.burn_rate >= 1.0) {
+                        eprintln!("FAIL: SLO burn rate at or above 1.0 on baseline traffic");
+                        fail = true;
+                    }
+                    if slo.windows.len() != 2 {
+                        eprintln!("FAIL: /slo reported {} windows, want 2", slo.windows.len());
+                        fail = true;
+                    }
+                }
+                Err(e) => {
+                    eprintln!("FAIL: /slo body does not parse: {e:?}: {slo_body}");
+                    fail = true;
+                }
+            }
+            let slo_path = skipper_report::results_dir().join("slo_serve_loopback.json");
+            match std::fs::create_dir_all(skipper_report::results_dir())
+                .and_then(|()| std::fs::write(&slo_path, &slo_body))
+            {
+                Ok(()) => println!("slo report: {}", slo_path.display()),
+                Err(e) => eprintln!("slo report: failed to save: {e}"),
+            }
+        }
         (successes, batches, shed_429s)
     };
     let shed_total = counter("serve.shed{reason=rate_limited}") - shed_before;
@@ -372,6 +442,23 @@ fn main() {
     if reduction_pct <= 0.0 {
         eprintln!("FAIL: skipping did not reduce predict latency ({reduction_pct:+.1}%)");
         fail = true;
+    }
+    // Continuous-profiling contract: the sampler (on by default here)
+    // must have caught the gateway at work, with the forward pass nested
+    // under the batcher's span. The harness writes this same folded text
+    // to results/profile_serve_loopback.folded on drop.
+    let folded = skipper_obs::profile::folded_text();
+    if folded.is_empty() {
+        eprintln!("FAIL: the span-stack sampler collected nothing");
+        fail = true;
+    } else if !folded.contains("gateway_batch;execute") {
+        eprintln!("FAIL: no sample nested execute under gateway_batch:\n{folded}");
+        fail = true;
+    } else {
+        println!(
+            "profiler: {} distinct stacks sampled, execute nests under gateway_batch",
+            folded.lines().count()
+        );
     }
 
     if fail {

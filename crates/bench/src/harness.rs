@@ -10,6 +10,13 @@
 //! it as `results/BENCH_<name>.json`, stops the metrics endpoint and calls
 //! [`skipper_obs::shutdown`] so file-backed sinks (JSONL, Chrome traces)
 //! are never left truncated.
+//!
+//! The harness also owns the continuous profiler: `SKIPPER_PROF_HZ`
+//! starts the span-stack sampler for any bench (`=0` forces it off even
+//! for benches that profile by default via
+//! [`BenchRun::start_profiled`]), and a profiled run writes its folded
+//! stacks to `results/profile_<name>.folded` — ready for
+//! `flamegraph.pl` or any collapsed-stack viewer.
 
 use skipper_report::RunManifest;
 use std::time::Instant;
@@ -20,6 +27,7 @@ pub struct BenchRun {
     name: &'static str,
     started: Instant,
     server: Option<skipper_obs::MetricsServer>,
+    profiler: Option<skipper_obs::Profiler>,
 }
 
 impl BenchRun {
@@ -31,15 +39,34 @@ impl BenchRun {
     /// // ... benchmark ...
     /// ```
     pub fn start(name: &'static str) -> BenchRun {
+        Self::start_with_profile(name, None)
+    }
+
+    /// [`start`](BenchRun::start), but with the span-stack sampler on at
+    /// `default_hz` when `SKIPPER_PROF_HZ` is unset. The environment
+    /// always wins: an explicit `SKIPPER_PROF_HZ=0` turns the profiler
+    /// off even for a bench that defaults it on.
+    pub fn start_profiled(name: &'static str, default_hz: f64) -> BenchRun {
+        Self::start_with_profile(name, Some(default_hz))
+    }
+
+    fn start_with_profile(name: &'static str, default_hz: Option<f64>) -> BenchRun {
         skipper_obs::registry().clear();
         skipper_obs::add_sink(Box::new(skipper_obs::NullSink::new()));
         skipper_obs::init_from_env();
         skipper_obs::jsonl_from_env();
         let server = skipper_obs::serve_from_env();
+        skipper_obs::profile::reset();
+        let profiler = if std::env::var(skipper_obs::profile::HZ_ENV).is_ok() {
+            skipper_obs::Profiler::from_env()
+        } else {
+            default_hz.map(skipper_obs::Profiler::start)
+        };
         BenchRun {
             name,
             started: Instant::now(),
             server,
+            profiler,
         }
     }
 
@@ -55,6 +82,25 @@ impl BenchRun {
 
 impl Drop for BenchRun {
     fn drop(&mut self) {
+        // Stop the sampler first so the folded export is final, then
+        // write the flame-graph artifact next to the manifest.
+        let profiled = self.profiler.take().is_some();
+        if profiled {
+            let folded = skipper_obs::profile::folded_text();
+            if !folded.is_empty() {
+                let dir = skipper_report::results_dir();
+                let path = dir.join(format!("profile_{}.folded", self.name));
+                let write =
+                    std::fs::create_dir_all(&dir).and_then(|()| std::fs::write(&path, folded));
+                match write {
+                    Ok(()) => println!("profile: {}", path.display()),
+                    Err(err) => eprintln!(
+                        "profile: failed to save profile_{}.folded: {err}",
+                        self.name
+                    ),
+                }
+            }
+        }
         let manifest = RunManifest::collect(
             self.name,
             self.started.elapsed().as_secs_f64(),

@@ -1351,6 +1351,9 @@ pub fn run_worker(
     opts: &WorkerOptions,
 ) -> Result<WorkerReport, SkipperError> {
     let mut report = WorkerReport::default();
+    // Join the profiler's thread census: a cluster worker spends most of
+    // its life blocked on the coordinator, and samples should say so.
+    skipper_obs::profile::touch_thread();
     let mut rng = XorShiftRng::new(opts.backoff.seed ^ opts.id.wrapping_mul(0x9E37)); // jitter only
     let mut connect_attempt: u32 = 0;
     let mut was_connected = false;

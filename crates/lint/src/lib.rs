@@ -74,13 +74,35 @@ pub fn relative_path(root: &Path, file: &Path) -> String {
 /// Lint every workspace file against `manifest`. Returns all findings,
 /// waived ones included; I/O errors surface as `Err`.
 pub fn check_workspace(root: &Path, manifest: &Manifest) -> std::io::Result<Vec<Diagnostic>> {
-    let mut diags = Vec::new();
+    let mut diags = manifest_diagnostics(manifest);
     for file in workspace_files(root)? {
         let src = std::fs::read_to_string(&file)?;
         let rel = relative_path(root, &file);
         diags.extend(check_file(&rel, &src, manifest));
     }
     Ok(diags)
+}
+
+/// O1 findings against the manifest itself: every registered name must
+/// carry a real description (an empty or placeholder one used to render
+/// as a "TODO: describe" stub in `--dump-manifest` output and say
+/// nothing to an operator reading `/metrics.json`).
+pub fn manifest_diagnostics(manifest: &Manifest) -> Vec<Diagnostic> {
+    manifest
+        .undescribed()
+        .into_iter()
+        .map(|(section, name, line)| Diagnostic {
+            file: MANIFEST_PATH.to_string(),
+            line,
+            col: 1,
+            rule: "O1",
+            message: format!("manifest entry \"{name}\" in [{section}] has no description"),
+            hint: "write one line saying what the name measures and when it moves; \
+                   an empty description documents nothing"
+                .to_string(),
+            waived: None,
+        })
+        .collect()
 }
 
 /// Extract every observability name in the workspace (non-test code),

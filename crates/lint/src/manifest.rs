@@ -24,6 +24,9 @@ use std::fmt;
 #[derive(Debug, Default, Clone)]
 pub struct Manifest {
     pub sections: BTreeMap<String, BTreeMap<String, String>>,
+    /// Manifest line of each `(section, name)` entry, for diagnostics
+    /// that point back into the TOML (e.g. empty descriptions).
+    pub entry_lines: BTreeMap<(String, String), u32>,
 }
 
 /// A manifest syntax error with its line number.
@@ -74,6 +77,9 @@ impl Manifest {
                 return Err(err(lineno, "entry before any [section] header"));
             };
             manifest
+                .entry_lines
+                .insert((section.clone(), key.clone()), lineno);
+            manifest
                 .sections
                 .get_mut(section)
                 .expect("section inserted on header")
@@ -98,6 +104,27 @@ impl Manifest {
         ["counters", "gauges", "histograms"]
             .iter()
             .any(|s| self.declares(s, name))
+    }
+
+    /// Entries whose description is empty or whitespace, as
+    /// `(section, name, manifest line)` — a name without a description is
+    /// as undocumented as an unregistered one, so the lint treats both as
+    /// O1 violations rather than rendering a placeholder.
+    pub fn undescribed(&self) -> Vec<(String, String, u32)> {
+        let mut out = Vec::new();
+        for (section, entries) in &self.sections {
+            for (name, description) in entries {
+                if description.trim().is_empty() || description.trim() == "TODO: describe" {
+                    let line = self
+                        .entry_lines
+                        .get(&(section.clone(), name.clone()))
+                        .copied()
+                        .unwrap_or(0);
+                    out.push((section.clone(), name.clone(), line));
+                }
+            }
+        }
+        out
     }
 }
 

@@ -394,7 +394,11 @@ impl<'a> FileCtx<'a> {
             return;
         }
         let (section, name, name_tok): (&'static str, String, Tok) = match tok.text.as_str() {
-            "counter_add" | "gauge_set" | "observe" | "register_histogram" => {
+            "counter_add"
+            | "gauge_set"
+            | "observe"
+            | "observe_with_exemplar"
+            | "register_histogram" => {
                 let section = match tok.text.as_str() {
                     "counter_add" => "counters",
                     "gauge_set" => "gauges",

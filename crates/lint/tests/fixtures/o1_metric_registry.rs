@@ -6,6 +6,7 @@ pub fn declared_names(m: &Metrics) {
     m.counter_add("skipper.steps_skipped", 1);
     m.gauge_set("skipper.sst_threshold", 0.5);
     m.observe("iteration.wall_us", 10.0);
+    m.observe_with_exemplar("serve.request_wall_us", 10.0, 7);
     m.labeled("engine.queue_depth", "worker").gauge_set(3.0);
     span!("iteration");
     instant!(Level::Info, "skip_decision");
@@ -15,6 +16,7 @@ pub fn undeclared_names(m: &Metrics) {
     m.counter_add("fixture.bogus_counter", 1); //~ ERROR O1
     m.gauge_set("skipper.sst_treshold", 0.5); //~ ERROR O1
     m.observe("iteration.wall_ms", 10.0); //~ ERROR O1
+    m.observe_with_exemplar("serve.request_wall_ms", 10.0, 7); //~ ERROR O1
     m.labeled("fixture.bogus_family", "worker").gauge_set(3.0); //~ ERROR O1
     span!("fixture_bogus_span"); //~ ERROR O1
     instant!(Level::Info, "fixture.bogus_event"); //~ ERROR O1

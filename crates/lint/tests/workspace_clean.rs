@@ -50,6 +50,39 @@ fn every_waiver_carries_a_reason() {
 }
 
 #[test]
+fn every_manifest_entry_carries_a_real_description() {
+    // An empty (or placeholder) description documents nothing; the lint
+    // reports it as an O1 violation pointing at the manifest line.
+    let root = workspace_root();
+    let manifest = load_manifest(&root);
+    let undescribed = manifest.undescribed();
+    assert!(
+        undescribed.is_empty(),
+        "metrics.toml entries without descriptions: {undescribed:?}"
+    );
+
+    // The validation itself fires on both empty and placeholder text.
+    let bad = Manifest::parse(
+        "[counters]\n\"a.real\" = \"described\"\n\"a.empty\" = \"\"\n\"a.todo\" = \"TODO: describe\"\n",
+    )
+    .expect("synthetic manifest parses");
+    let mut flagged = bad.undescribed();
+    flagged.sort();
+    assert_eq!(
+        flagged,
+        vec![
+            ("counters".to_string(), "a.empty".to_string(), 3),
+            ("counters".to_string(), "a.todo".to_string(), 4),
+        ]
+    );
+    let diags = skipper_lint::manifest_diagnostics(&bad);
+    assert_eq!(diags.len(), 2);
+    assert!(diags
+        .iter()
+        .all(|d| d.rule == "O1" && d.file == MANIFEST_PATH));
+}
+
+#[test]
 fn committed_manifest_is_in_sync_with_the_code() {
     // Every observability name the code emits must be declared; dangling
     // manifest entries are allowed (docs may lead code), missing ones not.

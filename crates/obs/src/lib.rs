@@ -41,6 +41,7 @@
 
 mod event;
 mod metrics;
+pub mod profile;
 pub mod router;
 pub mod serve;
 mod sink;
@@ -52,6 +53,7 @@ pub use event::{
     push_json_f64, push_json_fields, push_json_string, Event, EventKind, FieldValue, Fields, Level,
 };
 pub use metrics::{labeled, Histogram, MetricsSnapshot, Registry};
+pub use profile::Profiler;
 pub use router::{global_router, Handler, HttpServer, Request, Response, RouteGuard, Router};
 pub use serve::{serve_from_env, MetricsServer};
 pub use sink::{JsonlSink, NullSink, RingBufferSink, RingHandle, Sink, StderrSink};
@@ -292,6 +294,25 @@ pub fn observe(name: &str, value: f64) {
     });
 }
 
+/// Record `value` into histogram `name`, remembering `span_id` as the
+/// containing bucket's exemplar (0 = no exemplar), and notify sinks.
+/// No-op while tracing is disabled. The serving gateway uses this to link
+/// each phase-latency bucket to the last request span that landed in it.
+pub fn observe_with_exemplar(name: &str, value: f64, span_id: u64) {
+    if !enabled() {
+        return;
+    }
+    registry().observe_with_exemplar(name, value, span_id);
+    submit(Event {
+        name: name.to_string().into(),
+        level: Level::Trace,
+        ts_us: now_us(),
+        tid: current_tid(),
+        kind: EventKind::Observe { value },
+        fields: Vec::new(),
+    });
+}
+
 /// Install a [`StderrSink`] according to the `SKIPPER_OBS` environment
 /// variable — the one verbosity knob for `cargo run` output:
 ///
@@ -513,6 +534,29 @@ mod tests {
             }
         );
         assert!(!evaluated, "disabled macros must skip field expressions");
+    }
+
+    #[test]
+    fn out_of_order_span_drop_is_repaired_and_counted() {
+        let (sink, _handle) = RingBufferSink::new(64);
+        let id = add_sink(Box::new(sink));
+        let before = registry().counter("obs.span_stack_repair");
+        let outer = span!("repair_outer");
+        let inner = span!("repair_inner");
+        let inner_id = inner.id();
+        // Dropping the *outer* guard first used to pop `inner`'s id and
+        // leave the stack corrupted; now it removes its own id and counts
+        // the repair.
+        drop(outer);
+        assert_eq!(current_span(), Some(inner_id));
+        drop(inner); // LIFO again: no additional repair
+        assert_ne!(current_span(), Some(inner_id));
+        let after = registry().counter("obs.span_stack_repair");
+        assert!(
+            after >= before + 1.0,
+            "non-LIFO drop must bump obs.span_stack_repair ({before} -> {after})"
+        );
+        remove_sink(id);
     }
 
     #[test]

@@ -25,6 +25,10 @@ pub fn labeled(name: &str, key: &str, value: impl std::fmt::Display) -> String {
 pub struct Histogram {
     bounds: Vec<f64>,
     counts: Vec<u64>,
+    /// Per-bucket exemplar: the span id of the last sample recorded into
+    /// that bucket via [`observe_with_exemplar`](Histogram::observe_with_exemplar)
+    /// (0 = none). Links a bad latency bucket straight to a trace span.
+    exemplars: Vec<u64>,
     sum: f64,
     count: u64,
     min: f64,
@@ -46,6 +50,7 @@ impl Histogram {
         Histogram {
             bounds: bounds.to_vec(),
             counts: vec![0; bounds.len() + 1],
+            exemplars: vec![0; bounds.len() + 1],
             sum: 0.0,
             count: 0,
             min: f64::INFINITY,
@@ -89,9 +94,11 @@ impl Histogram {
         if counts.iter().sum::<u64>() != count {
             return Err("histogram bucket total disagrees with count".into());
         }
+        let exemplars = vec![0; counts.len()];
         Ok(Histogram {
             bounds,
             counts,
+            exemplars,
             sum,
             count,
             min,
@@ -116,6 +123,13 @@ impl Histogram {
         for (mine, theirs) in self.counts.iter_mut().zip(&other.counts) {
             *mine += theirs;
         }
+        // Exemplars are best-effort "a recent span in this bucket": the
+        // incoming delta's exemplar (when it has one) is the fresher.
+        for (mine, theirs) in self.exemplars.iter_mut().zip(&other.exemplars) {
+            if *theirs != 0 {
+                *mine = *theirs;
+            }
+        }
         self.sum += other.sum;
         self.count += other.count;
         self.min = self.min.min(other.min);
@@ -125,6 +139,19 @@ impl Histogram {
 
     /// Record one sample.
     pub fn observe(&mut self, value: f64) {
+        self.bucket_add(value);
+    }
+
+    /// Record one sample and remember `span_id` as the containing
+    /// bucket's exemplar (latest wins; 0 leaves the exemplar untouched).
+    pub fn observe_with_exemplar(&mut self, value: f64, span_id: u64) {
+        let idx = self.bucket_add(value);
+        if span_id != 0 {
+            self.exemplars[idx] = span_id;
+        }
+    }
+
+    fn bucket_add(&mut self, value: f64) -> usize {
         let idx = self
             .bounds
             .iter()
@@ -135,6 +162,7 @@ impl Histogram {
         self.count += 1;
         self.min = self.min.min(value);
         self.max = self.max.max(value);
+        idx
     }
 
     /// Upper bounds of the finite buckets.
@@ -145,6 +173,12 @@ impl Histogram {
     /// Per-bucket counts (`bounds.len() + 1` entries, last = overflow).
     pub fn counts(&self) -> &[u64] {
         &self.counts
+    }
+
+    /// Per-bucket exemplar span ids (`bounds.len() + 1` entries, 0 =
+    /// none).
+    pub fn exemplars(&self) -> &[u64] {
+        &self.exemplars
     }
 
     /// Total samples observed.
@@ -304,6 +338,17 @@ impl Registry {
             .observe(value);
     }
 
+    /// Record one sample into histogram `name`, remembering `span_id` as
+    /// the containing bucket's exemplar (see
+    /// [`Histogram::observe_with_exemplar`]).
+    pub fn observe_with_exemplar(&self, name: &str, value: f64, span_id: u64) {
+        let mut s = crate::lock_unpoisoned(&self.state);
+        s.histograms
+            .entry(name.to_string())
+            .or_insert_with(Histogram::default_us)
+            .observe_with_exemplar(value, span_id);
+    }
+
     /// Merge an externally transported histogram into histogram `name`
     /// (created as a copy of `delta` on first sight). The metric-federation
     /// ingest path: bucket deltas arriving on a Heartbeat fold in here.
@@ -449,6 +494,35 @@ mod tests {
         assert!((h.sum() - 10.0).abs() < 1e-9);
         let bad = Histogram::new(&[2.0]);
         assert!(r.merge_histogram("fed{worker=3}", &bad).is_err());
+    }
+
+    #[test]
+    fn exemplars_track_the_latest_span_per_bucket() {
+        let mut h = Histogram::new(&[10.0, 100.0]);
+        h.observe(5.0); // plain observe leaves no exemplar
+        h.observe_with_exemplar(7.0, 41);
+        h.observe_with_exemplar(3.0, 42); // same bucket: latest wins
+        h.observe_with_exemplar(500.0, 99); // overflow bucket
+        h.observe_with_exemplar(50.0, 0); // id 0 = "no exemplar"
+        assert_eq!(h.exemplars(), &[42, 0, 99]);
+        assert_eq!(h.count(), 5);
+
+        // Merge prefers the incoming delta's exemplars where present.
+        let mut other = Histogram::new(&[10.0, 100.0]);
+        other.observe_with_exemplar(80.0, 7);
+        h.merge(&other).unwrap();
+        assert_eq!(h.exemplars(), &[42, 7, 99]);
+
+        // Transported state starts exemplar-free.
+        let rebuilt =
+            Histogram::from_parts(vec![10.0, 100.0], vec![1, 0, 0], 5.0, 1, 5.0, 5.0).unwrap();
+        assert_eq!(rebuilt.exemplars(), &[0, 0, 0]);
+
+        // The registry path reaches the same machinery.
+        let r = Registry::new();
+        r.observe_with_exemplar("ex.wall_us", 50.0, 1234);
+        let snap = r.histogram("ex.wall_us").unwrap();
+        assert!(snap.exemplars().contains(&1234));
     }
 
     #[test]

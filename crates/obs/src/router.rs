@@ -197,8 +197,10 @@ impl Router {
 
     /// A router pre-seeded with the standard observability routes:
     /// `GET /metrics` (Prometheus text), `GET /metrics.json`,
-    /// `GET /healthz` + `GET /` (liveness), and a default `GET /cluster`
-    /// answering `{"workers":[]}` until a coordinator shadows it.
+    /// `GET /profile` (collapsed-stack profile, flamegraph.pl-ready) +
+    /// `GET /profile.json`, `GET /healthz` + `GET /` (liveness), and a
+    /// default `GET /cluster` answering `{"workers":[]}` until a
+    /// coordinator shadows it.
     pub fn with_standard_routes() -> Arc<Router> {
         let router = Arc::new(Router::new());
         router.seed("GET", "/metrics", |_req| {
@@ -210,6 +212,12 @@ impl Router {
         });
         router.seed("GET", "/metrics.json", |_req| {
             Response::ok_json(crate::serve::snapshot_json(&crate::registry().snapshot()))
+        });
+        router.seed("GET", "/profile", |_req| {
+            Response::ok_text(crate::profile::folded_text())
+        });
+        router.seed("GET", "/profile.json", |_req| {
+            Response::ok_json(crate::profile::profile_json())
         });
         router.seed("GET", "/healthz", |_req| Response::ok_text("ok\n"));
         router.seed("GET", "/", |_req| Response::ok_text("ok\n"));

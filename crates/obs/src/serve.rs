@@ -9,7 +9,11 @@
 //!   samples and histograms as cumulative `_bucket`/`_sum`/`_count`
 //!   series;
 //! * `GET /metrics.json` — the same snapshot as JSON, with derived
-//!   mean/p50/p95/p99 per histogram;
+//!   mean/p50/p95/p99 per histogram and, where recorded, per-bucket
+//!   exemplar span ids;
+//! * `GET /profile` — the continuous profiler's collapsed-stack text
+//!   (pipe into `flamegraph.pl`); `GET /profile.json` adds sampler
+//!   metadata — see [`profile`](crate::profile);
 //! * `GET /cluster` — a live worker table (JSON) when a cluster
 //!   coordinator holds a scoped `GET /cluster` registration on the
 //!   global router; `{"workers":[]}` otherwise;
@@ -217,7 +221,7 @@ pub fn prometheus_text(snap: &MetricsSnapshot) -> String {
 
 fn push_histogram_json(out: &mut String, hist: &Histogram) {
     out.push_str(&format!(
-        "{{\"count\":{},\"sum\":{},\"mean\":{},\"min\":{},\"max\":{},\"p50\":{},\"p95\":{},\"p99\":{}}}",
+        "{{\"count\":{},\"sum\":{},\"mean\":{},\"min\":{},\"max\":{},\"p50\":{},\"p95\":{},\"p99\":{}",
         hist.count(),
         json_f64(hist.sum()),
         json_f64(hist.mean()),
@@ -227,6 +231,31 @@ fn push_histogram_json(out: &mut String, hist: &Histogram) {
         json_f64(hist.quantile(0.95)),
         json_f64(hist.quantile(0.99)),
     ));
+    // Exemplars: bucket upper bound → span id of the last sample that
+    // landed there, so a bad bucket links straight to a trace span. Only
+    // buckets that have one are rendered.
+    if hist.exemplars().iter().any(|&e| e != 0) {
+        out.push_str(",\"exemplars\":{");
+        let mut first = true;
+        for (i, &span_id) in hist.exemplars().iter().enumerate() {
+            if span_id == 0 {
+                continue;
+            }
+            if !first {
+                out.push(',');
+            }
+            first = false;
+            let le = hist
+                .bounds()
+                .get(i)
+                .map_or("+Inf".to_string(), |b| format!("{b}"));
+            crate::push_json_string(out, &le);
+            out.push(':');
+            out.push_str(&span_id.to_string());
+        }
+        out.push('}');
+    }
+    out.push('}');
 }
 
 fn json_f64(v: f64) -> String {
@@ -382,6 +411,45 @@ mod tests {
         assert!(json.starts_with('{') && json.ends_with('}'));
         assert!(json.contains("\"a.b\":1"));
         assert!(json.contains("\"p50\":"));
+        // No exemplars recorded → no exemplars key.
+        assert!(!json.contains("exemplars"));
+    }
+
+    #[test]
+    fn snapshot_json_renders_exemplars_by_bucket_bound() {
+        let r = Registry::new();
+        r.register_histogram("exj.wall_us", &[10.0, 100.0]);
+        r.observe_with_exemplar("exj.wall_us", 50.0, 77);
+        r.observe_with_exemplar("exj.wall_us", 5000.0, 88);
+        let json = snapshot_json(&r.snapshot());
+        assert!(
+            json.contains("\"exemplars\":{\"100\":77,\"+Inf\":88}"),
+            "got: {json}"
+        );
+    }
+
+    #[test]
+    fn profile_endpoints_respond_and_parse() {
+        let server = MetricsServer::bind("127.0.0.1:0").unwrap();
+
+        let folded = http_get(server.addr(), "/profile");
+        assert!(folded.starts_with("HTTP/1.1 200 OK"), "got: {folded}");
+        // Whatever the (shared, possibly concurrently-sampled) profile
+        // holds, every body line must be folded format: `frames count`.
+        let body = folded.split_once("\r\n\r\n").map(|(_, b)| b).unwrap_or("");
+        for line in body.lines() {
+            let (stack, count) = line.rsplit_once(' ').expect("folded line has a count");
+            assert!(!stack.is_empty(), "got: {line}");
+            assert!(count.parse::<u64>().is_ok(), "got: {line}");
+        }
+
+        let json = http_get(server.addr(), "/profile.json");
+        assert!(json.starts_with("HTTP/1.1 200 OK"), "got: {json}");
+        let body = json.split_once("\r\n\r\n").map(|(_, b)| b).unwrap_or("");
+        assert!(body.starts_with('{') && body.trim_end().ends_with('}'));
+        for key in ["\"hz\":", "\"ticks\":", "\"threads\":", "\"stacks\":{"] {
+            assert!(body.contains(key), "missing {key} in {body}");
+        }
     }
 
     fn http_raw(addr: SocketAddr, request: &str) -> String {

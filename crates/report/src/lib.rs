@@ -31,6 +31,20 @@ pub struct IterationStats {
     pub p99_us: f64,
 }
 
+/// SLO burn rates at run end, read from the gateway's
+/// `serve.slo_burn_rate{window}` gauges. A burn of 1.0 means the run
+/// spent its error budget exactly as fast as the SLO allows; the gate
+/// fails any run that ends at or above 1.0 — an absolute check, not a
+/// baseline-relative one, because "out of budget" is bad no matter what
+/// the previous run did.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SloStats {
+    /// Short-window burn rate at exit.
+    pub short_burn: f64,
+    /// Long-window burn rate at exit.
+    pub long_burn: f64,
+}
+
 /// One benchmark run, summarized. Serialized as `BENCH_<name>.json`.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct RunManifest {
@@ -53,6 +67,10 @@ pub struct RunManifest {
     /// training-only runs — the vendored deserializer maps a missing
     /// field to `None`, so committed baselines stay loadable.
     pub request: Option<IterationStats>,
+    /// SLO burn rates at exit, when the run hosted a gateway with the
+    /// burn-rate engine on. Absent in older manifests — missing fields
+    /// deserialize to `None`, so committed baselines stay loadable.
+    pub slo: Option<SloStats>,
     /// Peak tracked memory over the run, bytes
     /// (`memprof.peak_bytes{category=total}`; 0 when not recorded).
     pub peak_bytes: f64,
@@ -112,6 +130,16 @@ impl RunManifest {
         };
         let iteration = latency_stats("iteration.wall_us");
         let request = latency_stats("serve.request_wall_us");
+        let slo = match (
+            lookup(&snap.gauges, "serve.slo_burn_rate{window=short}"),
+            lookup(&snap.gauges, "serve.slo_burn_rate{window=long}"),
+        ) {
+            (Some(short_burn), Some(long_burn)) => Some(SloStats {
+                short_burn,
+                long_burn,
+            }),
+            _ => None,
+        };
         let peak_bytes = lookup(&snap.gauges, "memprof.peak_bytes{category=total}")
             .or_else(|| {
                 snap.gauges
@@ -149,6 +177,7 @@ impl RunManifest {
             wall_s,
             iteration,
             request,
+            slo,
             peak_bytes,
             steps_skipped,
             steps_recomputed,
@@ -391,6 +420,28 @@ pub fn compare(baseline: &RunManifest, current: &RunManifest, cfg: &GateConfig) 
         current.peak_bytes,
         cfg.max_memory_growth_pct,
     );
+    // SLO compliance is absolute, not baseline-relative: a run that ends
+    // with a burn rate at or above 1.0 spent its error budget faster than
+    // the SLO allows, which is a failure even if the baseline was worse.
+    if let Some(slo) = &current.slo {
+        for (window, burn) in [("short", slo.short_burn), ("long", slo.long_burn)] {
+            if burn >= 1.0 {
+                out.push(Regression {
+                    metric: format!("slo.burn_rate{{window={window}}} (absolute, must be < 1)"),
+                    baseline: baseline.slo.as_ref().map_or(0.0, |b| {
+                        if window == "short" {
+                            b.short_burn
+                        } else {
+                            b.long_burn
+                        }
+                    }),
+                    current: burn,
+                    change_pct: f64::INFINITY,
+                    limit_pct: 0.0,
+                });
+            }
+        }
+    }
     out
 }
 
@@ -477,6 +528,50 @@ mod tests {
         let regressions = compare(&base, &slow, &GateConfig::default());
         assert!(regressions.iter().any(|r| r.metric.starts_with("request.")));
         assert!(compare(&base, &base, &GateConfig::default()).is_empty());
+    }
+
+    #[test]
+    fn manifest_captures_slo_burn_and_gate_fails_budget_breaches_absolutely() {
+        let snapshot = |short: f64, long: f64| {
+            let r = Registry::new();
+            r.observe("serve.request_wall_us", 200.0);
+            r.gauge_set("serve.slo_burn_rate{window=short}", short);
+            r.gauge_set("serve.slo_burn_rate{window=long}", long);
+            r.snapshot()
+        };
+        let healthy = RunManifest::from_snapshot("slo", 1.0, false, 1, &snapshot(0.2, 0.1));
+        let slo = healthy.slo.as_ref().expect("burn gauges present");
+        assert_eq!(slo.short_burn, 0.2);
+        assert_eq!(slo.long_burn, 0.1);
+        assert!(
+            compare(&healthy, &healthy, &GateConfig::default()).is_empty(),
+            "burn below 1 passes"
+        );
+
+        // A breaching run fails the gate even against itself — the check
+        // is absolute (this is the "injected latency breaches the p99
+        // SLO" contract bench_gate enforces via compare()).
+        let breaching = RunManifest::from_snapshot("slo", 1.0, false, 1, &snapshot(3.2, 0.4));
+        let regressions = compare(&healthy, &breaching, &GateConfig::default());
+        assert_eq!(regressions.len(), 1, "{regressions:?}");
+        assert!(regressions[0]
+            .metric
+            .contains("slo.burn_rate{window=short}"));
+        let both = RunManifest::from_snapshot("slo", 1.0, false, 1, &snapshot(3.2, 1.4));
+        assert_eq!(compare(&healthy, &both, &GateConfig::default()).len(), 2);
+
+        // A manifest serialized before the field existed still loads.
+        let legacy: RunManifest = serde_json::from_str(
+            &serde_json::to_string(&healthy)
+                .unwrap()
+                .replace("\"slo\":", "\"slo_unknown\":"),
+        )
+        .expect("missing slo field deserializes");
+        assert!(legacy.slo.is_none());
+        assert!(
+            compare(&healthy, &legacy, &GateConfig::default()).is_empty(),
+            "runs without an SLO engine are not gated on burn"
+        );
     }
 
     #[test]

@@ -109,6 +109,49 @@ pub struct TenantsResponse {
     pub tenants: Vec<TenantStatus>,
 }
 
+/// One rolling window's burn rate in `GET /slo`.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SloWindowStatus {
+    /// Window name, `"short"` or `"long"`.
+    pub window: String,
+    /// Window length, seconds.
+    pub seconds: f64,
+    /// Overall burn rate: max of the latency and availability burns.
+    /// `>= 1` means the error budget is being spent faster than the SLO
+    /// allows.
+    pub burn_rate: f64,
+    /// Latency burn: fraction of answered requests slower than the p99
+    /// target, over the 1 % the target tolerates.
+    pub latency_burn: f64,
+    /// Availability burn: involuntarily-shed fraction over the allowed
+    /// unavailability.
+    pub availability_burn: f64,
+    /// Requests answered inside the window.
+    pub requests: f64,
+    /// Estimated answered requests above the latency target.
+    pub slow: f64,
+    /// Availability-impacting sheds inside the window (queue_full,
+    /// deadline, shutdown — policy rejections like rate limiting are the
+    /// SLO working, not breaking).
+    pub shed: f64,
+}
+
+/// `GET /slo` body: the burn-rate engine's latest evaluation.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SloStatus {
+    /// Configured latency target: the p99 must stay at or under this many
+    /// microseconds.
+    pub latency_p99_target_us: f64,
+    /// Configured availability target as a fraction (0.99 = "99 % of
+    /// attempts answered").
+    pub availability_target: f64,
+    /// True while every window burns below 1.0. Alerts should require
+    /// *both* windows to burn — see DESIGN.md §13.
+    pub healthy: bool,
+    /// Per-window burn rates, short first.
+    pub windows: Vec<SloWindowStatus>,
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

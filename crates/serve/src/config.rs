@@ -1,6 +1,7 @@
 //! Gateway configuration: batching budgets, per-tenant rate limits, and
 //! the `SKIPPER_SERVE_*` environment overlay.
 
+use crate::slo::{overlay_env as overlay_slo_env, SloConfig};
 use skipper_core::InferSkip;
 use std::time::Duration;
 
@@ -70,6 +71,9 @@ pub struct GatewayConfig {
     pub skip: Option<InferSkip>,
     /// How often the model pool polls its watched `.skw` for changes.
     pub reload_poll: Duration,
+    /// The serving SLO the burn-rate engine evaluates; `None` disables
+    /// the engine (no `/slo` endpoint, no `serve.slo_burn_rate` gauges).
+    pub slo: Option<SloConfig>,
 }
 
 impl Default for GatewayConfig {
@@ -82,6 +86,7 @@ impl Default for GatewayConfig {
             tenants: Vec::new(),
             skip: None,
             reload_poll: Duration::from_millis(500),
+            slo: Some(SloConfig::default()),
         }
     }
 }
@@ -119,6 +124,9 @@ impl GatewayConfig {
         }
         if let Some(v) = env_parse::<u64>(RELOAD_ENV)? {
             self.reload_poll = Duration::from_millis(v.max(1));
+        }
+        if let Some(slo) = self.slo.take() {
+            self.slo = Some(overlay_slo_env(slo)?);
         }
         Ok(self)
     }

@@ -29,9 +29,11 @@ use crate::api::{PredictRequest, PredictResponse, TenantStatus, TenantsResponse}
 use crate::config::GatewayConfig;
 use crate::lock_unpoisoned;
 use crate::model::ModelPool;
+use crate::slo::SloEngine;
 use crate::tenancy::{Admission, AdmitError};
 use skipper_obs::{
-    counter_add, gauge_set, labeled, observe, HttpServer, Request, Response, RouteGuard, Router,
+    counter_add, gauge_set, labeled, observe, observe_with_exemplar, span, HttpServer, Request,
+    Response, RouteGuard, Router,
 };
 use skipper_tensor::Tensor;
 use std::collections::VecDeque;
@@ -69,6 +71,20 @@ struct Job {
     enqueued: Instant,
     deadline: Instant,
     respond: mpsc::Sender<JobResult>,
+    /// The handler's `gateway_request` span id (0 when tracing is off) —
+    /// becomes the exemplar on the phase histograms this job feeds.
+    span: u64,
+}
+
+/// Record one request's time inside `phase`, remembering `span` as the
+/// bucket's exemplar so a flame-graph/trace lookup can start from the
+/// histogram.
+fn phase_wall(phase: &str, wall: Duration, span: u64) {
+    observe_with_exemplar(
+        &labeled("serve.phase_wall_us", "phase", phase),
+        wall.as_secs_f64() * 1e6,
+        span,
+    );
 }
 
 struct Inner {
@@ -90,6 +106,7 @@ pub struct Gateway {
     servers: Vec<HttpServer>,
     batcher: Option<JoinHandle<()>>,
     reloader: Option<JoinHandle<()>>,
+    slo: Option<Arc<SloEngine>>,
 }
 
 impl std::fmt::Debug for Gateway {
@@ -103,8 +120,9 @@ impl std::fmt::Debug for Gateway {
 }
 
 impl Gateway {
-    /// Register `POST /v1/predict` + `GET /v1/tenants` on `router` and
-    /// start the batcher (and, for a watching pool, the reload poller).
+    /// Register `POST /v1/predict` + `GET /v1/tenants` (and, with an SLO
+    /// configured, `GET /slo`) on `router`, then start the batcher, the
+    /// SLO engine, and — for a watching pool — the reload poller.
     ///
     /// Pass [`skipper_obs::global_router()`] to share the process-wide
     /// server with `/metrics` and `/cluster`, or a private router for an
@@ -134,6 +152,18 @@ impl Gateway {
         let tenants = router.register("GET", "/v1/tenants", move |_req| {
             handle_tenants(&tenants_inner)
         });
+        let mut routes = vec![predict, tenants];
+        let slo = inner.cfg.slo.clone().map(|slo_cfg| {
+            let engine = Arc::new(SloEngine::start(slo_cfg));
+            let slo_engine = Arc::clone(&engine);
+            routes.push(router.register("GET", "/slo", move |_req| {
+                match serde_json::to_string(&slo_engine.status()) {
+                    Ok(json) => Response::ok_json(json),
+                    Err(e) => Response::service_unavailable("model_error", &format!("{e:?}")),
+                }
+            }));
+            engine
+        });
         let batch_inner = Arc::clone(&inner);
         let batcher = std::thread::Builder::new()
             .name("skipper-serve-batch".into())
@@ -151,10 +181,11 @@ impl Gateway {
         Ok(Gateway {
             inner,
             router,
-            routes: vec![predict, tenants],
+            routes,
             servers: Vec::new(),
             batcher: Some(batcher),
             reloader,
+            slo,
         })
     }
 
@@ -199,6 +230,9 @@ impl Drop for Gateway {
         if let Some(t) = self.reloader.take() {
             let _ = t.join();
         }
+        // Routes are gone, so nothing can read `/slo` while the engine's
+        // evaluation thread stops and joins.
+        drop(self.slo.take());
     }
 }
 
@@ -207,6 +241,11 @@ fn shed(reason: &str) {
 }
 
 fn handle_predict(inner: &Arc<Inner>, req: &Request) -> Response {
+    // The request span lives until the response is ready, so a profiler
+    // sample taken while the handler blocks on the batcher attributes the
+    // wait to `gateway_request`; its id rides on the queued job as the
+    // phase-histogram exemplar.
+    let request_span = span!("gateway_request");
     let start = Instant::now();
     if inner.stop.load(Ordering::Relaxed) {
         return Response::service_unavailable("shutting_down", "gateway is stopping");
@@ -254,6 +293,7 @@ fn handle_predict(inner: &Arc<Inner>, req: &Request) -> Response {
             enqueued: start,
             deadline,
             respond: tx,
+            span: request_span.id(),
         });
         gauge_set("serve.queue_depth", q.len() as f64);
     }
@@ -397,10 +437,25 @@ fn batcher_loop(inner: &Arc<Inner>) {
 }
 
 /// Stack the batch row-wise, predict once, split the logits back out.
+///
+/// Phase attribution happens here: each job's `queue_wait` ends when its
+/// batch is picked up, `batch_wait` covers the row-stacking (time spent
+/// because of company), and `execute` is the forward pass itself. Each
+/// phase histogram carries span-id exemplars — the jobs' request spans
+/// for the waits, the `execute` span for the model time.
 fn dispatch(inner: &Arc<Inner>, batch: &[Job]) {
     let Some(front) = batch.first() else {
         return;
     };
+    let _batch_span = span!("gateway_batch");
+    let picked_up = Instant::now();
+    for job in batch {
+        phase_wall(
+            "queue_wait",
+            picked_up.saturating_duration_since(job.enqueued),
+            job.span,
+        );
+    }
     let rows = batch.len();
     let timesteps = front.inputs.len();
     let mut steps: Vec<Tensor> = Vec::with_capacity(timesteps);
@@ -420,12 +475,20 @@ fn dispatch(inner: &Arc<Inner>, batch: &[Job]) {
         }
         steps.push(Tensor::from_vec(data, dims));
     }
+    for job in batch {
+        phase_wall("batch_wait", picked_up.elapsed(), job.span);
+    }
     // Hold one Arc across the whole batch: a concurrent hot reload swaps
     // the pool pointer without tearing this prediction.
     let session = inner.pool.current();
     counter_add("serve.batches", 1.0);
     observe("serve.batch_size", rows as f64);
-    match session.predict(&steps) {
+    let execute_span = span!("execute");
+    let execute_start = Instant::now();
+    let result = session.predict(&steps);
+    phase_wall("execute", execute_start.elapsed(), execute_span.id());
+    drop(execute_span);
+    match result {
         Ok(pred) => {
             counter_add("serve.steps_evaluated", pred.evaluated_steps as f64);
             counter_add("serve.steps_skipped", pred.skipped_steps as f64);

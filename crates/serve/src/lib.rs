@@ -17,9 +17,14 @@
 //!   starve the rest;
 //! * [`model`] — the hot-reloadable [`ModelPool`]: an atomic
 //!   `Arc<InferSession>` swap keyed on the watched `.skw` file's stamp;
-//! * [`api`] — the JSON wire types (`/v1/predict`, `/v1/tenants`);
+//! * [`api`] — the JSON wire types (`/v1/predict`, `/v1/tenants`,
+//!   `/slo`);
+//! * [`slo`] — the [`SloEngine`]: rolling-window burn rates over the
+//!   latency histogram and shed counters, published as
+//!   `serve.slo_burn_rate{window}` gauges and the `GET /slo` endpoint;
 //! * [`gateway`] — the [`Gateway`]: HTTP handlers on a
-//!   [`skipper_obs::Router`], the queue, the batcher and reload threads.
+//!   [`skipper_obs::Router`], the queue, the batcher, reload and SLO
+//!   threads.
 //!
 //! Everything rides the shared router redesign: registering on
 //! [`skipper_obs::global_router()`] puts `/v1/predict` on the same
@@ -62,12 +67,16 @@ pub mod api;
 pub mod config;
 pub mod gateway;
 pub mod model;
+pub mod slo;
 pub mod tenancy;
 
-pub use api::{PredictRequest, PredictResponse, TenantStatus, TenantsResponse};
+pub use api::{
+    PredictRequest, PredictResponse, SloStatus, SloWindowStatus, TenantStatus, TenantsResponse,
+};
 pub use config::{parse_tenants, GatewayConfig, TenantConfig, ADDR_ENV};
 pub use gateway::Gateway;
 pub use model::{ModelPool, NetFactory};
+pub use slo::{SloConfig, SloEngine};
 pub use tenancy::{Admission, AdmitError};
 
 use std::sync::{Mutex, MutexGuard};

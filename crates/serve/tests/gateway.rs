@@ -8,8 +8,8 @@
 
 use skipper_core::InferSession;
 use skipper_serve::{
-    Gateway, GatewayConfig, ModelPool, PredictRequest, PredictResponse, TenantConfig,
-    TenantsResponse,
+    Gateway, GatewayConfig, ModelPool, PredictRequest, PredictResponse, SloConfig, SloStatus,
+    TenantConfig, TenantsResponse,
 };
 use skipper_snn::{custom_net, save_params, ModelConfig, SpikingNetwork};
 use skipper_tensor::{Tensor, XorShiftRng};
@@ -412,4 +412,57 @@ fn tenants_endpoint_reports_budgets_and_levels() {
     // Malformed JSON is a 400 up front, not a queue entry.
     let (status, body) = post(addr, "/v1/predict", "{not json");
     assert_eq!(status, 400, "body: {body}");
+}
+
+#[test]
+fn slo_endpoint_evaluates_and_phases_attribute_request_time() {
+    let sink = skipper_obs::add_sink(Box::new(skipper_obs::NullSink));
+    let cfg = GatewayConfig {
+        tenants: vec![TenantConfig::new("slo", 1000.0, 1000.0)],
+        slo: Some(SloConfig {
+            eval_period: Duration::from_millis(20),
+            ..SloConfig::default()
+        }),
+        ..GatewayConfig::default()
+    };
+    let (_gateway, addr) = start_gateway(cfg, ModelPool::fixed(InferSession::new(small_net())));
+
+    let (status, body) = post(addr, "/v1/predict", &request_body("slo", &encode(91), None));
+    assert_eq!(status, 200, "body: {body}");
+
+    // The engine evaluates every 20 ms; wait until both windows appear.
+    let deadline = Instant::now() + Duration::from_secs(5);
+    let slo: SloStatus = loop {
+        let (status, body) = get(addr, "/slo");
+        assert_eq!(status, 200, "body: {body}");
+        let parsed: SloStatus = serde_json::from_str(&body).expect("/slo body parses");
+        if parsed.windows.len() == 2 || Instant::now() >= deadline {
+            break parsed;
+        }
+        std::thread::sleep(Duration::from_millis(10));
+    };
+    assert_eq!(slo.windows.len(), 2, "engine never evaluated: {slo:?}");
+    assert_eq!(slo.windows[0].window, "short");
+    assert_eq!(slo.windows[1].window, "long");
+    assert!(slo.healthy, "one fast request must not breach: {slo:?}");
+    assert!(slo.windows.iter().all(|w| w.burn_rate < 1.0), "{slo:?}");
+
+    // Phase attribution: the served request landed one sample in each
+    // phase histogram, and each carries a span-id exemplar.
+    let snapshot = skipper_obs::registry().snapshot();
+    for phase in ["queue_wait", "batch_wait", "execute"] {
+        let name = format!("serve.phase_wall_us{{phase={phase}}}");
+        let hist = snapshot
+            .histograms
+            .iter()
+            .find(|(k, _)| k == &name)
+            .map(|(_, h)| h)
+            .unwrap_or_else(|| panic!("missing histogram {name}"));
+        assert!(hist.count() > 0, "{name} saw no samples");
+        assert!(
+            hist.exemplars().iter().any(|&id| id != 0),
+            "{name} recorded no exemplar"
+        );
+    }
+    skipper_obs::remove_sink(sink);
 }
