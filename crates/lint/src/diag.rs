@@ -2,8 +2,8 @@
 
 use std::fmt::Write as _;
 
-/// The six rule identifiers, in report order.
-pub const RULE_IDS: [&str; 6] = ["D1", "D2", "P1", "O1", "O2", "S1"];
+/// The nine rule identifiers, in report order.
+pub const RULE_IDS: [&str; 9] = ["D1", "D2", "P1", "O1", "O2", "S1", "C1", "C2", "W1"];
 
 /// One finding at a source position.
 #[derive(Debug, Clone)]
@@ -95,6 +95,58 @@ pub fn render_json(root: &str, diags: &[Diagnostic]) -> String {
         out.push('}');
     }
     out.push_str("]}");
+    out
+}
+
+/// Render the report as SARIF 2.1.0 so findings can annotate PRs
+/// (GitHub code scanning ingests this directly). Waived findings are
+/// included at `note` level — the annotation shows the waiver reason —
+/// and active findings at `error`.
+pub fn render_sarif(diags: &[Diagnostic]) -> String {
+    let mut out = String::from(
+        "{\"$schema\":\"https://json.schemastore.org/sarif-2.1.0.json\",\"version\":\"2.1.0\",\"runs\":[{",
+    );
+    out.push_str("\"tool\":{\"driver\":{\"name\":\"skipper-lint\",");
+    push_kv_str(&mut out, "version", env!("CARGO_PKG_VERSION"));
+    out.push_str(",\"informationUri\":\"https://github.com\",\"rules\":[");
+    for (i, rule) in RULE_IDS.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        let short = crate::explain::explain(rule)
+            .and_then(|doc| doc.lines().next())
+            .unwrap_or(rule);
+        out.push('{');
+        push_kv_str(&mut out, "id", rule);
+        out.push_str(",\"shortDescription\":{");
+        push_kv_str(&mut out, "text", short);
+        out.push_str("}}");
+    }
+    out.push_str("]}},\"results\":[");
+    for (i, d) in diags.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push('{');
+        push_kv_str(&mut out, "ruleId", d.rule);
+        out.push(',');
+        let level = if d.waived.is_some() { "note" } else { "error" };
+        push_kv_str(&mut out, "level", level);
+        out.push_str(",\"message\":{");
+        let text = match &d.waived {
+            Some(reason) => format!("{} [waived: {reason}]", d.message),
+            None => format!("{}. {}", d.message, d.hint),
+        };
+        push_kv_str(&mut out, "text", &text);
+        out.push_str("},\"locations\":[{\"physicalLocation\":{\"artifactLocation\":{");
+        push_kv_str(&mut out, "uri", &d.file);
+        let _ = write!(
+            out,
+            "}},\"region\":{{\"startLine\":{},\"startColumn\":{}}}}}}}]}}",
+            d.line, d.col
+        );
+    }
+    out.push_str("]}]}");
     out
 }
 

@@ -11,6 +11,9 @@ pub fn explain(rule: &str) -> Option<&'static str> {
         "O1" => O1,
         "O2" => O2,
         "S1" => S1,
+        "C1" => C1,
+        "C2" => C2,
+        "W1" => W1,
         _ => return None,
     })
 }
@@ -137,4 +140,78 @@ be stated where it can be reviewed and re-checked after every edit.
 
 Fix: // SAFETY: <the invariant that makes this sound>
 Waiver: // lint:allow(safety): <reason>   (prefer a real SAFETY comment)
+";
+
+const C1: &str = "\
+C1 · lock-order — the global lock-order graph must be acyclic
+
+Scope: all scanned files (non-test code), analyzed as one unit.
+
+The interprocedural engine parses every fn, derives which Mutex/RwLock
+each function may acquire (directly, or through calls — summaries are
+propagated over the call graph to a fixpoint), and records an edge
+A -> B whenever B is acquired while A is held. Lock identities are
+crate.field names from the acquisition receiver (self.board.lock() in
+crates/core → core.board); the named_lock(\"id\", &m) helper in
+skipper-obs makes the identity explicit and shared with the runtime
+lock witness. Any edge participating in a cycle — including A -> A
+re-entry, which self-deadlocks on std::sync::Mutex — is flagged at its
+acquisition or call site, with an example cycle in the message.
+
+Why: the engine worker pool, TCP cluster, serving gateway, SLO thread
+and sampling profiler all run concurrently over shared registries. Two
+threads taking the same pair of locks in opposite orders deadlock
+rarely, under load, in production — exactly where a stalled training
+step or a frozen gateway is most expensive. An acyclic acquisition
+order makes that class of hang impossible by construction.
+
+Inspect: skipper-lint --dump-lock-graph   (DOT; red edges = cycles)
+Fix: pick one global order and acquire in that order everywhere, or
+narrow a guard's scope so the nesting disappears.
+Waiver: // lint:allow(lock-order): <why both orders can never run
+concurrently>
+";
+
+const C2: &str = "\
+C2 · blocking — no lock held across a blocking call
+
+Scope: all scanned files (non-test code), analyzed as one unit.
+
+Flagged while any lock is held: channel recv/recv_timeout/send, condvar
+wait/wait_timeout, socket accept/connect, I/O read/write with a buffer
+argument, read_exact/write_all/read_to_end/flush/sync_all, sleep, park,
+zero-arg join — directly, or through a call chain (the diagnostic names
+the chain: `call to wait_on may block (wait_timeout) while holding
+serve.queue`). RwLock .read()/.write() with no arguments are lock
+acquisitions, not I/O, and feed C1 instead.
+
+Why: a holder blocked on I/O starves every thread queued on that lock —
+the profiler census, the metrics registry and the gateway queue are all
+on hot paths — and deadlocks outright when the unblock itself needs the
+lock (recv while holding the lock the sender needs). The fix is almost
+always to move data out under the guard, drop it, then block.
+
+Waiver: // lint:allow(blocking): <why the wait is bounded and the lock
+must stay held — condvar protocols are the expected case>
+";
+
+const W1: &str = "\
+W1 · waiver — every lint:allow must still waive a live finding
+
+Scope: all scanned files (non-test code); runs after every other rule.
+
+Flagged: a `// lint:allow(<key>)` comment whose key is a real rule id or
+category but which waived nothing — the rule no longer fires on that
+line (or the line below it), or the waiver is missing its mandatory
+`: <reason>`. Keys that are not rule ids/categories are ignored (docs
+may quote the syntax), and `lint:allow(waiver)` itself is never GC'd.
+
+Why: waivers are per-site arguments (\"this cannot fail because …\");
+when the code moves on, a stale waiver keeps making an argument about
+code that no longer exists, and the next reader extends trust it never
+earned. Dead waivers also mask typos: a misspelled key waives nothing
+silently — W1 makes the silence loud.
+
+Fix: delete the comment — `skipper-lint --fix-waivers` lists them,
+`--fix-waivers --apply` edits files in place.
 ";

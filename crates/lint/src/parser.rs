@@ -1,0 +1,279 @@
+//! A brace-matched block parser and function/impl symbol table over the
+//! lexed token stream.
+//!
+//! This is deliberately *not* a Rust grammar: it recognizes exactly the
+//! item structure the concurrency analysis needs — `fn` items (free
+//! functions, methods inside `impl`/`trait` blocks, functions nested in
+//! bodies), with their body token ranges — and treats everything else as
+//! opaque token soup. The invariants it does guarantee:
+//!
+//! * It never panics, on any token stream (see the proptest in
+//!   `tests/lexer_and_rules.rs`): every scan is bounds-checked and every
+//!   matcher terminates at end-of-stream.
+//! * Body ranges are brace-exact: generics (`fn f<F: Fn(u8) -> u8>`),
+//!   where-clauses, return types with brackets (`-> [u8; 4]`) and nested
+//!   closures do not confuse the `{`-finder, because parens/brackets are
+//!   depth-tracked and `->` arrows are never counted as generic closers.
+//! * Methods carry their `impl` type name so the symbol table can keep
+//!   same-named methods from different types apart when it wants to.
+
+use crate::lexer::{Tok, TokKind};
+
+/// One `fn` item discovered in a file.
+#[derive(Debug, Clone)]
+pub struct FnItem {
+    /// The function's bare name (`run_iteration`, not `Coordinator::…`).
+    pub name: String,
+    /// Enclosing `impl`/`trait` type name for methods, `None` for free
+    /// functions.
+    pub self_ty: Option<String>,
+    /// Whether the signature contains a `self` receiver (method call
+    /// syntax resolves only to these; `Type::assoc()` resolves to both).
+    pub has_self: bool,
+    /// Token index of the `fn` keyword.
+    pub fn_tok: usize,
+    /// 1-based source line of the `fn` keyword.
+    pub line: u32,
+    /// Inclusive token range `[open_brace, close_brace]` of the body;
+    /// `None` for bodiless declarations (trait methods, extern fns).
+    pub body: Option<(usize, usize)>,
+}
+
+/// Parse every `fn` item in a token stream, including ones nested inside
+/// `impl`/`trait`/`mod` blocks and other function bodies.
+pub fn parse_fns(toks: &[Tok]) -> Vec<FnItem> {
+    let mut out = Vec::new();
+    parse_items(toks, 0, toks.len(), None, &mut out, 0);
+    out
+}
+
+/// Recursion guard: pathological nesting (proptest inputs) stops
+/// descending instead of blowing the stack.
+const MAX_DEPTH: usize = 64;
+
+fn parse_items(
+    toks: &[Tok],
+    start: usize,
+    end: usize,
+    self_ty: Option<&str>,
+    out: &mut Vec<FnItem>,
+    depth: usize,
+) {
+    if depth > MAX_DEPTH {
+        return;
+    }
+    let mut i = start;
+    while i < end {
+        let t = &toks[i];
+        if t.is_comment() {
+            i += 1;
+            continue;
+        }
+        if t.kind == TokKind::Ident {
+            match t.text.as_str() {
+                "fn" => {
+                    if let Some(item) = parse_fn(toks, i, end, self_ty) {
+                        let body = item.body;
+                        let after = body.map(|(_, close)| close + 1);
+                        out.push(item);
+                        if let Some((open, close)) = body {
+                            // Items nested in the body (helper fns, local
+                            // impls) are their own scopes.
+                            parse_items(toks, open + 1, close.min(end), None, out, depth + 1);
+                        }
+                        i = after.unwrap_or(i + 1).max(i + 1);
+                        continue;
+                    }
+                }
+                "impl" | "trait" => {
+                    if let Some((ty, open, close)) = parse_type_block(toks, i, end) {
+                        parse_items(
+                            toks,
+                            open + 1,
+                            close.min(end),
+                            ty.as_deref(),
+                            out,
+                            depth + 1,
+                        );
+                        i = close + 1;
+                        continue;
+                    }
+                }
+                "mod" => {
+                    // `mod name { … }`: descend without changing self_ty;
+                    // `mod name;` is opaque.
+                    if let Some((open, close)) = mod_body(toks, i, end) {
+                        parse_items(toks, open + 1, close.min(end), None, out, depth + 1);
+                        i = close + 1;
+                        continue;
+                    }
+                }
+                _ => {}
+            }
+        }
+        i += 1;
+    }
+}
+
+/// Parse a `fn` item whose `fn` keyword is at `i`. Returns `None` when
+/// the token is not actually an item head (`fn` in a type position like
+/// `fn(u8) -> u8` has no name ident after it).
+fn parse_fn(toks: &[Tok], i: usize, end: usize, self_ty: Option<&str>) -> Option<FnItem> {
+    let name_idx = next_code(toks, i + 1, end)?;
+    let name_tok = &toks[name_idx];
+    if name_tok.kind != TokKind::Ident {
+        return None; // `fn(u8)` type position, or garbage.
+    }
+    let mut j = next_code(toks, name_idx + 1, end)?;
+    // Optional generic parameter list.
+    if toks[j].is_punct('<') {
+        j = skip_generics(toks, j, end)?;
+        j = next_code(toks, j, end)?;
+    }
+    if !toks[j].is_punct('(') {
+        return None;
+    }
+    let params_close = match_delim(toks, j, end, '(', ')')?;
+    let has_self = (j + 1..params_close).any(|k| toks[k].is_ident("self"));
+    // Return type / where clause, then `{` or `;`.
+    let mut k = params_close + 1;
+    let mut paren = 0i32;
+    let mut bracket = 0i32;
+    let body = loop {
+        let idx = next_code(toks, k, end)?;
+        let t = &toks[idx];
+        if t.is_punct('(') {
+            paren += 1;
+        } else if t.is_punct(')') {
+            paren -= 1;
+        } else if t.is_punct('[') {
+            bracket += 1;
+        } else if t.is_punct(']') {
+            bracket -= 1;
+        } else if paren <= 0 && bracket <= 0 {
+            if t.is_punct('{') {
+                let close = match_delim(toks, idx, end, '{', '}')?;
+                break Some((idx, close));
+            }
+            if t.is_punct(';') {
+                break None;
+            }
+        }
+        k = idx + 1;
+    };
+    Some(FnItem {
+        name: name_tok.text.clone(),
+        self_ty: self_ty.map(str::to_string),
+        has_self,
+        fn_tok: i,
+        line: toks[i].line,
+        body,
+    })
+}
+
+/// Parse an `impl`/`trait` block head at `i`; returns `(type name, body
+/// open, body close)`. The type name is the last path ident before the
+/// body brace — for `impl Trait for Type` that is `Type`, for
+/// `impl<T> Stack<T>` it is `Stack`, for `trait Sink` it is `Sink`.
+fn parse_type_block(toks: &[Tok], i: usize, end: usize) -> Option<(Option<String>, usize, usize)> {
+    let mut j = i + 1;
+    let mut last_ident: Option<String> = None;
+    let mut after_for: Option<String> = None;
+    let mut seen_for = false;
+    while j < end {
+        let t = &toks[j];
+        if t.is_comment() {
+            j += 1;
+            continue;
+        }
+        if t.is_punct('<') {
+            j = skip_generics(toks, j, end)?;
+            continue;
+        }
+        if t.is_punct('{') {
+            let close = match_delim(toks, j, end, '{', '}')?;
+            let ty = after_for.or(last_ident);
+            return Some((ty, j, close));
+        }
+        if t.is_punct(';') {
+            return None; // `impl Trait for Type;` marker impls: opaque.
+        }
+        if t.kind == TokKind::Ident {
+            if t.text == "for" {
+                seen_for = true;
+            } else if t.text != "where" && t.text != "dyn" && t.text != "mut" {
+                if seen_for {
+                    after_for = Some(t.text.clone());
+                } else {
+                    last_ident = Some(t.text.clone());
+                }
+            }
+        }
+        j += 1;
+    }
+    None
+}
+
+/// `mod name { … }` body range, or `None` for `mod name;`.
+fn mod_body(toks: &[Tok], i: usize, end: usize) -> Option<(usize, usize)> {
+    let name = next_code(toks, i + 1, end)?;
+    if toks[name].kind != TokKind::Ident {
+        return None;
+    }
+    let brace = next_code(toks, name + 1, end)?;
+    if !toks[brace].is_punct('{') {
+        return None;
+    }
+    let close = match_delim(toks, brace, end, '{', '}')?;
+    Some((brace, close))
+}
+
+/// Index of the next non-comment token at or after `i` (before `end`).
+fn next_code(toks: &[Tok], i: usize, end: usize) -> Option<usize> {
+    (i..end).find(|&k| !toks[k].is_comment())
+}
+
+/// Given `toks[open]` equal to the `open` delimiter, return the index of
+/// the matching `close` delimiter.
+pub fn match_delim(toks: &[Tok], open: usize, end: usize, o: char, c: char) -> Option<usize> {
+    let mut depth = 0i64;
+    for (k, t) in toks.iter().enumerate().take(end).skip(open) {
+        if t.is_punct(o) {
+            depth += 1;
+        } else if t.is_punct(c) {
+            depth -= 1;
+            if depth == 0 {
+                return Some(k);
+            }
+        }
+    }
+    None
+}
+
+/// Skip a generic parameter/argument list whose `<` is at `i`; returns
+/// the index just past the matching `>`. Arrow returns (`Fn(u8) -> u8`)
+/// inside the list are handled by never counting a `>` that directly
+/// follows a `-`.
+fn skip_generics(toks: &[Tok], i: usize, end: usize) -> Option<usize> {
+    let mut depth = 0i64;
+    let mut k = i;
+    let mut prev_minus = false;
+    while k < end {
+        let t = &toks[k];
+        if t.is_comment() {
+            k += 1;
+            continue;
+        }
+        if t.is_punct('<') {
+            depth += 1;
+        } else if t.is_punct('>') && !prev_minus {
+            depth -= 1;
+            if depth == 0 {
+                return Some(k + 1);
+            }
+        }
+        prev_minus = t.is_punct('-');
+        k += 1;
+    }
+    None
+}

@@ -1,4 +1,4 @@
-//! The six Skipper-specific rules and the per-file check driver.
+//! The nine Skipper-specific rules and the check drivers.
 //!
 //! | id | category      | scope | invariant |
 //! |----|---------------|-------|-----------|
@@ -8,18 +8,30 @@
 //! | O1 | `metric`      | everywhere | metric/span names must be declared in `metrics.toml` |
 //! | O2 | `env`         | everywhere | `SKIPPER_*` env knobs must be declared in `metrics.toml` |
 //! | S1 | `safety`      | everywhere | `unsafe` requires a `// SAFETY:` comment |
+//! | C1 | `lock-order`  | everywhere | the global lock-order graph must be acyclic |
+//! | C2 | `blocking`    | everywhere | no lock held across a blocking call, even through calls |
+//! | W1 | `waiver`      | everywhere | every `lint:allow` must still waive a live finding |
+//!
+//! D1–S1 are token-local and run per file; C1/C2 run on the
+//! interprocedural engine in [`crate::conc`] (block parser, call graph,
+//! lock summaries) and need the whole file set to see cross-crate cycles;
+//! W1 runs last, over the waiver-usage bookkeeping the other rules left
+//! behind.
 //!
 //! Waivers are **per-site**: a `// lint:allow(<rule-or-category>): <reason>`
 //! line comment on the offending line or the line directly above it. The
 //! reason is mandatory; blanket per-file waivers do not exist on purpose.
+//! W1 closes the loop: a waiver whose rule no longer fires on its site is
+//! itself a violation, so waivers cannot outlive the code they excused.
 //!
 //! Test code (`#[cfg(test)]` / `#[test]` items) is exempt from every rule
 //! except S1 — tests may panic, but they may not skip safety comments.
 
+use crate::conc::{self, Analysis, ConcFile};
 use crate::diag::Diagnostic;
 use crate::lexer::{lex, test_regions, Tok, TokKind};
 use crate::manifest::Manifest;
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, BTreeSet};
 
 /// Which rule families apply to one file.
 #[derive(Debug, Clone, Copy, Default)]
@@ -34,6 +46,10 @@ pub struct Scope {
     pub observability: bool,
     /// S1: `unsafe` hygiene.
     pub safety: bool,
+    /// C1/C2: lock-order and blocking-call discipline.
+    pub concurrency: bool,
+    /// W1: stale-waiver hygiene.
+    pub waiver_hygiene: bool,
 }
 
 /// The library crates covered by the panic policy (P1).
@@ -69,13 +85,15 @@ pub fn scope_for_path(rel: &str) -> Scope {
         float_order: numeric,
         observability: true,
         safety: true,
+        concurrency: true,
+        waiver_hygiene: true,
     }
 }
 
 /// Fixture files opt into scopes explicitly via a first-line header
-/// comment: `// lint-fixture: scope=p1,d1,d2,o1,o2,s1` (or `scope=all`).
-/// Honored only for paths containing `fixtures` so production files can
-/// never scope themselves down.
+/// comment: `// lint-fixture: scope=p1,d1,d2,o1,o2,s1,c1,c2,w1` (or
+/// `scope=all`). Honored only for paths containing `fixtures` so
+/// production files can never scope themselves down.
 fn fixture_scope(rel: &str, toks: &[Tok]) -> Option<Scope> {
     if !rel.contains("fixtures") {
         return None;
@@ -95,6 +113,8 @@ fn fixture_scope(rel: &str, toks: &[Tok]) -> Option<Scope> {
             "d2" => scope.float_order = true,
             "o1" | "o2" => scope.observability = true,
             "s1" => scope.safety = true,
+            "c1" | "c2" => scope.concurrency = true,
+            "w1" => scope.waiver_hygiene = true,
             "all" => {
                 scope = Scope {
                     panic_policy: true,
@@ -102,6 +122,8 @@ fn fixture_scope(rel: &str, toks: &[Tok]) -> Option<Scope> {
                     float_order: true,
                     observability: true,
                     safety: true,
+                    concurrency: true,
+                    waiver_hygiene: true,
                 }
             }
             _ => {}
@@ -120,14 +142,91 @@ pub struct ObsName {
     pub name: String,
 }
 
-/// Lint one file; `rel` must use forward slashes. Returns all findings,
-/// including waived ones (callers decide whether waived findings fail).
+/// Lint one file in isolation; `rel` must use forward slashes. The
+/// concurrency pass sees only this file, so cross-file cycles need
+/// [`check_sources`]. Returns all findings, including waived ones
+/// (callers decide whether waived findings fail).
 pub fn check_file(rel: &str, src: &str, manifest: &Manifest) -> Vec<Diagnostic> {
-    let toks = lex(src);
-    let scope = fixture_scope(rel, &toks).unwrap_or_else(|| scope_for_path(rel));
-    let mut ctx = FileCtx::new(rel, &toks);
-    ctx.run(scope, manifest, None);
-    ctx.diags
+    check_sources(&[(rel.to_string(), src.to_string())], manifest)
+}
+
+/// Lint a file set as one unit: token rules per file, then the
+/// interprocedural concurrency pass over all files together (C1 cycles
+/// may span crates), then stale-waiver hygiene once every rule has had
+/// its chance to use a waiver.
+pub fn check_sources(files: &[(String, String)], manifest: &Manifest) -> Vec<Diagnostic> {
+    let lexed: Vec<(&str, Vec<Tok>, Scope)> = files
+        .iter()
+        .map(|(rel, src)| {
+            let toks = lex(src);
+            let scope = fixture_scope(rel, &toks).unwrap_or_else(|| scope_for_path(rel));
+            (rel.as_str(), toks, scope)
+        })
+        .collect();
+    let mut ctxs: Vec<FileCtx> = lexed
+        .iter()
+        .map(|(rel, toks, _)| FileCtx::new(rel, toks))
+        .collect();
+    for (ctx, (_, _, scope)) in ctxs.iter_mut().zip(&lexed) {
+        ctx.run(*scope, manifest, None);
+    }
+    let analysis = {
+        let inputs: Vec<ConcFile> = ctxs
+            .iter()
+            .zip(&lexed)
+            .map(|(ctx, (rel, toks, _))| ConcFile {
+                rel,
+                toks,
+                test_ranges: &ctx.test_ranges,
+            })
+            .collect();
+        conc::analyze(&inputs)
+    };
+    for f in &analysis.findings {
+        if !lexed[f.file_idx].2.concurrency {
+            continue;
+        }
+        let category = if f.rule == "C1" {
+            "lock-order"
+        } else {
+            "blocking"
+        };
+        ctxs[f.file_idx].push_at(f.line, f.col, f.rule, category, f.message.clone(), &f.hint);
+    }
+    for (ctx, (_, _, scope)) in ctxs.iter_mut().zip(&lexed) {
+        if scope.waiver_hygiene {
+            ctx.rule_w1();
+        }
+    }
+    let mut diags: Vec<Diagnostic> = ctxs.into_iter().flat_map(|c| c.diags).collect();
+    diags.sort_by(|a, b| {
+        (a.file.as_str(), a.line, a.col, a.rule).cmp(&(b.file.as_str(), b.line, b.col, b.rule))
+    });
+    diags
+}
+
+/// Run only the concurrency engine over a file set and return the raw
+/// analysis (lock-order graph + findings). This is what
+/// `--dump-lock-graph` and the obs lock-witness subset test consume.
+pub fn analyze_concurrency(files: &[(String, String)]) -> Analysis {
+    type Lexed<'a> = (&'a str, Vec<Tok>, Vec<(usize, usize)>);
+    let lexed: Vec<Lexed> = files
+        .iter()
+        .map(|(rel, src)| {
+            let toks = lex(src);
+            let ranges = test_regions(&toks);
+            (rel.as_str(), toks, ranges)
+        })
+        .collect();
+    let inputs: Vec<ConcFile> = lexed
+        .iter()
+        .map(|(rel, toks, test_ranges)| ConcFile {
+            rel,
+            toks,
+            test_ranges,
+        })
+        .collect();
+    conc::analyze(&inputs)
 }
 
 /// Extract every observability name from one file (non-test code only).
@@ -139,6 +238,30 @@ pub fn extract_names(rel: &str, src: &str) -> Vec<ObsName> {
     names
 }
 
+/// Waiver keys W1 understands: rule ids and category names. Anything
+/// else inside `lint:allow(…)` is treated as prose (docs showing the
+/// syntax with a `<placeholder>` key must not trip the rule).
+const WAIVER_KEYS: [&str; 18] = [
+    "d1",
+    "d2",
+    "p1",
+    "o1",
+    "o2",
+    "s1",
+    "c1",
+    "c2",
+    "w1",
+    "determinism",
+    "float-order",
+    "panic",
+    "metric",
+    "env",
+    "safety",
+    "lock-order",
+    "blocking",
+    "waiver",
+];
+
 /// Per-file state shared by the rules.
 struct FileCtx<'a> {
     rel: &'a str,
@@ -149,6 +272,9 @@ struct FileCtx<'a> {
     test_ranges: Vec<(usize, usize)>,
     /// Comment text per starting line, for waiver/SAFETY lookup.
     comments: BTreeMap<u32, String>,
+    /// `(comment line, key)` pairs of waivers that matched a finding —
+    /// the ground truth W1 checks stale waivers against.
+    used_waivers: BTreeSet<(u32, String)>,
     diags: Vec<Diagnostic>,
 }
 
@@ -172,6 +298,7 @@ impl<'a> FileCtx<'a> {
             code,
             test_ranges: test_regions(toks),
             comments,
+            used_waivers: BTreeSet::new(),
             diags: Vec::new(),
         }
     }
@@ -189,9 +316,10 @@ impl<'a> FileCtx<'a> {
 
     /// `// lint:allow(key): reason` on `line` or the line above; accepts
     /// the rule id or its category name as the key (case-insensitive).
-    fn waiver(&self, line: u32, rule: &str, category: &str) -> Option<String> {
+    /// A match is recorded in `used_waivers` so W1 can flag the rest.
+    fn waiver(&mut self, line: u32, rule: &str, category: &str) -> Option<String> {
         for l in [line, line.saturating_sub(1)] {
-            let Some(text) = self.comments.get(&l) else {
+            let Some(text) = self.comments.get(&l).cloned() else {
                 continue;
             };
             let mut rest = text.as_str();
@@ -203,6 +331,7 @@ impl<'a> FileCtx<'a> {
                 let reason = after.strip_prefix(':').map(str::trim).unwrap_or("");
                 if (key == rule.to_ascii_lowercase() || key == category) && !reason.is_empty() {
                     // The reason runs to the end of the comment line.
+                    self.used_waivers.insert((l, key));
                     return Some(reason.to_string());
                 }
             }
@@ -211,11 +340,23 @@ impl<'a> FileCtx<'a> {
     }
 
     fn push(&mut self, tok: &Tok, rule: &'static str, category: &str, message: String, hint: &str) {
-        let waived = self.waiver(tok.line, rule, category);
+        self.push_at(tok.line, tok.col, rule, category, message, hint);
+    }
+
+    fn push_at(
+        &mut self,
+        line: u32,
+        col: u32,
+        rule: &'static str,
+        category: &str,
+        message: String,
+        hint: &str,
+    ) {
+        let waived = self.waiver(line, rule, category);
         self.diags.push(Diagnostic {
             file: self.rel.to_string(),
-            line: tok.line,
-            col: tok.col,
+            line,
+            col,
             rule,
             message,
             hint: hint.to_string(),
@@ -590,6 +731,55 @@ impl<'a> FileCtx<'a> {
             "state the invariant that makes this sound in a `// SAFETY:` comment on or \
              directly above the unsafe block",
         );
+    }
+
+    // --- W1: stale waivers -------------------------------------------------
+
+    /// Flag every `lint:allow(key)` with a *known* key that waived
+    /// nothing. Runs after all other rules so `used_waivers` is complete.
+    /// Keys that are not rule ids/categories are prose (docs quoting the
+    /// syntax); `waiver`/`w1` keys are meta and never GC'd — flagging a
+    /// waiver-of-a-waiver as stale in the same pass that makes it used
+    /// would be order-dependent.
+    fn rule_w1(&mut self) {
+        let comment_toks: Vec<(usize, u32, u32, String)> = self
+            .toks
+            .iter()
+            .enumerate()
+            .filter(|(_, t)| t.is_comment())
+            .map(|(i, t)| (i, t.line, t.col, t.text.clone()))
+            .collect();
+        for (idx, line, col, text) in comment_toks {
+            if self.in_test(idx) {
+                continue; // Rules don't fire in tests; their waivers are decor.
+            }
+            let mut rest = text.as_str();
+            while let Some(at) = rest.find("lint:allow(") {
+                rest = &rest[at + "lint:allow(".len()..];
+                let Some(close) = rest.find(')') else { break };
+                let key = rest[..close].trim().to_ascii_lowercase();
+                rest = &rest[close + 1..];
+                if !WAIVER_KEYS.contains(&key.as_str()) || key == "w1" || key == "waiver" {
+                    continue;
+                }
+                if self.used_waivers.contains(&(line, key.clone())) {
+                    continue;
+                }
+                self.push_at(
+                    line,
+                    col,
+                    "W1",
+                    "waiver",
+                    format!(
+                        "stale waiver: `lint:allow({key})` matches no finding on this line \
+                         or the line below"
+                    ),
+                    "either the rule no longer fires here or the waiver lacks its mandatory \
+                     `: <reason>`; delete the comment (`skipper-lint --fix-waivers` does it \
+                     mechanically) or repair the reason",
+                );
+            }
+        }
     }
 }
 

@@ -1,0 +1,55 @@
+// lint-fixture: scope=c1
+//! Seeded lock-order inversions for rule C1: a forward/backward pair, a
+//! self-re-entry, and an inversion hidden behind a call (the edge is
+//! found through the callee's acquisition summary).
+
+use std::sync::Mutex;
+
+struct Pair {
+    a: Mutex<u32>,
+    b: Mutex<u32>,
+    e: Mutex<u32>,
+}
+
+impl Pair {
+    fn forward(&self) -> u32 {
+        let a = self.a.lock().unwrap();
+        let b = self.b.lock().unwrap(); //~ ERROR C1
+        *a + *b
+    }
+
+    fn backward(&self) -> u32 {
+        let b = self.b.lock().unwrap();
+        let a = self.a.lock().unwrap(); //~ ERROR C1
+        *a + *b
+    }
+
+    fn relock(&self) -> u32 {
+        let first = self.e.lock().unwrap();
+        let second = self.e.lock().unwrap(); //~ ERROR C1
+        *first + *second
+    }
+}
+
+struct Chained {
+    c: Mutex<u32>,
+    d: Mutex<u32>,
+}
+
+impl Chained {
+    fn lock_head(&self) -> u32 {
+        let c = self.c.lock().unwrap();
+        *c + self.lock_tail() //~ ERROR C1
+    }
+
+    fn lock_tail(&self) -> u32 {
+        let d = self.d.lock().unwrap();
+        *d
+    }
+
+    fn opposite(&self) -> u32 {
+        let d = self.d.lock().unwrap();
+        let c = self.c.lock().unwrap(); //~ ERROR C1
+        *c + *d
+    }
+}

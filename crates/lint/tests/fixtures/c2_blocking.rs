@@ -1,0 +1,49 @@
+// lint-fixture: scope=c2
+//! Seeded lock-held-across-blocking-call sites for rule C2: a direct
+//! recv, a sleep, a blocking call hidden behind a helper, one correct
+//! (guard dropped first) negative, and one waived timeout.
+
+use std::sync::mpsc::Receiver;
+use std::sync::Mutex;
+use std::time::Duration;
+
+struct Queue {
+    jobs: Mutex<Vec<u32>>,
+}
+
+impl Queue {
+    fn drain_locked(&self, rx: &Receiver<u32>) -> u32 {
+        let mut jobs = self.jobs.lock().unwrap();
+        let next = rx.recv().unwrap_or(0); //~ ERROR C2
+        jobs.push(next);
+        next
+    }
+
+    fn sleep_locked(&self) {
+        let _jobs = self.jobs.lock().unwrap();
+        std::thread::sleep(Duration::from_millis(1)); //~ ERROR C2
+    }
+
+    fn chained(&self, rx: &Receiver<u32>) -> u32 {
+        let _jobs = self.jobs.lock().unwrap();
+        wait_for(rx) //~ ERROR C2
+    }
+
+    fn ok_drain(&self, rx: &Receiver<u32>) -> u32 {
+        {
+            let mut jobs = self.jobs.lock().unwrap();
+            jobs.clear();
+        }
+        rx.recv().unwrap_or(0)
+    }
+
+    fn waived(&self, rx: &Receiver<u32>) -> u32 {
+        let _jobs = self.jobs.lock().unwrap();
+        // lint:allow(blocking): bounded 1ms timeout keeps the holder responsive
+        rx.recv_timeout(Duration::from_millis(1)).unwrap_or(0)
+    }
+}
+
+fn wait_for(rx: &Receiver<u32>) -> u32 {
+    rx.recv().unwrap_or(0)
+}

@@ -1,0 +1,100 @@
+// lint-fixture: scope=all
+//! Parser stress fixture: legal-but-awkward shapes the block parser,
+//! symbol table and concurrency engine must survive without misparsing.
+//! Every rule is in scope and the expected finding count is zero.
+
+/// Generic bounds with nested angle brackets, plus a comparison that
+/// must not be confused for one.
+fn nested_generics<T: IntoIterator<Item = Vec<Option<u32>>>>(xs: T, y: usize) -> usize {
+    let mut n = 0usize;
+    for v in xs {
+        if v.len() < y {
+            n += v.len();
+        }
+    }
+    n
+}
+
+/// Shifts next to generic-looking tokens.
+fn shifty(a: u32, b: u32) -> u32 {
+    let c = a >> 2;
+    let d = b << 1;
+    c.max(d)
+}
+
+/// A function returning a function pointer with its own arrow.
+fn higher(flip: bool) -> fn(u32) -> u32 {
+    fn double(x: u32) -> u32 {
+        x * 2
+    }
+    fn triple(x: u32) -> u32 {
+        x * 3
+    }
+    if flip {
+        double
+    } else {
+        triple
+    }
+}
+
+/// Closures, match arms (fat arrows are not returns) and a trait object.
+fn dispatch(sel: u8) -> Box<dyn Fn(u32) -> u32> {
+    match sel {
+        0 => Box::new(|x| x + 1),
+        1 => Box::new(move |x: u32| -> u32 { x.saturating_sub(1) }),
+        _ => Box::new(|x| x),
+    }
+}
+
+/// Braces inside literals must not unbalance the block parser.
+fn literals() -> (char, &'static str, &'static str) {
+    let open = '{';
+    let fake = "fn not_a_fn() { let x = '}'; }";
+    let raw = r"impl Nothing { }";
+    (open, fake, raw)
+}
+
+/// Const generics and where clauses.
+fn windows<const N: usize, T>(xs: &[T]) -> usize
+where
+    T: Clone + PartialOrd,
+{
+    xs.chunks(N.max(1)).count()
+}
+
+struct Wrapper<'a, T> {
+    inner: &'a [T],
+}
+
+impl<'a, T: Copy + Default> Wrapper<'a, T> {
+    fn first_or_default(&self) -> T {
+        self.inner.first().copied().unwrap_or_default()
+    }
+}
+
+trait Describe {
+    fn describe(&self) -> usize {
+        0
+    }
+}
+
+impl<T: Copy + Default> Describe for Wrapper<'_, T> {
+    fn describe(&self) -> usize {
+        self.inner.len()
+    }
+}
+
+mod nested {
+    pub mod deeper {
+        pub fn leaf(x: i64) -> i64 {
+            let f = |y: i64| y.rotate_left(3);
+            f(x)
+        }
+    }
+}
+
+/// Turbofish next to comparisons.
+fn turbo(xs: &[u16]) -> Vec<u32> {
+    let grown = xs.iter().map(|&x| u32::from(x)).collect::<Vec<u32>>();
+    grown.iter().filter(|&&g| g < 9_000).copied().collect()
+}

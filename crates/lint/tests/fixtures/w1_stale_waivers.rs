@@ -1,0 +1,37 @@
+// lint-fixture: scope=c2,w1
+//! Stale-waiver hygiene for rule W1: a `lint:allow` that waives nothing
+//! is itself a finding; one covering a live finding is not, and keys
+//! that are not rule ids/categories are prose and stay silent.
+
+use std::sync::mpsc::Receiver;
+use std::sync::Mutex;
+use std::time::Duration;
+
+static JOBS: Mutex<Vec<u32>> = Mutex::new(Vec::new());
+
+fn live_waiver(rx: &Receiver<u32>) -> u32 {
+    let _jobs = JOBS.lock().unwrap();
+    // lint:allow(blocking): bounded 1ms timeout keeps the holder responsive
+    rx.recv_timeout(Duration::from_millis(1)).unwrap_or(0)
+}
+
+fn stale_rule_key(rx: &Receiver<u32>) -> u32 {
+    // lint:allow(c2): this drain used to hold the jobs lock //~ ERROR W1
+    rx.recv().unwrap_or(0)
+}
+
+fn stale_category_key() -> u32 {
+    // lint:allow(blocking): nothing on this path blocks anymore //~ ERROR W1
+    7
+}
+
+fn missing_reason(rx: &Receiver<u32>) -> u32 {
+    let _jobs = JOBS.lock().unwrap();
+    // lint:allow(blocking) //~ ERROR W1
+    rx.recv().unwrap_or(0) //~ ERROR C2
+}
+
+fn unknown_key_is_prose() -> u32 {
+    // lint:allow(frobnicate): not a rule key; docs may quote the syntax
+    11
+}

@@ -169,20 +169,21 @@ fn waiver_with_reason_downgrades_the_finding() {
 
 #[test]
 fn waiver_without_reason_does_not_count() {
+    // The finding stays active, and W1 flags the dead waiver itself.
     let src = "fn f(x: Option<u32>) -> u32 {\n    // lint:allow(panic)\n    x.unwrap()\n}\n";
-    assert_eq!(findings(src), [(3, "P1")]);
+    assert_eq!(findings(src), [(2, "W1"), (3, "P1")]);
 }
 
 #[test]
 fn waiver_for_the_wrong_rule_does_not_count() {
     let src = "fn f(x: Option<u32>) -> u32 {\n    // lint:allow(determinism): wrong category\n    x.unwrap()\n}\n";
-    assert_eq!(findings(src), [(3, "P1")]);
+    assert_eq!(findings(src), [(2, "W1"), (3, "P1")]);
 }
 
 #[test]
 fn waiver_two_lines_away_does_not_count() {
     let src = "fn f(x: Option<u32>) -> u32 {\n    // lint:allow(panic): too far away\n\n    x.unwrap()\n}\n";
-    assert_eq!(findings(src), [(4, "P1")]);
+    assert_eq!(findings(src), [(2, "W1"), (4, "P1")]);
 }
 
 // --- scope ----------------------------------------------------------------

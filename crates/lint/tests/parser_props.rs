@@ -1,0 +1,143 @@
+//! Robustness properties of the block parser and the concurrency engine:
+//! arbitrary token soup must never panic, and whatever function bodies
+//! are recognized must be well-formed spans over the token stream. The
+//! engine's precision is covered by the seeded fixtures; this file only
+//! guarantees it cannot be crashed by weird-but-lexable input.
+
+use proptest::prelude::*;
+use skipper_lint::lexer::lex;
+use skipper_lint::parser::parse_fns;
+use skipper_lint::rules::analyze_concurrency;
+
+/// Vocabulary skewed toward the parser's decision points: item keywords,
+/// every delimiter, arrows, generics/shift ambiguity, and the names the
+/// concurrency engine treats specially.
+const VOCAB: &[&str] = &[
+    "fn",
+    "impl",
+    "struct",
+    "trait",
+    "mod",
+    "where",
+    "for",
+    "let",
+    "match",
+    "if",
+    "else",
+    "move",
+    "pub",
+    "unsafe_marker",
+    "f",
+    "g",
+    "lock",
+    "recv",
+    "send",
+    "sleep",
+    "drop",
+    "spawn",
+    "named_lock",
+    "lock_unpoisoned",
+    "self",
+    "Self",
+    "x",
+    "T",
+    "'a",
+    "<",
+    ">",
+    "(",
+    ")",
+    "{",
+    "}",
+    "[",
+    "]",
+    "->",
+    "=>",
+    ";",
+    ",",
+    "::",
+    ":",
+    "#",
+    "!",
+    "&",
+    "|",
+    ".",
+    "=",
+    "==",
+    "<<",
+    ">>",
+    "-",
+    "\"obs.thing\"",
+    "'{'",
+    "0.5",
+    "12",
+    "// comment\n",
+];
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(512))]
+
+    #[test]
+    fn parser_and_engine_never_panic_on_token_soup(
+        ids in prop::collection::vec(0usize..VOCAB.len(), 0..120),
+    ) {
+        let words: Vec<&str> = ids.iter().map(|&i| VOCAB[i]).collect();
+        let src = words.join(" ");
+
+        let toks = lex(&src);
+        let fns = parse_fns(&toks);
+        for f in &fns {
+            prop_assert!(!f.name.is_empty(), "parsed fn with empty name");
+            if let Some((open, close)) = f.body {
+                prop_assert!(open < close, "body span inverted: {open}..{close}");
+                prop_assert!(close < toks.len(), "body span escapes the token stream");
+            }
+        }
+
+        // The full interprocedural pipeline must also survive the soup.
+        let _ = analyze_concurrency(&[("crates/lint/src/soup.rs".to_string(), src)]);
+    }
+}
+
+/// The tricky fixture is the deterministic anchor for the same property:
+/// its shapes are real Rust, and none of them may confuse the parser
+/// into dropping or inventing a function.
+#[test]
+fn tricky_fixture_parses_to_its_real_functions() {
+    let src = std::fs::read_to_string(concat!(
+        env!("CARGO_MANIFEST_DIR"),
+        "/tests/fixtures/parser_tricky.rs"
+    ))
+    .expect("fixture readable");
+    let toks = lex(&src);
+    let fns = parse_fns(&toks);
+    let names: Vec<&str> = fns.iter().map(|f| f.name.as_str()).collect();
+    for expected in [
+        "nested_generics",
+        "shifty",
+        "higher",
+        "double",
+        "triple",
+        "dispatch",
+        "literals",
+        "windows",
+        "first_or_default",
+        "describe",
+        "leaf",
+        "turbo",
+    ] {
+        assert!(
+            names.contains(&expected),
+            "parser lost fn {expected}: {names:?}"
+        );
+    }
+    for f in &fns {
+        assert!(f.body.is_some(), "fn {} has no body span", f.name);
+    }
+    // Methods carry their impl context.
+    let method = fns
+        .iter()
+        .find(|f| f.name == "first_or_default")
+        .expect("method parsed");
+    assert!(method.has_self, "method lost its self receiver");
+    assert_eq!(method.self_ty.as_deref(), Some("Wrapper"));
+}

@@ -1,0 +1,61 @@
+//! Waiver garbage collection: `strip_stale_waivers` string surgery plus
+//! the end-to-end `--fix-waivers` flow (dry-run, apply, convergence) on
+//! a throwaway mini-workspace under the cargo tmpdir.
+
+use skipper_lint::{fix_waivers, strip_stale_waivers, Manifest};
+use std::fs;
+use std::path::Path;
+
+#[test]
+fn strip_removes_whole_line_and_trailing_waivers() {
+    let src = "fn f() -> u32 {\n    // lint:allow(panic): stale argument\n    let x = 1; // lint:allow(determinism): also stale\n    x\n}\n";
+    let (fixed, removed) = strip_stale_waivers(src, &[2, 3]);
+    assert_eq!(fixed, "fn f() -> u32 {\n    let x = 1;\n    x\n}\n");
+    assert_eq!(removed.len(), 2);
+    assert_eq!(removed[0].0, 2);
+    assert!(removed[0].1.contains("lint:allow(panic)"));
+    assert_eq!(removed[1].0, 3);
+}
+
+#[test]
+fn strip_touches_only_listed_line_comment_waivers() {
+    // Line 2 is not listed; line 3's waiver lives in a block comment and
+    // is left for a human; line 4 has no waiver at all.
+    let src = "fn f() {\n    // lint:allow(panic): kept, not listed\n    /* lint:allow(panic): in a block comment */\n    let _y = 2;\n}\n";
+    let (fixed, removed) = strip_stale_waivers(src, &[3, 4]);
+    assert_eq!(fixed, src);
+    assert!(removed.is_empty());
+}
+
+#[test]
+fn fix_waivers_dry_runs_then_applies_then_converges() {
+    let root = Path::new(env!("CARGO_TARGET_TMPDIR")).join("waiver_gc_ws");
+    let src_dir = root.join("crates/demo/src");
+    fs::create_dir_all(&src_dir).expect("tmp workspace");
+    let file = src_dir.join("lib.rs");
+    let original =
+        "fn f() -> u32 {\n    // lint:allow(panic): this cannot fail because reasons\n    1\n}\n";
+    fs::write(&file, original).expect("seed file");
+    let manifest = Manifest::parse("").expect("empty manifest");
+
+    let fixes = fix_waivers(&root, &manifest, false).expect("dry run");
+    assert_eq!(fixes.len(), 1);
+    assert_eq!(fixes[0].file, "crates/demo/src/lib.rs");
+    assert_eq!(fixes[0].line, 2);
+    assert!(fixes[0].before.contains("lint:allow(panic)"));
+    assert_eq!(
+        fs::read_to_string(&file).expect("still there"),
+        original,
+        "dry run must not edit files"
+    );
+
+    let fixes = fix_waivers(&root, &manifest, true).expect("apply");
+    assert_eq!(fixes.len(), 1);
+    assert_eq!(
+        fs::read_to_string(&file).expect("still there"),
+        "fn f() -> u32 {\n    1\n}\n"
+    );
+
+    let fixes = fix_waivers(&root, &manifest, true).expect("second apply");
+    assert!(fixes.is_empty(), "GC must converge after one application");
+}

@@ -48,6 +48,7 @@ mod sink;
 mod span;
 mod summary;
 mod trace;
+pub mod witness;
 
 pub use event::{
     push_json_f64, push_json_fields, push_json_string, Event, EventKind, FieldValue, Fields, Level,
@@ -60,6 +61,7 @@ pub use sink::{JsonlSink, NullSink, RingBufferSink, RingHandle, Sink, StderrSink
 pub use span::{current_span, namespace_span_ids, ContextGuard, SpanContext, SpanGuard};
 pub use summary::{render_summary, span_stats, SpanStat};
 pub use trace::{chrome_trace_json, write_chrome_trace, ChromeTraceSink};
+pub use witness::{named_lock, publish_witness_metrics, witness_edges, NamedGuard};
 
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Mutex, OnceLock};
@@ -136,7 +138,7 @@ pub fn enabled() -> bool {
 pub fn add_sink(sink: Box<dyn Sink>) -> SinkId {
     let c = collector();
     let id = SinkId(c.next_id.fetch_add(1, Ordering::Relaxed));
-    let mut sinks = lock_unpoisoned(&c.sinks);
+    let mut sinks = named_lock("obs.sinks", &c.sinks);
     sinks.push((id, sink));
     SINK_COUNT.store(sinks.len(), Ordering::Relaxed);
     id
@@ -146,7 +148,7 @@ pub fn add_sink(sink: Box<dyn Sink>) -> SinkId {
 /// removed).
 pub fn remove_sink(id: SinkId) -> Option<Box<dyn Sink>> {
     let c = collector();
-    let mut sinks = lock_unpoisoned(&c.sinks);
+    let mut sinks = named_lock("obs.sinks", &c.sinks);
     let pos = sinks.iter().position(|(sid, _)| *sid == id)?;
     let (_, mut sink) = sinks.remove(pos);
     SINK_COUNT.store(sinks.len(), Ordering::Relaxed);
@@ -158,7 +160,8 @@ pub fn remove_sink(id: SinkId) -> Option<Box<dyn Sink>> {
 /// Flush every installed sink.
 pub fn flush() {
     let c = collector();
-    for (_, sink) in lock_unpoisoned(&c.sinks).iter_mut() {
+    for (_, sink) in named_lock("obs.sinks", &c.sinks).iter_mut() {
+        // lint:allow(blocking): flush drains a bounded buffer to local disk; the guard must cover it so remove_sink cannot drop the sink mid-flush
         sink.flush();
     }
 }
@@ -174,7 +177,7 @@ pub fn flush() {
 pub fn shutdown() {
     let c = collector();
     let drained = {
-        let mut sinks = lock_unpoisoned(&c.sinks);
+        let mut sinks = named_lock("obs.sinks", &c.sinks);
         SINK_COUNT.store(0, Ordering::Relaxed);
         std::mem::take(&mut *sinks)
     };
@@ -216,7 +219,7 @@ pub fn submit(event: Event) {
         return;
     }
     let c = collector();
-    for (_, sink) in lock_unpoisoned(&c.sinks).iter_mut() {
+    for (_, sink) in named_lock("obs.sinks", &c.sinks).iter_mut() {
         sink.record(&event);
     }
 }

@@ -283,7 +283,7 @@ impl Registry {
 
     /// Add `delta` to the counter `name` (created at zero on first use).
     pub fn counter_add(&self, name: &str, delta: f64) {
-        let mut s = crate::lock_unpoisoned(&self.state);
+        let mut s = crate::named_lock("obs.registry", &self.state);
         match s.counters.get_mut(name) {
             Some(v) => *v += delta,
             None => {
@@ -294,7 +294,7 @@ impl Registry {
 
     /// Current value of counter `name`.
     pub fn counter(&self, name: &str) -> f64 {
-        crate::lock_unpoisoned(&self.state)
+        crate::named_lock("obs.registry", &self.state)
             .counters
             .get(name)
             .copied()
@@ -303,7 +303,7 @@ impl Registry {
 
     /// Set the gauge `name` to `value`.
     pub fn gauge_set(&self, name: &str, value: f64) {
-        let mut s = crate::lock_unpoisoned(&self.state);
+        let mut s = crate::named_lock("obs.registry", &self.state);
         match s.gauges.get_mut(name) {
             Some(v) => *v = value,
             None => {
@@ -314,7 +314,7 @@ impl Registry {
 
     /// Latest value of gauge `name`.
     pub fn gauge(&self, name: &str) -> Option<f64> {
-        crate::lock_unpoisoned(&self.state)
+        crate::named_lock("obs.registry", &self.state)
             .gauges
             .get(name)
             .copied()
@@ -323,7 +323,7 @@ impl Registry {
     /// Pre-register histogram `name` with explicit bucket bounds (replaces
     /// any previous registration and its samples).
     pub fn register_histogram(&self, name: &str, bounds: &[f64]) {
-        crate::lock_unpoisoned(&self.state)
+        crate::named_lock("obs.registry", &self.state)
             .histograms
             .insert(name.to_string(), Histogram::new(bounds));
     }
@@ -331,7 +331,7 @@ impl Registry {
     /// Record one sample into histogram `name`. An unregistered histogram
     /// is created with the [`Histogram::default_us`] buckets.
     pub fn observe(&self, name: &str, value: f64) {
-        let mut s = crate::lock_unpoisoned(&self.state);
+        let mut s = crate::named_lock("obs.registry", &self.state);
         s.histograms
             .entry(name.to_string())
             .or_insert_with(Histogram::default_us)
@@ -342,7 +342,7 @@ impl Registry {
     /// the containing bucket's exemplar (see
     /// [`Histogram::observe_with_exemplar`]).
     pub fn observe_with_exemplar(&self, name: &str, value: f64, span_id: u64) {
-        let mut s = crate::lock_unpoisoned(&self.state);
+        let mut s = crate::named_lock("obs.registry", &self.state);
         s.histograms
             .entry(name.to_string())
             .or_insert_with(Histogram::default_us)
@@ -357,7 +357,7 @@ impl Registry {
     ///
     /// Propagates a bounds mismatch from [`Histogram::merge`].
     pub fn merge_histogram(&self, name: &str, delta: &Histogram) -> Result<(), String> {
-        let mut s = crate::lock_unpoisoned(&self.state);
+        let mut s = crate::named_lock("obs.registry", &self.state);
         match s.histograms.get_mut(name) {
             Some(h) => h.merge(delta),
             None => {
@@ -369,7 +369,7 @@ impl Registry {
 
     /// A copy of histogram `name`, if any samples or a registration exist.
     pub fn histogram(&self, name: &str) -> Option<Histogram> {
-        crate::lock_unpoisoned(&self.state)
+        crate::named_lock("obs.registry", &self.state)
             .histograms
             .get(name)
             .cloned()
@@ -377,7 +377,7 @@ impl Registry {
 
     /// Copy out everything.
     pub fn snapshot(&self) -> MetricsSnapshot {
-        let s = crate::lock_unpoisoned(&self.state);
+        let s = crate::named_lock("obs.registry", &self.state);
         MetricsSnapshot {
             counters: s.counters.iter().map(|(k, v)| (k.clone(), *v)).collect(),
             gauges: s.gauges.iter().map(|(k, v)| (k.clone(), *v)).collect(),
@@ -391,7 +391,7 @@ impl Registry {
 
     /// Drop every metric (test isolation).
     pub fn clear(&self) {
-        *crate::lock_unpoisoned(&self.state) = RegistryState::default();
+        *crate::named_lock("obs.registry", &self.state) = RegistryState::default();
     }
 }
 

@@ -89,13 +89,22 @@ fn state() -> &'static Mutex<ProfileState> {
     STATE.get_or_init(|| Mutex::new(ProfileState::default()))
 }
 
+/// Clone the census under its lock. A separate fn keeps the census
+/// guard's lifetime visibly disjoint from everything the caller locks
+/// next — the census is a leaf in the lock order.
+fn census_snapshot() -> Vec<SharedStack> {
+    crate::lock_unpoisoned(threads()).clone()
+}
+
 /// Take one sample: snapshot every registered stack and fold the
-/// non-empty ones into the accumulated profile. Lock order matches span
-/// registration (registry, then stack).
+/// non-empty ones into the accumulated profile. The census lock is
+/// dropped before any per-thread stack (or the profile state) is locked
+/// — the `Arc`s are cloned out first — so the sampler never nests the
+/// census under another lock.
 fn sample_once() {
+    let entries = census_snapshot();
     let mut stacks: Vec<String> = Vec::new();
     {
-        let entries = crate::lock_unpoisoned(threads());
         for entry in entries.iter() {
             let stack = crate::lock_unpoisoned(entry);
             if stack.is_empty() {
@@ -149,14 +158,16 @@ pub fn folded_text() -> String {
 /// The accumulated profile as JSON: sampler metadata plus the folded
 /// stack counts.
 pub fn profile_json() -> String {
+    // Census before state: taking it the other way round inverts the
+    // sampler's (former) state-under-census order. The count may lag the
+    // stack table by one registration — it is telemetry, not a ledger.
+    let thread_count = registered_threads();
     let s = crate::lock_unpoisoned(state());
     let mut out = String::from("{\"hz\":");
     out.push_str(&format!("{}", s.hz));
     out.push_str(&format!(
         ",\"ticks\":{},\"idle_ticks\":{},\"threads\":{}",
-        s.ticks,
-        s.idle_ticks,
-        registered_threads()
+        s.ticks, s.idle_ticks, thread_count
     ));
     out.push_str(",\"stacks\":{");
     for (i, (stack, count)) in s.folded.iter().enumerate() {

@@ -39,14 +39,14 @@ pub struct RingHandle {
 impl RingHandle {
     /// Copy out the captured events, oldest first.
     pub fn snapshot(&self) -> Vec<Event> {
-        crate::lock_unpoisoned(&self.inner).events.clone()
+        crate::named_lock("obs.ring", &self.inner).events.clone()
     }
 
     /// Captured events emitted by the calling thread only — the idiom for
     /// assertions in concurrently running tests.
     pub fn snapshot_current_thread(&self) -> Vec<Event> {
         let tid = crate::current_tid();
-        crate::lock_unpoisoned(&self.inner)
+        crate::named_lock("obs.ring", &self.inner)
             .events
             .iter()
             .filter(|e| e.tid == tid)
@@ -60,7 +60,7 @@ impl RingHandle {
     /// summary table) walk every worker-pool thread's event stream even
     /// though the pool threads themselves never hold the handle.
     pub fn snapshot_thread(&self, tid: u64) -> Vec<Event> {
-        crate::lock_unpoisoned(&self.inner)
+        crate::named_lock("obs.ring", &self.inner)
             .events
             .iter()
             .filter(|e| e.tid == tid)
@@ -70,7 +70,7 @@ impl RingHandle {
 
     /// Distinct thread ids seen in the captured events, ascending.
     pub fn tids(&self) -> Vec<u64> {
-        let inner = crate::lock_unpoisoned(&self.inner);
+        let inner = crate::named_lock("obs.ring", &self.inner);
         let mut tids: Vec<u64> = inner.events.iter().map(|e| e.tid).collect();
         tids.sort_unstable();
         tids.dedup();
@@ -79,12 +79,12 @@ impl RingHandle {
 
     /// Events discarded because the ring was full.
     pub fn dropped(&self) -> u64 {
-        crate::lock_unpoisoned(&self.inner).dropped
+        crate::named_lock("obs.ring", &self.inner).dropped
     }
 
     /// Discard everything captured so far.
     pub fn clear(&self) {
-        let mut inner = crate::lock_unpoisoned(&self.inner);
+        let mut inner = crate::named_lock("obs.ring", &self.inner);
         inner.events.clear();
         inner.dropped = 0;
     }
@@ -116,7 +116,7 @@ impl RingBufferSink {
 
 impl Sink for RingBufferSink {
     fn record(&mut self, event: &Event) {
-        let mut inner = crate::lock_unpoisoned(&self.inner);
+        let mut inner = crate::named_lock("obs.ring", &self.inner);
         if inner.events.len() >= inner.capacity {
             let half = inner.capacity / 2;
             inner.events.drain(..half);

@@ -1,0 +1,173 @@
+//! Runtime lock witness: named lock acquisition with order recording.
+//!
+//! [`named_lock`] is [`crate::lock_unpoisoned`] plus an explicit identity
+//! string — the same `crate.field` identity the static concurrency engine
+//! in `skipper-lint` derives for the lock (so the two vocabularies line
+//! up by construction; the lint recognizes the literal verbatim).
+//!
+//! With the `lock_witness` feature enabled (debug/test builds only — the
+//! release engine never pays for it), every acquisition while other named
+//! locks are held records a directed edge `held -> acquired` into a
+//! global edge set. The `lock_witness` integration test drives the
+//! worker-pool engine and the serving gateway under load, then asserts
+//! every observed runtime edge is reachable in the static lock-order
+//! graph: the dynamic witness can only ever shrink the static
+//! approximation, never escape it.
+//!
+//! Deadlock safety inside the witness itself: the edge set lives behind
+//! its own leaf mutex that is acquired *after* the witnessed lock and
+//! with no other witness code running under it, and recording never
+//! touches the metrics registry (the registry's own lock may be the one
+//! being witnessed). Publishing the edge count as a gauge is a separate,
+//! explicit step — [`publish_witness_metrics`] — called from test
+//! harnesses when no named lock is held.
+
+use std::ops::{Deref, DerefMut};
+use std::sync::{Mutex, MutexGuard};
+
+/// A [`MutexGuard`] that un-registers its lock identity from the
+/// per-thread held stack on drop (a no-op without `lock_witness`).
+pub struct NamedGuard<'a, T> {
+    guard: MutexGuard<'a, T>,
+    _token: imp::Token,
+}
+
+impl<T> Deref for NamedGuard<'_, T> {
+    type Target = T;
+    fn deref(&self) -> &T {
+        &self.guard
+    }
+}
+
+impl<T> DerefMut for NamedGuard<'_, T> {
+    fn deref_mut(&mut self) -> &mut T {
+        &mut self.guard
+    }
+}
+
+/// Lock `m` (recovering from poisoning) under the identity `name`.
+///
+/// The mutex is acquired *first*; only then is the acquisition recorded,
+/// so a recorded edge always reflects a nesting that actually happened.
+pub fn named_lock<'a, T>(name: &'static str, m: &'a Mutex<T>) -> NamedGuard<'a, T> {
+    let guard = crate::lock_unpoisoned(m);
+    NamedGuard {
+        guard,
+        _token: imp::acquired(name),
+    }
+}
+
+/// Every distinct runtime edge `(held, acquired)` observed so far.
+/// Always empty without the `lock_witness` feature.
+pub fn witness_edges() -> Vec<(&'static str, &'static str)> {
+    imp::edges()
+}
+
+/// Publish the witness edge count as `obs.lock_witness_edges`.
+///
+/// Kept out of [`named_lock`] on purpose: setting a gauge takes the
+/// metrics registry lock, which may be exactly the lock being witnessed.
+/// Call this from a point where no named lock is held (test asserts,
+/// shutdown paths). A no-op without the feature.
+pub fn publish_witness_metrics() {
+    let n = imp::edge_count();
+    if n > 0 {
+        // Straight to the registry, not the crate::gauge_set emitter: the
+        // emitter is a no-op with no sink installed, and it would also
+        // re-enter the sinks lock this function exists to stay clear of.
+        crate::registry().gauge_set("obs.lock_witness_edges", n as f64);
+    }
+}
+
+#[cfg(feature = "lock_witness")]
+mod imp {
+    use std::cell::RefCell;
+    use std::collections::BTreeSet;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+    use std::sync::{Mutex, OnceLock};
+
+    thread_local! {
+        /// Named locks this thread currently holds, in acquisition order.
+        static HELD: RefCell<Vec<&'static str>> = const { RefCell::new(Vec::new()) };
+    }
+
+    static EDGE_COUNT: AtomicUsize = AtomicUsize::new(0);
+
+    fn edge_set() -> &'static Mutex<BTreeSet<(&'static str, &'static str)>> {
+        static EDGES: OnceLock<Mutex<BTreeSet<(&'static str, &'static str)>>> = OnceLock::new();
+        EDGES.get_or_init(|| Mutex::new(BTreeSet::new()))
+    }
+
+    /// Un-registers its name from the held stack on drop.
+    pub struct Token {
+        name: &'static str,
+    }
+
+    impl Drop for Token {
+        fn drop(&mut self) {
+            HELD.with(|h| {
+                let mut held = h.borrow_mut();
+                // Guards can drop out of acquisition order: remove the
+                // *last* occurrence, not blindly the top of the stack.
+                if let Some(at) = held.iter().rposition(|n| *n == self.name) {
+                    held.remove(at);
+                }
+            });
+        }
+    }
+
+    pub fn acquired(name: &'static str) -> Token {
+        HELD.with(|h| {
+            let fresh: Vec<&'static str> = {
+                let held = h.borrow();
+                if held.is_empty() {
+                    Vec::new() // Fast path: no nesting, skip the edge lock.
+                } else {
+                    held.iter().copied().filter(|f| *f != name).collect()
+                }
+            };
+            if !fresh.is_empty() {
+                let mut edges = crate::lock_unpoisoned(edge_set());
+                let mut new = 0usize;
+                for from in fresh {
+                    if edges.insert((from, name)) {
+                        new += 1;
+                    }
+                }
+                drop(edges);
+                if new > 0 {
+                    EDGE_COUNT.fetch_add(new, Ordering::Relaxed);
+                }
+            }
+            h.borrow_mut().push(name);
+        });
+        Token { name }
+    }
+
+    pub fn edges() -> Vec<(&'static str, &'static str)> {
+        crate::lock_unpoisoned(edge_set()).iter().copied().collect()
+    }
+
+    pub fn edge_count() -> usize {
+        EDGE_COUNT.load(Ordering::Relaxed)
+    }
+}
+
+#[cfg(not(feature = "lock_witness"))]
+mod imp {
+    /// Zero-sized: the whole witness compiles away without the feature.
+    pub struct Token;
+
+    #[inline]
+    pub fn acquired(_name: &'static str) -> Token {
+        Token
+    }
+
+    pub fn edges() -> Vec<(&'static str, &'static str)> {
+        Vec::new()
+    }
+
+    pub fn edge_count() -> usize {
+        0
+    }
+}

@@ -391,6 +391,7 @@ fn batcher_loop(inner: &Arc<Inner>) {
                 if inner.stop.load(Ordering::Relaxed) {
                     for job in q.drain(..) {
                         shed("shutdown");
+                        // lint:allow(blocking): mpsc::Sender::send on an unbounded channel never parks the sender
                         let _ = job.respond.send(Err(Shed::Shutdown));
                     }
                     return;
@@ -403,6 +404,7 @@ fn batcher_loop(inner: &Arc<Inner>) {
                     if q.get(i).is_some_and(|j| j.deadline <= now) {
                         if let Some(job) = q.remove(i) {
                             shed("deadline");
+                            // lint:allow(blocking): mpsc::Sender::send on an unbounded channel never parks the sender
                             let _ = job.respond.send(Err(Shed::Deadline));
                         }
                     } else {
@@ -410,6 +412,7 @@ fn batcher_loop(inner: &Arc<Inner>) {
                     }
                 }
                 let Some(front) = q.front() else {
+                    // lint:allow(blocking): condvar protocol — wait_timeout atomically releases serve.queue while parked
                     q = wait_on(&inner.cv, q, Duration::from_millis(50));
                     continue;
                 };
@@ -429,6 +432,7 @@ fn batcher_loop(inner: &Arc<Inner>) {
                     gauge_set("serve.queue_depth", q.len() as f64);
                     break batch;
                 }
+                // lint:allow(blocking): condvar protocol — wait_timeout atomically releases serve.queue while parked
                 q = wait_on(&inner.cv, q, cutoff.saturating_duration_since(now));
             }
         };
